@@ -1,0 +1,420 @@
+// Benchmark harness: one bench per table and figure of the paper, plus
+// ablation benches for the design choices called out in DESIGN.md.
+//
+// Each bench measures the cost of recomputing its experiment from the shared
+// enriched dataset (the fixture itself — generation, crawl, parsing and
+// enrichment — is built once and excluded from timings) and prints the
+// reproduced rows/series once, so `go test -bench=. -benchmem` regenerates
+// the full set of artifacts recorded in EXPERIMENTS.md.
+package marketscope_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+
+	"marketscope/internal/analysis"
+	"marketscope/internal/core"
+	"marketscope/internal/crawler"
+	"marketscope/internal/market"
+	"marketscope/internal/report"
+	"marketscope/internal/synth"
+)
+
+var (
+	benchOnce    sync.Once
+	benchResults *core.Results
+	benchErr     error
+
+	printMu sync.Mutex
+	printed = map[string]bool{}
+)
+
+// benchFixture runs the full study once (1,200 generated apps across the 17
+// markets) and shares the results across all benches.
+func benchFixture(b *testing.B) *core.Results {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := core.DefaultConfig()
+		benchResults, benchErr = core.Run(context.Background(), cfg)
+	})
+	if benchErr != nil {
+		b.Fatalf("bench fixture: %v", benchErr)
+	}
+	return benchResults
+}
+
+// printOnce emits the reproduced artifact a single time per `go test`
+// invocation, keyed by experiment ID.
+func printOnce(id, artifact string) {
+	printMu.Lock()
+	defer printMu.Unlock()
+	if printed[id] {
+		return
+	}
+	printed[id] = true
+	fmt.Fprintf(os.Stdout, "\n----- reproduced %s -----\n%s\n", id, artifact)
+}
+
+func BenchmarkTable1_MarketOverview(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rows []analysis.MarketOverviewRow
+	var totals analysis.OverviewTotals
+	for i := 0; i < b.N; i++ {
+		rows = analysis.MarketOverview(r.Dataset)
+		totals = analysis.Totals(r.Dataset, rows)
+	}
+	b.StopTimer()
+	printOnce("T1", report.Table1(rows, totals))
+}
+
+func BenchmarkFigure1_Categories(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var dists []analysis.CategoryDistribution
+	for i := 0; i < b.N; i++ {
+		dists = analysis.Categories(r.Dataset)
+	}
+	b.StopTimer()
+	printOnce("F1", report.Figure1(dists))
+}
+
+func BenchmarkFigure2_Downloads(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rows []analysis.DownloadRow
+	for i := 0; i < b.N; i++ {
+		rows = analysis.Downloads(r.Dataset)
+	}
+	b.StopTimer()
+	printOnce("F2", report.Figure2(rows))
+}
+
+func BenchmarkFigure3_MinAPILevel(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var gp, cn analysis.APILevelDistribution
+	for i := 0; i < b.N; i++ {
+		gp, cn = analysis.APILevels(r.Dataset)
+	}
+	b.StopTimer()
+	printOnce("F3", report.Figure3(gp, cn))
+}
+
+func BenchmarkFigure4_ReleaseDates(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var gp, cn analysis.ReleaseDateDistribution
+	for i := 0; i < b.N; i++ {
+		gp, cn = analysis.ReleaseDates(r.Dataset)
+	}
+	b.StopTimer()
+	printOnce("F4", report.Figure4(gp, cn))
+}
+
+func BenchmarkFigure5_Libraries(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rows []analysis.LibraryUsageRow
+	for i := 0; i < b.N; i++ {
+		rows = analysis.LibraryUsage(r.Dataset)
+	}
+	b.StopTimer()
+	printOnce("F5", report.Figure5(rows))
+}
+
+func BenchmarkTable2_TopLibraries(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var gp, cn []analysis.LibraryRank
+	for i := 0; i < b.N; i++ {
+		gp, cn = analysis.TopLibraries(r.Dataset, 10)
+	}
+	b.StopTimer()
+	printOnce("T2", report.Table2(gp, cn))
+}
+
+func BenchmarkFigure6_Ratings(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rows []analysis.RatingDistribution
+	for i := 0; i < b.N; i++ {
+		rows = analysis.Ratings(r.Dataset)
+	}
+	b.StopTimer()
+	printOnce("F6", report.Figure6(rows))
+}
+
+func BenchmarkFigure7_DeveloperMarkets(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var stats analysis.PublishingStats
+	for i := 0; i < b.N; i++ {
+		stats = analysis.Publishing(r.Dataset)
+	}
+	b.StopTimer()
+	printOnce("F7", report.Figure7(stats))
+}
+
+func BenchmarkFigure8_ClusterCDFs(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var clusters analysis.ClusterCDFs
+	for i := 0; i < b.N; i++ {
+		clusters = analysis.Clusters(r.Dataset)
+	}
+	b.StopTimer()
+	printOnce("F8", report.Figure8(clusters))
+}
+
+func BenchmarkFigure9_OutdatedApps(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rows []analysis.OutdatedRow
+	for i := 0; i < b.N; i++ {
+		rows = analysis.Outdated(r.Dataset)
+	}
+	b.StopTimer()
+	printOnce("F9", report.Figure9(rows))
+}
+
+func BenchmarkTable3_FakeAndClones(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *analysis.MisbehaviorResult
+	for i := 0; i < b.N; i++ {
+		res = analysis.Misbehavior(r.Dataset, analysis.DefaultMisbehaviorOptions())
+	}
+	b.StopTimer()
+	printOnce("T3", report.Table3(res))
+}
+
+func BenchmarkFigure10_CloneHeatmap(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *analysis.MisbehaviorResult
+	for i := 0; i < b.N; i++ {
+		res = analysis.Misbehavior(r.Dataset, analysis.DefaultMisbehaviorOptions())
+	}
+	b.StopTimer()
+	printOnce("F10", report.Figure10(res.Heatmap, r.Dataset.MarketNames()))
+}
+
+func BenchmarkFigure11_OverPrivilege(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var gp, cn analysis.OverPrivilegeStats
+	for i := 0; i < b.N; i++ {
+		gp, cn = analysis.OverPrivilege(r.Dataset)
+	}
+	b.StopTimer()
+	printOnce("F11", report.Figure11(gp, cn))
+}
+
+func BenchmarkTable4_MalwarePrevalence(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rows []analysis.MalwareRow
+	var avg analysis.MalwareAverages
+	for i := 0; i < b.N; i++ {
+		rows = analysis.MalwarePrevalence(r.Dataset)
+		avg = analysis.AverageChineseMalware(r.Dataset, rows)
+	}
+	b.StopTimer()
+	printOnce("T4", report.Table4(rows, avg))
+}
+
+func BenchmarkTable5_TopMalware(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var entries []analysis.TopMalwareEntry
+	for i := 0; i < b.N; i++ {
+		entries = analysis.TopMalware(r.Dataset, 10)
+	}
+	b.StopTimer()
+	printOnce("T5", report.Table5(entries))
+}
+
+func BenchmarkFigure12_MalwareFamilies(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var gp, cn []analysis.FamilyShare
+	for i := 0; i < b.N; i++ {
+		gp, cn = analysis.MalwareFamilies(r.Dataset, 10, 15)
+	}
+	b.StopTimer()
+	printOnce("F12", report.Figure12(gp, cn))
+}
+
+func BenchmarkTable6_MalwareRemoval(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rows []analysis.RemovalRow
+	var still analysis.StillHostedStats
+	for i := 0; i < b.N; i++ {
+		rows = analysis.PostAnalysis(r.Dataset, r.SecondCrawl, 10)
+		still = analysis.StillHosted(r.Dataset, r.SecondCrawl, 10)
+	}
+	b.StopTimer()
+	printOnce("T6", report.Table6(rows, still))
+}
+
+func BenchmarkFigure13_Radar(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rows []analysis.RadarRow
+	for i := 0; i < b.N; i++ {
+		rows = analysis.Radar(r.Dataset, nil)
+	}
+	b.StopTimer()
+	printOnce("F13", report.Figure13(rows))
+}
+
+// BenchmarkAblation_CloneThreshold sweeps the WuKong vector-distance
+// threshold around the paper's 0.05 and reports the resulting code-clone
+// share (DESIGN.md ablation #2).
+func BenchmarkAblation_CloneThreshold(b *testing.B) {
+	r := benchFixture(b)
+	thresholds := []float64{0.01, 0.05, 0.10, 0.20}
+	for _, th := range thresholds {
+		b.Run(fmt.Sprintf("threshold_%.2f", th), func(b *testing.B) {
+			b.ReportAllocs()
+			var points []analysis.CloneThresholdPoint
+			for i := 0; i < b.N; i++ {
+				points = analysis.CloneThresholdSweep(r.Dataset, []float64{th})
+			}
+			b.StopTimer()
+			p := points[0]
+			printOnce(fmt.Sprintf("ablation-clone-threshold-%.2f", th),
+				fmt.Sprintf("distance threshold %.2f -> average code-clone share %.2f%% (%d pairs, %d candidates)",
+					p.Threshold, 100*p.AvgCodeCloneShare, p.Pairs, p.CandidatePairs))
+		})
+	}
+}
+
+// BenchmarkAblation_LibraryFiltering compares clone detection with and
+// without third-party library filtering (DESIGN.md ablation #1).
+func BenchmarkAblation_LibraryFiltering(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	var cmp analysis.LibraryFilteringComparison
+	for i := 0; i < b.N; i++ {
+		cmp = analysis.CompareLibraryFiltering(r.Dataset)
+	}
+	b.StopTimer()
+	printOnce("ablation-library-filtering",
+		fmt.Sprintf("with filtering: %.2f%% code clones (%d candidates); without: %.2f%% (%d candidates)",
+			100*cmp.WithFiltering.AvgCodeCloneShare, cmp.WithFiltering.CandidatePairs,
+			100*cmp.WithoutFiltering.AvgCodeCloneShare, cmp.WithoutFiltering.CandidatePairs))
+}
+
+// BenchmarkAblation_AVRankThreshold sweeps the AV-rank cut-off used to call a
+// sample malware (DESIGN.md ablation #3).
+func BenchmarkAblation_AVRankThreshold(b *testing.B) {
+	r := benchFixture(b)
+	b.ReportAllocs()
+	var points []analysis.AVRankPoint
+	for i := 0; i < b.N; i++ {
+		points = analysis.AVRankSweep(r.Dataset, []int{1, 5, 10, 20, 30})
+	}
+	b.StopTimer()
+	for _, p := range points {
+		printOnce(fmt.Sprintf("ablation-avrank-%d", p.Threshold),
+			fmt.Sprintf("AV-rank >= %d -> Google Play %.2f%% vs Chinese average %.2f%% (gap %.1fx)",
+				p.Threshold, 100*p.GooglePlayShare, 100*p.ChineseAvgShare, p.Gap))
+	}
+}
+
+// BenchmarkAblation_ParallelSearch compares the crawler with and without the
+// cross-market parallel-search strategy on a small HTTP ecosystem and reports
+// the cross-market coverage each achieves (DESIGN.md ablation #4).
+func BenchmarkAblation_ParallelSearch(b *testing.B) {
+	cfg := synth.SmallConfig()
+	cfg.NumApps = 120
+	cfg.NumDevelopers = 50
+	cfg.Markets = []string{market.GooglePlay, "Baidu Market", "Huawei Market", "25PP", "Tencent Myapp"}
+	eco, err := synth.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stores, err := eco.Populate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var endpoints []crawler.Endpoint
+	names := make([]string, 0, len(stores))
+	for name := range stores {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := &http.Server{Handler: market.NewServer(stores[name])}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		endpoints = append(endpoints, crawler.Endpoint{Name: name, BaseURL: "http://" + ln.Addr().String()})
+	}
+	apps := append([]*synth.App(nil), eco.Apps...)
+	sort.Slice(apps, func(i, j int) bool { return apps[i].BaseDownloads > apps[j].BaseDownloads })
+	var seeds []string
+	for i := 0; i < 20 && i < len(apps); i++ {
+		seeds = append(seeds, apps[i].Package)
+	}
+
+	for _, parallel := range []bool{true, false} {
+		name := "with_parallel_search"
+		if !parallel {
+			name = "without_parallel_search"
+		}
+		b.Run(name, func(b *testing.B) {
+			var records int
+			for i := 0; i < b.N; i++ {
+				c, err := crawler.New(crawler.Config{
+					Endpoints:      endpoints,
+					Seeds:          seeds,
+					Concurrency:    8,
+					ParallelSearch: parallel,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				snap, err := c.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				records = snap.NumRecords()
+			}
+			b.StopTimer()
+			printOnce("ablation-parallel-search-"+name,
+				fmt.Sprintf("parallel search %v -> %d (market, package) records harvested", parallel, records))
+		})
+	}
+}

@@ -1,0 +1,118 @@
+// Command apkinspect parses a single APK produced by the simulator (for
+// example one saved under a crawl snapshot's apks/ directory) and prints the
+// analysis-relevant view of it: manifest identity, signing developer,
+// requested vs used permissions, embedded third-party libraries and the
+// simulated VirusTotal verdict.
+//
+// Usage:
+//
+//	apkinspect path/to/app.apk [more.apk ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"marketscope/internal/apk"
+	"marketscope/internal/avscan"
+	"marketscope/internal/libdetect"
+	"marketscope/internal/manifest"
+	"marketscope/internal/permissions"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "apkinspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("apkinspect", flag.ContinueOnError)
+	scannerSeed := fs.Uint64("scanner-seed", 1, "seed for the simulated AV engine pool")
+	avThreshold := fs.Int("av-threshold", 10, "AV-rank threshold for calling a sample malware")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("usage: apkinspect [flags] <apk> [apk ...]")
+	}
+
+	detector := libdetect.NewDetector(nil, nil)
+	analyzer := permissions.NewAnalyzer(nil)
+	scanner := avscan.NewScanner(*scannerSeed, avscan.DefaultEngineCount)
+
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("read %s: %w", path, err)
+		}
+		parsed, err := apk.Parse(data)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		if err := inspect(out, path, parsed, detector, analyzer, scanner, *avThreshold); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func inspect(out io.Writer, path string, parsed *apk.Parsed, detector *libdetect.Detector,
+	analyzer *permissions.Analyzer, scanner *avscan.Scanner, avThreshold int) error {
+	m := parsed.Manifest
+	fmt.Fprintf(out, "== %s ==\n", path)
+	fmt.Fprintf(out, "package:        %s\n", m.Package)
+	fmt.Fprintf(out, "version:        %s (code %d)\n", m.VersionName, m.VersionCode)
+	fmt.Fprintf(out, "label:          %s\n", m.AppLabel)
+	fmt.Fprintf(out, "min/target SDK: %d / %d (Android %s)\n", m.MinSDK, m.TargetSDK,
+		manifest.AndroidVersionForAPI(m.MinSDK))
+	fmt.Fprintf(out, "developer cert: %s\n", parsed.Developer().Short())
+	fmt.Fprintf(out, "archive:        %d bytes, md5 %s\n", parsed.Size, parsed.MD5)
+	if len(parsed.Channel) > 0 {
+		var channels []string
+		for name, value := range parsed.Channel {
+			channels = append(channels, name+"="+value)
+		}
+		fmt.Fprintf(out, "channel files:  %s\n", strings.Join(channels, ", "))
+	}
+	fmt.Fprintf(out, "code:           %d classes, %d methods, %d distinct framework APIs\n",
+		parsed.Dex.NumClasses(), parsed.Dex.NumMethods(), len(parsed.Dex.DistinctAPICalls()))
+
+	usage := analyzer.Analyze(m, parsed.Dex)
+	fmt.Fprintf(out, "permissions:    %d requested, %d used, %d unused", len(m.Permissions),
+		len(usage.Used), len(usage.Unused))
+	if dangerous := usage.UnusedDangerous(); len(dangerous) > 0 {
+		fmt.Fprintf(out, " (unused dangerous: %s)", strings.Join(dangerous, ", "))
+	}
+	fmt.Fprintln(out)
+
+	dets := detector.Detect(parsed.Dex, m.Package)
+	if len(dets) == 0 {
+		fmt.Fprintln(out, "libraries:      none detected")
+	} else {
+		fmt.Fprintf(out, "libraries:      %d detected\n", len(dets))
+		for _, det := range dets {
+			marker := " "
+			if det.IsAd() {
+				marker = "*"
+			}
+			fmt.Fprintf(out, "  %s %-34s %-18s %d classes\n", marker, det.Library.Name, det.Library.Category, det.Classes)
+		}
+	}
+
+	report := scanner.Scan(parsed.SHA256, parsed.Dex)
+	verdict := "clean"
+	if report.Flagged(avThreshold) {
+		verdict = "MALWARE"
+		if report.Family != "" {
+			verdict += " (family " + report.Family + ")"
+		}
+	}
+	fmt.Fprintf(out, "AV scan:        %d/%d engines flagged -> %s\n\n", report.Positives, report.Total, verdict)
+	return nil
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"marketscope/internal/apk"
+	"marketscope/internal/avscan"
+	"marketscope/internal/dex"
+	"marketscope/internal/manifest"
+	"marketscope/internal/signing"
+)
+
+// writeTestAPK builds a signed APK on disk: a benign app embedding Umeng, or
+// a malicious one carrying the kuguo payload.
+func writeTestAPK(t *testing.T, malicious bool) string {
+	t.Helper()
+	code := &dex.File{Classes: []dex.Class{
+		{Name: "com.inspect.app.Main", Methods: []dex.Method{
+			{Name: "onCreate", APICalls: []string{"android.app.Activity.onCreate", "java.net.URL.openConnection"}},
+		}},
+		{Name: "com.umeng.analytics.Agent", Methods: []dex.Method{
+			{Name: "report", APICalls: []string{
+				"android.net.ConnectivityManager.getActiveNetworkInfo",
+				"java.net.URL.openConnection",
+				"android.content.Context.getPackageName",
+				"lib.com.umeng.Api.call0",
+			}},
+		}},
+	}}
+	if malicious {
+		fam, _ := avscan.FamilyByName("kuguo")
+		code.AddClass(dex.Class{Name: fam.PayloadPrefix + ".Payload", Methods: []dex.Method{
+			{Name: "activate", APICalls: append([]string{fam.MarkerAPI}, fam.SignatureAPIs...)},
+		}})
+	}
+	pkg := &apk.APK{
+		Manifest: &manifest.Manifest{
+			Package: "com.inspect.app", VersionCode: 120, VersionName: "1.2.0",
+			MinSDK: 9, TargetSDK: 19, AppLabel: "Inspect Me",
+			Permissions: []string{
+				"android.permission.INTERNET",
+				"android.permission.READ_PHONE_STATE", // requested but unused
+			},
+		},
+		Dex:     code,
+		Channel: map[string]string{"kgchannel": "test"},
+	}
+	data, err := apk.Build(pkg, signing.NewDeveloper("Inspect Dev", 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "inspect.apk")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestInspectBenignAPK(t *testing.T) {
+	path := writeTestAPK(t, false)
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"com.inspect.app", "1.2.0", "Umeng", "unused dangerous: android.permission.READ_PHONE_STATE",
+		"clean", "kgchannel=test",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInspectMaliciousAPK(t *testing.T) {
+	path := writeTestAPK(t, true)
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "MALWARE") || !strings.Contains(out, "kuguo") {
+		t.Errorf("malicious APK not flagged:\n%s", out)
+	}
+}
+
+func TestInspectValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("missing path accepted")
+	}
+	if err := run([]string{"/does/not/exist.apk"}, &buf); err == nil {
+		t.Error("missing file accepted")
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage.apk")
+	if err := os.WriteFile(garbage, []byte("not an apk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{garbage}, &buf); err == nil {
+		t.Error("garbage file accepted")
+	}
+}

@@ -1,0 +1,88 @@
+// Command crawler harvests app metadata and APKs from running market servers
+// (for example the ones started by the marketsim command) and persists the
+// resulting snapshot to disk for later analysis.
+//
+// Usage:
+//
+//	crawler -endpoints endpoints.json -out ./snapshot [-seeds pkg1,pkg2,...]
+//	        [-apks] [-concurrency 8] [-max-per-market 0]
+//
+// The endpoints file is the JSON list printed by marketsim. Seeds are only
+// needed for markets that expose related-apps navigation (Google Play);
+// catalog- and index-style markets are enumerated automatically.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"marketscope/internal/crawler"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "crawler:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("crawler", flag.ContinueOnError)
+	endpointsPath := fs.String("endpoints", "", "JSON file listing market endpoints (required)")
+	outDir := fs.String("out", "snapshot", "directory to write the snapshot to")
+	seedList := fs.String("seeds", "", "comma-separated package names seeding BFS markets")
+	fetchAPKs := fs.Bool("apks", true, "download APKs alongside metadata")
+	concurrency := fs.Int("concurrency", 8, "number of parallel fetch workers")
+	maxPerMarket := fs.Int("max-per-market", 0, "cap on listings per market (0 = unlimited)")
+	noParallelSearch := fs.Bool("no-parallel-search", false, "disable the cross-market parallel search")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *endpointsPath == "" {
+		return fmt.Errorf("-endpoints is required")
+	}
+
+	blob, err := os.ReadFile(*endpointsPath)
+	if err != nil {
+		return fmt.Errorf("read endpoints: %w", err)
+	}
+	var endpoints []crawler.Endpoint
+	if err := json.Unmarshal(blob, &endpoints); err != nil {
+		return fmt.Errorf("parse endpoints: %w", err)
+	}
+
+	var seeds []string
+	for _, s := range strings.Split(*seedList, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			seeds = append(seeds, s)
+		}
+	}
+
+	c, err := crawler.New(crawler.Config{
+		Endpoints:        endpoints,
+		Seeds:            seeds,
+		Concurrency:      *concurrency,
+		MaxAppsPerMarket: *maxPerMarket,
+		FetchAPKs:        *fetchAPKs,
+		ParallelSearch:   !*noParallelSearch,
+	})
+	if err != nil {
+		return err
+	}
+	snap, err := c.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	stats := c.Stats()
+	fmt.Printf("crawled %d records and %d APKs from %d markets (%d requests, %d not found, %d errors)\n",
+		snap.NumRecords(), snap.NumAPKs(), len(snap.Markets()), stats.Requests, stats.NotFound, stats.Errors)
+	if err := snap.Save(*outDir); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot written to %s\n", *outDir)
+	return nil
+}

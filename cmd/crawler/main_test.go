@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"marketscope/internal/crawler"
+	"marketscope/internal/market"
+	"marketscope/internal/synth"
+)
+
+// startMarkets serves a small generated ecosystem over httptest servers and
+// writes the endpoints file the command expects.
+func startMarkets(t *testing.T) (endpointsPath string, seeds []string) {
+	t.Helper()
+	cfg := synth.SmallConfig()
+	cfg.NumApps = 60
+	cfg.NumDevelopers = 25
+	cfg.Markets = []string{market.GooglePlay, "Baidu Market", "Huawei Market"}
+	eco, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores, err := eco.Populate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var endpoints []crawler.Endpoint
+	for name, store := range stores {
+		srv := httptest.NewServer(market.NewServer(store))
+		t.Cleanup(srv.Close)
+		endpoints = append(endpoints, crawler.Endpoint{Name: name, BaseURL: srv.URL})
+	}
+	blob, err := json.Marshal(endpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	endpointsPath = filepath.Join(t.TempDir(), "endpoints.json")
+	if err := os.WriteFile(endpointsPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	apps := append([]*synth.App(nil), eco.Apps...)
+	sort.Slice(apps, func(i, j int) bool { return apps[i].BaseDownloads > apps[j].BaseDownloads })
+	for i := 0; i < 10 && i < len(apps); i++ {
+		seeds = append(seeds, apps[i].Package)
+	}
+	return endpointsPath, seeds
+}
+
+func TestCrawlerCommandEndToEnd(t *testing.T) {
+	endpointsPath, seeds := startMarkets(t)
+	outDir := filepath.Join(t.TempDir(), "snapshot")
+	err := run([]string{
+		"-endpoints", endpointsPath,
+		"-out", outDir,
+		"-seeds", strings.Join(seeds, ","),
+		"-concurrency", "4",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	snap, err := crawler.Load(outDir)
+	if err != nil {
+		t.Fatalf("load snapshot: %v", err)
+	}
+	if snap.NumRecords() == 0 || snap.NumAPKs() == 0 {
+		t.Errorf("snapshot empty: %d records, %d apks", snap.NumRecords(), snap.NumAPKs())
+	}
+	if len(snap.Markets()) == 0 {
+		t.Error("no markets in snapshot")
+	}
+}
+
+func TestCrawlerCommandValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -endpoints accepted")
+	}
+	if err := run([]string{"-endpoints", "/does/not/exist.json"}); err == nil {
+		t.Error("missing endpoints file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-endpoints", bad}); err == nil {
+		t.Error("malformed endpoints file accepted")
+	}
+}

@@ -1,0 +1,117 @@
+// Command marketsim generates a synthetic ecosystem and serves every market
+// over HTTP on consecutive loopback ports so that an external crawler (the
+// crawler command, or any HTTP client) can harvest it.
+//
+// Usage:
+//
+//	marketsim [-apps N] [-developers N] [-seed S] [-port 8100] [-endpoints FILE]
+//
+// The endpoint list (market name and base URL, JSON) is printed to stdout and
+// optionally written to a file that the crawler command accepts directly.
+// The process serves until interrupted.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"marketscope/internal/crawler"
+	"marketscope/internal/market"
+	"marketscope/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "marketsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("marketsim", flag.ContinueOnError)
+	apps := fs.Int("apps", 600, "number of distinct apps to generate")
+	developers := fs.Int("developers", 220, "number of developer identities")
+	seed := fs.Uint64("seed", 20170815, "generation seed")
+	port := fs.Int("port", 8100, "first listening port; each market uses the next port")
+	endpointsPath := fs.String("endpoints", "", "write the endpoint list (JSON) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := synth.DefaultConfig()
+	cfg.NumApps = *apps
+	cfg.NumDevelopers = *developers
+	cfg.Seed = *seed
+	eco, err := synth.Generate(cfg)
+	if err != nil {
+		return fmt.Errorf("generate ecosystem: %w", err)
+	}
+	stores, err := eco.Populate()
+	if err != nil {
+		return fmt.Errorf("populate markets: %w", err)
+	}
+
+	names := make([]string, 0, len(stores))
+	for name := range stores {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var (
+		wg        sync.WaitGroup
+		servers   []*http.Server
+		endpoints []crawler.Endpoint
+	)
+	for i, name := range names {
+		addr := fmt.Sprintf("127.0.0.1:%d", *port+i)
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("listen %s for %s: %w", addr, name, err)
+		}
+		srv := &http.Server{Handler: market.NewServer(stores[name]), ReadHeaderTimeout: 5 * time.Second}
+		servers = append(servers, srv)
+		endpoints = append(endpoints, crawler.Endpoint{Name: name, BaseURL: "http://" + addr})
+		wg.Add(1)
+		go func(s *http.Server, l net.Listener, marketName string) {
+			defer wg.Done()
+			if err := s.Serve(l); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "marketsim: %s: %v\n", marketName, err)
+			}
+		}(srv, ln, name)
+		fmt.Printf("%-16s %s  (%d apps)\n", name, "http://"+addr, stores[name].Len())
+	}
+
+	blob, err := json.MarshalIndent(endpoints, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(blob))
+	if *endpointsPath != "" {
+		if err := os.WriteFile(*endpointsPath, blob, 0o644); err != nil {
+			return fmt.Errorf("write endpoints: %w", err)
+		}
+	}
+	fmt.Printf("serving %d markets with %d listings; Ctrl-C to stop\n", len(stores), eco.NumListings())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, srv := range servers {
+		_ = srv.Shutdown(ctx)
+	}
+	wg.Wait()
+	return nil
+}

@@ -1,0 +1,77 @@
+// Command study runs the full marketscope reproduction end to end: it
+// generates the synthetic ecosystem, publishes it to the 17 simulated
+// markets, crawls them, runs every analysis and prints each of the paper's
+// tables and figures.
+//
+// Usage:
+//
+//	study [-apps N] [-developers N] [-seed S] [-mode in-process|http]
+//	      [-experiment ID] [-out FILE]
+//
+// With -experiment, only the named artifact (e.g. T4 or F10) is printed; the
+// default prints the complete report.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"marketscope/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "study:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("study", flag.ContinueOnError)
+	apps := fs.Int("apps", 1200, "number of distinct apps to generate")
+	developers := fs.Int("developers", 420, "number of developer identities")
+	seed := fs.Uint64("seed", 20170815, "generation seed")
+	mode := fs.String("mode", string(core.ModeInProcess), "crawl mode: in-process or http")
+	experiment := fs.String("experiment", "", "render a single experiment (e.g. T4, F10); empty renders all")
+	outPath := fs.String("out", "", "write the report to this file instead of stdout")
+	malwareRate := fs.Float64("malware-rate", 0.14, "fraction of generated apps carrying a malware payload")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Synth.NumApps = *apps
+	cfg.Synth.NumDevelopers = *developers
+	cfg.Synth.Seed = *seed
+	cfg.Synth.MalwareRate = *malwareRate
+	cfg.Mode = core.Mode(*mode)
+
+	results, err := core.Run(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *outPath, err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	if *experiment != "" {
+		rendered, err := results.Render(strings.ToUpper(*experiment))
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(out, rendered)
+		return err
+	}
+	return results.WriteReport(out)
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-apps", "60", "-developers", "25", "-seed", "7", "-experiment", "t4",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table 4") || !strings.Contains(out, "Google Play") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	if strings.Contains(out, "Figure 1") {
+		t.Error("single-experiment run printed other artifacts")
+	}
+}
+
+func TestRunFullReportToFile(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "report.txt")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-apps", "60", "-developers", "25", "-seed", "7", "-out", outPath,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	report := string(data)
+	for _, want := range []string{"[T1]", "[T6]", "[F13]", "Table 3", "Figure 12"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Error("stdout should be empty when -out is used")
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-apps", "60", "-developers", "25", "-experiment", "T99"}, &buf)
+	if err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-apps", "2", "-developers", "25"}, &buf); err == nil {
+		t.Error("invalid synth config accepted")
+	}
+}

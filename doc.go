@@ -1,0 +1,32 @@
+// Package marketscope is a reproduction, in Go, of "Beyond Google Play: A
+// Large-Scale Comparative Study of Chinese Android App Markets" (Wang et al.,
+// IMC 2018).
+//
+// The repository contains everything the study needs, built from scratch on
+// the standard library:
+//
+//   - a synthetic ecosystem generator (internal/synth) that creates
+//     developers, apps, APKs and per-market listings whose distributions
+//     follow the paper's measurements,
+//   - simulators of Google Play and the 16 Chinese app markets
+//     (internal/market) with per-store indexing styles, rate limits and
+//     moderation behaviour, served over HTTP,
+//   - a crawler (internal/crawler) implementing the paper's BFS seeding and
+//     cross-market parallel-search collection strategy,
+//   - APK, manifest, dex and signing substrates (internal/apk et al.)
+//     standing in for apktool/Androguard/ApkSigner,
+//   - the analysis toolchain: LibRadar-style third-party library detection
+//     (internal/libdetect), WuKong-style clone detection and fake-app
+//     clustering (internal/clonedetect), PScout-style over-privilege
+//     analysis (internal/permissions), and a simulated VirusTotal with
+//     AVClass labeling (internal/avscan),
+//   - the study orchestration and experiment registry (internal/core,
+//     internal/analysis, internal/report) reproducing every table and
+//     figure of the paper.
+//
+// See README.md for a guided tour, DESIGN.md for the architecture and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured comparisons. The
+// bench harness in bench_test.go regenerates every table and figure:
+//
+//	go test -bench=. -benchmem
+package marketscope

@@ -1,0 +1,64 @@
+// Quickstart: run a small end-to-end study and print a handful of the
+// paper's headline comparisons.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"marketscope/internal/core"
+	"marketscope/internal/market"
+)
+
+func main() {
+	cfg := core.QuickConfig()
+	cfg.Synth.NumApps = 400
+	cfg.Synth.NumDevelopers = 150
+
+	results, err := core.Run(context.Background(), cfg)
+	if err != nil {
+		log.Fatalf("quickstart: %v", err)
+	}
+
+	fmt.Printf("Generated %d apps (%d listings) across %d markets in %s.\n\n",
+		len(results.Ecosystem.Apps), results.Dataset.NumListings(),
+		len(results.Dataset.Markets), results.Elapsed.Round(1e6))
+
+	// Headline comparison #1: malware prevalence (Table 4).
+	var gpMalware float64
+	var cnMalware = results.MalwareAvg.ShareAtLeast10
+	for _, row := range results.Malware {
+		if row.Market == market.GooglePlay {
+			gpMalware = row.ShareAtLeast10
+		}
+	}
+	fmt.Printf("Malware (AV-rank >= 10): Google Play %.1f%% vs Chinese markets %.1f%% on average.\n",
+		100*gpMalware, 100*cnMalware)
+
+	// Headline comparison #2: minimum API levels (Figure 3).
+	fmt.Printf("Apps with min API < 9:   Google Play %.1f%% vs Chinese markets %.1f%%.\n",
+		100*results.APILevelsGP.LowAPIShare, 100*results.APILevelsCN.LowAPIShare)
+
+	// Headline comparison #3: over-privileged apps (Figure 11).
+	fmt.Printf("Over-privileged apps:    Google Play %.1f%% vs Chinese markets %.1f%%.\n",
+		100*results.OverPrivGP.OverPrivilegedShare, 100*results.OverPrivCN.OverPrivilegedShare)
+
+	// Headline comparison #4: developer market split (Section 5.1).
+	fmt.Printf("Developers on Google Play absent from Chinese stores: %.1f%%.\n",
+		100*results.Publishing.GPDevsNotInChineseShare)
+	fmt.Printf("Developers on Chinese stores absent from Google Play: %.1f%%.\n\n",
+		100*results.Publishing.ChineseDevsNotOnGPShare)
+
+	// Render two full artifacts.
+	for _, id := range []string{"T4", "T6"} {
+		out, err := results.Render(id)
+		if err != nil {
+			log.Fatalf("render %s: %v", id, err)
+		}
+		fmt.Println(out)
+	}
+	fmt.Println("Run `go run ./cmd/study` for the complete report (every table and figure).")
+}

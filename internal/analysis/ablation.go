@@ -1,0 +1,129 @@
+package analysis
+
+import "marketscope/internal/market"
+
+// This file implements the ablation studies called out in DESIGN.md §5: the
+// sensitivity of the clone detector to its distance threshold and to
+// third-party library filtering, and the sensitivity of the malware
+// prevalence numbers to the AV-rank threshold. The paper fixes these knobs
+// (0.05, filtering enabled, AV-rank >= 10); the sweeps below quantify how
+// much the headline results depend on those choices.
+
+// CloneThresholdPoint is one point of the distance-threshold sweep.
+type CloneThresholdPoint struct {
+	Threshold float64
+	// AvgCodeCloneShare is Table 3's "CB clones" average across markets at
+	// this threshold.
+	AvgCodeCloneShare float64
+	// Pairs is the number of confirmed clone pairs; CandidatePairs the
+	// number that passed the vector phase before segment confirmation.
+	Pairs          int
+	CandidatePairs int
+}
+
+// CloneThresholdSweep re-runs code-clone detection at each distance threshold.
+func CloneThresholdSweep(d *Dataset, thresholds []float64) []CloneThresholdPoint {
+	d.mustEnrich()
+	if len(thresholds) == 0 {
+		thresholds = []float64{0.01, 0.05, 0.10, 0.20}
+	}
+	out := make([]CloneThresholdPoint, 0, len(thresholds))
+	for _, th := range thresholds {
+		opts := DefaultMisbehaviorOptions()
+		opts.Code.DistanceThreshold = th
+		res := Misbehavior(d, opts)
+		out = append(out, CloneThresholdPoint{
+			Threshold:         th,
+			AvgCodeCloneShare: res.AvgCodeShare,
+			Pairs:             len(res.CodeRes.Pairs),
+			CandidatePairs:    res.CodeRes.CandidatePairs,
+		})
+	}
+	return out
+}
+
+// LibraryFilteringComparison contrasts clone detection with and without
+// stripping detected third-party libraries from the feature vectors.
+type LibraryFilteringComparison struct {
+	WithFiltering    CloneThresholdPoint
+	WithoutFiltering CloneThresholdPoint
+}
+
+// CompareLibraryFiltering runs the code-clone detector in both modes at the
+// paper's threshold.
+func CompareLibraryFiltering(d *Dataset) LibraryFilteringComparison {
+	d.mustEnrich()
+	run := func(filter bool) CloneThresholdPoint {
+		opts := DefaultMisbehaviorOptions()
+		opts.FilterLibraries = filter
+		res := Misbehavior(d, opts)
+		return CloneThresholdPoint{
+			Threshold:         opts.Code.DistanceThreshold,
+			AvgCodeCloneShare: res.AvgCodeShare,
+			Pairs:             len(res.CodeRes.Pairs),
+			CandidatePairs:    res.CodeRes.CandidatePairs,
+		}
+	}
+	return LibraryFilteringComparison{
+		WithFiltering:    run(true),
+		WithoutFiltering: run(false),
+	}
+}
+
+// AVRankPoint is one point of the AV-rank threshold sweep.
+type AVRankPoint struct {
+	Threshold int
+	// GooglePlayShare is the share of Google Play's scanned apps flagged at
+	// this threshold; ChineseAvgShare the unweighted average across the
+	// Chinese markets.
+	GooglePlayShare float64
+	ChineseAvgShare float64
+	// Gap is the ratio ChineseAvgShare / GooglePlayShare (0 when Google
+	// Play has no flagged apps), the quantity the paper's conclusion rests
+	// on.
+	Gap float64
+}
+
+// AVRankSweep recomputes Table 4's headline comparison at each AV-rank
+// threshold.
+func AVRankSweep(d *Dataset, thresholds []int) []AVRankPoint {
+	d.mustEnrich()
+	if len(thresholds) == 0 {
+		thresholds = []int{1, 5, 10, 20, 30}
+	}
+	out := make([]AVRankPoint, 0, len(thresholds))
+	for _, th := range thresholds {
+		p := AVRankPoint{Threshold: th}
+		cnSum, cnMarkets := 0.0, 0
+		for _, m := range d.Markets {
+			flagged, parsed := 0, 0
+			for _, app := range d.AppsIn(m.Name) {
+				if app.AVReport == nil {
+					continue
+				}
+				parsed++
+				if app.AVReport.Flagged(th) {
+					flagged++
+				}
+			}
+			if parsed == 0 {
+				continue
+			}
+			share := float64(flagged) / float64(parsed)
+			if m.Name == market.GooglePlay {
+				p.GooglePlayShare = share
+			} else if m.IsChinese() {
+				cnSum += share
+				cnMarkets++
+			}
+		}
+		if cnMarkets > 0 {
+			p.ChineseAvgShare = cnSum / float64(cnMarkets)
+		}
+		if p.GooglePlayShare > 0 {
+			p.Gap = p.ChineseAvgShare / p.GooglePlayShare
+		}
+		out = append(out, p)
+	}
+	return out
+}

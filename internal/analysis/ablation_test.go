@@ -1,0 +1,65 @@
+package analysis
+
+import "testing"
+
+func TestCloneThresholdSweep(t *testing.T) {
+	f := testFixture(t)
+	points := CloneThresholdSweep(f.dataset, []float64{0.01, 0.05, 0.20})
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Loosening the threshold can only admit more candidate pairs.
+	for i := 1; i < len(points); i++ {
+		if points[i].CandidatePairs < points[i-1].CandidatePairs {
+			t.Errorf("candidate pairs decreased when loosening threshold: %+v", points)
+		}
+		if points[i].Threshold <= points[i-1].Threshold {
+			t.Errorf("thresholds not echoed in order: %+v", points)
+		}
+	}
+	// The default sweep must also work.
+	if got := CloneThresholdSweep(f.dataset, nil); len(got) == 0 {
+		t.Error("default sweep empty")
+	}
+}
+
+func TestCompareLibraryFiltering(t *testing.T) {
+	f := testFixture(t)
+	cmp := CompareLibraryFiltering(f.dataset)
+	if cmp.WithFiltering.Threshold != cmp.WithoutFiltering.Threshold {
+		t.Error("comparison ran at different thresholds")
+	}
+	// Shared library code makes unrelated apps look more alike, so removing
+	// the filter must not reduce the candidate set.
+	if cmp.WithoutFiltering.CandidatePairs < cmp.WithFiltering.CandidatePairs {
+		t.Errorf("library filtering should prune candidate pairs: with=%d without=%d",
+			cmp.WithFiltering.CandidatePairs, cmp.WithoutFiltering.CandidatePairs)
+	}
+}
+
+func TestAVRankSweep(t *testing.T) {
+	f := testFixture(t)
+	points := AVRankSweep(f.dataset, []int{1, 10, 20})
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		// Raising the threshold can only reduce flagged shares.
+		if points[i].GooglePlayShare > points[i-1].GooglePlayShare+1e-9 {
+			t.Errorf("GP share increased with threshold: %+v", points)
+		}
+		if points[i].ChineseAvgShare > points[i-1].ChineseAvgShare+1e-9 {
+			t.Errorf("Chinese share increased with threshold: %+v", points)
+		}
+	}
+	// At every threshold the Chinese average stays above Google Play.
+	for _, p := range points {
+		if p.ChineseAvgShare < p.GooglePlayShare {
+			t.Errorf("threshold %d: Chinese share (%.3f) below Google Play (%.3f)",
+				p.Threshold, p.ChineseAvgShare, p.GooglePlayShare)
+		}
+	}
+	if got := AVRankSweep(f.dataset, nil); len(got) != 5 {
+		t.Errorf("default sweep = %d points, want 5", len(got))
+	}
+}

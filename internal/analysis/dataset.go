@@ -1,0 +1,243 @@
+// Package analysis implements every measurement of the study over a crawl
+// snapshot: the market overview of Table 1, the catalog characterizations of
+// Section 4 (categories, downloads, API levels, release dates, third-party
+// libraries, ratings), the publishing dynamics of Section 5, the misbehaviour
+// analyses of Section 6 (fake apps, clones, over-privilege, malware) and the
+// post-analysis of Section 7 (malware removal between crawls).
+//
+// The entry point is BuildDataset, which parses every harvested APK, followed
+// by Enrich, which runs the third-party library detector, the permission-gap
+// analyzer and the simulated VirusTotal scan once per listing so individual
+// analyses can share the results.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"marketscope/internal/apk"
+	"marketscope/internal/appmeta"
+	"marketscope/internal/avscan"
+	"marketscope/internal/crawler"
+	"marketscope/internal/libdetect"
+	"marketscope/internal/market"
+	"marketscope/internal/permissions"
+)
+
+// App is one market listing with its parsed and enriched artifacts.
+type App struct {
+	Meta   appmeta.Record
+	Parsed *apk.Parsed
+	// ParseError records why the APK could not be parsed (corrupted or
+	// missing download); such listings still contribute to metadata-only
+	// analyses.
+	ParseError error
+
+	// Enrichment results (populated by Dataset.Enrich).
+	Libraries []libdetect.Detection
+	AVReport  *avscan.Report
+	PermUsage *permissions.Usage
+}
+
+// HasAPK reports whether the listing's APK was parsed successfully.
+func (a *App) HasAPK() bool { return a.Parsed != nil }
+
+// Category returns the consolidated category of the listing.
+func (a *App) Category() appmeta.Category {
+	return appmeta.ConsolidateCategory(a.Meta.Category)
+}
+
+// DeveloperID returns the best available developer identity: the signing
+// certificate fingerprint when the APK parsed, otherwise the market-reported
+// developer name.
+func (a *App) DeveloperID() string {
+	if a.Parsed != nil {
+		return a.Parsed.Developer().String()
+	}
+	return "name:" + a.Meta.DeveloperName
+}
+
+// Dataset is a parsed crawl snapshot ready for analysis.
+type Dataset struct {
+	CrawlTime time.Time
+	Markets   []market.Profile
+	Apps      []*App
+
+	byMarket map[string][]*App
+	enriched bool
+
+	// Detector state shared across analyses (populated by Enrich).
+	libDetector *libdetect.Detector
+	scanner     *avscan.Scanner
+}
+
+// BuildDataset parses every APK in the snapshot and organizes the listings
+// for analysis. Listings whose APK is missing or fails to parse are kept with
+// ParseError set, mirroring how the paper's metadata catalog (6.2 M apps) is
+// larger than its APK collection (4.5 M).
+func BuildDataset(snap *crawler.Snapshot) (*Dataset, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("analysis: nil snapshot")
+	}
+	d := &Dataset{
+		CrawlTime: snap.CrawlTime,
+		byMarket:  map[string][]*App{},
+	}
+	seenMarkets := map[string]bool{}
+	for _, rec := range snap.Records() {
+		app := &App{Meta: rec}
+		if data, ok := snap.APK(rec.Key()); ok {
+			parsed, err := apk.Parse(data)
+			if err != nil {
+				app.ParseError = err
+			} else {
+				app.Parsed = parsed
+			}
+		} else {
+			app.ParseError = fmt.Errorf("analysis: no APK harvested for %s/%s", rec.Market, rec.Package)
+		}
+		d.Apps = append(d.Apps, app)
+		d.byMarket[rec.Market] = append(d.byMarket[rec.Market], app)
+		seenMarkets[rec.Market] = true
+	}
+	// Attach profiles for the markets present, in canonical study order.
+	for _, p := range market.Profiles() {
+		if seenMarkets[p.Name] {
+			d.Markets = append(d.Markets, p)
+			delete(seenMarkets, p.Name)
+		}
+	}
+	// Unknown markets (not part of the 17-market study) are still analyzed,
+	// with a zero-value profile.
+	var extra []string
+	for name := range seenMarkets {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		d.Markets = append(d.Markets, market.Profile{Name: name})
+	}
+	return d, nil
+}
+
+// EnrichOptions tunes the enrichment pass.
+type EnrichOptions struct {
+	// ScannerSeed seeds the simulated AV engine pool.
+	ScannerSeed uint64
+	// Engines is the AV engine count (0 = default 62).
+	Engines int
+	// LibraryMinApps / LibraryMinDevelopers are the clustering thresholds
+	// for learning the library feature database.
+	LibraryMinApps       int
+	LibraryMinDevelopers int
+}
+
+// DefaultEnrichOptions returns the options used throughout the study.
+func DefaultEnrichOptions() EnrichOptions {
+	return EnrichOptions{ScannerSeed: 1, Engines: avscan.DefaultEngineCount, LibraryMinApps: 3, LibraryMinDevelopers: 2}
+}
+
+// Enrich runs the per-listing detectors: third-party library detection (with
+// a feature database learned from this very corpus, as the paper rebuilt
+// LibRadar's), the permission-gap analysis and the simulated VirusTotal scan.
+// Calling Enrich more than once is a no-op.
+func (d *Dataset) Enrich(opts EnrichOptions) {
+	if d.enriched {
+		return
+	}
+	if opts.Engines == 0 {
+		opts.Engines = avscan.DefaultEngineCount
+	}
+	// Pass 1: learn the library feature database from the whole corpus.
+	db := libdetect.NewFeatureDB(opts.LibraryMinApps, opts.LibraryMinDevelopers)
+	for _, app := range d.Apps {
+		if !app.HasAPK() {
+			continue
+		}
+		db.Observe(app.Parsed.Dex, app.Meta.Package, app.Parsed.Developer())
+	}
+	d.libDetector = libdetect.NewDetector(nil, db)
+	d.scanner = avscan.NewScanner(opts.ScannerSeed, opts.Engines)
+	permAnalyzer := permissions.NewAnalyzer(nil)
+
+	// Pass 2: per-listing detections. Scan results are cached by APK hash
+	// so identical archives listed in several markets are scanned once,
+	// which is also how VirusTotal deduplicates submissions.
+	scanCache := map[string]*avscan.Report{}
+	for _, app := range d.Apps {
+		if !app.HasAPK() {
+			continue
+		}
+		app.Libraries = d.libDetector.Detect(app.Parsed.Dex, app.Meta.Package)
+		if report, ok := scanCache[app.Parsed.SHA256]; ok {
+			app.AVReport = report
+		} else {
+			report = d.scanner.Scan(app.Parsed.SHA256, app.Parsed.Dex)
+			scanCache[app.Parsed.SHA256] = report
+			app.AVReport = report
+		}
+		app.PermUsage = permAnalyzer.Analyze(app.Parsed.Manifest, app.Parsed.Dex)
+	}
+	d.enriched = true
+}
+
+// Enriched reports whether Enrich has run.
+func (d *Dataset) Enriched() bool { return d.enriched }
+
+// LibraryDetector returns the detector built during enrichment (nil before
+// Enrich).
+func (d *Dataset) LibraryDetector() *libdetect.Detector { return d.libDetector }
+
+// MarketNames returns the market names present, Google Play first if present,
+// then the canonical Table 1 order.
+func (d *Dataset) MarketNames() []string {
+	out := make([]string, 0, len(d.Markets))
+	for _, m := range d.Markets {
+		out = append(out, m.Name)
+	}
+	return out
+}
+
+// AppsIn returns the listings of one market.
+func (d *Dataset) AppsIn(marketName string) []*App { return d.byMarket[marketName] }
+
+// NumListings returns the total number of listings.
+func (d *Dataset) NumListings() int { return len(d.Apps) }
+
+// ChineseApps returns all listings hosted by Chinese markets.
+func (d *Dataset) ChineseApps() []*App {
+	var out []*App
+	for _, m := range d.Markets {
+		if m.IsChinese() {
+			out = append(out, d.byMarket[m.Name]...)
+		}
+	}
+	return out
+}
+
+// GooglePlayApps returns the Google Play listings.
+func (d *Dataset) GooglePlayApps() []*App { return d.byMarket[market.GooglePlay] }
+
+// PackagesByMarket returns market -> set of packages, used by several
+// cross-market analyses.
+func (d *Dataset) PackagesByMarket() map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for name, apps := range d.byMarket {
+		set := map[string]bool{}
+		for _, a := range apps {
+			set[a.Meta.Package] = true
+		}
+		out[name] = set
+	}
+	return out
+}
+
+// mustEnrich panics if Enrich has not been called; analyses that depend on
+// detections call it so misuse fails loudly instead of silently returning
+// zeros.
+func (d *Dataset) mustEnrich() {
+	if !d.enriched {
+		panic("analysis: Enrich must be called before detector-backed analyses")
+	}
+}

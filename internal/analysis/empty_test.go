@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"marketscope/internal/appmeta"
+	"marketscope/internal/crawler"
+	"marketscope/internal/market"
+)
+
+// emptyDataset builds an enriched dataset with no listings; every analysis
+// must degrade gracefully (zero values, no panics, no division by zero).
+func emptyDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := BuildDataset(crawler.NewSnapshot(time.Date(2017, 8, 15, 0, 0, 0, 0, time.UTC)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Enrich(DefaultEnrichOptions())
+	return d
+}
+
+// metadataOnlyDataset builds a dataset whose snapshot has records but no APK
+// bytes, mirroring the paper's metadata-only listings (Google Play's rate
+// limiting prevented APK collection for most of its catalog).
+func metadataOnlyDataset(t *testing.T) *Dataset {
+	t.Helper()
+	snap := crawler.NewSnapshot(time.Date(2017, 8, 15, 0, 0, 0, 0, time.UTC))
+	recs := []appmeta.Record{
+		{Market: market.GooglePlay, Package: "com.meta.only", AppName: "Meta Only",
+			DeveloperName: "Dev", Category: "Tools", VersionCode: 3, VersionName: "1.2",
+			Downloads: 120_000, Rating: 4.1,
+			ReleaseDate: time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC),
+			UpdateDate:  time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)},
+		{Market: "Baidu Market", Package: "com.meta.only", AppName: "Meta Only",
+			DeveloperName: "Dev", Category: "Tools", VersionCode: 2, VersionName: "1.1",
+			Downloads: 4_000, Rating: 0,
+			ReleaseDate: time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC),
+			UpdateDate:  time.Date(2016, 9, 1, 0, 0, 0, 0, time.UTC)},
+	}
+	for _, r := range recs {
+		if err := snap.AddRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := BuildDataset(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Enrich(DefaultEnrichOptions())
+	return d
+}
+
+func TestAnalysesOnEmptyDataset(t *testing.T) {
+	d := emptyDataset(t)
+	if rows := MarketOverview(d); len(rows) != 0 {
+		t.Errorf("overview rows on empty dataset: %d", len(rows))
+	}
+	if got := Totals(d, nil); got.Apps != 0 || got.Developers != 0 {
+		t.Errorf("totals on empty dataset: %+v", got)
+	}
+	if got := Categories(d); len(got) != 0 {
+		t.Errorf("categories rows: %d", len(got))
+	}
+	gp, cn := APILevels(d)
+	if gp.Parsed != 0 || cn.Parsed != 0 {
+		t.Error("API levels invented data")
+	}
+	rgp, rcn := ReleaseDates(d)
+	if rgp.Total != 0 || rcn.Total != 0 {
+		t.Error("release dates invented data")
+	}
+	if got := Publishing(d); got.Developers != 0 {
+		t.Errorf("publishing invented developers: %+v", got)
+	}
+	if got := Clusters(d); got.MultiDeveloperShare != 0 || len(got.VersionsPerPackage) != 0 {
+		t.Errorf("clusters invented data: %+v", got)
+	}
+	if got := Outdated(d); len(got) != 0 {
+		t.Errorf("outdated rows: %d", len(got))
+	}
+	if got := IdenticalApps(d); got.Triples != 0 {
+		t.Errorf("identical apps invented triples: %+v", got)
+	}
+	if got := LibraryUsage(d); len(got) != 0 {
+		t.Errorf("library rows: %d", len(got))
+	}
+	if got := MalwarePrevalence(d); len(got) != 0 {
+		t.Errorf("malware rows: %d", len(got))
+	}
+	if got := TopMalware(d, 10); len(got) != 0 {
+		t.Errorf("top malware entries: %d", len(got))
+	}
+	gpFam, cnFam := MalwareFamilies(d, 10, 15)
+	if len(gpFam) != 0 || len(cnFam) != 0 {
+		t.Error("families invented data")
+	}
+	res := Misbehavior(d, DefaultMisbehaviorOptions())
+	if len(res.Rows) != 0 || len(res.CodeRes.Pairs) != 0 {
+		t.Errorf("misbehaviour invented data: %+v", res)
+	}
+	second := crawler.NewSnapshot(time.Now())
+	if got := PostAnalysis(d, second, 10); len(got) != 0 {
+		t.Errorf("post-analysis rows: %d", len(got))
+	}
+	if got := StillHosted(d, second, 10); got.GPRemovedMalware != 0 {
+		t.Errorf("still-hosted invented data: %+v", got)
+	}
+	if got := Radar(d, nil); len(got) != 0 {
+		t.Errorf("radar rows: %d", len(got))
+	}
+	if got := CloneThresholdSweep(d, nil); len(got) == 0 {
+		t.Error("sweep should still echo its thresholds")
+	}
+}
+
+func TestAnalysesOnMetadataOnlyDataset(t *testing.T) {
+	d := metadataOnlyDataset(t)
+	if d.NumListings() != 2 {
+		t.Fatalf("listings = %d", d.NumListings())
+	}
+	for _, app := range d.Apps {
+		if app.HasAPK() {
+			t.Fatal("metadata-only dataset should have no parsed APKs")
+		}
+		if app.ParseError == nil {
+			t.Error("missing APK should record a parse error")
+		}
+	}
+	// Metadata-backed analyses still work.
+	rows := MarketOverview(d)
+	if len(rows) != 2 {
+		t.Fatalf("overview rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Apps != 1 || r.APKs != 0 {
+			t.Errorf("row %s: %+v", r.Profile.Name, r)
+		}
+	}
+	outdated := Outdated(d)
+	byName := map[string]OutdatedRow{}
+	for _, r := range outdated {
+		byName[r.Market] = r
+	}
+	if byName[market.GooglePlay].UpToDateShare != 1 || byName["Baidu Market"].UpToDateShare != 0 {
+		t.Errorf("outdated analysis wrong on metadata-only dataset: %+v", outdated)
+	}
+	// APK-backed analyses degrade to empty rather than failing.
+	gp, cn := OverPrivilege(d)
+	if gp.Parsed != 0 || cn.Parsed != 0 {
+		t.Error("over-privilege invented parsed apps")
+	}
+	malware := MalwarePrevalence(d)
+	for _, r := range malware {
+		if r.Parsed != 0 {
+			t.Errorf("malware analysis scanned nonexistent APKs: %+v", r)
+		}
+	}
+}

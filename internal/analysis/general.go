@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"marketscope/internal/appmeta"
+	"marketscope/internal/market"
+	"marketscope/internal/stats"
+)
+
+// CategoryDistribution is one market's share per consolidated category
+// (one column of Figure 1).
+type CategoryDistribution struct {
+	Market string
+	Shares map[appmeta.Category]float64
+	// OtherShare is the share of listings whose market-native category
+	// could not be mapped (NULL, numeric placeholders, ...).
+	OtherShare float64
+}
+
+// Categories computes Figure 1: the distribution of consolidated app
+// categories per market.
+func Categories(d *Dataset) []CategoryDistribution {
+	var out []CategoryDistribution
+	for _, m := range d.Markets {
+		apps := d.AppsIn(m.Name)
+		dist := CategoryDistribution{Market: m.Name, Shares: map[appmeta.Category]float64{}}
+		if len(apps) == 0 {
+			out = append(out, dist)
+			continue
+		}
+		h := stats.NewHistogram()
+		for _, app := range apps {
+			h.Add(string(app.Category()))
+		}
+		for _, c := range appmeta.Categories() {
+			dist.Shares[c] = h.Share(string(c))
+		}
+		dist.OtherShare = dist.Shares[appmeta.CategoryOther]
+		out = append(out, dist)
+	}
+	return out
+}
+
+// DownloadRow is one row of Figure 2: a market's share of apps per install
+// range.
+type DownloadRow struct {
+	Market string
+	// Distribution has one share per Google-Play install range, in
+	// stats.DownloadBins order.
+	Distribution stats.DownloadDistribution
+	// Reported is the number of listings with a reported install count.
+	Reported int
+}
+
+// Downloads computes Figure 2: the normalized install-range distribution per
+// market. Markets that do not report installs (Xiaomi, App China) yield an
+// all-zero row, matching the blank rows of the paper's figure.
+func Downloads(d *Dataset) []DownloadRow {
+	var out []DownloadRow
+	for _, m := range d.Markets {
+		row := DownloadRow{Market: m.Name}
+		var installs []int64
+		for _, app := range d.AppsIn(m.Name) {
+			if app.Meta.ReportsDownloads() {
+				installs = append(installs, app.Meta.Downloads)
+			}
+		}
+		row.Reported = len(installs)
+		row.Distribution = stats.ComputeDownloadDistribution(installs)
+		out = append(out, row)
+	}
+	return out
+}
+
+// APILevelDistribution is Figure 3's data: the share of apps per declared
+// minimum API level, for one market group.
+type APILevelDistribution struct {
+	Group string
+	// Shares maps the minimum API level to its share of parsed apps.
+	Shares map[int]float64
+	// LowAPIShare is the share of apps with min API level below 9, the
+	// headline statistic of Section 4.3 (63% in Chinese stores vs 22% on
+	// Google Play).
+	LowAPIShare float64
+	Parsed      int
+}
+
+// APILevelsByMarket computes the min-API distribution for every market
+// individually (the box-plot population of Figure 3).
+func APILevelsByMarket(d *Dataset) map[string]APILevelDistribution {
+	out := map[string]APILevelDistribution{}
+	for _, m := range d.Markets {
+		out[m.Name] = apiLevels(m.Name, d.AppsIn(m.Name))
+	}
+	return out
+}
+
+// APILevels computes the Google Play vs Chinese-markets aggregate of
+// Figure 3.
+func APILevels(d *Dataset) (googlePlay, chinese APILevelDistribution) {
+	googlePlay = apiLevels("Google Play", d.GooglePlayApps())
+	chinese = apiLevels("Chinese markets", d.ChineseApps())
+	return googlePlay, chinese
+}
+
+func apiLevels(group string, apps []*App) APILevelDistribution {
+	dist := APILevelDistribution{Group: group, Shares: map[int]float64{}}
+	counts := map[int]int{}
+	low := 0
+	for _, app := range apps {
+		if !app.HasAPK() {
+			continue
+		}
+		level := app.Parsed.Manifest.MinSDK
+		counts[level]++
+		dist.Parsed++
+		if level < 9 {
+			low++
+		}
+	}
+	if dist.Parsed == 0 {
+		return dist
+	}
+	for level, n := range counts {
+		dist.Shares[level] = float64(n) / float64(dist.Parsed)
+	}
+	dist.LowAPIShare = float64(low) / float64(dist.Parsed)
+	return dist
+}
+
+// ReleaseDateBucket is one bucket of Figure 4's cumulative release/update
+// date distribution.
+type ReleaseDateBucket struct {
+	Label  string
+	Before time.Time
+}
+
+// ReleaseDateDistribution is the share of apps updated before each cut-off,
+// for one market group.
+type ReleaseDateDistribution struct {
+	Group  string
+	Shares map[string]float64
+	// RecentShare is the share updated within the 6 months before the
+	// crawl (23% for Google Play vs 5% for Chinese stores in the paper).
+	RecentShare float64
+	// StaleShare is the share not updated in the year before the crawl.
+	StaleShare float64
+	Total      int
+}
+
+// ReleaseDates computes Figure 4 for Google Play and the Chinese markets.
+func ReleaseDates(d *Dataset) (googlePlay, chinese ReleaseDateDistribution) {
+	return releaseDates("Google Play", d.GooglePlayApps(), d.CrawlTime),
+		releaseDates("Chinese markets", d.ChineseApps(), d.CrawlTime)
+}
+
+func releaseDates(group string, apps []*App, crawl time.Time) ReleaseDateDistribution {
+	if crawl.IsZero() {
+		crawl = time.Date(2017, 8, 15, 0, 0, 0, 0, time.UTC)
+	}
+	dist := ReleaseDateDistribution{Group: group, Shares: map[string]float64{}}
+	buckets := []ReleaseDateBucket{
+		{Label: "before 2014", Before: time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC)},
+		{Label: "before 2015", Before: time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)},
+		{Label: "before 2016", Before: time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)},
+		{Label: "before 2017", Before: time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)},
+		{Label: "before crawl", Before: crawl},
+	}
+	counts := make([]int, len(buckets))
+	recent, stale := 0, 0
+	for _, app := range apps {
+		update := app.Meta.UpdateDate
+		if update.IsZero() {
+			continue
+		}
+		dist.Total++
+		for i, b := range buckets {
+			if update.Before(b.Before) {
+				counts[i]++
+			}
+		}
+		if update.After(crawl.AddDate(0, -6, 0)) {
+			recent++
+		}
+		if update.Before(crawl.AddDate(-1, 0, 0)) {
+			stale++
+		}
+	}
+	if dist.Total == 0 {
+		return dist
+	}
+	for i, b := range buckets {
+		dist.Shares[b.Label] = float64(counts[i]) / float64(dist.Total)
+	}
+	dist.RecentShare = float64(recent) / float64(dist.Total)
+	dist.StaleShare = float64(stale) / float64(dist.Total)
+	return dist
+}
+
+// RatingDistribution is one market's user-rating profile (Figure 6).
+type RatingDistribution struct {
+	Market string
+	// UnratedShare is the fraction of listings with no rating (score 0).
+	UnratedShare float64
+	// HighShare is the fraction rated 4.0 or higher.
+	HighShare float64
+	// DefaultBandShare is the fraction rated in [2.5, 3.0], the band that
+	// exposes PC Online's default-rating behaviour.
+	DefaultBandShare float64
+	// CDF evaluates the rating CDF at half-star points 0, 0.5, ..., 5.
+	CDF []float64
+	// Points are the half-star evaluation points matching CDF.
+	Points []float64
+	Total  int
+}
+
+// Ratings computes Figure 6 for every market.
+func Ratings(d *Dataset) []RatingDistribution {
+	points := make([]float64, 0, 11)
+	for v := 0.0; v <= 5.0001; v += 0.5 {
+		points = append(points, v)
+	}
+	var out []RatingDistribution
+	for _, m := range d.Markets {
+		apps := d.AppsIn(m.Name)
+		dist := RatingDistribution{Market: m.Name, Points: points}
+		var ratings []float64
+		for _, app := range apps {
+			r := app.Meta.Rating
+			ratings = append(ratings, r)
+			switch {
+			case r <= 0:
+				dist.UnratedShare++
+			case r >= 4:
+				dist.HighShare++
+			}
+			if r >= 2.5 && r <= 3.0 {
+				dist.DefaultBandShare++
+			}
+		}
+		dist.Total = len(ratings)
+		if dist.Total > 0 {
+			dist.UnratedShare /= float64(dist.Total)
+			dist.HighShare /= float64(dist.Total)
+			dist.DefaultBandShare /= float64(dist.Total)
+			dist.CDF = stats.NewCDF(ratings).Series(points)
+		}
+		out = append(out, dist)
+	}
+	return out
+}
+
+// GroupMarkets splits the dataset's market names into Google Play and Chinese
+// stores; several figures aggregate by this grouping.
+func GroupMarkets(d *Dataset) (googlePlay []string, chinese []string) {
+	for _, m := range d.Markets {
+		if m.IsChinese() {
+			chinese = append(chinese, m.Name)
+		} else if m.Name == market.GooglePlay {
+			googlePlay = append(googlePlay, m.Name)
+		}
+	}
+	sort.Strings(chinese)
+	return googlePlay, chinese
+}

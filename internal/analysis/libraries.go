@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"sort"
+
+	"marketscope/internal/libdetect"
+	"marketscope/internal/market"
+)
+
+// LibraryUsageRow is one market's third-party library statistics
+// (Figure 5(a) and 5(b)).
+type LibraryUsageRow struct {
+	Market string
+	// ShareWithLibraries is the fraction of parsed apps embedding at least
+	// one third-party library.
+	ShareWithLibraries float64
+	// AvgLibraries is the mean number of libraries per parsed app.
+	AvgLibraries float64
+	// ShareWithAds is the fraction embedding at least one advertising
+	// library.
+	ShareWithAds float64
+	// AvgAdLibraries is the mean number of ad libraries per parsed app.
+	AvgAdLibraries float64
+	Parsed         int
+}
+
+// LibraryUsage computes Figure 5 for every market.
+func LibraryUsage(d *Dataset) []LibraryUsageRow {
+	d.mustEnrich()
+	var out []LibraryUsageRow
+	for _, m := range d.Markets {
+		row := LibraryUsageRow{Market: m.Name}
+		var withLibs, withAds, totalLibs, totalAds int
+		for _, app := range d.AppsIn(m.Name) {
+			if !app.HasAPK() {
+				continue
+			}
+			row.Parsed++
+			s := libdetect.Summarize(app.Libraries)
+			totalLibs += s.Total
+			totalAds += s.Ad
+			if s.Total > 0 {
+				withLibs++
+			}
+			if s.Ad > 0 {
+				withAds++
+			}
+		}
+		if row.Parsed > 0 {
+			row.ShareWithLibraries = float64(withLibs) / float64(row.Parsed)
+			row.ShareWithAds = float64(withAds) / float64(row.Parsed)
+			row.AvgLibraries = float64(totalLibs) / float64(row.Parsed)
+			row.AvgAdLibraries = float64(totalAds) / float64(row.Parsed)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// LibraryRank is one entry of Table 2: a library and the share of apps that
+// embed it.
+type LibraryRank struct {
+	Name     string
+	Prefix   string
+	Category libdetect.Category
+	Share    float64
+	Apps     int
+}
+
+// TopLibraries computes Table 2: the most common third-party libraries among
+// Google Play apps and among Chinese-market apps, ranked by the share of
+// parsed apps embedding them.
+func TopLibraries(d *Dataset, limit int) (googlePlay, chinese []LibraryRank) {
+	d.mustEnrich()
+	if limit <= 0 {
+		limit = 10
+	}
+	gpNames, cnNames := GroupMarkets(d)
+	googlePlay = rankLibraries(d, gpNames, limit)
+	chinese = rankLibraries(d, cnNames, limit)
+	return googlePlay, chinese
+}
+
+func rankLibraries(d *Dataset, markets []string, limit int) []LibraryRank {
+	type agg struct {
+		lib  libdetect.Library
+		apps int
+	}
+	counts := map[string]*agg{}
+	parsed := 0
+	for _, name := range markets {
+		for _, app := range d.AppsIn(name) {
+			if !app.HasAPK() {
+				continue
+			}
+			parsed++
+			seen := map[string]bool{}
+			for _, det := range app.Libraries {
+				key := det.Library.Name
+				if key == "" || key == "unknown" {
+					key = det.Prefix
+				}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				a, ok := counts[key]
+				if !ok {
+					a = &agg{lib: det.Library}
+					counts[key] = a
+				}
+				a.apps++
+			}
+		}
+	}
+	if parsed == 0 {
+		return nil
+	}
+	var out []LibraryRank
+	for name, a := range counts {
+		out = append(out, LibraryRank{
+			Name:     name,
+			Prefix:   a.lib.Prefix,
+			Category: a.lib.Category,
+			Share:    float64(a.apps) / float64(parsed),
+			Apps:     a.apps,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Apps != out[j].Apps {
+			return out[i].Apps > out[j].Apps
+		}
+		return out[i].Name < out[j].Name
+	})
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// AdEcosystemStats summarizes the concentration of the mobile ad market
+// (Section 4.4): Google AdMob dominates Google Play while the Chinese ad
+// ecosystem is decentralized.
+type AdEcosystemStats struct {
+	Group string
+	// TopAdShare is the share of ad-library embeddings held by the single
+	// most common ad library.
+	TopAdShare float64
+	// TopAdLibrary is that library's name.
+	TopAdLibrary string
+	// DistinctAdLibraries is how many different ad libraries appear.
+	DistinctAdLibraries int
+}
+
+// AdEcosystem computes the ad-market concentration for Google Play and the
+// Chinese markets.
+func AdEcosystem(d *Dataset) (googlePlay, chinese AdEcosystemStats) {
+	d.mustEnrich()
+	gpNames, cnNames := GroupMarkets(d)
+	return adEcosystem(d, "Google Play", gpNames), adEcosystem(d, "Chinese markets", cnNames)
+}
+
+func adEcosystem(d *Dataset, group string, markets []string) AdEcosystemStats {
+	counts := map[string]int{}
+	total := 0
+	for _, name := range markets {
+		for _, app := range d.AppsIn(name) {
+			if !app.HasAPK() {
+				continue
+			}
+			for _, det := range app.Libraries {
+				if det.IsAd() {
+					counts[det.Library.Name]++
+					total++
+				}
+			}
+		}
+	}
+	out := AdEcosystemStats{Group: group, DistinctAdLibraries: len(counts)}
+	if total == 0 {
+		return out
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if share := float64(counts[n]) / float64(total); share > out.TopAdShare {
+			out.TopAdShare = share
+			out.TopAdLibrary = n
+		}
+	}
+	return out
+}
+
+// ChineseSpecificLibraries returns the Chinese-market-specific libraries
+// (WeChat, Alipay, Umeng, Baidu, ...) present in the corpus with their
+// Chinese-market share, illustrating the paper's observation that Chinese
+// developers replace Google services with local equivalents.
+func ChineseSpecificLibraries(d *Dataset) []LibraryRank {
+	d.mustEnrich()
+	_, cnNames := GroupMarkets(d)
+	all := rankLibraries(d, cnNames, 1<<30)
+	var out []LibraryRank
+	catalog := libdetect.DefaultCatalog()
+	for _, r := range all {
+		if lib, ok := catalog.Lookup(r.Prefix); ok && lib.ChineseMarket {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// marketIsChinese reports whether the named market is one of the Chinese
+// stores in the dataset.
+func marketIsChinese(d *Dataset, name string) bool {
+	for _, m := range d.Markets {
+		if m.Name == name {
+			return m.IsChinese() && m.Name != market.GooglePlay
+		}
+	}
+	return false
+}

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"sort"
+
+	"marketscope/internal/clonedetect"
+	"marketscope/internal/permissions"
+)
+
+// MisbehaviorRow is one row of Table 3: the share of a market's listings
+// flagged as fake, signature-based clones and code-based clones.
+type MisbehaviorRow struct {
+	Market string
+	// FakeShare, SignatureCloneShare and CodeCloneShare are fractions of
+	// the market's listings.
+	FakeShare           float64
+	SignatureCloneShare float64
+	CodeCloneShare      float64
+	// Absolute counts behind the shares.
+	Fakes           int
+	SignatureClones int
+	CodeClones      int
+	Apps            int
+}
+
+// MisbehaviorOptions tunes the clone/fake detectors.
+type MisbehaviorOptions struct {
+	Fake clonedetect.FakeConfig
+	Code clonedetect.CodeConfig
+	// FilterLibraries strips detected third-party library code from the
+	// feature vectors before code-clone detection (the WuKong refinement);
+	// disabling it is the ablation case.
+	FilterLibraries bool
+}
+
+// DefaultMisbehaviorOptions returns the paper's settings.
+func DefaultMisbehaviorOptions() MisbehaviorOptions {
+	return MisbehaviorOptions{
+		Fake:            clonedetect.DefaultFakeConfig(),
+		Code:            clonedetect.DefaultCodeConfig(),
+		FilterLibraries: true,
+	}
+}
+
+// MisbehaviorResult bundles the three detectors' outputs plus the per-market
+// rows of Table 3 and the clone-source heatmap of Figure 10.
+type MisbehaviorResult struct {
+	Rows    []MisbehaviorRow
+	Fakes   *clonedetect.FakeResult
+	SigRes  *clonedetect.SignatureResult
+	CodeRes *clonedetect.CodeResult
+	// Heatmap[source][destination] counts code clones by market of origin
+	// and market of publication.
+	Heatmap map[string]map[string]int
+	// Averages across all markets (the "Average" row of Table 3).
+	AvgFakeShare float64
+	AvgSigShare  float64
+	AvgCodeShare float64
+}
+
+// Misbehavior runs the fake-app and clone detectors over the dataset and
+// assembles Table 3 and Figure 10.
+func Misbehavior(d *Dataset, opts MisbehaviorOptions) *MisbehaviorResult {
+	d.mustEnrich()
+	instances := cloneInstances(d, opts.FilterLibraries)
+
+	res := &MisbehaviorResult{
+		Fakes:   clonedetect.DetectFakes(instances, opts.Fake),
+		SigRes:  clonedetect.DetectSignatureClones(instances),
+		CodeRes: clonedetect.DetectCodeClones(instances, opts.Code),
+	}
+	res.Heatmap = res.CodeRes.SourceHeatmap()
+
+	fakeByMarket := res.Fakes.FakeByMarket()
+	sigByMarket := res.SigRes.CloneByMarket()
+	codeByMarket := res.CodeRes.CloneByMarket()
+
+	var sumFake, sumSig, sumCode float64
+	counted := 0
+	for _, m := range d.Markets {
+		apps := len(d.AppsIn(m.Name))
+		row := MisbehaviorRow{
+			Market:          m.Name,
+			Apps:            apps,
+			Fakes:           fakeByMarket[m.Name],
+			SignatureClones: sigByMarket[m.Name],
+			CodeClones:      codeByMarket[m.Name],
+		}
+		if apps > 0 {
+			row.FakeShare = float64(row.Fakes) / float64(apps)
+			row.SignatureCloneShare = float64(row.SignatureClones) / float64(apps)
+			row.CodeCloneShare = float64(row.CodeClones) / float64(apps)
+			sumFake += row.FakeShare
+			sumSig += row.SignatureCloneShare
+			sumCode += row.CodeCloneShare
+			counted++
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if counted > 0 {
+		res.AvgFakeShare = sumFake / float64(counted)
+		res.AvgSigShare = sumSig / float64(counted)
+		res.AvgCodeShare = sumCode / float64(counted)
+	}
+	return res
+}
+
+// cloneInstances converts the dataset's parsed listings into the clone
+// detector's input representation, optionally filtering library code.
+func cloneInstances(d *Dataset, filterLibraries bool) []*clonedetect.AppInstance {
+	var out []*clonedetect.AppInstance
+	for _, app := range d.Apps {
+		if !app.HasAPK() {
+			continue
+		}
+		var exclude []string
+		if filterLibraries {
+			for _, det := range app.Libraries {
+				exclude = append(exclude, det.Prefix)
+			}
+		}
+		code := app.Parsed.Dex
+		filtered := code
+		if len(exclude) > 0 {
+			filtered = code.WithoutPrefixes(exclude)
+		}
+		downloads := app.Meta.Downloads
+		if downloads < 0 {
+			downloads = 0
+		}
+		out = append(out, &clonedetect.AppInstance{
+			Market:    app.Meta.Market,
+			Package:   app.Meta.Package,
+			AppName:   app.Meta.AppName,
+			Downloads: downloads,
+			Developer: app.Parsed.Developer(),
+			Vector:    clonedetect.NewVector(filtered, nil),
+			Segments:  filtered.CodeSegments(),
+		})
+	}
+	return out
+}
+
+// OverPrivilegeStats is Figure 11's data for one market group.
+type OverPrivilegeStats struct {
+	Group string
+	// OverPrivilegedShare is the fraction of parsed apps requesting at
+	// least one unused permission (65% GP vs 82% Chinese in the paper).
+	OverPrivilegedShare float64
+	// Distribution maps the number of unused permissions (0..9, with 10
+	// standing for "10 or more") to the share of parsed apps.
+	Distribution map[int]float64
+	// TopUnused lists the most commonly unused dangerous permissions with
+	// their share among over-privileged apps.
+	TopUnused []PermissionShare
+	Parsed    int
+}
+
+// PermissionShare pairs a permission with a share.
+type PermissionShare struct {
+	Permission string
+	Share      float64
+}
+
+// OverPrivilege computes Figure 11 for Google Play and the Chinese markets.
+func OverPrivilege(d *Dataset) (googlePlay, chinese OverPrivilegeStats) {
+	d.mustEnrich()
+	return overPrivilege("Google Play", d.GooglePlayApps()),
+		overPrivilege("Chinese markets", d.ChineseApps())
+}
+
+// OverPrivilegeByMarket computes the per-market distributions backing the
+// box-plots of Figure 11.
+func OverPrivilegeByMarket(d *Dataset) map[string]OverPrivilegeStats {
+	d.mustEnrich()
+	out := map[string]OverPrivilegeStats{}
+	for _, m := range d.Markets {
+		out[m.Name] = overPrivilege(m.Name, d.AppsIn(m.Name))
+	}
+	return out
+}
+
+func overPrivilege(group string, apps []*App) OverPrivilegeStats {
+	out := OverPrivilegeStats{Group: group, Distribution: map[int]float64{}}
+	counts := map[int]int{}
+	over := 0
+	unusedCounts := map[string]int{}
+	for _, app := range apps {
+		if app.PermUsage == nil {
+			continue
+		}
+		out.Parsed++
+		n := app.PermUsage.OverPrivilegedCount()
+		bucket := n
+		if bucket > 10 {
+			bucket = 10
+		}
+		counts[bucket]++
+		if n > 0 {
+			over++
+			for _, p := range app.PermUsage.Unused {
+				if permissions.IsDangerous(p) {
+					unusedCounts[p]++
+				}
+			}
+		}
+	}
+	if out.Parsed == 0 {
+		return out
+	}
+	for bucket, n := range counts {
+		out.Distribution[bucket] = float64(n) / float64(out.Parsed)
+	}
+	out.OverPrivilegedShare = float64(over) / float64(out.Parsed)
+	perms := make([]string, 0, len(unusedCounts))
+	for p := range unusedCounts {
+		perms = append(perms, p)
+	}
+	sort.Slice(perms, func(i, j int) bool {
+		if unusedCounts[perms[i]] != unusedCounts[perms[j]] {
+			return unusedCounts[perms[i]] > unusedCounts[perms[j]]
+		}
+		return perms[i] < perms[j]
+	})
+	for i, p := range perms {
+		if i >= 5 {
+			break
+		}
+		share := float64(unusedCounts[p]) / float64(max(over, 1))
+		out.TopUnused = append(out.TopUnused, PermissionShare{Permission: p, Share: share})
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

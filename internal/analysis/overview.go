@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"sort"
+
+	"marketscope/internal/market"
+	"marketscope/internal/stats"
+)
+
+// MarketOverviewRow is one row of Table 1: the dataset size and developer
+// statistics of one market, combined with its declared features.
+type MarketOverviewRow struct {
+	Profile market.Profile
+	// Apps is the number of listings harvested from the market.
+	Apps int
+	// APKs is the number of listings whose APK was harvested and parsed.
+	APKs int
+	// AggregatedDownloads is the sum of install counts, estimated from the
+	// lower bound of each listing's install range as the paper does for
+	// Google Play.
+	AggregatedDownloads int64
+	// Developers is the number of distinct developer identities observed.
+	Developers int
+	// UniqueDeveloperShare is the fraction of this market's developers that
+	// publish in no other studied market.
+	UniqueDeveloperShare float64
+}
+
+// MarketOverview computes Table 1 for the dataset.
+func MarketOverview(d *Dataset) []MarketOverviewRow {
+	devsByMarket := map[string]map[string]bool{}
+	devMarketCount := map[string]map[string]bool{} // developer -> set of markets
+	for _, m := range d.Markets {
+		devsByMarket[m.Name] = map[string]bool{}
+	}
+	for _, m := range d.Markets {
+		for _, app := range d.AppsIn(m.Name) {
+			dev := app.DeveloperID()
+			devsByMarket[m.Name][dev] = true
+			if devMarketCount[dev] == nil {
+				devMarketCount[dev] = map[string]bool{}
+			}
+			devMarketCount[dev][m.Name] = true
+		}
+	}
+
+	var rows []MarketOverviewRow
+	for _, m := range d.Markets {
+		apps := d.AppsIn(m.Name)
+		row := MarketOverviewRow{Profile: m, Apps: len(apps)}
+		var installs []int64
+		for _, app := range apps {
+			if app.HasAPK() {
+				row.APKs++
+			}
+			if app.Meta.ReportsDownloads() {
+				installs = append(installs, app.Meta.Downloads)
+			}
+		}
+		row.AggregatedDownloads = stats.AggregateDownloadsLowerBound(installs)
+		devs := devsByMarket[m.Name]
+		row.Developers = len(devs)
+		unique := 0
+		for dev := range devs {
+			if len(devMarketCount[dev]) == 1 {
+				unique++
+			}
+		}
+		if row.Developers > 0 {
+			row.UniqueDeveloperShare = float64(unique) / float64(row.Developers)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// OverviewTotals aggregates Table 1's bottom line.
+type OverviewTotals struct {
+	Apps                int
+	APKs                int
+	AggregatedDownloads int64
+	Developers          int
+	// GooglePlayDownloads and ChineseDownloads split the aggregate between
+	// Google Play and the 16 Chinese stores; the paper highlights that the
+	// Chinese aggregate is roughly three times Google Play's.
+	GooglePlayDownloads int64
+	ChineseDownloads    int64
+}
+
+// Totals computes the dataset-wide aggregate line of Table 1.
+func Totals(d *Dataset, rows []MarketOverviewRow) OverviewTotals {
+	var t OverviewTotals
+	devs := map[string]bool{}
+	for _, app := range d.Apps {
+		devs[app.DeveloperID()] = true
+	}
+	t.Developers = len(devs)
+	for _, row := range rows {
+		t.Apps += row.Apps
+		t.APKs += row.APKs
+		t.AggregatedDownloads += row.AggregatedDownloads
+		if row.Profile.IsChinese() {
+			t.ChineseDownloads += row.AggregatedDownloads
+		} else {
+			t.GooglePlayDownloads += row.AggregatedDownloads
+		}
+	}
+	return t
+}
+
+// TopShareStats captures the download-concentration statistics of
+// Section 4.2: the share of total downloads contributed by the top 0.1% and
+// top 1% of apps in a market.
+type TopShareStats struct {
+	Market         string
+	TopTenthPct    float64 // share held by the top 0.1% of apps
+	TopOnePct      float64 // share held by the top 1% of apps
+	Gini           float64
+	MedianInstalls float64
+}
+
+// DownloadConcentration computes per-market download concentration.
+func DownloadConcentration(d *Dataset) []TopShareStats {
+	var out []TopShareStats
+	for _, m := range d.Markets {
+		var installs []float64
+		for _, app := range d.AppsIn(m.Name) {
+			if app.Meta.ReportsDownloads() {
+				installs = append(installs, float64(app.Meta.Downloads))
+			}
+		}
+		if len(installs) == 0 {
+			out = append(out, TopShareStats{Market: m.Name})
+			continue
+		}
+		sort.Float64s(installs)
+		out = append(out, TopShareStats{
+			Market:         m.Name,
+			TopTenthPct:    stats.TopShare(installs, 0.001),
+			TopOnePct:      stats.TopShare(installs, 0.01),
+			Gini:           stats.Gini(installs),
+			MedianInstalls: stats.NewCDF(installs).Quantile(0.5),
+		})
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"marketscope/internal/appmeta"
+	"marketscope/internal/crawler"
+	"marketscope/internal/market"
+)
+
+// RemovalRow is one row of Table 6: how a market's catalog changed between
+// the two crawls with respect to the malware identified in the first crawl.
+type RemovalRow struct {
+	Market string
+	// FlaggedFirstCrawl is the number of listings flagged (AV-rank >=
+	// threshold) in the first crawl.
+	FlaggedFirstCrawl int
+	// RemovedShare is the fraction of those listings absent from the second
+	// crawl.
+	RemovedShare float64
+	// OverlappedWithGPRM is the number of this market's flagged listings
+	// whose package was also flagged on Google Play AND removed from Google
+	// Play between the crawls.
+	OverlappedWithGPRM int
+	// RemovedShareOfGPRM is the fraction of the overlap that this market
+	// also removed.
+	RemovedShareOfGPRM float64
+}
+
+// PostAnalysis compares the first-crawl dataset with a second-crawl snapshot
+// and computes Table 6. threshold is the AV-rank cut-off (10 in the paper).
+func PostAnalysis(first *Dataset, second *crawler.Snapshot, threshold int) []RemovalRow {
+	first.mustEnrich()
+	if threshold <= 0 {
+		threshold = 10
+	}
+
+	// Google Play removed malware (GPRM): packages flagged on Google Play
+	// in the first crawl and absent from Google Play in the second.
+	gprm := map[string]bool{}
+	for _, app := range first.GooglePlayApps() {
+		if app.AVReport == nil || !app.AVReport.Flagged(threshold) {
+			continue
+		}
+		if !second.Has(appmeta.Key{Market: market.GooglePlay, Package: app.Meta.Package}) {
+			gprm[app.Meta.Package] = true
+		}
+	}
+
+	var rows []RemovalRow
+	for _, m := range first.Markets {
+		row := RemovalRow{Market: m.Name}
+		removed := 0
+		overlapRemoved := 0
+		for _, app := range first.AppsIn(m.Name) {
+			if app.AVReport == nil || !app.AVReport.Flagged(threshold) {
+				continue
+			}
+			row.FlaggedFirstCrawl++
+			gone := !second.Has(appmeta.Key{Market: m.Name, Package: app.Meta.Package})
+			if gone {
+				removed++
+			}
+			if m.Name != market.GooglePlay && gprm[app.Meta.Package] {
+				row.OverlappedWithGPRM++
+				if gone {
+					overlapRemoved++
+				}
+			}
+		}
+		if row.FlaggedFirstCrawl > 0 {
+			row.RemovedShare = float64(removed) / float64(row.FlaggedFirstCrawl)
+		}
+		if row.OverlappedWithGPRM > 0 {
+			row.RemovedShareOfGPRM = float64(overlapRemoved) / float64(row.OverlappedWithGPRM)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// StillHostedStats summarizes how much of the malware removed from Google
+// Play remains available on Chinese stores after the second crawl
+// (Section 7: over 70% in the paper).
+type StillHostedStats struct {
+	GPRemovedMalware int
+	// StillHostedSomewhere is how many of those packages remain listed in
+	// at least one Chinese market in the second crawl.
+	StillHostedSomewhere int
+	Share                float64
+}
+
+// StillHosted computes the persistence of Google-Play-removed malware on
+// Chinese stores.
+func StillHosted(first *Dataset, second *crawler.Snapshot, threshold int) StillHostedStats {
+	first.mustEnrich()
+	if threshold <= 0 {
+		threshold = 10
+	}
+	gprm := map[string]bool{}
+	for _, app := range first.GooglePlayApps() {
+		if app.AVReport == nil || !app.AVReport.Flagged(threshold) {
+			continue
+		}
+		if !second.Has(appmeta.Key{Market: market.GooglePlay, Package: app.Meta.Package}) {
+			gprm[app.Meta.Package] = true
+		}
+	}
+	_, chinese := GroupMarkets(first)
+	var out StillHostedStats
+	out.GPRemovedMalware = len(gprm)
+	for pkg := range gprm {
+		for _, m := range chinese {
+			if second.Has(appmeta.Key{Market: m, Package: pkg}) {
+				out.StillHostedSomewhere++
+				break
+			}
+		}
+	}
+	if out.GPRemovedMalware > 0 {
+		out.Share = float64(out.StillHostedSomewhere) / float64(out.GPRemovedMalware)
+	}
+	return out
+}

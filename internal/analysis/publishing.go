@@ -1,0 +1,339 @@
+package analysis
+
+import (
+	"sort"
+
+	"marketscope/internal/market"
+	"marketscope/internal/stats"
+)
+
+// PublishingStats captures the developer-level publishing dynamics of
+// Section 5.1 and Figure 7.
+type PublishingStats struct {
+	// Developers is the number of distinct developer identities.
+	Developers int
+	// MarketsPerDeveloperCDF evaluates the CDF of markets-per-developer at
+	// 1..17 markets.
+	MarketsPerDeveloperCDF []float64
+	// SingleMarketShare is the fraction of developers publishing in exactly
+	// one market.
+	SingleMarketShare float64
+	// AllMarketsCount is the number of developers present in every studied
+	// market.
+	AllMarketsCount int
+	// GPDevsNotInChineseShare is, among developers present on Google Play,
+	// the fraction absent from every Chinese store (57% in the paper).
+	GPDevsNotInChineseShare float64
+	// ChineseDevsNotOnGPShare is, among developers present on Chinese
+	// stores, the fraction absent from Google Play (~48%).
+	ChineseDevsNotOnGPShare float64
+}
+
+// Publishing computes the developer market-coverage statistics.
+func Publishing(d *Dataset) PublishingStats {
+	devMarkets := map[string]map[string]bool{}
+	for _, m := range d.Markets {
+		for _, app := range d.AppsIn(m.Name) {
+			dev := app.DeveloperID()
+			if devMarkets[dev] == nil {
+				devMarkets[dev] = map[string]bool{}
+			}
+			devMarkets[dev][m.Name] = true
+		}
+	}
+	out := PublishingStats{Developers: len(devMarkets)}
+	if len(devMarkets) == 0 {
+		return out
+	}
+	var counts []float64
+	single, all := 0, 0
+	gpDevs, gpOnly, cnDevs, cnOnly := 0, 0, 0, 0
+	numMarkets := len(d.Markets)
+	for _, markets := range devMarkets {
+		n := len(markets)
+		counts = append(counts, float64(n))
+		if n == 1 {
+			single++
+		}
+		if n == numMarkets && numMarkets > 1 {
+			all++
+		}
+		onGP := markets[market.GooglePlay]
+		chineseCount := n
+		if onGP {
+			chineseCount--
+		}
+		if onGP {
+			gpDevs++
+			if chineseCount == 0 {
+				gpOnly++
+			}
+		}
+		if chineseCount > 0 {
+			cnDevs++
+			if !onGP {
+				cnOnly++
+			}
+		}
+	}
+	cdfPoints := make([]float64, 0, market.NumMarkets())
+	for i := 1; i <= market.NumMarkets(); i++ {
+		cdfPoints = append(cdfPoints, float64(i))
+	}
+	out.MarketsPerDeveloperCDF = stats.NewCDF(counts).Series(cdfPoints)
+	out.SingleMarketShare = float64(single) / float64(len(devMarkets))
+	out.AllMarketsCount = all
+	if gpDevs > 0 {
+		out.GPDevsNotInChineseShare = float64(gpOnly) / float64(gpDevs)
+	}
+	if cnDevs > 0 {
+		out.ChineseDevsNotOnGPShare = float64(cnOnly) / float64(cnDevs)
+	}
+	return out
+}
+
+// StoreOverlapRow summarizes single- vs multi-store publication for one
+// market (Section 5.2).
+type StoreOverlapRow struct {
+	Market string
+	// SingleStoreShare is the fraction of this market's apps found in no
+	// other studied market.
+	SingleStoreShare float64
+	// SharedWithGooglePlayShare is the fraction also present on Google
+	// Play.
+	SharedWithGooglePlayShare float64
+	Apps                      int
+}
+
+// StoreOverlap computes single-/multi-store shares per market.
+func StoreOverlap(d *Dataset) []StoreOverlapRow {
+	pkgMarkets := map[string]map[string]bool{}
+	for _, m := range d.Markets {
+		for _, app := range d.AppsIn(m.Name) {
+			if pkgMarkets[app.Meta.Package] == nil {
+				pkgMarkets[app.Meta.Package] = map[string]bool{}
+			}
+			pkgMarkets[app.Meta.Package][m.Name] = true
+		}
+	}
+	var out []StoreOverlapRow
+	for _, m := range d.Markets {
+		apps := d.AppsIn(m.Name)
+		row := StoreOverlapRow{Market: m.Name, Apps: len(apps)}
+		if len(apps) == 0 {
+			out = append(out, row)
+			continue
+		}
+		single, sharedGP := 0, 0
+		for _, app := range apps {
+			markets := pkgMarkets[app.Meta.Package]
+			if len(markets) == 1 {
+				single++
+			}
+			if m.Name != market.GooglePlay && markets[market.GooglePlay] {
+				sharedGP++
+			}
+		}
+		row.SingleStoreShare = float64(single) / float64(len(apps))
+		row.SharedWithGooglePlayShare = float64(sharedGP) / float64(len(apps))
+		out = append(out, row)
+	}
+	return out
+}
+
+// ClusterCDFs holds the three distributions of Figure 8.
+type ClusterCDFs struct {
+	// VersionsPerPackage evaluates, at 1..14, the CDF of the number of
+	// distinct version codes observed per package across markets.
+	VersionsPerPackage []float64
+	// NameClusterSize evaluates, at 1..120 (sampled points), the CDF of
+	// same-name cluster sizes.
+	NameClusterSizePoints []float64
+	NameClusterSize       []float64
+	// DevelopersPerPackage evaluates, at 1..11, the CDF of distinct
+	// developer signatures per package.
+	DevelopersPerPackage []float64
+	// MultiVersionShare is the share of packages listed with more than one
+	// version simultaneously (≈14% in the paper).
+	MultiVersionShare float64
+	// MultiDeveloperShare is the share of packages signed by 2+ developers
+	// (≈12% in the paper).
+	MultiDeveloperShare float64
+	// SameNameShare is the share of apps sharing their name with another
+	// package (≈22% in the paper).
+	SameNameShare float64
+}
+
+// Clusters computes Figure 8's three CDFs.
+func Clusters(d *Dataset) ClusterCDFs {
+	versionsPerPkg := map[string]map[int64]bool{}
+	devsPerPkg := map[string]map[string]bool{}
+	namesToPkgs := map[string]map[string]bool{}
+	for _, app := range d.Apps {
+		pkg := app.Meta.Package
+		if versionsPerPkg[pkg] == nil {
+			versionsPerPkg[pkg] = map[int64]bool{}
+			devsPerPkg[pkg] = map[string]bool{}
+		}
+		versionsPerPkg[pkg][app.Meta.VersionCode] = true
+		devsPerPkg[pkg][app.DeveloperID()] = true
+		name := app.Meta.AppName
+		if name != "" {
+			if namesToPkgs[name] == nil {
+				namesToPkgs[name] = map[string]bool{}
+			}
+			namesToPkgs[name][pkg] = true
+		}
+	}
+
+	var out ClusterCDFs
+	if len(versionsPerPkg) == 0 {
+		return out
+	}
+	var versionCounts, devCounts []float64
+	multiVersion, multiDev := 0, 0
+	for pkg := range versionsPerPkg {
+		v := len(versionsPerPkg[pkg])
+		dcount := len(devsPerPkg[pkg])
+		versionCounts = append(versionCounts, float64(v))
+		devCounts = append(devCounts, float64(dcount))
+		if v > 1 {
+			multiVersion++
+		}
+		if dcount > 1 {
+			multiDev++
+		}
+	}
+	versionPoints := seq(1, 14)
+	devPoints := seq(1, 11)
+	out.VersionsPerPackage = stats.NewCDF(versionCounts).Series(versionPoints)
+	out.DevelopersPerPackage = stats.NewCDF(devCounts).Series(devPoints)
+	out.MultiVersionShare = float64(multiVersion) / float64(len(versionsPerPkg))
+	out.MultiDeveloperShare = float64(multiDev) / float64(len(versionsPerPkg))
+
+	// Name clusters: size = number of distinct packages sharing a name.
+	var clusterSizes []float64
+	appsInMultiPkgNames := 0
+	totalPkgs := len(versionsPerPkg)
+	pkgInMultiName := map[string]bool{}
+	for _, pkgs := range namesToPkgs {
+		clusterSizes = append(clusterSizes, float64(len(pkgs)))
+		if len(pkgs) > 1 {
+			for p := range pkgs {
+				pkgInMultiName[p] = true
+			}
+		}
+	}
+	appsInMultiPkgNames = len(pkgInMultiName)
+	out.NameClusterSizePoints = []float64{1, 2, 3, 5, 10, 19, 28, 37, 46, 64, 91, 120}
+	out.NameClusterSize = stats.NewCDF(clusterSizes).Series(out.NameClusterSizePoints)
+	if totalPkgs > 0 {
+		out.SameNameShare = float64(appsInMultiPkgNames) / float64(totalPkgs)
+	}
+	return out
+}
+
+func seq(lo, hi int) []float64 {
+	out := make([]float64, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}
+
+// OutdatedRow is one bar of Figure 9: the share of a market's multi-store
+// apps that carry the highest version observed anywhere for that package.
+type OutdatedRow struct {
+	Market string
+	// UpToDateShare is the share of the market's multi-store apps whose
+	// listed version equals the maximum across markets.
+	UpToDateShare float64
+	// MultiStoreApps is the number of apps considered (single-store apps
+	// are excluded, being trivially up to date).
+	MultiStoreApps int
+}
+
+// Outdated computes Figure 9.
+func Outdated(d *Dataset) []OutdatedRow {
+	maxVersion := map[string]int64{}
+	marketsPerPkg := map[string]int{}
+	for _, app := range d.Apps {
+		pkg := app.Meta.Package
+		marketsPerPkg[pkg]++
+		if app.Meta.VersionCode > maxVersion[pkg] {
+			maxVersion[pkg] = app.Meta.VersionCode
+		}
+	}
+	var out []OutdatedRow
+	for _, m := range d.Markets {
+		row := OutdatedRow{Market: m.Name}
+		upToDate := 0
+		for _, app := range d.AppsIn(m.Name) {
+			if marketsPerPkg[app.Meta.Package] < 2 {
+				continue
+			}
+			row.MultiStoreApps++
+			if app.Meta.VersionCode >= maxVersion[app.Meta.Package] {
+				upToDate++
+			}
+		}
+		if row.MultiStoreApps > 0 {
+			row.UpToDateShare = float64(upToDate) / float64(row.MultiStoreApps)
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UpToDateShare > out[j].UpToDateShare })
+	return out
+}
+
+// IdenticalAppStats quantifies Section 5.3: apps whose package, version and
+// developer match across markets but whose archive hashes differ (channel
+// files, store-mandated repacking).
+type IdenticalAppStats struct {
+	// Triples is the number of (package, version, developer) triples
+	// observed in more than one market with APKs parsed.
+	Triples int
+	// HashMismatchTriples is how many of those triples have at least two
+	// distinct archive hashes.
+	HashMismatchTriples int
+}
+
+// IdenticalApps computes the store-introduced-difference statistics.
+func IdenticalApps(d *Dataset) IdenticalAppStats {
+	type tripleKey struct {
+		pkg     string
+		version int64
+		dev     string
+	}
+	type tripleStats struct {
+		listings int
+		hashes   map[string]bool
+	}
+	triples := map[tripleKey]*tripleStats{}
+	for _, app := range d.Apps {
+		if !app.HasAPK() {
+			continue
+		}
+		key := tripleKey{pkg: app.Meta.Package, version: app.Parsed.Manifest.VersionCode, dev: app.DeveloperID()}
+		ts, ok := triples[key]
+		if !ok {
+			ts = &tripleStats{hashes: map[string]bool{}}
+			triples[key] = ts
+		}
+		ts.listings++
+		ts.hashes[app.Parsed.MD5] = true
+	}
+	var out IdenticalAppStats
+	for _, ts := range triples {
+		// Only triples listed in more than one market are interesting;
+		// single listings cannot exhibit cross-market differences.
+		if ts.listings < 2 {
+			continue
+		}
+		out.Triples++
+		if len(ts.hashes) > 1 {
+			out.HashMismatchTriples++
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import "sort"
+
+// RadarMetric names one axis of Figure 13's multi-dimensional market
+// comparison.
+type RadarMetric string
+
+// The radar axes. Every metric is normalized to [0, 100] across the markets
+// being compared, higher meaning "more/better on that axis" exactly as in the
+// paper's figure (e.g. a high Malware value means a high malware share).
+const (
+	MetricCatalogSize   RadarMetric = "catalog size"
+	MetricDownloads     RadarMetric = "aggregated downloads"
+	MetricHighRatings   RadarMetric = "highly rated apps"
+	MetricMalware       RadarMetric = "malware share"
+	MetricFakes         RadarMetric = "fake app share"
+	MetricClones        RadarMetric = "cloned app share"
+	MetricOutdated      RadarMetric = "outdated app share"
+	MetricRecentUpdates RadarMetric = "recently updated share"
+)
+
+// RadarRow is one market's normalized metric vector.
+type RadarRow struct {
+	Market string
+	Values map[RadarMetric]float64
+}
+
+// Radar computes Figure 13 for the selected markets (nil means the five
+// markets the paper plots: Google Play, Tencent, PC Online, Huawei, Lenovo).
+func Radar(d *Dataset, selected []string) []RadarRow {
+	d.mustEnrich()
+	if len(selected) == 0 {
+		selected = []string{"Google Play", "Tencent Myapp", "PC Online", "Huawei Market", "Lenovo MM"}
+	}
+	present := map[string]bool{}
+	for _, m := range d.Markets {
+		present[m.Name] = true
+	}
+	var markets []string
+	for _, name := range selected {
+		if present[name] {
+			markets = append(markets, name)
+		}
+	}
+	sort.Strings(markets)
+
+	overview := MarketOverview(d)
+	overviewByMarket := map[string]MarketOverviewRow{}
+	for _, row := range overview {
+		overviewByMarket[row.Profile.Name] = row
+	}
+	ratings := Ratings(d)
+	ratingByMarket := map[string]RatingDistribution{}
+	for _, r := range ratings {
+		ratingByMarket[r.Market] = r
+	}
+	malware := MalwarePrevalence(d)
+	malwareByMarket := map[string]MalwareRow{}
+	for _, r := range malware {
+		malwareByMarket[r.Market] = r
+	}
+	mis := Misbehavior(d, DefaultMisbehaviorOptions())
+	misByMarket := map[string]MisbehaviorRow{}
+	for _, r := range mis.Rows {
+		misByMarket[r.Market] = r
+	}
+	outdated := Outdated(d)
+	outdatedByMarket := map[string]OutdatedRow{}
+	for _, r := range outdated {
+		outdatedByMarket[r.Market] = r
+	}
+
+	raw := map[string]map[RadarMetric]float64{}
+	crawl := d.CrawlTime
+	for _, name := range markets {
+		apps := d.AppsIn(name)
+		recent := 0
+		for _, app := range apps {
+			if !app.Meta.UpdateDate.IsZero() && app.Meta.UpdateDate.After(crawl.AddDate(0, -6, 0)) {
+				recent++
+			}
+		}
+		recentShare := 0.0
+		if len(apps) > 0 {
+			recentShare = float64(recent) / float64(len(apps))
+		}
+		raw[name] = map[RadarMetric]float64{
+			MetricCatalogSize:   float64(overviewByMarket[name].Apps),
+			MetricDownloads:     float64(overviewByMarket[name].AggregatedDownloads),
+			MetricHighRatings:   ratingByMarket[name].HighShare,
+			MetricMalware:       malwareByMarket[name].ShareAtLeast10,
+			MetricFakes:         misByMarket[name].FakeShare,
+			MetricClones:        misByMarket[name].CodeCloneShare,
+			MetricOutdated:      1 - outdatedByMarket[name].UpToDateShare,
+			MetricRecentUpdates: recentShare,
+		}
+	}
+
+	metrics := []RadarMetric{
+		MetricCatalogSize, MetricDownloads, MetricHighRatings, MetricMalware,
+		MetricFakes, MetricClones, MetricOutdated, MetricRecentUpdates,
+	}
+	// Normalize each metric to [0, 100] across the selected markets.
+	var rows []RadarRow
+	for _, name := range markets {
+		rows = append(rows, RadarRow{Market: name, Values: map[RadarMetric]float64{}})
+	}
+	for _, metric := range metrics {
+		maxVal := 0.0
+		for _, name := range markets {
+			if v := raw[name][metric]; v > maxVal {
+				maxVal = v
+			}
+		}
+		for i, name := range markets {
+			if maxVal > 0 {
+				rows[i].Values[metric] = 100 * raw[name][metric] / maxVal
+			} else {
+				rows[i].Values[metric] = 0
+			}
+		}
+	}
+	return rows
+}

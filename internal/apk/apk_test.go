@@ -1,0 +1,320 @@
+package apk
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"marketscope/internal/dex"
+	"marketscope/internal/manifest"
+	"marketscope/internal/signing"
+)
+
+func sampleAPK() *APK {
+	return &APK{
+		Manifest: &manifest.Manifest{
+			Package:     "com.example.player",
+			VersionCode: 870,
+			VersionName: "8.7.0",
+			MinSDK:      14,
+			TargetSDK:   23,
+			AppLabel:    "Example Player",
+			Permissions: []string{"android.permission.INTERNET", "android.permission.READ_PHONE_STATE"},
+		},
+		Dex: &dex.File{Classes: []dex.Class{
+			{Name: "com.example.player.MainActivity", Methods: []dex.Method{
+				{Name: "onCreate", APICalls: []string{"android.app.Activity.onCreate"}},
+			}},
+			{Name: "com.umeng.analytics.MobclickAgent", Methods: []dex.Method{
+				{Name: "onEvent", APICalls: []string{"android.telephony.TelephonyManager.getDeviceId"}},
+			}},
+		}},
+		Channel:   map[string]string{"kgchannel": "wandoujia"},
+		Resources: []byte("resources-blob"),
+		Assets:    map[string][]byte{"config.json": []byte(`{"region":"cn"}`)},
+	}
+}
+
+func TestBuildAndParseRoundTrip(t *testing.T) {
+	dev := signing.NewDeveloper("Example Inc", 101)
+	data, err := Build(sampleAPK(), dev)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	parsed, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if parsed.Manifest.Package != "com.example.player" {
+		t.Errorf("package = %q", parsed.Manifest.Package)
+	}
+	if parsed.Manifest.VersionCode != 870 {
+		t.Errorf("version code = %d", parsed.Manifest.VersionCode)
+	}
+	if parsed.Dex.NumClasses() != 2 {
+		t.Errorf("dex classes = %d", parsed.Dex.NumClasses())
+	}
+	if parsed.Developer() != dev.Fingerprint() {
+		t.Error("developer fingerprint mismatch")
+	}
+	if parsed.Channel["kgchannel"] != "wandoujia" {
+		t.Errorf("channel = %v", parsed.Channel)
+	}
+	if parsed.Size != len(data) {
+		t.Errorf("size = %d, want %d", parsed.Size, len(data))
+	}
+	if len(parsed.MD5) != 32 || len(parsed.SHA256) != 64 {
+		t.Errorf("hash lengths: md5=%d sha=%d", len(parsed.MD5), len(parsed.SHA256))
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	dev := signing.NewDeveloper("d", 1)
+	a := sampleAPK()
+	if _, err := Build(nil, dev); !errors.Is(err, ErrNilManifest) {
+		t.Errorf("nil apk: %v", err)
+	}
+	if _, err := Build(&APK{Dex: a.Dex}, dev); !errors.Is(err, ErrNilManifest) {
+		t.Errorf("nil manifest: %v", err)
+	}
+	if _, err := Build(&APK{Manifest: a.Manifest}, dev); !errors.Is(err, ErrNilDex) {
+		t.Errorf("nil dex: %v", err)
+	}
+	if _, err := Build(a, nil); !errors.Is(err, ErrNilDeveloper) {
+		t.Errorf("nil developer: %v", err)
+	}
+}
+
+func TestBuildRejectsBadChannelNames(t *testing.T) {
+	dev := signing.NewDeveloper("d", 2)
+	for _, name := range []string{"", "a/b", `a\b`, "..", "CERT.SIG", "MANIFEST.MF"} {
+		a := sampleAPK()
+		a.Channel = map[string]string{name: "x"}
+		if _, err := Build(a, dev); err == nil {
+			t.Errorf("channel name %q accepted", name)
+		}
+	}
+}
+
+func TestBuildRejectsBadAssetNames(t *testing.T) {
+	dev := signing.NewDeveloper("d", 3)
+	a := sampleAPK()
+	a.Assets = map[string][]byte{"../escape": []byte("x")}
+	if _, err := Build(a, dev); err == nil {
+		t.Error("asset path traversal accepted")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	dev := signing.NewDeveloper("Example Inc", 101)
+	a, err := Build(sampleAPK(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(sampleAPK(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("Build is not deterministic for identical input")
+	}
+}
+
+func TestChannelFileChangesHashButNotIdentity(t *testing.T) {
+	// Section 5.3: apps identical except for META-INF channel files have
+	// different MD5 hashes but the same package/version/developer identity.
+	dev := signing.NewDeveloper("Example Inc", 101)
+	a := sampleAPK()
+	b := sampleAPK()
+	b.Channel["kgchannel"] = "huawei"
+	dataA, err := Build(a, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataB, err := Build(b, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := Parse(dataA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Parse(dataB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.MD5 == pb.MD5 {
+		t.Error("different channel files should change the archive hash")
+	}
+	if pa.Identity() != pb.Identity() {
+		t.Error("identity triple should be unaffected by channel files")
+	}
+}
+
+func TestParseRejectsTamperedDex(t *testing.T) {
+	dev := signing.NewDeveloper("d", 5)
+	data, err := Build(sampleAPK(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(data, []byte("com.example.player.MainActivity"),
+		[]byte("com.evil.injected.MainActivitx"), 1)
+	if bytes.Equal(tampered, data) {
+		t.Skip("could not locate payload to tamper")
+	}
+	if _, err := Parse(tampered); err == nil {
+		t.Error("Parse accepted a tampered archive")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, in := range [][]byte{nil, {}, []byte("PK garbage"), bytes.Repeat([]byte{0x33}, 200)} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse accepted %d bytes of garbage", len(in))
+		}
+	}
+}
+
+func TestParseRejectsMissingEntries(t *testing.T) {
+	dev := signing.NewDeveloper("d", 6)
+	data, err := Build(sampleAPK(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the zip without the signature entry by parsing and
+	// re-serializing through the zip package.
+	stripped, err := stripEntry(data, EntrySignature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(stripped); !errors.Is(err, ErrMissingEntry) {
+		t.Errorf("want ErrMissingEntry, got %v", err)
+	}
+}
+
+func TestDifferentDevelopersProduceDifferentSignatures(t *testing.T) {
+	devA := signing.NewDeveloper("Original", 7)
+	devB := signing.NewDeveloper("Cloner", 8)
+	dataA, err := Build(sampleAPK(), devA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataB, err := Build(sampleAPK(), devB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := Parse(dataA)
+	pb, _ := Parse(dataB)
+	if pa.Developer() == pb.Developer() {
+		t.Error("different developers produced the same fingerprint")
+	}
+	if pa.Identity() == pb.Identity() {
+		t.Error("identity should include the signer")
+	}
+	if pa.Manifest.Package != pb.Manifest.Package {
+		t.Error("package should match for a signature-based clone")
+	}
+}
+
+func TestIdentityZeroValueForMissingSignature(t *testing.T) {
+	p := &Parsed{Manifest: &manifest.Manifest{Package: "com.a.b", VersionCode: 1, MinSDK: 9}}
+	if p.Developer() != (signing.Fingerprint{}) {
+		t.Error("missing signature should yield zero fingerprint")
+	}
+}
+
+// stripEntry re-writes the archive without the named entry.
+func stripEntry(data []byte, drop string) ([]byte, error) {
+	parsedEntries, err := readAll(data)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	zw := newDeterministicWriter(&buf)
+	for _, e := range parsedEntries {
+		if e.name == drop {
+			continue
+		}
+		if err := zw.add(e.name, e.content); err != nil {
+			return nil, err
+		}
+	}
+	if err := zw.close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func TestParseRejectsUnlistedEntry(t *testing.T) {
+	dev := signing.NewDeveloper("d", 9)
+	data, err := Build(sampleAPK(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := readAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	zw := newDeterministicWriter(&buf)
+	for _, e := range entries {
+		if err := zw.add(e.name, e.content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := zw.add("assets/injected.bin", []byte("smuggled")); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(buf.Bytes()); !errors.Is(err, ErrUnlistedEntry) {
+		t.Errorf("want ErrUnlistedEntry, got %v", err)
+	}
+}
+
+func TestParsedIdentityString(t *testing.T) {
+	dev := signing.NewDeveloper("d", 10)
+	data, err := Build(sampleAPK(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := p.Identity()
+	if id.Package != "com.example.player" || id.VersionCode != 870 {
+		t.Errorf("identity = %+v", id)
+	}
+	if !strings.Contains(id.Developer.String(), dev.Fingerprint().Short()) {
+		t.Error("identity developer should match the signing key")
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	dev := signing.NewDeveloper("bench", 1)
+	a := sampleAPK()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(a, dev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	dev := signing.NewDeveloper("bench", 1)
+	data, err := Build(sampleAPK(), dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package apk
+
+import (
+	"archive/zip"
+	"bytes"
+	"io"
+)
+
+// Test helpers for re-writing archives with entries added or removed.
+
+type rawEntry struct {
+	name    string
+	content []byte
+}
+
+// readAll extracts every entry of a zip archive in file order.
+func readAll(data []byte) ([]rawEntry, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	var out []rawEntry
+	for _, f := range zr.File {
+		rc, err := f.Open()
+		if err != nil {
+			return nil, err
+		}
+		b, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rawEntry{name: f.Name, content: b})
+	}
+	return out, nil
+}
+
+type deterministicWriter struct {
+	zw *zip.Writer
+}
+
+func newDeterministicWriter(buf *bytes.Buffer) *deterministicWriter {
+	return &deterministicWriter{zw: zip.NewWriter(buf)}
+}
+
+func (w *deterministicWriter) add(name string, content []byte) error {
+	fw, err := w.zw.CreateHeader(&zip.FileHeader{Name: name, Method: zip.Store})
+	if err != nil {
+		return err
+	}
+	_, err = fw.Write(content)
+	return err
+}
+
+func (w *deterministicWriter) close() error { return w.zw.Close() }

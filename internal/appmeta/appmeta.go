@@ -1,0 +1,220 @@
+// Package appmeta defines the app-metadata record exchanged between the
+// simulated markets, the crawler and the analyses, together with the
+// consolidated category taxonomy the paper uses to compare catalogs across
+// stores (Section 4.1).
+//
+// Each market exposes its own metadata page per app (name, category,
+// downloads, rating, release date, ...). The crawler harvests these records
+// alongside the APK bytes; every per-market analysis consumes them.
+package appmeta
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Record is the publicly visible metadata of one app listing in one market.
+// Fields mirror what the paper collects: "the app name, version name, app
+// category, description, downloads, ratings and release/update date".
+type Record struct {
+	Market        string `json:"market"`
+	Package       string `json:"package"`
+	AppName       string `json:"app_name"`
+	Category      string `json:"category"`
+	DeveloperName string `json:"developer_name"`
+	VersionCode   int64  `json:"version_code"`
+	VersionName   string `json:"version_name"`
+	Description   string `json:"description,omitempty"`
+	// Downloads is the install count as reported by the market. A value of
+	// -1 means the market does not report install counts at all (Xiaomi and
+	// App China in the paper).
+	Downloads int64 `json:"downloads"`
+	// Rating is the average user rating in [0, 5]; 0 means unrated unless
+	// the market uses a non-zero default (PC Online defaults to 3).
+	Rating      float64   `json:"rating"`
+	ReleaseDate time.Time `json:"release_date"`
+	UpdateDate  time.Time `json:"update_date"`
+	APKSize     int64     `json:"apk_size"`
+	HasAds      bool      `json:"has_ads"`
+	HasIAP      bool      `json:"has_iap"`
+}
+
+// Validation errors.
+var (
+	ErrNoMarket  = errors.New("appmeta: missing market")
+	ErrNoPackage = errors.New("appmeta: missing package")
+	ErrBadRating = errors.New("appmeta: rating out of range")
+)
+
+// Validate checks the minimal invariants every record must satisfy before it
+// enters a snapshot.
+func (r *Record) Validate() error {
+	if r.Market == "" {
+		return ErrNoMarket
+	}
+	if r.Package == "" {
+		return ErrNoPackage
+	}
+	if r.Rating < 0 || r.Rating > 5 {
+		return fmt.Errorf("%w: %g", ErrBadRating, r.Rating)
+	}
+	return nil
+}
+
+// Key identifies a listing uniquely within a snapshot: one app (package) in
+// one market.
+type Key struct {
+	Market  string
+	Package string
+}
+
+// Key returns the record's snapshot key.
+func (r *Record) Key() Key { return Key{Market: r.Market, Package: r.Package} }
+
+// ReportsDownloads reports whether the market provided an install count for
+// this record.
+func (r *Record) ReportsDownloads() bool { return r.Downloads >= 0 }
+
+// Category is one of the consolidated 22 app categories the paper maps every
+// market-native category onto (Figure 1).
+type Category string
+
+// The consolidated taxonomy of Figure 1.
+const (
+	CategoryBooks           Category = "Books"
+	CategoryBrowsers        Category = "Browsers"
+	CategoryBusiness        Category = "Business"
+	CategoryCommunication   Category = "Communication"
+	CategoryEducation       Category = "Education"
+	CategoryEntertainment   Category = "Entertainment"
+	CategoryFinance         Category = "Finance"
+	CategoryHealth          Category = "Health"
+	CategoryInputMethods    Category = "InputMethods"
+	CategoryLifestyle       Category = "Lifestyle"
+	CategoryLocation        Category = "Location"
+	CategoryNews            Category = "News"
+	CategoryMusic           Category = "Music"
+	CategoryPersonalization Category = "Personalization"
+	CategoryPhotography     Category = "Photography"
+	CategorySecurity        Category = "Security"
+	CategoryShopping        Category = "Shopping"
+	CategorySocial          Category = "Social"
+	CategoryTools           Category = "Tools"
+	CategoryVideo           Category = "Video"
+	CategoryGame            Category = "Game"
+	CategoryOther           Category = "Null/Other"
+)
+
+// Categories returns the consolidated taxonomy in the order used by Figure 1.
+func Categories() []Category {
+	return []Category{
+		CategoryBooks, CategoryBrowsers, CategoryBusiness, CategoryCommunication,
+		CategoryEducation, CategoryEntertainment, CategoryFinance, CategoryHealth,
+		CategoryInputMethods, CategoryLifestyle, CategoryLocation, CategoryNews,
+		CategoryMusic, CategoryPersonalization, CategoryPhotography, CategorySecurity,
+		CategoryShopping, CategorySocial, CategoryTools, CategoryVideo, CategoryGame,
+		CategoryOther,
+	}
+}
+
+// NumCategories is the size of the consolidated taxonomy (22 in the paper).
+func NumCategories() int { return len(Categories()) }
+
+// marketCategoryAliases maps lower-cased market-native category names onto
+// the consolidated taxonomy. Chinese markets use their own taxonomies (and
+// sometimes numeric or NULL categories); this table is the "manually
+// developed consolidated taxonomy" of Section 4.1.
+var marketCategoryAliases = map[string]Category{
+	// Direct names.
+	"books": CategoryBooks, "books & reference": CategoryBooks, "reading": CategoryBooks,
+	"comics": CategoryBooks, "novel": CategoryBooks,
+	"browsers": CategoryBrowsers, "browser": CategoryBrowsers,
+	"business": CategoryBusiness, "office": CategoryBusiness, "productivity": CategoryBusiness,
+	"communication": CategoryCommunication, "chat": CategoryCommunication, "im": CategoryCommunication,
+	"education": CategoryEducation, "learning": CategoryEducation, "study": CategoryEducation,
+	"entertainment": CategoryEntertainment, "fun": CategoryEntertainment,
+	"finance": CategoryFinance, "banking": CategoryFinance, "investment": CategoryFinance,
+	"health": CategoryHealth, "health & fitness": CategoryHealth, "medical": CategoryHealth,
+	"sports": CategoryHealth, "fitness": CategoryHealth,
+	"input methods": CategoryInputMethods, "inputmethods": CategoryInputMethods, "keyboard": CategoryInputMethods,
+	"lifestyle": CategoryLifestyle, "life": CategoryLifestyle, "food & drink": CategoryLifestyle,
+	"house & home": CategoryLifestyle,
+	"location":     CategoryLocation, "maps & navigation": CategoryLocation, "travel": CategoryLocation,
+	"travel & local": CategoryLocation, "navigation": CategoryLocation,
+	"news": CategoryNews, "news & magazines": CategoryNews,
+	"music": CategoryMusic, "music & audio": CategoryMusic, "audio": CategoryMusic,
+	"personalization": CategoryPersonalization, "theme": CategoryPersonalization,
+	"wallpaper": CategoryPersonalization, "launcher": CategoryPersonalization,
+	"photography": CategoryPhotography, "photo": CategoryPhotography, "camera": CategoryPhotography,
+	"security": CategorySecurity, "antivirus": CategorySecurity, "safety": CategorySecurity,
+	"shopping": CategoryShopping, "e-commerce": CategoryShopping,
+	"social": CategorySocial, "social networking": CategorySocial, "community": CategorySocial,
+	"dating": CategorySocial,
+	"tools":  CategoryTools, "utilities": CategoryTools, "system": CategoryTools,
+	"system tools": CategoryTools, "efficiency": CategoryTools,
+	"video": CategoryVideo, "video players & editors": CategoryVideo, "media & video": CategoryVideo,
+	"video & audio": CategoryVideo,
+	"game":          CategoryGame, "games": CategoryGame, "casual": CategoryGame, "puzzle": CategoryGame,
+	"arcade": CategoryGame, "action game": CategoryGame, "online game": CategoryGame,
+	"role playing": CategoryGame, "strategy": CategoryGame,
+}
+
+// ConsolidateCategory maps a market-native category string onto the
+// consolidated taxonomy. Unknown, empty, numeric or placeholder categories
+// map to Null/Other, matching how the paper classified roughly 40% of
+// Tencent/360/OPPO/25PP listings as "Other".
+func ConsolidateCategory(marketCategory string) Category {
+	normalized := strings.ToLower(strings.TrimSpace(marketCategory))
+	if normalized == "" || normalized == "null" || normalized == "unclassified" || normalized == "other" {
+		return CategoryOther
+	}
+	if c, ok := marketCategoryAliases[normalized]; ok {
+		return c
+	}
+	// Purely numeric placeholder categories ("102229") appear in several
+	// Chinese stores.
+	digitsOnly := true
+	for _, r := range normalized {
+		if r < '0' || r > '9' {
+			digitsOnly = false
+			break
+		}
+	}
+	if digitsOnly {
+		return CategoryOther
+	}
+	return CategoryOther
+}
+
+// KnownCategoryName reports whether the market-native category maps to a
+// concrete category (not Null/Other).
+func KnownCategoryName(marketCategory string) bool {
+	return ConsolidateCategory(marketCategory) != CategoryOther
+}
+
+// NormalizeAppName canonicalizes an app display name for fake-app clustering:
+// lower-case, trimmed, with interior whitespace collapsed. The fake-app
+// detector clusters on exact normalized names (Section 6.1).
+func NormalizeAppName(name string) string {
+	fields := strings.Fields(strings.ToLower(name))
+	return strings.Join(fields, " ")
+}
+
+// CommonAppNames are generic names that legitimately recur across unrelated
+// apps; clusters built on them are excluded from fake-app detection, exactly
+// as the paper excludes "apps sharing common names like Flashlight,
+// Calculator, or Wallpaper".
+var CommonAppNames = map[string]bool{
+	"flashlight": true, "calculator": true, "wallpaper": true, "compass": true,
+	"notes": true, "clock": true, "alarm": true, "calendar": true, "camera": true,
+	"browser": true, "weather": true, "music player": true, "file manager": true,
+	"gallery": true, "recorder": true, "torch": true, "timer": true,
+}
+
+// IsCommonAppName reports whether the (raw) app name is one of the generic
+// names excluded from fake-app clustering.
+func IsCommonAppName(name string) bool {
+	return CommonAppNames[NormalizeAppName(name)]
+}

@@ -1,0 +1,153 @@
+package appmeta
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func validRecord() *Record {
+	return &Record{
+		Market:        "Huawei Market",
+		Package:       "com.example.app",
+		AppName:       "Example App",
+		Category:      "Tools",
+		DeveloperName: "Example Inc",
+		VersionCode:   12,
+		VersionName:   "1.2",
+		Downloads:     150_000,
+		Rating:        4.2,
+		ReleaseDate:   time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC),
+		UpdateDate:    time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC),
+		APKSize:       18 << 20,
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	if err := validRecord().Validate(); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	r := validRecord()
+	r.Market = ""
+	if err := r.Validate(); !errors.Is(err, ErrNoMarket) {
+		t.Errorf("missing market: %v", err)
+	}
+	r = validRecord()
+	r.Package = ""
+	if err := r.Validate(); !errors.Is(err, ErrNoPackage) {
+		t.Errorf("missing package: %v", err)
+	}
+	r = validRecord()
+	r.Rating = 5.5
+	if err := r.Validate(); !errors.Is(err, ErrBadRating) {
+		t.Errorf("bad rating: %v", err)
+	}
+	r = validRecord()
+	r.Rating = -0.1
+	if err := r.Validate(); !errors.Is(err, ErrBadRating) {
+		t.Errorf("negative rating: %v", err)
+	}
+}
+
+func TestRecordKey(t *testing.T) {
+	r := validRecord()
+	k := r.Key()
+	if k.Market != "Huawei Market" || k.Package != "com.example.app" {
+		t.Errorf("Key = %+v", k)
+	}
+}
+
+func TestReportsDownloads(t *testing.T) {
+	r := validRecord()
+	if !r.ReportsDownloads() {
+		t.Error("positive downloads should report")
+	}
+	r.Downloads = 0
+	if !r.ReportsDownloads() {
+		t.Error("zero downloads still counts as reported")
+	}
+	r.Downloads = -1
+	if r.ReportsDownloads() {
+		t.Error("-1 means the market does not report downloads")
+	}
+}
+
+func TestCategoriesTaxonomySize(t *testing.T) {
+	cats := Categories()
+	if len(cats) != 22 {
+		t.Fatalf("consolidated taxonomy has %d categories, want 22", len(cats))
+	}
+	if NumCategories() != 22 {
+		t.Errorf("NumCategories = %d", NumCategories())
+	}
+	seen := map[Category]bool{}
+	for _, c := range cats {
+		if seen[c] {
+			t.Errorf("duplicate category %q", c)
+		}
+		seen[c] = true
+	}
+	if !seen[CategoryGame] || !seen[CategoryOther] {
+		t.Error("taxonomy missing Game or Null/Other")
+	}
+}
+
+func TestConsolidateCategory(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Category
+	}{
+		{"Games", CategoryGame},
+		{"game", CategoryGame},
+		{"Casual", CategoryGame},
+		{"Tools", CategoryTools},
+		{"System Tools", CategoryTools},
+		{"  Music & Audio ", CategoryMusic},
+		{"Video Players & Editors", CategoryVideo},
+		{"Theme", CategoryPersonalization},
+		{"social networking", CategorySocial},
+		{"Maps & Navigation", CategoryLocation},
+		{"", CategoryOther},
+		{"NULL", CategoryOther},
+		{"Unclassified", CategoryOther},
+		{"102229", CategoryOther},
+		{"definitely-not-a-category", CategoryOther},
+	}
+	for _, tc := range cases {
+		if got := ConsolidateCategory(tc.in); got != tc.want {
+			t.Errorf("ConsolidateCategory(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestKnownCategoryName(t *testing.T) {
+	if !KnownCategoryName("Games") {
+		t.Error("Games should be known")
+	}
+	if KnownCategoryName("102229") {
+		t.Error("numeric placeholder should be unknown")
+	}
+}
+
+func TestNormalizeAppName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"WeChat", "wechat"},
+		{"  Kugou   Music  ", "kugou music"},
+		{"FLASHLIGHT", "flashlight"},
+		{"", ""},
+	}
+	for _, tc := range cases {
+		if got := NormalizeAppName(tc.in); got != tc.want {
+			t.Errorf("NormalizeAppName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestIsCommonAppName(t *testing.T) {
+	if !IsCommonAppName("Flashlight") || !IsCommonAppName("  calculator ") {
+		t.Error("common names not recognized")
+	}
+	if IsCommonAppName("WeChat") {
+		t.Error("WeChat flagged as a common name")
+	}
+}

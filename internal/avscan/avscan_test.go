@@ -1,0 +1,281 @@
+package avscan
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"marketscope/internal/dex"
+)
+
+// benignCode is an ordinary app with no malware indicators.
+func benignCode() *dex.File {
+	return &dex.File{Classes: []dex.Class{
+		{Name: "com.clean.app.Main", Methods: []dex.Method{
+			{Name: "onCreate", APICalls: []string{"android.app.Activity.onCreate", "android.widget.TextView.setText"}},
+		}},
+	}}
+}
+
+// infectedCode embeds the named family's payload package, marker call and
+// signature APIs.
+func infectedCode(familyName string) *dex.File {
+	fam, ok := FamilyByName(familyName)
+	if !ok {
+		panic("unknown family " + familyName)
+	}
+	f := benignCode()
+	f.AddClass(dex.Class{
+		Name: fam.PayloadPrefix + ".Payload",
+		Methods: []dex.Method{
+			{Name: "run", APICalls: append([]string{fam.MarkerAPI}, fam.SignatureAPIs...)},
+		},
+	})
+	return f
+}
+
+func TestFamiliesCatalog(t *testing.T) {
+	fams := Families()
+	if len(fams) < 15 {
+		t.Fatalf("family catalog too small: %d", len(fams))
+	}
+	names := map[string]bool{}
+	for _, f := range fams {
+		if f.Name == "" || f.PayloadPrefix == "" || len(f.SignatureAPIs) == 0 {
+			t.Errorf("incomplete family entry: %+v", f)
+		}
+		if names[f.Name] {
+			t.Errorf("duplicate family %q", f.Name)
+		}
+		names[f.Name] = true
+	}
+	for _, must := range []string{"kuguo", "airpush", "revmob", "ramnit", "eicar", "smsreg"} {
+		if !names[must] {
+			t.Errorf("family %q missing from catalog", must)
+		}
+	}
+	if len(FamilyNames()) != NumFamilies() {
+		t.Error("FamilyNames/NumFamilies mismatch")
+	}
+	if _, ok := FamilyByName("notafamily"); ok {
+		t.Error("FamilyByName accepted unknown name")
+	}
+}
+
+func TestFindEvidence(t *testing.T) {
+	if ev := FindEvidence(benignCode()); len(ev) != 0 {
+		t.Errorf("benign app produced evidence: %+v", ev)
+	}
+	ev := FindEvidence(infectedCode("kuguo"))
+	found := false
+	for _, e := range ev {
+		if e.Family.Name == "kuguo" {
+			found = true
+			if !e.PrefixMatch {
+				t.Error("payload prefix not matched")
+			}
+			if !e.Strong() {
+				t.Error("evidence should be strong")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("kuguo evidence not found: %+v", ev)
+	}
+}
+
+func TestFindEvidenceRenamedPayload(t *testing.T) {
+	// Payload package renamed: the marker call still identifies the family.
+	fam, _ := FamilyByName("smsreg")
+	code := benignCode()
+	code.AddClass(dex.Class{Name: "a.b.Renamed", Methods: []dex.Method{
+		{Name: "r", APICalls: append([]string{fam.MarkerAPI}, fam.SignatureAPIs...)},
+	}})
+	ev := FindEvidence(code)
+	strong := false
+	for _, e := range ev {
+		if e.Family.Name == "smsreg" && e.Strong() && !e.PrefixMatch {
+			strong = true
+		}
+	}
+	if !strong {
+		t.Errorf("renamed-payload evidence not recognized: %+v", ev)
+	}
+}
+
+func TestSignatureAPIsAloneAreNotMalware(t *testing.T) {
+	// A benign app calling the same framework APIs as a family's behaviour
+	// profile must not be flagged: only the payload prefix or marker call
+	// constitutes evidence.
+	fam, _ := FamilyByName("airpush")
+	code := benignCode()
+	code.AddClass(dex.Class{Name: "com.legit.ads.Helper", Methods: []dex.Method{
+		{Name: "show", APICalls: fam.SignatureAPIs},
+	}})
+	for _, e := range FindEvidence(code) {
+		if e.Strong() {
+			t.Fatalf("benign app with common APIs produced strong evidence: %+v", e)
+		}
+	}
+	s := NewScanner(31, 62)
+	if r := s.Scan("common-apis", code); r.Flagged(10) {
+		t.Errorf("benign app flagged with AV-rank %d", r.Positives)
+	}
+}
+
+func TestScannerDeterministic(t *testing.T) {
+	s1 := NewScanner(42, 60)
+	s2 := NewScanner(42, 60)
+	code := infectedCode("airpush")
+	r1 := s1.Scan("deadbeef", code)
+	r2 := s2.Scan("deadbeef", code)
+	if r1.Positives != r2.Positives || r1.Family != r2.Family {
+		t.Errorf("scanner not deterministic: %d/%q vs %d/%q", r1.Positives, r1.Family, r2.Positives, r2.Family)
+	}
+}
+
+func TestScanMalwareVsBenign(t *testing.T) {
+	s := NewScanner(7, 62)
+	if s.NumEngines() != 62 {
+		t.Fatalf("NumEngines = %d", s.NumEngines())
+	}
+	mal := s.Scan("1111", infectedCode("ramnit"))
+	ben := s.Scan("2222", benignCode())
+	if mal.Positives < 10 {
+		t.Errorf("infected sample AV-rank = %d, want >= 10", mal.Positives)
+	}
+	if ben.Positives >= 10 {
+		t.Errorf("benign sample AV-rank = %d, want < 10", ben.Positives)
+	}
+	if !mal.Flagged(10) || mal.Flagged(mal.Positives+1) {
+		t.Error("Flagged threshold logic wrong")
+	}
+	if mal.Family != "ramnit" {
+		t.Errorf("family = %q, want ramnit", mal.Family)
+	}
+	if ben.Family != "" && ben.Positives < 2 {
+		t.Errorf("benign family should be empty, got %q", ben.Family)
+	}
+	if mal.Total != 62 || ben.Total != 62 {
+		t.Error("Total should equal engine count")
+	}
+}
+
+func TestScanBenignFalsePositivesAreRare(t *testing.T) {
+	s := NewScanner(11, 62)
+	flagged10 := 0
+	flagged1 := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		r := s.Scan(fmt.Sprintf("benign-%d", i), benignCode())
+		if r.Flagged(1) {
+			flagged1++
+		}
+		if r.Flagged(10) {
+			flagged10++
+		}
+	}
+	if flagged10 != 0 {
+		t.Errorf("%d/%d benign samples reached AV-rank >= 10", flagged10, n)
+	}
+	// Some engines should occasionally false-positive at >=1.
+	if flagged1 == 0 {
+		t.Error("no benign sample was ever flagged by any engine; FP model inactive")
+	}
+	if flagged1 > n/2 {
+		t.Errorf("too many benign samples flagged at >=1: %d/%d", flagged1, n)
+	}
+}
+
+func TestScanGraywareDetectedLessConsistently(t *testing.T) {
+	s := NewScanner(13, 62)
+	trojanTotal, graywareTotal := 0, 0
+	const n = 60
+	for i := 0; i < n; i++ {
+		trojanTotal += s.Scan(fmt.Sprintf("t-%d", i), infectedCode("ramnit")).Positives
+		graywareTotal += s.Scan(fmt.Sprintf("g-%d", i), infectedCode("kuguo")).Positives
+	}
+	if graywareTotal >= trojanTotal {
+		t.Errorf("grayware AV-rank (%d) should average below trojan (%d)", graywareTotal, trojanTotal)
+	}
+}
+
+func TestScannerDefaultEngineCount(t *testing.T) {
+	s := NewScanner(1, 0)
+	if s.NumEngines() != DefaultEngineCount {
+		t.Errorf("default engines = %d, want %d", s.NumEngines(), DefaultEngineCount)
+	}
+}
+
+func TestAVClass(t *testing.T) {
+	labels := []string{
+		"Android.Kuguo.A",
+		"Adware/kuguo",
+		"Trojan.AndroidOS.KUGUO.a",
+		"Artemis!Kuguo",
+		"Riskware.somethingelse",
+	}
+	if got := AVClass(labels); got != "kuguo" {
+		t.Errorf("AVClass = %q, want kuguo", got)
+	}
+	if got := AVClass(nil); got != "" {
+		t.Errorf("AVClass(nil) = %q", got)
+	}
+	// A single idiosyncratic label is not a consensus.
+	if got := AVClass([]string{"Android.Weirdname.A"}); got != "" {
+		t.Errorf("single label produced family %q", got)
+	}
+	// Generic tokens never win.
+	if got := AVClass([]string{"Trojan.Generic", "Malware.Generic", "Android.Gen"}); got != "" {
+		t.Errorf("generic labels produced family %q", got)
+	}
+}
+
+func TestVendorLabelsVary(t *testing.T) {
+	s := NewScanner(17, 62)
+	r := s.Scan("abcd", infectedCode("dowgin"))
+	if r.Positives < 5 {
+		t.Skip("not enough detections for label diversity check")
+	}
+	distinct := map[string]bool{}
+	for _, d := range r.Detections {
+		distinct[d.Label] = true
+		if !strings.Contains(strings.ToLower(d.Label), "dowgin") {
+			t.Errorf("label %q does not reference the family", d.Label)
+		}
+	}
+	if len(distinct) < 3 {
+		t.Errorf("labels insufficiently diverse: %v", distinct)
+	}
+}
+
+func TestAllFamiliesDetectable(t *testing.T) {
+	s := NewScanner(23, 62)
+	for _, fam := range Families() {
+		r := s.Scan("sample-"+fam.Name, infectedCode(fam.Name))
+		if r.Positives < 5 {
+			t.Errorf("family %q AV-rank = %d, want >= 5", fam.Name, r.Positives)
+		}
+		if r.Family != fam.Name {
+			t.Errorf("family %q labeled as %q", fam.Name, r.Family)
+		}
+	}
+}
+
+func BenchmarkScanMalware(b *testing.B) {
+	s := NewScanner(1, 62)
+	code := infectedCode("kuguo")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Scan("bench", code)
+	}
+}
+
+func BenchmarkScanBenign(b *testing.B) {
+	s := NewScanner(1, 62)
+	code := benignCode()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Scan("bench", code)
+	}
+}

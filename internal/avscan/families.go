@@ -1,0 +1,123 @@
+// Package avscan simulates the VirusTotal scan and AVClass family labeling
+// the paper uses to measure malware prevalence (Section 6.4, Tables 4 and 5,
+// Figure 12).
+//
+// The real study uploads every APK to VirusTotal and aggregates the verdicts
+// of 60+ anti-virus engines into an AV-rank (the number of engines flagging
+// the sample). We reproduce that pipeline with a deterministic engine pool:
+// each engine recognizes a subset of malware families with its own detection
+// rate, produces a vendor-specific label string, and occasionally false
+// positives on benign apps — the behaviours that make AV-rank thresholds
+// (>=1, >=10, >=20) meaningfully different, as the paper discusses.
+//
+// Malware presence in an APK is evidenced by the payload the synthetic
+// ecosystem injected: classes under a family's payload package prefix and/or
+// the family's characteristic API pattern. The detector finds the evidence;
+// the engine pool turns it into noisy verdicts.
+package avscan
+
+import "sort"
+
+// Family describes one malware (or grayware) family.
+type Family struct {
+	// Name is the canonical family name as AVClass would output it.
+	Name string
+	// PayloadPrefix is the package prefix the family's payload classes live
+	// under when the sample is not obfuscated.
+	PayloadPrefix string
+	// MarkerAPI is a call that only this family's payload emits (the
+	// command-and-control entry point of the SDK). It is what lets engines
+	// recognize a sample whose payload package was renamed by an
+	// obfuscator, without flagging benign apps that merely use the same
+	// framework APIs.
+	MarkerAPI string
+	// SignatureAPIs is the set of framework API calls characteristic of the
+	// family's behaviour; they add confidence but are too common on their
+	// own to be an indicator.
+	SignatureAPIs []string
+	// Grayware marks aggressive-adware families that many engines flag at
+	// lower confidence than outright trojans.
+	Grayware bool
+}
+
+// builtinFamilies is the family catalog. The names follow Figure 12's top
+// malware families; kuguo dominates Chinese markets while airpush/revmob
+// dominate Google Play.
+var builtinFamilies = []Family{
+	{Name: "kuguo", PayloadPrefix: "com.kuguo.sdk", Grayware: true,
+		SignatureAPIs: []string{"android.app.NotificationManager.notify", "java.net.URL.openConnection", "android.content.pm.PackageManager.getInstalledPackages"}},
+	{Name: "airpush", PayloadPrefix: "com.airpush", Grayware: true,
+		SignatureAPIs: []string{"android.app.NotificationManager.notify", "android.webkit.WebView.loadUrl", "android.telephony.TelephonyManager.getDeviceId"}},
+	{Name: "smsreg", PayloadPrefix: "com.smsreg.core",
+		SignatureAPIs: []string{"android.telephony.SmsManager.sendTextMessage", "android.telephony.TelephonyManager.getSubscriberId"}},
+	{Name: "revmob", PayloadPrefix: "com.revmob", Grayware: true,
+		SignatureAPIs: []string{"android.webkit.WebView.loadUrl", "android.app.NotificationManager.notify"}},
+	{Name: "dowgin", PayloadPrefix: "com.dowgin", Grayware: true,
+		SignatureAPIs: []string{"android.content.pm.PackageManager.getInstalledPackages", "android.app.DownloadManager.enqueue"}},
+	{Name: "gappusin", PayloadPrefix: "com.gappusin",
+		SignatureAPIs: []string{"android.app.DownloadManager.enqueue", "android.content.pm.PackageManager.installPackage"}},
+	{Name: "secapk", PayloadPrefix: "com.secapk.wrapper",
+		SignatureAPIs: []string{"dalvik.system.DexClassLoader.loadClass", "java.lang.Runtime.exec"}},
+	{Name: "youmi", PayloadPrefix: "net.youmi", Grayware: true,
+		SignatureAPIs: []string{"android.webkit.WebView.loadUrl", "android.telephony.TelephonyManager.getDeviceId"}},
+	{Name: "leadbolt", PayloadPrefix: "com.leadbolt", Grayware: true,
+		SignatureAPIs: []string{"android.app.NotificationManager.notify", "android.provider.Browser.addBookmark"}},
+	{Name: "adwo", PayloadPrefix: "com.adwo", Grayware: true,
+		SignatureAPIs: []string{"android.webkit.WebView.loadUrl", "android.location.LocationManager.getLastKnownLocation"}},
+	{Name: "domob", PayloadPrefix: "cn.domob", Grayware: true,
+		SignatureAPIs: []string{"android.webkit.WebView.loadUrl", "android.net.wifi.WifiManager.getConnectionInfo"}},
+	{Name: "commplat", PayloadPrefix: "com.commplat",
+		SignatureAPIs: []string{"android.telephony.SmsManager.sendTextMessage", "android.telephony.SmsManager.sendDataMessage"}},
+	{Name: "adend", PayloadPrefix: "com.adend", Grayware: true,
+		SignatureAPIs: []string{"android.app.NotificationManager.notify", "android.content.pm.PackageManager.getInstalledPackages"}},
+	{Name: "smspay", PayloadPrefix: "com.smspay",
+		SignatureAPIs: []string{"android.telephony.SmsManager.sendTextMessage", "android.telephony.SmsManager.sendMultipartTextMessage"}},
+	{Name: "jiagu", PayloadPrefix: "com.qihoo.jiagu",
+		SignatureAPIs: []string{"dalvik.system.DexClassLoader.loadClass", "java.lang.System.loadLibrary"}},
+	{Name: "ramnit", PayloadPrefix: "com.ramnit.dropper",
+		SignatureAPIs: []string{"java.lang.Runtime.exec", "java.io.FileOutputStream.write", "android.content.pm.PackageManager.installPackage"}},
+	{Name: "mofin", PayloadPrefix: "com.mofin.agent",
+		SignatureAPIs: []string{"android.telephony.SmsManager.sendTextMessage", "android.app.admin.DevicePolicyManager.lockNow"}},
+	{Name: "eicar", PayloadPrefix: "com.eicar.testfile",
+		SignatureAPIs: []string{"eicar.test.signature.StandardAntiVirusTestFile"}},
+}
+
+// init derives the default marker API for every catalog entry: the payload's
+// entry-point call. Catalog entries may override it explicitly.
+func init() {
+	for i := range builtinFamilies {
+		if builtinFamilies[i].MarkerAPI == "" {
+			builtinFamilies[i].MarkerAPI = builtinFamilies[i].PayloadPrefix + ".Core.activate"
+		}
+	}
+}
+
+// Families returns the catalog sorted by name.
+func Families() []Family {
+	out := append([]Family(nil), builtinFamilies...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FamilyByName looks up a family by canonical name.
+func FamilyByName(name string) (Family, bool) {
+	for _, f := range builtinFamilies {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}
+
+// FamilyNames returns the sorted canonical family names.
+func FamilyNames() []string {
+	out := make([]string, 0, len(builtinFamilies))
+	for _, f := range builtinFamilies {
+		out = append(out, f.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumFamilies returns the catalog size.
+func NumFamilies() int { return len(builtinFamilies) }

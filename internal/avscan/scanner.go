@@ -1,0 +1,333 @@
+package avscan
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"marketscope/internal/dex"
+)
+
+// Evidence is what the payload detector finds in an app's code for one
+// family.
+type Evidence struct {
+	Family Family
+	// PrefixMatch reports that classes under the family's payload prefix
+	// are present.
+	PrefixMatch bool
+	// MarkerMatch reports that the family's unique entry-point call is
+	// invoked somewhere in the code (survives package renaming).
+	MarkerMatch bool
+	// APIMatches is how many of the family's signature APIs the app calls.
+	APIMatches int
+}
+
+// Strong reports whether the evidence is strong enough for engines to act on:
+// the payload package is present, or the family's unique marker call appears.
+// Signature APIs alone are deliberately insufficient — ordinary apps and ad
+// SDKs call the same framework APIs, and treating those as malware would
+// flag essentially the whole corpus.
+func (e Evidence) Strong() bool {
+	return e.PrefixMatch || e.MarkerMatch
+}
+
+// FindEvidence scans the code for every family's indicators.
+func FindEvidence(code *dex.File) []Evidence {
+	apiCounts := code.APICallCounts()
+	var out []Evidence
+	for _, fam := range Families() {
+		e := Evidence{Family: fam}
+		if len(code.ClassesUnderPrefix(fam.PayloadPrefix)) > 0 {
+			e.PrefixMatch = true
+		}
+		if fam.MarkerAPI != "" && apiCounts[fam.MarkerAPI] > 0 {
+			e.MarkerMatch = true
+		}
+		for _, api := range fam.SignatureAPIs {
+			if apiCounts[api] > 0 {
+				e.APIMatches++
+			}
+		}
+		if e.PrefixMatch || e.MarkerMatch {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Family.Name < out[j].Family.Name })
+	return out
+}
+
+// Engine is one simulated anti-virus product.
+type Engine struct {
+	Name string
+	// detectionRate maps family name -> probability of flagging a sample
+	// with strong evidence for that family.
+	detectionRate map[string]float64
+	// falsePositiveRate is the probability of flagging a benign sample.
+	falsePositiveRate float64
+	// labelTemplate renders a vendor-specific label for a family.
+	labelTemplate string
+}
+
+// labelTemplates are the vendor label formats observed in the wild; %s is
+// replaced by the family token, capitalization varies per vendor.
+var labelTemplates = []string{
+	"Android.%s.A",
+	"Adware/%s",
+	"Trojan.AndroidOS.%s.a",
+	"AndroidOS_%s.HRX",
+	"%s [PUP]",
+	"Artemis!%s",
+	"A.gray.%s.b",
+	"Android/%s.C potentially unwanted",
+	"Riskware.%s",
+	"PUA.AndroidOS.%s",
+}
+
+// Detection is one engine's verdict on one sample.
+type Detection struct {
+	Engine string
+	Label  string
+}
+
+// Report is the aggregated scan result for one sample, the analogue of a
+// VirusTotal report.
+type Report struct {
+	SHA256 string
+	// Positives is the AV-rank: how many engines flagged the sample.
+	Positives int
+	// Total is the number of engines consulted.
+	Total      int
+	Detections []Detection
+	// Family is the AVClass-style plurality family, or "" when the sample
+	// is clean or no family token wins.
+	Family string
+}
+
+// Flagged reports whether the sample's AV-rank meets the given threshold.
+// The paper uses >=1, >=10 and >=20 (Table 4), with 10 as the robust choice.
+func (r *Report) Flagged(threshold int) bool { return r.Positives >= threshold }
+
+// Scanner is a deterministic multi-engine scanner.
+type Scanner struct {
+	engines []Engine
+	seed    uint64
+}
+
+// DefaultEngineCount mirrors VirusTotal's "more than 60 anti-virus engines".
+const DefaultEngineCount = 62
+
+// NewScanner builds a scanner with the given number of engines. Engine
+// characteristics are a deterministic function of the seed, so the same
+// corpus scanned twice yields identical reports.
+func NewScanner(seed uint64, numEngines int) *Scanner {
+	if numEngines <= 0 {
+		numEngines = DefaultEngineCount
+	}
+	s := &Scanner{seed: seed}
+	for i := 0; i < numEngines; i++ {
+		name := fmt.Sprintf("AV-%02d", i)
+		eng := Engine{
+			Name:          name,
+			detectionRate: make(map[string]float64, NumFamilies()),
+			labelTemplate: labelTemplates[i%len(labelTemplates)],
+		}
+		// Engines differ in overall quality: detection rates between 0.25
+		// and 0.95, false-positive rates between 0.05% and 0.5% (any higher
+		// and nearly every clean app would carry at least one detection,
+		// which is not what VirusTotal reports look like).
+		quality := hashUnit(seed, name, "quality")
+		eng.falsePositiveRate = 0.0005 + 0.0045*hashUnit(seed, name, "fp")
+		for _, fam := range Families() {
+			base := 0.25 + 0.70*quality
+			// Per-family variation: some engines simply do not know some
+			// families (rate forced to 0 for ~20% of engine/family pairs).
+			famRoll := hashUnit(seed, name, "fam:"+fam.Name)
+			if famRoll < 0.20 {
+				eng.detectionRate[fam.Name] = 0
+				continue
+			}
+			rate := base + 0.25*(famRoll-0.5)
+			if fam.Grayware {
+				// Grayware is flagged less consistently than trojans.
+				rate *= 0.8
+			}
+			if rate < 0 {
+				rate = 0
+			}
+			if rate > 0.98 {
+				rate = 0.98
+			}
+			eng.detectionRate[fam.Name] = rate
+		}
+		s.engines = append(s.engines, eng)
+	}
+	return s
+}
+
+// NumEngines returns the engine pool size.
+func (s *Scanner) NumEngines() int { return len(s.engines) }
+
+// Scan produces the aggregated report for one sample. sha256Hex identifies
+// the sample (the per-engine verdicts are deterministic in it) and code is
+// the sample's decoded dex payload.
+func (s *Scanner) Scan(sha256Hex string, code *dex.File) *Report {
+	evidence := FindEvidence(code)
+	var strongest *Evidence
+	for i := range evidence {
+		e := &evidence[i]
+		if !e.Strong() {
+			continue
+		}
+		if strongest == nil || betterEvidence(e, strongest) {
+			strongest = e
+		}
+	}
+
+	report := &Report{SHA256: sha256Hex, Total: len(s.engines)}
+	for _, eng := range s.engines {
+		roll := hashUnit(s.seed, eng.Name, "verdict:"+sha256Hex)
+		if strongest != nil {
+			rate := eng.detectionRate[strongest.Family.Name]
+			if roll < rate {
+				report.Detections = append(report.Detections, Detection{
+					Engine: eng.Name,
+					Label:  fmt.Sprintf(eng.labelTemplate, vendorToken(eng.Name, strongest.Family.Name)),
+				})
+			}
+			continue
+		}
+		// Benign sample: occasional false positives with generic labels.
+		if roll < eng.falsePositiveRate {
+			report.Detections = append(report.Detections, Detection{
+				Engine: eng.Name,
+				Label:  fmt.Sprintf(eng.labelTemplate, "gen"),
+			})
+		}
+	}
+	report.Positives = len(report.Detections)
+	report.Family = AVClass(labelsOf(report.Detections))
+	return report
+}
+
+// betterEvidence prefers prefix matches, then marker matches, then more API
+// matches, then non-grayware over grayware, and finally lexicographic order
+// for stability.
+func betterEvidence(a, b *Evidence) bool {
+	if a.PrefixMatch != b.PrefixMatch {
+		return a.PrefixMatch
+	}
+	if a.MarkerMatch != b.MarkerMatch {
+		return a.MarkerMatch
+	}
+	if a.APIMatches != b.APIMatches {
+		return a.APIMatches > b.APIMatches
+	}
+	if a.Family.Grayware != b.Family.Grayware {
+		return !a.Family.Grayware
+	}
+	return a.Family.Name < b.Family.Name
+}
+
+func labelsOf(dets []Detection) []string {
+	out := make([]string, len(dets))
+	for i, d := range dets {
+		out[i] = d.Label
+	}
+	return out
+}
+
+// vendorToken renders the family name the way a given vendor would: some
+// capitalize, some upper-case the first letter, some keep it lower-case.
+func vendorToken(engine, family string) string {
+	switch hashBucket(engine, 3) {
+	case 0:
+		return strings.ToUpper(family[:1]) + family[1:]
+	case 1:
+		return strings.ToUpper(family)
+	default:
+		return family
+	}
+}
+
+// hashUnit maps (seed, parts...) to a deterministic value in [0, 1).
+func hashUnit(seed uint64, parts ...string) float64 {
+	h := sha256.New()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seed)
+	h.Write(b[:])
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	sum := h.Sum(nil)
+	v := binary.LittleEndian.Uint64(sum[:8])
+	return float64(v>>11) / float64(1<<53)
+}
+
+// hashBucket maps a string to one of n buckets deterministically.
+func hashBucket(s string, n int) int {
+	sum := sha256.Sum256([]byte(s))
+	return int(binary.LittleEndian.Uint32(sum[:4]) % uint32(n))
+}
+
+// genericTokens are label tokens AVClass discards before voting: platform
+// names, type names and noise tokens that do not identify a family.
+var genericTokens = map[string]bool{
+	"android": true, "androidos": true, "os": true, "trojan": true, "adware": true,
+	"pup": true, "pua": true, "riskware": true, "artemis": true, "variant": true,
+	"generic": true, "gen": true, "gray": true, "a": true, "b": true, "c": true,
+	"hrx": true, "malware": true, "apk": true, "application": true, "potentially": true,
+	"unwanted": true, "agent": true,
+}
+
+// AVClass implements the plurality-vote family labeling of the AVClass tool:
+// every engine label is tokenized, generic tokens are discarded, and the most
+// common remaining token (normalized to lower case) wins. It returns "" when
+// no meaningful token appears, which matches AVClass's SINGLETON outcome.
+func AVClass(labels []string) string {
+	votes := map[string]int{}
+	for _, label := range labels {
+		seen := map[string]bool{}
+		for _, token := range tokenize(label) {
+			token = strings.ToLower(token)
+			if len(token) < 3 || genericTokens[token] {
+				continue
+			}
+			if seen[token] {
+				continue
+			}
+			seen[token] = true
+			votes[token]++
+		}
+	}
+	best, bestVotes := "", 0
+	names := make([]string, 0, len(votes))
+	for tok := range votes {
+		names = append(names, tok)
+	}
+	sort.Strings(names)
+	for _, tok := range names {
+		if votes[tok] > bestVotes {
+			best, bestVotes = tok, votes[tok]
+		}
+	}
+	if bestVotes < 2 {
+		// A single engine's idiosyncratic token is not a family consensus.
+		return ""
+	}
+	return best
+}
+
+// tokenize splits an AV label on the non-alphanumeric separators vendors use.
+func tokenize(label string) []string {
+	return strings.FieldsFunc(label, func(r rune) bool {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return false
+		default:
+			return true
+		}
+	})
+}

@@ -1,0 +1,251 @@
+package clonedetect
+
+import (
+	"sort"
+)
+
+// ClonePair is one detected clone relationship. Original is the app the
+// heuristic attributes authorship to (the member with the most downloads,
+// Section 6.2), Clone the repackaged copy.
+type ClonePair struct {
+	Original Ref
+	Clone    Ref
+	// Kind is "signature" or "code".
+	Kind string
+	// Distance is the vector distance for code-based clones (0 for
+	// signature-based ones, where the package name already matches).
+	Distance float64
+	// SegmentShare is the fraction of shared code segments measured in the
+	// second phase (code-based clones only).
+	SegmentShare float64
+}
+
+// PackageCluster summarizes one package name observed with multiple
+// developer signatures (Figure 8(c)).
+type PackageCluster struct {
+	Package    string
+	Developers int
+	Instances  int
+}
+
+// SignatureResult is the output of the signature-based clone detector.
+type SignatureResult struct {
+	Pairs []ClonePair
+	// Clusters lists every package observed in the corpus with the number
+	// of distinct developers that signed it.
+	Clusters []PackageCluster
+}
+
+// CloneByMarket returns, per market, the number of listings flagged as
+// signature-based clones.
+func (r *SignatureResult) CloneByMarket() map[string]int {
+	out := map[string]int{}
+	seen := map[Ref]bool{}
+	for _, p := range r.Pairs {
+		if !seen[p.Clone] {
+			seen[p.Clone] = true
+			out[p.Clone.Market]++
+		}
+	}
+	return out
+}
+
+// DetectSignatureClones groups the corpus by package name and flags every
+// listing whose developer signature differs from the original's. The
+// original is the listing with the most downloads among the signatures in
+// the cluster, following the paper's attribution heuristic.
+func DetectSignatureClones(apps []*AppInstance) *SignatureResult {
+	ordered := sortInstances(apps)
+	byPackage := map[string][]*AppInstance{}
+	for _, a := range ordered {
+		byPackage[a.Package] = append(byPackage[a.Package], a)
+	}
+	pkgs := make([]string, 0, len(byPackage))
+	for p := range byPackage {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+
+	result := &SignatureResult{}
+	for _, pkg := range pkgs {
+		group := byPackage[pkg]
+		devs := map[string]bool{}
+		for _, a := range group {
+			devs[a.Developer.String()] = true
+		}
+		result.Clusters = append(result.Clusters, PackageCluster{
+			Package: pkg, Developers: len(devs), Instances: len(group),
+		})
+		if len(devs) < 2 {
+			continue
+		}
+		// Attribute the original to the developer of the most-downloaded
+		// listing.
+		var original *AppInstance
+		for _, a := range group {
+			if original == nil || a.Downloads > original.Downloads {
+				original = a
+			}
+		}
+		for _, a := range group {
+			if a.Developer == original.Developer {
+				continue
+			}
+			result.Pairs = append(result.Pairs, ClonePair{
+				Original: original.Ref(),
+				Clone:    a.Ref(),
+				Kind:     "signature",
+			})
+		}
+	}
+	return result
+}
+
+// CodeConfig tunes the two-phase code-based clone detector.
+type CodeConfig struct {
+	// DistanceThreshold is the maximum normalized Manhattan distance for a
+	// candidate pair. The paper experimentally selected 0.05 (95%
+	// similarity).
+	DistanceThreshold float64
+	// SegmentThreshold is the minimum fraction of shared code segments for
+	// a candidate to be confirmed as a clone (0.85 in the paper).
+	SegmentThreshold float64
+	// MinVectorTotal skips apps whose (library-filtered) code is too small
+	// to compare meaningfully; near-empty apps would otherwise all look
+	// alike.
+	MinVectorTotal int
+}
+
+// DefaultCodeConfig returns the paper's thresholds.
+func DefaultCodeConfig() CodeConfig {
+	return CodeConfig{DistanceThreshold: 0.05, SegmentThreshold: 0.85, MinVectorTotal: 10}
+}
+
+// CodeResult is the output of the code-based clone detector.
+type CodeResult struct {
+	Pairs []ClonePair
+	// CandidatePairs is the number of pairs that passed the vector phase
+	// (useful to judge how much work the second phase saved).
+	CandidatePairs int
+	// ComparedPairs is the number of vector comparisons performed after
+	// blocking.
+	ComparedPairs int
+}
+
+// CloneByMarket returns, per market, the number of distinct listings flagged
+// as code-based clones.
+func (r *CodeResult) CloneByMarket() map[string]int {
+	out := map[string]int{}
+	seen := map[Ref]bool{}
+	for _, p := range r.Pairs {
+		if !seen[p.Clone] {
+			seen[p.Clone] = true
+			out[p.Clone.Market]++
+		}
+	}
+	return out
+}
+
+// SourceHeatmap returns the clone-source matrix of Figure 10:
+// heatmap[source][destination] counts clones published in `destination`
+// whose original was published in `source`. Both intra-market and
+// inter-market clones are counted.
+func (r *CodeResult) SourceHeatmap() map[string]map[string]int {
+	out := map[string]map[string]int{}
+	for _, p := range r.Pairs {
+		row, ok := out[p.Original.Market]
+		if !ok {
+			row = map[string]int{}
+			out[p.Original.Market] = row
+		}
+		row[p.Clone.Market]++
+	}
+	return out
+}
+
+// DetectCodeClones runs the two-phase WuKong detection over the corpus.
+//
+// Phase 1 compares API-call count vectors with the normalized Manhattan
+// distance. To avoid the full O(n²) comparison the corpus is sorted by
+// vector total and only pairs whose totals could possibly be within the
+// distance threshold are compared (a pair whose totals differ by more than
+// threshold/(2-threshold) of their sum cannot be within the threshold).
+//
+// Phase 2 confirms candidates by requiring that at least SegmentThreshold of
+// the smaller app's code segments appear in the other app.
+//
+// Only pairs with different package names AND different developers are
+// reported: same-package different-developer pairs are signature clones, and
+// same-developer similar apps are legitimate app families.
+func DetectCodeClones(apps []*AppInstance, cfg CodeConfig) *CodeResult {
+	if cfg.DistanceThreshold <= 0 {
+		cfg = DefaultCodeConfig()
+	}
+	type entry struct {
+		app   *AppInstance
+		total int
+	}
+	entries := make([]entry, 0, len(apps))
+	for _, a := range sortInstances(apps) {
+		t := a.Vector.Total()
+		if t < cfg.MinVectorTotal {
+			continue
+		}
+		entries = append(entries, entry{app: a, total: t})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].total != entries[j].total {
+			return entries[i].total < entries[j].total
+		}
+		if entries[i].app.Market != entries[j].app.Market {
+			return entries[i].app.Market < entries[j].app.Market
+		}
+		return entries[i].app.Package < entries[j].app.Package
+	})
+
+	result := &CodeResult{}
+	for i := 0; i < len(entries); i++ {
+		a := entries[i]
+		for j := i + 1; j < len(entries); j++ {
+			b := entries[j]
+			// Blocking: |ta-tb|/(ta+tb) is a lower bound on the distance,
+			// so once it exceeds the threshold no later entry can match.
+			if float64(b.total-a.total)/float64(a.total+b.total) > cfg.DistanceThreshold {
+				break
+			}
+			if a.app.Package == b.app.Package {
+				continue
+			}
+			if a.app.Developer == b.app.Developer {
+				continue
+			}
+			result.ComparedPairs++
+			d := Distance(a.app.Vector, b.app.Vector)
+			if d > cfg.DistanceThreshold {
+				continue
+			}
+			result.CandidatePairs++
+			// Phase 2: code segment comparison from the perspective of the
+			// smaller app.
+			share := SegmentSimilarity(a.app.Segments, b.app.Segments)
+			if s2 := SegmentSimilarity(b.app.Segments, a.app.Segments); s2 < share {
+				share = s2
+			}
+			if share < cfg.SegmentThreshold {
+				continue
+			}
+			original, clone := a.app, b.app
+			if clone.Downloads > original.Downloads {
+				original, clone = clone, original
+			}
+			result.Pairs = append(result.Pairs, ClonePair{
+				Original:     original.Ref(),
+				Clone:        clone.Ref(),
+				Kind:         "code",
+				Distance:     d,
+				SegmentShare: share,
+			})
+		}
+	}
+	return result
+}

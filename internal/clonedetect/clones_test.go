@@ -1,0 +1,260 @@
+package clonedetect
+
+import (
+	"testing"
+
+	"marketscope/internal/dex"
+	"marketscope/internal/signing"
+)
+
+// instance builds an AppInstance with a synthetic code profile derived from
+// the codeSeed: apps with the same codeSeed have identical code.
+func instance(market, pkg, name string, downloads int64, dev *signing.Developer, codeSeed string) *AppInstance {
+	calls := map[string]int{
+		"android.app.Activity.onCreate":   2,
+		"android.widget.TextView.setText": 3,
+		"api.seed." + codeSeed + ".one":   4,
+		"api.seed." + codeSeed + ".two":   5,
+		"api.seed." + codeSeed + ".three": 1,
+	}
+	var methods []dex.Method
+	for call, n := range calls {
+		for i := 0; i < n; i++ {
+			methods = append(methods, dex.Method{Name: "m", APICalls: []string{call, call + ".aux"}})
+		}
+	}
+	code := &dex.File{Classes: []dex.Class{{Name: pkg + ".Main", Methods: methods}}}
+	return &AppInstance{
+		Market:    market,
+		Package:   pkg,
+		AppName:   name,
+		Downloads: downloads,
+		Developer: dev.Fingerprint(),
+		Vector:    NewVector(code, nil),
+		Segments:  code.CodeSegments(),
+	}
+}
+
+func TestDetectSignatureClones(t *testing.T) {
+	official := signing.NewDeveloper("official", 1)
+	pirate := signing.NewDeveloper("pirate", 2)
+	apps := []*AppInstance{
+		instance("Google Play", "com.kugou.android", "Kugou Music", 5_000_000, official, "kugou"),
+		instance("Tencent Myapp", "com.kugou.android", "Kugou Music", 3_000_000, official, "kugou"),
+		instance("25PP", "com.kugou.android", "Kugou Music", 2_000, pirate, "kugou-mod"),
+		instance("Baidu Market", "com.other.app", "Other", 100, official, "other"),
+	}
+	res := DetectSignatureClones(apps)
+	if len(res.Pairs) != 1 {
+		t.Fatalf("pairs = %+v, want exactly 1", res.Pairs)
+	}
+	p := res.Pairs[0]
+	if p.Clone.Market != "25PP" || p.Original.Market != "Google Play" {
+		t.Errorf("attribution wrong: %+v", p)
+	}
+	if p.Kind != "signature" {
+		t.Errorf("kind = %q", p.Kind)
+	}
+	byMarket := res.CloneByMarket()
+	if byMarket["25PP"] != 1 || byMarket["Google Play"] != 0 {
+		t.Errorf("CloneByMarket = %v", byMarket)
+	}
+	// Cluster stats: com.kugou.android has 2 developers, com.other.app 1.
+	foundKugou := false
+	for _, c := range res.Clusters {
+		if c.Package == "com.kugou.android" {
+			foundKugou = true
+			if c.Developers != 2 || c.Instances != 3 {
+				t.Errorf("cluster = %+v", c)
+			}
+		}
+	}
+	if !foundKugou {
+		t.Error("kugou cluster missing")
+	}
+}
+
+func TestDetectSignatureClonesNoFalsePositives(t *testing.T) {
+	dev := signing.NewDeveloper("solo", 3)
+	apps := []*AppInstance{
+		instance("Google Play", "com.solo.app", "Solo", 1000, dev, "solo"),
+		instance("Huawei Market", "com.solo.app", "Solo", 900, dev, "solo"),
+	}
+	res := DetectSignatureClones(apps)
+	if len(res.Pairs) != 0 {
+		t.Errorf("same-developer multi-market app flagged as clone: %+v", res.Pairs)
+	}
+}
+
+func TestDetectCodeClones(t *testing.T) {
+	official := signing.NewDeveloper("official", 4)
+	cloner := signing.NewDeveloper("cloner", 5)
+	other := signing.NewDeveloper("other", 6)
+	apps := []*AppInstance{
+		// Original popular app.
+		instance("Google Play", "com.game.legit", "Legit Game", 10_000_000, official, "game"),
+		// Repackaged copy: identical code, new package name, new signer.
+		instance("25PP", "com.game.cracked", "Legit Game Free", 500, cloner, "game"),
+		// Unrelated app.
+		instance("Baidu Market", "com.news.reader", "News Reader", 20_000, other, "news"),
+	}
+	res := DetectCodeClones(apps, DefaultCodeConfig())
+	if len(res.Pairs) != 1 {
+		t.Fatalf("pairs = %+v, want exactly 1", res.Pairs)
+	}
+	p := res.Pairs[0]
+	if p.Original.Package != "com.game.legit" || p.Clone.Package != "com.game.cracked" {
+		t.Errorf("attribution wrong: %+v", p)
+	}
+	if p.Kind != "code" || p.SegmentShare < 0.85 {
+		t.Errorf("pair metadata wrong: %+v", p)
+	}
+	heat := res.SourceHeatmap()
+	if heat["Google Play"]["25PP"] != 1 {
+		t.Errorf("heatmap = %v", heat)
+	}
+	if res.ComparedPairs == 0 || res.CandidatePairs == 0 {
+		t.Error("phase statistics not recorded")
+	}
+}
+
+func TestDetectCodeClonesIgnoresSameDeveloperFamilies(t *testing.T) {
+	dev := signing.NewDeveloper("family", 7)
+	apps := []*AppInstance{
+		instance("Google Play", "com.family.lite", "Family Lite", 1000, dev, "family"),
+		instance("Google Play", "com.family.pro", "Family Pro", 2000, dev, "family"),
+	}
+	res := DetectCodeClones(apps, DefaultCodeConfig())
+	if len(res.Pairs) != 0 {
+		t.Errorf("same-developer app family flagged: %+v", res.Pairs)
+	}
+}
+
+func TestDetectCodeClonesRespectsThreshold(t *testing.T) {
+	a := signing.NewDeveloper("a", 8)
+	b := signing.NewDeveloper("b", 9)
+	apps := []*AppInstance{
+		instance("Google Play", "com.app.one", "One", 1000, a, "alpha"),
+		instance("360 Market", "com.app.two", "Two", 10, b, "beta"),
+	}
+	res := DetectCodeClones(apps, DefaultCodeConfig())
+	if len(res.Pairs) != 0 {
+		t.Errorf("dissimilar apps flagged as clones: %+v", res.Pairs)
+	}
+	// With an absurdly loose threshold the pair appears (segment share of
+	// the common onCreate/setText methods is still below 0.85, so relax
+	// both).
+	loose := CodeConfig{DistanceThreshold: 0.99, SegmentThreshold: 0.01, MinVectorTotal: 1}
+	res = DetectCodeClones(apps, loose)
+	if len(res.Pairs) != 1 {
+		t.Errorf("loose thresholds should flag the pair, got %+v", res.Pairs)
+	}
+}
+
+func TestDetectCodeClonesSkipsTinyApps(t *testing.T) {
+	a := signing.NewDeveloper("a", 10)
+	b := signing.NewDeveloper("b", 11)
+	tiny1 := &AppInstance{Market: "Google Play", Package: "com.tiny.one", Developer: a.Fingerprint(),
+		Vector: FeatureVector{"api:x": 1}}
+	tiny2 := &AppInstance{Market: "25PP", Package: "com.tiny.two", Developer: b.Fingerprint(),
+		Vector: FeatureVector{"api:x": 1}}
+	res := DetectCodeClones([]*AppInstance{tiny1, tiny2}, DefaultCodeConfig())
+	if len(res.Pairs) != 0 {
+		t.Errorf("near-empty apps should be skipped: %+v", res.Pairs)
+	}
+}
+
+func TestDetectFakes(t *testing.T) {
+	official := signing.NewDeveloper("tencent", 20)
+	impostor := signing.NewDeveloper("impostor", 21)
+	legit := signing.NewDeveloper("legit", 22)
+	apps := []*AppInstance{
+		// Official WeChat with 500M installs, listed in two markets.
+		instance("Google Play", "com.tencent.mm", "WeChat", 500_000_000, official, "wechat"),
+		instance("Tencent Myapp", "com.tencent.mm", "WeChat", 400_000_000, official, "wechat"),
+		// Fake WeChat: same name, different package, unpopular, different dev.
+		instance("PC Online", "com.fake.wechat", "WeChat", 300, impostor, "fakewechat"),
+		// Same developer's platform variant must not be flagged.
+		instance("Google Play", "com.tencent.mm.pad", "WeChat", 800, official, "wechatpad"),
+		// Common-name cluster must be ignored entirely.
+		instance("Google Play", "com.tools.flash1", "Flashlight", 2_000_000, legit, "flash1"),
+		instance("25PP", "com.cheap.flash2", "Flashlight", 50, impostor, "flash2"),
+	}
+	res := DetectFakes(apps, DefaultFakeConfig())
+	if len(res.Fakes) != 1 {
+		t.Fatalf("fakes = %+v, want exactly 1", res.Fakes)
+	}
+	f := res.Fakes[0]
+	if f.Fake.Package != "com.fake.wechat" || f.Fake.Market != "PC Online" {
+		t.Errorf("fake attribution wrong: %+v", f)
+	}
+	if f.Official.Package != "com.tencent.mm" {
+		t.Errorf("official attribution wrong: %+v", f)
+	}
+	byMarket := res.FakeByMarket()
+	if byMarket["PC Online"] != 1 {
+		t.Errorf("FakeByMarket = %v", byMarket)
+	}
+	// Name clusters should include both wechat and flashlight clusters.
+	if len(res.Clusters) < 2 {
+		t.Errorf("clusters = %+v", res.Clusters)
+	}
+}
+
+func TestDetectFakesLargeClustersExcluded(t *testing.T) {
+	official := signing.NewDeveloper("official", 30)
+	apps := []*AppInstance{
+		instance("Google Play", "com.popular.app", "Super Widget", 5_000_000, official, "w0"),
+	}
+	// Ten unpopular same-name apps -> cluster too large for the heuristic.
+	for i := 0; i < 10; i++ {
+		dev := signing.NewDeveloper("x", uint64(40+i))
+		apps = append(apps, instance("25PP", "com.widget.v"+string(rune('a'+i)), "Super Widget", 10, dev, "w"+string(rune('a'+i))))
+	}
+	res := DetectFakes(apps, DefaultFakeConfig())
+	if len(res.Fakes) != 0 {
+		t.Errorf("oversized cluster should be excluded, got %d fakes", len(res.Fakes))
+	}
+}
+
+func TestDetectFakesConfigDefaults(t *testing.T) {
+	official := signing.NewDeveloper("o", 50)
+	impostor := signing.NewDeveloper("i", 51)
+	apps := []*AppInstance{
+		instance("Google Play", "com.real.app", "Realapp", 2_000_000, official, "real"),
+		instance("PC Online", "com.fake.app", "Realapp", 100, impostor, "fake"),
+	}
+	// Zero-value config falls back to defaults.
+	res := DetectFakes(apps, FakeConfig{})
+	if len(res.Fakes) != 1 {
+		t.Errorf("default config not applied: %+v", res.Fakes)
+	}
+}
+
+func BenchmarkDetectCodeClones(b *testing.B) {
+	var apps []*AppInstance
+	for i := 0; i < 200; i++ {
+		dev := signing.NewDeveloper("d", uint64(i))
+		seed := string(rune('a' + i%40))
+		apps = append(apps, instance("Market", "com.bench.app"+string(rune('a'+i%26))+string(rune('a'+i/26)),
+			"App", int64(i), dev, seed))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DetectCodeClones(apps, DefaultCodeConfig())
+	}
+}
+
+func BenchmarkDetectSignatureClones(b *testing.B) {
+	var apps []*AppInstance
+	for i := 0; i < 500; i++ {
+		dev := signing.NewDeveloper("d", uint64(i%100))
+		apps = append(apps, instance("Market", "com.bench.pkg"+string(rune('a'+i%50)), "App", int64(i), dev, "s"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DetectSignatureClones(apps)
+	}
+}

@@ -1,0 +1,189 @@
+package clonedetect
+
+import (
+	"sort"
+
+	"marketscope/internal/appmeta"
+)
+
+// FakeConfig tunes the fake-app heuristic of Section 6.1. The defaults are
+// the paper's: clusters of fewer than 5 distinct packages built on uncommon
+// names, in which an official app with more than 1 M installs coexists with
+// unpopular (≤ 1,000 installs) apps from other developers.
+type FakeConfig struct {
+	// OfficialMinDownloads is the install threshold above which a cluster
+	// member is considered the official app.
+	OfficialMinDownloads int64
+	// FakeMaxDownloads is the install threshold below which an imitating
+	// member is considered unpopular enough to be flagged.
+	FakeMaxDownloads int64
+	// MaxClusterPackages is the maximum number of distinct packages a
+	// cluster may contain and still be considered; very large clusters are
+	// generic names rather than impersonation targets.
+	MaxClusterPackages int
+}
+
+// DefaultFakeConfig returns the paper's thresholds.
+func DefaultFakeConfig() FakeConfig {
+	return FakeConfig{
+		OfficialMinDownloads: 1_000_000,
+		FakeMaxDownloads:     1_000,
+		MaxClusterPackages:   5,
+	}
+}
+
+// FakeApp is one flagged fake app together with the official app it
+// imitates.
+type FakeApp struct {
+	Fake     Ref
+	Official Ref
+	// Name is the shared (normalized) app name.
+	Name string
+}
+
+// NameCluster is a group of app instances sharing a normalized app name but
+// using at least two distinct package names. Figure 8(b) plots the
+// distribution of these cluster sizes.
+type NameCluster struct {
+	Name string
+	// Packages is the number of distinct package names in the cluster.
+	Packages int
+	// Instances is the total number of listings in the cluster.
+	Instances int
+}
+
+// FakeResult is the output of the fake-app detector.
+type FakeResult struct {
+	Fakes []FakeApp
+	// Clusters holds every multi-package name cluster (before the
+	// popularity heuristic), used for Figure 8(b).
+	Clusters []NameCluster
+}
+
+// FakeByMarket returns the number of fake apps flagged per market.
+func (r *FakeResult) FakeByMarket() map[string]int {
+	out := map[string]int{}
+	for _, f := range r.Fakes {
+		out[f.Fake.Market]++
+	}
+	return out
+}
+
+// DetectFakes clusters the corpus by normalized app name and applies the
+// popularity heuristic. Instances of the same package in different markets
+// are treated as one app (identified by package name), matching the paper's
+// de-duplication by package name.
+func DetectFakes(apps []*AppInstance, cfg FakeConfig) *FakeResult {
+	if cfg.OfficialMinDownloads <= 0 || cfg.FakeMaxDownloads <= 0 || cfg.MaxClusterPackages <= 0 {
+		cfg = DefaultFakeConfig()
+	}
+	ordered := sortInstances(apps)
+
+	type pkgInfo struct {
+		pkg          string
+		name         string
+		maxDownloads int64
+		developers   map[string]bool
+		instances    []*AppInstance
+	}
+	// Group listings by package: the same package listed in many markets is
+	// one app.
+	byPackage := map[string]*pkgInfo{}
+	for _, a := range ordered {
+		norm := appmeta.NormalizeAppName(a.AppName)
+		if norm == "" {
+			continue
+		}
+		pi, ok := byPackage[a.Package]
+		if !ok {
+			pi = &pkgInfo{pkg: a.Package, name: norm, developers: map[string]bool{}}
+			byPackage[a.Package] = pi
+		}
+		if a.Downloads > pi.maxDownloads {
+			pi.maxDownloads = a.Downloads
+		}
+		pi.developers[a.Developer.String()] = true
+		pi.instances = append(pi.instances, a)
+	}
+
+	// Cluster packages by normalized name.
+	clusters := map[string][]*pkgInfo{}
+	for _, pi := range byPackage {
+		clusters[pi.name] = append(clusters[pi.name], pi)
+	}
+
+	result := &FakeResult{}
+	names := make([]string, 0, len(clusters))
+	for name := range clusters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		members := clusters[name]
+		if len(members) < 2 {
+			continue
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i].pkg < members[j].pkg })
+		instances := 0
+		for _, m := range members {
+			instances += len(m.instances)
+		}
+		result.Clusters = append(result.Clusters, NameCluster{
+			Name: name, Packages: len(members), Instances: instances,
+		})
+
+		// Apply the heuristic: skip generic names and oversized clusters.
+		if appmeta.IsCommonAppName(name) {
+			continue
+		}
+		if len(members) > cfg.MaxClusterPackages {
+			continue
+		}
+		// Find the official member.
+		var official *pkgInfo
+		for _, m := range members {
+			if m.maxDownloads >= cfg.OfficialMinDownloads &&
+				(official == nil || m.maxDownloads > official.maxDownloads) {
+				official = m
+			}
+		}
+		if official == nil {
+			continue
+		}
+		officialDev := singleDeveloper(official.developers)
+		for _, m := range members {
+			if m == official {
+				continue
+			}
+			if m.maxDownloads > cfg.FakeMaxDownloads {
+				continue
+			}
+			// A developer releasing the same-named app under several
+			// package names (e.g. per-platform builds) is legitimate.
+			if officialDev != "" && singleDeveloper(m.developers) == officialDev {
+				continue
+			}
+			for _, inst := range m.instances {
+				result.Fakes = append(result.Fakes, FakeApp{
+					Fake:     inst.Ref(),
+					Official: official.instances[0].Ref(),
+					Name:     name,
+				})
+			}
+		}
+	}
+	return result
+}
+
+// singleDeveloper returns the developer fingerprint if all instances of the
+// package share one, or "" if the package has mixed signers.
+func singleDeveloper(devs map[string]bool) string {
+	if len(devs) != 1 {
+		return ""
+	}
+	for d := range devs {
+		return d
+	}
+	return ""
+}

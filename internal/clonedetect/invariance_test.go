@@ -1,0 +1,101 @@
+package clonedetect
+
+import (
+	"math/rand"
+	"testing"
+
+	"marketscope/internal/signing"
+)
+
+// buildCorpus creates a deterministic mixed corpus: original apps, one code
+// clone, one signature clone and one fake.
+func buildCorpus() []*AppInstance {
+	official := signing.NewDeveloper("official", 100)
+	cloner := signing.NewDeveloper("cloner", 101)
+	impostor := signing.NewDeveloper("impostor", 102)
+	other := signing.NewDeveloper("other", 103)
+	return []*AppInstance{
+		instance("Google Play", "com.big.game", "Big Game", 8_000_000, official, "game"),
+		instance("Tencent Myapp", "com.big.game", "Big Game", 2_000_000, official, "game"),
+		instance("25PP", "com.big.game.free", "Big Game Free", 900, cloner, "game"),
+		instance("PC Online", "com.big.game", "Big Game", 500, cloner, "game-mod"),
+		instance("PC Online", "com.fake.game", "Big Game", 80, impostor, "fakegame"),
+		instance("Baidu Market", "com.other.news", "Other News", 40_000, other, "news"),
+		instance("Huawei Market", "com.other.weather", "Weather Now", 60_000, other, "weather"),
+	}
+}
+
+// shuffle returns a new slice with the corpus in a random (seeded) order.
+func shuffle(apps []*AppInstance, seed int64) []*AppInstance {
+	out := append([]*AppInstance(nil), apps...)
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// TestDetectorsAreOrderInvariant checks that the output of every detector is
+// a pure function of the corpus contents, not of the order in which listings
+// were crawled — a property the real pipeline depends on because crawl order
+// is nondeterministic.
+func TestDetectorsAreOrderInvariant(t *testing.T) {
+	base := buildCorpus()
+	refFakes := DetectFakes(base, DefaultFakeConfig())
+	refSig := DetectSignatureClones(base)
+	refCode := DetectCodeClones(base, DefaultCodeConfig())
+
+	for seed := int64(1); seed <= 8; seed++ {
+		perm := shuffle(base, seed)
+
+		fakes := DetectFakes(perm, DefaultFakeConfig())
+		if len(fakes.Fakes) != len(refFakes.Fakes) {
+			t.Fatalf("seed %d: fake count changed with input order: %d vs %d",
+				seed, len(fakes.Fakes), len(refFakes.Fakes))
+		}
+		for i := range fakes.Fakes {
+			if fakes.Fakes[i] != refFakes.Fakes[i] {
+				t.Fatalf("seed %d: fake %d differs: %+v vs %+v", seed, i, fakes.Fakes[i], refFakes.Fakes[i])
+			}
+		}
+
+		sig := DetectSignatureClones(perm)
+		if len(sig.Pairs) != len(refSig.Pairs) {
+			t.Fatalf("seed %d: signature clone count changed: %d vs %d", seed, len(sig.Pairs), len(refSig.Pairs))
+		}
+		for i := range sig.Pairs {
+			if sig.Pairs[i] != refSig.Pairs[i] {
+				t.Fatalf("seed %d: signature pair %d differs", seed, i)
+			}
+		}
+
+		code := DetectCodeClones(perm, DefaultCodeConfig())
+		if len(code.Pairs) != len(refCode.Pairs) {
+			t.Fatalf("seed %d: code clone count changed: %d vs %d", seed, len(code.Pairs), len(refCode.Pairs))
+		}
+		for i := range code.Pairs {
+			if code.Pairs[i].Original != refCode.Pairs[i].Original || code.Pairs[i].Clone != refCode.Pairs[i].Clone {
+				t.Fatalf("seed %d: code pair %d differs: %+v vs %+v", seed, i, code.Pairs[i], refCode.Pairs[i])
+			}
+		}
+	}
+}
+
+// TestHeatmapMatchesPairs checks that the Figure 10 heatmap is exactly the
+// aggregation of the detected pairs.
+func TestHeatmapMatchesPairs(t *testing.T) {
+	res := DetectCodeClones(buildCorpus(), DefaultCodeConfig())
+	heat := res.SourceHeatmap()
+	total := 0
+	for _, row := range heat {
+		for _, n := range row {
+			total += n
+		}
+	}
+	if total != len(res.Pairs) {
+		t.Errorf("heatmap total %d != %d pairs", total, len(res.Pairs))
+	}
+	for _, p := range res.Pairs {
+		if heat[p.Original.Market][p.Clone.Market] == 0 {
+			t.Errorf("pair %+v missing from heatmap", p)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package clonedetect implements the fake-app and cloned-app detection of
+// Section 6 of the paper.
+//
+// Three detectors are provided:
+//
+//   - Fake apps (Section 6.1): apps that imitate the *name* of a popular app
+//     but ship under a different package name, found by clustering on
+//     normalized app names and applying the paper's popularity heuristic.
+//
+//   - Signature-based clones (Section 6.2): apps sharing a package name but
+//     signed by different developers.
+//
+//   - Code-based clones (Section 6.2): apps with different package names but
+//     highly similar code, detected with the two-phase WuKong approach — a
+//     normalized Manhattan distance over API-call count vectors followed by a
+//     code-segment comparison.
+//
+// All detectors operate on AppInstance values, a market-agnostic view of one
+// app listing with just enough information to attribute clones to source and
+// destination markets (Figure 10).
+package clonedetect
+
+import (
+	"sort"
+
+	"marketscope/internal/dex"
+	"marketscope/internal/signing"
+)
+
+// FeatureVector is a sparse API-call count vector. The original WuKong used
+// a ~45K-dimension vector over Android API calls, intents and content
+// providers; the sparse map representation is equivalent and does not require
+// fixing the dimensionality up front.
+type FeatureVector map[string]int
+
+// NewVector builds the feature vector of an app's code, excluding classes
+// under the given package prefixes (normally the detected third-party
+// libraries, which would otherwise dominate the similarity signal).
+func NewVector(code *dex.File, excludePrefixes []string) FeatureVector {
+	filtered := code
+	if len(excludePrefixes) > 0 {
+		filtered = code.WithoutPrefixes(excludePrefixes)
+	}
+	v := FeatureVector{}
+	for call, n := range filtered.APICallCounts() {
+		v["api:"+call] += n
+	}
+	for action, n := range filtered.IntentActionCounts() {
+		v["intent:"+action] += n
+	}
+	for uri, n := range filtered.ContentURICounts() {
+		v["uri:"+uri] += n
+	}
+	return v
+}
+
+// Total returns the sum of all counts in the vector.
+func (v FeatureVector) Total() int {
+	t := 0
+	for _, n := range v {
+		t += n
+	}
+	return t
+}
+
+// Distance computes the normalized Manhattan distance used by WuKong:
+//
+//	distance(A,B) = sum_i |A_i - B_i| / sum_i (A_i + B_i)
+//
+// The result is in [0, 1]; 0 means identical counts, 1 means disjoint
+// feature sets. Two empty vectors have distance 0.
+func Distance(a, b FeatureVector) float64 {
+	var num, den int
+	for k, av := range a {
+		bv := b[k]
+		num += abs(av - bv)
+		den += av + bv
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			num += bv
+			den += bv
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// AppInstance is one app listing as seen by the clone detectors.
+type AppInstance struct {
+	Market    string
+	Package   string
+	AppName   string
+	Downloads int64
+	Developer signing.Fingerprint
+	Vector    FeatureVector
+	Segments  [][32]byte
+}
+
+// Ref identifies an app instance (one listing in one market).
+type Ref struct {
+	Market  string
+	Package string
+}
+
+// Ref returns the instance's reference.
+func (a *AppInstance) Ref() Ref { return Ref{Market: a.Market, Package: a.Package} }
+
+// SegmentSimilarity returns the fraction of a's code segments that also
+// appear in b (by digest). It is the second-phase WuKong check: candidate
+// pairs from the vector phase are confirmed as clones only if they share a
+// large fraction of concrete code segments.
+func SegmentSimilarity(a, b [][32]byte) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	bSet := make(map[[32]byte]int, len(b))
+	for _, s := range b {
+		bSet[s]++
+	}
+	shared := 0
+	for _, s := range a {
+		if bSet[s] > 0 {
+			bSet[s]--
+			shared++
+		}
+	}
+	return float64(shared) / float64(len(a))
+}
+
+// sortInstances orders instances deterministically (market, then package),
+// which keeps every detector's output stable across runs.
+func sortInstances(apps []*AppInstance) []*AppInstance {
+	out := append([]*AppInstance(nil), apps...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Market != out[j].Market {
+			return out[i].Market < out[j].Market
+		}
+		return out[i].Package < out[j].Package
+	})
+	return out
+}

@@ -1,0 +1,125 @@
+package clonedetect
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"marketscope/internal/dex"
+)
+
+func codeWithCalls(pkg string, calls map[string]int) *dex.File {
+	var methods []dex.Method
+	for call, n := range calls {
+		for i := 0; i < n; i++ {
+			methods = append(methods, dex.Method{Name: "m", APICalls: []string{call}})
+		}
+	}
+	return &dex.File{Classes: []dex.Class{{Name: pkg + ".Main", Methods: methods}}}
+}
+
+func TestNewVectorCountsAllFeatureKinds(t *testing.T) {
+	code := &dex.File{Classes: []dex.Class{
+		{Name: "com.a.Main", Methods: []dex.Method{
+			{Name: "m", APICalls: []string{"x.Y.call", "x.Y.call"},
+				IntentActions: []string{"android.intent.action.VIEW"},
+				ContentURIs:   []string{"content://sms"}},
+		}},
+	}}
+	v := NewVector(code, nil)
+	if v["api:x.Y.call"] != 2 {
+		t.Errorf("api count = %d", v["api:x.Y.call"])
+	}
+	if v["intent:android.intent.action.VIEW"] != 1 {
+		t.Errorf("intent count = %d", v["intent:android.intent.action.VIEW"])
+	}
+	if v["uri:content://sms"] != 1 {
+		t.Errorf("uri count = %d", v["uri:content://sms"])
+	}
+	if v.Total() != 4 {
+		t.Errorf("Total = %d, want 4", v.Total())
+	}
+}
+
+func TestNewVectorExcludesLibraryPrefixes(t *testing.T) {
+	code := &dex.File{Classes: []dex.Class{
+		{Name: "com.app.Main", Methods: []dex.Method{{Name: "m", APICalls: []string{"a.B.c"}}}},
+		{Name: "com.umeng.Agent", Methods: []dex.Method{{Name: "m", APICalls: []string{"d.E.f"}}}},
+	}}
+	v := NewVector(code, []string{"com.umeng"})
+	if _, ok := v["api:d.E.f"]; ok {
+		t.Error("library API call not excluded")
+	}
+	if v["api:a.B.c"] != 1 {
+		t.Error("host API call missing")
+	}
+}
+
+func TestDistanceBasics(t *testing.T) {
+	a := FeatureVector{"x": 10, "y": 5}
+	if d := Distance(a, a); d != 0 {
+		t.Errorf("identical vectors distance = %g", d)
+	}
+	b := FeatureVector{"z": 7}
+	if d := Distance(a, b); math.Abs(d-1) > 1e-12 {
+		t.Errorf("disjoint vectors distance = %g, want 1", d)
+	}
+	if d := Distance(FeatureVector{}, FeatureVector{}); d != 0 {
+		t.Errorf("empty vectors distance = %g", d)
+	}
+	// Small perturbation -> small distance.
+	c := FeatureVector{"x": 10, "y": 6}
+	if d := Distance(a, c); d > 0.1 {
+		t.Errorf("near-identical distance = %g", d)
+	}
+}
+
+func TestDistanceSymmetricAndBoundedProperty(t *testing.T) {
+	f := func(keysA, keysB []uint8) bool {
+		a := FeatureVector{}
+		b := FeatureVector{}
+		for _, k := range keysA {
+			a[string(rune('a'+k%16))]++
+		}
+		for _, k := range keysB {
+			b[string(rune('a'+k%16))]++
+		}
+		d1 := Distance(a, b)
+		d2 := Distance(b, a)
+		return math.Abs(d1-d2) < 1e-12 && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentSimilarity(t *testing.T) {
+	s1 := [32]byte{1}
+	s2 := [32]byte{2}
+	s3 := [32]byte{3}
+	if got := SegmentSimilarity([][32]byte{s1, s2}, [][32]byte{s1, s2, s3}); got != 1 {
+		t.Errorf("full containment similarity = %g", got)
+	}
+	if got := SegmentSimilarity([][32]byte{s1, s2}, [][32]byte{s3}); got != 0 {
+		t.Errorf("disjoint similarity = %g", got)
+	}
+	if got := SegmentSimilarity([][32]byte{s1, s2, s3}, [][32]byte{s1}); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("partial similarity = %g", got)
+	}
+	if got := SegmentSimilarity(nil, [][32]byte{s1}); got != 0 {
+		t.Errorf("empty similarity = %g", got)
+	}
+	// Multiset semantics: duplicates in a are only matched as often as they
+	// appear in b.
+	if got := SegmentSimilarity([][32]byte{s1, s1}, [][32]byte{s1}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("multiset similarity = %g, want 0.5", got)
+	}
+}
+
+func TestVectorFromGeneratedCode(t *testing.T) {
+	code := codeWithCalls("com.x", map[string]int{"a.B.c": 3, "d.E.f": 2})
+	v := NewVector(code, nil)
+	if v.Total() != 5 {
+		t.Errorf("Total = %d, want 5", v.Total())
+	}
+}

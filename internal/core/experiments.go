@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"marketscope/internal/report"
+)
+
+// Experiment identifies one of the paper's tables or figures.
+type Experiment struct {
+	// ID is the short identifier used on the command line and in
+	// EXPERIMENTS.md: "T1".."T6" for tables, "F1".."F13" for figures.
+	ID string
+	// Title is the artifact's caption in the paper.
+	Title string
+	// Render produces the reproduced artifact from a study's results.
+	Render func(*Results) string
+}
+
+// experiments is the registry, in paper order.
+var experiments = []Experiment{
+	{ID: "T1", Title: "Dataset size and market features", Render: func(r *Results) string {
+		return report.Table1(r.Overview, r.Totals)
+	}},
+	{ID: "F1", Title: "Distribution of app categories", Render: func(r *Results) string {
+		return report.Figure1(r.Categories)
+	}},
+	{ID: "F2", Title: "Distribution of downloads across markets", Render: func(r *Results) string {
+		return report.Figure2(r.Downloads)
+	}},
+	{ID: "F3", Title: "Distribution of minimum API level", Render: func(r *Results) string {
+		return report.Figure3(r.APILevelsGP, r.APILevelsCN)
+	}},
+	{ID: "F4", Title: "Distribution of app release/update dates", Render: func(r *Results) string {
+		return report.Figure4(r.ReleaseGP, r.ReleaseCN)
+	}},
+	{ID: "F5", Title: "Presence of third-party libraries", Render: func(r *Results) string {
+		return report.Figure5(r.LibraryUsage)
+	}},
+	{ID: "T2", Title: "Top 10 third-party libraries", Render: func(r *Results) string {
+		return report.Table2(r.TopLibsGP, r.TopLibsCN)
+	}},
+	{ID: "F6", Title: "Distribution of app ratings", Render: func(r *Results) string {
+		return report.Figure6(r.Ratings)
+	}},
+	{ID: "F7", Title: "CDF of developer published markets", Render: func(r *Results) string {
+		return report.Figure7(r.Publishing)
+	}},
+	{ID: "F8", Title: "CDFs of versions, name clusters and developers", Render: func(r *Results) string {
+		return report.Figure8(r.Clusters)
+	}},
+	{ID: "F9", Title: "Comparison of app updates across markets", Render: func(r *Results) string {
+		return report.Figure9(r.Outdated)
+	}},
+	{ID: "T3", Title: "Fake and cloned apps across stores", Render: func(r *Results) string {
+		return report.Table3(r.Misbehavior)
+	}},
+	{ID: "F10", Title: "Intra- and inter-market app clones", Render: func(r *Results) string {
+		return report.Figure10(r.Misbehavior.Heatmap, r.Dataset.MarketNames())
+	}},
+	{ID: "F11", Title: "Distribution of over-privileged apps", Render: func(r *Results) string {
+		return report.Figure11(r.OverPrivGP, r.OverPrivCN)
+	}},
+	{ID: "T4", Title: "Apps labeled as malware by AV-rank", Render: func(r *Results) string {
+		return report.Table4(r.Malware, r.MalwareAvg)
+	}},
+	{ID: "T5", Title: "Top 10 malicious apps by AV-rank", Render: func(r *Results) string {
+		return report.Table5(r.TopMalware)
+	}},
+	{ID: "F12", Title: "Distribution of top malware families", Render: func(r *Results) string {
+		return report.Figure12(r.FamiliesGP, r.FamiliesCN)
+	}},
+	{ID: "T6", Title: "Malware removed across markets", Render: func(r *Results) string {
+		return report.Table6(r.Removal, r.StillHosted)
+	}},
+	{ID: "F13", Title: "Multi-dimensional market comparison", Render: func(r *Results) string {
+		return report.Figure13(r.Radar)
+	}},
+}
+
+// Experiments returns the registry in paper order.
+func Experiments() []Experiment {
+	return append([]Experiment(nil), experiments...)
+}
+
+// ExperimentIDs returns the registered IDs in paper order.
+func ExperimentIDs() []string {
+	out := make([]string, 0, len(experiments))
+	for _, e := range experiments {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// Render renders one experiment by ID.
+func (r *Results) Render(id string) (string, error) {
+	for _, e := range experiments {
+		if e.ID == id {
+			return e.Render(r), nil
+		}
+	}
+	known := ExperimentIDs()
+	sort.Strings(known)
+	return "", fmt.Errorf("core: unknown experiment %q (known: %v)", id, known)
+}
+
+// WriteReport renders every experiment to w, in paper order, preceded by a
+// short summary of the run.
+func (r *Results) WriteReport(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"marketscope study: %d apps, %d listings, %d markets, crawl mode %s, elapsed %s\n\n",
+		len(r.Ecosystem.Apps), r.Dataset.NumListings(), len(r.Dataset.Markets), r.Config.Mode, r.Elapsed.Round(1e6)); err != nil {
+		return err
+	}
+	for _, e := range experiments {
+		if _, err := fmt.Fprintf(w, "[%s] %s\n%s\n", e.ID, e.Title, e.Render(r)); err != nil {
+			return err
+		}
+	}
+	// The paper's in-text findings that are not numbered artifacts.
+	highlights := report.Highlights(r.Concentration, r.AdEcoGP, r.AdEcoCN,
+		r.StoreOverlap, r.Identical, r.Repackaged, r.Publishing)
+	if _, err := fmt.Fprintf(w, "[S] %s\n", highlights); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,308 @@
+// Package core is the public orchestration API of marketscope: it wires the
+// synthetic ecosystem generator, the market simulators, the crawler and every
+// analysis into a single reproducible study run, and exposes an experiment
+// registry mapping each of the paper's tables and figures to its rendered
+// reproduction.
+//
+// A typical use looks like:
+//
+//	cfg := core.DefaultConfig()
+//	results, err := core.Run(context.Background(), cfg)
+//	if err != nil { ... }
+//	results.WriteReport(os.Stdout)
+//
+// Run executes the full pipeline: generate the ground-truth ecosystem,
+// publish it to the 17 simulated markets, crawl them (either in-process or
+// over HTTP with the parallel-search crawler), parse every APK, enrich the
+// dataset with library/permission/AV detections, advance the stores by eight
+// months of moderation, re-crawl, and finally compute every table and figure.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"marketscope/internal/analysis"
+	"marketscope/internal/crawler"
+	"marketscope/internal/market"
+	"marketscope/internal/synth"
+)
+
+// Mode selects how the crawl stage talks to the simulated markets.
+type Mode string
+
+// Crawl modes.
+const (
+	// ModeInProcess snapshots the market stores directly. It is fast and is
+	// what the benches use.
+	ModeInProcess Mode = "in-process"
+	// ModeHTTP serves every market on a loopback HTTP listener and runs the
+	// real crawler against them, exercising the full collection path
+	// (per-market index styles, parallel search, rate-limit back-off).
+	ModeHTTP Mode = "http"
+)
+
+// Config configures a study run.
+type Config struct {
+	// Synth controls the generated ecosystem.
+	Synth synth.Config
+	// Enrich controls the detector pass.
+	Enrich analysis.EnrichOptions
+	// Mode selects the crawl transport.
+	Mode Mode
+	// Concurrency is the number of crawl workers in ModeHTTP.
+	Concurrency int
+	// SeedCount is how many popular packages seed the BFS crawl of
+	// related-apps markets in ModeHTTP (the stand-in for the paper's
+	// PrivacyGrade seed list).
+	SeedCount int
+	// AVRankThreshold is the AV-rank cut-off used for Table 6 and Figure 12
+	// (10 in the paper).
+	AVRankThreshold int
+}
+
+// DefaultConfig returns a full-size laptop-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Synth:           synth.DefaultConfig(),
+		Enrich:          analysis.DefaultEnrichOptions(),
+		Mode:            ModeInProcess,
+		Concurrency:     8,
+		SeedCount:       40,
+		AVRankThreshold: 10,
+	}
+}
+
+// QuickConfig returns a small configuration suitable for examples and tests.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Synth = synth.SmallConfig()
+	cfg.SeedCount = 15
+	return cfg
+}
+
+// Results bundles everything a study run produces.
+type Results struct {
+	Config      Config
+	Ecosystem   *synth.Ecosystem
+	FirstCrawl  *crawler.Snapshot
+	SecondCrawl *crawler.Snapshot
+	Dataset     *analysis.Dataset
+	CrawlStats  crawler.Stats
+	Elapsed     time.Duration
+
+	Overview      []analysis.MarketOverviewRow
+	Totals        analysis.OverviewTotals
+	Concentration []analysis.TopShareStats
+	Categories    []analysis.CategoryDistribution
+	Downloads     []analysis.DownloadRow
+	APILevelsGP   analysis.APILevelDistribution
+	APILevelsCN   analysis.APILevelDistribution
+	ReleaseGP     analysis.ReleaseDateDistribution
+	ReleaseCN     analysis.ReleaseDateDistribution
+	LibraryUsage  []analysis.LibraryUsageRow
+	TopLibsGP     []analysis.LibraryRank
+	TopLibsCN     []analysis.LibraryRank
+	AdEcoGP       analysis.AdEcosystemStats
+	AdEcoCN       analysis.AdEcosystemStats
+	Ratings       []analysis.RatingDistribution
+	Publishing    analysis.PublishingStats
+	StoreOverlap  []analysis.StoreOverlapRow
+	Clusters      analysis.ClusterCDFs
+	Outdated      []analysis.OutdatedRow
+	Identical     analysis.IdenticalAppStats
+	Misbehavior   *analysis.MisbehaviorResult
+	OverPrivGP    analysis.OverPrivilegeStats
+	OverPrivCN    analysis.OverPrivilegeStats
+	Malware       []analysis.MalwareRow
+	MalwareAvg    analysis.MalwareAverages
+	TopMalware    []analysis.TopMalwareEntry
+	FamiliesGP    []analysis.FamilyShare
+	FamiliesCN    []analysis.FamilyShare
+	Repackaged    analysis.RepackagedMalwareStats
+	Removal       []analysis.RemovalRow
+	StillHosted   analysis.StillHostedStats
+	Radar         []analysis.RadarRow
+}
+
+// Run executes the full study.
+func Run(ctx context.Context, cfg Config) (*Results, error) {
+	start := time.Now()
+	if cfg.Mode == "" {
+		cfg.Mode = ModeInProcess
+	}
+	if cfg.AVRankThreshold <= 0 {
+		cfg.AVRankThreshold = 10
+	}
+	if err := cfg.Synth.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	eco, err := synth.Generate(cfg.Synth)
+	if err != nil {
+		return nil, fmt.Errorf("core: generate ecosystem: %w", err)
+	}
+	stores, err := eco.Populate()
+	if err != nil {
+		return nil, fmt.Errorf("core: populate markets: %w", err)
+	}
+
+	res := &Results{Config: cfg, Ecosystem: eco}
+
+	// First crawl.
+	switch cfg.Mode {
+	case ModeInProcess:
+		res.FirstCrawl, err = crawler.SnapshotFromStores(stores, true, cfg.Synth.CrawlDate)
+		if err != nil {
+			return nil, fmt.Errorf("core: first crawl: %w", err)
+		}
+	case ModeHTTP:
+		res.FirstCrawl, res.CrawlStats, err = crawlOverHTTP(ctx, cfg, eco, stores, true, cfg.Synth.CrawlDate)
+		if err != nil {
+			return nil, fmt.Errorf("core: first crawl (http): %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown mode %q", cfg.Mode)
+	}
+
+	// Parse and enrich.
+	res.Dataset, err = analysis.BuildDataset(res.FirstCrawl)
+	if err != nil {
+		return nil, fmt.Errorf("core: build dataset: %w", err)
+	}
+	res.Dataset.Enrich(cfg.Enrich)
+
+	// Eight months later: the stores moderate their catalogs and we crawl
+	// again (metadata only, as only presence matters for Table 6).
+	eco.ApplyModeration(stores)
+	secondDate := cfg.Synth.CrawlDate.AddDate(0, 8, 15)
+	switch cfg.Mode {
+	case ModeInProcess:
+		res.SecondCrawl, err = crawler.SnapshotFromStores(stores, false, secondDate)
+	case ModeHTTP:
+		res.SecondCrawl, _, err = crawlOverHTTP(ctx, cfg, eco, stores, false, secondDate)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: second crawl: %w", err)
+	}
+
+	res.runAnalyses()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// runAnalyses computes every table and figure from the enriched dataset.
+func (r *Results) runAnalyses() {
+	d := r.Dataset
+	r.Overview = analysis.MarketOverview(d)
+	r.Totals = analysis.Totals(d, r.Overview)
+	r.Concentration = analysis.DownloadConcentration(d)
+	r.Categories = analysis.Categories(d)
+	r.Downloads = analysis.Downloads(d)
+	r.APILevelsGP, r.APILevelsCN = analysis.APILevels(d)
+	r.ReleaseGP, r.ReleaseCN = analysis.ReleaseDates(d)
+	r.LibraryUsage = analysis.LibraryUsage(d)
+	r.TopLibsGP, r.TopLibsCN = analysis.TopLibraries(d, 10)
+	r.AdEcoGP, r.AdEcoCN = analysis.AdEcosystem(d)
+	r.Ratings = analysis.Ratings(d)
+	r.Publishing = analysis.Publishing(d)
+	r.StoreOverlap = analysis.StoreOverlap(d)
+	r.Clusters = analysis.Clusters(d)
+	r.Outdated = analysis.Outdated(d)
+	r.Identical = analysis.IdenticalApps(d)
+	r.Misbehavior = analysis.Misbehavior(d, analysis.DefaultMisbehaviorOptions())
+	r.OverPrivGP, r.OverPrivCN = analysis.OverPrivilege(d)
+	r.Malware = analysis.MalwarePrevalence(d)
+	r.MalwareAvg = analysis.AverageChineseMalware(d, r.Malware)
+	r.TopMalware = analysis.TopMalware(d, 10)
+	r.FamiliesGP, r.FamiliesCN = analysis.MalwareFamilies(d, r.Config.AVRankThreshold, 15)
+	r.Repackaged = analysis.RepackagedMalware(d, r.Misbehavior, r.Config.AVRankThreshold)
+	r.Removal = analysis.PostAnalysis(d, r.SecondCrawl, r.Config.AVRankThreshold)
+	r.StillHosted = analysis.StillHosted(d, r.SecondCrawl, r.Config.AVRankThreshold)
+	r.Radar = analysis.Radar(d, nil)
+}
+
+// crawlOverHTTP serves every store on a loopback listener and runs the
+// network crawler against them.
+func crawlOverHTTP(ctx context.Context, cfg Config, eco *synth.Ecosystem,
+	stores map[string]*market.Store, fetchAPKs bool, crawlTime time.Time) (*crawler.Snapshot, crawler.Stats, error) {
+	servers := make([]*http.Server, 0, len(stores))
+	endpoints := make([]crawler.Endpoint, 0, len(stores))
+	var wg sync.WaitGroup
+	defer func() {
+		for _, srv := range servers {
+			_ = srv.Close()
+		}
+		wg.Wait()
+	}()
+	names := make([]string, 0, len(stores))
+	for name := range stores {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, crawler.Stats{}, fmt.Errorf("listen for %s: %w", name, err)
+		}
+		srv := &http.Server{Handler: market.NewServer(stores[name])}
+		servers = append(servers, srv)
+		wg.Add(1)
+		go func(s *http.Server, l net.Listener) {
+			defer wg.Done()
+			if err := s.Serve(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				// The listener is closed during shutdown; other errors are
+				// surfaced through failed crawls.
+				_ = err
+			}
+		}(srv, ln)
+		endpoints = append(endpoints, crawler.Endpoint{Name: name, BaseURL: "http://" + ln.Addr().String()})
+	}
+
+	c, err := crawler.New(crawler.Config{
+		Endpoints:      endpoints,
+		Seeds:          crawlSeeds(eco, cfg.SeedCount),
+		Concurrency:    cfg.Concurrency,
+		FetchAPKs:      fetchAPKs,
+		ParallelSearch: true,
+		Now:            func() time.Time { return crawlTime },
+	})
+	if err != nil {
+		return nil, crawler.Stats{}, err
+	}
+	snap, err := c.Run(ctx)
+	if err != nil {
+		return nil, crawler.Stats{}, err
+	}
+	return snap, c.Stats(), nil
+}
+
+// crawlSeeds picks the most popular packages from the ground truth as BFS
+// seeds, standing in for the paper's externally sourced PrivacyGrade seed
+// list.
+func crawlSeeds(eco *synth.Ecosystem, count int) []string {
+	if count <= 0 {
+		count = 20
+	}
+	apps := append([]*synth.App(nil), eco.Apps...)
+	sort.Slice(apps, func(i, j int) bool {
+		if apps[i].BaseDownloads != apps[j].BaseDownloads {
+			return apps[i].BaseDownloads > apps[j].BaseDownloads
+		}
+		return apps[i].Package < apps[j].Package
+	})
+	var seeds []string
+	for _, a := range apps {
+		if len(seeds) >= count {
+			break
+		}
+		seeds = append(seeds, a.Package)
+	}
+	return seeds
+}

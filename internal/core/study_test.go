@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"marketscope/internal/market"
+	"marketscope/internal/synth"
+)
+
+var (
+	quickOnce    sync.Once
+	quickResults *Results
+	quickErr     error
+)
+
+// quickRun executes one small in-process study shared by the tests below.
+func quickRun(t *testing.T) *Results {
+	t.Helper()
+	quickOnce.Do(func() {
+		cfg := QuickConfig()
+		cfg.Synth.NumApps = 260
+		cfg.Synth.NumDevelopers = 100
+		quickResults, quickErr = Run(context.Background(), cfg)
+	})
+	if quickErr != nil {
+		t.Fatalf("Run: %v", quickErr)
+	}
+	return quickResults
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Synth.NumApps = 1
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Error("invalid synth config accepted")
+	}
+	cfg = QuickConfig()
+	cfg.Mode = Mode("teleport")
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestRunInProcessProducesAllResults(t *testing.T) {
+	r := quickRun(t)
+	if r.Dataset == nil || r.FirstCrawl == nil || r.SecondCrawl == nil {
+		t.Fatal("missing pipeline outputs")
+	}
+	if r.FirstCrawl.NumRecords() != r.Dataset.NumListings() {
+		t.Errorf("dataset size mismatch")
+	}
+	if r.SecondCrawl.NumRecords() >= r.FirstCrawl.NumRecords() {
+		t.Errorf("moderation removed nothing: first=%d second=%d",
+			r.FirstCrawl.NumRecords(), r.SecondCrawl.NumRecords())
+	}
+	if len(r.Overview) == 0 || len(r.Malware) == 0 || r.Misbehavior == nil || len(r.Radar) == 0 {
+		t.Error("analyses missing from results")
+	}
+	if r.Elapsed <= 0 {
+		t.Error("elapsed time not recorded")
+	}
+}
+
+func TestExperimentRegistryCoversPaper(t *testing.T) {
+	ids := ExperimentIDs()
+	want := map[string]bool{}
+	for _, id := range []string{"T1", "T2", "T3", "T4", "T5", "T6",
+		"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13"} {
+		want[id] = true
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
+	}
+	for _, id := range ids {
+		if !want[id] {
+			t.Errorf("unexpected experiment %q", id)
+		}
+	}
+	for _, e := range Experiments() {
+		if e.Title == "" || e.Render == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+}
+
+func TestRenderExperiments(t *testing.T) {
+	r := quickRun(t)
+	for _, id := range ExperimentIDs() {
+		out, err := r.Render(id)
+		if err != nil {
+			t.Fatalf("Render(%s): %v", id, err)
+		}
+		if len(out) < 40 {
+			t.Errorf("Render(%s) output suspiciously short: %q", id, out)
+		}
+	}
+	if _, err := r.Render("T99"); err == nil {
+		t.Error("unknown experiment rendered")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	r := quickRun(t)
+	var buf bytes.Buffer
+	if err := r.WriteReport(&buf); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"[T1]", "[F13]", "Table 4", "Figure 10", market.GooglePlay} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunOverHTTP(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Mode = ModeHTTP
+	cfg.Synth.NumApps = 60
+	cfg.Synth.NumDevelopers = 25
+	cfg.Synth.Markets = []string{market.GooglePlay, "Baidu Market", "Huawei Market", "25PP"}
+	cfg.Concurrency = 6
+	cfg.SeedCount = 25
+	r, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run over HTTP: %v", err)
+	}
+	if r.CrawlStats.Requests == 0 || r.CrawlStats.RecordsFetched == 0 {
+		t.Errorf("HTTP crawl made no requests: %+v", r.CrawlStats)
+	}
+	if r.Dataset.NumListings() == 0 {
+		t.Fatal("HTTP crawl harvested nothing")
+	}
+	// The HTTP path must still support every experiment.
+	if _, err := r.Render("T4"); err != nil {
+		t.Errorf("Render after HTTP crawl: %v", err)
+	}
+}
+
+func TestCrawlSeedsOrdering(t *testing.T) {
+	eco, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := crawlSeeds(eco, 10)
+	if len(seeds) != 10 {
+		t.Fatalf("seeds = %d", len(seeds))
+	}
+	seen := map[string]bool{}
+	for _, s := range seeds {
+		if seen[s] {
+			t.Errorf("duplicate seed %q", s)
+		}
+		seen[s] = true
+	}
+	if got := crawlSeeds(eco, 0); len(got) == 0 {
+		t.Error("default seed count should be positive")
+	}
+}

@@ -1,0 +1,227 @@
+// Package crawler harvests app metadata and APKs from the simulated market
+// front-ends, reproducing the collection methodology of Section 3: per-market
+// crawling strategies adapted to each store's indexing behaviour, BFS
+// expansion from seed packages on related-apps markets, and the "parallel
+// search" strategy that immediately looks up every newly discovered package
+// in all other markets so cross-market comparisons are not skewed by version
+// churn between crawl times.
+package crawler
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"marketscope/internal/appmeta"
+	"marketscope/internal/market"
+)
+
+// Client talks to one market's HTTP API.
+type Client struct {
+	// MarketName is the display name used in snapshot records.
+	MarketName string
+	// BaseURL is the market server's root URL (no trailing slash required).
+	BaseURL string
+	// HTTPClient is the underlying client; nil uses a default with a 10 s
+	// timeout.
+	HTTPClient *http.Client
+	// MaxRetries bounds retries on 429/5xx responses.
+	MaxRetries int
+	// RetryBackoff is the base backoff applied between retries; it grows
+	// linearly with the attempt number.
+	RetryBackoff time.Duration
+}
+
+// Client errors.
+var (
+	ErrNotFound    = errors.New("crawler: not found")
+	ErrUnsupported = errors.New("crawler: endpoint not supported by this market")
+	ErrRateLimited = errors.New("crawler: rate limited after retries")
+)
+
+// NewClient builds a client with sane defaults.
+func NewClient(marketName, baseURL string) *Client {
+	return &Client{
+		MarketName:   marketName,
+		BaseURL:      baseURL,
+		HTTPClient:   &http.Client{Timeout: 10 * time.Second},
+		MaxRetries:   6,
+		RetryBackoff: 50 * time.Millisecond,
+	}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// get performs a GET with retry-on-429/5xx and returns the body for 200
+// responses. 404 maps to ErrNotFound and the body is discarded.
+func (c *Client) get(ctx context.Context, path string, query url.Values) ([]byte, error) {
+	u := c.BaseURL + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	retries := c.MaxRetries
+	if retries <= 0 {
+		retries = 1
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var lastStatus int
+	for attempt := 0; attempt < retries; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: build request: %w", err)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: GET %s: %w", u, err)
+		}
+		body, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if readErr != nil {
+			return nil, fmt.Errorf("crawler: read %s: %w", u, readErr)
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return body, nil
+		case resp.StatusCode == http.StatusNotFound:
+			return nil, ErrNotFound
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+			lastStatus = resp.StatusCode
+			wait := backoff * time.Duration(attempt+1)
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+					// Honour the server's hint but never sleep longer than
+					// a second in the simulation.
+					hinted := time.Duration(secs) * time.Second
+					if hinted < wait {
+						wait = hinted
+					}
+					if wait > time.Second {
+						wait = time.Second
+					}
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(wait):
+			}
+			continue
+		default:
+			return nil, fmt.Errorf("crawler: GET %s: unexpected status %d", u, resp.StatusCode)
+		}
+	}
+	if lastStatus == http.StatusTooManyRequests {
+		return nil, fmt.Errorf("%w: %s", ErrRateLimited, u)
+	}
+	return nil, fmt.Errorf("crawler: GET %s failed after %d attempts (last status %d)", u, retries, lastStatus)
+}
+
+// Info fetches the market description.
+func (c *Client) Info(ctx context.Context) (market.Info, error) {
+	var info market.Info
+	body, err := c.get(ctx, "/api/info", nil)
+	if err != nil {
+		return info, err
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		return info, fmt.Errorf("crawler: decode info: %w", err)
+	}
+	return info, nil
+}
+
+// App fetches one app's metadata record.
+func (c *Client) App(ctx context.Context, pkg string) (appmeta.Record, error) {
+	var rec appmeta.Record
+	body, err := c.get(ctx, "/api/app", url.Values{"pkg": {pkg}})
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return rec, fmt.Errorf("crawler: decode app %s: %w", pkg, err)
+	}
+	return rec, nil
+}
+
+// Download fetches the APK bytes for a package.
+func (c *Client) Download(ctx context.Context, pkg string) ([]byte, error) {
+	return c.get(ctx, "/api/download", url.Values{"pkg": {pkg}})
+}
+
+// Search performs a keyword search.
+func (c *Client) Search(ctx context.Context, query string, limit int) ([]appmeta.Record, error) {
+	v := url.Values{"q": {query}}
+	if limit > 0 {
+		v.Set("limit", strconv.Itoa(limit))
+	}
+	body, err := c.get(ctx, "/api/search", v)
+	if err != nil {
+		return nil, err
+	}
+	var recs []appmeta.Record
+	if err := json.Unmarshal(body, &recs); err != nil {
+		return nil, fmt.Errorf("crawler: decode search: %w", err)
+	}
+	return recs, nil
+}
+
+// Related fetches the related-apps list for a package (BFS markets only).
+func (c *Client) Related(ctx context.Context, pkg string, limit int) ([]appmeta.Record, error) {
+	v := url.Values{"pkg": {pkg}}
+	if limit > 0 {
+		v.Set("limit", strconv.Itoa(limit))
+	}
+	body, err := c.get(ctx, "/api/related", v)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return nil, ErrUnsupported
+		}
+		return nil, err
+	}
+	var recs []appmeta.Record
+	if err := json.Unmarshal(body, &recs); err != nil {
+		return nil, fmt.Errorf("crawler: decode related: %w", err)
+	}
+	return recs, nil
+}
+
+// ByIndex fetches the app at a sequential catalog index (incremental
+// markets). A gap (removed app) returns ErrNotFound.
+func (c *Client) ByIndex(ctx context.Context, i int) (appmeta.Record, error) {
+	var rec appmeta.Record
+	body, err := c.get(ctx, "/api/index", url.Values{"i": {strconv.Itoa(i)}})
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return rec, fmt.Errorf("crawler: decode index %d: %w", i, err)
+	}
+	return rec, nil
+}
+
+// Catalog fetches one page of the market's catalog listing.
+func (c *Client) Catalog(ctx context.Context, page, size int) ([]appmeta.Record, error) {
+	v := url.Values{"page": {strconv.Itoa(page)}, "size": {strconv.Itoa(size)}}
+	body, err := c.get(ctx, "/api/catalog", v)
+	if err != nil {
+		return nil, err
+	}
+	var recs []appmeta.Record
+	if err := json.Unmarshal(body, &recs); err != nil {
+		return nil, fmt.Errorf("crawler: decode catalog: %w", err)
+	}
+	return recs, nil
+}

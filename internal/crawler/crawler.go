@@ -1,0 +1,407 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"marketscope/internal/appmeta"
+	"marketscope/internal/market"
+)
+
+// Endpoint names one market server to crawl.
+type Endpoint struct {
+	// Name is the market name used in snapshot records (it must match what
+	// the server itself reports; the crawler verifies via /api/info).
+	Name string
+	// BaseURL is the server's root URL.
+	BaseURL string
+}
+
+// Config configures a crawl campaign.
+type Config struct {
+	Endpoints []Endpoint
+	// Seeds are package names used to bootstrap BFS crawling on markets
+	// that only expose related-apps navigation (Google Play). The paper
+	// seeds its Google Play crawl with 1.5 M package names from
+	// PrivacyGrade.
+	Seeds []string
+	// Concurrency is the number of parallel fetch workers (default 8).
+	Concurrency int
+	// MaxAppsPerMarket bounds how many listings are recorded per market
+	// (0 = unlimited).
+	MaxAppsPerMarket int
+	// FetchAPKs controls whether APK bytes are downloaded alongside
+	// metadata.
+	FetchAPKs bool
+	// ParallelSearch enables the cross-market lookup of every newly
+	// discovered package. Disabling it reproduces the naive strategy the
+	// paper improves upon (used by the ablation bench).
+	ParallelSearch bool
+	// HTTPClient overrides the HTTP client used by all market clients.
+	HTTPClient *http.Client
+	// Now supplies the crawl timestamp (defaults to time.Now).
+	Now func() time.Time
+}
+
+// Stats summarizes a crawl campaign.
+type Stats struct {
+	RecordsFetched int64
+	APKsFetched    int64
+	Requests       int64
+	NotFound       int64
+	Errors         int64
+}
+
+// Crawler runs crawl campaigns against a set of market endpoints.
+type Crawler struct {
+	cfg     Config
+	clients map[string]*Client
+	styles  map[string]market.IndexStyle
+	stats   Stats
+}
+
+// Configuration errors.
+var (
+	ErrNoEndpoints = errors.New("crawler: no endpoints configured")
+	ErrNameClash   = errors.New("crawler: duplicate endpoint name")
+)
+
+// New builds a Crawler. It does not contact the endpoints yet.
+func New(cfg Config) (*Crawler, error) {
+	if len(cfg.Endpoints) == 0 {
+		return nil, ErrNoEndpoints
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	c := &Crawler{
+		cfg:     cfg,
+		clients: make(map[string]*Client, len(cfg.Endpoints)),
+		styles:  make(map[string]market.IndexStyle, len(cfg.Endpoints)),
+	}
+	for _, ep := range cfg.Endpoints {
+		if _, dup := c.clients[ep.Name]; dup {
+			return nil, fmt.Errorf("%w: %q", ErrNameClash, ep.Name)
+		}
+		client := NewClient(ep.Name, ep.BaseURL)
+		if cfg.HTTPClient != nil {
+			client.HTTPClient = cfg.HTTPClient
+		}
+		c.clients[ep.Name] = client
+	}
+	return c, nil
+}
+
+// Stats returns the cumulative campaign statistics.
+func (c *Crawler) Stats() Stats {
+	return Stats{
+		RecordsFetched: atomic.LoadInt64(&c.stats.RecordsFetched),
+		APKsFetched:    atomic.LoadInt64(&c.stats.APKsFetched),
+		Requests:       atomic.LoadInt64(&c.stats.Requests),
+		NotFound:       atomic.LoadInt64(&c.stats.NotFound),
+		Errors:         atomic.LoadInt64(&c.stats.Errors),
+	}
+}
+
+// Run executes one crawl campaign and returns the snapshot.
+//
+// The campaign proceeds in two stages. First, per-market enumerators discover
+// package names using the indexing strategy each market supports: breadth-
+// first expansion over related-apps links from the seed list, sequential
+// integer indexes, or paged catalog listings. Second, every discovered
+// package is (optionally) parallel-searched across all markets and its
+// metadata and APK are harvested.
+func (c *Crawler) Run(ctx context.Context) (*Snapshot, error) {
+	snap := NewSnapshot(c.cfg.Now())
+
+	// Learn each market's index style.
+	for name, client := range c.clients {
+		info, err := client.Info(ctx)
+		atomic.AddInt64(&c.stats.Requests, 1)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: fetch info for %s: %w", name, err)
+		}
+		if info.Name != name {
+			return nil, fmt.Errorf("crawler: endpoint %q identifies itself as %q", name, info.Name)
+		}
+		c.styles[name] = info.IndexStyle
+	}
+
+	disc := newDiscovery()
+	var wg sync.WaitGroup
+	work := make(chan workItem, 1024)
+	perMarketCount := map[string]*int64{}
+	for name := range c.clients {
+		var n int64
+		perMarketCount[name] = &n
+	}
+
+	// Harvest workers.
+	for i := 0; i < c.cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for item := range work {
+				c.harvest(ctx, snap, disc, work, perMarketCount, item)
+			}
+		}()
+	}
+
+	// Enumerators feed the work queue; a separate wait group lets us close
+	// the queue once discovery has quiesced.
+	var enumWG sync.WaitGroup
+	for name := range c.clients {
+		enumWG.Add(1)
+		go func(marketName string) {
+			defer enumWG.Done()
+			c.enumerate(ctx, marketName, disc, work)
+		}(name)
+	}
+
+	// Close the work channel when the enumerators are done AND the queue of
+	// pending harvest work has drained. Because harvesting can enqueue more
+	// work (parallel search), we track pending items explicitly.
+	go func() {
+		enumWG.Wait()
+		disc.waitIdle()
+		close(work)
+	}()
+
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return snap, err
+	}
+	return snap, nil
+}
+
+// workItem is one (market, package) pair to harvest.
+type workItem struct {
+	market  string
+	pkg     string
+	fanout  bool // whether discovering this package should trigger parallel search
+	related bool // whether to expand related apps (BFS markets)
+}
+
+// discovery tracks globally discovered packages and pending work so the crawl
+// terminates deterministically.
+type discovery struct {
+	mu      sync.Mutex
+	seen    map[string]bool      // package -> discovered anywhere
+	visited map[appmeta.Key]bool // (market, package) -> already harvested or queued
+	pending int64
+	idle    chan struct{}
+}
+
+func newDiscovery() *discovery {
+	return &discovery{
+		seen:    map[string]bool{},
+		visited: map[appmeta.Key]bool{},
+		idle:    make(chan struct{}),
+	}
+}
+
+// enqueue registers intent to harvest (market, pkg); it returns false if that
+// pair is already queued or done.
+func (d *discovery) enqueue(key appmeta.Key) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.visited[key] {
+		return false
+	}
+	d.visited[key] = true
+	d.pending++
+	return true
+}
+
+// firstSighting marks a package as globally discovered, returning true only
+// for the first sighting.
+func (d *discovery) firstSighting(pkg string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.seen[pkg] {
+		return false
+	}
+	d.seen[pkg] = true
+	return true
+}
+
+// done signals completion of one queued item.
+func (d *discovery) done() {
+	d.mu.Lock()
+	d.pending--
+	pending := d.pending
+	d.mu.Unlock()
+	if pending == 0 {
+		select {
+		case d.idle <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// waitIdle blocks until no work is pending. It tolerates the race where new
+// work is enqueued after a zero-crossing by re-checking.
+func (d *discovery) waitIdle() {
+	for {
+		d.mu.Lock()
+		pending := d.pending
+		d.mu.Unlock()
+		if pending == 0 {
+			return
+		}
+		select {
+		case <-d.idle:
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// submit pushes an item if it has not been queued before. The send happens
+// on its own goroutine so a harvest worker can enqueue follow-up work without
+// risking deadlock when the queue is full (the pending counter tracked by
+// enqueue/done keeps shutdown correct: the channel is only closed once every
+// enqueued item has been fully processed, so no send can race the close).
+func (c *Crawler) submit(disc *discovery, work chan<- workItem, item workItem) {
+	if !disc.enqueue(appmeta.Key{Market: item.market, Package: item.pkg}) {
+		return
+	}
+	select {
+	case work <- item:
+	default:
+		go func() { work <- item }()
+	}
+}
+
+// enumerate discovers packages in one market according to its index style.
+func (c *Crawler) enumerate(ctx context.Context, marketName string, disc *discovery, work chan<- workItem) {
+	client := c.clients[marketName]
+	switch c.styles[marketName] {
+	case market.IndexRelated:
+		// BFS from the seed list; expansion happens in harvest via the
+		// related flag.
+		for _, pkg := range c.cfg.Seeds {
+			if ctx.Err() != nil {
+				return
+			}
+			c.submit(disc, work, workItem{market: marketName, pkg: pkg, fanout: true, related: true})
+		}
+	case market.IndexIncremental:
+		info, err := client.Info(ctx)
+		atomic.AddInt64(&c.stats.Requests, 1)
+		if err != nil {
+			atomic.AddInt64(&c.stats.Errors, 1)
+			return
+		}
+		for i := 0; i < info.IndexSize; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			rec, err := client.ByIndex(ctx, i)
+			atomic.AddInt64(&c.stats.Requests, 1)
+			if err != nil {
+				if errors.Is(err, ErrNotFound) {
+					atomic.AddInt64(&c.stats.NotFound, 1)
+					continue
+				}
+				atomic.AddInt64(&c.stats.Errors, 1)
+				continue
+			}
+			c.submit(disc, work, workItem{market: marketName, pkg: rec.Package, fanout: true})
+		}
+	default: // IndexSearch and anything unknown: page through the catalog.
+		const pageSize = 50
+		for page := 0; ; page++ {
+			if ctx.Err() != nil {
+				return
+			}
+			recs, err := client.Catalog(ctx, page, pageSize)
+			atomic.AddInt64(&c.stats.Requests, 1)
+			if err != nil {
+				atomic.AddInt64(&c.stats.Errors, 1)
+				return
+			}
+			if len(recs) == 0 {
+				return
+			}
+			for _, rec := range recs {
+				c.submit(disc, work, workItem{market: marketName, pkg: rec.Package, fanout: true})
+			}
+		}
+	}
+}
+
+// harvest fetches one (market, package) listing, optionally downloads the
+// APK, triggers parallel search on first sighting, and expands related apps
+// on BFS markets.
+func (c *Crawler) harvest(ctx context.Context, snap *Snapshot, disc *discovery, work chan<- workItem,
+	perMarket map[string]*int64, item workItem) {
+	defer disc.done()
+	if ctx.Err() != nil {
+		return
+	}
+	client := c.clients[item.market]
+	counter := perMarket[item.market]
+
+	rec, err := client.App(ctx, item.pkg)
+	atomic.AddInt64(&c.stats.Requests, 1)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			atomic.AddInt64(&c.stats.NotFound, 1)
+		} else {
+			atomic.AddInt64(&c.stats.Errors, 1)
+		}
+		return
+	}
+	if c.cfg.MaxAppsPerMarket > 0 && atomic.LoadInt64(counter) >= int64(c.cfg.MaxAppsPerMarket) {
+		return
+	}
+	if err := snap.AddRecord(rec); err != nil {
+		atomic.AddInt64(&c.stats.Errors, 1)
+		return
+	}
+	atomic.AddInt64(counter, 1)
+	atomic.AddInt64(&c.stats.RecordsFetched, 1)
+
+	if c.cfg.FetchAPKs {
+		data, err := client.Download(ctx, item.pkg)
+		atomic.AddInt64(&c.stats.Requests, 1)
+		if err == nil {
+			snap.AddAPK(rec.Key(), data)
+			atomic.AddInt64(&c.stats.APKsFetched, 1)
+		} else if !errors.Is(err, ErrNotFound) {
+			atomic.AddInt64(&c.stats.Errors, 1)
+		}
+	}
+
+	// Parallel search: the first market to see a package immediately
+	// triggers lookups in every other market.
+	if item.fanout && c.cfg.ParallelSearch && disc.firstSighting(item.pkg) {
+		for other := range c.clients {
+			if other == item.market {
+				continue
+			}
+			c.submit(disc, work, workItem{market: other, pkg: item.pkg})
+		}
+	}
+
+	// BFS expansion on related-apps markets.
+	if item.related {
+		related, err := client.Related(ctx, item.pkg, 20)
+		atomic.AddInt64(&c.stats.Requests, 1)
+		if err == nil {
+			for _, r := range related {
+				c.submit(disc, work, workItem{market: item.market, pkg: r.Package, fanout: true, related: true})
+			}
+		} else if !errors.Is(err, ErrUnsupported) && !errors.Is(err, ErrNotFound) {
+			atomic.AddInt64(&c.stats.Errors, 1)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"marketscope/internal/appmeta"
+	"marketscope/internal/market"
+)
+
+// testMarkets spins up HTTP servers for a small hand-built set of markets and
+// returns their endpoints. Google Play carries two apps reachable via
+// related-apps BFS; Baidu exposes an incremental index; Huawei only search
+// and catalog pages.
+func testMarkets(t *testing.T) ([]Endpoint, map[string]*market.Store) {
+	t.Helper()
+	mk := func(name string) *market.Store {
+		p, ok := market.ProfileByName(name)
+		if !ok {
+			t.Fatalf("unknown market %q", name)
+		}
+		// Disable rate limiting for fast tests; the rate-limit path is
+		// covered separately.
+		p.RateLimitPerSecond = 0
+		return market.NewStore(p)
+	}
+	rec := func(marketName, pkg, app, dev, cat string, downloads int64) appmeta.Record {
+		return appmeta.Record{
+			Market: marketName, Package: pkg, AppName: app, DeveloperName: dev,
+			Category: cat, VersionCode: 10, VersionName: "1.0", Downloads: downloads,
+			Rating: 4, ReleaseDate: time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC),
+			UpdateDate: time.Date(2017, 5, 1, 0, 0, 0, 0, time.UTC),
+		}
+	}
+
+	gp := mk(market.GooglePlay)
+	baidu := mk("Baidu Market")
+	huawei := mk("Huawei Market")
+
+	// Google Play: seed app + one related (same developer), one unrelated.
+	mustAdd(t, gp, rec(market.GooglePlay, "com.seed.app", "Seed App", "SeedDev", "Tools", 1_000_000), []byte("gp-seed"))
+	mustAdd(t, gp, rec(market.GooglePlay, "com.seed.companion", "Seed Companion", "SeedDev", "Tools", 50_000), []byte("gp-companion"))
+	mustAdd(t, gp, rec(market.GooglePlay, "com.lonely.app", "Lonely", "Other", "Music", 10), []byte("gp-lonely"))
+
+	// Baidu: the seed app (cross-market) plus a Baidu-only app.
+	mustAdd(t, baidu, rec("Baidu Market", "com.seed.app", "Seed App", "SeedDev", "Tools", 400_000), []byte("baidu-seed"))
+	mustAdd(t, baidu, rec("Baidu Market", "com.baidu.only", "Baidu Only", "CNDev", "News", 9_000), []byte("baidu-only"))
+
+	// Huawei: catalog contains the companion app and a Huawei-only app.
+	mustAdd(t, huawei, rec("Huawei Market", "com.seed.companion", "Seed Companion", "SeedDev", "Tools", 70_000), []byte("hw-companion"))
+	mustAdd(t, huawei, rec("Huawei Market", "com.huawei.only", "Huawei Only", "HWDev", "Video", 200_000), []byte("hw-only"))
+
+	stores := map[string]*market.Store{
+		market.GooglePlay: gp, "Baidu Market": baidu, "Huawei Market": huawei,
+	}
+	var endpoints []Endpoint
+	for name, store := range stores {
+		srv := httptest.NewServer(market.NewServer(store))
+		t.Cleanup(srv.Close)
+		endpoints = append(endpoints, Endpoint{Name: name, BaseURL: srv.URL})
+	}
+	return endpoints, stores
+}
+
+func mustAdd(t *testing.T, s *market.Store, r appmeta.Record, apk []byte) {
+	t.Helper()
+	if err := s.Add(r, apk); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrawlerValidation(t *testing.T) {
+	if _, err := New(Config{}); !errors.Is(err, ErrNoEndpoints) {
+		t.Errorf("empty config: %v", err)
+	}
+	if _, err := New(Config{Endpoints: []Endpoint{{Name: "A"}, {Name: "A"}}}); !errors.Is(err, ErrNameClash) {
+		t.Errorf("duplicate endpoints: %v", err)
+	}
+}
+
+func TestCrawlFullCampaign(t *testing.T) {
+	endpoints, _ := testMarkets(t)
+	c, err := New(Config{
+		Endpoints:      endpoints,
+		Seeds:          []string{"com.seed.app"},
+		Concurrency:    4,
+		FetchAPKs:      true,
+		ParallelSearch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	// Every listing reachable by some strategy must be present:
+	// - Baidu and Huawei enumerate their whole catalogs.
+	// - Google Play BFS reaches the seed and its companion via related.
+	// - Parallel search carries packages across markets.
+	wantKeys := []appmeta.Key{
+		{Market: market.GooglePlay, Package: "com.seed.app"},
+		{Market: market.GooglePlay, Package: "com.seed.companion"},
+		{Market: "Baidu Market", Package: "com.seed.app"},
+		{Market: "Baidu Market", Package: "com.baidu.only"},
+		{Market: "Huawei Market", Package: "com.seed.companion"},
+		{Market: "Huawei Market", Package: "com.huawei.only"},
+	}
+	for _, k := range wantKeys {
+		if !snap.Has(k) {
+			t.Errorf("snapshot missing %v", k)
+		}
+		if _, ok := snap.APK(k); !ok {
+			t.Errorf("snapshot missing APK for %v", k)
+		}
+	}
+	// com.lonely.app is not reachable from the seed by related-links (other
+	// developer, other category reachable actually via category? it is
+	// Music while seeds are Tools, so it is only reachable if some related
+	// query returns it); do not assert either way, but the snapshot must
+	// never invent records.
+	for _, rec := range snap.Records() {
+		if rec.Market == "" || rec.Package == "" {
+			t.Errorf("invalid record in snapshot: %+v", rec)
+		}
+	}
+	stats := c.Stats()
+	if stats.RecordsFetched != int64(snap.NumRecords()) {
+		t.Errorf("stats records = %d, snapshot = %d", stats.RecordsFetched, snap.NumRecords())
+	}
+	if stats.APKsFetched != int64(snap.NumAPKs()) {
+		t.Errorf("stats apks = %d, snapshot = %d", stats.APKsFetched, snap.NumAPKs())
+	}
+	if stats.Requests == 0 {
+		t.Error("no requests recorded")
+	}
+}
+
+func TestCrawlWithoutParallelSearch(t *testing.T) {
+	endpoints, _ := testMarkets(t)
+	c, err := New(Config{
+		Endpoints:      endpoints,
+		Seeds:          []string{"com.seed.app"},
+		Concurrency:    2,
+		ParallelSearch: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without parallel search, Huawei's catalog is still enumerated, but
+	// Google Play's catalog is reachable only through BFS; crucially the
+	// Baidu copy of com.seed.app is still found because Baidu enumerates
+	// its own index. The Huawei copy of com.seed.app does not exist, so
+	// nothing to miss there; instead verify that no cross-market lookups
+	// were recorded for packages absent from a market's own enumeration.
+	if snap.NumRecords() == 0 {
+		t.Fatal("empty snapshot")
+	}
+	if snap.Has(appmeta.Key{Market: "Huawei Market", Package: "com.baidu.only"}) {
+		t.Error("cross-market record appeared despite parallel search being disabled")
+	}
+}
+
+func TestCrawlRespectsMaxAppsPerMarket(t *testing.T) {
+	endpoints, _ := testMarkets(t)
+	c, err := New(Config{
+		Endpoints:        endpoints,
+		Seeds:            []string{"com.seed.app"},
+		Concurrency:      2,
+		MaxAppsPerMarket: 1,
+		ParallelSearch:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range snap.Markets() {
+		if got := len(snap.RecordsForMarket(m)); got > 1 {
+			t.Errorf("market %s has %d records, cap was 1", m, got)
+		}
+	}
+}
+
+func TestCrawlContextCancellation(t *testing.T) {
+	endpoints, _ := testMarkets(t)
+	c, err := New(Config{
+		Endpoints:      endpoints,
+		Seeds:          []string{"com.seed.app"},
+		Concurrency:    2,
+		ParallelSearch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled run returned %v", err)
+	}
+}
+
+func TestCrawlerHandlesRateLimitedMarket(t *testing.T) {
+	// Google Play's real profile rate-limits aggressively; the client must
+	// back off and still complete.
+	p, _ := market.ProfileByName(market.GooglePlay)
+	p.RateLimitPerSecond = 30
+	store := market.NewStore(p)
+	mustAdd(t, store, appmeta.Record{
+		Market: market.GooglePlay, Package: "com.seed.app", AppName: "Seed",
+		DeveloperName: "Dev", Category: "Tools", VersionCode: 1, VersionName: "1.0",
+		Downloads: 100, Rating: 4,
+		ReleaseDate: time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC),
+		UpdateDate:  time.Date(2017, 2, 1, 0, 0, 0, 0, time.UTC),
+	}, []byte("apk"))
+	srv := httptest.NewServer(market.NewServer(store))
+	defer srv.Close()
+
+	c, err := New(Config{
+		Endpoints:      []Endpoint{{Name: market.GooglePlay, BaseURL: srv.URL}},
+		Seeds:          []string{"com.seed.app"},
+		Concurrency:    4,
+		FetchAPKs:      true,
+		ParallelSearch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run with rate limiting: %v", err)
+	}
+	if !snap.Has(appmeta.Key{Market: market.GooglePlay, Package: "com.seed.app"}) {
+		t.Error("rate-limited crawl lost the seed app")
+	}
+}
+
+func TestClientErrorsOnMismatchedName(t *testing.T) {
+	endpoints, _ := testMarkets(t)
+	// Deliberately mislabel an endpoint.
+	bad := []Endpoint{{Name: "Wrong Name", BaseURL: endpoints[0].BaseURL}}
+	c, err := New(Config{Endpoints: bad, Seeds: []string{"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err == nil {
+		t.Error("mismatched endpoint name accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package crawler
+
+import (
+	"fmt"
+	"time"
+
+	"marketscope/internal/market"
+)
+
+// SnapshotFromStores builds a snapshot directly from in-process market
+// stores, bypassing HTTP. It is the fast path used by tests, benches and the
+// quickstart example; the resulting snapshot is indistinguishable from one
+// produced by a network crawl of the same stores, because the store is the
+// single source of truth the HTTP front-end serves.
+func SnapshotFromStores(stores map[string]*market.Store, fetchAPKs bool, crawlTime time.Time) (*Snapshot, error) {
+	snap := NewSnapshot(crawlTime)
+	for name, store := range stores {
+		for _, rec := range store.Snapshot() {
+			if err := snap.AddRecord(rec); err != nil {
+				return nil, fmt.Errorf("crawler: local crawl of %s: %w", name, err)
+			}
+			if !fetchAPKs {
+				continue
+			}
+			data, err := store.APK(rec.Package)
+			if err != nil {
+				return nil, fmt.Errorf("crawler: local download of %s from %s: %w", rec.Package, name, err)
+			}
+			snap.AddAPK(rec.Key(), data)
+		}
+	}
+	return snap, nil
+}

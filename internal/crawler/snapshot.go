@@ -1,0 +1,240 @@
+package crawler
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"marketscope/internal/appmeta"
+)
+
+// Snapshot is the output of one crawl campaign: every metadata record plus
+// the APK bytes harvested, keyed by (market, package). It is the input of
+// every analysis in the study and is safe for concurrent writers (the crawl
+// workers) and subsequent read-only use.
+type Snapshot struct {
+	// CrawlTime records when the campaign ran.
+	CrawlTime time.Time
+
+	mu      sync.RWMutex
+	records map[appmeta.Key]appmeta.Record
+	apks    map[appmeta.Key][]byte
+}
+
+// NewSnapshot returns an empty snapshot stamped with the given crawl time.
+func NewSnapshot(crawlTime time.Time) *Snapshot {
+	return &Snapshot{
+		CrawlTime: crawlTime,
+		records:   make(map[appmeta.Key]appmeta.Record),
+		apks:      make(map[appmeta.Key][]byte),
+	}
+}
+
+// AddRecord stores a metadata record. Later records for the same key replace
+// earlier ones (re-crawls observe the latest state).
+func (s *Snapshot) AddRecord(rec appmeta.Record) error {
+	if err := rec.Validate(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records[rec.Key()] = rec
+	return nil
+}
+
+// AddAPK stores APK bytes for a key.
+func (s *Snapshot) AddAPK(key appmeta.Key, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.apks[key] = append([]byte(nil), data...)
+}
+
+// Record returns the metadata record for a key.
+func (s *Snapshot) Record(key appmeta.Key) (appmeta.Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.records[key]
+	return rec, ok
+}
+
+// APK returns the APK bytes for a key.
+func (s *Snapshot) APK(key appmeta.Key) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.apks[key]
+	return data, ok
+}
+
+// NumRecords returns the number of metadata records.
+func (s *Snapshot) NumRecords() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// NumAPKs returns the number of APKs harvested.
+func (s *Snapshot) NumAPKs() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.apks)
+}
+
+// Markets returns the market names present, sorted.
+func (s *Snapshot) Markets() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := map[string]bool{}
+	for k := range s.records {
+		set[k.Market] = true
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Records returns all records sorted by market then package.
+func (s *Snapshot) Records() []appmeta.Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]appmeta.Record, 0, len(s.records))
+	for _, rec := range s.records {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Market != out[j].Market {
+			return out[i].Market < out[j].Market
+		}
+		return out[i].Package < out[j].Package
+	})
+	return out
+}
+
+// RecordsForMarket returns the records of one market sorted by package.
+func (s *Snapshot) RecordsForMarket(marketName string) []appmeta.Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []appmeta.Record
+	for k, rec := range s.records {
+		if k.Market == marketName {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Package < out[j].Package })
+	return out
+}
+
+// Packages returns the distinct package names across all markets, sorted.
+func (s *Snapshot) Packages() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := map[string]bool{}
+	for k := range s.records {
+		set[k.Package] = true
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether a (market, package) record exists.
+func (s *Snapshot) Has(key appmeta.Key) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.records[key]
+	return ok
+}
+
+// persistedSnapshot is the on-disk JSON layout.
+type persistedSnapshot struct {
+	CrawlTime time.Time         `json:"crawl_time"`
+	Records   []appmeta.Record  `json:"records"`
+	APKs      map[string]string `json:"apk_files"`
+}
+
+// Save writes the snapshot to a directory: metadata in snapshot.json and each
+// APK in apks/<market>__<package>.apk. The directory is created if needed.
+func (s *Snapshot) Save(dir string) error {
+	apkDir := filepath.Join(dir, "apks")
+	if err := os.MkdirAll(apkDir, 0o755); err != nil {
+		return fmt.Errorf("snapshot: create %s: %w", apkDir, err)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p := persistedSnapshot{CrawlTime: s.CrawlTime, APKs: map[string]string{}}
+	for _, rec := range s.records {
+		p.Records = append(p.Records, rec)
+	}
+	sort.Slice(p.Records, func(i, j int) bool {
+		if p.Records[i].Market != p.Records[j].Market {
+			return p.Records[i].Market < p.Records[j].Market
+		}
+		return p.Records[i].Package < p.Records[j].Package
+	})
+	for key, data := range s.apks {
+		name := sanitizeFileName(key.Market) + "__" + sanitizeFileName(key.Package) + ".apk"
+		if err := os.WriteFile(filepath.Join(apkDir, name), data, 0o644); err != nil {
+			return fmt.Errorf("snapshot: write apk %s: %w", name, err)
+		}
+		p.APKs[key.Market+"|"+key.Package] = filepath.Join("apks", name)
+	}
+	blob, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("snapshot: marshal: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "snapshot.json"), blob, 0o644); err != nil {
+		return fmt.Errorf("snapshot: write snapshot.json: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot previously written by Save.
+func Load(dir string) (*Snapshot, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, "snapshot.json"))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read snapshot.json: %w", err)
+	}
+	var p persistedSnapshot
+	if err := json.Unmarshal(blob, &p); err != nil {
+		return nil, fmt.Errorf("snapshot: parse snapshot.json: %w", err)
+	}
+	s := NewSnapshot(p.CrawlTime)
+	for _, rec := range p.Records {
+		if err := s.AddRecord(rec); err != nil {
+			return nil, err
+		}
+	}
+	for key, rel := range p.APKs {
+		parts := strings.SplitN(key, "|", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("snapshot: malformed apk key %q", key)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, rel))
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: read apk %s: %w", rel, err)
+		}
+		s.AddAPK(appmeta.Key{Market: parts[0], Package: parts[1]}, data)
+	}
+	return s, nil
+}
+
+func sanitizeFileName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

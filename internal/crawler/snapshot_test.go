@@ -1,0 +1,147 @@
+package crawler
+
+import (
+	"testing"
+	"time"
+
+	"marketscope/internal/appmeta"
+)
+
+func sampleRecord(marketName, pkg string) appmeta.Record {
+	return appmeta.Record{
+		Market: marketName, Package: pkg, AppName: "App", DeveloperName: "Dev",
+		Category: "Tools", VersionCode: 3, VersionName: "1.2", Downloads: 500,
+		Rating: 3.5, ReleaseDate: time.Date(2016, 2, 1, 0, 0, 0, 0, time.UTC),
+		UpdateDate: time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestSnapshotAddAndLookup(t *testing.T) {
+	s := NewSnapshot(time.Date(2017, 8, 15, 0, 0, 0, 0, time.UTC))
+	if err := s.AddRecord(sampleRecord("Google Play", "com.a.b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRecord(sampleRecord("Baidu Market", "com.a.b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRecord(sampleRecord("Baidu Market", "com.c.d")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRecord(appmeta.Record{}); err == nil {
+		t.Error("invalid record accepted")
+	}
+	if s.NumRecords() != 3 {
+		t.Errorf("NumRecords = %d", s.NumRecords())
+	}
+	if got := s.Markets(); len(got) != 2 || got[0] != "Baidu Market" {
+		t.Errorf("Markets = %v", got)
+	}
+	if got := s.Packages(); len(got) != 2 {
+		t.Errorf("Packages = %v", got)
+	}
+	if got := s.RecordsForMarket("Baidu Market"); len(got) != 2 {
+		t.Errorf("RecordsForMarket = %d", len(got))
+	}
+	key := appmeta.Key{Market: "Google Play", Package: "com.a.b"}
+	if !s.Has(key) {
+		t.Error("Has lost a record")
+	}
+	if _, ok := s.Record(key); !ok {
+		t.Error("Record lookup failed")
+	}
+	if _, ok := s.Record(appmeta.Key{Market: "X", Package: "y"}); ok {
+		t.Error("Record invented a result")
+	}
+}
+
+func TestSnapshotReplacesOnRecrawl(t *testing.T) {
+	s := NewSnapshot(time.Now())
+	rec := sampleRecord("Google Play", "com.a.b")
+	rec.VersionCode = 3
+	if err := s.AddRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	rec.VersionCode = 4
+	if err := s.AddRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Record(rec.Key())
+	if got.VersionCode != 4 {
+		t.Errorf("re-crawl did not replace record: %d", got.VersionCode)
+	}
+	if s.NumRecords() != 1 {
+		t.Errorf("duplicate keys stored: %d", s.NumRecords())
+	}
+}
+
+func TestSnapshotAPKCopied(t *testing.T) {
+	s := NewSnapshot(time.Now())
+	key := appmeta.Key{Market: "Google Play", Package: "com.a.b"}
+	data := []byte{1, 2, 3}
+	s.AddAPK(key, data)
+	data[0] = 99
+	got, ok := s.APK(key)
+	if !ok || got[0] != 1 {
+		t.Error("APK bytes shared with caller")
+	}
+	if s.NumAPKs() != 1 {
+		t.Errorf("NumAPKs = %d", s.NumAPKs())
+	}
+	if _, ok := s.APK(appmeta.Key{Market: "X", Package: "y"}); ok {
+		t.Error("APK invented a result")
+	}
+}
+
+func TestSnapshotSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSnapshot(time.Date(2017, 8, 15, 12, 0, 0, 0, time.UTC))
+	recA := sampleRecord("Google Play", "com.a.b")
+	recB := sampleRecord("Baidu Market", "com.c.d")
+	if err := s.AddRecord(recA); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRecord(recB); err != nil {
+		t.Fatal(err)
+	}
+	s.AddAPK(recA.Key(), []byte("apk-bytes-a"))
+	s.AddAPK(recB.Key(), []byte("apk-bytes-b"))
+
+	if err := s.Save(dir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.NumRecords() != 2 || loaded.NumAPKs() != 2 {
+		t.Fatalf("loaded %d records %d apks", loaded.NumRecords(), loaded.NumAPKs())
+	}
+	if !loaded.CrawlTime.Equal(s.CrawlTime) {
+		t.Errorf("crawl time = %v, want %v", loaded.CrawlTime, s.CrawlTime)
+	}
+	got, ok := loaded.Record(recA.Key())
+	if !ok || got.AppName != recA.AppName || !got.UpdateDate.Equal(recA.UpdateDate) {
+		t.Errorf("record round trip mismatch: %+v", got)
+	}
+	apkBytes, ok := loaded.APK(recB.Key())
+	if !ok || string(apkBytes) != "apk-bytes-b" {
+		t.Errorf("apk round trip mismatch: %q", apkBytes)
+	}
+}
+
+func TestLoadMissingDirectory(t *testing.T) {
+	if _, err := Load(t.TempDir() + "/does-not-exist"); err == nil {
+		t.Error("Load accepted a missing directory")
+	}
+}
+
+func TestSanitizeFileName(t *testing.T) {
+	got := sanitizeFileName("Google Play/..\\weird name")
+	for _, r := range got {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '-', r == '_':
+		default:
+			t.Fatalf("unsafe rune %q in %q", r, got)
+		}
+	}
+}

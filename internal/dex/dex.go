@@ -1,0 +1,297 @@
+// Package dex models the executable code of an app (the classes.dex payload
+// of an APK) at the granularity the study needs: classes, methods, and the
+// Android framework API calls, intent actions and content-provider URIs each
+// method references.
+//
+// This is the representation from which all code-level analyses derive their
+// features:
+//
+//   - the over-privilege analysis maps API calls/intents/URIs to permissions
+//     (PScout-style, Figure 11),
+//   - the third-party library detector clusters package-prefix features
+//     (LibRadar-style, Figure 5 and Table 2),
+//   - the clone detector builds API-call count vectors and code-segment
+//     digests (WuKong-style, Table 3 and Figure 10).
+package dex
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Method is a single method body, reduced to the externally visible behaviour
+// the analyses care about: which framework APIs it invokes, which intent
+// actions it constructs and which content URIs it touches.
+type Method struct {
+	Name          string
+	APICalls      []string
+	IntentActions []string
+	ContentURIs   []string
+}
+
+// Class is a named class with its methods.
+type Class struct {
+	Name    string
+	Methods []Method
+}
+
+// File is a decoded classes.dex: the full set of classes in an app, including
+// both the developer's own code and any embedded third-party libraries.
+type File struct {
+	Classes []Class
+}
+
+// Validation errors.
+var (
+	ErrEmptyClassName  = errors.New("dex: empty class name")
+	ErrEmptyMethodName = errors.New("dex: empty method name")
+	ErrDuplicateClass  = errors.New("dex: duplicate class name")
+)
+
+// Validate checks structural invariants: non-empty unique class names and
+// non-empty method names.
+func (f *File) Validate() error {
+	seen := make(map[string]bool, len(f.Classes))
+	for _, c := range f.Classes {
+		if c.Name == "" {
+			return ErrEmptyClassName
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("%w: %q", ErrDuplicateClass, c.Name)
+		}
+		seen[c.Name] = true
+		for _, m := range c.Methods {
+			if m.Name == "" {
+				return fmt.Errorf("%w (class %q)", ErrEmptyMethodName, c.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// NumClasses returns the number of classes.
+func (f *File) NumClasses() int { return len(f.Classes) }
+
+// NumMethods returns the total number of methods across all classes.
+func (f *File) NumMethods() int {
+	n := 0
+	for _, c := range f.Classes {
+		n += len(c.Methods)
+	}
+	return n
+}
+
+// AddClass appends a class. It does not check for duplicates; call Validate
+// before encoding.
+func (f *File) AddClass(c Class) { f.Classes = append(f.Classes, c) }
+
+// Clone returns a deep copy of the file.
+func (f *File) Clone() *File {
+	cp := &File{Classes: make([]Class, len(f.Classes))}
+	for i, c := range f.Classes {
+		cc := Class{Name: c.Name, Methods: make([]Method, len(c.Methods))}
+		for j, m := range c.Methods {
+			cc.Methods[j] = Method{
+				Name:          m.Name,
+				APICalls:      append([]string(nil), m.APICalls...),
+				IntentActions: append([]string(nil), m.IntentActions...),
+				ContentURIs:   append([]string(nil), m.ContentURIs...),
+			}
+		}
+		cp.Classes[i] = cc
+	}
+	return cp
+}
+
+// PackageOf returns the package portion of a fully qualified class name, i.e.
+// everything before the last dot. A name without a dot has an empty package.
+func PackageOf(className string) string {
+	idx := strings.LastIndex(className, ".")
+	if idx < 0 {
+		return ""
+	}
+	return className[:idx]
+}
+
+// PackagePrefix returns the first depth segments of a package name. It is the
+// unit at which third-party libraries are identified ("com.google.ads",
+// "com.umeng", ...). If the package has fewer segments, the whole package is
+// returned.
+func PackagePrefix(pkg string, depth int) string {
+	if depth <= 0 || pkg == "" {
+		return pkg
+	}
+	segments := strings.Split(pkg, ".")
+	if len(segments) <= depth {
+		return pkg
+	}
+	return strings.Join(segments[:depth], ".")
+}
+
+// ClassesUnderPrefix returns the classes whose package matches or falls under
+// the given package prefix.
+func (f *File) ClassesUnderPrefix(prefix string) []Class {
+	var out []Class
+	for _, c := range f.Classes {
+		if UnderPrefix(c.Name, prefix) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// UnderPrefix reports whether the fully qualified class name falls under the
+// package prefix (exact package match or a sub-package).
+func UnderPrefix(className, prefix string) bool {
+	if prefix == "" {
+		return false
+	}
+	pkg := PackageOf(className)
+	return pkg == prefix || strings.HasPrefix(pkg, prefix+".")
+}
+
+// WithoutPrefixes returns a copy of the file with every class under any of
+// the given package prefixes removed. The clone detector uses this to strip
+// third-party library code before computing similarity, since on average more
+// than 60% of an app's code is library code and would otherwise dominate the
+// comparison.
+func (f *File) WithoutPrefixes(prefixes []string) *File {
+	out := &File{}
+	for _, c := range f.Classes {
+		excluded := false
+		for _, p := range prefixes {
+			if UnderPrefix(c.Name, p) {
+				excluded = true
+				break
+			}
+		}
+		if !excluded {
+			out.Classes = append(out.Classes, c)
+		}
+	}
+	return out
+}
+
+// TopLevelPackages returns the distinct package prefixes of the given depth
+// present in the file, sorted, with the number of classes under each.
+func (f *File) TopLevelPackages(depth int) []PackageCount {
+	counts := make(map[string]int)
+	for _, c := range f.Classes {
+		prefix := PackagePrefix(PackageOf(c.Name), depth)
+		if prefix == "" {
+			continue
+		}
+		counts[prefix]++
+	}
+	out := make([]PackageCount, 0, len(counts))
+	for p, n := range counts {
+		out = append(out, PackageCount{Package: p, Classes: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Classes != out[j].Classes {
+			return out[i].Classes > out[j].Classes
+		}
+		return out[i].Package < out[j].Package
+	})
+	return out
+}
+
+// PackageCount pairs a package prefix with the number of classes under it.
+type PackageCount struct {
+	Package string
+	Classes int
+}
+
+// APICallCounts returns how many times each framework API is invoked across
+// the whole file. This is the raw material of the WuKong-style feature
+// vector.
+func (f *File) APICallCounts() map[string]int {
+	counts := make(map[string]int)
+	for _, c := range f.Classes {
+		for _, m := range c.Methods {
+			for _, call := range m.APICalls {
+				counts[call]++
+			}
+		}
+	}
+	return counts
+}
+
+// IntentActionCounts returns how many times each intent action is referenced.
+func (f *File) IntentActionCounts() map[string]int {
+	counts := make(map[string]int)
+	for _, c := range f.Classes {
+		for _, m := range c.Methods {
+			for _, a := range m.IntentActions {
+				counts[a]++
+			}
+		}
+	}
+	return counts
+}
+
+// ContentURICounts returns how many times each content URI is referenced.
+func (f *File) ContentURICounts() map[string]int {
+	counts := make(map[string]int)
+	for _, c := range f.Classes {
+		for _, m := range c.Methods {
+			for _, u := range m.ContentURIs {
+				counts[u]++
+			}
+		}
+	}
+	return counts
+}
+
+// DistinctAPICalls returns the sorted set of framework APIs referenced
+// anywhere in the file.
+func (f *File) DistinctAPICalls() []string {
+	counts := f.APICallCounts()
+	out := make([]string, 0, len(counts))
+	for call := range counts {
+		out = append(out, call)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CodeSegments returns a content digest per method, computed over the
+// method's API-call sequence, intents and URIs. Two methods with the same
+// behaviourally relevant content produce the same digest even if the method
+// was renamed, which is what makes the second phase of clone detection robust
+// to identifier renaming.
+func (f *File) CodeSegments() [][32]byte {
+	var out [][32]byte
+	for _, c := range f.Classes {
+		for _, m := range c.Methods {
+			out = append(out, m.Digest())
+		}
+	}
+	return out
+}
+
+// Digest computes the behaviour digest of a single method. The method name is
+// deliberately excluded so trivial renaming does not change the digest.
+func (m *Method) Digest() [32]byte {
+	h := sha256.New()
+	var lenBuf [4]byte
+	writeSection := func(items []string) {
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(items)))
+		h.Write(lenBuf[:])
+		for _, s := range items {
+			binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(s)))
+			h.Write(lenBuf[:])
+			h.Write([]byte(s))
+		}
+	}
+	writeSection(m.APICalls)
+	writeSection(m.IntentActions)
+	writeSection(m.ContentURIs)
+	var digest [32]byte
+	copy(digest[:], h.Sum(nil))
+	return digest
+}

@@ -1,0 +1,210 @@
+package dex
+
+import (
+	"testing"
+)
+
+func sampleFile() *File {
+	return &File{Classes: []Class{
+		{
+			Name: "com.example.app.MainActivity",
+			Methods: []Method{
+				{
+					Name:          "onCreate",
+					APICalls:      []string{"android.app.Activity.onCreate", "android.telephony.TelephonyManager.getDeviceId"},
+					IntentActions: []string{"android.intent.action.VIEW"},
+				},
+				{
+					Name:        "loadContacts",
+					APICalls:    []string{"android.content.ContentResolver.query"},
+					ContentURIs: []string{"content://com.android.contacts"},
+				},
+			},
+		},
+		{
+			Name: "com.example.app.util.Helper",
+			Methods: []Method{
+				{Name: "format", APICalls: []string{"android.text.TextUtils.isEmpty"}},
+			},
+		},
+		{
+			Name: "com.google.ads.AdView",
+			Methods: []Method{
+				{Name: "loadAd", APICalls: []string{"android.webkit.WebView.loadUrl", "android.net.ConnectivityManager.getActiveNetworkInfo"}},
+			},
+		},
+		{
+			Name: "com.umeng.analytics.MobclickAgent",
+			Methods: []Method{
+				{Name: "onEvent", APICalls: []string{"android.telephony.TelephonyManager.getDeviceId"}},
+			},
+		},
+	}}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sampleFile().Validate(); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+	bad := &File{Classes: []Class{{Name: ""}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty class name accepted")
+	}
+	dup := &File{Classes: []Class{{Name: "com.a.B"}, {Name: "com.a.B"}}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate class accepted")
+	}
+	noMethodName := &File{Classes: []Class{{Name: "com.a.B", Methods: []Method{{Name: ""}}}}}
+	if err := noMethodName.Validate(); err == nil {
+		t.Error("empty method name accepted")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	f := sampleFile()
+	if f.NumClasses() != 4 {
+		t.Errorf("NumClasses = %d, want 4", f.NumClasses())
+	}
+	if f.NumMethods() != 5 {
+		t.Errorf("NumMethods = %d, want 5", f.NumMethods())
+	}
+	api := f.APICallCounts()
+	if api["android.telephony.TelephonyManager.getDeviceId"] != 2 {
+		t.Errorf("getDeviceId count = %d, want 2", api["android.telephony.TelephonyManager.getDeviceId"])
+	}
+	intents := f.IntentActionCounts()
+	if intents["android.intent.action.VIEW"] != 1 {
+		t.Errorf("intent count wrong: %v", intents)
+	}
+	uris := f.ContentURICounts()
+	if uris["content://com.android.contacts"] != 1 {
+		t.Errorf("uri count wrong: %v", uris)
+	}
+}
+
+func TestPackageHelpers(t *testing.T) {
+	if got := PackageOf("com.example.app.MainActivity"); got != "com.example.app" {
+		t.Errorf("PackageOf = %q", got)
+	}
+	if got := PackageOf("NoPackage"); got != "" {
+		t.Errorf("PackageOf(no dot) = %q", got)
+	}
+	if got := PackagePrefix("com.google.ads.internal", 2); got != "com.google" {
+		t.Errorf("PackagePrefix depth 2 = %q", got)
+	}
+	if got := PackagePrefix("com.umeng", 3); got != "com.umeng" {
+		t.Errorf("PackagePrefix short = %q", got)
+	}
+	if got := PackagePrefix("", 2); got != "" {
+		t.Errorf("PackagePrefix empty = %q", got)
+	}
+	if got := PackagePrefix("com.a.b", 0); got != "com.a.b" {
+		t.Errorf("PackagePrefix depth 0 = %q", got)
+	}
+}
+
+func TestUnderPrefix(t *testing.T) {
+	cases := []struct {
+		class, prefix string
+		want          bool
+	}{
+		{"com.google.ads.AdView", "com.google.ads", true},
+		{"com.google.ads.internal.X", "com.google.ads", true},
+		{"com.google.adsense.Y", "com.google.ads", false},
+		{"com.example.app.Main", "com.google.ads", false},
+		{"com.example.app.Main", "", false},
+	}
+	for _, tc := range cases {
+		if got := UnderPrefix(tc.class, tc.prefix); got != tc.want {
+			t.Errorf("UnderPrefix(%q, %q) = %v, want %v", tc.class, tc.prefix, got, tc.want)
+		}
+	}
+}
+
+func TestClassesUnderPrefixAndWithout(t *testing.T) {
+	f := sampleFile()
+	ads := f.ClassesUnderPrefix("com.google.ads")
+	if len(ads) != 1 || ads[0].Name != "com.google.ads.AdView" {
+		t.Errorf("ClassesUnderPrefix = %+v", ads)
+	}
+	stripped := f.WithoutPrefixes([]string{"com.google.ads", "com.umeng"})
+	if stripped.NumClasses() != 2 {
+		t.Errorf("WithoutPrefixes left %d classes, want 2", stripped.NumClasses())
+	}
+	for _, c := range stripped.Classes {
+		if UnderPrefix(c.Name, "com.google.ads") || UnderPrefix(c.Name, "com.umeng") {
+			t.Errorf("library class %q survived filtering", c.Name)
+		}
+	}
+	// Original must be unchanged.
+	if f.NumClasses() != 4 {
+		t.Error("WithoutPrefixes mutated the receiver")
+	}
+}
+
+func TestTopLevelPackages(t *testing.T) {
+	f := sampleFile()
+	pkgs := f.TopLevelPackages(2)
+	if len(pkgs) == 0 {
+		t.Fatal("no packages found")
+	}
+	if pkgs[0].Package != "com.example" || pkgs[0].Classes != 2 {
+		t.Errorf("top package = %+v, want com.example with 2 classes", pkgs[0])
+	}
+}
+
+func TestDistinctAPICallsSorted(t *testing.T) {
+	f := sampleFile()
+	calls := f.DistinctAPICalls()
+	if len(calls) != 6 {
+		t.Fatalf("DistinctAPICalls returned %d, want 6: %v", len(calls), calls)
+	}
+	for i := 1; i < len(calls); i++ {
+		if calls[i-1] >= calls[i] {
+			t.Fatalf("calls not sorted/unique at %d: %v", i, calls)
+		}
+	}
+}
+
+func TestMethodDigestIgnoresName(t *testing.T) {
+	a := Method{Name: "original", APICalls: []string{"x.y.Z.call"}}
+	b := Method{Name: "renamed", APICalls: []string{"x.y.Z.call"}}
+	if a.Digest() != b.Digest() {
+		t.Error("digest should not depend on the method name")
+	}
+	c := Method{Name: "original", APICalls: []string{"x.y.Z.other"}}
+	if a.Digest() == c.Digest() {
+		t.Error("digest should depend on the API calls")
+	}
+}
+
+func TestMethodDigestSectionBoundaries(t *testing.T) {
+	// The same strings split differently across sections must hash
+	// differently (no ambiguity between API calls and intents).
+	a := Method{APICalls: []string{"s1", "s2"}}
+	b := Method{APICalls: []string{"s1"}, IntentActions: []string{"s2"}}
+	if a.Digest() == b.Digest() {
+		t.Error("digest is ambiguous across sections")
+	}
+}
+
+func TestCodeSegments(t *testing.T) {
+	f := sampleFile()
+	segs := f.CodeSegments()
+	if len(segs) != f.NumMethods() {
+		t.Errorf("CodeSegments = %d, want %d", len(segs), f.NumMethods())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := sampleFile()
+	cp := f.Clone()
+	cp.Classes[0].Methods[0].APICalls[0] = "mutated"
+	cp.Classes[0].Name = "mutated.Class"
+	if f.Classes[0].Methods[0].APICalls[0] == "mutated" {
+		t.Error("Clone shares method slices")
+	}
+	if f.Classes[0].Name == "mutated.Class" {
+		t.Error("Clone shares class headers")
+	}
+}

@@ -1,0 +1,285 @@
+package dex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary dex format ("DEX-lite").
+//
+// Real classes.dex files store a string pool followed by type, method and
+// code tables that reference it. We mirror that layout at reduced fidelity:
+//
+//	offset  size  field
+//	0       8     magic "dex\n035\x00"
+//	8       4     string pool count N
+//	...           N length-prefixed UTF-8 strings (uint32 length)
+//	...     4     class count C
+//	...           C class records
+//
+// Class record:
+//
+//	[name strIdx u32][method count u16]
+//	  method record * count
+//
+// Method record:
+//
+//	[name strIdx u32]
+//	[api count u16][api strIdx u32 ...]
+//	[intent count u16][intent strIdx u32 ...]
+//	[uri count u16][uri strIdx u32 ...]
+
+const dexMagic = "dex\n035\x00"
+
+// Encoding and decoding errors.
+var (
+	ErrBadMagic     = errors.New("dex: bad magic")
+	ErrTruncated    = errors.New("dex: truncated input")
+	ErrBadStringRef = errors.New("dex: string index out of range")
+)
+
+// Encode serializes the file into the binary format. The file is validated
+// first.
+func Encode(f *File) ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("dex: encode: %w", err)
+	}
+	pool := make(map[string]uint32)
+	var strings []string
+	intern := func(s string) uint32 {
+		if idx, ok := pool[s]; ok {
+			return idx
+		}
+		idx := uint32(len(strings))
+		strings = append(strings, s)
+		pool[s] = idx
+		return idx
+	}
+
+	// First pass: intern all strings so the pool is written before the
+	// class table, as in a real dex file.
+	for _, c := range f.Classes {
+		intern(c.Name)
+		for _, m := range c.Methods {
+			intern(m.Name)
+			for _, s := range m.APICalls {
+				intern(s)
+			}
+			for _, s := range m.IntentActions {
+				intern(s)
+			}
+			for _, s := range m.ContentURIs {
+				intern(s)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString(dexMagic)
+	putU32(&buf, uint32(len(strings)))
+	for _, s := range strings {
+		putU32(&buf, uint32(len(s)))
+		buf.WriteString(s)
+	}
+	putU32(&buf, uint32(len(f.Classes)))
+	for _, c := range f.Classes {
+		putU32(&buf, intern(c.Name))
+		if len(c.Methods) > 0xFFFF {
+			return nil, fmt.Errorf("dex: class %q has too many methods (%d)", c.Name, len(c.Methods))
+		}
+		putU16(&buf, uint16(len(c.Methods)))
+		for _, m := range c.Methods {
+			putU32(&buf, intern(m.Name))
+			if err := putStringList(&buf, m.APICalls, intern); err != nil {
+				return nil, err
+			}
+			if err := putStringList(&buf, m.IntentActions, intern); err != nil {
+				return nil, err
+			}
+			if err := putStringList(&buf, m.ContentURIs, intern); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+func putStringList(buf *bytes.Buffer, items []string, intern func(string) uint32) error {
+	if len(items) > 0xFFFF {
+		return fmt.Errorf("dex: string list too long (%d)", len(items))
+	}
+	putU16(buf, uint16(len(items)))
+	for _, s := range items {
+		putU32(buf, intern(s))
+	}
+	return nil
+}
+
+// Decode parses a binary dex file produced by Encode.
+func Decode(data []byte) (*File, error) {
+	r := &cursor{data: data}
+	magic, err := r.take(len(dexMagic))
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != dexMagic {
+		return nil, fmt.Errorf("%w: %q", ErrBadMagic, string(magic))
+	}
+	poolCount, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(poolCount) > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: implausible string pool count %d", ErrTruncated, poolCount)
+	}
+	pool := make([]string, poolCount)
+	for i := range pool {
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(n) > uint64(len(data)) {
+			return nil, fmt.Errorf("%w: implausible string length %d", ErrTruncated, n)
+		}
+		b, err := r.take(int(n))
+		if err != nil {
+			return nil, err
+		}
+		pool[i] = string(b)
+	}
+	str := func(idx uint32) (string, error) {
+		if int(idx) >= len(pool) {
+			return "", fmt.Errorf("%w: %d >= %d", ErrBadStringRef, idx, len(pool))
+		}
+		return pool[idx], nil
+	}
+	readList := func() ([]string, error) {
+		n, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		out := make([]string, n)
+		for i := range out {
+			idx, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if out[i], err = str(idx); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	classCount, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(classCount) > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: implausible class count %d", ErrTruncated, classCount)
+	}
+	f := &File{}
+	if classCount > 0 {
+		f.Classes = make([]Class, 0, classCount)
+	}
+	for i := uint32(0); i < classCount; i++ {
+		nameIdx, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		name, err := str(nameIdx)
+		if err != nil {
+			return nil, err
+		}
+		methodCount, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		c := Class{Name: name}
+		if methodCount > 0 {
+			c.Methods = make([]Method, 0, methodCount)
+		}
+		for j := uint16(0); j < methodCount; j++ {
+			mNameIdx, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			mName, err := str(mNameIdx)
+			if err != nil {
+				return nil, err
+			}
+			apis, err := readList()
+			if err != nil {
+				return nil, err
+			}
+			intents, err := readList()
+			if err != nil {
+				return nil, err
+			}
+			uris, err := readList()
+			if err != nil {
+				return nil, err
+			}
+			c.Methods = append(c.Methods, Method{
+				Name: mName, APICalls: apis, IntentActions: intents, ContentURIs: uris,
+			})
+		}
+		f.Classes = append(f.Classes, c)
+	}
+	if !r.eof() {
+		return nil, fmt.Errorf("dex: %d trailing bytes after class table", len(data)-r.pos)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("dex: decode: %w", err)
+	}
+	return f, nil
+}
+
+type cursor struct {
+	data []byte
+	pos  int
+}
+
+func (c *cursor) eof() bool { return c.pos >= len(c.data) }
+
+func (c *cursor) take(n int) ([]byte, error) {
+	if n < 0 || c.pos+n > len(c.data) {
+		return nil, fmt.Errorf("%w: need %d bytes at offset %d", ErrTruncated, n, c.pos)
+	}
+	b := c.data[c.pos : c.pos+n]
+	c.pos += n
+	return b, nil
+}
+
+func (c *cursor) u16() (uint16, error) {
+	b, err := c.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	b, err := c.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func putU16(buf *bytes.Buffer, v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	buf.Write(b[:])
+}
+
+func putU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}

@@ -1,0 +1,199 @@
+package dex
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := sampleFile()
+	data, err := Encode(f)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, f)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	if _, err := Encode(&File{Classes: []Class{{Name: ""}}}); err == nil {
+		t.Error("Encode accepted invalid file")
+	}
+}
+
+func TestEncodeEmptyFile(t *testing.T) {
+	data, err := Encode(&File{})
+	if err != nil {
+		t.Fatalf("Encode empty: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode empty: %v", err)
+	}
+	if got.NumClasses() != 0 {
+		t.Errorf("empty file decoded with %d classes", got.NumClasses())
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	data, _ := Encode(sampleFile())
+	data[0] = 'X'
+	if _, err := Decode(data); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestDecodeRejectsGarbageAndTruncation(t *testing.T) {
+	for _, in := range [][]byte{nil, {}, []byte("junk"), bytes.Repeat([]byte{0xAB}, 100)} {
+		if _, err := Decode(in); err == nil {
+			t.Errorf("Decode accepted %d bytes of garbage", len(in))
+		}
+	}
+	data, _ := Encode(sampleFile())
+	for n := 0; n < len(data); n += 7 {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Errorf("Decode accepted %d/%d-byte truncation", n, len(data))
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	data, _ := Encode(sampleFile())
+	data = append(data, 0x00, 0x01)
+	if _, err := Decode(data); err == nil {
+		t.Error("Decode accepted trailing bytes")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	f := sampleFile()
+	a, _ := Encode(f)
+	b, _ := Encode(f)
+	if !bytes.Equal(a, b) {
+		t.Error("Encode is not deterministic")
+	}
+}
+
+func TestStringPoolSharing(t *testing.T) {
+	// A file with many repeated API calls must not grow linearly with the
+	// number of references, only with the number of distinct strings.
+	many := &File{}
+	for i := 0; i < 50; i++ {
+		many.AddClass(Class{
+			Name: "com.pool.C" + string(rune('A'+i%26)) + string(rune('a'+i/26)),
+			Methods: []Method{{
+				Name:     "m",
+				APICalls: []string{"android.app.Activity.onCreate", "android.webkit.WebView.loadUrl"},
+			}},
+		})
+	}
+	data, err := Encode(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 classes * 2 calls * ~30 bytes would exceed 3000 bytes without a
+	// pool; with interning it stays far below.
+	if len(data) > 2500 {
+		t.Errorf("encoded size %d suggests string pool is not shared", len(data))
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumClasses() != 50 {
+		t.Errorf("decoded %d classes, want 50", got.NumClasses())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(classNames []string, apiCalls []string) bool {
+		file := &File{}
+		seen := map[string]bool{}
+		for i, name := range classNames {
+			if i >= 10 {
+				break
+			}
+			cn := "com.prop.C" + sanitize(name)
+			if seen[cn] {
+				continue
+			}
+			seen[cn] = true
+			var calls []string
+			for j, c := range apiCalls {
+				if j >= 8 {
+					break
+				}
+				calls = append(calls, "api."+sanitize(c))
+			}
+			file.AddClass(Class{Name: cn, Methods: []Method{{Name: "m", APICalls: calls}}})
+		}
+		data, err := Encode(file)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(file, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitize maps an arbitrary string to a short identifier-safe suffix so the
+// property test exercises structure rather than name validation.
+func sanitize(s string) string {
+	out := []rune{'x'}
+	for i, r := range s {
+		if i >= 8 {
+			break
+		}
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			out = append(out, r)
+		} else {
+			out = append(out, 'q')
+		}
+	}
+	return string(out)
+}
+
+func BenchmarkEncode(b *testing.B) {
+	f := sampleFile()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	data, err := Encode(sampleFile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAPICallCounts(b *testing.B) {
+	f := sampleFile()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.APICallCounts()
+	}
+}

@@ -1,0 +1,195 @@
+// Package libdetect identifies third-party libraries embedded in apps,
+// following the clustering-based approach of LibRadar that the paper applies
+// to its 6 M-app corpus (Section 4.4).
+//
+// Two complementary mechanisms are provided:
+//
+//   - a labeled catalog of well-known libraries (the manually labeled "top
+//     2,000 libraries" of the paper, here a representative subset keyed by
+//     package prefix and grouped into ad network, analytics, social
+//     networking, development, payment, game engine and map categories), and
+//
+//   - a corpus-wide clustering detector that learns library features (the
+//     multiset of framework API calls under a package prefix) from how often
+//     the same feature recurs across apps from unrelated developers. The
+//     learned features recognize libraries even when the package prefix has
+//     been renamed by an obfuscator, which is what made LibRadar
+//     "obfuscation-resilient".
+package libdetect
+
+import "sort"
+
+// Category describes the purpose of a third-party library.
+type Category string
+
+// Library categories; these match the five groups in Section 4.4 plus the
+// game-engine and map labels used in Table 2.
+const (
+	CategoryAd          Category = "Advertisement"
+	CategoryAnalytics   Category = "Analytics"
+	CategorySocial      Category = "Social Networking"
+	CategoryDevelopment Category = "Development"
+	CategoryPayment     Category = "Payment"
+	CategoryGameEngine  Category = "Game Engine"
+	CategoryMap         Category = "Map"
+)
+
+// Library is one catalog entry.
+type Library struct {
+	// Prefix is the package prefix that identifies the library in
+	// unobfuscated apps, e.g. "com.google.ads".
+	Prefix string
+	// Name is the human-readable library or vendor name.
+	Name string
+	// Category is the library's primary purpose.
+	Category Category
+	// ChineseMarket marks libraries specific to the Chinese ecosystem
+	// (WeChat, Alipay, Umeng, ...), which the paper contrasts with the
+	// Google-centric libraries dominating Google Play.
+	ChineseMarket bool
+}
+
+// IsAd reports whether the library is an advertising SDK.
+func (l Library) IsAd() bool { return l.Category == CategoryAd }
+
+// builtinCatalog is the labeled library list. Prefixes must not overlap
+// except by true package nesting.
+var builtinCatalog = []Library{
+	// Google / global libraries (dominant in Google Play, Table 2 top).
+	{Prefix: "com.google.android.gms", Name: "Google Mobile Services", Category: CategoryDevelopment},
+	{Prefix: "com.google.ads", Name: "Google AdMob", Category: CategoryAd},
+	{Prefix: "com.google.firebase", Name: "Firebase", Category: CategoryDevelopment},
+	{Prefix: "com.google.gson", Name: "Gson", Category: CategoryDevelopment},
+	{Prefix: "com.google.analytics", Name: "Google Analytics", Category: CategoryAnalytics},
+	{Prefix: "com.android.vending", Name: "Google Play Billing", Category: CategoryPayment},
+	{Prefix: "com.facebook", Name: "Facebook SDK", Category: CategorySocial},
+	{Prefix: "org.apache", Name: "Apache Commons/HttpClient", Category: CategoryDevelopment},
+	{Prefix: "com.squareup", Name: "Square (OkHttp/Retrofit/Picasso)", Category: CategoryDevelopment},
+	{Prefix: "com.unity3d", Name: "Unity", Category: CategoryGameEngine},
+	{Prefix: "org.fmod", Name: "FMOD", Category: CategoryGameEngine},
+	{Prefix: "com.nostra13", Name: "Universal Image Loader", Category: CategoryDevelopment},
+	{Prefix: "com.flurry", Name: "Flurry Analytics", Category: CategoryAnalytics},
+	{Prefix: "com.mopub", Name: "MoPub", Category: CategoryAd},
+	{Prefix: "com.inmobi", Name: "InMobi", Category: CategoryAd},
+	{Prefix: "com.startapp", Name: "StartApp", Category: CategoryAd},
+	{Prefix: "com.airpush", Name: "Airpush", Category: CategoryAd},
+	{Prefix: "com.revmob", Name: "RevMob", Category: CategoryAd},
+	{Prefix: "com.appsflyer", Name: "AppsFlyer", Category: CategoryAnalytics},
+	{Prefix: "com.crashlytics", Name: "Crashlytics", Category: CategoryDevelopment},
+	{Prefix: "com.twitter.sdk", Name: "Twitter Kit", Category: CategorySocial},
+	{Prefix: "org.cocos2d", Name: "Cocos2d", Category: CategoryGameEngine},
+	{Prefix: "com.badlogic.gdx", Name: "libGDX", Category: CategoryGameEngine},
+	{Prefix: "com.leadbolt", Name: "Leadbolt", Category: CategoryAd},
+
+	// Chinese-market libraries (Table 2 bottom half).
+	{Prefix: "com.tencent.mm", Name: "Tencent WeChat SDK", Category: CategorySocial, ChineseMarket: true},
+	{Prefix: "com.tencent.open", Name: "Tencent Open Platform", Category: CategorySocial, ChineseMarket: true},
+	{Prefix: "com.tencent.bugly", Name: "Tencent Bugly", Category: CategoryDevelopment, ChineseMarket: true},
+	{Prefix: "com.baidu", Name: "Baidu SDK (Map/Push)", Category: CategoryMap, ChineseMarket: true},
+	{Prefix: "com.umeng", Name: "Umeng", Category: CategoryAnalytics, ChineseMarket: true},
+	{Prefix: "com.alipay", Name: "Alipay", Category: CategoryPayment, ChineseMarket: true},
+	{Prefix: "com.unionpay", Name: "UnionPay", Category: CategoryPayment, ChineseMarket: true},
+	{Prefix: "com.qq.e", Name: "Tencent GDT Ads", Category: CategoryAd, ChineseMarket: true},
+	{Prefix: "com.sina.weibo", Name: "Sina Weibo SDK", Category: CategorySocial, ChineseMarket: true},
+	{Prefix: "com.amap.api", Name: "AMap (Gaode)", Category: CategoryMap, ChineseMarket: true},
+	{Prefix: "com.xiaomi.mipush", Name: "Xiaomi Push", Category: CategoryDevelopment, ChineseMarket: true},
+	{Prefix: "com.huawei.hms", Name: "Huawei Mobile Services", Category: CategoryDevelopment, ChineseMarket: true},
+	{Prefix: "com.getui", Name: "Getui Push", Category: CategoryDevelopment, ChineseMarket: true},
+	{Prefix: "com.jpush", Name: "JPush", Category: CategoryDevelopment, ChineseMarket: true},
+	{Prefix: "cn.jpush", Name: "JPush (cn)", Category: CategoryDevelopment, ChineseMarket: true},
+	{Prefix: "cn.domob", Name: "Domob Ads", Category: CategoryAd, ChineseMarket: true},
+	{Prefix: "com.adwo", Name: "Adwo", Category: CategoryAd, ChineseMarket: true},
+	{Prefix: "net.youmi", Name: "Youmi Ads", Category: CategoryAd, ChineseMarket: true},
+	{Prefix: "com.kuguo.sdk", Name: "Kuguo Ads", Category: CategoryAd, ChineseMarket: true},
+	{Prefix: "com.dowgin", Name: "Dowgin Ads", Category: CategoryAd, ChineseMarket: true},
+	{Prefix: "com.waps", Name: "Wanpu Ads", Category: CategoryAd, ChineseMarket: true},
+	{Prefix: "com.kyview", Name: "AdView Aggregator", Category: CategoryAd, ChineseMarket: true},
+	{Prefix: "com.qihoo360", Name: "Qihoo 360 SDK", Category: CategoryDevelopment, ChineseMarket: true},
+	{Prefix: "com.qihoo.jiagu", Name: "360 Jiagubao Packer", Category: CategoryDevelopment, ChineseMarket: true},
+	{Prefix: "com.bytedance", Name: "Bytedance SDK", Category: CategoryAd, ChineseMarket: true},
+	{Prefix: "com.iflytek", Name: "iFlytek Voice", Category: CategoryDevelopment, ChineseMarket: true},
+	{Prefix: "com.pingplusplus", Name: "Ping++ Payment", Category: CategoryPayment, ChineseMarket: true},
+	{Prefix: "com.commplat", Name: "Commplat Pay", Category: CategoryPayment, ChineseMarket: true},
+	{Prefix: "com.smspay", Name: "SMS Pay", Category: CategoryPayment, ChineseMarket: true},
+}
+
+// Catalog is an immutable, prefix-indexed library catalog.
+type Catalog struct {
+	libs     []Library
+	byPrefix map[string]Library
+}
+
+// DefaultCatalog returns the built-in labeled catalog.
+func DefaultCatalog() *Catalog {
+	return NewCatalog(builtinCatalog)
+}
+
+// NewCatalog builds a catalog from the given entries.
+func NewCatalog(libs []Library) *Catalog {
+	c := &Catalog{
+		libs:     append([]Library(nil), libs...),
+		byPrefix: make(map[string]Library, len(libs)),
+	}
+	for _, l := range libs {
+		c.byPrefix[l.Prefix] = l
+	}
+	sort.Slice(c.libs, func(i, j int) bool { return c.libs[i].Prefix < c.libs[j].Prefix })
+	return c
+}
+
+// Size returns the number of catalog entries.
+func (c *Catalog) Size() int { return len(c.libs) }
+
+// Libraries returns all entries sorted by prefix.
+func (c *Catalog) Libraries() []Library { return append([]Library(nil), c.libs...) }
+
+// Lookup finds the catalog entry whose prefix matches the given package
+// prefix exactly.
+func (c *Catalog) Lookup(prefix string) (Library, bool) {
+	l, ok := c.byPrefix[prefix]
+	return l, ok
+}
+
+// Match finds the catalog entry whose prefix is the longest one that the
+// given package name (or class package) falls under.
+func (c *Catalog) Match(pkg string) (Library, bool) {
+	best := Library{}
+	found := false
+	for _, l := range c.libs {
+		if underPrefix(pkg, l.Prefix) && len(l.Prefix) > len(best.Prefix) {
+			best = l
+			found = true
+		}
+	}
+	return best, found
+}
+
+// AdLibraries returns the advertising entries of the catalog.
+func (c *Catalog) AdLibraries() []Library {
+	var out []Library
+	for _, l := range c.libs {
+		if l.IsAd() {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Prefixes returns all catalog prefixes sorted. The clone detector uses this
+// set to strip library code before comparing apps.
+func (c *Catalog) Prefixes() []string {
+	out := make([]string, 0, len(c.libs))
+	for _, l := range c.libs {
+		out = append(out, l.Prefix)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// underPrefix reports whether pkg equals prefix or is nested below it.
+func underPrefix(pkg, prefix string) bool {
+	if len(pkg) < len(prefix) || pkg[:len(prefix)] != prefix {
+		return false
+	}
+	return len(pkg) == len(prefix) || pkg[len(prefix)] == '.'
+}

@@ -1,0 +1,388 @@
+package libdetect
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"marketscope/internal/dex"
+	"marketscope/internal/signing"
+)
+
+// Detection is one third-party library found in an app.
+type Detection struct {
+	// Prefix is the package prefix the library occupies inside the app.
+	// When an obfuscator renamed the package, this is the renamed prefix;
+	// the Feature hash is what identified it.
+	Prefix string
+	// Library is the catalog entry when the library is known; for
+	// cluster-learned but unlabeled libraries Name is "unknown" and the
+	// category is empty.
+	Library Library
+	// Known reports whether the detection was resolved to a catalog entry.
+	Known bool
+	// Classes is the number of classes attributed to the library.
+	Classes int
+	// Feature is the hex feature hash that matched (empty for pure
+	// catalog-prefix matches).
+	Feature string
+}
+
+// IsAd reports whether the detection is an advertising library.
+func (d Detection) IsAd() bool { return d.Known && d.Library.IsAd() }
+
+// prefixDepth is the package depth at which candidate library prefixes are
+// extracted. Depth 2 captures "com.umeng" and "com.baidu"; nested catalog
+// prefixes such as "com.google.ads" are handled by also extracting depth 3.
+const (
+	prefixDepthCoarse = 2
+	prefixDepthFine   = 3
+	// minFeatureAPIs is the minimum number of API references a prefix needs
+	// before it can serve as a clustering feature; tiny prefixes carry too
+	// little signal and would collide.
+	minFeatureAPIs = 3
+)
+
+// FeatureOf computes the obfuscation-resilient feature of a package prefix
+// within an app: the SHA-256 of the sorted multiset of framework API calls
+// made by classes under that prefix. Renaming packages or classes does not
+// change the feature; changing behaviour does.
+func FeatureOf(code *dex.File, prefix string) (string, int) {
+	apiCounts := map[string]int{}
+	classes := 0
+	for _, c := range code.Classes {
+		if !dex.UnderPrefix(c.Name, prefix) {
+			continue
+		}
+		classes++
+		for _, m := range c.Methods {
+			for _, call := range m.APICalls {
+				apiCounts[call]++
+			}
+		}
+	}
+	if classes == 0 {
+		return "", 0
+	}
+	calls := make([]string, 0, len(apiCounts))
+	for call := range apiCounts {
+		calls = append(calls, call)
+	}
+	sort.Strings(calls)
+	h := sha256.New()
+	var buf [4]byte
+	for _, call := range calls {
+		binary.LittleEndian.PutUint32(buf[:], uint32(len(call)))
+		h.Write(buf[:])
+		h.Write([]byte(call))
+		binary.LittleEndian.PutUint32(buf[:], uint32(apiCounts[call]))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil)), classes
+}
+
+// candidatePrefixes returns the package prefixes of an app worth considering
+// as library homes, at both coarse and fine depth, excluding the app's own
+// package prefix (host code is not a third-party library).
+func candidatePrefixes(code *dex.File, ownPackage string) []string {
+	set := map[string]bool{}
+	ownCoarse := dex.PackagePrefix(ownPackage, prefixDepthCoarse)
+	for _, pc := range code.TopLevelPackages(prefixDepthCoarse) {
+		if pc.Package == ownCoarse || pc.Package == ownPackage {
+			continue
+		}
+		set[pc.Package] = true
+	}
+	for _, pc := range code.TopLevelPackages(prefixDepthFine) {
+		if pc.Package == ownPackage || dex.PackagePrefix(pc.Package, prefixDepthCoarse) == ownCoarse {
+			continue
+		}
+		set[pc.Package] = true
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FeatureDB is the learned library feature database: feature hash ->
+// observation statistics. It plays the role of LibRadar's pre-computed
+// feature dataset, which the paper rebuilt from its own 6 M-app corpus
+// because the published one was stale and Google-Play-centric.
+type FeatureDB struct {
+	// MinApps is the minimum number of distinct apps a feature must appear
+	// in to be considered a library.
+	MinApps int
+	// MinDevelopers is the minimum number of distinct developers; code
+	// recurring across unrelated developers is almost certainly a library
+	// rather than shared in-house code.
+	MinDevelopers int
+
+	features map[string]*featureStats
+}
+
+type featureStats struct {
+	apps       int
+	developers map[signing.Fingerprint]bool
+	prefixes   map[string]int
+}
+
+// NewFeatureDB creates an empty feature database with the given clustering
+// thresholds. Non-positive thresholds default to 3 apps from 2 developers.
+func NewFeatureDB(minApps, minDevelopers int) *FeatureDB {
+	if minApps <= 0 {
+		minApps = 3
+	}
+	if minDevelopers <= 0 {
+		minDevelopers = 2
+	}
+	return &FeatureDB{
+		MinApps:       minApps,
+		MinDevelopers: minDevelopers,
+		features:      make(map[string]*featureStats),
+	}
+}
+
+// Observe adds one app's candidate prefixes to the database. ownPackage is
+// the app's manifest package; developer is its signing identity.
+func (db *FeatureDB) Observe(code *dex.File, ownPackage string, developer signing.Fingerprint) {
+	for _, prefix := range candidatePrefixes(code, ownPackage) {
+		feature, classes := FeatureOf(code, prefix)
+		if feature == "" || classes == 0 {
+			continue
+		}
+		if countAPIs(code, prefix) < minFeatureAPIs {
+			continue
+		}
+		st, ok := db.features[feature]
+		if !ok {
+			st = &featureStats{developers: make(map[signing.Fingerprint]bool), prefixes: make(map[string]int)}
+			db.features[feature] = st
+		}
+		st.apps++
+		st.developers[developer] = true
+		st.prefixes[prefix]++
+	}
+}
+
+func countAPIs(code *dex.File, prefix string) int {
+	n := 0
+	for _, c := range code.ClassesUnderPrefix(prefix) {
+		for _, m := range c.Methods {
+			n += len(m.APICalls)
+		}
+	}
+	return n
+}
+
+// IsLibraryFeature reports whether the feature hash has been observed widely
+// enough to be considered a library.
+func (db *FeatureDB) IsLibraryFeature(feature string) bool {
+	st, ok := db.features[feature]
+	if !ok {
+		return false
+	}
+	return st.apps >= db.MinApps && len(st.developers) >= db.MinDevelopers
+}
+
+// CanonicalPrefix returns the most common package prefix observed for a
+// library feature, which recovers the original (unobfuscated) name for
+// features that are usually shipped unrenamed.
+func (db *FeatureDB) CanonicalPrefix(feature string) (string, bool) {
+	st, ok := db.features[feature]
+	if !ok {
+		return "", false
+	}
+	best, bestCount := "", 0
+	for p, n := range st.prefixes {
+		if n > bestCount || (n == bestCount && p < best) {
+			best, bestCount = p, n
+		}
+	}
+	return best, best != ""
+}
+
+// NumFeatures returns the number of distinct features observed (library or
+// not).
+func (db *FeatureDB) NumFeatures() int { return len(db.features) }
+
+// NumLibraries returns the number of features that qualify as libraries.
+func (db *FeatureDB) NumLibraries() int {
+	n := 0
+	for f := range db.features {
+		if db.IsLibraryFeature(f) {
+			n++
+		}
+	}
+	return n
+}
+
+// Detector combines the labeled catalog with an optional learned feature
+// database.
+type Detector struct {
+	catalog *Catalog
+	db      *FeatureDB
+}
+
+// NewDetector builds a detector. A nil catalog uses the built-in one; a nil
+// db disables clustering-based detection (catalog prefixes only).
+func NewDetector(catalog *Catalog, db *FeatureDB) *Detector {
+	if catalog == nil {
+		catalog = DefaultCatalog()
+	}
+	return &Detector{catalog: catalog, db: db}
+}
+
+// Catalog returns the detector's catalog.
+func (d *Detector) Catalog() *Catalog { return d.catalog }
+
+// Detect returns the third-party libraries embedded in the app.
+//
+// Detection proceeds in two passes. The first matches every non-host class
+// against the labeled catalog by package name (longest catalog prefix wins),
+// which identifies unobfuscated copies of known libraries regardless of how
+// deep their packages nest. The second pass clusters the remaining candidate
+// prefixes through the learned feature database, which catches renamed copies
+// of known libraries and recurring unlabeled libraries.
+func (d *Detector) Detect(code *dex.File, ownPackage string) []Detection {
+	var out []Detection
+
+	// Pass 1: catalog matches by class package.
+	byCatalogPrefix := map[string]*Detection{}
+	matchedClasses := map[string]bool{}
+	for _, c := range code.Classes {
+		if ownPackage != "" && dex.UnderPrefix(c.Name, ownPackage) {
+			continue
+		}
+		lib, ok := d.catalog.Match(dex.PackageOf(c.Name))
+		if !ok {
+			continue
+		}
+		det := byCatalogPrefix[lib.Prefix]
+		if det == nil {
+			det = &Detection{Prefix: lib.Prefix, Library: lib, Known: true}
+			byCatalogPrefix[lib.Prefix] = det
+		}
+		det.Classes++
+		matchedClasses[c.Name] = true
+	}
+	seenPrefix := map[string]bool{}
+	for _, det := range byCatalogPrefix {
+		det.Feature, _ = FeatureOf(code, det.Prefix)
+		seenPrefix[det.Library.Prefix] = true
+		out = append(out, *det)
+	}
+
+	// Pass 2: clustering over the candidate prefixes not already explained
+	// by the catalog.
+	for _, prefix := range candidatePrefixes(code, ownPackage) {
+		classes := code.ClassesUnderPrefix(prefix)
+		if len(classes) == 0 {
+			continue
+		}
+		unmatched := 0
+		for _, c := range classes {
+			if !matchedClasses[c.Name] {
+				unmatched++
+			}
+		}
+		if unmatched == 0 {
+			continue
+		}
+		feature, classCount := FeatureOf(code, prefix)
+		if d.db == nil || !d.db.IsLibraryFeature(feature) {
+			continue
+		}
+		// Cluster-learned library: try to resolve its canonical prefix to a
+		// catalog entry (handles obfuscated copies of known libraries).
+		det := Detection{Prefix: prefix, Classes: classCount, Feature: feature,
+			Library: Library{Prefix: prefix, Name: "unknown"}}
+		if canonical, ok := d.db.CanonicalPrefix(feature); ok {
+			if lib, ok := d.catalog.Match(canonical); ok {
+				det.Library = lib
+				det.Known = true
+			} else {
+				det.Library = Library{Prefix: canonical, Name: "unknown"}
+			}
+		}
+		if det.Known && seenPrefix[det.Library.Prefix] {
+			continue
+		}
+		if det.Known {
+			seenPrefix[det.Library.Prefix] = true
+		}
+		out = append(out, det)
+	}
+	// Drop unresolved coarse prefixes that merely contain a resolved
+	// library (e.g. the depth-2 "com.google" candidate when
+	// "com.google.ads" already matched); keeping them would double-count
+	// the same classes under an "unknown" label.
+	filtered := out[:0]
+	for _, det := range out {
+		if det.Known {
+			filtered = append(filtered, det)
+			continue
+		}
+		covered := false
+		for _, other := range out {
+			if other.Known && other.Prefix != det.Prefix && strings.HasPrefix(other.Prefix, det.Prefix+".") {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			filtered = append(filtered, det)
+		}
+	}
+	out = filtered
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix < out[j].Prefix })
+	return out
+}
+
+// LibraryPrefixesIn returns the in-app package prefixes occupied by detected
+// libraries; the clone detector removes these before computing similarity.
+func (d *Detector) LibraryPrefixesIn(code *dex.File, ownPackage string) []string {
+	dets := d.Detect(code, ownPackage)
+	out := make([]string, 0, len(dets))
+	for _, det := range dets {
+		out = append(out, det.Prefix)
+	}
+	return out
+}
+
+// Summary aggregates detections for one app.
+type Summary struct {
+	Total   int
+	Ad      int
+	ByName  map[string]int
+	AdNames []string
+}
+
+// Summarize counts detections by type.
+func Summarize(dets []Detection) Summary {
+	s := Summary{ByName: map[string]int{}}
+	for _, det := range dets {
+		s.Total++
+		name := det.Library.Name
+		if name == "" {
+			name = "unknown"
+		}
+		s.ByName[name]++
+		if det.IsAd() {
+			s.Ad++
+			s.AdNames = append(s.AdNames, name)
+		}
+	}
+	sort.Strings(s.AdNames)
+	return s
+}
+
+// String renders the summary compactly for logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("libraries=%d ads=%d", s.Total, s.Ad)
+}

@@ -1,0 +1,282 @@
+package libdetect
+
+import (
+	"strings"
+	"testing"
+
+	"marketscope/internal/dex"
+	"marketscope/internal/signing"
+)
+
+// appWithLibraries builds a dex file for a host app embedding the given
+// catalog library prefixes, each with a small but distinctive API profile.
+func appWithLibraries(hostPkg string, libs ...string) *dex.File {
+	f := &dex.File{Classes: []dex.Class{
+		{Name: hostPkg + ".MainActivity", Methods: []dex.Method{
+			{Name: "onCreate", APICalls: []string{"android.app.Activity.onCreate", "android.widget.TextView.setText"}},
+		}},
+	}}
+	for _, lib := range libs {
+		f.AddClass(dex.Class{
+			Name: lib + ".Core",
+			Methods: []dex.Method{
+				{Name: "init", APICalls: []string{
+					"android.content.Context.getPackageName",
+					"java.net.URL.openConnection",
+					"android.net.ConnectivityManager.getActiveNetworkInfo",
+					"lib." + lib + ".internalCall",
+				}},
+			},
+		})
+		f.AddClass(dex.Class{
+			Name: lib + ".Helper",
+			Methods: []dex.Method{
+				{Name: "run", APICalls: []string{"android.os.Handler.post", "lib." + lib + ".helperCall"}},
+			},
+		})
+	}
+	return f
+}
+
+func TestCatalogLookupAndMatch(t *testing.T) {
+	c := DefaultCatalog()
+	if c.Size() < 40 {
+		t.Fatalf("catalog too small: %d", c.Size())
+	}
+	if lib, ok := c.Lookup("com.umeng"); !ok || lib.Name != "Umeng" {
+		t.Errorf("Lookup(com.umeng) = %+v, %v", lib, ok)
+	}
+	if _, ok := c.Lookup("com.nonexistent"); ok {
+		t.Error("Lookup accepted unknown prefix")
+	}
+	if lib, ok := c.Match("com.google.ads.internal"); !ok || lib.Name != "Google AdMob" {
+		t.Errorf("Match nested = %+v, %v", lib, ok)
+	}
+	// Longest-prefix: com.google.android.gms must win over a hypothetical
+	// com.google match.
+	if lib, ok := c.Match("com.google.android.gms.maps"); !ok || lib.Prefix != "com.google.android.gms" {
+		t.Errorf("Match longest = %+v, %v", lib, ok)
+	}
+	if _, ok := c.Match("com.example.myapp"); ok {
+		t.Error("Match accepted non-library package")
+	}
+	// No false prefix match on sibling packages.
+	if _, ok := c.Match("com.umengineering.x"); ok {
+		t.Error("Match matched a non-nested sibling package")
+	}
+}
+
+func TestCatalogAdLibraries(t *testing.T) {
+	ads := DefaultCatalog().AdLibraries()
+	if len(ads) < 10 {
+		t.Fatalf("too few ad libraries: %d", len(ads))
+	}
+	for _, l := range ads {
+		if !l.IsAd() {
+			t.Errorf("non-ad library %q in AdLibraries", l.Name)
+		}
+	}
+}
+
+func TestCatalogPrefixesSorted(t *testing.T) {
+	prefixes := DefaultCatalog().Prefixes()
+	for i := 1; i < len(prefixes); i++ {
+		if prefixes[i-1] > prefixes[i] {
+			t.Fatal("Prefixes not sorted")
+		}
+	}
+}
+
+func TestFeatureOfStableUnderRenaming(t *testing.T) {
+	orig := appWithLibraries("com.host.app", "com.umeng")
+	renamed := orig.Clone()
+	for i, c := range renamed.Classes {
+		if strings.HasPrefix(c.Name, "com.umeng") {
+			renamed.Classes[i].Name = strings.Replace(c.Name, "com.umeng", "a.b", 1)
+		}
+	}
+	f1, n1 := FeatureOf(orig, "com.umeng")
+	f2, n2 := FeatureOf(renamed, "a.b")
+	if f1 == "" || f2 == "" {
+		t.Fatal("features not computed")
+	}
+	if f1 != f2 {
+		t.Error("feature changed under package renaming")
+	}
+	if n1 != n2 {
+		t.Errorf("class counts differ: %d vs %d", n1, n2)
+	}
+	if f, n := FeatureOf(orig, "com.absent"); f != "" || n != 0 {
+		t.Error("absent prefix should produce empty feature")
+	}
+}
+
+func TestDetectCatalogLibraries(t *testing.T) {
+	d := NewDetector(nil, nil)
+	code := appWithLibraries("com.host.app", "com.umeng", "com.google.ads", "com.alipay")
+	dets := d.Detect(code, "com.host.app")
+	names := map[string]bool{}
+	for _, det := range dets {
+		if !det.Known {
+			t.Errorf("catalog library not resolved: %+v", det)
+		}
+		names[det.Library.Name] = true
+	}
+	for _, want := range []string{"Umeng", "Google AdMob", "Alipay"} {
+		if !names[want] {
+			t.Errorf("library %q not detected (got %v)", want, names)
+		}
+	}
+	// Host package must never be reported as a library.
+	for _, det := range dets {
+		if strings.HasPrefix(det.Prefix, "com.host") {
+			t.Errorf("host code reported as library: %+v", det)
+		}
+	}
+}
+
+func TestDetectWithFeatureDBFindsRenamedLibraries(t *testing.T) {
+	db := NewFeatureDB(2, 2)
+	// Build a small corpus where the Umeng code appears under its real name
+	// in several apps by different developers.
+	for i := 0; i < 4; i++ {
+		dev := signing.NewDeveloper("dev", uint64(100+i))
+		code := appWithLibraries("com.corpus.app", "com.umeng")
+		db.Observe(code, "com.corpus.app", dev.Fingerprint())
+	}
+	if db.NumLibraries() == 0 {
+		t.Fatal("feature DB learned no libraries")
+	}
+
+	// A new app embeds the same code under an obfuscated prefix.
+	obfuscated := appWithLibraries("com.victim.app", "com.umeng")
+	for i, c := range obfuscated.Classes {
+		if strings.HasPrefix(c.Name, "com.umeng") {
+			obfuscated.Classes[i].Name = strings.Replace(c.Name, "com.umeng", "x.y", 1)
+		}
+	}
+	d := NewDetector(nil, db)
+	dets := d.Detect(obfuscated, "com.victim.app")
+	found := false
+	for _, det := range dets {
+		if det.Known && det.Library.Name == "Umeng" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("renamed Umeng not recovered via feature DB: %+v", dets)
+	}
+}
+
+func TestDetectWithoutDBMissesRenamed(t *testing.T) {
+	// Catalog-only detection cannot see renamed libraries; this is the gap
+	// the clustering approach closes.
+	obfuscated := appWithLibraries("com.victim.app", "com.umeng")
+	for i, c := range obfuscated.Classes {
+		if strings.HasPrefix(c.Name, "com.umeng") {
+			obfuscated.Classes[i].Name = strings.Replace(c.Name, "com.umeng", "x.y", 1)
+		}
+	}
+	d := NewDetector(nil, nil)
+	for _, det := range d.Detect(obfuscated, "com.victim.app") {
+		if det.Known && det.Library.Name == "Umeng" {
+			t.Error("catalog-only detector should not identify renamed library")
+		}
+	}
+}
+
+func TestFeatureDBThresholds(t *testing.T) {
+	db := NewFeatureDB(3, 2)
+	devA := signing.NewDeveloper("a", 1)
+	code := appWithLibraries("com.one.app", "com.umeng")
+	// Seen in 3 apps but all by one developer -> not a library.
+	db.Observe(code, "com.one.app", devA.Fingerprint())
+	db.Observe(code, "com.one.app", devA.Fingerprint())
+	db.Observe(code, "com.one.app", devA.Fingerprint())
+	feature, _ := FeatureOf(code, "com.umeng")
+	if db.IsLibraryFeature(feature) {
+		t.Error("single-developer feature should not qualify")
+	}
+	devB := signing.NewDeveloper("b", 2)
+	db.Observe(code, "com.one.app", devB.Fingerprint())
+	if !db.IsLibraryFeature(feature) {
+		t.Error("multi-developer recurring feature should qualify")
+	}
+	if db.IsLibraryFeature("ffff") {
+		t.Error("unknown feature should not qualify")
+	}
+}
+
+func TestFeatureDBDefaults(t *testing.T) {
+	db := NewFeatureDB(0, -1)
+	if db.MinApps != 3 || db.MinDevelopers != 2 {
+		t.Errorf("defaults = %d/%d", db.MinApps, db.MinDevelopers)
+	}
+}
+
+func TestCanonicalPrefix(t *testing.T) {
+	db := NewFeatureDB(1, 1)
+	dev := signing.NewDeveloper("d", 5)
+	code := appWithLibraries("com.app.x", "com.umeng")
+	db.Observe(code, "com.app.x", dev.Fingerprint())
+	feature, _ := FeatureOf(code, "com.umeng")
+	if p, ok := db.CanonicalPrefix(feature); !ok || p != "com.umeng" {
+		t.Errorf("CanonicalPrefix = %q, %v", p, ok)
+	}
+	if _, ok := db.CanonicalPrefix("absent"); ok {
+		t.Error("CanonicalPrefix accepted unknown feature")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := NewDetector(nil, nil)
+	code := appWithLibraries("com.host.app", "com.umeng", "com.google.ads", "cn.domob")
+	dets := d.Detect(code, "com.host.app")
+	s := Summarize(dets)
+	if s.Total != len(dets) {
+		t.Errorf("Total = %d, want %d", s.Total, len(dets))
+	}
+	if s.Ad != 2 {
+		t.Errorf("Ad = %d, want 2 (AdMob + Domob)", s.Ad)
+	}
+	if len(s.AdNames) != 2 {
+		t.Errorf("AdNames = %v", s.AdNames)
+	}
+	if !strings.Contains(s.String(), "ads=2") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestLibraryPrefixesIn(t *testing.T) {
+	d := NewDetector(nil, nil)
+	code := appWithLibraries("com.host.app", "com.umeng", "com.alipay")
+	prefixes := d.LibraryPrefixesIn(code, "com.host.app")
+	if len(prefixes) != 2 {
+		t.Errorf("prefixes = %v", prefixes)
+	}
+	stripped := code.WithoutPrefixes(prefixes)
+	for _, c := range stripped.Classes {
+		if strings.HasPrefix(c.Name, "com.umeng") || strings.HasPrefix(c.Name, "com.alipay") {
+			t.Errorf("library class %q survived stripping", c.Name)
+		}
+	}
+}
+
+func BenchmarkDetect(b *testing.B) {
+	d := NewDetector(nil, nil)
+	code := appWithLibraries("com.host.app", "com.umeng", "com.google.ads", "com.alipay", "com.baidu", "com.facebook")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Detect(code, "com.host.app")
+	}
+}
+
+func BenchmarkFeatureDBObserve(b *testing.B) {
+	db := NewFeatureDB(3, 2)
+	dev := signing.NewDeveloper("bench", 1)
+	code := appWithLibraries("com.host.app", "com.umeng", "com.google.ads")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.Observe(code, "com.host.app", dev.Fingerprint())
+	}
+}

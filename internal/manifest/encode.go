@@ -1,0 +1,405 @@
+package manifest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary manifest format ("AXML-lite").
+//
+// The real AndroidManifest.xml inside an APK is a binary XML document. We use
+// a simplified but structurally similar format: a fixed header with a magic
+// and version, a string pool, and a sequence of typed records that reference
+// strings by index. The parser is strict: truncated or corrupted input is
+// rejected with a descriptive error rather than silently producing a partial
+// manifest, because corrupted APKs are common in large crawls and must be
+// counted, not miscounted.
+//
+//	offset  size  field
+//	0       4     magic "AXML"
+//	4       2     format version (currently 1)
+//	6       2     reserved (0)
+//	8       4     string pool count N
+//	...           N length-prefixed UTF-8 strings (uint16 length)
+//	...           record stream until EOF
+//
+// Records:
+//
+//	0x01 package       [strIdx]
+//	0x02 versionCode   [int64]
+//	0x03 versionName   [strIdx]
+//	0x04 minSdk        [uint16]
+//	0x05 targetSdk     [uint16]
+//	0x06 appLabel      [strIdx]
+//	0x07 debuggable    [uint8]
+//	0x08 permission    [strIdx]
+//	0x09 component     [kind uint8][name strIdx][authority strIdx]
+//	                   [exported uint8][actionCount uint16][action strIdx...]
+
+const (
+	axmlMagic         = "AXML"
+	axmlFormatVersion = 1
+)
+
+// Record type identifiers in the binary manifest stream.
+const (
+	recPackage     = 0x01
+	recVersionCode = 0x02
+	recVersionName = 0x03
+	recMinSDK      = 0x04
+	recTargetSDK   = 0x05
+	recAppLabel    = 0x06
+	recDebuggable  = 0x07
+	recPermission  = 0x08
+	recComponent   = 0x09
+)
+
+// Encoding and decoding errors.
+var (
+	ErrBadMagic      = errors.New("manifest: bad magic")
+	ErrBadFormat     = errors.New("manifest: unsupported format version")
+	ErrTruncated     = errors.New("manifest: truncated input")
+	ErrBadStringRef  = errors.New("manifest: string index out of range")
+	ErrUnknownRecord = errors.New("manifest: unknown record type")
+)
+
+// stringPool interns strings and assigns them stable indices in first-seen
+// order, mirroring the string pool of Android's binary XML.
+type stringPool struct {
+	byValue map[string]uint32
+	values  []string
+}
+
+func newStringPool() *stringPool {
+	return &stringPool{byValue: make(map[string]uint32)}
+}
+
+func (p *stringPool) intern(s string) uint32 {
+	if idx, ok := p.byValue[s]; ok {
+		return idx
+	}
+	idx := uint32(len(p.values))
+	p.values = append(p.values, s)
+	p.byValue[s] = idx
+	return idx
+}
+
+// Encode serializes the manifest into the binary format. The manifest is
+// validated first; invalid manifests are refused so the corpus never contains
+// unparseable ground truth.
+func Encode(m *Manifest) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("manifest: encode: %w", err)
+	}
+	pool := newStringPool()
+	type compRef struct {
+		kind      uint8
+		name      uint32
+		authority uint32
+		exported  uint8
+		actions   []uint32
+	}
+
+	pkgIdx := pool.intern(m.Package)
+	verNameIdx := pool.intern(m.VersionName)
+	labelIdx := pool.intern(m.AppLabel)
+	permIdx := make([]uint32, len(m.Permissions))
+	for i, p := range m.Permissions {
+		permIdx[i] = pool.intern(p)
+	}
+	comps := make([]compRef, len(m.Components))
+	for i, c := range m.Components {
+		cr := compRef{
+			kind:      uint8(c.Kind),
+			name:      pool.intern(c.Name),
+			authority: pool.intern(c.Authority),
+		}
+		if c.Exported {
+			cr.exported = 1
+		}
+		for _, a := range c.IntentActions {
+			cr.actions = append(cr.actions, pool.intern(a))
+		}
+		comps[i] = cr
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString(axmlMagic)
+	writeU16(&buf, axmlFormatVersion)
+	writeU16(&buf, 0)
+	writeU32(&buf, uint32(len(pool.values)))
+	for _, s := range pool.values {
+		if len(s) > 0xFFFF {
+			return nil, fmt.Errorf("manifest: string too long (%d bytes)", len(s))
+		}
+		writeU16(&buf, uint16(len(s)))
+		buf.WriteString(s)
+	}
+
+	// Record stream.
+	buf.WriteByte(recPackage)
+	writeU32(&buf, pkgIdx)
+	buf.WriteByte(recVersionCode)
+	writeU64(&buf, uint64(m.VersionCode))
+	buf.WriteByte(recVersionName)
+	writeU32(&buf, verNameIdx)
+	buf.WriteByte(recMinSDK)
+	writeU16(&buf, uint16(m.MinSDK))
+	buf.WriteByte(recTargetSDK)
+	writeU16(&buf, uint16(m.TargetSDK))
+	buf.WriteByte(recAppLabel)
+	writeU32(&buf, labelIdx)
+	buf.WriteByte(recDebuggable)
+	if m.Debuggable {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+	for _, idx := range permIdx {
+		buf.WriteByte(recPermission)
+		writeU32(&buf, idx)
+	}
+	for _, c := range comps {
+		buf.WriteByte(recComponent)
+		buf.WriteByte(c.kind)
+		writeU32(&buf, c.name)
+		writeU32(&buf, c.authority)
+		buf.WriteByte(c.exported)
+		writeU16(&buf, uint16(len(c.actions)))
+		for _, a := range c.actions {
+			writeU32(&buf, a)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a binary manifest produced by Encode. It returns a
+// descriptive error for any malformed input.
+func Decode(data []byte) (*Manifest, error) {
+	r := &reader{data: data}
+	magic, err := r.bytes(4)
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != axmlMagic {
+		return nil, fmt.Errorf("%w: %q", ErrBadMagic, string(magic))
+	}
+	version, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if version != axmlFormatVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadFormat, version)
+	}
+	if _, err := r.u16(); err != nil { // reserved
+		return nil, err
+	}
+	poolCount, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(poolCount) > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: implausible string pool count %d", ErrTruncated, poolCount)
+	}
+	pool := make([]string, poolCount)
+	for i := range pool {
+		n, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		pool[i] = string(b)
+	}
+	str := func(idx uint32) (string, error) {
+		if int(idx) >= len(pool) {
+			return "", fmt.Errorf("%w: %d >= %d", ErrBadStringRef, idx, len(pool))
+		}
+		return pool[idx], nil
+	}
+
+	m := &Manifest{}
+	for !r.eof() {
+		tag, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case recPackage:
+			idx, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if m.Package, err = str(idx); err != nil {
+				return nil, err
+			}
+		case recVersionCode:
+			v, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			m.VersionCode = int64(v)
+		case recVersionName:
+			idx, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if m.VersionName, err = str(idx); err != nil {
+				return nil, err
+			}
+		case recMinSDK:
+			v, err := r.u16()
+			if err != nil {
+				return nil, err
+			}
+			m.MinSDK = int(v)
+		case recTargetSDK:
+			v, err := r.u16()
+			if err != nil {
+				return nil, err
+			}
+			m.TargetSDK = int(v)
+		case recAppLabel:
+			idx, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if m.AppLabel, err = str(idx); err != nil {
+				return nil, err
+			}
+		case recDebuggable:
+			v, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			m.Debuggable = v != 0
+		case recPermission:
+			idx, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			p, err := str(idx)
+			if err != nil {
+				return nil, err
+			}
+			m.Permissions = append(m.Permissions, p)
+		case recComponent:
+			kind, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			nameIdx, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			authIdx, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			exported, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			actionCount, err := r.u16()
+			if err != nil {
+				return nil, err
+			}
+			c := Component{Kind: ComponentKind(kind), Exported: exported != 0}
+			if c.Name, err = str(nameIdx); err != nil {
+				return nil, err
+			}
+			if c.Authority, err = str(authIdx); err != nil {
+				return nil, err
+			}
+			for i := 0; i < int(actionCount); i++ {
+				aIdx, err := r.u32()
+				if err != nil {
+					return nil, err
+				}
+				a, err := str(aIdx)
+				if err != nil {
+					return nil, err
+				}
+				c.IntentActions = append(c.IntentActions, a)
+			}
+			m.Components = append(m.Components, c)
+		default:
+			return nil, fmt.Errorf("%w: 0x%02x at offset %d", ErrUnknownRecord, tag, r.pos-1)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("manifest: decode: %w", err)
+	}
+	return m, nil
+}
+
+// reader is a bounds-checked cursor over the encoded bytes.
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func (r *reader) eof() bool { return r.pos >= len(r.data) }
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.data) {
+		return nil, fmt.Errorf("%w: need %d bytes at offset %d, have %d", ErrTruncated, n, r.pos, len(r.data)-r.pos)
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *reader) u8() (uint8, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	b, err := r.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func writeU16(buf *bytes.Buffer, v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeU64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}

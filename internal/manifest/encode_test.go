@@ -1,0 +1,185 @@
+package manifest
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := validManifest()
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	m := validManifest()
+	m.Package = ""
+	if _, err := Encode(m); err == nil {
+		t.Error("Encode accepted invalid manifest")
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	m := validManifest()
+	data, _ := Encode(m)
+	data[0] = 'Z'
+	if _, err := Decode(data); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	m := validManifest()
+	data, _ := Encode(m)
+	data[4] = 0xFF
+	if _, err := Decode(data); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("want ErrBadFormat, got %v", err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	m := validManifest()
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix must be handled cleanly: no panic, and anything
+	// that does decode (a prefix that happens to end on a record boundary)
+	// must still be a valid manifest. Prefixes cut inside the header or the
+	// string pool must always fail.
+	headerAndPool := 12 // magic + version + reserved + pool count
+	for n := 0; n < len(data); n++ {
+		m, err := Decode(data[:n])
+		if err == nil {
+			if n <= headerAndPool {
+				t.Fatalf("Decode accepted a %d-byte header prefix", n)
+			}
+			if verr := m.Validate(); verr != nil {
+				t.Fatalf("Decode returned invalid manifest for %d/%d bytes: %v", n, len(data), verr)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		{},
+		[]byte("not an apk manifest"),
+		bytes.Repeat([]byte{0xFF}, 64),
+	}
+	for i, in := range inputs {
+		if _, err := Decode(in); err == nil {
+			t.Errorf("case %d: Decode accepted garbage", i)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownRecord(t *testing.T) {
+	m := validManifest()
+	data, _ := Encode(m)
+	data = append(data, 0x7F)
+	if _, err := Decode(data); !errors.Is(err, ErrUnknownRecord) {
+		t.Errorf("want ErrUnknownRecord, got %v", err)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	m := validManifest()
+	a, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("Encode is not deterministic")
+	}
+}
+
+func TestRoundTripEmptyOptionalFields(t *testing.T) {
+	m := &Manifest{Package: "com.min.app", VersionCode: 1, MinSDK: 14}
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Package != "com.min.app" || got.VersionCode != 1 || got.MinSDK != 14 {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if len(got.Permissions) != 0 || len(got.Components) != 0 {
+		t.Errorf("round trip invented fields: %+v", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(verCode uint16, minSDK uint8, perms []string, debuggable bool) bool {
+		m := &Manifest{
+			Package:     "com.prop.app",
+			VersionCode: int64(verCode) + 1,
+			VersionName: "v",
+			MinSDK:      int(minSDK%30) + 1,
+			Debuggable:  debuggable,
+		}
+		seen := map[string]bool{}
+		for i, p := range perms {
+			if p == "" || seen[p] || len(p) > 1000 || i > 40 {
+				continue
+			}
+			seen[p] = true
+			m.Permissions = append(m.Permissions, p)
+		}
+		data, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	m := validManifest()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	data, err := Encode(validManifest())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package manifest models the AndroidManifest.xml of an app and provides a
+// compact binary encoding analogous to Android's binary XML (AXML) format.
+//
+// The study extracts from every APK's manifest the package name, version
+// code/name, minimum and target SDK level, the set of requested permissions,
+// and the declared components. Those fields drive the minimum-API-level
+// analysis (Figure 3), the over-privilege analysis (Figure 11), and app
+// identity throughout the pipeline.
+package manifest
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ComponentKind identifies the four Android component types.
+type ComponentKind uint8
+
+// The four Android component kinds.
+const (
+	Activity ComponentKind = iota
+	Service
+	Receiver
+	Provider
+)
+
+// String returns the manifest tag name of the component kind.
+func (k ComponentKind) String() string {
+	switch k {
+	case Activity:
+		return "activity"
+	case Service:
+		return "service"
+	case Receiver:
+		return "receiver"
+	case Provider:
+		return "provider"
+	default:
+		return fmt.Sprintf("ComponentKind(%d)", uint8(k))
+	}
+}
+
+// Component is a declared application component: an activity, service,
+// broadcast receiver or content provider, optionally with intent-filter
+// actions (for the first three) or an authority (for providers).
+type Component struct {
+	Kind          ComponentKind
+	Name          string
+	IntentActions []string
+	Authority     string
+	Exported      bool
+}
+
+// Manifest is the decoded AndroidManifest.xml of an app.
+type Manifest struct {
+	Package     string
+	VersionCode int64
+	VersionName string
+	MinSDK      int
+	TargetSDK   int
+	AppLabel    string
+	Debuggable  bool
+	Permissions []string
+	Components  []Component
+}
+
+// Common validation errors.
+var (
+	ErrNoPackage       = errors.New("manifest: missing package name")
+	ErrBadPackage      = errors.New("manifest: malformed package name")
+	ErrBadVersion      = errors.New("manifest: version code must be positive")
+	ErrBadSDK          = errors.New("manifest: invalid SDK levels")
+	ErrDuplicatePerm   = errors.New("manifest: duplicate permission")
+	ErrEmptyPermission = errors.New("manifest: empty permission name")
+)
+
+// Validate checks structural invariants that every well-formed manifest in
+// the corpus must satisfy. Parsers call it after decoding; generators call it
+// before encoding.
+func (m *Manifest) Validate() error {
+	if m.Package == "" {
+		return ErrNoPackage
+	}
+	if !ValidPackageName(m.Package) {
+		return fmt.Errorf("%w: %q", ErrBadPackage, m.Package)
+	}
+	if m.VersionCode <= 0 {
+		return fmt.Errorf("%w: %d", ErrBadVersion, m.VersionCode)
+	}
+	if m.MinSDK < 1 || m.MinSDK > 40 {
+		return fmt.Errorf("%w: minSdk=%d", ErrBadSDK, m.MinSDK)
+	}
+	if m.TargetSDK != 0 && m.TargetSDK < m.MinSDK {
+		return fmt.Errorf("%w: targetSdk=%d < minSdk=%d", ErrBadSDK, m.TargetSDK, m.MinSDK)
+	}
+	seen := make(map[string]bool, len(m.Permissions))
+	for _, p := range m.Permissions {
+		if p == "" {
+			return ErrEmptyPermission
+		}
+		if seen[p] {
+			return fmt.Errorf("%w: %q", ErrDuplicatePerm, p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// ValidPackageName reports whether s looks like a Java-style package name:
+// at least two dot-separated segments, each starting with a letter and
+// containing only letters, digits and underscores.
+func ValidPackageName(s string) bool {
+	segments := strings.Split(s, ".")
+	if len(segments) < 2 {
+		return false
+	}
+	for _, seg := range segments {
+		if seg == "" {
+			return false
+		}
+		for i, r := range seg {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+			case r == '_':
+			case r >= '0' && r <= '9':
+				if i == 0 {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// HasPermission reports whether the manifest requests the given permission.
+func (m *Manifest) HasPermission(perm string) bool {
+	for _, p := range m.Permissions {
+		if p == perm {
+			return true
+		}
+	}
+	return false
+}
+
+// AddPermission adds a permission if not already present and returns whether
+// it was added.
+func (m *Manifest) AddPermission(perm string) bool {
+	if perm == "" || m.HasPermission(perm) {
+		return false
+	}
+	m.Permissions = append(m.Permissions, perm)
+	return true
+}
+
+// SortedPermissions returns the requested permissions in sorted order without
+// modifying the manifest.
+func (m *Manifest) SortedPermissions() []string {
+	out := append([]string(nil), m.Permissions...)
+	sort.Strings(out)
+	return out
+}
+
+// ComponentsOfKind returns the declared components of the given kind.
+func (m *Manifest) ComponentsOfKind(kind ComponentKind) []Component {
+	var out []Component
+	for _, c := range m.Components {
+		if c.Kind == kind {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ProviderAuthorities returns the authorities of all declared content
+// providers; the clone detector folds these into its feature vector.
+func (m *Manifest) ProviderAuthorities() []string {
+	var out []string
+	for _, c := range m.Components {
+		if c.Kind == Provider && c.Authority != "" {
+			out = append(out, c.Authority)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IntentActions returns the union of all intent-filter actions declared by
+// the manifest's components, sorted and deduplicated.
+func (m *Manifest) IntentActions() []string {
+	set := make(map[string]bool)
+	for _, c := range m.Components {
+		for _, a := range c.IntentActions {
+			if a != "" {
+				set[a] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the manifest.
+func (m *Manifest) Clone() *Manifest {
+	cp := *m
+	cp.Permissions = append([]string(nil), m.Permissions...)
+	cp.Components = make([]Component, len(m.Components))
+	for i, c := range m.Components {
+		cc := c
+		cc.IntentActions = append([]string(nil), c.IntentActions...)
+		cp.Components[i] = cc
+	}
+	return &cp
+}
+
+// AndroidVersionForAPI maps an API level to the Android version string it
+// corresponds to, e.g. 9 -> "2.3". Unknown levels return "unknown". The
+// mapping covers the levels that appear in the paper's Figure 3.
+func AndroidVersionForAPI(level int) string {
+	versions := map[int]string{
+		1: "1.0", 2: "1.1", 3: "1.5", 4: "1.6", 5: "2.0", 6: "2.0.1",
+		7: "2.1", 8: "2.2", 9: "2.3", 10: "2.3.3", 11: "3.0", 12: "3.1",
+		13: "3.2", 14: "4.0", 15: "4.0.3", 16: "4.1", 17: "4.2", 18: "4.3",
+		19: "4.4", 21: "5.0", 22: "5.1", 23: "6.0", 24: "7.0", 25: "7.1",
+		26: "8.0", 27: "8.1", 28: "9",
+	}
+	if v, ok := versions[level]; ok {
+		return v
+	}
+	return "unknown"
+}

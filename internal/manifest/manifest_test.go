@@ -1,0 +1,171 @@
+package manifest
+
+import (
+	"strings"
+	"testing"
+)
+
+func validManifest() *Manifest {
+	return &Manifest{
+		Package:     "com.example.app",
+		VersionCode: 42,
+		VersionName: "1.4.2",
+		MinSDK:      9,
+		TargetSDK:   25,
+		AppLabel:    "Example App",
+		Permissions: []string{"android.permission.INTERNET", "android.permission.CAMERA"},
+		Components: []Component{
+			{Kind: Activity, Name: "com.example.app.MainActivity",
+				IntentActions: []string{"android.intent.action.MAIN"}, Exported: true},
+			{Kind: Service, Name: "com.example.app.SyncService"},
+			{Kind: Provider, Name: "com.example.app.DataProvider", Authority: "com.example.app.provider"},
+		},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validManifest().Validate(); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Manifest)
+	}{
+		{"no package", func(m *Manifest) { m.Package = "" }},
+		{"malformed package", func(m *Manifest) { m.Package = "singleword" }},
+		{"package with invalid char", func(m *Manifest) { m.Package = "com.exa-mple.app" }},
+		{"zero version", func(m *Manifest) { m.VersionCode = 0 }},
+		{"negative version", func(m *Manifest) { m.VersionCode = -1 }},
+		{"zero minSdk", func(m *Manifest) { m.MinSDK = 0 }},
+		{"huge minSdk", func(m *Manifest) { m.MinSDK = 99 }},
+		{"target below min", func(m *Manifest) { m.MinSDK = 20; m.TargetSDK = 10 }},
+		{"duplicate permission", func(m *Manifest) {
+			m.Permissions = append(m.Permissions, "android.permission.INTERNET")
+		}},
+		{"empty permission", func(m *Manifest) { m.Permissions = append(m.Permissions, "") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := validManifest()
+			tc.mutate(m)
+			if err := m.Validate(); err == nil {
+				t.Errorf("Validate accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestValidPackageName(t *testing.T) {
+	valid := []string{"com.example.app", "a.b", "com.kugou.android", "org.x_1.y2"}
+	invalid := []string{"", "com", "com.", ".com", "com..app", "com.1abc", "com.a-b", "com.a b"}
+	for _, s := range valid {
+		if !ValidPackageName(s) {
+			t.Errorf("ValidPackageName(%q) = false, want true", s)
+		}
+	}
+	for _, s := range invalid {
+		if ValidPackageName(s) {
+			t.Errorf("ValidPackageName(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestHasAndAddPermission(t *testing.T) {
+	m := validManifest()
+	if !m.HasPermission("android.permission.INTERNET") {
+		t.Error("HasPermission missed existing permission")
+	}
+	if m.HasPermission("android.permission.BLUETOOTH") {
+		t.Error("HasPermission reported missing permission")
+	}
+	if !m.AddPermission("android.permission.BLUETOOTH") {
+		t.Error("AddPermission refused new permission")
+	}
+	if m.AddPermission("android.permission.BLUETOOTH") {
+		t.Error("AddPermission added duplicate")
+	}
+	if m.AddPermission("") {
+		t.Error("AddPermission accepted empty permission")
+	}
+}
+
+func TestSortedPermissionsDoesNotMutate(t *testing.T) {
+	m := &Manifest{
+		Package: "com.a.b", VersionCode: 1, MinSDK: 9,
+		Permissions: []string{"z.perm", "a.perm"},
+	}
+	sorted := m.SortedPermissions()
+	if sorted[0] != "a.perm" {
+		t.Errorf("SortedPermissions()[0] = %q", sorted[0])
+	}
+	if m.Permissions[0] != "z.perm" {
+		t.Error("SortedPermissions mutated the manifest")
+	}
+}
+
+func TestComponentsOfKindAndAuthorities(t *testing.T) {
+	m := validManifest()
+	if got := len(m.ComponentsOfKind(Activity)); got != 1 {
+		t.Errorf("activities = %d, want 1", got)
+	}
+	if got := len(m.ComponentsOfKind(Receiver)); got != 0 {
+		t.Errorf("receivers = %d, want 0", got)
+	}
+	auth := m.ProviderAuthorities()
+	if len(auth) != 1 || auth[0] != "com.example.app.provider" {
+		t.Errorf("authorities = %v", auth)
+	}
+}
+
+func TestIntentActionsDeduplicated(t *testing.T) {
+	m := validManifest()
+	m.Components = append(m.Components, Component{
+		Kind: Receiver, Name: "com.example.app.BootReceiver",
+		IntentActions: []string{"android.intent.action.MAIN", "android.intent.action.BOOT_COMPLETED", ""},
+	})
+	actions := m.IntentActions()
+	if len(actions) != 2 {
+		t.Fatalf("IntentActions = %v, want 2 unique non-empty actions", actions)
+	}
+	if actions[0] != "android.intent.action.BOOT_COMPLETED" {
+		t.Errorf("actions not sorted: %v", actions)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := validManifest()
+	cp := m.Clone()
+	cp.Permissions[0] = "mutated"
+	cp.Components[0].IntentActions[0] = "mutated"
+	cp.Package = "com.other.app"
+	if m.Permissions[0] == "mutated" || m.Components[0].IntentActions[0] == "mutated" {
+		t.Error("Clone shares slices with the original")
+	}
+	if m.Package != "com.example.app" {
+		t.Error("Clone shares scalar state")
+	}
+}
+
+func TestComponentKindString(t *testing.T) {
+	if Activity.String() != "activity" || Provider.String() != "provider" {
+		t.Error("component kind names wrong")
+	}
+	if !strings.Contains(ComponentKind(9).String(), "9") {
+		t.Error("unknown component kind should include its value")
+	}
+}
+
+func TestAndroidVersionForAPI(t *testing.T) {
+	if AndroidVersionForAPI(9) != "2.3" {
+		t.Errorf("API 9 = %q", AndroidVersionForAPI(9))
+	}
+	if AndroidVersionForAPI(23) != "6.0" {
+		t.Errorf("API 23 = %q", AndroidVersionForAPI(23))
+	}
+	if AndroidVersionForAPI(999) != "unknown" {
+		t.Error("unknown API level should map to \"unknown\"")
+	}
+}

@@ -1,0 +1,286 @@
+package market
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"marketscope/internal/appmeta"
+)
+
+func TestProfilesCoverTable1(t *testing.T) {
+	if NumMarkets() != 17 {
+		t.Fatalf("NumMarkets = %d, want 17", NumMarkets())
+	}
+	names := MarketNames()
+	if names[0] != GooglePlay {
+		t.Errorf("first market = %q, want Google Play", names[0])
+	}
+	if len(ChineseMarketNames()) != 16 {
+		t.Errorf("Chinese markets = %d, want 16", len(ChineseMarketNames()))
+	}
+	seen := map[string]bool{}
+	for _, p := range Profiles() {
+		if seen[p.Name] {
+			t.Errorf("duplicate market %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.CatalogWeight <= 0 {
+			t.Errorf("%s: catalog weight must be positive", p.Name)
+		}
+		if p.MalwareLaxness < 0 || p.MalwareLaxness > 1 {
+			t.Errorf("%s: malware laxness out of range", p.Name)
+		}
+	}
+	for _, must := range []string{"Tencent Myapp", "Huawei Market", "25PP", "PC Online", "Wandoujia"} {
+		if !seen[must] {
+			t.Errorf("market %q missing", must)
+		}
+	}
+}
+
+func TestProfileFeatureFidelity(t *testing.T) {
+	gp, ok := ProfileByName(GooglePlay)
+	if !ok {
+		t.Fatal("Google Play profile missing")
+	}
+	if gp.IsChinese() {
+		t.Error("Google Play must not be Chinese")
+	}
+	if !gp.RequiresPrivacyPolicy || !gp.ReportsIAP {
+		t.Error("Google Play transparency features wrong")
+	}
+	if gp.IndexStyle != IndexRelated || gp.RateLimitPerSecond <= 0 {
+		t.Error("Google Play crawl behaviour wrong")
+	}
+
+	hiapk, _ := ProfileByName("HiApk")
+	if hiapk.CopyrightCheck || hiapk.AppVetting {
+		t.Error("HiApk performs no copyright check or vetting per Table 1")
+	}
+	pco, _ := ProfileByName("PC Online")
+	if pco.DefaultRating != 3 {
+		t.Error("PC Online default rating should be 3")
+	}
+	lenovo, _ := ProfileByName("Lenovo MM")
+	if lenovo.Openness != OpennessCompaniesOnly {
+		t.Error("Lenovo MM should only accept companies")
+	}
+	baidu, _ := ProfileByName("Baidu Market")
+	if baidu.IndexStyle != IndexIncremental {
+		t.Error("Baidu should use incremental indexing")
+	}
+	threeSixty, _ := ProfileByName("360 Market")
+	if !threeSixty.RequiresJiagu {
+		t.Error("360 should require Jiagubao packing")
+	}
+	appchina, _ := ProfileByName("App China")
+	if appchina.MaxAPKSizeMB != 50 || appchina.ReportsDownloads {
+		t.Error("App China constraints wrong")
+	}
+	huawei, _ := ProfileByName("Huawei Market")
+	if !huawei.HumanInspection || huawei.VettingDays < 3 {
+		t.Error("Huawei vetting profile wrong")
+	}
+	if _, ok := ProfileByName("Nope Market"); ok {
+		t.Error("unknown market resolved")
+	}
+}
+
+func record(market, pkg, name, dev, category string, downloads int64) appmeta.Record {
+	return appmeta.Record{
+		Market: market, Package: pkg, AppName: name, DeveloperName: dev,
+		Category: category, VersionCode: 1, VersionName: "1.0",
+		Downloads: downloads, Rating: 4,
+		ReleaseDate: time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC),
+		UpdateDate:  time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	profile, ok := ProfileByName("Huawei Market")
+	if !ok {
+		t.Fatal("profile missing")
+	}
+	s := NewStore(profile)
+	apps := []appmeta.Record{
+		record("Huawei Market", "com.kugou.android", "Kugou Music", "Kugou Inc", "Music", 5_000_000),
+		record("Huawei Market", "com.kugou.ring", "Kugou Ring", "Kugou Inc", "Music", 40_000),
+		record("Huawei Market", "com.news.daily", "Daily News", "NewsCo", "News", 900_000),
+		record("Huawei Market", "com.tools.clean", "Cleaner", "ToolCo", "Tools", 10_000),
+	}
+	for i, r := range apps {
+		if err := s.Add(r, []byte{0x50, 0x4B, byte(i)}); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	return s
+}
+
+func TestStoreAddValidation(t *testing.T) {
+	profile, _ := ProfileByName("Huawei Market")
+	s := NewStore(profile)
+	good := record("Huawei Market", "com.a.b", "A", "Dev", "Tools", 10)
+	if err := s.Add(good, nil); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := s.Add(good, nil); !errors.Is(err, ErrDuplicateApp) {
+		t.Errorf("duplicate add: %v", err)
+	}
+	wrong := record("Baidu Market", "com.c.d", "C", "Dev", "Tools", 10)
+	if err := s.Add(wrong, nil); !errors.Is(err, ErrWrongMarket) {
+		t.Errorf("wrong market: %v", err)
+	}
+	invalid := appmeta.Record{Market: "Huawei Market"}
+	if err := s.Add(invalid, nil); !errors.Is(err, ErrInvalidRecord) {
+		t.Errorf("invalid record: %v", err)
+	}
+}
+
+func TestStoreGetRemove(t *testing.T) {
+	s := newTestStore(t)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	l, ok := s.Get("com.kugou.android")
+	if !ok || l.Meta.AppName != "Kugou Music" {
+		t.Errorf("Get = %+v, %v", l, ok)
+	}
+	if _, ok := s.Get("com.missing.app"); ok {
+		t.Error("Get returned missing app")
+	}
+	if !s.Remove("com.kugou.android") {
+		t.Error("Remove failed")
+	}
+	if s.Remove("com.kugou.android") {
+		t.Error("second Remove should fail")
+	}
+	if !s.WasRemoved("com.kugou.android") {
+		t.Error("WasRemoved lost track")
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len after removal = %d", s.Len())
+	}
+	if _, err := s.APK("com.kugou.android"); !errors.Is(err, ErrAppNotFound) {
+		t.Errorf("APK after removal: %v", err)
+	}
+}
+
+func TestStoreByIndexWithGaps(t *testing.T) {
+	s := newTestStore(t)
+	if s.IndexSize() != 4 {
+		t.Fatalf("IndexSize = %d", s.IndexSize())
+	}
+	rec, ok := s.ByIndex(0)
+	if !ok || rec.Package != "com.kugou.android" {
+		t.Errorf("ByIndex(0) = %+v, %v", rec, ok)
+	}
+	s.Remove("com.kugou.android")
+	if _, ok := s.ByIndex(0); ok {
+		t.Error("removed app should leave an index gap")
+	}
+	if _, ok := s.ByIndex(1); !ok {
+		t.Error("later index positions should survive removals")
+	}
+	if _, ok := s.ByIndex(99); ok {
+		t.Error("out-of-range index resolved")
+	}
+}
+
+func TestStoreSearch(t *testing.T) {
+	s := newTestStore(t)
+	hits := s.SearchByName("kugou", 0)
+	if len(hits) != 2 {
+		t.Fatalf("search hits = %d, want 2", len(hits))
+	}
+	if hits[0].Package != "com.kugou.android" {
+		t.Errorf("search not ordered by downloads: %+v", hits)
+	}
+	if got := s.SearchByName("kugou", 1); len(got) != 1 {
+		t.Errorf("limit not applied: %d", len(got))
+	}
+	if got := s.SearchByName("", 10); len(got) != 0 {
+		t.Errorf("empty query returned %d hits", len(got))
+	}
+	if got := s.SearchByName("nonexistent", 10); len(got) != 0 {
+		t.Errorf("bogus query returned %d hits", len(got))
+	}
+}
+
+func TestStoreRelated(t *testing.T) {
+	s := newTestStore(t)
+	rel := s.Related("com.kugou.android", 10)
+	if len(rel) == 0 {
+		t.Fatal("no related apps")
+	}
+	// Same-developer app must come first.
+	if rel[0].Package != "com.kugou.ring" {
+		t.Errorf("related[0] = %+v", rel[0])
+	}
+	if got := s.Related("com.missing.app", 5); got != nil {
+		t.Error("related for missing app should be nil")
+	}
+}
+
+func TestStoreCatalogPaging(t *testing.T) {
+	s := newTestStore(t)
+	page0 := s.Catalog(0, 3)
+	page1 := s.Catalog(1, 3)
+	if len(page0) != 3 || len(page1) != 1 {
+		t.Errorf("pages = %d/%d", len(page0), len(page1))
+	}
+	if got := s.Catalog(5, 3); len(got) != 0 {
+		t.Errorf("out-of-range page returned %d", len(got))
+	}
+	if got := s.Catalog(0, 0); len(got) != 4 {
+		t.Errorf("default page size: %d", len(got))
+	}
+}
+
+func TestStoreSnapshotSorted(t *testing.T) {
+	s := newTestStore(t)
+	snap := s.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot = %d", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Package >= snap[i].Package {
+			t.Fatal("snapshot not sorted")
+		}
+	}
+}
+
+func TestStoreAPKIsCopied(t *testing.T) {
+	s := newTestStore(t)
+	a, err := s.APK("com.tools.clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a[0] = 0xFF
+	b, _ := s.APK("com.tools.clean")
+	if b[0] == 0xFF {
+		t.Error("APK bytes are shared with callers")
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	b := newTokenBucket(10, 2)
+	base := time.Now()
+	b.now = func() time.Time { return base }
+	b.last = base
+	if !b.allow() || !b.allow() {
+		t.Fatal("burst capacity not available")
+	}
+	if b.allow() {
+		t.Fatal("bucket should be empty")
+	}
+	// Advance 200ms -> 2 more tokens.
+	base = base.Add(200 * time.Millisecond)
+	if !b.allow() || !b.allow() {
+		t.Error("refill did not happen")
+	}
+	if b.allow() {
+		t.Error("refill exceeded capacity")
+	}
+}

@@ -1,0 +1,344 @@
+// Package market implements the app-store simulator: per-market profiles
+// capturing the features of Table 1, an in-memory catalog store, and the
+// HTTP front-end the crawler harvests.
+//
+// The original study crawls Google Play and 16 commercial Chinese app stores.
+// Those services cannot be part of an offline reproduction, so this package
+// stands in for them: each simulated market serves metadata pages, search
+// results and APK downloads with the indexing style, rate limits, reporting
+// quirks (default ratings, unreported install counts) and moderation
+// behaviour (vetting strictness, post-hoc malware removal) attributed to the
+// real store by the paper. The crawler exercises the same code paths it would
+// against the real web front-ends.
+package market
+
+import "sort"
+
+// Type classifies a market by operator, following Section 2.
+type Type string
+
+// Market operator types.
+const (
+	TypeOfficial    Type = "Official"    // Google Play
+	TypeWebCompany  Type = "Web Co."     // Tencent, Baidu, 360
+	TypeVendor      Type = "HW Vendor"   // Huawei, Xiaomi, OPPO, Meizu, Lenovo
+	TypeSpecialized Type = "Specialized" // 25PP, Wandoujia, ...
+)
+
+// IndexStyle describes how a market's web front-end exposes its catalog,
+// which determines the crawling strategy (Section 3).
+type IndexStyle string
+
+// Index styles.
+const (
+	// IndexRelated exposes per-app "related apps" and "more by developer"
+	// links; crawled breadth-first from seeds (Google Play).
+	IndexRelated IndexStyle = "related"
+	// IndexIncremental exposes apps at sequential integer positions
+	// (Baidu's /software/INTEGER.html pages).
+	IndexIncremental IndexStyle = "incremental"
+	// IndexSearch exposes only keyword search plus category listings.
+	IndexSearch IndexStyle = "search"
+)
+
+// Openness describes who may publish to the market.
+type Openness string
+
+// Openness levels (Table 1's Openness column).
+const (
+	OpennessOpen          Openness = "open"           // any registered developer
+	OpennessCompaniesOnly Openness = "companies-only" // Lenovo MM
+	OpennessPartial       Openness = "partial"        // OPPO: restricted categories
+)
+
+// Profile is everything the simulation knows about one market: the
+// descriptive features of Table 1 plus the behavioural parameters the
+// synthetic ecosystem generator uses to shape that market's catalog.
+type Profile struct {
+	Name string
+	Type Type
+
+	// Table 1 feature columns.
+	Openness        Openness
+	CopyrightCheck  bool
+	AppVetting      bool
+	SecurityCheck   bool
+	HumanInspection bool
+	// VettingDays is the typical inspection delay in days (0.2 ≈ hours).
+	VettingDays   float64
+	QualityRating bool
+	// Publishing incentives (Section 2.1, item 3).
+	IncentiveExclusive     bool
+	IncentiveHighQuality   bool
+	IncentiveEditorsChoice bool
+	RequiresPrivacyPolicy  bool
+	ReportsAds             bool
+	ReportsIAP             bool
+
+	// Metadata reporting quirks.
+	ReportsDownloads bool
+	// DefaultRating is the rating reported for apps nobody rated (PC Online
+	// uses 3 instead of 0).
+	DefaultRating float64
+	// RequiresJiagu marks markets that force developers to repack apps with
+	// an obfuscating packer before publication (360 Jiagubao).
+	RequiresJiagu bool
+	// MaxAPKSizeMB caps the APK size (App China: 50 MB); 0 means no cap.
+	MaxAPKSizeMB int
+
+	// Web front-end behaviour.
+	IndexStyle IndexStyle
+	// RateLimitPerSecond caps API requests per second (0 = unlimited).
+	// Google Play's APK rate limiting is what forced the paper to fall back
+	// to AndroZoo for most Google Play APKs.
+	RateLimitPerSecond float64
+
+	// Behavioural parameters for the synthetic ecosystem generator. These
+	// are not observable features of the real store; they are the knobs
+	// that make the generated catalog reproduce the paper's measurements.
+
+	// CatalogWeight is the relative catalog size (proportional to Table 1's
+	// app counts).
+	CatalogWeight float64
+	// PopularityBias (0..1) skews the catalog toward popular apps (vendor
+	// stores curate; 25PP hosts a long tail of dead apps).
+	PopularityBias float64
+	// MalwareLaxness (0..1) is the probability that a malicious submission
+	// survives vetting.
+	MalwareLaxness float64
+	// FakeLaxness (0..1) is the probability that a fake/cloned submission
+	// survives copyright checks.
+	FakeLaxness float64
+	// UnratedShare is the fraction of listings with no user ratings.
+	UnratedShare float64
+	// StaleShare is the fraction of listings that lag behind the
+	// developer's latest version.
+	StaleShare float64
+	// MalwareRemovalRate is the fraction of flagged malware removed between
+	// the two crawls (Table 6).
+	MalwareRemovalRate float64
+}
+
+// IsChinese reports whether the market is one of the 16 Chinese alternative
+// stores (i.e. not Google Play).
+func (p Profile) IsChinese() bool { return p.Type != TypeOfficial }
+
+// GooglePlay is the name of the official market in every table.
+const GooglePlay = "Google Play"
+
+// profiles is the study's 17 markets. Feature columns follow Table 1;
+// behavioural parameters are set so the synthetic catalogs reproduce the
+// shapes reported in Sections 4-7 (see DESIGN.md for the mapping).
+var profiles = []Profile{
+	{
+		Name: GooglePlay, Type: TypeOfficial,
+		Openness: OpennessOpen, CopyrightCheck: true, AppVetting: true, SecurityCheck: true,
+		HumanInspection: true, VettingDays: 0.2, QualityRating: true,
+		IncentiveExclusive: false, IncentiveHighQuality: true, IncentiveEditorsChoice: true,
+		RequiresPrivacyPolicy: true, ReportsAds: true, ReportsIAP: true,
+		ReportsDownloads: true, IndexStyle: IndexRelated, RateLimitPerSecond: 40,
+		CatalogWeight: 2.03, PopularityBias: 0.55, MalwareLaxness: 0.05, FakeLaxness: 0.02,
+		UnratedShare: 0.093, StaleShare: 0.046, MalwareRemovalRate: 0.84,
+	},
+	{
+		Name: "Tencent Myapp", Type: TypeWebCompany,
+		Openness: OpennessOpen, CopyrightCheck: true, AppVetting: true, SecurityCheck: true,
+		HumanInspection: true, VettingDays: 1, QualityRating: true,
+		IncentiveExclusive: true, IncentiveHighQuality: true, IncentiveEditorsChoice: true,
+		RequiresPrivacyPolicy: false, ReportsAds: true, ReportsIAP: false,
+		ReportsDownloads: true, IndexStyle: IndexSearch, RateLimitPerSecond: 0,
+		CatalogWeight: 0.64, PopularityBias: 0.25, MalwareLaxness: 0.55, FakeLaxness: 0.5,
+		UnratedShare: 0.82, StaleShare: 0.228, MalwareRemovalRate: 0.0875,
+	},
+	{
+		Name: "Baidu Market", Type: TypeWebCompany,
+		Openness: OpennessOpen, CopyrightCheck: true, AppVetting: true, SecurityCheck: true,
+		HumanInspection: false, VettingDays: 2, QualityRating: false,
+		IncentiveExclusive: true, IncentiveHighQuality: false, IncentiveEditorsChoice: false,
+		RequiresPrivacyPolicy: false, ReportsAds: true, ReportsIAP: false,
+		ReportsDownloads: true, IndexStyle: IndexIncremental, RateLimitPerSecond: 0,
+		CatalogWeight: 0.23, PopularityBias: 0.35, MalwareLaxness: 0.6, FakeLaxness: 0.45,
+		UnratedShare: 0.62, StaleShare: 0.471, MalwareRemovalRate: 0.2399,
+	},
+	{
+		Name: "360 Market", Type: TypeWebCompany,
+		Openness: OpennessOpen, CopyrightCheck: true, AppVetting: true, SecurityCheck: true,
+		HumanInspection: false, VettingDays: 1, QualityRating: true,
+		IncentiveExclusive: true, IncentiveHighQuality: true, IncentiveEditorsChoice: true,
+		RequiresPrivacyPolicy: false, ReportsAds: true, ReportsIAP: true,
+		ReportsDownloads: true, RequiresJiagu: true, IndexStyle: IndexSearch, RateLimitPerSecond: 0,
+		CatalogWeight: 0.16, PopularityBias: 0.4, MalwareLaxness: 0.58, FakeLaxness: 0.48,
+		UnratedShare: 0.55, StaleShare: 0.273, MalwareRemovalRate: 0.43,
+	},
+	{
+		Name: "OPPO Market", Type: TypeVendor,
+		Openness: OpennessPartial, CopyrightCheck: true, AppVetting: true, SecurityCheck: true,
+		HumanInspection: true, VettingDays: 2, QualityRating: false,
+		IncentiveExclusive: false, IncentiveHighQuality: true, IncentiveEditorsChoice: false,
+		RequiresPrivacyPolicy: false, ReportsAds: true, ReportsIAP: false,
+		ReportsDownloads: true, IndexStyle: IndexSearch, RateLimitPerSecond: 0,
+		CatalogWeight: 0.43, PopularityBias: 0.2, MalwareLaxness: 0.62, FakeLaxness: 0.42,
+		UnratedShare: 0.83, StaleShare: 0.097, MalwareRemovalRate: 0.15,
+	},
+	{
+		Name: "Xiaomi Market", Type: TypeVendor,
+		Openness: OpennessOpen, CopyrightCheck: true, AppVetting: true, SecurityCheck: true,
+		HumanInspection: true, VettingDays: 2, QualityRating: false,
+		IncentiveExclusive: false, IncentiveHighQuality: false, IncentiveEditorsChoice: true,
+		RequiresPrivacyPolicy: false, ReportsAds: false, ReportsIAP: false,
+		ReportsDownloads: false, IndexStyle: IndexSearch, RateLimitPerSecond: 0,
+		CatalogWeight: 0.091, PopularityBias: 0.6, MalwareLaxness: 0.5, FakeLaxness: 0.1,
+		UnratedShare: 0.45, StaleShare: 0.334, MalwareRemovalRate: 0.325,
+	},
+	{
+		Name: "MeiZu Market", Type: TypeVendor,
+		Openness: OpennessOpen, CopyrightCheck: true, AppVetting: true, SecurityCheck: true,
+		HumanInspection: true, VettingDays: 2, QualityRating: false,
+		IncentiveExclusive: false, IncentiveHighQuality: false, IncentiveEditorsChoice: true,
+		RequiresPrivacyPolicy: false, ReportsAds: false, ReportsIAP: false,
+		ReportsDownloads: true, IndexStyle: IndexSearch, RateLimitPerSecond: 0,
+		CatalogWeight: 0.081, PopularityBias: 0.55, MalwareLaxness: 0.52, FakeLaxness: 0.55,
+		UnratedShare: 0.5, StaleShare: 0.241, MalwareRemovalRate: 0.2918,
+	},
+	{
+		Name: "Huawei Market", Type: TypeVendor,
+		Openness: OpennessOpen, CopyrightCheck: true, AppVetting: true, SecurityCheck: true,
+		HumanInspection: true, VettingDays: 4, QualityRating: false,
+		IncentiveExclusive: true, IncentiveHighQuality: true, IncentiveEditorsChoice: true,
+		RequiresPrivacyPolicy: false, ReportsAds: true, ReportsIAP: false,
+		ReportsDownloads: true, IndexStyle: IndexSearch, RateLimitPerSecond: 0,
+		CatalogWeight: 0.051, PopularityBias: 0.75, MalwareLaxness: 0.18, FakeLaxness: 0.3,
+		UnratedShare: 0.35, StaleShare: 0.309, MalwareRemovalRate: 0.2692,
+	},
+	{
+		Name: "Lenovo MM", Type: TypeVendor,
+		Openness: OpennessCompaniesOnly, CopyrightCheck: true, AppVetting: true, SecurityCheck: false,
+		HumanInspection: false, VettingDays: 2, QualityRating: false,
+		IncentiveExclusive: false, IncentiveHighQuality: false, IncentiveEditorsChoice: true,
+		RequiresPrivacyPolicy: false, ReportsAds: false, ReportsIAP: false,
+		ReportsDownloads: true, IndexStyle: IndexSearch, RateLimitPerSecond: 0,
+		CatalogWeight: 0.038, PopularityBias: 0.7, MalwareLaxness: 0.28, FakeLaxness: 0.6,
+		UnratedShare: 0.4, StaleShare: 0.396, MalwareRemovalRate: 0.2275,
+	},
+	{
+		Name: "25PP", Type: TypeSpecialized,
+		Openness: OpennessOpen, CopyrightCheck: true, AppVetting: true, SecurityCheck: true,
+		HumanInspection: false, VettingDays: 2, QualityRating: false,
+		IncentiveExclusive: true, IncentiveHighQuality: true, IncentiveEditorsChoice: false,
+		RequiresPrivacyPolicy: false, ReportsAds: true, ReportsIAP: false,
+		ReportsDownloads: true, IndexStyle: IndexSearch, RateLimitPerSecond: 0,
+		CatalogWeight: 1.01, PopularityBias: 0.15, MalwareLaxness: 0.5, FakeLaxness: 0.52,
+		UnratedShare: 0.85, StaleShare: 0.1, MalwareRemovalRate: 0.1963,
+	},
+	{
+		Name: "Wandoujia", Type: TypeSpecialized,
+		Openness: OpennessOpen, CopyrightCheck: true, AppVetting: true, SecurityCheck: true,
+		HumanInspection: false, VettingDays: 2, QualityRating: false,
+		IncentiveExclusive: false, IncentiveHighQuality: true, IncentiveEditorsChoice: true,
+		RequiresPrivacyPolicy: false, ReportsAds: false, ReportsIAP: false,
+		ReportsDownloads: true, IndexStyle: IndexSearch, RateLimitPerSecond: 0,
+		CatalogWeight: 0.55, PopularityBias: 0.3, MalwareLaxness: 0.48, FakeLaxness: 0.4,
+		UnratedShare: 0.6, StaleShare: 0.159, MalwareRemovalRate: 0.3451,
+	},
+	{
+		Name: "HiApk", Type: TypeSpecialized,
+		Openness: OpennessOpen, CopyrightCheck: false, AppVetting: false, SecurityCheck: false,
+		HumanInspection: false, VettingDays: 0, QualityRating: false,
+		IncentiveExclusive: false, IncentiveHighQuality: false, IncentiveEditorsChoice: false,
+		RequiresPrivacyPolicy: false, ReportsAds: false, ReportsIAP: false,
+		ReportsDownloads: true, IndexStyle: IndexSearch, RateLimitPerSecond: 0,
+		CatalogWeight: 0.25, PopularityBias: 0.3, MalwareLaxness: 0.62, FakeLaxness: 0.64,
+		UnratedShare: 0.65, StaleShare: 0.34, MalwareRemovalRate: 0.0,
+	},
+	{
+		Name: "AnZhi Market", Type: TypeSpecialized,
+		Openness: OpennessOpen, CopyrightCheck: true, AppVetting: true, SecurityCheck: true,
+		HumanInspection: true, VettingDays: 2, QualityRating: false,
+		IncentiveExclusive: false, IncentiveHighQuality: false, IncentiveEditorsChoice: false,
+		RequiresPrivacyPolicy: false, ReportsAds: false, ReportsIAP: false,
+		ReportsDownloads: true, IndexStyle: IndexSearch, RateLimitPerSecond: 0,
+		CatalogWeight: 0.22, PopularityBias: 0.25, MalwareLaxness: 0.63, FakeLaxness: 0.5,
+		UnratedShare: 0.7, StaleShare: 0.208, MalwareRemovalRate: 0.2761,
+	},
+	{
+		Name: "LIQU", Type: TypeSpecialized,
+		Openness: OpennessOpen, CopyrightCheck: true, AppVetting: true, SecurityCheck: true,
+		HumanInspection: false, VettingDays: 2, QualityRating: false,
+		IncentiveExclusive: false, IncentiveHighQuality: false, IncentiveEditorsChoice: false,
+		RequiresPrivacyPolicy: false, ReportsAds: true, ReportsIAP: false,
+		ReportsDownloads: true, IndexStyle: IndexSearch, RateLimitPerSecond: 0,
+		CatalogWeight: 0.18, PopularityBias: 0.35, MalwareLaxness: 0.66, FakeLaxness: 0.44,
+		UnratedShare: 0.6, StaleShare: 0.231, MalwareRemovalRate: 0.1408,
+	},
+	{
+		Name: "PC Online", Type: TypeSpecialized,
+		Openness: OpennessOpen, CopyrightCheck: false, AppVetting: false, SecurityCheck: false,
+		HumanInspection: false, VettingDays: 0, QualityRating: false,
+		IncentiveExclusive: false, IncentiveHighQuality: false, IncentiveEditorsChoice: false,
+		RequiresPrivacyPolicy: false, ReportsAds: false, ReportsIAP: false,
+		ReportsDownloads: true, DefaultRating: 3, IndexStyle: IndexSearch, RateLimitPerSecond: 0,
+		CatalogWeight: 0.135, PopularityBias: 0.1, MalwareLaxness: 0.85, FakeLaxness: 0.85,
+		UnratedShare: 0.75, StaleShare: 0.336, MalwareRemovalRate: 0.0001,
+	},
+	{
+		Name: "Sougou", Type: TypeSpecialized,
+		Openness: OpennessOpen, CopyrightCheck: true, AppVetting: true, SecurityCheck: true,
+		HumanInspection: false, VettingDays: 1, QualityRating: false,
+		IncentiveExclusive: true, IncentiveHighQuality: true, IncentiveEditorsChoice: false,
+		RequiresPrivacyPolicy: false, ReportsAds: true, ReportsIAP: false,
+		ReportsDownloads: true, IndexStyle: IndexSearch, RateLimitPerSecond: 0,
+		CatalogWeight: 0.128, PopularityBias: 0.2, MalwareLaxness: 0.72, FakeLaxness: 0.8,
+		UnratedShare: 0.68, StaleShare: 0.275, MalwareRemovalRate: 0.2424,
+	},
+	{
+		Name: "App China", Type: TypeSpecialized,
+		Openness: OpennessOpen, CopyrightCheck: true, AppVetting: true, SecurityCheck: true,
+		HumanInspection: true, VettingDays: 2, QualityRating: false,
+		IncentiveExclusive: false, IncentiveHighQuality: false, IncentiveEditorsChoice: false,
+		RequiresPrivacyPolicy: false, ReportsAds: true, ReportsIAP: false,
+		ReportsDownloads: false, MaxAPKSizeMB: 50, IndexStyle: IndexSearch, RateLimitPerSecond: 0,
+		CatalogWeight: 0.042, PopularityBias: 0.3, MalwareLaxness: 0.68, FakeLaxness: 0.12,
+		UnratedShare: 0.66, StaleShare: 0.227, MalwareRemovalRate: 0.2051,
+	},
+}
+
+// Profiles returns the 17 market profiles of the study, Google Play first and
+// the Chinese markets in Table 1 order.
+func Profiles() []Profile {
+	return append([]Profile(nil), profiles...)
+}
+
+// ProfileByName looks up a profile by market name.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// MarketNames returns the market names, Google Play first.
+func MarketNames() []string {
+	out := make([]string, 0, len(profiles))
+	for _, p := range profiles {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// ChineseMarketNames returns the names of the 16 Chinese markets sorted
+// alphabetically.
+func ChineseMarketNames() []string {
+	var out []string
+	for _, p := range profiles {
+		if p.IsChinese() {
+			out = append(out, p.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumMarkets returns the number of markets in the study (17).
+func NumMarkets() int { return len(profiles) }

@@ -1,0 +1,231 @@
+package market
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"marketscope/internal/appmeta"
+)
+
+// Info is the market description served at /api/info, which tells the
+// crawler which indexing strategy to use.
+type Info struct {
+	Name       string     `json:"name"`
+	Type       Type       `json:"type"`
+	IndexStyle IndexStyle `json:"index_style"`
+	NumApps    int        `json:"num_apps"`
+	IndexSize  int        `json:"index_size"`
+}
+
+// Server is the HTTP front-end of one simulated market.
+//
+// Routes (all GET):
+//
+//	/api/info                      market info
+//	/api/app?pkg=<package>         metadata for one app
+//	/api/download?pkg=<package>    APK bytes
+//	/api/search?q=<query>&limit=N  keyword search
+//	/api/related?pkg=<package>     related apps (BFS-style markets)
+//	/api/index?i=N                 app at catalog position N (incremental markets)
+//	/api/catalog?page=N&size=M     paged catalog listing
+//
+// When the profile sets RateLimitPerSecond the server answers 429 once the
+// budget is exhausted, which is how Google Play's APK rate limiting is
+// reproduced; the crawler must back off and retry.
+type Server struct {
+	store   *Store
+	limiter *tokenBucket
+	mux     *http.ServeMux
+}
+
+// NewServer builds the HTTP front-end for a store.
+func NewServer(store *Store) *Server {
+	s := &Server{store: store}
+	if rate := store.Profile().RateLimitPerSecond; rate > 0 {
+		s.limiter = newTokenBucket(rate, int(rate*2))
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/info", s.handleInfo)
+	mux.HandleFunc("/api/app", s.handleApp)
+	mux.HandleFunc("/api/download", s.handleDownload)
+	mux.HandleFunc("/api/search", s.handleSearch)
+	mux.HandleFunc("/api/related", s.handleRelated)
+	mux.HandleFunc("/api/index", s.handleIndex)
+	mux.HandleFunc("/api/catalog", s.handleCatalog)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.limiter != nil && !s.limiter.allow() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, Info{
+		Name:       s.store.Name(),
+		Type:       s.store.Profile().Type,
+		IndexStyle: s.store.Profile().IndexStyle,
+		NumApps:    s.store.Len(),
+		IndexSize:  s.store.IndexSize(),
+	})
+}
+
+func (s *Server) handleApp(w http.ResponseWriter, r *http.Request) {
+	pkg := r.URL.Query().Get("pkg")
+	if pkg == "" {
+		http.Error(w, "missing pkg parameter", http.StatusBadRequest)
+		return
+	}
+	l, ok := s.store.Get(pkg)
+	if !ok {
+		http.Error(w, "app not found", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, l.Meta)
+}
+
+func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
+	pkg := r.URL.Query().Get("pkg")
+	if pkg == "" {
+		http.Error(w, "missing pkg parameter", http.StatusBadRequest)
+		return
+	}
+	apkBytes, err := s.store.APK(pkg)
+	if err != nil {
+		http.Error(w, "app not found", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/vnd.android.package-archive")
+	w.Header().Set("Content-Length", strconv.Itoa(len(apkBytes)))
+	_, _ = w.Write(apkBytes)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	limit := intParam(r, "limit", 20)
+	writeJSON(w, s.store.SearchByName(q, limit))
+}
+
+func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
+	if s.store.Profile().IndexStyle != IndexRelated {
+		http.Error(w, "related listing not supported by this market", http.StatusNotFound)
+		return
+	}
+	pkg := r.URL.Query().Get("pkg")
+	if pkg == "" {
+		http.Error(w, "missing pkg parameter", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, s.store.Related(pkg, intParam(r, "limit", 10)))
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if s.store.Profile().IndexStyle != IndexIncremental {
+		http.Error(w, "index listing not supported by this market", http.StatusNotFound)
+		return
+	}
+	idx := intParam(r, "i", -1)
+	if idx < 0 {
+		http.Error(w, "missing i parameter", http.StatusBadRequest)
+		return
+	}
+	rec, ok := s.store.ByIndex(idx)
+	if !ok {
+		http.Error(w, "no app at index", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, rec)
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	page := intParam(r, "page", 0)
+	size := intParam(r, "size", 50)
+	recs := s.store.Catalog(page, size)
+	if recs == nil {
+		recs = []appmeta.Record{}
+	}
+	writeJSON(w, recs)
+}
+
+func intParam(r *http.Request, name string, fallback int) int {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return fallback
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return fallback
+	}
+	return n
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// The response is already partially written; nothing sensible can
+		// be done beyond noting the failure in the status text for clients
+		// that have not yet read the body.
+		http.Error(w, "encoding error", http.StatusInternalServerError)
+	}
+}
+
+// tokenBucket is a minimal thread-safe token-bucket rate limiter with
+// refill-on-demand semantics.
+type tokenBucket struct {
+	mu         sync.Mutex
+	capacity   float64
+	tokens     float64
+	refillRate float64 // tokens per second
+	last       time.Time
+	now        func() time.Time
+}
+
+func newTokenBucket(ratePerSecond float64, burst int) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{
+		capacity:   float64(burst),
+		tokens:     float64(burst),
+		refillRate: ratePerSecond,
+		last:       time.Now(),
+		now:        time.Now,
+	}
+}
+
+func (b *tokenBucket) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * b.refillRate
+		if b.tokens > b.capacity {
+			b.tokens = b.capacity
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

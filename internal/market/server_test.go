@@ -1,0 +1,196 @@
+package market
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"marketscope/internal/appmeta"
+)
+
+func newTestServer(t *testing.T, marketName string) (*httptest.Server, *Store) {
+	t.Helper()
+	profile, ok := ProfileByName(marketName)
+	if !ok {
+		t.Fatalf("unknown market %q", marketName)
+	}
+	store := NewStore(profile)
+	apps := []appmeta.Record{
+		record(marketName, "com.kugou.android", "Kugou Music", "Kugou Inc", "Music", 5_000_000),
+		record(marketName, "com.kugou.ring", "Kugou Ring", "Kugou Inc", "Music", 40_000),
+		record(marketName, "com.news.daily", "Daily News", "NewsCo", "News", 900_000),
+	}
+	for i, r := range apps {
+		if err := store.Add(r, []byte{0xAA, byte(i), 0xBB}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(NewServer(store))
+	t.Cleanup(srv.Close)
+	return srv, store
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServerInfo(t *testing.T) {
+	srv, _ := newTestServer(t, "Huawei Market")
+	var info Info
+	if code := getJSON(t, srv.URL+"/api/info", &info); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if info.Name != "Huawei Market" || info.NumApps != 3 || info.IndexStyle != IndexSearch {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestServerAppAndDownload(t *testing.T) {
+	srv, _ := newTestServer(t, "Huawei Market")
+	var rec appmeta.Record
+	if code := getJSON(t, srv.URL+"/api/app?pkg=com.kugou.android", &rec); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if rec.AppName != "Kugou Music" || rec.Downloads != 5_000_000 {
+		t.Errorf("record = %+v", rec)
+	}
+	if code := getJSON(t, srv.URL+"/api/app?pkg=com.missing", nil); code != http.StatusNotFound {
+		t.Errorf("missing app status = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/api/app", nil); code != http.StatusBadRequest {
+		t.Errorf("missing pkg status = %d", code)
+	}
+
+	resp, err := http.Get(srv.URL + "/api/download?pkg=com.kugou.android")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) != 3 {
+		t.Errorf("download status=%d len=%d", resp.StatusCode, len(body))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/vnd.android.package-archive" {
+		t.Errorf("content type = %q", ct)
+	}
+	if code := getJSON(t, srv.URL+"/api/download?pkg=com.missing", nil); code != http.StatusNotFound {
+		t.Errorf("missing download status = %d", code)
+	}
+}
+
+func TestServerSearch(t *testing.T) {
+	srv, _ := newTestServer(t, "Huawei Market")
+	var hits []appmeta.Record
+	if code := getJSON(t, srv.URL+"/api/search?q=kugou", &hits); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(hits) != 2 {
+		t.Errorf("hits = %d", len(hits))
+	}
+	if code := getJSON(t, srv.URL+"/api/search", nil); code != http.StatusBadRequest {
+		t.Errorf("missing q status = %d", code)
+	}
+}
+
+func TestServerIndexStyleGating(t *testing.T) {
+	// A search-style market must reject /api/related and /api/index.
+	srv, _ := newTestServer(t, "Huawei Market")
+	if code := getJSON(t, srv.URL+"/api/related?pkg=com.kugou.android", nil); code != http.StatusNotFound {
+		t.Errorf("related on search market = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/api/index?i=0", nil); code != http.StatusNotFound {
+		t.Errorf("index on search market = %d", code)
+	}
+
+	// Baidu exposes the incremental index.
+	baidu, _ := newTestServer(t, "Baidu Market")
+	var rec appmeta.Record
+	if code := getJSON(t, baidu.URL+"/api/index?i=0", &rec); code != http.StatusOK || rec.Package == "" {
+		t.Errorf("baidu index: code=%d rec=%+v", code, rec)
+	}
+	if code := getJSON(t, baidu.URL+"/api/index?i=99", nil); code != http.StatusNotFound {
+		t.Errorf("baidu out-of-range index = %d", code)
+	}
+	if code := getJSON(t, baidu.URL+"/api/index", nil); code != http.StatusBadRequest {
+		t.Errorf("baidu missing i = %d", code)
+	}
+}
+
+func TestServerCatalogPaging(t *testing.T) {
+	srv, _ := newTestServer(t, "Huawei Market")
+	var page []appmeta.Record
+	if code := getJSON(t, srv.URL+"/api/catalog?page=0&size=2", &page); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(page) != 2 {
+		t.Errorf("page size = %d", len(page))
+	}
+	if code := getJSON(t, srv.URL+"/api/catalog?page=99&size=2", &page); code != http.StatusOK || len(page) != 0 {
+		t.Errorf("empty page: code=%d len=%d", code, len(page))
+	}
+}
+
+func TestServerMethodNotAllowed(t *testing.T) {
+	srv, _ := newTestServer(t, "Huawei Market")
+	resp, err := http.Post(srv.URL+"/api/info", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d", resp.StatusCode)
+	}
+}
+
+func TestServerRateLimiting(t *testing.T) {
+	// Google Play's profile sets a rate limit; hammering the endpoint must
+	// eventually yield 429 responses.
+	srv, _ := newTestServer(t, GooglePlay)
+	limited := false
+	for i := 0; i < 300; i++ {
+		resp, err := http.Get(srv.URL + "/api/info")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				// Header is set before the error write in ServeHTTP.
+				t.Log("Retry-After header missing on 429")
+			}
+			limited = true
+			break
+		}
+	}
+	if !limited {
+		t.Error("rate limiter never engaged after 300 rapid requests")
+	}
+}
+
+func TestServerRelatedOnGooglePlay(t *testing.T) {
+	srv, _ := newTestServer(t, GooglePlay)
+	// Retry to ride out the rate limiter from other tests (fresh server, so
+	// only this test's requests count).
+	var rel []appmeta.Record
+	code := getJSON(t, srv.URL+"/api/related?pkg=com.kugou.android&limit=5", &rel)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(rel) == 0 {
+		t.Error("no related apps returned")
+	}
+}

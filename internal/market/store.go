@@ -1,0 +1,271 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"marketscope/internal/appmeta"
+)
+
+// Listing is one app hosted by a market: its public metadata plus the APK
+// bytes served on download.
+type Listing struct {
+	Meta appmeta.Record
+	APK  []byte
+}
+
+// Store is the catalog of one simulated market. It is safe for concurrent
+// use; the HTTP front-end serves reads while the catalog-evolution hooks
+// (removal of flagged malware between crawls) apply writes.
+type Store struct {
+	profile Profile
+
+	mu       sync.RWMutex
+	listings map[string]*Listing
+	// order records insertion order, which is what the incremental index
+	// style exposes (Baidu's sequential integer pages).
+	order   []string
+	removed map[string]bool
+}
+
+// Store errors.
+var (
+	ErrWrongMarket   = errors.New("market: record belongs to a different market")
+	ErrDuplicateApp  = errors.New("market: package already listed")
+	ErrAppNotFound   = errors.New("market: app not found")
+	ErrInvalidRecord = errors.New("market: invalid record")
+)
+
+// NewStore creates an empty store for the given market profile.
+func NewStore(profile Profile) *Store {
+	return &Store{
+		profile:  profile,
+		listings: make(map[string]*Listing),
+		removed:  make(map[string]bool),
+	}
+}
+
+// Profile returns the market profile.
+func (s *Store) Profile() Profile { return s.profile }
+
+// Name returns the market name.
+func (s *Store) Name() string { return s.profile.Name }
+
+// Add publishes a listing. The record's Market must match the store and the
+// package must not already be listed.
+func (s *Store) Add(meta appmeta.Record, apkBytes []byte) error {
+	if err := meta.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidRecord, err)
+	}
+	if meta.Market != s.profile.Name {
+		return fmt.Errorf("%w: %q vs %q", ErrWrongMarket, meta.Market, s.profile.Name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.listings[meta.Package]; exists {
+		return fmt.Errorf("%w: %s", ErrDuplicateApp, meta.Package)
+	}
+	s.listings[meta.Package] = &Listing{Meta: meta, APK: append([]byte(nil), apkBytes...)}
+	s.order = append(s.order, meta.Package)
+	return nil
+}
+
+// Get returns the listing for a package.
+func (s *Store) Get(pkg string) (*Listing, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.listings[pkg]
+	if !ok {
+		return nil, false
+	}
+	cp := *l
+	return &cp, true
+}
+
+// Remove delists a package (the store's moderation action between the two
+// crawls). It returns false if the package was not listed.
+func (s *Store) Remove(pkg string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.listings[pkg]; !ok {
+		return false
+	}
+	delete(s.listings, pkg)
+	s.removed[pkg] = true
+	return true
+}
+
+// WasRemoved reports whether a package was delisted at some point.
+func (s *Store) WasRemoved(pkg string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.removed[pkg]
+}
+
+// Len returns the number of live listings.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.listings)
+}
+
+// Packages returns the live package names in insertion order.
+func (s *Store) Packages() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.listings))
+	for _, pkg := range s.order {
+		if _, ok := s.listings[pkg]; ok {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}
+
+// ByIndex returns the record at the given zero-based position of the
+// insertion order (the incremental index style). Removed apps leave gaps, as
+// they do on the real sites.
+func (s *Store) ByIndex(i int) (appmeta.Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if i < 0 || i >= len(s.order) {
+		return appmeta.Record{}, false
+	}
+	l, ok := s.listings[s.order[i]]
+	if !ok {
+		return appmeta.Record{}, false
+	}
+	return l.Meta, true
+}
+
+// IndexSize returns the number of index positions (including gaps left by
+// removals).
+func (s *Store) IndexSize() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.order)
+}
+
+// SearchByName returns records whose app name or package contains the query
+// (case-insensitive), sorted by descending downloads then package name.
+// A limit <= 0 means no limit.
+func (s *Store) SearchByName(query string, limit int) []appmeta.Record {
+	q := strings.ToLower(strings.TrimSpace(query))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []appmeta.Record
+	if q == "" {
+		return out
+	}
+	for _, l := range s.listings {
+		name := strings.ToLower(l.Meta.AppName)
+		if strings.Contains(name, q) || strings.Contains(strings.ToLower(l.Meta.Package), q) {
+			out = append(out, l.Meta)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Downloads != out[j].Downloads {
+			return out[i].Downloads > out[j].Downloads
+		}
+		return out[i].Package < out[j].Package
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Related returns up to limit records related to the given package: other
+// apps by the same developer first, then apps in the same category, ordered
+// by downloads. This is what Google Play's "similar apps" / "more by this
+// developer" links expose to the BFS crawler.
+func (s *Store) Related(pkg string, limit int) []appmeta.Record {
+	if limit <= 0 {
+		limit = 10
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	base, ok := s.listings[pkg]
+	if !ok {
+		return nil
+	}
+	var sameDev, sameCat []appmeta.Record
+	for _, l := range s.listings {
+		if l.Meta.Package == pkg {
+			continue
+		}
+		switch {
+		case l.Meta.DeveloperName != "" && l.Meta.DeveloperName == base.Meta.DeveloperName:
+			sameDev = append(sameDev, l.Meta)
+		case l.Meta.Category == base.Meta.Category:
+			sameCat = append(sameCat, l.Meta)
+		}
+	}
+	byDownloads := func(recs []appmeta.Record) {
+		sort.Slice(recs, func(i, j int) bool {
+			if recs[i].Downloads != recs[j].Downloads {
+				return recs[i].Downloads > recs[j].Downloads
+			}
+			return recs[i].Package < recs[j].Package
+		})
+	}
+	byDownloads(sameDev)
+	byDownloads(sameCat)
+	out := append(sameDev, sameCat...)
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Catalog returns one page of the catalog ordered by insertion. Pages are
+// zero-based.
+func (s *Store) Catalog(page, pageSize int) []appmeta.Record {
+	if pageSize <= 0 {
+		pageSize = 50
+	}
+	pkgs := s.Packages()
+	start := page * pageSize
+	if start < 0 || start >= len(pkgs) {
+		return nil
+	}
+	end := start + pageSize
+	if end > len(pkgs) {
+		end = len(pkgs)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]appmeta.Record, 0, end-start)
+	for _, pkg := range pkgs[start:end] {
+		if l, ok := s.listings[pkg]; ok {
+			out = append(out, l.Meta)
+		}
+	}
+	return out
+}
+
+// Snapshot returns all live records, sorted by package name.
+func (s *Store) Snapshot() []appmeta.Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]appmeta.Record, 0, len(s.listings))
+	for _, l := range s.listings {
+		out = append(out, l.Meta)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Package < out[j].Package })
+	return out
+}
+
+// APK returns the APK bytes for a package.
+func (s *Store) APK(pkg string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.listings[pkg]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrAppNotFound, pkg)
+	}
+	return append([]byte(nil), l.APK...), nil
+}

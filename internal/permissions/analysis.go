@@ -1,0 +1,130 @@
+package permissions
+
+import (
+	"sort"
+
+	"marketscope/internal/dex"
+	"marketscope/internal/manifest"
+)
+
+// Usage is the result of the permission-gap analysis for one app.
+type Usage struct {
+	// Requested is the set of permissions declared in the manifest that the
+	// map knows about (unmapped permissions are excluded from judgement).
+	Requested []string
+	// Used is the subset of mapped permissions reachable from the app's
+	// code through API calls, intents or content URIs.
+	Used []string
+	// Unused is Requested minus Used: the over-privileged permissions.
+	Unused []string
+	// Missing is Used minus Requested: permissions the code appears to need
+	// but the manifest does not declare (under-privilege; such apps would
+	// crash at runtime, so a high count usually indicates dead library
+	// code).
+	Missing []string
+}
+
+// OverPrivilegedCount returns the number of requested-but-unused permissions.
+func (u *Usage) OverPrivilegedCount() int { return len(u.Unused) }
+
+// IsOverPrivileged reports whether the app requests at least one permission
+// it never uses.
+func (u *Usage) IsOverPrivileged() bool { return len(u.Unused) > 0 }
+
+// UnusedDangerous returns the unused permissions that are in the dangerous
+// group, the subset the paper highlights (READ_PHONE_STATE, location, CAMERA).
+func (u *Usage) UnusedDangerous() []string {
+	var out []string
+	for _, p := range u.Unused {
+		if IsDangerous(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Analyzer computes permission usage from parsed app artifacts.
+type Analyzer struct {
+	pmap *Map
+}
+
+// NewAnalyzer returns an Analyzer over the given permission map. A nil map
+// uses the built-in PScout-style map.
+func NewAnalyzer(pmap *Map) *Analyzer {
+	if pmap == nil {
+		pmap = DefaultMap()
+	}
+	return &Analyzer{pmap: pmap}
+}
+
+// UsedPermissions statically determines the set of mapped permissions the
+// code uses: every API call, intent action and content URI in the dex file is
+// looked up in the permission map.
+func (a *Analyzer) UsedPermissions(code *dex.File) []string {
+	used := map[string]bool{}
+	for call := range code.APICallCounts() {
+		if p, ok := a.pmap.PermissionForAPI(call); ok {
+			used[p] = true
+		}
+	}
+	for action := range code.IntentActionCounts() {
+		if p, ok := a.pmap.PermissionForIntent(action); ok {
+			used[p] = true
+		}
+	}
+	for uri := range code.ContentURICounts() {
+		if p, ok := a.pmap.PermissionForURI(uri); ok {
+			used[p] = true
+		}
+	}
+	return sortedKeys(used)
+}
+
+// Analyze compares the permissions requested in the manifest with those used
+// by the code and returns the full usage breakdown.
+func (a *Analyzer) Analyze(m *manifest.Manifest, code *dex.File) *Usage {
+	mapped := map[string]bool{}
+	for _, p := range a.pmap.MappedPermissions() {
+		mapped[p] = true
+	}
+
+	requested := map[string]bool{}
+	for _, p := range m.Permissions {
+		if mapped[p] {
+			requested[p] = true
+		}
+	}
+	usedList := a.UsedPermissions(code)
+	used := map[string]bool{}
+	for _, p := range usedList {
+		used[p] = true
+	}
+
+	unused := map[string]bool{}
+	for p := range requested {
+		if !used[p] {
+			unused[p] = true
+		}
+	}
+	missing := map[string]bool{}
+	for p := range used {
+		if !requested[p] {
+			missing[p] = true
+		}
+	}
+	return &Usage{
+		Requested: sortedKeys(requested),
+		Used:      usedList,
+		Unused:    sortedKeys(unused),
+		Missing:   sortedKeys(missing),
+	}
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

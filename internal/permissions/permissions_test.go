@@ -1,0 +1,216 @@
+package permissions
+
+import (
+	"sort"
+	"testing"
+
+	"marketscope/internal/dex"
+	"marketscope/internal/manifest"
+)
+
+func TestDefaultMapLookups(t *testing.T) {
+	m := DefaultMap()
+	if p, ok := m.PermissionForAPI("android.telephony.TelephonyManager.getDeviceId"); !ok || p != ReadPhoneState {
+		t.Errorf("getDeviceId -> %q, %v", p, ok)
+	}
+	if p, ok := m.PermissionForAPI("android.hardware.Camera.open"); !ok || p != Camera {
+		t.Errorf("Camera.open -> %q, %v", p, ok)
+	}
+	if _, ok := m.PermissionForAPI("com.example.NotAnAPI.call"); ok {
+		t.Error("unknown API resolved to a permission")
+	}
+	if p, ok := m.PermissionForIntent("android.intent.action.CALL"); !ok || p != CallPhone {
+		t.Errorf("CALL intent -> %q, %v", p, ok)
+	}
+	if _, ok := m.PermissionForIntent("android.intent.action.MAIN"); ok {
+		t.Error("MAIN intent should not require a permission")
+	}
+	if p, ok := m.PermissionForURI("content://com.android.contacts/data/1"); !ok || p != ReadContacts {
+		t.Errorf("contacts uri -> %q, %v", p, ok)
+	}
+	if _, ok := m.PermissionForURI("content://com.example.custom"); ok {
+		t.Error("unknown uri resolved to a permission")
+	}
+}
+
+func TestPermissionForURILongestPrefix(t *testing.T) {
+	m := NewMap(nil, nil, map[string]string{
+		"content://sms":       ReadSMS,
+		"content://sms/draft": "android.permission.WRITE_SMS_DRAFT",
+	})
+	if p, _ := m.PermissionForURI("content://sms/draft/7"); p != "android.permission.WRITE_SMS_DRAFT" {
+		t.Errorf("longest-prefix match failed: %q", p)
+	}
+	if p, _ := m.PermissionForURI("content://sms/inbox"); p != ReadSMS {
+		t.Errorf("prefix match failed: %q", p)
+	}
+}
+
+func TestMappedPermissionsSortedUnique(t *testing.T) {
+	perms := DefaultMap().MappedPermissions()
+	if len(perms) < 15 {
+		t.Fatalf("suspiciously small permission map: %d entries", len(perms))
+	}
+	if !sort.StringsAreSorted(perms) {
+		t.Error("MappedPermissions not sorted")
+	}
+	seen := map[string]bool{}
+	for _, p := range perms {
+		if seen[p] {
+			t.Errorf("duplicate %q", p)
+		}
+		seen[p] = true
+	}
+	if !seen[ReadPhoneState] || !seen[Camera] || !seen[AccessFineLocation] {
+		t.Error("core permissions missing from map")
+	}
+}
+
+func TestAPIsForPermission(t *testing.T) {
+	apis := DefaultMap().APIsForPermission(ReadPhoneState)
+	if len(apis) < 3 {
+		t.Fatalf("too few READ_PHONE_STATE APIs: %v", apis)
+	}
+	if !sort.StringsAreSorted(apis) {
+		t.Error("APIsForPermission not sorted")
+	}
+	if got := DefaultMap().APIsForPermission("android.permission.FAKE"); len(got) != 0 {
+		t.Errorf("unknown permission returned APIs: %v", got)
+	}
+}
+
+func TestIsDangerous(t *testing.T) {
+	if !IsDangerous(ReadPhoneState) || !IsDangerous(Camera) || !IsDangerous(AccessFineLocation) {
+		t.Error("dangerous permissions not flagged")
+	}
+	if IsDangerous(Internet) || IsDangerous(Vibrate) {
+		t.Error("normal permissions flagged as dangerous")
+	}
+	if len(DangerousPermissions()) < 10 {
+		t.Error("dangerous permission list too small")
+	}
+}
+
+func TestMapSize(t *testing.T) {
+	apis, intents, uris := DefaultMap().Size()
+	if apis < 30 || intents < 4 || uris < 5 {
+		t.Errorf("map sizes too small: %d/%d/%d", apis, intents, uris)
+	}
+}
+
+func overPrivApp() (*manifest.Manifest, *dex.File) {
+	m := &manifest.Manifest{
+		Package: "com.example.flash", VersionCode: 3, MinSDK: 9,
+		Permissions: []string{
+			Internet,                        // used
+			ReadPhoneState,                  // unused -> over-privileged
+			Camera,                          // unused -> over-privileged
+			AccessFineLocation,              // used via API
+			"com.example.CUSTOM_PERMISSION", // unmapped, must be ignored
+		},
+	}
+	code := &dex.File{Classes: []dex.Class{
+		{Name: "com.example.flash.Main", Methods: []dex.Method{
+			{Name: "run", APICalls: []string{
+				"java.net.URL.openConnection",
+				"android.location.LocationManager.getLastKnownLocation",
+			}},
+		}},
+	}}
+	return m, code
+}
+
+func TestAnalyzeOverPrivilege(t *testing.T) {
+	a := NewAnalyzer(nil)
+	m, code := overPrivApp()
+	u := a.Analyze(m, code)
+	if !u.IsOverPrivileged() {
+		t.Fatal("app should be over-privileged")
+	}
+	if u.OverPrivilegedCount() != 2 {
+		t.Errorf("unused = %v, want 2 entries", u.Unused)
+	}
+	wantUnused := map[string]bool{ReadPhoneState: true, Camera: true}
+	for _, p := range u.Unused {
+		if !wantUnused[p] {
+			t.Errorf("unexpected unused permission %q", p)
+		}
+	}
+	for _, p := range u.Requested {
+		if p == "com.example.CUSTOM_PERMISSION" {
+			t.Error("unmapped permission should not be judged")
+		}
+	}
+	dangerous := u.UnusedDangerous()
+	if len(dangerous) != 2 {
+		t.Errorf("UnusedDangerous = %v", dangerous)
+	}
+}
+
+func TestAnalyzeMissingPermissions(t *testing.T) {
+	a := NewAnalyzer(nil)
+	m := &manifest.Manifest{Package: "com.example.x", VersionCode: 1, MinSDK: 9}
+	code := &dex.File{Classes: []dex.Class{
+		{Name: "com.example.x.Main", Methods: []dex.Method{
+			{Name: "send", APICalls: []string{"android.telephony.SmsManager.sendTextMessage"}},
+		}},
+	}}
+	u := a.Analyze(m, code)
+	if len(u.Missing) != 1 || u.Missing[0] != SendSMS {
+		t.Errorf("Missing = %v, want [SEND_SMS]", u.Missing)
+	}
+	if u.IsOverPrivileged() {
+		t.Error("app with no requested permissions cannot be over-privileged")
+	}
+}
+
+func TestAnalyzeUsesIntentsAndURIs(t *testing.T) {
+	a := NewAnalyzer(nil)
+	m := &manifest.Manifest{
+		Package: "com.example.dialer", VersionCode: 1, MinSDK: 9,
+		Permissions: []string{CallPhone, ReadContacts},
+	}
+	code := &dex.File{Classes: []dex.Class{
+		{Name: "com.example.dialer.Main", Methods: []dex.Method{
+			{Name: "dial", IntentActions: []string{"android.intent.action.CALL"}},
+			{Name: "lookup", ContentURIs: []string{"content://com.android.contacts/people"}},
+		}},
+	}}
+	u := a.Analyze(m, code)
+	if u.IsOverPrivileged() {
+		t.Errorf("intent/uri usage not recognized: unused=%v", u.Unused)
+	}
+	if len(u.Used) != 2 {
+		t.Errorf("Used = %v, want CALL_PHONE and READ_CONTACTS", u.Used)
+	}
+}
+
+func TestAnalyzerDefaultsToBuiltinMap(t *testing.T) {
+	a := NewAnalyzer(nil)
+	b := NewAnalyzer(DefaultMap())
+	m, code := overPrivApp()
+	ua := a.Analyze(m, code)
+	ub := b.Analyze(m, code)
+	if len(ua.Unused) != len(ub.Unused) {
+		t.Error("nil map should behave like DefaultMap")
+	}
+}
+
+func TestCustomDegradedMap(t *testing.T) {
+	// An empty map must judge nothing (ablation case).
+	a := NewAnalyzer(NewMap(nil, nil, nil))
+	m, code := overPrivApp()
+	u := a.Analyze(m, code)
+	if len(u.Requested) != 0 || len(u.Used) != 0 || len(u.Unused) != 0 {
+		t.Errorf("empty map should produce empty usage, got %+v", u)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	a := NewAnalyzer(nil)
+	m, code := overPrivApp()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Analyze(m, code)
+	}
+}

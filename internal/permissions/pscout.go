@@ -1,0 +1,275 @@
+// Package permissions implements the PScout-style permission map and the
+// over-privilege analysis of Section 6.3.
+//
+// PScout provides, for a given Android version, the mapping from framework
+// API calls, protected intents and content-provider URIs to the permissions
+// they require. Comparing the permissions an app *uses* (reachable through
+// that map from its code) with the permissions it *requests* in its manifest
+// yields the set of over-privileged (requested but unused) permissions.
+//
+// The map below is a curated subset of the PScout 5.1.1 map covering the
+// permissions the paper reports as most commonly over-privileged
+// (READ_PHONE_STATE, ACCESS_COARSE_LOCATION, ACCESS_FINE_LOCATION, CAMERA)
+// plus the other dangerous permissions the synthetic corpus exercises.
+package permissions
+
+import "sort"
+
+// Canonical permission name constants used across the corpus.
+const (
+	ReadPhoneState       = "android.permission.READ_PHONE_STATE"
+	AccessCoarseLocation = "android.permission.ACCESS_COARSE_LOCATION"
+	AccessFineLocation   = "android.permission.ACCESS_FINE_LOCATION"
+	Camera               = "android.permission.CAMERA"
+	ReadContacts         = "android.permission.READ_CONTACTS"
+	WriteContacts        = "android.permission.WRITE_CONTACTS"
+	ReadSMS              = "android.permission.READ_SMS"
+	SendSMS              = "android.permission.SEND_SMS"
+	ReceiveSMS           = "android.permission.RECEIVE_SMS"
+	RecordAudio          = "android.permission.RECORD_AUDIO"
+	ReadCallLog          = "android.permission.READ_CALL_LOG"
+	CallPhone            = "android.permission.CALL_PHONE"
+	ReadCalendar         = "android.permission.READ_CALENDAR"
+	WriteCalendar        = "android.permission.WRITE_CALENDAR"
+	ReadExternalStorage  = "android.permission.READ_EXTERNAL_STORAGE"
+	WriteExternalStorage = "android.permission.WRITE_EXTERNAL_STORAGE"
+	GetAccounts          = "android.permission.GET_ACCOUNTS"
+	BodySensors          = "android.permission.BODY_SENSORS"
+	Internet             = "android.permission.INTERNET"
+	AccessNetworkState   = "android.permission.ACCESS_NETWORK_STATE"
+	AccessWifiState      = "android.permission.ACCESS_WIFI_STATE"
+	Bluetooth            = "android.permission.BLUETOOTH"
+	NFC                  = "android.permission.NFC"
+	Vibrate              = "android.permission.VIBRATE"
+	WakeLock             = "android.permission.WAKE_LOCK"
+	ReceiveBootCompleted = "android.permission.RECEIVE_BOOT_COMPLETED"
+	SystemAlertWindow    = "android.permission.SYSTEM_ALERT_WINDOW"
+	GetTasks             = "android.permission.GET_TASKS"
+	ChangeWifiState      = "android.permission.CHANGE_WIFI_STATE"
+	InstallShortcut      = "com.android.launcher.permission.INSTALL_SHORTCUT"
+)
+
+// dangerousPermissions is the set Google labels "dangerous": they guard
+// sensitive user data or device capabilities and require runtime consent on
+// modern Android versions. The paper reports that Chinese-market apps request
+// more of these than Google Play apps.
+var dangerousPermissions = map[string]bool{
+	ReadPhoneState: true, AccessCoarseLocation: true, AccessFineLocation: true,
+	Camera: true, ReadContacts: true, WriteContacts: true, ReadSMS: true,
+	SendSMS: true, ReceiveSMS: true, RecordAudio: true, ReadCallLog: true,
+	CallPhone: true, ReadCalendar: true, WriteCalendar: true,
+	ReadExternalStorage: true, WriteExternalStorage: true, GetAccounts: true,
+	BodySensors: true, GetTasks: true, SystemAlertWindow: true,
+}
+
+// IsDangerous reports whether the permission is in the dangerous group.
+func IsDangerous(perm string) bool { return dangerousPermissions[perm] }
+
+// DangerousPermissions returns the sorted list of dangerous permissions known
+// to the map.
+func DangerousPermissions() []string {
+	out := make([]string, 0, len(dangerousPermissions))
+	for p := range dangerousPermissions {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// apiPermissionMap maps framework API methods (class.method) to the
+// permission they require. This is the core of the PScout map: "a list of
+// 32,445 permission-related APIs" in the original; here a representative
+// subset aligned with the synthetic corpus's API vocabulary.
+var apiPermissionMap = map[string]string{
+	// Telephony / device identifiers -> READ_PHONE_STATE.
+	"android.telephony.TelephonyManager.getDeviceId":        ReadPhoneState,
+	"android.telephony.TelephonyManager.getImei":            ReadPhoneState,
+	"android.telephony.TelephonyManager.getSubscriberId":    ReadPhoneState,
+	"android.telephony.TelephonyManager.getSimSerialNumber": ReadPhoneState,
+	"android.telephony.TelephonyManager.getLine1Number":     ReadPhoneState,
+	"android.telephony.TelephonyManager.listen":             ReadPhoneState,
+	"android.telephony.TelephonyManager.getCallState":       ReadPhoneState,
+	"android.telephony.TelephonyManager.getNetworkType":     ReadPhoneState,
+
+	// Location -> ACCESS_FINE_LOCATION / ACCESS_COARSE_LOCATION.
+	"android.location.LocationManager.getLastKnownLocation":     AccessFineLocation,
+	"android.location.LocationManager.requestLocationUpdates":   AccessFineLocation,
+	"android.location.LocationManager.getGpsStatus":             AccessFineLocation,
+	"android.location.LocationManager.addGpsStatusListener":     AccessFineLocation,
+	"android.telephony.TelephonyManager.getCellLocation":        AccessCoarseLocation,
+	"android.telephony.TelephonyManager.getNeighboringCellInfo": AccessCoarseLocation,
+	"android.net.wifi.WifiManager.getScanResults":               AccessCoarseLocation,
+
+	// Camera and audio.
+	"android.hardware.Camera.open":                      Camera,
+	"android.hardware.camera2.CameraManager.openCamera": Camera,
+	"android.media.MediaRecorder.setAudioSource":        RecordAudio,
+	"android.media.AudioRecord.startRecording":          RecordAudio,
+
+	// SMS.
+	"android.telephony.SmsManager.sendTextMessage":          SendSMS,
+	"android.telephony.SmsManager.sendMultipartTextMessage": SendSMS,
+	"android.telephony.SmsManager.sendDataMessage":          SendSMS,
+
+	// Calls.
+	"android.telecom.TelecomManager.placeCall": CallPhone,
+
+	// Accounts.
+	"android.accounts.AccountManager.getAccounts":       GetAccounts,
+	"android.accounts.AccountManager.getAccountsByType": GetAccounts,
+
+	// Network state and connectivity.
+	"java.net.URL.openConnection":                           Internet,
+	"java.net.HttpURLConnection.connect":                    Internet,
+	"java.net.Socket.connect":                               Internet,
+	"android.webkit.WebView.loadUrl":                        Internet,
+	"org.apache.http.impl.client.DefaultHttpClient.execute": Internet,
+	"android.net.ConnectivityManager.getActiveNetworkInfo":  AccessNetworkState,
+	"android.net.ConnectivityManager.getNetworkInfo":        AccessNetworkState,
+	"android.net.wifi.WifiManager.getConnectionInfo":        AccessWifiState,
+	"android.net.wifi.WifiManager.getWifiState":             AccessWifiState,
+	"android.net.wifi.WifiManager.setWifiEnabled":           ChangeWifiState,
+	"android.bluetooth.BluetoothAdapter.getDefaultAdapter":  Bluetooth,
+	"android.bluetooth.BluetoothAdapter.enable":             Bluetooth,
+	"android.nfc.NfcAdapter.getDefaultAdapter":              NFC,
+
+	// Storage.
+	"android.os.Environment.getExternalStorageDirectory": WriteExternalStorage,
+	"android.media.MediaStore.Images.Media.insertImage":  WriteExternalStorage,
+
+	// System services.
+	"android.os.Vibrator.vibrate":                     Vibrate,
+	"android.os.PowerManager.WakeLock.acquire":        WakeLock,
+	"android.app.ActivityManager.getRunningTasks":     GetTasks,
+	"android.app.ActivityManager.getRecentTasks":      GetTasks,
+	"android.view.WindowManager.addView":              SystemAlertWindow,
+	"android.hardware.SensorManager.registerListener": BodySensors,
+}
+
+// intentPermissionMap maps protected intent actions to the permission needed
+// to send or receive them ("97 permission-related Intents" in PScout).
+var intentPermissionMap = map[string]string{
+	"android.intent.action.CALL":                   CallPhone,
+	"android.intent.action.BOOT_COMPLETED":         ReceiveBootCompleted,
+	"android.provider.Telephony.SMS_RECEIVED":      ReceiveSMS,
+	"android.intent.action.NEW_OUTGOING_CALL":      ReadPhoneState,
+	"android.intent.action.PHONE_STATE":            ReadPhoneState,
+	"com.android.launcher.action.INSTALL_SHORTCUT": InstallShortcut,
+}
+
+// uriPermissionMap maps content-provider URI prefixes to the permission
+// required to query them ("78 Content Provider URI Strings").
+var uriPermissionMap = map[string]string{
+	"content://com.android.contacts": ReadContacts,
+	"content://contacts":             ReadContacts,
+	"content://sms":                  ReadSMS,
+	"content://mms-sms":              ReadSMS,
+	"content://call_log":             ReadCallLog,
+	"content://com.android.calendar": ReadCalendar,
+	"content://calendar":             ReadCalendar,
+	"content://browser/bookmarks":    "com.android.browser.permission.READ_HISTORY_BOOKMARKS",
+	"content://media/external":       ReadExternalStorage,
+	"content://downloads":            "android.permission.ACCESS_DOWNLOAD_MANAGER",
+}
+
+// Map is a queryable permission map. The zero value is not usable; call
+// DefaultMap (the built-in PScout-style map) or NewMap to build one.
+type Map struct {
+	api    map[string]string
+	intent map[string]string
+	uri    map[string]string
+}
+
+// DefaultMap returns the built-in permission map.
+func DefaultMap() *Map {
+	return &Map{api: apiPermissionMap, intent: intentPermissionMap, uri: uriPermissionMap}
+}
+
+// NewMap builds a custom permission map (used by tests and by ablation
+// benches that degrade the map).
+func NewMap(api, intent, uri map[string]string) *Map {
+	if api == nil {
+		api = map[string]string{}
+	}
+	if intent == nil {
+		intent = map[string]string{}
+	}
+	if uri == nil {
+		uri = map[string]string{}
+	}
+	return &Map{api: api, intent: intent, uri: uri}
+}
+
+// PermissionForAPI returns the permission required by the given framework API
+// call, if any.
+func (m *Map) PermissionForAPI(call string) (string, bool) {
+	p, ok := m.api[call]
+	return p, ok
+}
+
+// PermissionForIntent returns the permission tied to the given intent action,
+// if any.
+func (m *Map) PermissionForIntent(action string) (string, bool) {
+	p, ok := m.intent[action]
+	return p, ok
+}
+
+// PermissionForURI returns the permission needed to access the given content
+// URI, matching by longest registered prefix.
+func (m *Map) PermissionForURI(uri string) (string, bool) {
+	best := ""
+	perm := ""
+	for prefix, p := range m.uri {
+		if len(prefix) > len(best) && hasPrefix(uri, prefix) {
+			best = prefix
+			perm = p
+		}
+	}
+	return perm, best != ""
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// MappedPermissions returns the sorted set of permissions that appear
+// anywhere in the map. The over-privilege analysis only judges permissions it
+// can observe through the map; unmapped permissions are ignored rather than
+// counted as unused.
+func (m *Map) MappedPermissions() []string {
+	set := map[string]bool{}
+	for _, p := range m.api {
+		set[p] = true
+	}
+	for _, p := range m.intent {
+		set[p] = true
+	}
+	for _, p := range m.uri {
+		set[p] = true
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// APIsForPermission returns the framework APIs mapped to the given
+// permission, sorted. The synthetic generator uses this to emit code that
+// genuinely uses a permission.
+func (m *Map) APIsForPermission(perm string) []string {
+	var out []string
+	for api, p := range m.api {
+		if p == perm {
+			out = append(out, api)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of API, intent and URI entries in the map.
+func (m *Map) Size() (apis, intents, uris int) {
+	return len(m.api), len(m.intent), len(m.uri)
+}

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"marketscope/internal/analysis"
+)
+
+// Highlights renders the in-text findings of the paper that are not numbered
+// tables or figures: download concentration (Section 4.2), the ad-ecosystem
+// concentration (Section 4.4), single-/multi-store catalog overlap
+// (Section 5.2), store-introduced APK differences (Section 5.3) and the share
+// of malware that is also repackaged (Section 6.4).
+func Highlights(
+	concentration []analysis.TopShareStats,
+	adGP, adCN analysis.AdEcosystemStats,
+	overlap []analysis.StoreOverlapRow,
+	identical analysis.IdenticalAppStats,
+	repackaged analysis.RepackagedMalwareStats,
+	publishing analysis.PublishingStats,
+) string {
+	var sb strings.Builder
+	title := "Section highlights (in-text findings)"
+	sb.WriteString(title + "\n" + strings.Repeat("=", len(title)) + "\n")
+
+	// Download concentration (Section 4.2).
+	var worst analysis.TopShareStats
+	for _, c := range concentration {
+		if c.TopTenthPct > worst.TopTenthPct {
+			worst = c
+		}
+	}
+	if worst.Market != "" {
+		fmt.Fprintf(&sb, "downloads: the top 0.1%% of apps hold up to %.0f%% of a market's installs (%s); ",
+			100*worst.TopTenthPct, worst.Market)
+	}
+	var avgTop1 float64
+	counted := 0
+	for _, c := range concentration {
+		if c.TopOnePct > 0 {
+			avgTop1 += c.TopOnePct
+			counted++
+		}
+	}
+	if counted > 0 {
+		fmt.Fprintf(&sb, "the top 1%% hold %.0f%% on average across markets.\n", 100*avgTop1/float64(counted))
+	} else {
+		sb.WriteString("\n")
+	}
+
+	// Ad ecosystem concentration (Section 4.4).
+	if adGP.TopAdLibrary != "" {
+		fmt.Fprintf(&sb, "ad ecosystem: %s holds %.0f%% of Google Play ad embeddings",
+			adGP.TopAdLibrary, 100*adGP.TopAdShare)
+	}
+	if adCN.TopAdLibrary != "" {
+		fmt.Fprintf(&sb, "; the Chinese market is more fragmented (%s leads with %.0f%% across %d ad libraries).\n",
+			adCN.TopAdLibrary, 100*adCN.TopAdShare, adCN.DistinctAdLibraries)
+	} else {
+		sb.WriteString(".\n")
+	}
+
+	// Developer split (Section 5.1).
+	fmt.Fprintf(&sb, "developers: %.0f%% of Google Play developers never publish to a Chinese store; %.0f%% of Chinese-store developers skip Google Play.\n",
+		100*publishing.GPDevsNotInChineseShare, 100*publishing.ChineseDevsNotOnGPShare)
+
+	// Catalog overlap (Section 5.2).
+	var gpSingle float64
+	var cnSharedSum float64
+	cnCount := 0
+	for _, row := range overlap {
+		if row.Market == "Google Play" {
+			gpSingle = row.SingleStoreShare
+		} else if row.Apps > 0 {
+			cnSharedSum += row.SharedWithGooglePlayShare
+			cnCount++
+		}
+	}
+	if cnCount > 0 {
+		fmt.Fprintf(&sb, "catalogs: %.0f%% of Google Play apps are single-store; on average %.0f%% of a Chinese store's catalog is also on Google Play.\n",
+			100*gpSingle, 100*cnSharedSum/float64(cnCount))
+	}
+
+	// Store-introduced differences (Section 5.3).
+	if identical.Triples > 0 {
+		fmt.Fprintf(&sb, "store-introduced differences: %d of %d identical (package, version, developer) triples ship with different archive hashes across markets (channel files, mandated repacking).\n",
+			identical.HashMismatchTriples, identical.Triples)
+	}
+
+	// Repackaged malware (Section 6.4).
+	if repackaged.FlaggedPackages > 0 {
+		fmt.Fprintf(&sb, "repackaged malware: %d of %d flagged packages (%.0f%%) are also detected clones.\n",
+			repackaged.RepackagedFlagged, repackaged.FlaggedPackages, 100*repackaged.RepackagedShare)
+	}
+	return sb.String()
+}

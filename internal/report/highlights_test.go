@@ -1,0 +1,44 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"marketscope/internal/analysis"
+)
+
+func TestHighlights(t *testing.T) {
+	out := Highlights(
+		[]analysis.TopShareStats{
+			{Market: "Tencent Myapp", TopTenthPct: 0.8, TopOnePct: 0.9},
+			{Market: "Google Play", TopTenthPct: 0.5, TopOnePct: 0.8},
+		},
+		analysis.AdEcosystemStats{Group: "gp", TopAdLibrary: "Google AdMob", TopAdShare: 0.9, DistinctAdLibraries: 5},
+		analysis.AdEcosystemStats{Group: "cn", TopAdLibrary: "Umeng", TopAdShare: 0.4, DistinctAdLibraries: 20},
+		[]analysis.StoreOverlapRow{
+			{Market: "Google Play", SingleStoreShare: 0.77, Apps: 100},
+			{Market: "25PP", SharedWithGooglePlayShare: 0.25, Apps: 200},
+		},
+		analysis.IdenticalAppStats{Triples: 40, HashMismatchTriples: 35},
+		analysis.RepackagedMalwareStats{FlaggedPackages: 100, RepackagedFlagged: 38, RepackagedShare: 0.383},
+		analysis.PublishingStats{GPDevsNotInChineseShare: 0.57, ChineseDevsNotOnGPShare: 0.48},
+	)
+	for _, want := range []string{
+		"top 0.1% of apps hold up to 80%", "Tencent Myapp",
+		"Google AdMob holds 90%", "Umeng leads with 40%",
+		"57% of Google Play developers", "77% of Google Play apps are single-store",
+		"35 of 40 identical", "38 of 100 flagged packages (38%)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("highlights missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHighlightsEmptyInputs(t *testing.T) {
+	out := Highlights(nil, analysis.AdEcosystemStats{}, analysis.AdEcosystemStats{},
+		nil, analysis.IdenticalAppStats{}, analysis.RepackagedMalwareStats{}, analysis.PublishingStats{})
+	if !strings.Contains(out, "Section highlights") {
+		t.Errorf("empty highlights should still have a title:\n%s", out)
+	}
+}

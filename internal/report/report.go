@@ -1,0 +1,376 @@
+// Package report renders the study's tables and figures as plain text. Every
+// renderer corresponds to one artifact of the paper (Table 1-6, Figure 1-13)
+// and prints the same rows or series the paper reports, so a bench run can be
+// compared side by side with the published numbers (see EXPERIMENTS.md).
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"marketscope/internal/analysis"
+	"marketscope/internal/appmeta"
+	"marketscope/internal/stats"
+)
+
+// table is a small helper around tabwriter for aligned text tables.
+type table struct {
+	sb strings.Builder
+	tw *tabwriter.Writer
+}
+
+func newTable(title string) *table {
+	t := &table{}
+	t.sb.WriteString(title + "\n")
+	t.sb.WriteString(strings.Repeat("=", len(title)) + "\n")
+	t.tw = tabwriter.NewWriter(&t.sb, 2, 4, 2, ' ', 0)
+	return t
+}
+
+func (t *table) row(cells ...string) {
+	fmt.Fprintln(t.tw, strings.Join(cells, "\t"))
+}
+
+func (t *table) String() string {
+	t.tw.Flush()
+	return t.sb.String()
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func billions(v int64) string {
+	return fmt.Sprintf("%.2f B", float64(v)/1e9)
+}
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "-"
+}
+
+// Table1 renders the dataset size and market feature comparison.
+func Table1(rows []analysis.MarketOverviewRow, totals analysis.OverviewTotals) string {
+	t := newTable("Table 1: dataset size and market features")
+	t.row("Market", "Type", "#Apps", "#APKs", "Downloads", "#Devs", "%UniqueDevs",
+		"Copyright", "Vetting", "SecCheck", "VetDays", "PrivacyPolicy", "AdsLabel", "IAPLabel")
+	for _, r := range rows {
+		p := r.Profile
+		t.row(p.Name, string(p.Type), fmt.Sprint(r.Apps), fmt.Sprint(r.APKs),
+			billions(r.AggregatedDownloads), fmt.Sprint(r.Developers), pct(r.UniqueDeveloperShare),
+			yesNo(p.CopyrightCheck), yesNo(p.AppVetting), yesNo(p.SecurityCheck),
+			f2(p.VettingDays), yesNo(p.RequiresPrivacyPolicy), yesNo(p.ReportsAds), yesNo(p.ReportsIAP))
+	}
+	t.row("TOTAL", "", fmt.Sprint(totals.Apps), fmt.Sprint(totals.APKs),
+		billions(totals.AggregatedDownloads), fmt.Sprint(totals.Developers), "",
+		"", "", "", "", "", "", "")
+	t.row("", "", "", "", fmt.Sprintf("(GP %s / CN %s)",
+		billions(totals.GooglePlayDownloads), billions(totals.ChineseDownloads)), "", "", "", "", "", "", "", "", "")
+	return t.String()
+}
+
+// Figure1 renders the per-market category distribution.
+func Figure1(dists []analysis.CategoryDistribution) string {
+	t := newTable("Figure 1: distribution of app categories")
+	header := []string{"Category"}
+	for _, d := range dists {
+		header = append(header, shorten(d.Market))
+	}
+	t.row(header...)
+	for _, c := range appmeta.Categories() {
+		row := []string{string(c)}
+		for _, d := range dists {
+			row = append(row, pct(d.Shares[c]))
+		}
+		t.row(row...)
+	}
+	return t.String()
+}
+
+// Figure2 renders the install-range distribution per market.
+func Figure2(rows []analysis.DownloadRow) string {
+	t := newTable("Figure 2: distribution of downloads across markets")
+	header := []string{"Market"}
+	for _, b := range stats.DownloadBins() {
+		header = append(header, b.String())
+	}
+	t.row(header...)
+	for _, r := range rows {
+		row := []string{r.Market}
+		for _, b := range stats.DownloadBins() {
+			row = append(row, pct(r.Distribution[b]))
+		}
+		t.row(row...)
+	}
+	return t.String()
+}
+
+// Figure3 renders the minimum-API-level distribution.
+func Figure3(gp, cn analysis.APILevelDistribution) string {
+	t := newTable("Figure 3: minimum API level distribution")
+	levels := map[int]bool{}
+	for l := range gp.Shares {
+		levels[l] = true
+	}
+	for l := range cn.Shares {
+		levels[l] = true
+	}
+	var sorted []int
+	for l := range levels {
+		sorted = append(sorted, l)
+	}
+	sort.Ints(sorted)
+	t.row("MinAPI", "Google Play", "Chinese markets")
+	for _, l := range sorted {
+		t.row(fmt.Sprint(l), pct(gp.Shares[l]), pct(cn.Shares[l]))
+	}
+	t.row("<9 (low)", pct(gp.LowAPIShare), pct(cn.LowAPIShare))
+	return t.String()
+}
+
+// Figure4 renders the release/update date distribution.
+func Figure4(gp, cn analysis.ReleaseDateDistribution) string {
+	t := newTable("Figure 4: release/update date distribution")
+	t.row("Cut-off", "Google Play", "Chinese markets")
+	for _, label := range []string{"before 2014", "before 2015", "before 2016", "before 2017", "before crawl"} {
+		t.row(label, pct(gp.Shares[label]), pct(cn.Shares[label]))
+	}
+	t.row("updated within 6 months", pct(gp.RecentShare), pct(cn.RecentShare))
+	return t.String()
+}
+
+// Figure5 renders the third-party / advertising library presence per market.
+func Figure5(rows []analysis.LibraryUsageRow) string {
+	t := newTable("Figure 5: third-party and advertising library presence")
+	t.row("Market", "%Apps w/ TPL", "Avg #TPL", "%Apps w/ AdLib", "Avg #AdLib", "Parsed")
+	for _, r := range rows {
+		t.row(r.Market, pct(r.ShareWithLibraries), f2(r.AvgLibraries),
+			pct(r.ShareWithAds), f2(r.AvgAdLibraries), fmt.Sprint(r.Parsed))
+	}
+	return t.String()
+}
+
+// Table2 renders the top third-party libraries for Google Play and Chinese
+// markets.
+func Table2(gp, cn []analysis.LibraryRank) string {
+	t := newTable("Table 2: top third-party libraries")
+	t.row("Google Play", "Category", "Usage")
+	for _, r := range gp {
+		t.row(r.Name, string(r.Category), pct(r.Share))
+	}
+	t.row("", "", "")
+	t.row("Chinese markets", "Category", "Usage")
+	for _, r := range cn {
+		t.row(r.Name, string(r.Category), pct(r.Share))
+	}
+	return t.String()
+}
+
+// Figure6 renders the app-rating distribution per market.
+func Figure6(rows []analysis.RatingDistribution) string {
+	t := newTable("Figure 6: distribution of app ratings")
+	t.row("Market", "%Unrated", "%>=4.0", "%[2.5,3.0]", "CDF@2.5", "CDF@4.0")
+	for _, r := range rows {
+		cdf25, cdf40 := "-", "-"
+		if len(r.CDF) > 8 {
+			cdf25 = pct(r.CDF[5])
+			cdf40 = pct(r.CDF[8])
+		}
+		t.row(r.Market, pct(r.UnratedShare), pct(r.HighShare), pct(r.DefaultBandShare), cdf25, cdf40)
+	}
+	return t.String()
+}
+
+// Figure7 renders the developer market-coverage CDF.
+func Figure7(p analysis.PublishingStats) string {
+	t := newTable("Figure 7: CDF of markets per developer")
+	t.row("#Markets", "CDF")
+	for i, v := range p.MarketsPerDeveloperCDF {
+		t.row(fmt.Sprint(i+1), pct(v))
+	}
+	t.row("", "")
+	t.row("developers", fmt.Sprint(p.Developers))
+	t.row("single-market developers", pct(p.SingleMarketShare))
+	t.row("present in all markets", fmt.Sprint(p.AllMarketsCount))
+	t.row("GP devs absent from Chinese stores", pct(p.GPDevsNotInChineseShare))
+	t.row("Chinese devs absent from GP", pct(p.ChineseDevsNotOnGPShare))
+	return t.String()
+}
+
+// Figure8 renders the three cluster CDFs.
+func Figure8(c analysis.ClusterCDFs) string {
+	t := newTable("Figure 8: version / name-cluster / developer CDFs")
+	t.row("(a) versions per package", "CDF")
+	for i, v := range c.VersionsPerPackage {
+		t.row(fmt.Sprint(i+1), pct(v))
+	}
+	t.row("(b) name-cluster size", "CDF")
+	for i, p := range c.NameClusterSizePoints {
+		t.row(fmt.Sprintf("%.0f", p), pct(c.NameClusterSize[i]))
+	}
+	t.row("(c) developers per package", "CDF")
+	for i, v := range c.DevelopersPerPackage {
+		t.row(fmt.Sprint(i+1), pct(v))
+	}
+	t.row("", "")
+	t.row("packages with multiple simultaneous versions", pct(c.MultiVersionShare))
+	t.row("packages signed by 2+ developers", pct(c.MultiDeveloperShare))
+	t.row("packages sharing a name with another package", pct(c.SameNameShare))
+	return t.String()
+}
+
+// Figure9 renders the up-to-date share per market.
+func Figure9(rows []analysis.OutdatedRow) string {
+	t := newTable("Figure 9: share of apps carrying the newest version")
+	t.row("Market", "%Up-to-date", "Multi-store apps")
+	for _, r := range rows {
+		t.row(r.Market, pct(r.UpToDateShare), fmt.Sprint(r.MultiStoreApps))
+	}
+	return t.String()
+}
+
+// Table3 renders the fake and cloned app shares per market.
+func Table3(res *analysis.MisbehaviorResult) string {
+	t := newTable("Table 3: fake and cloned apps across stores")
+	t.row("Market", "Fake(%)", "SB clones(%)", "CB clones(%)", "#Apps")
+	for _, r := range res.Rows {
+		t.row(r.Market, pct(r.FakeShare), pct(r.SignatureCloneShare), pct(r.CodeCloneShare), fmt.Sprint(r.Apps))
+	}
+	t.row("Average", pct(res.AvgFakeShare), pct(res.AvgSigShare), pct(res.AvgCodeShare), "")
+	return t.String()
+}
+
+// Figure10 renders the clone source/destination heatmap.
+func Figure10(heatmap map[string]map[string]int, markets []string) string {
+	t := newTable("Figure 10: intra- and inter-market app clones (source rows, destination columns)")
+	header := []string{"Source \\ Dest"}
+	for _, m := range markets {
+		header = append(header, shorten(m))
+	}
+	t.row(header...)
+	for _, src := range markets {
+		row := []string{shorten(src)}
+		for _, dst := range markets {
+			row = append(row, fmt.Sprint(heatmap[src][dst]))
+		}
+		t.row(row...)
+	}
+	return t.String()
+}
+
+// Figure11 renders the over-privilege distribution.
+func Figure11(gp, cn analysis.OverPrivilegeStats) string {
+	t := newTable("Figure 11: over-privileged apps")
+	t.row("#Unused permissions", "Google Play", "Chinese markets")
+	for bucket := 0; bucket <= 10; bucket++ {
+		label := fmt.Sprint(bucket)
+		if bucket == 10 {
+			label = ">9"
+		}
+		t.row(label, pct(gp.Distribution[bucket]), pct(cn.Distribution[bucket]))
+	}
+	t.row("over-privileged share", pct(gp.OverPrivilegedShare), pct(cn.OverPrivilegedShare))
+	for _, p := range cn.TopUnused {
+		t.row("common unused: "+p.Permission, "", pct(p.Share))
+	}
+	return t.String()
+}
+
+// Table4 renders malware prevalence by AV-rank threshold.
+func Table4(rows []analysis.MalwareRow, avg analysis.MalwareAverages) string {
+	t := newTable("Table 4: apps labeled as malware by AV-rank")
+	t.row("Market", ">=1", ">=10", ">=20", "Scanned")
+	for _, r := range rows {
+		t.row(r.Market, pct(r.ShareAtLeast1), pct(r.ShareAtLeast10), pct(r.ShareAtLeast20), fmt.Sprint(r.Parsed))
+	}
+	t.row("Average (Chinese)", pct(avg.ShareAtLeast1), pct(avg.ShareAtLeast10), pct(avg.ShareAtLeast20), "")
+	return t.String()
+}
+
+// Table5 renders the most-flagged packages.
+func Table5(entries []analysis.TopMalwareEntry) string {
+	t := newTable("Table 5: top malicious apps by AV-rank")
+	t.row("Package", "AV-Rank", "Family", "Markets")
+	for _, e := range entries {
+		t.row(e.Package, fmt.Sprint(e.AVRank), e.Family, strings.Join(e.Markets, ", "))
+	}
+	return t.String()
+}
+
+// Figure12 renders the malware-family distributions.
+func Figure12(gp, cn []analysis.FamilyShare) string {
+	t := newTable("Figure 12: top malware families")
+	t.row("Google Play family", "Share", "Chinese markets family", "Share")
+	n := len(gp)
+	if len(cn) > n {
+		n = len(cn)
+	}
+	for i := 0; i < n; i++ {
+		var g, gs, c, cs string
+		if i < len(gp) {
+			g, gs = gp[i].Family, pct(gp[i].Share)
+		}
+		if i < len(cn) {
+			c, cs = cn[i].Family, pct(cn[i].Share)
+		}
+		t.row(g, gs, c, cs)
+	}
+	return t.String()
+}
+
+// Table6 renders the malware-removal post-analysis.
+func Table6(rows []analysis.RemovalRow, still analysis.StillHostedStats) string {
+	t := newTable("Table 6: malware removed between the two crawls")
+	t.row("Market", "%Removed", "Flagged(1st crawl)", "#Overlap w/ GPRM", "%Removed of overlap")
+	for _, r := range rows {
+		t.row(r.Market, pct(r.RemovedShare), fmt.Sprint(r.FlaggedFirstCrawl),
+			fmt.Sprint(r.OverlappedWithGPRM), pct(r.RemovedShareOfGPRM))
+	}
+	t.row("", "", "", "", "")
+	t.row("GP-removed malware still hosted on a Chinese store",
+		pct(still.Share), fmt.Sprint(still.StillHostedSomewhere), fmt.Sprint(still.GPRemovedMalware), "")
+	return t.String()
+}
+
+// Figure13 renders the multi-dimensional market comparison.
+func Figure13(rows []analysis.RadarRow) string {
+	t := newTable("Figure 13: multi-dimensional market comparison (0-100 per axis)")
+	metrics := []analysis.RadarMetric{
+		analysis.MetricCatalogSize, analysis.MetricDownloads, analysis.MetricHighRatings,
+		analysis.MetricMalware, analysis.MetricFakes, analysis.MetricClones,
+		analysis.MetricOutdated, analysis.MetricRecentUpdates,
+	}
+	header := []string{"Metric"}
+	for _, r := range rows {
+		header = append(header, shorten(r.Market))
+	}
+	t.row(header...)
+	for _, m := range metrics {
+		row := []string{string(m)}
+		for _, r := range rows {
+			row = append(row, f2(r.Values[m]))
+		}
+		t.row(row...)
+	}
+	return t.String()
+}
+
+// shorten abbreviates market names for wide tables.
+func shorten(name string) string {
+	replacements := []struct{ from, to string }{
+		{"Google Play", "GPlay"}, {"Tencent Myapp", "Tencent"}, {"Baidu Market", "Baidu"},
+		{"360 Market", "360"}, {"OPPO Market", "OPPO"}, {"Xiaomi Market", "Xiaomi"},
+		{"MeiZu Market", "MeiZu"}, {"Huawei Market", "Huawei"}, {"Lenovo MM", "Lenovo"},
+		{"AnZhi Market", "AnZhi"}, {"PC Online", "PCOnl"}, {"App China", "AppCN"},
+	}
+	for _, r := range replacements {
+		if name == r.from {
+			return r.to
+		}
+	}
+	if len(name) > 9 {
+		return name[:9]
+	}
+	return name
+}

@@ -1,0 +1,181 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"marketscope/internal/analysis"
+	"marketscope/internal/appmeta"
+	"marketscope/internal/libdetect"
+	"marketscope/internal/market"
+)
+
+func gpProfile(t *testing.T) market.Profile {
+	t.Helper()
+	p, ok := market.ProfileByName(market.GooglePlay)
+	if !ok {
+		t.Fatal("missing Google Play profile")
+	}
+	return p
+}
+
+func TestTable1ContainsMarketsAndTotals(t *testing.T) {
+	rows := []analysis.MarketOverviewRow{
+		{Profile: gpProfile(t), Apps: 100, APKs: 90, AggregatedDownloads: 5_000_000_000, Developers: 40, UniqueDeveloperShare: 0.57},
+	}
+	totals := analysis.OverviewTotals{Apps: 100, APKs: 90, AggregatedDownloads: 5_000_000_000, Developers: 40}
+	out := Table1(rows, totals)
+	for _, want := range []string{"Table 1", "Google Play", "5.00 B", "57.00%", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1ListsAllCategories(t *testing.T) {
+	out := Figure1([]analysis.CategoryDistribution{
+		{Market: "Google Play", Shares: map[appmeta.Category]float64{appmeta.CategoryGame: 0.5}},
+	})
+	for _, want := range []string{"Figure 1", "Game", "Null/Other", "50.00%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure1 missing %q", want)
+		}
+	}
+}
+
+func TestFigure2IncludesBins(t *testing.T) {
+	out := Figure2([]analysis.DownloadRow{{Market: "Baidu Market"}})
+	for _, want := range []string{"0-10", ">1M", "Baidu Market"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure2 missing %q", want)
+		}
+	}
+}
+
+func TestFigures3And4(t *testing.T) {
+	gp := analysis.APILevelDistribution{Group: "Google Play", Shares: map[int]float64{9: 0.3}, LowAPIShare: 0.22, Parsed: 10}
+	cn := analysis.APILevelDistribution{Group: "Chinese markets", Shares: map[int]float64{8: 0.5}, LowAPIShare: 0.63, Parsed: 20}
+	out := Figure3(gp, cn)
+	if !strings.Contains(out, "22.00%") || !strings.Contains(out, "63.00%") {
+		t.Errorf("Figure3 missing low-API shares:\n%s", out)
+	}
+	rgp := analysis.ReleaseDateDistribution{Group: "gp", Shares: map[string]float64{"before 2017": 0.66}, RecentShare: 0.23, Total: 10}
+	rcn := analysis.ReleaseDateDistribution{Group: "cn", Shares: map[string]float64{"before 2017": 0.9}, RecentShare: 0.05, Total: 10}
+	out = Figure4(rgp, rcn)
+	if !strings.Contains(out, "66.00%") || !strings.Contains(out, "5.00%") {
+		t.Errorf("Figure4 missing shares:\n%s", out)
+	}
+}
+
+func TestTable2AndFigure5(t *testing.T) {
+	gp := []analysis.LibraryRank{{Name: "Google Mobile Services", Category: libdetect.CategoryDevelopment, Share: 0.66}}
+	cn := []analysis.LibraryRank{{Name: "Umeng", Category: libdetect.CategoryAnalytics, Share: 0.165}}
+	out := Table2(gp, cn)
+	if !strings.Contains(out, "Google Mobile Services") || !strings.Contains(out, "Umeng") {
+		t.Errorf("Table2 missing libraries:\n%s", out)
+	}
+	out = Figure5([]analysis.LibraryUsageRow{{Market: "360 Market", ShareWithLibraries: 0.95, AvgLibraries: 20, Parsed: 5}})
+	if !strings.Contains(out, "360 Market") || !strings.Contains(out, "20.00") {
+		t.Errorf("Figure5 wrong:\n%s", out)
+	}
+}
+
+func TestFigures6Through9(t *testing.T) {
+	out := Figure6([]analysis.RatingDistribution{{
+		Market: "PC Online", UnratedShare: 0.1, HighShare: 0.2, DefaultBandShare: 0.5,
+		Points: make([]float64, 11), CDF: make([]float64, 11), Total: 10,
+	}})
+	if !strings.Contains(out, "PC Online") || !strings.Contains(out, "50.00%") {
+		t.Errorf("Figure6 wrong:\n%s", out)
+	}
+	out = Figure7(analysis.PublishingStats{Developers: 5, MarketsPerDeveloperCDF: []float64{0.4, 1},
+		SingleMarketShare: 0.4, GPDevsNotInChineseShare: 0.57})
+	if !strings.Contains(out, "57.00%") {
+		t.Errorf("Figure7 wrong:\n%s", out)
+	}
+	out = Figure8(analysis.ClusterCDFs{
+		VersionsPerPackage: []float64{0.86, 1}, NameClusterSizePoints: []float64{1, 2},
+		NameClusterSize: []float64{0.7, 1}, DevelopersPerPackage: []float64{0.88, 1},
+		MultiVersionShare: 0.14, MultiDeveloperShare: 0.12, SameNameShare: 0.22,
+	})
+	for _, want := range []string{"14.00%", "12.00%", "22.00%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure8 missing %q", want)
+		}
+	}
+	out = Figure9([]analysis.OutdatedRow{{Market: "Google Play", UpToDateShare: 0.954, MultiStoreApps: 100}})
+	if !strings.Contains(out, "95.40%") {
+		t.Errorf("Figure9 wrong:\n%s", out)
+	}
+}
+
+func TestTable3AndFigure10(t *testing.T) {
+	res := &analysis.MisbehaviorResult{
+		Rows: []analysis.MisbehaviorRow{
+			{Market: "Google Play", FakeShare: 0.0003, SignatureCloneShare: 0.04, CodeCloneShare: 0.178, Apps: 100},
+		},
+		AvgFakeShare: 0.006, AvgSigShare: 0.07, AvgCodeShare: 0.196,
+	}
+	out := Table3(res)
+	if !strings.Contains(out, "17.80%") || !strings.Contains(out, "Average") {
+		t.Errorf("Table3 wrong:\n%s", out)
+	}
+	heat := map[string]map[string]int{"Google Play": {"25PP": 7}}
+	out = Figure10(heat, []string{"Google Play", "25PP"})
+	if !strings.Contains(out, "7") || !strings.Contains(out, "GPlay") {
+		t.Errorf("Figure10 wrong:\n%s", out)
+	}
+}
+
+func TestFigure11AndMalwareTables(t *testing.T) {
+	gp := analysis.OverPrivilegeStats{Group: "gp", OverPrivilegedShare: 0.65,
+		Distribution: map[int]float64{0: 0.35, 3: 0.2}, Parsed: 10}
+	cn := analysis.OverPrivilegeStats{Group: "cn", OverPrivilegedShare: 0.82,
+		Distribution: map[int]float64{3: 0.3}, Parsed: 10,
+		TopUnused: []analysis.PermissionShare{{Permission: "android.permission.READ_PHONE_STATE", Share: 0.52}}}
+	out := Figure11(gp, cn)
+	if !strings.Contains(out, "82.00%") || !strings.Contains(out, "READ_PHONE_STATE") {
+		t.Errorf("Figure11 wrong:\n%s", out)
+	}
+
+	rows := []analysis.MalwareRow{{Market: "PC Online", ShareAtLeast1: 0.55, ShareAtLeast10: 0.24, ShareAtLeast20: 0.08, Parsed: 100}}
+	out = Table4(rows, analysis.MalwareAverages{ShareAtLeast10: 0.123})
+	if !strings.Contains(out, "24.00%") || !strings.Contains(out, "12.30%") {
+		t.Errorf("Table4 wrong:\n%s", out)
+	}
+	out = Table5([]analysis.TopMalwareEntry{{Package: "com.ypt.merchant", AVRank: 46, Family: "ramnit",
+		Markets: []string{"Tencent Myapp", "25PP"}}})
+	if !strings.Contains(out, "com.ypt.merchant") || !strings.Contains(out, "ramnit") {
+		t.Errorf("Table5 wrong:\n%s", out)
+	}
+	out = Figure12([]analysis.FamilyShare{{Family: "airpush", Share: 0.29}},
+		[]analysis.FamilyShare{{Family: "kuguo", Share: 0.127}})
+	if !strings.Contains(out, "airpush") || !strings.Contains(out, "kuguo") {
+		t.Errorf("Figure12 wrong:\n%s", out)
+	}
+	out = Table6([]analysis.RemovalRow{{Market: "Wandoujia", RemovedShare: 0.3451, FlaggedFirstCrawl: 200}},
+		analysis.StillHostedStats{GPRemovedMalware: 100, StillHostedSomewhere: 70, Share: 0.7})
+	if !strings.Contains(out, "34.51%") || !strings.Contains(out, "70.00%") {
+		t.Errorf("Table6 wrong:\n%s", out)
+	}
+}
+
+func TestFigure13(t *testing.T) {
+	out := Figure13([]analysis.RadarRow{{Market: "Huawei Market",
+		Values: map[analysis.RadarMetric]float64{analysis.MetricMalware: 12.5}}})
+	if !strings.Contains(out, "Huawei") || !strings.Contains(out, "12.50") {
+		t.Errorf("Figure13 wrong:\n%s", out)
+	}
+}
+
+func TestShorten(t *testing.T) {
+	if shorten("Google Play") != "GPlay" {
+		t.Error("Google Play not shortened")
+	}
+	if got := shorten("Some Extremely Long Market Name"); len(got) > 9 {
+		t.Errorf("long name not truncated: %q", got)
+	}
+	if shorten("LIQU") != "LIQU" {
+		t.Error("short names should pass through")
+	}
+}

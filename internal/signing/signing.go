@@ -1,0 +1,213 @@
+// Package signing implements the developer-key and APK-signature model used
+// throughout the study.
+//
+// Android apps must be signed with a developer key before release. The paper
+// uses the signing certificate, extracted with ApkSigner, as the ground truth
+// for developer identity: it "cannot be spoofed or modified by malicious
+// actors", which is why signature mismatches on the same package name are
+// treated as cloned (repackaged) apps.
+//
+// We use Ed25519 keys. A Developer owns a key pair; signing an APK produces a
+// signature block containing the certificate (public key), the certificate's
+// SHA-256 fingerprint and a signature over the content digest of the archive.
+// Verification recomputes the content digest and checks the signature, which
+// is exactly what lets the clone detector trust extracted signatures.
+package signing
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// Fingerprint is the SHA-256 digest of a developer certificate (public key).
+// It is the developer identity used across the whole pipeline.
+type Fingerprint [32]byte
+
+// String returns the fingerprint as lower-case hex, the format usually shown
+// by APK analysis tools.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Short returns the first 12 hex characters, convenient for logs and tables.
+func (f Fingerprint) Short() string { return hex.EncodeToString(f[:6]) }
+
+// ParseFingerprint parses a 64-character hex fingerprint.
+func ParseFingerprint(s string) (Fingerprint, error) {
+	var f Fingerprint
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return f, fmt.Errorf("signing: invalid fingerprint %q: %w", s, err)
+	}
+	if len(b) != len(f) {
+		return f, fmt.Errorf("signing: fingerprint must be %d bytes, got %d", len(f), len(b))
+	}
+	copy(f[:], b)
+	return f, nil
+}
+
+// Developer is an app developer identity: a display name and an Ed25519 key
+// pair. The same developer may use slightly different display names across
+// markets (the paper notes Chinese vs English name variants); the fingerprint
+// is what identifies them.
+type Developer struct {
+	Name    string
+	priv    ed25519.PrivateKey
+	pub     ed25519.PublicKey
+	fingerp Fingerprint
+}
+
+// NewDeveloper derives a deterministic developer identity from a seed. The
+// synthetic ecosystem generator uses sequential seeds so the corpus is
+// reproducible; uniqueness of identities follows from uniqueness of seeds.
+func NewDeveloper(name string, seed uint64) *Developer {
+	var seedBytes [ed25519.SeedSize]byte
+	binary.LittleEndian.PutUint64(seedBytes[:8], seed)
+	binary.LittleEndian.PutUint64(seedBytes[8:16], seed^0x9e3779b97f4a7c15)
+	binary.LittleEndian.PutUint64(seedBytes[16:24], seed*0xbf58476d1ce4e5b9+1)
+	binary.LittleEndian.PutUint64(seedBytes[24:32], ^seed)
+	priv := ed25519.NewKeyFromSeed(seedBytes[:])
+	pub := priv.Public().(ed25519.PublicKey)
+	return &Developer{
+		Name:    name,
+		priv:    priv,
+		pub:     pub,
+		fingerp: sha256.Sum256(pub),
+	}
+}
+
+// Fingerprint returns the developer's certificate fingerprint.
+func (d *Developer) Fingerprint() Fingerprint { return d.fingerp }
+
+// Certificate returns the developer's public certificate bytes (the raw
+// Ed25519 public key).
+func (d *Developer) Certificate() []byte {
+	return append([]byte(nil), d.pub...)
+}
+
+// Sign produces a signature block over the given content digest.
+func (d *Developer) Sign(contentDigest [32]byte) *Block {
+	sig := ed25519.Sign(d.priv, contentDigest[:])
+	return &Block{
+		Certificate:   d.Certificate(),
+		Fingerprint:   d.fingerp,
+		Signature:     sig,
+		ContentDigest: contentDigest,
+	}
+}
+
+// Block is the signature block stored inside an APK's META-INF directory.
+type Block struct {
+	Certificate   []byte
+	Fingerprint   Fingerprint
+	Signature     []byte
+	ContentDigest [32]byte
+}
+
+// Signature block encoding errors.
+var (
+	ErrBlockTruncated  = errors.New("signing: truncated signature block")
+	ErrBadCertificate  = errors.New("signing: certificate does not match fingerprint")
+	ErrBadSignature    = errors.New("signing: signature verification failed")
+	ErrDigestMismatch  = errors.New("signing: content digest mismatch")
+	ErrWrongCertLength = errors.New("signing: unexpected certificate length")
+)
+
+const blockMagic = "SIGB"
+
+// Encode serializes the block to bytes:
+//
+//	magic "SIGB" | certLen u16 | cert | fingerprint 32 | sigLen u16 | sig | digest 32
+func (b *Block) Encode() []byte {
+	out := make([]byte, 0, 4+2+len(b.Certificate)+32+2+len(b.Signature)+32)
+	out = append(out, blockMagic...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(b.Certificate)))
+	out = append(out, b.Certificate...)
+	out = append(out, b.Fingerprint[:]...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(b.Signature)))
+	out = append(out, b.Signature...)
+	out = append(out, b.ContentDigest[:]...)
+	return out
+}
+
+// DecodeBlock parses a signature block.
+func DecodeBlock(data []byte) (*Block, error) {
+	if len(data) < 4 || string(data[:4]) != blockMagic {
+		return nil, fmt.Errorf("%w: missing magic", ErrBlockTruncated)
+	}
+	pos := 4
+	need := func(n int) ([]byte, error) {
+		if pos+n > len(data) {
+			return nil, fmt.Errorf("%w: need %d bytes at offset %d", ErrBlockTruncated, n, pos)
+		}
+		b := data[pos : pos+n]
+		pos += n
+		return b, nil
+	}
+	certLenB, err := need(2)
+	if err != nil {
+		return nil, err
+	}
+	certLen := int(binary.LittleEndian.Uint16(certLenB))
+	cert, err := need(certLen)
+	if err != nil {
+		return nil, err
+	}
+	fpB, err := need(32)
+	if err != nil {
+		return nil, err
+	}
+	sigLenB, err := need(2)
+	if err != nil {
+		return nil, err
+	}
+	sigLen := int(binary.LittleEndian.Uint16(sigLenB))
+	sig, err := need(sigLen)
+	if err != nil {
+		return nil, err
+	}
+	digB, err := need(32)
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("signing: %d trailing bytes in signature block", len(data)-pos)
+	}
+	b := &Block{
+		Certificate: append([]byte(nil), cert...),
+		Signature:   append([]byte(nil), sig...),
+	}
+	copy(b.Fingerprint[:], fpB)
+	copy(b.ContentDigest[:], digB)
+	return b, nil
+}
+
+// Verify checks the internal consistency of the block (certificate matches
+// fingerprint, signature valid) against the expected content digest.
+func (b *Block) Verify(contentDigest [32]byte) error {
+	if len(b.Certificate) != ed25519.PublicKeySize {
+		return fmt.Errorf("%w: %d", ErrWrongCertLength, len(b.Certificate))
+	}
+	if sha256.Sum256(b.Certificate) != b.Fingerprint {
+		return ErrBadCertificate
+	}
+	if b.ContentDigest != contentDigest {
+		return ErrDigestMismatch
+	}
+	if !ed25519.Verify(ed25519.PublicKey(b.Certificate), contentDigest[:], b.Signature) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// SameSigner reports whether two blocks were produced by the same developer
+// key. Clone detection treats same package name + different signer as a
+// signature-based clone.
+func SameSigner(a, b *Block) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	return a.Fingerprint == b.Fingerprint
+}

@@ -1,0 +1,217 @@
+package signing
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeveloperDeterministic(t *testing.T) {
+	a := NewDeveloper("Acme", 7)
+	b := NewDeveloper("Acme", 7)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("same seed produced different fingerprints")
+	}
+	c := NewDeveloper("Acme", 8)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different seeds produced identical fingerprints")
+	}
+}
+
+func TestDeveloperNameDoesNotAffectIdentity(t *testing.T) {
+	// The paper observes the same signer using Chinese vs English display
+	// names across markets; identity is the certificate, not the name.
+	a := NewDeveloper("Tencent", 99)
+	b := NewDeveloper("腾讯", 99)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("display name changed the key identity")
+	}
+}
+
+func TestSignAndVerify(t *testing.T) {
+	dev := NewDeveloper("dev", 1)
+	digest := sha256.Sum256([]byte("apk content"))
+	block := dev.Sign(digest)
+	if err := block.Verify(digest); err != nil {
+		t.Fatalf("Verify failed: %v", err)
+	}
+	if block.Fingerprint != dev.Fingerprint() {
+		t.Error("block fingerprint differs from developer fingerprint")
+	}
+}
+
+func TestVerifyRejectsWrongDigest(t *testing.T) {
+	dev := NewDeveloper("dev", 2)
+	digest := sha256.Sum256([]byte("original"))
+	block := dev.Sign(digest)
+	other := sha256.Sum256([]byte("tampered"))
+	if err := block.Verify(other); !errors.Is(err, ErrDigestMismatch) {
+		t.Errorf("want ErrDigestMismatch, got %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedSignature(t *testing.T) {
+	dev := NewDeveloper("dev", 3)
+	digest := sha256.Sum256([]byte("content"))
+	block := dev.Sign(digest)
+	block.Signature[0] ^= 0xFF
+	if err := block.Verify(digest); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestVerifyRejectsSwappedCertificate(t *testing.T) {
+	devA := NewDeveloper("a", 4)
+	devB := NewDeveloper("b", 5)
+	digest := sha256.Sum256([]byte("content"))
+	block := devA.Sign(digest)
+	// An attacker replacing the certificate without updating the
+	// fingerprint must be detected.
+	block.Certificate = devB.Certificate()
+	if err := block.Verify(digest); !errors.Is(err, ErrBadCertificate) {
+		t.Errorf("want ErrBadCertificate, got %v", err)
+	}
+	// Replacing both certificate and fingerprint still fails because the
+	// signature was not produced by that key.
+	block.Fingerprint = devB.Fingerprint()
+	if err := block.Verify(digest); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestVerifyRejectsBadCertLength(t *testing.T) {
+	dev := NewDeveloper("dev", 6)
+	digest := sha256.Sum256([]byte("x"))
+	block := dev.Sign(digest)
+	block.Certificate = block.Certificate[:10]
+	if err := block.Verify(digest); !errors.Is(err, ErrWrongCertLength) {
+		t.Errorf("want ErrWrongCertLength, got %v", err)
+	}
+}
+
+func TestBlockEncodeDecodeRoundTrip(t *testing.T) {
+	dev := NewDeveloper("dev", 7)
+	digest := sha256.Sum256([]byte("round trip"))
+	block := dev.Sign(digest)
+	data := block.Encode()
+	got, err := DecodeBlock(data)
+	if err != nil {
+		t.Fatalf("DecodeBlock: %v", err)
+	}
+	if !bytes.Equal(got.Certificate, block.Certificate) ||
+		!bytes.Equal(got.Signature, block.Signature) ||
+		got.Fingerprint != block.Fingerprint ||
+		got.ContentDigest != block.ContentDigest {
+		t.Error("round trip mismatch")
+	}
+	if err := got.Verify(digest); err != nil {
+		t.Errorf("decoded block does not verify: %v", err)
+	}
+}
+
+func TestDecodeBlockRejectsTruncation(t *testing.T) {
+	dev := NewDeveloper("dev", 8)
+	data := dev.Sign(sha256.Sum256([]byte("z"))).Encode()
+	for n := 0; n < len(data); n++ {
+		if _, err := DecodeBlock(data[:n]); err == nil {
+			t.Fatalf("DecodeBlock accepted %d/%d-byte truncation", n, len(data))
+		}
+	}
+	if _, err := DecodeBlock(append(data, 0x00)); err == nil {
+		t.Error("DecodeBlock accepted trailing bytes")
+	}
+}
+
+func TestSameSigner(t *testing.T) {
+	devA := NewDeveloper("a", 10)
+	devB := NewDeveloper("b", 11)
+	digest := sha256.Sum256([]byte("c"))
+	a1 := devA.Sign(digest)
+	a2 := devA.Sign(sha256.Sum256([]byte("d")))
+	b1 := devB.Sign(digest)
+	if !SameSigner(a1, a2) {
+		t.Error("same developer not recognized")
+	}
+	if SameSigner(a1, b1) {
+		t.Error("different developers reported as same signer")
+	}
+	if SameSigner(nil, a1) || SameSigner(a1, nil) {
+		t.Error("nil blocks should never be the same signer")
+	}
+}
+
+func TestFingerprintStringAndParse(t *testing.T) {
+	dev := NewDeveloper("dev", 12)
+	fp := dev.Fingerprint()
+	s := fp.String()
+	if len(s) != 64 {
+		t.Fatalf("fingerprint string length %d, want 64", len(s))
+	}
+	parsed, err := ParseFingerprint(s)
+	if err != nil {
+		t.Fatalf("ParseFingerprint: %v", err)
+	}
+	if parsed != fp {
+		t.Error("ParseFingerprint round trip mismatch")
+	}
+	if len(fp.Short()) != 12 {
+		t.Errorf("Short() length = %d, want 12", len(fp.Short()))
+	}
+	if _, err := ParseFingerprint("zz"); err == nil {
+		t.Error("ParseFingerprint accepted non-hex")
+	}
+	if _, err := ParseFingerprint("abcd"); err == nil {
+		t.Error("ParseFingerprint accepted short input")
+	}
+}
+
+func TestCertificateCopy(t *testing.T) {
+	dev := NewDeveloper("dev", 13)
+	cert := dev.Certificate()
+	cert[0] ^= 0xFF
+	if bytes.Equal(cert, dev.Certificate()) {
+		t.Error("Certificate() exposes internal key material")
+	}
+}
+
+func TestSignVerifyProperty(t *testing.T) {
+	f := func(seed uint64, content []byte) bool {
+		dev := NewDeveloper("p", seed)
+		digest := sha256.Sum256(content)
+		block := dev.Sign(digest)
+		if err := block.Verify(digest); err != nil {
+			return false
+		}
+		decoded, err := DecodeBlock(block.Encode())
+		if err != nil {
+			return false
+		}
+		return decoded.Verify(digest) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	dev := NewDeveloper("bench", 1)
+	digest := sha256.Sum256([]byte("content"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dev.Sign(digest)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	dev := NewDeveloper("bench", 1)
+	digest := sha256.Sum256([]byte("content"))
+	block := dev.Sign(digest)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := block.Verify(digest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

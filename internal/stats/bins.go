@@ -1,0 +1,137 @@
+package stats
+
+import "fmt"
+
+// DownloadBin is one of the install-count ranges used by Google Play and
+// adopted by the paper (Figure 2) to normalize download counts across
+// markets: 0-10, 10-100, ..., >1M.
+type DownloadBin int
+
+// The download bins in ascending order. These mirror the columns of the
+// paper's Figure 2.
+const (
+	Bin0To10 DownloadBin = iota
+	Bin10To100
+	Bin100To1K
+	Bin1KTo10K
+	Bin10KTo100K
+	Bin100KTo1M
+	BinOver1M
+	numDownloadBins
+)
+
+// downloadBinNames are the human-readable labels matching Figure 2's columns.
+var downloadBinNames = [...]string{
+	"0-10",
+	"10-100",
+	"100-1K",
+	"1K-10K",
+	"10K-100K",
+	"100K-1M",
+	">1M",
+}
+
+// downloadBinLower are the inclusive lower bounds of each bin. The paper
+// estimates Google Play's aggregate downloads using these lower bounds.
+var downloadBinLower = [...]int64{0, 10, 100, 1_000, 10_000, 100_000, 1_000_000}
+
+// String returns the Figure 2 column label for the bin.
+func (b DownloadBin) String() string {
+	if b < 0 || int(b) >= len(downloadBinNames) {
+		return fmt.Sprintf("DownloadBin(%d)", int(b))
+	}
+	return downloadBinNames[b]
+}
+
+// LowerBound returns the inclusive lower bound of the bin, used as the
+// conservative estimate when aggregating downloads ("193 B" in Table 1 is
+// computed this way).
+func (b DownloadBin) LowerBound() int64 {
+	if b < 0 || int(b) >= len(downloadBinLower) {
+		return 0
+	}
+	return downloadBinLower[b]
+}
+
+// NumDownloadBins returns the number of bins.
+func NumDownloadBins() int { return int(numDownloadBins) }
+
+// DownloadBins returns all bins in ascending order.
+func DownloadBins() []DownloadBin {
+	out := make([]DownloadBin, numDownloadBins)
+	for i := range out {
+		out[i] = DownloadBin(i)
+	}
+	return out
+}
+
+// BinDownloads maps a raw install count to its Google Play range. This is the
+// normalization the paper applies to every market's reported installs so the
+// distributions are comparable ("75,123 after normalization becomes
+// [50,000, 100,000]" — we bin to the coarser published column ranges of
+// Figure 2).
+func BinDownloads(installs int64) DownloadBin {
+	switch {
+	case installs < 10:
+		return Bin0To10
+	case installs < 100:
+		return Bin10To100
+	case installs < 1_000:
+		return Bin100To1K
+	case installs < 10_000:
+		return Bin1KTo10K
+	case installs < 100_000:
+		return Bin10KTo100K
+	case installs < 1_000_000:
+		return Bin100KTo1M
+	default:
+		return BinOver1M
+	}
+}
+
+// DownloadDistribution is a per-bin share vector, one row of Figure 2.
+type DownloadDistribution [numDownloadBins]float64
+
+// ComputeDownloadDistribution bins the install counts and returns the share
+// of apps falling in each bin. An empty input yields the zero distribution.
+func ComputeDownloadDistribution(installs []int64) DownloadDistribution {
+	var dist DownloadDistribution
+	if len(installs) == 0 {
+		return dist
+	}
+	var counts [numDownloadBins]int
+	for _, v := range installs {
+		counts[BinDownloads(v)]++
+	}
+	for i := range dist {
+		dist[i] = float64(counts[i]) / float64(len(installs))
+	}
+	return dist
+}
+
+// AggregateDownloadsLowerBound sums the lower bounds of the bins the installs
+// fall into. This mirrors how the paper estimates Google Play's aggregate
+// download volume from binned metadata.
+func AggregateDownloadsLowerBound(installs []int64) int64 {
+	var total int64
+	for _, v := range installs {
+		total += BinDownloads(v).LowerBound()
+	}
+	return total
+}
+
+// RatingBucket maps a 0-5 star rating to a coarse label used in rating
+// distribution summaries: "unrated" (0), "low" (<2.5), "mid" (2.5-4) and
+// "high" (>=4).
+func RatingBucket(rating float64) string {
+	switch {
+	case rating <= 0:
+		return "unrated"
+	case rating < 2.5:
+		return "low"
+	case rating < 4.0:
+		return "mid"
+	default:
+		return "high"
+	}
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinDownloads(t *testing.T) {
+	cases := []struct {
+		installs int64
+		want     DownloadBin
+	}{
+		{0, Bin0To10},
+		{9, Bin0To10},
+		{10, Bin10To100},
+		{99, Bin10To100},
+		{100, Bin100To1K},
+		{999, Bin100To1K},
+		{1_000, Bin1KTo10K},
+		{9_999, Bin1KTo10K},
+		{10_000, Bin10KTo100K},
+		{75_123, Bin10KTo100K},
+		{100_000, Bin100KTo1M},
+		{999_999, Bin100KTo1M},
+		{1_000_000, BinOver1M},
+		{5_000_000_000, BinOver1M},
+	}
+	for _, tc := range cases {
+		if got := BinDownloads(tc.installs); got != tc.want {
+			t.Errorf("BinDownloads(%d) = %v, want %v", tc.installs, got, tc.want)
+		}
+	}
+}
+
+func TestDownloadBinString(t *testing.T) {
+	if Bin0To10.String() != "0-10" {
+		t.Errorf("Bin0To10 = %q", Bin0To10.String())
+	}
+	if BinOver1M.String() != ">1M" {
+		t.Errorf("BinOver1M = %q", BinOver1M.String())
+	}
+	if DownloadBin(99).String() == "" {
+		t.Error("out-of-range bin should still render")
+	}
+}
+
+func TestDownloadBinLowerBound(t *testing.T) {
+	if Bin0To10.LowerBound() != 0 {
+		t.Error("Bin0To10 lower bound should be 0")
+	}
+	if BinOver1M.LowerBound() != 1_000_000 {
+		t.Error("BinOver1M lower bound should be 1M")
+	}
+	if DownloadBin(-1).LowerBound() != 0 {
+		t.Error("invalid bin lower bound should be 0")
+	}
+}
+
+func TestDownloadBinsCoverAll(t *testing.T) {
+	bins := DownloadBins()
+	if len(bins) != NumDownloadBins() {
+		t.Fatalf("DownloadBins() length %d != NumDownloadBins() %d", len(bins), NumDownloadBins())
+	}
+	for i, b := range bins {
+		if int(b) != i {
+			t.Errorf("bin %d out of order: %v", i, b)
+		}
+	}
+}
+
+func TestComputeDownloadDistribution(t *testing.T) {
+	installs := []int64{5, 5, 50, 500, 5_000, 50_000, 500_000, 5_000_000}
+	dist := ComputeDownloadDistribution(installs)
+	sum := 0.0
+	for _, v := range dist {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("distribution sums to %g", sum)
+	}
+	if math.Abs(dist[Bin0To10]-0.25) > 1e-9 {
+		t.Errorf("0-10 share = %g, want 0.25", dist[Bin0To10])
+	}
+	var zero DownloadDistribution
+	if ComputeDownloadDistribution(nil) != zero {
+		t.Error("empty input should produce zero distribution")
+	}
+}
+
+func TestComputeDownloadDistributionSumsToOneProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		installs := make([]int64, len(raw))
+		for i, v := range raw {
+			installs[i] = int64(v)
+		}
+		dist := ComputeDownloadDistribution(installs)
+		sum := 0.0
+		for _, v := range dist {
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateDownloadsLowerBound(t *testing.T) {
+	installs := []int64{5, 75_123, 2_000_000}
+	// 0 + 10_000 + 1_000_000
+	if got := AggregateDownloadsLowerBound(installs); got != 1_010_000 {
+		t.Errorf("AggregateDownloadsLowerBound = %d, want 1010000", got)
+	}
+	if AggregateDownloadsLowerBound(nil) != 0 {
+		t.Error("empty aggregate should be 0")
+	}
+}
+
+func TestRatingBucket(t *testing.T) {
+	cases := []struct {
+		rating float64
+		want   string
+	}{
+		{0, "unrated"}, {-1, "unrated"}, {1.0, "low"}, {2.4, "low"},
+		{2.5, "mid"}, {3.9, "mid"}, {4.0, "high"}, {5.0, "high"},
+	}
+	for _, tc := range cases {
+		if got := RatingBucket(tc.rating); got != tc.want {
+			t.Errorf("RatingBucket(%g) = %q, want %q", tc.rating, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf samples integers in [1, n] following a Zipf distribution with exponent
+// s. It is used to model app-popularity ranks: the paper observes that the
+// top 0.1% of apps account for over 50% of downloads in every market, which
+// is the signature of a Zipf-like download distribution (Section 4.2).
+type Zipf struct {
+	n   int
+	s   float64
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over ranks 1..n with exponent s. s must be
+// positive; values around 1.0-1.6 reproduce the paper's concentration of
+// downloads in the top ranks.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: zipf requires n > 0, got %d", n)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("stats: zipf requires s > 0, got %g", s)
+	}
+	z := &Zipf{n: n, s: s, cdf: make([]float64, n)}
+	total := 0.0
+	for k := 1; k <= n; k++ {
+		total += 1 / math.Pow(float64(k), s)
+		z.cdf[k-1] = total
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= total
+	}
+	return z, nil
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return z.n }
+
+// Sample returns a rank in [1, n].
+func (z *Zipf) Sample(g *RNG) int {
+	u := g.Float64()
+	idx := sort.SearchFloat64s(z.cdf, u)
+	if idx >= z.n {
+		idx = z.n - 1
+	}
+	return idx + 1
+}
+
+// Weight returns the unnormalized Zipf weight of rank k.
+func (z *Zipf) Weight(k int) float64 {
+	if k < 1 || k > z.n {
+		return 0
+	}
+	return 1 / math.Pow(float64(k), z.s)
+}
+
+// BoundedPareto samples continuous values from a Pareto (power-law)
+// distribution truncated to [lo, hi]. The paper's download counts span from
+// fewer than 10 installs to over a billion, a range of eight orders of
+// magnitude that a bounded Pareto captures directly.
+type BoundedPareto struct {
+	alpha  float64
+	lo, hi float64
+}
+
+// NewBoundedPareto builds a bounded Pareto sampler with tail exponent alpha
+// over [lo, hi]. alpha must be positive and 0 < lo < hi.
+func NewBoundedPareto(alpha, lo, hi float64) (*BoundedPareto, error) {
+	if alpha <= 0 {
+		return nil, fmt.Errorf("stats: pareto requires alpha > 0, got %g", alpha)
+	}
+	if lo <= 0 || hi <= lo {
+		return nil, fmt.Errorf("stats: pareto requires 0 < lo < hi, got lo=%g hi=%g", lo, hi)
+	}
+	return &BoundedPareto{alpha: alpha, lo: lo, hi: hi}, nil
+}
+
+// Sample returns a value in [lo, hi].
+func (p *BoundedPareto) Sample(g *RNG) float64 {
+	u := g.Float64()
+	la := math.Pow(p.lo, p.alpha)
+	ha := math.Pow(p.hi, p.alpha)
+	// Inverse transform sampling of the truncated Pareto CDF.
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/p.alpha)
+	if x < p.lo {
+		x = p.lo
+	}
+	if x > p.hi {
+		x = p.hi
+	}
+	return x
+}
+
+// Categorical samples from a fixed discrete distribution over named
+// categories. It is the workhorse for assigning app categories, API levels,
+// malware families and library choices whose target shares are taken from the
+// paper's figures.
+type Categorical struct {
+	labels  []string
+	weights []float64
+	cdf     []float64
+	total   float64
+}
+
+// NewCategorical builds a categorical sampler. Labels and weights must have
+// the same non-zero length and at least one weight must be positive.
+func NewCategorical(labels []string, weights []float64) (*Categorical, error) {
+	if len(labels) == 0 || len(labels) != len(weights) {
+		return nil, fmt.Errorf("stats: categorical requires matching non-empty labels/weights, got %d/%d",
+			len(labels), len(weights))
+	}
+	c := &Categorical{
+		labels:  append([]string(nil), labels...),
+		weights: append([]float64(nil), weights...),
+		cdf:     make([]float64, len(labels)),
+	}
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("stats: categorical weight %d is negative (%g)", i, w)
+		}
+		c.total += w
+		c.cdf[i] = c.total
+	}
+	if c.total <= 0 {
+		return nil, fmt.Errorf("stats: categorical requires at least one positive weight")
+	}
+	return c, nil
+}
+
+// Labels returns the category labels in declaration order.
+func (c *Categorical) Labels() []string { return append([]string(nil), c.labels...) }
+
+// Prob returns the normalized probability of the given label, or 0 if the
+// label is unknown.
+func (c *Categorical) Prob(label string) float64 {
+	for i, l := range c.labels {
+		if l == label {
+			return c.weights[i] / c.total
+		}
+	}
+	return 0
+}
+
+// Sample returns one label drawn according to the weights.
+func (c *Categorical) Sample(g *RNG) string {
+	target := g.Float64() * c.total
+	idx := sort.SearchFloat64s(c.cdf, target)
+	if idx >= len(c.labels) {
+		idx = len(c.labels) - 1
+	}
+	return c.labels[idx]
+}
+
+// SampleIndex returns the index of a label drawn according to the weights.
+func (c *Categorical) SampleIndex(g *RNG) int {
+	target := g.Float64() * c.total
+	idx := sort.SearchFloat64s(c.cdf, target)
+	if idx >= len(c.labels) {
+		idx = len(c.labels) - 1
+	}
+	return idx
+}
+
+// Mixture draws from one of several samplers with given weights. It is used,
+// for example, to mix "abandoned old app" and "actively maintained app"
+// release-date models within a single market.
+type Mixture struct {
+	weights []float64
+	sample  []func(*RNG) float64
+}
+
+// NewMixture builds a mixture over component samplers.
+func NewMixture(weights []float64, components []func(*RNG) float64) (*Mixture, error) {
+	if len(weights) == 0 || len(weights) != len(components) {
+		return nil, fmt.Errorf("stats: mixture requires matching non-empty weights/components")
+	}
+	return &Mixture{weights: append([]float64(nil), weights...), sample: components}, nil
+}
+
+// Sample draws a component then a value from it.
+func (m *Mixture) Sample(g *RNG) float64 {
+	return m.sample[g.PickWeighted(m.weights)](g)
+}

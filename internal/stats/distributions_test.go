@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("NewZipf(0,1) accepted")
+	}
+	if _, err := NewZipf(10, 0); err == nil {
+		t.Error("NewZipf(10,0) accepted")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Error("NewZipf(10,-1) accepted")
+	}
+	z, err := NewZipf(100, 1.2)
+	if err != nil {
+		t.Fatalf("NewZipf(100,1.2): %v", err)
+	}
+	if z.N() != 100 {
+		t.Errorf("N() = %d, want 100", z.N())
+	}
+}
+
+func TestZipfSampleRangeAndSkew(t *testing.T) {
+	z, err := NewZipf(1000, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewRNG(42)
+	counts := make(map[int]int)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		r := z.Sample(g)
+		if r < 1 || r > 1000 {
+			t.Fatalf("rank %d out of [1,1000]", r)
+		}
+		counts[r]++
+	}
+	// Rank 1 must be sampled far more often than rank 100.
+	if counts[1] < 5*counts[100]+1 {
+		t.Errorf("zipf not skewed: rank1=%d rank100=%d", counts[1], counts[100])
+	}
+}
+
+func TestZipfWeightMonotone(t *testing.T) {
+	z, _ := NewZipf(50, 1.5)
+	for k := 1; k < 50; k++ {
+		if z.Weight(k) < z.Weight(k+1) {
+			t.Fatalf("weight not monotone at rank %d", k)
+		}
+	}
+	if z.Weight(0) != 0 || z.Weight(51) != 0 {
+		t.Error("out-of-range weights should be 0")
+	}
+}
+
+func TestBoundedParetoValidation(t *testing.T) {
+	cases := []struct{ alpha, lo, hi float64 }{
+		{0, 1, 10}, {-1, 1, 10}, {1, 0, 10}, {1, 10, 10}, {1, 10, 5},
+	}
+	for _, c := range cases {
+		if _, err := NewBoundedPareto(c.alpha, c.lo, c.hi); err == nil {
+			t.Errorf("NewBoundedPareto(%g,%g,%g) accepted", c.alpha, c.lo, c.hi)
+		}
+	}
+}
+
+func TestBoundedParetoBounds(t *testing.T) {
+	p, err := NewBoundedPareto(0.7, 1, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewRNG(7)
+	small, large := 0, 0
+	for i := 0; i < 20000; i++ {
+		v := p.Sample(g)
+		if v < 1 || v > 1e9 {
+			t.Fatalf("value %g out of bounds", v)
+		}
+		if v < 1000 {
+			small++
+		}
+		if v > 1e6 {
+			large++
+		}
+	}
+	if small == 0 || large == 0 {
+		t.Errorf("bounded pareto should span orders of magnitude: small=%d large=%d", small, large)
+	}
+	if small <= large {
+		t.Errorf("heavy tail inverted: small=%d large=%d", small, large)
+	}
+}
+
+func TestCategoricalValidation(t *testing.T) {
+	if _, err := NewCategorical(nil, nil); err == nil {
+		t.Error("empty categorical accepted")
+	}
+	if _, err := NewCategorical([]string{"a"}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := NewCategorical([]string{"a", "b"}, []float64{0, 0}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := NewCategorical([]string{"a", "b"}, []float64{1, -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestCategoricalSampleAndProb(t *testing.T) {
+	c, err := NewCategorical([]string{"game", "tools", "social"}, []float64{6, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Prob("game"); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("Prob(game) = %g, want 0.6", got)
+	}
+	if got := c.Prob("missing"); got != 0 {
+		t.Errorf("Prob(missing) = %g, want 0", got)
+	}
+	g := NewRNG(99)
+	counts := map[string]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[c.Sample(g)]++
+	}
+	for label, want := range map[string]float64{"game": 0.6, "tools": 0.3, "social": 0.1} {
+		got := float64(counts[label]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("share of %q = %.3f, want ~%.2f", label, got, want)
+		}
+	}
+}
+
+func TestCategoricalSampleIndexMatchesLabels(t *testing.T) {
+	labels := []string{"a", "b", "c", "d"}
+	c, _ := NewCategorical(labels, []float64{1, 2, 3, 4})
+	g := NewRNG(5)
+	for i := 0; i < 100; i++ {
+		idx := c.SampleIndex(g)
+		if idx < 0 || idx >= len(labels) {
+			t.Fatalf("index %d out of range", idx)
+		}
+	}
+}
+
+func TestCategoricalLabelsCopy(t *testing.T) {
+	labels := []string{"x", "y"}
+	c, _ := NewCategorical(labels, []float64{1, 1})
+	got := c.Labels()
+	got[0] = "mutated"
+	if c.Labels()[0] != "x" {
+		t.Error("Labels() exposes internal slice")
+	}
+}
+
+func TestMixture(t *testing.T) {
+	m, err := NewMixture(
+		[]float64{0.5, 0.5},
+		[]func(*RNG) float64{
+			func(*RNG) float64 { return 1 },
+			func(*RNG) float64 { return 100 },
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewRNG(3)
+	low, high := 0, 0
+	for i := 0; i < 2000; i++ {
+		switch m.Sample(g) {
+		case 1:
+			low++
+		case 100:
+			high++
+		default:
+			t.Fatal("unexpected mixture value")
+		}
+	}
+	if low == 0 || high == 0 {
+		t.Errorf("mixture never selected one component: low=%d high=%d", low, high)
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	if _, err := NewMixture(nil, nil); err == nil {
+		t.Error("empty mixture accepted")
+	}
+	if _, err := NewMixture([]float64{1}, nil); err == nil {
+		t.Error("mismatched mixture accepted")
+	}
+}
+
+func TestZipfCDFIsNormalizedProperty(t *testing.T) {
+	f := func(n8 uint8, sTenths uint8) bool {
+		n := int(n8%200) + 1
+		s := float64(sTenths%30)/10 + 0.1
+		z, err := NewZipf(n, s)
+		if err != nil {
+			return false
+		}
+		last := z.cdf[len(z.cdf)-1]
+		return math.Abs(last-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

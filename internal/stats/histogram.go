@@ -1,0 +1,251 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram counts observations in named buckets. Analyses use it to build
+// the per-market category, API-level and over-privilege distributions that
+// back Figures 1, 3 and 11.
+type Histogram struct {
+	counts map[string]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[string]int)}
+}
+
+// Add increments the named bucket by one.
+func (h *Histogram) Add(bucket string) { h.AddN(bucket, 1) }
+
+// AddN increments the named bucket by n. Negative n is ignored.
+func (h *Histogram) AddN(bucket string, n int) {
+	if n <= 0 {
+		return
+	}
+	h.counts[bucket] += n
+	h.total += n
+}
+
+// Count returns the count in the named bucket.
+func (h *Histogram) Count(bucket string) int { return h.counts[bucket] }
+
+// Total returns the total number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Share returns the fraction of observations in the named bucket, or 0 when
+// the histogram is empty.
+func (h *Histogram) Share(bucket string) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[bucket]) / float64(h.total)
+}
+
+// Buckets returns the bucket names sorted by descending count, breaking ties
+// by name so the output is deterministic.
+func (h *Histogram) Buckets() []string {
+	names := make([]string, 0, len(h.counts))
+	for name := range h.counts {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if h.counts[names[i]] != h.counts[names[j]] {
+			return h.counts[names[i]] > h.counts[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Shares returns bucket->share for all buckets.
+func (h *Histogram) Shares() map[string]float64 {
+	out := make(map[string]float64, len(h.counts))
+	for name := range h.counts {
+		out[name] = h.Share(name)
+	}
+	return out
+}
+
+// TopK returns the k most populated buckets and their shares.
+func (h *Histogram) TopK(k int) []BucketShare {
+	names := h.Buckets()
+	if k > len(names) {
+		k = len(names)
+	}
+	out := make([]BucketShare, 0, k)
+	for _, name := range names[:k] {
+		out = append(out, BucketShare{Bucket: name, Count: h.counts[name], Share: h.Share(name)})
+	}
+	return out
+}
+
+// BucketShare is a single named bucket with its count and share.
+type BucketShare struct {
+	Bucket string
+	Count  int
+	Share  float64
+}
+
+// CDF is an empirical cumulative distribution function over float64 samples.
+// It backs the rating, developer-coverage and cluster-size CDFs of Figures 6,
+// 7 and 8.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the given samples. The input slice is
+// not modified.
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the number of samples.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x), the fraction of samples less than or equal to x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using nearest-rank
+// interpolation. Quantile(0) is the minimum and Quantile(1) the maximum.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	pos := q * float64(len(c.sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return c.sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return c.sorted[lo]*(1-frac) + c.sorted[hi]*frac
+}
+
+// Series evaluates the CDF at the given points, returning one value per
+// point. It is how figures are rendered as (x, P(X<=x)) series.
+func (c *CDF) Series(points []float64) []float64 {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = c.At(p)
+	}
+	return out
+}
+
+// Summary holds the standard five-number-style summary statistics plus mean
+// and standard deviation for a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	P90    float64
+	P99    float64
+	StdDev float64
+}
+
+// Summarize computes a Summary for the samples. It returns a zero Summary for
+// an empty input.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	c := NewCDF(samples)
+	var sum, sq float64
+	for _, v := range samples {
+		sum += v
+	}
+	mean := sum / float64(len(samples))
+	for _, v := range samples {
+		d := v - mean
+		sq += d * d
+	}
+	return Summary{
+		N:      len(samples),
+		Min:    c.Quantile(0),
+		Max:    c.Quantile(1),
+		Mean:   mean,
+		Median: c.Quantile(0.5),
+		P90:    c.Quantile(0.9),
+		P99:    c.Quantile(0.99),
+		StdDev: math.Sqrt(sq / float64(len(samples))),
+	}
+}
+
+// TopShare returns the fraction of the total mass contributed by the top
+// `fraction` of the samples (by value). The paper reports, for example, that
+// the top 0.1% of apps account for more than 50% of all downloads; TopShare
+// computes exactly that statistic.
+func TopShare(samples []float64, fraction float64) float64 {
+	if len(samples) == 0 || fraction <= 0 {
+		return 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	s := append([]float64(nil), samples...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	k := int(math.Ceil(fraction * float64(len(s))))
+	if k < 1 {
+		k = 1
+	}
+	var top, total float64
+	for i, v := range s {
+		total += v
+		if i < k {
+			top += v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return top / total
+}
+
+// Gini computes the Gini coefficient of the samples, a standard measure of
+// concentration used to compare download inequality across markets.
+func Gini(samples []float64) float64 {
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	var cum, total float64
+	for i, v := range s {
+		if v < 0 {
+			v = 0
+		}
+		total += v
+		cum += v * float64(i+1)
+	}
+	if total == 0 {
+		return 0
+	}
+	return (2*cum)/(float64(n)*total) - float64(n+1)/float64(n)
+}
+
+// String renders a compact representation useful in test failure messages.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3g med=%.3g mean=%.3g p90=%.3g p99=%.3g max=%.3g sd=%.3g",
+		s.N, s.Min, s.Median, s.Mean, s.P90, s.P99, s.Max, s.StdDev)
+}

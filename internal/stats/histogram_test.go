@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Total() != 0 {
+		t.Errorf("empty total = %d", h.Total())
+	}
+	if h.Share("x") != 0 {
+		t.Error("empty Share should be 0")
+	}
+	h.Add("game")
+	h.Add("game")
+	h.AddN("tools", 3)
+	h.AddN("ignored", 0)
+	h.AddN("ignored", -5)
+	if h.Total() != 5 {
+		t.Errorf("total = %d, want 5", h.Total())
+	}
+	if h.Count("game") != 2 {
+		t.Errorf("game count = %d, want 2", h.Count("game"))
+	}
+	if got := h.Share("tools"); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("tools share = %g, want 0.6", got)
+	}
+	if h.Count("ignored") != 0 {
+		t.Error("non-positive AddN should be ignored")
+	}
+}
+
+func TestHistogramBucketsOrdering(t *testing.T) {
+	h := NewHistogram()
+	h.AddN("b", 5)
+	h.AddN("a", 5)
+	h.AddN("c", 7)
+	got := h.Buckets()
+	want := []string{"c", "a", "b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Buckets() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogramTopK(t *testing.T) {
+	h := NewHistogram()
+	h.AddN("a", 10)
+	h.AddN("b", 20)
+	h.AddN("c", 70)
+	top := h.TopK(2)
+	if len(top) != 2 || top[0].Bucket != "c" || top[1].Bucket != "b" {
+		t.Fatalf("TopK(2) = %+v", top)
+	}
+	if math.Abs(top[0].Share-0.7) > 1e-12 {
+		t.Errorf("top share = %g, want 0.7", top[0].Share)
+	}
+	if got := h.TopK(10); len(got) != 3 {
+		t.Errorf("TopK(10) length = %d, want 3", len(got))
+	}
+}
+
+func TestHistogramSharesSumToOne(t *testing.T) {
+	f := func(counts []uint8) bool {
+		h := NewHistogram()
+		any := false
+		for i, c := range counts {
+			if c == 0 {
+				continue
+			}
+			any = true
+			h.AddN(string(rune('a'+i%26)), int(c))
+		}
+		if !any {
+			return true
+		}
+		sum := 0.0
+		for _, s := range h.Shares() {
+			sum += s
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFAtAndQuantile(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0}, {1, 0.2}, {2.5, 0.4}, {5, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", tc.x, got, tc.want)
+		}
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %g, want 1", got)
+	}
+	if got := c.Quantile(1); got != 5 {
+		t.Errorf("Quantile(1) = %g, want 5", got)
+	}
+	if got := c.Quantile(0.5); got != 3 {
+		t.Errorf("Quantile(0.5) = %g, want 3", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.Len() != 0 {
+		t.Error("empty CDF Len != 0")
+	}
+	if c.At(5) != 0 {
+		t.Error("empty CDF At != 0")
+	}
+	if !math.IsNaN(c.Quantile(0.5)) {
+		t.Error("empty CDF Quantile should be NaN")
+	}
+}
+
+func TestCDFDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	NewCDF(in)
+	if !sort.Float64sAreSorted(in) && (in[0] != 3 || in[1] != 1 || in[2] != 2) {
+		t.Error("NewCDF mutated its input")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(vals []float64, a, b float64) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		c := NewCDF(clean)
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return c.At(lo) <= c.At(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	got := c.Series([]float64{0, 2, 4})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Series = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary basics wrong: %+v", s)
+	}
+	if math.Abs(s.Mean-3) > 1e-12 || math.Abs(s.Median-3) > 1e-12 {
+		t.Errorf("mean/median wrong: %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("stddev = %g, want sqrt(2)", s.StdDev)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Error("empty Summarize N != 0")
+	}
+	if empty.String() == "" {
+		t.Error("String() should render even for the zero Summary")
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	// One dominant value holding 900 of the 990 total: 900/990.
+	samples := []float64{900, 10, 10, 10, 10, 10, 10, 10, 10, 10}
+	got := TopShare(samples, 0.1)
+	if math.Abs(got-900.0/990.0) > 1e-9 {
+		t.Errorf("TopShare = %g, want %g", got, 900.0/990.0)
+	}
+	if TopShare(nil, 0.1) != 0 {
+		t.Error("empty TopShare should be 0")
+	}
+	if TopShare(samples, 0) != 0 {
+		t.Error("zero-fraction TopShare should be 0")
+	}
+	if got := TopShare(samples, 5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("fraction>1 TopShare = %g, want 1", got)
+	}
+}
+
+func TestTopShareBoundedProperty(t *testing.T) {
+	f := func(vals []float64, frac float64) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 {
+				clean = append(clean, v)
+			}
+		}
+		frac = math.Abs(math.Mod(frac, 1))
+		got := TopShare(clean, frac)
+		return got >= 0 && got <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]float64{5, 5, 5, 5}); math.Abs(g) > 1e-9 {
+		t.Errorf("equal distribution Gini = %g, want 0", g)
+	}
+	unequal := Gini([]float64{0, 0, 0, 100})
+	if unequal < 0.7 {
+		t.Errorf("concentrated distribution Gini = %g, want > 0.7", unequal)
+	}
+	if Gini(nil) != 0 {
+		t.Error("empty Gini should be 0")
+	}
+	if Gini([]float64{0, 0}) != 0 {
+		t.Error("all-zero Gini should be 0")
+	}
+}

@@ -1,0 +1,174 @@
+// Package stats provides the statistical primitives used throughout
+// marketscope: deterministic random number generation, heavy-tailed
+// distribution samplers, histograms, empirical CDFs, quantiles and the
+// download-range binning scheme used by Google Play.
+//
+// Every generator in marketscope is seeded, so a given configuration always
+// produces the same synthetic ecosystem. That property is what makes the
+// reproduction benches comparable across runs.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random source. It wraps math/rand.Rand with a
+// SplitMix64-style seed expansion so that nearby integer seeds produce
+// uncorrelated streams, and adds a handful of convenience samplers that the
+// synthetic ecosystem generator needs.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG for the given seed. Two RNGs created
+// with the same seed yield identical sequences.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(int64(splitmix64(seed))))}
+}
+
+// splitmix64 is the standard SplitMix64 finalizer. It is used to decorrelate
+// sequential seeds (1, 2, 3, ...) which would otherwise produce visibly
+// similar streams from math/rand's LCG-style sources.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Derive returns a new RNG whose stream is a deterministic function of this
+// RNG's seed and the supplied label. It is used to hand independent
+// sub-streams to different parts of the generator (e.g. one per market)
+// without consuming values from the parent stream.
+func (g *RNG) Derive(label uint64) *RNG {
+	// Mixing via splitmix64 keeps the child streams independent of the
+	// parent's consumption pattern.
+	return NewRNG(splitmix64(uint64(g.r.Int63())) ^ splitmix64(label))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Uint64 returns a uniform 64-bit value.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// Range returns a uniform integer in [lo, hi]. It panics if hi < lo.
+func (g *RNG) Range(lo, hi int) int {
+	if hi < lo {
+		panic("stats: invalid range")
+	}
+	if hi == lo {
+		return lo
+	}
+	return lo + g.r.Intn(hi-lo+1)
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation.
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return g.r.NormFloat64()*stddev + mean
+}
+
+// LogNormal returns a log-normally distributed value parameterized by the
+// mu/sigma of the underlying normal distribution.
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(g.r.NormFloat64()*sigma + mu)
+}
+
+// Exponential returns an exponentially distributed value with the given mean.
+func (g *RNG) Exponential(mean float64) float64 {
+	return g.r.ExpFloat64() * mean
+}
+
+// Poisson returns a Poisson-distributed integer with the given rate lambda.
+// It uses Knuth's algorithm for small lambda and a normal approximation for
+// large lambda, which is more than accurate enough for workload generation.
+func (g *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 64 {
+		v := g.Normal(lambda, math.Sqrt(lambda))
+		if v < 0 {
+			return 0
+		}
+		return int(math.Round(v))
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		k++
+		p *= g.r.Float64()
+		if p <= l {
+			return k - 1
+		}
+	}
+}
+
+// Shuffle permutes the integers [0, n) and calls swap for each exchange, in
+// the manner of sort.Slice.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) {
+	g.r.Shuffle(n, swap)
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// PickWeighted returns an index in [0, len(weights)) chosen proportionally to
+// the weights. Zero and negative weights are treated as zero. If all weights
+// are zero it falls back to a uniform choice.
+func (g *RNG) PickWeighted(weights []float64) int {
+	if len(weights) == 0 {
+		panic("stats: PickWeighted with no weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return g.Intn(len(weights))
+	}
+	target := g.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly from
+// [0, n). If k >= n it returns all n indices in random order.
+func (g *RNG) SampleWithoutReplacement(n, k int) []int {
+	if k >= n {
+		return g.Perm(n)
+	}
+	perm := g.Perm(n)
+	return perm[:k]
+}

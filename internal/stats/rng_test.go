@@ -1,0 +1,215 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("iteration %d: same seed diverged: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestNewRNGDifferentSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("adjacent seeds produced %d identical values out of 64", same)
+	}
+}
+
+func TestDeriveIndependentStreams(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Derive(1)
+	c2 := parent.Derive(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("derived streams overlap in %d of 64 draws", same)
+	}
+}
+
+func TestBoolProbabilityBounds(t *testing.T) {
+	g := NewRNG(3)
+	if g.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !g.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	if g.Bool(-0.5) {
+		t.Error("Bool(-0.5) returned true")
+	}
+	if !g.Bool(1.5) {
+		t.Error("Bool(1.5) returned false")
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	g := NewRNG(11)
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			hits++
+		}
+	}
+	freq := float64(hits) / n
+	if math.Abs(freq-0.3) > 0.02 {
+		t.Fatalf("Bool(0.3) frequency = %.3f, want ~0.30", freq)
+	}
+}
+
+func TestRange(t *testing.T) {
+	g := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		v := g.Range(3, 9)
+		if v < 3 || v > 9 {
+			t.Fatalf("Range(3,9) returned %d", v)
+		}
+	}
+	if v := g.Range(4, 4); v != 4 {
+		t.Fatalf("Range(4,4) = %d, want 4", v)
+	}
+}
+
+func TestRangePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Range(5,4) did not panic")
+		}
+	}()
+	NewRNG(1).Range(5, 4)
+}
+
+func TestPoissonMean(t *testing.T) {
+	g := NewRNG(13)
+	for _, lambda := range []float64{0.5, 3, 10, 120} {
+		const n = 5000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += g.Poisson(lambda)
+		}
+		mean := float64(sum) / n
+		if math.Abs(mean-lambda) > lambda*0.1+0.2 {
+			t.Errorf("Poisson(%g) sample mean = %.2f", lambda, mean)
+		}
+	}
+}
+
+func TestPoissonNonPositive(t *testing.T) {
+	g := NewRNG(1)
+	if v := g.Poisson(0); v != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", v)
+	}
+	if v := g.Poisson(-3); v != 0 {
+		t.Errorf("Poisson(-3) = %d, want 0", v)
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	g := NewRNG(17)
+	weights := []float64{0, 1, 3}
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[g.PickWeighted(weights)]++
+	}
+	if counts[0] != 0 {
+		t.Errorf("zero-weight index selected %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Errorf("weight ratio = %.2f, want ~3", ratio)
+	}
+}
+
+func TestPickWeightedAllZeroFallsBackToUniform(t *testing.T) {
+	g := NewRNG(19)
+	weights := []float64{0, 0, 0, 0}
+	seen := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		idx := g.PickWeighted(weights)
+		if idx < 0 || idx >= len(weights) {
+			t.Fatalf("index %d out of range", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("uniform fallback only produced indices %v", seen)
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	g := NewRNG(23)
+	got := g.SampleWithoutReplacement(10, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 {
+			t.Fatalf("value %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+	all := g.SampleWithoutReplacement(5, 50)
+	if len(all) != 5 {
+		t.Fatalf("k>n: len = %d, want 5", len(all))
+	}
+}
+
+func TestSampleWithoutReplacementProperty(t *testing.T) {
+	f := func(seed uint64, n8, k8 uint8) bool {
+		n := int(n8%50) + 1
+		k := int(k8 % 60)
+		g := NewRNG(seed)
+		got := g.SampleWithoutReplacement(n, k)
+		want := k
+		if want > n {
+			want = n
+		}
+		if len(got) != want {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	g := NewRNG(29)
+	for i := 0; i < 1000; i++ {
+		if v := g.LogNormal(1, 2); v <= 0 {
+			t.Fatalf("LogNormal produced non-positive value %g", v)
+		}
+	}
+}

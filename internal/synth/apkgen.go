@@ -1,0 +1,274 @@
+package synth
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"marketscope/internal/apk"
+	"marketscope/internal/avscan"
+	"marketscope/internal/dex"
+	"marketscope/internal/manifest"
+	"marketscope/internal/permissions"
+	"marketscope/internal/stats"
+)
+
+// frameworkAPIPool is the vocabulary of ordinary framework APIs the generated
+// "own code" draws from. Distinct apps draw different subsets with different
+// counts, so their WuKong feature vectors are far apart; clones copy the
+// original's code and therefore stay within the 0.05 distance threshold.
+var frameworkAPIPool = []string{
+	"android.app.Activity.onCreate", "android.app.Activity.onResume",
+	"android.app.Activity.startActivity", "android.app.Fragment.onCreateView",
+	"android.widget.TextView.setText", "android.widget.Button.setOnClickListener",
+	"android.widget.ListView.setAdapter", "android.widget.ImageView.setImageBitmap",
+	"android.widget.Toast.makeText", "android.view.LayoutInflater.inflate",
+	"android.os.Handler.post", "android.os.Handler.postDelayed",
+	"android.os.AsyncTask.execute", "android.os.Bundle.getString",
+	"android.content.Intent.putExtra", "android.content.Intent.getStringExtra",
+	"android.content.Context.getSharedPreferences", "android.content.SharedPreferences.Editor.putString",
+	"android.content.Context.getSystemService", "android.content.Context.getPackageName",
+	"android.content.res.Resources.getString", "android.graphics.BitmapFactory.decodeStream",
+	"android.graphics.Canvas.drawBitmap", "android.media.MediaPlayer.start",
+	"android.media.MediaPlayer.prepare", "android.database.sqlite.SQLiteDatabase.query",
+	"android.database.sqlite.SQLiteDatabase.insert", "android.database.Cursor.moveToNext",
+	"android.webkit.WebView.loadUrl", "android.webkit.WebSettings.setJavaScriptEnabled",
+	"java.net.URL.openConnection", "java.net.HttpURLConnection.connect",
+	"java.io.BufferedReader.readLine", "java.io.FileOutputStream.write",
+	"java.util.List.add", "java.util.Map.put", "java.lang.String.format",
+	"java.lang.StringBuilder.append", "java.lang.Thread.start",
+	"org.json.JSONObject.getString", "org.json.JSONArray.length",
+	"android.animation.ObjectAnimator.start", "android.view.View.findViewById",
+	"android.view.View.setVisibility", "android.app.AlertDialog.Builder.show",
+	"android.app.NotificationManager.notify", "android.net.Uri.parse",
+	"android.content.ContentResolver.query", "android.location.Location.getLatitude",
+	"android.hardware.SensorManager.getDefaultSensor", "android.util.Log.d",
+}
+
+// libraryAPIPool is the vocabulary library code draws from; library content is
+// a deterministic function of the library prefix so every embedding of the
+// same library looks identical (which is what the LibRadar clustering keys
+// on).
+var libraryAPIPool = []string{
+	"android.content.Context.getPackageName", "android.content.Context.getSystemService",
+	"android.net.ConnectivityManager.getActiveNetworkInfo", "android.net.wifi.WifiManager.getConnectionInfo",
+	"android.telephony.TelephonyManager.getDeviceId", "android.telephony.TelephonyManager.getNetworkType",
+	"android.webkit.WebView.loadUrl", "android.os.Build.VERSION.SDK_INT",
+	"java.net.URL.openConnection", "java.net.HttpURLConnection.connect",
+	"java.util.concurrent.Executors.newFixedThreadPool", "java.lang.Thread.start",
+	"org.json.JSONObject.getString", "android.util.Log.d", "android.util.Base64.encodeToString",
+	"android.app.NotificationManager.notify", "android.location.LocationManager.getLastKnownLocation",
+	"android.provider.Settings.Secure.getString", "javax.crypto.Cipher.doFinal",
+	"android.content.pm.PackageManager.getInstalledPackages",
+}
+
+// buildArtifacts builds the dex, manifest and per-listing APK bytes for every
+// app in the ecosystem.
+func (g *generator) buildArtifacts(eco *Ecosystem) error {
+	// Index originals so clones can copy their code.
+	byPackage := map[string]*App{}
+	for _, a := range eco.Apps {
+		if a.Kind == KindBenign || a.Kind == KindMalware {
+			byPackage[a.Package] = a
+		}
+	}
+	dexCache := map[string]*dex.File{}
+
+	for _, app := range eco.Apps {
+		var code *dex.File
+		switch app.Kind {
+		case KindSignatureClone, KindCodeClone:
+			orig := byPackage[app.OriginalOf]
+			if orig == nil {
+				code = g.buildOwnCode(app)
+			} else {
+				origCode, ok := dexCache[orig.Package]
+				if !ok {
+					origCode = g.buildOwnCode(orig)
+					dexCache[orig.Package] = origCode
+				}
+				code = g.repackageCode(origCode, orig.Package, app.Package)
+			}
+		default:
+			var ok bool
+			code, ok = dexCache[app.Package]
+			if !ok {
+				code = g.buildOwnCode(app)
+				dexCache[app.Package] = code
+			}
+		}
+		code = code.Clone()
+		g.appendLibraryCode(code, app.Libraries)
+		if app.MalwareFamily != "" {
+			g.appendPayload(code, app.MalwareFamily)
+		}
+		if err := code.Validate(); err != nil {
+			return fmt.Errorf("synth: generated dex for %s invalid: %w", app.Package, err)
+		}
+
+		for marketName, listing := range app.Listings {
+			m := manifest.Manifest{
+				Package:     app.Package,
+				VersionCode: listing.VersionCode,
+				VersionName: versionName(listing.VersionCode),
+				MinSDK:      app.MinSDK,
+				TargetSDK:   app.TargetSDK,
+				AppLabel:    app.Name,
+				Permissions: append([]string(nil), app.Permissions...),
+				Components: []manifest.Component{
+					{Kind: manifest.Activity, Name: app.Package + ".MainActivity",
+						IntentActions: []string{"android.intent.action.MAIN"}, Exported: true},
+				},
+			}
+			profile := g.profileByName(marketName)
+			channel := map[string]string{
+				"kgchannel": strings.ToLower(strings.ReplaceAll(marketName, " ", "_")),
+			}
+			if profile.RequiresJiagu {
+				channel["jiagu"] = "360jiagubao-v3"
+			}
+			pkg := &apk.APK{
+				Manifest:  &m,
+				Dex:       code,
+				Channel:   channel,
+				Resources: resourceBlob(app.Package, listing.VersionCode),
+			}
+			data, err := apk.Build(pkg, app.Developer.Key)
+			if err != nil {
+				return fmt.Errorf("synth: build apk for %s in %s: %w", app.Package, marketName, err)
+			}
+			listing.APK = data
+			rng := g.rng.Derive(hash64(app.Package + "|" + marketName))
+			listing.Meta = g.recordFor(rng, app, listing, profile, len(data))
+		}
+	}
+	return nil
+}
+
+// buildOwnCode generates the app's first-party classes. The draw is
+// deterministic per package.
+func (g *generator) buildOwnCode(app *App) *dex.File {
+	rng := stats.NewRNG(g.cfg.Seed ^ hash64("code:"+app.Package))
+	file := &dex.File{}
+
+	pmap := permissions.DefaultMap()
+	classCount := rng.Range(4, 12)
+	// Distribute the APIs implied by the app's genuinely used permissions
+	// across the classes so the over-privilege analysis sees them.
+	var permissionAPIs []string
+	for _, perm := range app.UsedPermissions {
+		apis := pmap.APIsForPermission(perm)
+		if len(apis) == 0 {
+			continue
+		}
+		permissionAPIs = append(permissionAPIs, apis[rng.Intn(len(apis))])
+	}
+	sort.Strings(permissionAPIs)
+
+	for c := 0; c < classCount; c++ {
+		className := fmt.Sprintf("%s.%s%d", app.Package, []string{"Main", "Detail", "Util", "Net", "Data", "View"}[c%6], c)
+		cls := dex.Class{Name: className}
+		methodCount := rng.Range(2, 6)
+		for mIdx := 0; mIdx < methodCount; mIdx++ {
+			m := dex.Method{Name: fmt.Sprintf("m%d", mIdx)}
+			callCount := rng.Range(2, 9)
+			for k := 0; k < callCount; k++ {
+				m.APICalls = append(m.APICalls, frameworkAPIPool[rng.Intn(len(frameworkAPIPool))])
+			}
+			if len(permissionAPIs) > 0 && mIdx == 0 {
+				m.APICalls = append(m.APICalls, permissionAPIs[c%len(permissionAPIs)])
+			}
+			if rng.Bool(0.2) {
+				m.IntentActions = append(m.IntentActions, "android.intent.action.VIEW")
+			}
+			if rng.Bool(0.08) {
+				m.ContentURIs = append(m.ContentURIs, "content://media/external/images")
+			}
+			cls.Methods = append(cls.Methods, m)
+		}
+		file.AddClass(cls)
+	}
+	return file
+}
+
+// repackageCode copies the original's first-party code, renaming its classes
+// into the clone's package (code-based clones) or keeping them (signature
+// clones get the identical package anyway). A small "channel injection"
+// class is added, which is what real repackagers do to redirect ad revenue.
+func (g *generator) repackageCode(orig *dex.File, origPackage, clonePackage string) *dex.File {
+	out := orig.Clone()
+	if origPackage != clonePackage {
+		for i, c := range out.Classes {
+			if strings.HasPrefix(c.Name, origPackage+".") {
+				out.Classes[i].Name = clonePackage + strings.TrimPrefix(c.Name, origPackage)
+			}
+		}
+	}
+	out.AddClass(dex.Class{
+		Name: clonePackage + ".injected.RevenueRedirect",
+		Methods: []dex.Method{{
+			Name:     "redirect",
+			APICalls: []string{"android.webkit.WebView.loadUrl", "java.net.URL.openConnection"},
+		}},
+	})
+	return out
+}
+
+// appendLibraryCode adds the deterministic class set of each embedded library.
+func (g *generator) appendLibraryCode(file *dex.File, libraries []string) {
+	for _, lib := range libraries {
+		rng := stats.NewRNG(hash64("lib:" + lib))
+		classCount := 2 + rng.Intn(4)
+		for c := 0; c < classCount; c++ {
+			cls := dex.Class{Name: fmt.Sprintf("%s.internal.C%d", lib, c)}
+			methodCount := 2 + rng.Intn(3)
+			for mIdx := 0; mIdx < methodCount; mIdx++ {
+				m := dex.Method{Name: fmt.Sprintf("f%d", mIdx)}
+				callCount := 3 + rng.Intn(5)
+				for k := 0; k < callCount; k++ {
+					m.APICalls = append(m.APICalls, libraryAPIPool[rng.Intn(len(libraryAPIPool))])
+				}
+				// A library-specific marker call keeps different libraries'
+				// features distinct even when they draw similar API subsets.
+				m.APICalls = append(m.APICalls, "lib."+lib+".Api.call"+fmt.Sprint(mIdx))
+				cls.Methods = append(cls.Methods, m)
+			}
+			file.AddClass(cls)
+		}
+	}
+}
+
+// appendPayload adds the malware family's payload classes.
+func (g *generator) appendPayload(file *dex.File, familyName string) {
+	fam, ok := avscan.FamilyByName(familyName)
+	if !ok {
+		return
+	}
+	file.AddClass(dex.Class{
+		Name: fam.PayloadPrefix + ".Payload",
+		Methods: []dex.Method{
+			{Name: "activate", APICalls: append([]string{fam.MarkerAPI}, fam.SignatureAPIs...)},
+			{Name: "beacon", APICalls: []string{"java.net.URL.openConnection", "android.util.Base64.encodeToString"}},
+		},
+	})
+}
+
+// resourceBlob produces a deterministic opaque resources.arsc payload whose
+// size loosely scales with the version (newer builds carry more assets).
+func resourceBlob(pkg string, version int64) []byte {
+	size := 256 + int(version%512)
+	out := make([]byte, size)
+	seed := sha256.Sum256([]byte(pkg))
+	for i := range out {
+		out[i] = seed[i%len(seed)] ^ byte(i)
+	}
+	return out
+}
+
+// hash64 maps a string to a stable 64-bit value for seed derivation.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.LittleEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,276 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"marketscope/internal/appmeta"
+	"marketscope/internal/market"
+	"marketscope/internal/signing"
+)
+
+// Config controls the synthetic ecosystem generator.
+type Config struct {
+	// Seed makes the whole corpus reproducible.
+	Seed uint64
+	// NumApps is the number of distinct legitimate apps (packages) to
+	// generate before misbehaviour injection adds fakes and clones.
+	NumApps int
+	// NumDevelopers is the number of developer identities.
+	NumDevelopers int
+
+	// MalwareRate is the fraction of generated apps that carry a malware
+	// payload when submitted. Which markets end up hosting them depends on
+	// each market's MalwareLaxness (vetting strictness).
+	MalwareRate float64
+	// FakeRate is the expected number of fake imitations per popular app.
+	FakeRate float64
+	// CloneRate is the expected number of repackaged clones per popular
+	// app (split between signature-preserving-package and code clones).
+	CloneRate float64
+
+	// CrawlDate is the nominal date of the first crawl (the paper's crawl
+	// was August 2017); release/update dates are generated relative to it.
+	CrawlDate time.Time
+
+	// Markets restricts the ecosystem to the named markets; empty means all
+	// 17 study markets.
+	Markets []string
+}
+
+// DefaultConfig returns a laptop-scale configuration that reproduces the
+// shape of every table and figure in a few seconds: roughly 1,200 distinct
+// apps across the 17 markets before misbehaviour injection.
+func DefaultConfig() Config {
+	return Config{
+		Seed:          20170815,
+		NumApps:       1200,
+		NumDevelopers: 420,
+		MalwareRate:   0.14,
+		FakeRate:      0.9,
+		CloneRate:     1.1,
+		CrawlDate:     time.Date(2017, 8, 15, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// SmallConfig returns a minimal configuration for tests and examples.
+func SmallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumApps = 220
+	cfg.NumDevelopers = 90
+	return cfg
+}
+
+// Validation errors.
+var (
+	ErrTooFewApps       = errors.New("synth: NumApps must be at least 10")
+	ErrTooFewDevelopers = errors.New("synth: NumDevelopers must be at least 5")
+	ErrBadRate          = errors.New("synth: rates must be in [0, 1] (malware) or non-negative (fake/clone)")
+	ErrUnknownMarket    = errors.New("synth: unknown market name")
+)
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.NumApps < 10 {
+		return fmt.Errorf("%w: %d", ErrTooFewApps, c.NumApps)
+	}
+	if c.NumDevelopers < 5 {
+		return fmt.Errorf("%w: %d", ErrTooFewDevelopers, c.NumDevelopers)
+	}
+	if c.MalwareRate < 0 || c.MalwareRate > 1 {
+		return fmt.Errorf("%w: malware=%g", ErrBadRate, c.MalwareRate)
+	}
+	if c.FakeRate < 0 || c.CloneRate < 0 {
+		return fmt.Errorf("%w: fake=%g clone=%g", ErrBadRate, c.FakeRate, c.CloneRate)
+	}
+	for _, name := range c.Markets {
+		if _, ok := market.ProfileByName(name); !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownMarket, name)
+		}
+	}
+	if c.CrawlDate.IsZero() {
+		return errors.New("synth: CrawlDate must be set")
+	}
+	return nil
+}
+
+// marketProfiles resolves the configured market subset.
+func (c *Config) marketProfiles() []market.Profile {
+	if len(c.Markets) == 0 {
+		return market.Profiles()
+	}
+	var out []market.Profile
+	for _, name := range c.Markets {
+		if p, ok := market.ProfileByName(name); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Developer is one synthetic developer identity together with its publishing
+// strategy.
+type Developer struct {
+	Key *signing.Developer
+	// DisplayName is the name shown in market metadata. The paper notes
+	// the same key may appear under name variants across markets; the
+	// generator occasionally localizes the name per market.
+	DisplayName string
+	// Company is the seed word used for this developer's package names.
+	Company string
+	// Strategy describes which side of the ecosystem the developer targets.
+	Strategy PublishStrategy
+	// TargetMarkets is the set of market names the developer publishes to.
+	TargetMarkets []string
+	// Quality in [0,1] correlates with app popularity, maintenance and
+	// rating.
+	Quality float64
+}
+
+// PublishStrategy is a developer's market-targeting behaviour, matching the
+// split reported in Section 5.1: 57% of Google Play developers never publish
+// to Chinese stores, while almost half of Chinese-market developers skip
+// Google Play.
+type PublishStrategy string
+
+// Publishing strategies.
+const (
+	StrategyGlobalOnly  PublishStrategy = "global-only"  // Google Play only
+	StrategyChineseOnly PublishStrategy = "chinese-only" // Chinese stores only
+	StrategyBoth        PublishStrategy = "both"
+)
+
+// MisbehaviorKind labels the ground-truth class of a generated app.
+type MisbehaviorKind string
+
+// Misbehaviour classes.
+const (
+	KindBenign         MisbehaviorKind = "benign"
+	KindMalware        MisbehaviorKind = "malware"
+	KindFake           MisbehaviorKind = "fake"
+	KindSignatureClone MisbehaviorKind = "signature-clone"
+	KindCodeClone      MisbehaviorKind = "code-clone"
+)
+
+// App is one distinct package in the ground truth.
+type App struct {
+	Package       string
+	Name          string
+	Developer     *Developer
+	Category      appmeta.Category
+	MinSDK        int
+	TargetSDK     int
+	VersionCode   int64 // latest version
+	ReleaseDate   time.Time
+	UpdateDate    time.Time
+	BaseDownloads int64   // total installs across the ecosystem
+	BaseRating    float64 // intrinsic quality rating (0 = never rated)
+	Description   string
+
+	// Libraries is the set of third-party library prefixes embedded in the
+	// app's code; AdLibraries is the advertising subset.
+	Libraries   []string
+	AdLibraries []string
+	// Permissions requested in the manifest; UsedPermissions the subset the
+	// code genuinely exercises (the difference is the over-privilege ground
+	// truth).
+	Permissions     []string
+	UsedPermissions []string
+
+	// Misbehaviour ground truth.
+	Kind          MisbehaviorKind
+	MalwareFamily string // non-empty iff the app carries a payload
+	OriginalOf    string // for fakes/clones: the package being imitated
+
+	// Listings maps market name -> the app's listing in that market.
+	Listings map[string]*Listing
+}
+
+// IsMalicious reports whether the app carries a malware payload.
+func (a *App) IsMalicious() bool { return a.MalwareFamily != "" }
+
+// Listing is one app's presence in one market.
+type Listing struct {
+	Market      string
+	VersionCode int64 // may lag behind App.VersionCode (outdated roll-outs)
+	Downloads   int64 // -1 when the market does not report installs
+	Rating      float64
+	ReleaseDate time.Time
+	UpdateDate  time.Time
+	// RemovedInSecondCrawl marks listings the market delisted between the
+	// August 2017 and April 2018 crawls (Table 6).
+	RemovedInSecondCrawl bool
+	// APK is the exact archive served by this market (markets add channel
+	// files, so bytes differ across markets even for identical versions).
+	APK []byte
+	// Meta is the metadata record the market's front-end serves.
+	Meta appmeta.Record
+}
+
+// Ecosystem is the complete generated ground truth.
+type Ecosystem struct {
+	Config     Config
+	Markets    []market.Profile
+	Developers []*Developer
+	Apps       []*App
+}
+
+// AppsByMarket returns the apps listed in the given market.
+func (e *Ecosystem) AppsByMarket(marketName string) []*App {
+	var out []*App
+	for _, a := range e.Apps {
+		if _, ok := a.Listings[marketName]; ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// MarketNames returns the names of the generated markets in profile order.
+func (e *Ecosystem) MarketNames() []string {
+	out := make([]string, 0, len(e.Markets))
+	for _, m := range e.Markets {
+		out = append(out, m.Name)
+	}
+	return out
+}
+
+// NumListings returns the total number of (app, market) listings.
+func (e *Ecosystem) NumListings() int {
+	n := 0
+	for _, a := range e.Apps {
+		n += len(a.Listings)
+	}
+	return n
+}
+
+// GroundTruthCounts summarizes the injected misbehaviour, used by tests and
+// EXPERIMENTS.md to sanity-check the corpus.
+type GroundTruthCounts struct {
+	Benign          int
+	Malware         int
+	Fakes           int
+	SignatureClones int
+	CodeClones      int
+}
+
+// GroundTruth tallies the corpus by misbehaviour kind.
+func (e *Ecosystem) GroundTruth() GroundTruthCounts {
+	var c GroundTruthCounts
+	for _, a := range e.Apps {
+		switch a.Kind {
+		case KindMalware:
+			c.Malware++
+		case KindFake:
+			c.Fakes++
+		case KindSignatureClone:
+			c.SignatureClones++
+		case KindCodeClone:
+			c.CodeClones++
+		default:
+			c.Benign++
+		}
+	}
+	return c
+}

@@ -1,0 +1,662 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"marketscope/internal/appmeta"
+	"marketscope/internal/avscan"
+	"marketscope/internal/market"
+	"marketscope/internal/signing"
+	"marketscope/internal/stats"
+)
+
+// categoryDistribution approximates Figure 1: games account for roughly half
+// of all listings, followed by lifestyle, personalization and tools; browsers,
+// input methods and security tools are rare.
+var categoryDistribution = map[appmeta.Category]float64{
+	appmeta.CategoryGame:            38,
+	appmeta.CategoryLifestyle:       8,
+	appmeta.CategoryPersonalization: 7,
+	appmeta.CategoryTools:           7,
+	appmeta.CategoryEducation:       5,
+	appmeta.CategoryEntertainment:   5,
+	appmeta.CategoryBooks:           4,
+	appmeta.CategoryVideo:           4,
+	appmeta.CategoryMusic:           3,
+	appmeta.CategoryNews:            3,
+	appmeta.CategorySocial:          3,
+	appmeta.CategoryShopping:        3,
+	appmeta.CategoryPhotography:     3,
+	appmeta.CategoryFinance:         2.5,
+	appmeta.CategoryHealth:          2,
+	appmeta.CategoryBusiness:        2,
+	appmeta.CategoryCommunication:   2,
+	appmeta.CategoryLocation:        2,
+	appmeta.CategoryInputMethods:    0.7,
+	appmeta.CategoryBrowsers:        0.6,
+	appmeta.CategorySecurity:        0.7,
+	appmeta.CategoryOther:           6,
+}
+
+// Global (Google-Play-leaning) library popularity, approximating Table 2 top.
+var globalLibraryWeights = map[string]float64{
+	"com.google.android.gms": 66, "com.google.ads": 62, "com.facebook": 21,
+	"org.apache": 20, "com.squareup": 14, "com.google.gson": 13,
+	"com.android.vending": 12, "com.unity3d": 12, "org.fmod": 10,
+	"com.google.firebase": 9, "com.flurry": 6, "com.crashlytics": 6,
+	"com.mopub": 4, "com.inmobi": 3, "com.startapp": 3, "com.twitter.sdk": 3,
+	"com.nostra13": 5, "org.cocos2d": 3, "com.badlogic.gdx": 3,
+}
+
+// Chinese-market library popularity, approximating Table 2 bottom.
+var chineseLibraryWeights = map[string]float64{
+	"com.google.ads": 26, "org.apache": 24, "com.google.android.gms": 20,
+	"com.tencent.mm": 17, "com.baidu": 17, "com.umeng": 16,
+	"com.google.gson": 16, "com.alipay": 11, "com.facebook": 11,
+	"com.nostra13": 11, "com.qq.e": 9, "com.sina.weibo": 7, "com.amap.api": 7,
+	"com.tencent.open": 6, "com.getui": 5, "com.jpush": 5, "cn.jpush": 4,
+	"com.xiaomi.mipush": 4, "com.tencent.bugly": 6, "com.iflytek": 3,
+	"com.kyview": 3, "com.unionpay": 3, "com.unity3d": 5, "org.cocos2d": 3,
+}
+
+// Malware family mix for samples that circulate mainly in Google Play vs
+// mainly in Chinese markets (Figure 12).
+var gpFamilyWeights = map[string]float64{
+	"airpush": 29, "revmob": 15, "leadbolt": 8, "adwo": 5, "dowgin": 4,
+	"smsreg": 5, "youmi": 3, "domob": 3, "gappusin": 3, "kuguo": 0.6,
+	"secapk": 2, "ramnit": 2, "mofin": 1, "eicar": 0.3,
+}
+var cnFamilyWeights = map[string]float64{
+	"kuguo": 12.7, "airpush": 7, "smsreg": 6.5, "revmob": 4, "dowgin": 6,
+	"gappusin": 5, "secapk": 4.5, "youmi": 4.5, "leadbolt": 3.5, "adwo": 3.5,
+	"domob": 3, "commplat": 2.5, "adend": 2, "smspay": 2, "jiagu": 1.5,
+	"ramnit": 2.5, "mofin": 1, "eicar": 0.2,
+}
+
+// Generate builds the full ground-truth ecosystem for the configuration.
+func Generate(cfg Config) (*Ecosystem, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &generator{
+		cfg:     cfg,
+		rng:     stats.NewRNG(cfg.Seed),
+		markets: cfg.marketProfiles(),
+	}
+	for _, m := range g.markets {
+		if m.IsChinese() {
+			g.chineseMarkets = append(g.chineseMarkets, m.Name)
+		} else {
+			g.hasGooglePlay = true
+		}
+		g.profileByName(m.Name) // warm the cache and validate
+	}
+	eco := &Ecosystem{Config: cfg, Markets: g.markets}
+
+	g.generateDevelopers(eco)
+	g.generateBaseApps(eco)
+	g.injectMalware(eco)
+	g.injectFakes(eco)
+	g.injectClones(eco)
+	g.placeListings(eco)
+	if err := g.buildArtifacts(eco); err != nil {
+		return nil, err
+	}
+	return eco, nil
+}
+
+type generator struct {
+	cfg            Config
+	rng            *stats.RNG
+	markets        []market.Profile
+	chineseMarkets []string
+	hasGooglePlay  bool
+	profiles       map[string]market.Profile
+	devSerial      uint64
+	pkgSerial      map[string]int
+}
+
+func (g *generator) profileByName(name string) market.Profile {
+	if g.profiles == nil {
+		g.profiles = make(map[string]market.Profile)
+	}
+	if p, ok := g.profiles[name]; ok {
+		return p
+	}
+	p, ok := market.ProfileByName(name)
+	if !ok {
+		panic(fmt.Sprintf("synth: unknown market %q", name))
+	}
+	g.profiles[name] = p
+	return p
+}
+
+// newDeveloperIdentity mints a unique signing key.
+func (g *generator) newDeveloperIdentity(name string) *signing.Developer {
+	g.devSerial++
+	return signing.NewDeveloper(name, g.cfg.Seed^(g.devSerial*0x9E3779B97F4A7C15))
+}
+
+// uniquePackage returns a package name not yet used in the ecosystem.
+func (g *generator) uniquePackage(rng *stats.RNG, company string) string {
+	if g.pkgSerial == nil {
+		g.pkgSerial = make(map[string]int)
+	}
+	for {
+		serial := g.pkgSerial[company]
+		pkg := packageName(rng, company, serial)
+		g.pkgSerial[company] = serial + 1
+		if _, taken := g.pkgSerial["used:"+pkg]; !taken {
+			g.pkgSerial["used:"+pkg] = 1
+			return pkg
+		}
+	}
+}
+
+// generateDevelopers creates the developer population with the strategy split
+// of Section 5.1.
+func (g *generator) generateDevelopers(eco *Ecosystem) {
+	rng := g.rng.Derive(1)
+	for i := 0; i < g.cfg.NumDevelopers; i++ {
+		company := companyName(rng)
+		dev := &Developer{
+			Key:         g.newDeveloperIdentity(company),
+			DisplayName: developerDisplayName(company, i),
+			Company:     company,
+			Quality:     rng.Float64(),
+		}
+		// Strategy split: ~30% Google-Play-only, ~22% both, ~48%
+		// Chinese-only.
+		roll := rng.Float64()
+		switch {
+		case !g.hasGooglePlay || roll < 0.48:
+			dev.Strategy = StrategyChineseOnly
+		case roll < 0.48+0.30:
+			dev.Strategy = StrategyGlobalOnly
+		default:
+			dev.Strategy = StrategyBoth
+		}
+		dev.TargetMarkets = g.pickTargetMarkets(rng, dev)
+		eco.Developers = append(eco.Developers, dev)
+	}
+}
+
+// pickTargetMarkets chooses which markets a developer publishes to,
+// reproducing Figure 7's coverage CDF (most developers target few stores,
+// a handful target all 17).
+func (g *generator) pickTargetMarkets(rng *stats.RNG, dev *Developer) []string {
+	var targets []string
+	switch dev.Strategy {
+	case StrategyGlobalOnly:
+		return []string{market.GooglePlay}
+	case StrategyBoth:
+		targets = append(targets, market.GooglePlay)
+	}
+	if len(g.chineseMarkets) == 0 {
+		return targets
+	}
+	// Number of Chinese stores: heavy-tailed, 1..all.
+	var count int
+	switch {
+	case rng.Bool(0.42):
+		count = 1
+	case rng.Bool(0.5):
+		count = rng.Range(2, 3)
+	case rng.Bool(0.7):
+		hi := min(7, len(g.chineseMarkets))
+		count = rng.Range(min(4, hi), hi)
+	default:
+		count = rng.Range(min(8, len(g.chineseMarkets)), len(g.chineseMarkets))
+	}
+	if count > len(g.chineseMarkets) {
+		count = len(g.chineseMarkets)
+	}
+	// Weight store choice by catalog size so Tencent/25PP attract most
+	// developers.
+	weights := make([]float64, len(g.chineseMarkets))
+	for i, name := range g.chineseMarkets {
+		weights[i] = g.profileByName(name).CatalogWeight
+	}
+	chosen := map[int]bool{}
+	for len(chosen) < count {
+		chosen[rng.PickWeighted(weights)] = true
+	}
+	idxs := make([]int, 0, len(chosen))
+	for idx := range chosen {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		targets = append(targets, g.chineseMarkets[idx])
+	}
+	return targets
+}
+
+// generateBaseApps creates the legitimate app population.
+func (g *generator) generateBaseApps(eco *Ecosystem) {
+	rng := g.rng.Derive(2)
+	catSampler := newCategorySampler()
+	// The tail exponent is chosen so that a laptop-scale corpus of a few
+	// hundred to a few thousand apps still contains a meaningful head of
+	// million-install apps (the BFS crawl of the paper is likewise biased
+	// toward popular apps), while ~85% of apps stay below 10K installs.
+	downloads, err := stats.NewBoundedPareto(0.30, 50, 6e8)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < g.cfg.NumApps; i++ {
+		dev := eco.Developers[rng.Intn(len(eco.Developers))]
+		category := catSampler.sample(rng)
+		app := &App{
+			Package:   g.uniquePackage(rng, dev.Company),
+			Name:      appDisplayName(rng, category),
+			Developer: dev,
+			Category:  category,
+			Kind:      KindBenign,
+			Listings:  map[string]*Listing{},
+		}
+		// Popularity: heavy-tailed, boosted by developer quality.
+		base := downloads.Sample(rng)
+		app.BaseDownloads = int64(base * (0.4 + 1.2*dev.Quality))
+		if app.BaseDownloads < 1 {
+			app.BaseDownloads = 1
+		}
+		g.assignLifecycle(rng, app)
+		g.assignLibraries(rng, app)
+		g.assignPermissions(rng, app)
+		app.Description = fmt.Sprintf("%s — a %s app by %s.", app.Name, app.Category, dev.DisplayName)
+		eco.Apps = append(eco.Apps, app)
+	}
+}
+
+// assignLifecycle picks release/update dates, versions and SDK levels. Apps
+// maintained recently declare newer minimum API levels; abandoned apps keep
+// the Gingerbread-era levels that dominate Chinese catalogs (Figures 3, 4).
+func (g *generator) assignLifecycle(rng *stats.RNG, app *App) {
+	dev := app.Developer
+	crawl := g.cfg.CrawlDate
+
+	// Whether the developer actively maintains this app. Google-Play-
+	// focused developers maintain far more of their catalog.
+	var maintainProb float64
+	switch dev.Strategy {
+	case StrategyGlobalOnly:
+		maintainProb = 0.45
+	case StrategyBoth:
+		maintainProb = 0.35
+	default:
+		maintainProb = 0.12
+	}
+	maintained := rng.Bool(maintainProb + 0.2*dev.Quality)
+
+	ageYears := 0.5 + rng.Float64()*5.2 // first release 0.5-5.7 years before crawl
+	app.ReleaseDate = crawl.AddDate(0, 0, -int(ageYears*365))
+	if maintained {
+		// Updated within the last year, often within 6 months.
+		daysAgo := rng.Range(5, 360)
+		if rng.Bool(0.55) {
+			daysAgo = rng.Range(5, 180)
+		}
+		app.UpdateDate = crawl.AddDate(0, 0, -daysAgo)
+	} else {
+		// Last touched 1.5 to ~5 years ago (never before first release).
+		maxDays := int(ageYears * 365)
+		minDays := 540
+		if minDays > maxDays {
+			minDays = maxDays
+		}
+		app.UpdateDate = crawl.AddDate(0, 0, -rng.Range(minDays, maxDays))
+	}
+	if app.UpdateDate.Before(app.ReleaseDate) {
+		app.UpdateDate = app.ReleaseDate
+	}
+
+	// Version count grows with maintenance.
+	versions := 1 + rng.Poisson(2)
+	if maintained {
+		versions += rng.Poisson(6)
+	}
+	app.VersionCode = int64(100 + versions*10 + rng.Intn(10))
+
+	// Minimum SDK correlates with the update date and with the developer's
+	// market orientation: Chinese-market developers keep Gingerbread-era
+	// minimum API levels for device compatibility long after Google Play
+	// developers have moved on (Section 4.3: 63% of Chinese-store apps
+	// declare minSdk < 9 vs 22% on Google Play).
+	chineseOriented := dev.Strategy != StrategyGlobalOnly
+	var lowAPIProb float64
+	switch {
+	case app.UpdateDate.After(crawl.AddDate(0, -9, 0)):
+		lowAPIProb = 0.05
+	case app.UpdateDate.After(crawl.AddDate(-2, -6, 0)):
+		lowAPIProb = 0.18
+		if chineseOriented {
+			lowAPIProb = 0.55
+		}
+	default:
+		lowAPIProb = 0.32
+		if chineseOriented {
+			lowAPIProb = 0.78
+		}
+	}
+	if rng.Bool(lowAPIProb) {
+		app.MinSDK = []int{7, 7, 8, 8, 8}[rng.Intn(5)]
+	} else if app.UpdateDate.After(crawl.AddDate(0, -9, 0)) {
+		app.MinSDK = []int{14, 15, 16, 19, 21, 23}[rng.Intn(6)]
+	} else {
+		app.MinSDK = []int{9, 9, 10, 14, 15, 16}[rng.Intn(6)]
+	}
+	app.TargetSDK = app.MinSDK + rng.Range(0, 8)
+
+	// Intrinsic rating: popular, maintained apps earn better ratings, and
+	// Google-Play-oriented developers skew higher (over half of Google Play
+	// apps are rated above 4 in the paper).
+	quality := 0.3*dev.Quality + 0.4*rng.Float64()
+	if maintained {
+		quality += 0.2
+	}
+	if app.BaseDownloads > 1_000_000 {
+		quality += 0.15
+	}
+	if dev.Strategy != StrategyChineseOnly {
+		quality += 0.25
+	}
+	app.BaseRating = math.Min(5, 2.3+2.8*quality)
+}
+
+// assignLibraries embeds third-party libraries according to the developer's
+// market orientation (Section 4.4, Table 2, Figure 5).
+func (g *generator) assignLibraries(rng *stats.RNG, app *App) {
+	weights := chineseLibraryWeights
+	meanLibs := 13.0
+	adShare := 0.53
+	if app.Developer.Strategy == StrategyGlobalOnly {
+		weights = globalLibraryWeights
+		meanLibs = 8.0
+		adShare = 0.70
+	}
+	// ~6-15% of apps ship with no third-party code at all.
+	noLibProb := 0.06
+	if app.Developer.Strategy != StrategyGlobalOnly {
+		noLibProb = 0.12
+	}
+	if rng.Bool(noLibProb) {
+		return
+	}
+	prefixes := make([]string, 0, len(weights))
+	w := make([]float64, 0, len(weights))
+	for p, wt := range weights {
+		prefixes = append(prefixes, p)
+		w = append(w, wt)
+	}
+	sort.Strings(prefixes)
+	// Re-align weights with the sorted prefix order for determinism.
+	for i, p := range prefixes {
+		w[i] = weights[p]
+	}
+	count := 1 + rng.Poisson(meanLibs-1)
+	if count > len(prefixes) {
+		count = len(prefixes)
+	}
+	chosen := map[string]bool{}
+	for len(chosen) < count {
+		chosen[prefixes[rng.PickWeighted(w)]] = true
+	}
+	for _, p := range prefixes {
+		if chosen[p] {
+			app.Libraries = append(app.Libraries, p)
+		}
+	}
+	// Advertising libraries: ensure presence matches the target share. The
+	// pools deliberately exclude SDKs that double as grayware families
+	// (airpush, youmi, domob, ...): those only enter the corpus through
+	// malware injection, so the AV ground truth stays aligned with the
+	// intent of the developer.
+	if rng.Bool(adShare) {
+		adPool := []string{"com.google.ads", "com.umeng", "com.qq.e",
+			"com.kyview", "com.mopub", "com.inmobi", "com.startapp"}
+		if app.Developer.Strategy == StrategyGlobalOnly {
+			adPool = []string{"com.google.ads", "com.google.ads", "com.google.ads", "com.mopub",
+				"com.inmobi", "com.startapp"}
+		}
+		ad := adPool[rng.Intn(len(adPool))]
+		if !contains(app.Libraries, ad) {
+			app.Libraries = append(app.Libraries, ad)
+		}
+	} else {
+		// Strip ad libraries picked by the general draw so the app really
+		// has none.
+		app.Libraries = removeAdLibraries(app.Libraries)
+	}
+	app.AdLibraries = adLibrariesOf(app.Libraries)
+	sort.Strings(app.Libraries)
+}
+
+// adPrefixes is the subset of library prefixes that are advertising SDKs,
+// mirrored from the libdetect catalog.
+var adPrefixes = map[string]bool{
+	"com.google.ads": true, "com.mopub": true, "com.inmobi": true, "com.startapp": true,
+	"com.airpush": true, "com.revmob": true, "com.leadbolt": true, "com.qq.e": true,
+	"net.youmi": true, "cn.domob": true, "com.adwo": true, "com.kyview": true,
+	"com.kuguo.sdk": true, "com.dowgin": true, "com.waps": true, "com.bytedance": true,
+}
+
+func adLibrariesOf(libs []string) []string {
+	var out []string
+	for _, l := range libs {
+		if adPrefixes[l] {
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func removeAdLibraries(libs []string) []string {
+	var out []string
+	for _, l := range libs {
+		if !adPrefixes[l] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func contains(list []string, v string) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// newCategorySampler builds the Figure 1 category sampler.
+func newCategorySampler() *categorySampler {
+	cats := appmeta.Categories()
+	labels := make([]string, len(cats))
+	weights := make([]float64, len(cats))
+	for i, c := range cats {
+		labels[i] = string(c)
+		weights[i] = categoryDistribution[c]
+		if weights[i] == 0 {
+			weights[i] = 0.5
+		}
+	}
+	sampler, err := stats.NewCategorical(labels, weights)
+	if err != nil {
+		panic(err)
+	}
+	return &categorySampler{sampler: sampler}
+}
+
+type categorySampler struct{ sampler *stats.Categorical }
+
+func (s *categorySampler) sample(rng *stats.RNG) appmeta.Category {
+	return appmeta.Category(s.sampler.Sample(rng))
+}
+
+// familySampler builds a malware-family sampler from a weight table.
+func familySampler(weights map[string]float64) *stats.Categorical {
+	names := make([]string, 0, len(weights))
+	for n := range weights {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w := make([]float64, len(names))
+	for i, n := range names {
+		w[i] = weights[n]
+	}
+	s, err := stats.NewCategorical(names, w)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// injectMalware marks a fraction of the base apps as carrying a payload.
+func (g *generator) injectMalware(eco *Ecosystem) {
+	rng := g.rng.Derive(3)
+	gpFamilies := familySampler(gpFamilyWeights)
+	cnFamilies := familySampler(cnFamilyWeights)
+	for _, app := range eco.Apps {
+		if !rng.Bool(g.cfg.MalwareRate) {
+			continue
+		}
+		app.Kind = KindMalware
+		if app.Developer.Strategy == StrategyGlobalOnly {
+			app.MalwareFamily = gpFamilies.Sample(rng)
+		} else {
+			app.MalwareFamily = cnFamilies.Sample(rng)
+		}
+		if _, ok := avscan.FamilyByName(app.MalwareFamily); !ok {
+			panic("synth: family sampler produced unknown family " + app.MalwareFamily)
+		}
+	}
+}
+
+// injectFakes creates fake imitations of popular apps.
+func (g *generator) injectFakes(eco *Ecosystem) {
+	rng := g.rng.Derive(4)
+	var popular []*App
+	for _, a := range eco.Apps {
+		if a.BaseDownloads >= 1_000_000 && a.Kind == KindBenign {
+			popular = append(popular, a)
+		}
+	}
+	var fakes []*App
+	for _, target := range popular {
+		n := rng.Poisson(g.cfg.FakeRate)
+		for i := 0; i < n; i++ {
+			dev := g.newShadyDeveloper(eco, rng)
+			fake := &App{
+				Package:       g.uniquePackage(rng, dev.Company),
+				Name:          target.Name, // identical display name
+				Developer:     dev,
+				Category:      target.Category,
+				Kind:          KindFake,
+				OriginalOf:    target.Package,
+				BaseDownloads: int64(rng.Range(1, 900)),
+				MinSDK:        target.MinSDK,
+				TargetSDK:     target.TargetSDK,
+				VersionCode:   100 + int64(rng.Intn(30)),
+				ReleaseDate:   g.cfg.CrawlDate.AddDate(0, -rng.Range(2, 20), 0),
+				BaseRating:    0,
+				Listings:      map[string]*Listing{},
+			}
+			fake.UpdateDate = fake.ReleaseDate
+			g.assignLibraries(rng, fake)
+			g.assignPermissions(rng, fake)
+			// Many fakes double as malware carriers.
+			if rng.Bool(0.5) {
+				fake.MalwareFamily = familySampler(cnFamilyWeights).Sample(rng)
+			}
+			fakes = append(fakes, fake)
+		}
+	}
+	eco.Apps = append(eco.Apps, fakes...)
+}
+
+// injectClones creates repackaged copies (signature-based and code-based) of
+// popular apps.
+func (g *generator) injectClones(eco *Ecosystem) {
+	rng := g.rng.Derive(5)
+	var popular []*App
+	for _, a := range eco.Apps {
+		if a.BaseDownloads >= 200_000 && a.Kind == KindBenign {
+			popular = append(popular, a)
+		}
+	}
+	var clones []*App
+	for _, orig := range popular {
+		n := rng.Poisson(g.cfg.CloneRate)
+		for i := 0; i < n; i++ {
+			dev := g.newShadyDeveloper(eco, rng)
+			clone := &App{
+				Developer:       dev,
+				Name:            orig.Name,
+				Category:        orig.Category,
+				OriginalOf:      orig.Package,
+				BaseDownloads:   int64(rng.Range(10, 20_000)),
+				MinSDK:          orig.MinSDK,
+				TargetSDK:       orig.TargetSDK,
+				VersionCode:     orig.VersionCode,
+				ReleaseDate:     orig.ReleaseDate.AddDate(0, rng.Range(1, 10), 0),
+				BaseRating:      0,
+				Libraries:       append([]string(nil), orig.Libraries...),
+				AdLibraries:     append([]string(nil), orig.AdLibraries...),
+				Permissions:     append([]string(nil), orig.Permissions...),
+				UsedPermissions: append([]string(nil), orig.UsedPermissions...),
+				Listings:        map[string]*Listing{},
+			}
+			clone.UpdateDate = clone.ReleaseDate
+			if rng.Bool(0.35) {
+				// Signature-based clone: keeps the package name, signed by a
+				// different key.
+				clone.Kind = KindSignatureClone
+				clone.Package = orig.Package
+			} else {
+				// Code-based clone: renamed package, near-identical code.
+				clone.Kind = KindCodeClone
+				clone.Package = g.uniquePackage(rng, dev.Company)
+				clone.Name = orig.Name + " " + []string{"Free", "HD", "Pro", "Lite", "2017"}[rng.Intn(5)]
+			}
+			// Clones frequently carry additional payloads, but most are
+			// plain repackaging for ad revenue: the paper finds only 38.3%
+			// of malware is repackaged and vice versa.
+			if rng.Bool(0.3) {
+				clone.MalwareFamily = familySampler(cnFamilyWeights).Sample(rng)
+			}
+			clones = append(clones, clone)
+		}
+	}
+	eco.Apps = append(eco.Apps, clones...)
+}
+
+// newShadyDeveloper creates a throwaway developer identity used by fake/clone
+// publishers, biased toward Chinese-only distribution.
+func (g *generator) newShadyDeveloper(eco *Ecosystem, rng *stats.RNG) *Developer {
+	company := companyName(rng)
+	dev := &Developer{
+		Key:         g.newDeveloperIdentity(company + "-x"),
+		DisplayName: developerDisplayName(company, 9000+len(eco.Developers)),
+		Company:     company,
+		Strategy:    StrategyChineseOnly,
+		Quality:     rng.Float64() * 0.3,
+	}
+	if len(g.chineseMarkets) == 0 {
+		dev.Strategy = StrategyGlobalOnly
+	}
+	dev.TargetMarkets = g.pickTargetMarkets(rng, dev)
+	eco.Developers = append(eco.Developers, dev)
+	return dev
+}

@@ -1,0 +1,206 @@
+package synth
+
+import (
+	"math"
+	"time"
+
+	"marketscope/internal/appmeta"
+	"marketscope/internal/market"
+	"marketscope/internal/stats"
+)
+
+// placeListings decides which markets host which apps and generates the
+// per-listing metadata (version skew, downloads, ratings, dates, second-crawl
+// removals).
+func (g *generator) placeListings(eco *Ecosystem) {
+	rng := g.rng.Derive(6)
+	// occupied tracks (market, package) pairs so a signature clone is never
+	// listed in a market that already lists the original package.
+	occupied := map[string]map[string]bool{}
+	for _, m := range eco.Markets {
+		occupied[m.Name] = map[string]bool{}
+	}
+
+	for _, app := range eco.Apps {
+		popularity := popularityFactor(app.BaseDownloads)
+		for _, marketName := range app.Developer.TargetMarkets {
+			profile, inStudy := g.profiles[marketName]
+			if !inStudy {
+				continue
+			}
+			if occupied[marketName][app.Package] {
+				continue
+			}
+			accept := 0.62 + 0.33*popularity
+			// Curated stores drop unpopular apps more aggressively.
+			accept *= 1 - profile.PopularityBias*(1-popularity)*0.8
+			// Vetting: misbehaving submissions survive only on lax markets.
+			switch {
+			case app.Kind == KindFake || app.Kind == KindSignatureClone || app.Kind == KindCodeClone:
+				accept *= profile.FakeLaxness
+				if app.IsMalicious() {
+					accept *= profile.MalwareLaxness / math.Max(profile.FakeLaxness, 0.01)
+				}
+			case app.IsMalicious():
+				accept *= profile.MalwareLaxness
+			}
+			if !rng.Bool(accept) {
+				continue
+			}
+			app.Listings[marketName] = g.makeListing(rng, app, profile)
+			occupied[marketName][app.Package] = true
+		}
+		// Guarantee legitimate apps at least one listing so the corpus does
+		// not silently shrink; rejected-everywhere misbehaving apps simply
+		// never surface, as in reality.
+		if len(app.Listings) == 0 && app.Kind == KindBenign && len(app.Developer.TargetMarkets) > 0 {
+			name := app.Developer.TargetMarkets[rng.Intn(len(app.Developer.TargetMarkets))]
+			if profile, ok := g.profiles[name]; ok && !occupied[name][app.Package] {
+				app.Listings[name] = g.makeListing(rng, app, profile)
+				occupied[name][app.Package] = true
+			}
+		}
+	}
+}
+
+// popularityFactor maps installs to [0, 1] on a log scale (1 ≈ 100 M+).
+func popularityFactor(downloads int64) float64 {
+	if downloads < 1 {
+		return 0
+	}
+	f := math.Log10(float64(downloads)) / 8.0
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// makeListing generates the per-market metadata for one app.
+func (g *generator) makeListing(rng *stats.RNG, app *App, profile market.Profile) *Listing {
+	l := &Listing{
+		Market:      profile.Name,
+		VersionCode: app.VersionCode,
+		ReleaseDate: app.ReleaseDate,
+		UpdateDate:  app.UpdateDate,
+	}
+
+	// Outdated roll-outs: Google Play almost always carries the latest
+	// version; several Chinese stores lag behind (Figure 9).
+	if rng.Bool(profile.StaleShare) && app.VersionCode > 110 {
+		lag := int64(rng.Range(1, 3)) * 10
+		if app.VersionCode-lag < 100 {
+			lag = app.VersionCode - 100
+		}
+		l.VersionCode = app.VersionCode - lag
+		// The listed build is older, so its update date is too.
+		daysEarlier := rng.Range(60, 480)
+		l.UpdateDate = app.UpdateDate.AddDate(0, 0, -daysEarlier)
+		if l.UpdateDate.Before(app.ReleaseDate) {
+			l.UpdateDate = app.ReleaseDate
+		}
+	}
+
+	// Install counts: each market sees a share of the app's total installs.
+	if profile.ReportsDownloads {
+		share := 0.15 + 0.45*rng.Float64()
+		if profile.Name == market.GooglePlay {
+			share = 0.35 + 0.45*rng.Float64()
+		}
+		downloads := float64(app.BaseDownloads) * share * rng.LogNormal(0, 0.3)
+		l.Downloads = int64(downloads)
+		if l.Downloads < 0 {
+			l.Downloads = 0
+		}
+	} else {
+		l.Downloads = -1
+	}
+
+	// Ratings: a large share of Chinese-market listings are never rated.
+	if rng.Bool(profile.UnratedShare) || app.BaseRating == 0 {
+		l.Rating = profile.DefaultRating
+	} else {
+		r := app.BaseRating + rng.Normal(0, 0.35)
+		if r < 0.5 {
+			r = 0.5
+		}
+		if r > 5 {
+			r = 5
+		}
+		l.Rating = math.Round(r*10) / 10
+	}
+
+	// Second-crawl moderation: markets remove flagged malware at very
+	// different rates (Table 6).
+	if app.IsMalicious() && rng.Bool(profile.MalwareRemovalRate) {
+		l.RemovedInSecondCrawl = true
+	}
+	// Google Play also removes most surviving fakes and clones.
+	if profile.Name == market.GooglePlay && app.Kind != KindBenign && rng.Bool(0.7) {
+		l.RemovedInSecondCrawl = true
+	}
+	return l
+}
+
+// marketCategoryName renders the category string the market's metadata page
+// reports. Several large Chinese stores return placeholder categories for a
+// large share of listings, which is why the paper maps ~40% of their apps to
+// "Null/Other".
+func (g *generator) marketCategoryName(rng *stats.RNG, profile market.Profile, category appmeta.Category) string {
+	sloppy := map[string]float64{
+		"Tencent Myapp": 0.40, "360 Market": 0.40, "OPPO Market": 0.42, "25PP": 0.38,
+	}
+	if p, ok := sloppy[profile.Name]; ok && rng.Bool(p) {
+		if rng.Bool(0.5) {
+			return "102229"
+		}
+		return "Unclassified"
+	}
+	// Vendor stores use their own category wording for some entries.
+	if profile.Type == market.TypeVendor && rng.Bool(0.3) {
+		switch category {
+		case appmeta.CategoryGame:
+			return "Online Game"
+		case appmeta.CategoryTools:
+			return "System Tools"
+		case appmeta.CategoryVideo:
+			return "Video & Audio"
+		}
+	}
+	return string(category)
+}
+
+// recordFor renders the appmeta.Record served by the market front-end.
+func (g *generator) recordFor(rng *stats.RNG, app *App, l *Listing, profile market.Profile, apkSize int) appmeta.Record {
+	devName := app.Developer.DisplayName
+	// The same key sometimes appears under a localized name variant on
+	// Chinese stores.
+	if profile.IsChinese() && rng.Bool(0.15) {
+		devName = devName + " (CN)"
+	}
+	// Baidu explicitly labels ~30k listings as crawled from Google Play.
+	if profile.Name == "Baidu Market" && app.Developer.Strategy == StrategyGlobalOnly && rng.Bool(0.5) {
+		devName = "Crawled from Google Play"
+	}
+	return appmeta.Record{
+		Market:        profile.Name,
+		Package:       app.Package,
+		AppName:       app.Name,
+		Category:      g.marketCategoryName(rng, profile, app.Category),
+		DeveloperName: devName,
+		VersionCode:   l.VersionCode,
+		VersionName:   versionName(l.VersionCode),
+		Description:   app.Description,
+		Downloads:     l.Downloads,
+		Rating:        l.Rating,
+		ReleaseDate:   l.ReleaseDate.UTC(),
+		UpdateDate:    l.UpdateDate.UTC(),
+		APKSize:       int64(apkSize),
+		HasAds:        profile.ReportsAds && len(app.AdLibraries) > 0,
+		HasIAP:        profile.ReportsIAP && rng.Bool(0.25),
+	}
+}
+
+// crawlWindow returns the nominal metadata timestamps for the two crawls.
+func (c Config) crawlWindow() (first, second time.Time) {
+	return c.CrawlDate, c.CrawlDate.AddDate(0, 8, 15)
+}

@@ -1,0 +1,114 @@
+// Package synth generates the synthetic app ecosystem the simulated markets
+// serve: developers, apps, per-market listings, embedded libraries, and the
+// misbehaviour ground truth (fake apps, clones, malware) whose prevalence the
+// study measures.
+//
+// The original paper works from 6.2 M metadata records and 4.5 M APKs crawled
+// from commercial app stores. Those inputs are unavailable offline, so this
+// package produces a corpus whose *marginal distributions* follow the paper's
+// reported measurements (category mix, download power law, API-level and
+// release-date distributions, library usage, developer market coverage,
+// misbehaviour rates per market). All generation is seeded and deterministic.
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"marketscope/internal/appmeta"
+	"marketscope/internal/stats"
+)
+
+// Word pools for synthetic names. Package names are "com.<company>.<product>"
+// style; app names are "<Adjective> <Noun>" style with category-flavoured
+// nouns so name collisions (the raw material of fake-app detection) occur at
+// realistic rates.
+var (
+	companyWords = []string{
+		"zhangyue", "kuaikan", "meitu", "xunlei", "netdragon", "perfect", "cheetah",
+		"sunny", "bluewave", "dragonsoft", "redstone", "silverapp", "golden", "moonlab",
+		"starfish", "quickfox", "deepsea", "brightsky", "greenleaf", "firepeak",
+		"softwind", "cloudnine", "pixelworks", "smartway", "easylife", "dailytech",
+		"wisdom", "fortune", "lightning", "rainbow", "harmony", "phoenix", "tigerapp",
+		"pandasoft", "lotus", "bamboo", "crane", "orchid", "jade", "pearl",
+	}
+	productWords = []string{
+		"reader", "player", "browser", "launcher", "keyboard", "weather", "news",
+		"music", "video", "photo", "camera", "wallet", "shop", "chat", "social",
+		"game", "puzzle", "runner", "racing", "clean", "security", "battery",
+		"manager", "notes", "calendar", "fitness", "doctor", "travel", "map",
+		"translate", "dictionary", "radio", "comic", "novel", "live", "market",
+		"assistant", "helper", "master", "box",
+	}
+	adjectiveWords = []string{
+		"Super", "Happy", "Magic", "Smart", "Fast", "Easy", "Golden", "Lucky",
+		"Mini", "Pro", "Ultra", "Daily", "Pocket", "Cloud", "Star", "Dream",
+		"Sunny", "Royal", "Crystal", "Secret", "Wonder", "Power", "Mega", "Tiny",
+	}
+	categoryNouns = map[appmeta.Category][]string{
+		appmeta.CategoryGame:            {"Saga", "Quest", "Legend", "Heroes", "Battle", "Puzzle", "Runner", "Racing", "Farm", "Castle", "Dragon", "Ninja"},
+		appmeta.CategoryTools:           {"Cleaner", "Booster", "Manager", "Toolbox", "Scanner", "Backup"},
+		appmeta.CategoryMusic:           {"Music", "Radio", "Ringtone", "Karaoke", "Player"},
+		appmeta.CategoryVideo:           {"Video", "Theater", "Shows", "Clips", "Player"},
+		appmeta.CategoryNews:            {"News", "Headlines", "Daily", "Times"},
+		appmeta.CategorySocial:          {"Chat", "Friends", "Moments", "Circle"},
+		appmeta.CategoryShopping:        {"Mall", "Deals", "Coupons", "Shop"},
+		appmeta.CategoryFinance:         {"Wallet", "Bank", "Invest", "Ledger"},
+		appmeta.CategoryLifestyle:       {"Life", "Home", "Recipes", "Style"},
+		appmeta.CategoryPersonalization: {"Themes", "Wallpapers", "Icons", "Fonts"},
+		appmeta.CategoryEducation:       {"Classroom", "Words", "Exam", "Study"},
+		appmeta.CategoryPhotography:     {"Camera", "Editor", "Collage", "Filters"},
+		appmeta.CategoryHealth:          {"Fitness", "Steps", "Doctor", "Sleep"},
+		appmeta.CategoryBooks:           {"Reader", "Novels", "Comics", "Library"},
+		appmeta.CategoryCommunication:   {"Messenger", "Mail", "Dialer", "Contacts"},
+		appmeta.CategoryLocation:        {"Maps", "Navigator", "Metro", "Travel"},
+	}
+	genericNouns = []string{"App", "Helper", "Assistant", "Center", "Hub", "Studio", "Plus", "Express"}
+)
+
+// packageName builds a deterministic, valid package name from indices.
+func packageName(g *stats.RNG, company string, serial int) string {
+	product := productWords[g.Intn(len(productWords))]
+	suffix := ""
+	if serial > 0 {
+		suffix = fmt.Sprintf("%d", serial)
+	}
+	return fmt.Sprintf("com.%s.%s%s", company, product, suffix)
+}
+
+// companyName picks a company word for a developer.
+func companyName(g *stats.RNG) string {
+	return companyWords[g.Intn(len(companyWords))]
+}
+
+// developerDisplayName renders the public developer name shown in market
+// metadata.
+func developerDisplayName(company string, serial int) string {
+	base := strings.ToUpper(company[:1]) + company[1:]
+	if serial == 0 {
+		return base + " Studio"
+	}
+	return fmt.Sprintf("%s Studio %d", base, serial)
+}
+
+// appDisplayName builds an app name flavoured by its category.
+func appDisplayName(g *stats.RNG, category appmeta.Category) string {
+	adj := adjectiveWords[g.Intn(len(adjectiveWords))]
+	nouns := categoryNouns[category]
+	if len(nouns) == 0 {
+		nouns = genericNouns
+	}
+	noun := nouns[g.Intn(len(nouns))]
+	if g.Bool(0.25) {
+		return fmt.Sprintf("%s %s %s", adj, noun, genericNouns[g.Intn(len(genericNouns))])
+	}
+	return fmt.Sprintf("%s %s", adj, noun)
+}
+
+// versionName renders a human-readable version string for a version code.
+func versionName(code int64) string {
+	major := code / 100
+	minor := (code / 10) % 10
+	patch := code % 10
+	return fmt.Sprintf("%d.%d.%d", major, minor, patch)
+}

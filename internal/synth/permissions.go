@@ -1,0 +1,69 @@
+package synth
+
+import (
+	"sort"
+
+	"marketscope/internal/permissions"
+	"marketscope/internal/stats"
+)
+
+// assignPermissions chooses the permissions an app requests and the subset it
+// actually uses. The gap between the two is the over-privilege ground truth
+// of Figure 11: roughly 65% of Google Play apps and 82% of Chinese-market
+// apps request at least one permission their code never exercises, with the
+// excess concentrated on READ_PHONE_STATE, location and CAMERA.
+func (g *generator) assignPermissions(rng *stats.RNG, app *App) {
+	// Almost every app uses the network.
+	used := []string{permissions.Internet, permissions.AccessNetworkState}
+
+	// A few genuinely used sensitive permissions. READ_PHONE_STATE, CAMERA
+	// and the location permissions are deliberately rare here and common in
+	// the over-request pool below, which is what makes them the most
+	// frequently *unused* dangerous permissions, as the paper reports.
+	pool := []string{
+		permissions.AccessCoarseLocation, permissions.ReadContacts,
+		permissions.RecordAudio, permissions.WriteExternalStorage,
+		permissions.ReadExternalStorage, permissions.GetAccounts,
+		permissions.AccessWifiState, permissions.Vibrate, permissions.WakeLock,
+	}
+	usedCount := rng.Range(1, 4)
+	for _, idx := range rng.SampleWithoutReplacement(len(pool), usedCount) {
+		if !contains(used, pool[idx]) {
+			used = append(used, pool[idx])
+		}
+	}
+
+	// Over-privilege injection.
+	overProb, extraMean := 0.65, 1.8
+	if app.Developer.Strategy != StrategyGlobalOnly {
+		overProb, extraMean = 0.82, 2.6
+	}
+	requested := append([]string(nil), used...)
+	if rng.Bool(overProb) {
+		extras := []string{
+			permissions.ReadPhoneState, permissions.ReadPhoneState, permissions.ReadPhoneState,
+			permissions.AccessCoarseLocation, permissions.AccessCoarseLocation,
+			permissions.AccessFineLocation, permissions.AccessFineLocation,
+			permissions.Camera, permissions.Camera, permissions.ReadSMS, permissions.SendSMS,
+			permissions.ReadCallLog, permissions.GetTasks, permissions.SystemAlertWindow,
+			permissions.ReadCalendar, permissions.ReceiveBootCompleted, permissions.Bluetooth,
+		}
+		extraCount := 1 + rng.Poisson(extraMean)
+		for i := 0; i < extraCount; i++ {
+			p := extras[rng.Intn(len(extras))]
+			if !contains(requested, p) {
+				requested = append(requested, p)
+			}
+		}
+	}
+
+	// Occasionally request a custom (unmapped) permission, which the
+	// over-privilege analysis must ignore rather than count.
+	if rng.Bool(0.15) {
+		requested = append(requested, "com."+app.Developer.Company+".permission.SDK")
+	}
+	sort.Strings(requested)
+	sort.Strings(used)
+	app.Permissions = requested
+	app.UsedPermissions = used
+}

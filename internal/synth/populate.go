@@ -1,0 +1,70 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"marketscope/internal/market"
+)
+
+// Populate builds one market.Store per market and publishes every listing in
+// the ecosystem to it, in a deterministic order. The returned map is keyed by
+// market name and reflects the catalogs as of the first crawl.
+func (e *Ecosystem) Populate() (map[string]*market.Store, error) {
+	stores := make(map[string]*market.Store, len(e.Markets))
+	for _, profile := range e.Markets {
+		stores[profile.Name] = market.NewStore(profile)
+	}
+	// Publish apps ordered by descending downloads within each market so
+	// the stores' insertion order resembles a popularity-sorted index.
+	type pub struct {
+		app     *App
+		listing *Listing
+	}
+	byMarket := map[string][]pub{}
+	for _, app := range e.Apps {
+		for name, listing := range app.Listings {
+			byMarket[name] = append(byMarket[name], pub{app: app, listing: listing})
+		}
+	}
+	for name, pubs := range byMarket {
+		store, ok := stores[name]
+		if !ok {
+			return nil, fmt.Errorf("synth: listing references unknown market %q", name)
+		}
+		sort.Slice(pubs, func(i, j int) bool {
+			if pubs[i].listing.Downloads != pubs[j].listing.Downloads {
+				return pubs[i].listing.Downloads > pubs[j].listing.Downloads
+			}
+			return pubs[i].app.Package < pubs[j].app.Package
+		})
+		for _, p := range pubs {
+			if err := store.Add(p.listing.Meta, p.listing.APK); err != nil {
+				return nil, fmt.Errorf("synth: publish %s to %s: %w", p.app.Package, name, err)
+			}
+		}
+	}
+	return stores, nil
+}
+
+// ApplyModeration advances the stores to the second-crawl state by removing
+// every listing the market delisted between the two crawls. It returns the
+// number of removals applied.
+func (e *Ecosystem) ApplyModeration(stores map[string]*market.Store) int {
+	removed := 0
+	for _, app := range e.Apps {
+		for name, listing := range app.Listings {
+			if !listing.RemovedInSecondCrawl {
+				continue
+			}
+			store, ok := stores[name]
+			if !ok {
+				continue
+			}
+			if store.Remove(app.Package) {
+				removed++
+			}
+		}
+	}
+	return removed
+}

@@ -1,0 +1,324 @@
+package synth
+
+import (
+	"testing"
+
+	"marketscope/internal/apk"
+	"marketscope/internal/market"
+)
+
+// smallEcosystem is shared across tests in this package; generation is
+// deterministic so sharing is safe.
+var smallEcosystem *Ecosystem
+
+func ecosystem(t *testing.T) *Ecosystem {
+	t.Helper()
+	if smallEcosystem != nil {
+		return smallEcosystem
+	}
+	eco, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	smallEcosystem = eco
+	return eco
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := SmallConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := SmallConfig()
+	bad.NumApps = 3
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny NumApps accepted")
+	}
+	bad = SmallConfig()
+	bad.NumDevelopers = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny NumDevelopers accepted")
+	}
+	bad = SmallConfig()
+	bad.MalwareRate = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("bad malware rate accepted")
+	}
+	bad = SmallConfig()
+	bad.Markets = []string{"Not A Market"}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown market accepted")
+	}
+	bad = SmallConfig()
+	bad.CrawlDate = SmallConfig().CrawlDate.AddDate(-100, 0, 0)
+	if err := bad.Validate(); err != nil {
+		t.Errorf("old crawl date rejected: %v", err)
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	eco := ecosystem(t)
+	cfg := SmallConfig()
+	if len(eco.Markets) != market.NumMarkets() {
+		t.Errorf("markets = %d, want %d", len(eco.Markets), market.NumMarkets())
+	}
+	if len(eco.Apps) < cfg.NumApps {
+		t.Errorf("apps = %d, want >= %d (misbehaviour should only add)", len(eco.Apps), cfg.NumApps)
+	}
+	if len(eco.Developers) < cfg.NumDevelopers {
+		t.Errorf("developers = %d, want >= %d", len(eco.Developers), cfg.NumDevelopers)
+	}
+	if eco.NumListings() <= len(eco.Apps)/2 {
+		t.Errorf("listings = %d, implausibly few for %d apps", eco.NumListings(), len(eco.Apps))
+	}
+	gt := eco.GroundTruth()
+	if gt.Malware == 0 || gt.Fakes == 0 || gt.CodeClones == 0 || gt.SignatureClones == 0 {
+		t.Errorf("missing misbehaviour classes: %+v", gt)
+	}
+	if gt.Benign < gt.Malware {
+		t.Errorf("benign apps should dominate: %+v", gt)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.NumApps = 40
+	cfg.NumDevelopers = 15
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Apps) != len(b.Apps) || a.NumListings() != b.NumListings() {
+		t.Fatalf("same seed produced different corpora: %d/%d apps, %d/%d listings",
+			len(a.Apps), len(b.Apps), a.NumListings(), b.NumListings())
+	}
+	for i := range a.Apps {
+		if a.Apps[i].Package != b.Apps[i].Package || a.Apps[i].Kind != b.Apps[i].Kind {
+			t.Fatalf("app %d differs: %s/%s vs %s/%s", i,
+				a.Apps[i].Package, a.Apps[i].Kind, b.Apps[i].Package, b.Apps[i].Kind)
+		}
+	}
+	// A different seed must produce a different corpus.
+	cfg.Seed++
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Apps {
+		if i < len(c.Apps) && a.Apps[i].Package == c.Apps[i].Package {
+			same++
+		}
+	}
+	if same == len(a.Apps) {
+		t.Error("different seeds produced identical package sequences")
+	}
+}
+
+func TestGeneratedAPKsParse(t *testing.T) {
+	eco := ecosystem(t)
+	parsed := 0
+	for _, app := range eco.Apps {
+		for marketName, listing := range app.Listings {
+			if parsed >= 50 {
+				return
+			}
+			p, err := apk.Parse(listing.APK)
+			if err != nil {
+				t.Fatalf("APK for %s in %s does not parse: %v", app.Package, marketName, err)
+			}
+			if p.Manifest.Package != app.Package {
+				t.Errorf("parsed package %q, want %q", p.Manifest.Package, app.Package)
+			}
+			if p.Manifest.VersionCode != listing.VersionCode {
+				t.Errorf("parsed version %d, want %d", p.Manifest.VersionCode, listing.VersionCode)
+			}
+			if p.Developer() != app.Developer.Key.Fingerprint() {
+				t.Errorf("parsed developer mismatch for %s", app.Package)
+			}
+			if len(p.Channel) == 0 {
+				t.Errorf("listing %s/%s has no channel file", marketName, app.Package)
+			}
+			parsed++
+		}
+	}
+	if parsed == 0 {
+		t.Fatal("no listings to parse")
+	}
+}
+
+func TestChannelFilesDifferAcrossMarkets(t *testing.T) {
+	eco := ecosystem(t)
+	for _, app := range eco.Apps {
+		if len(app.Listings) < 2 {
+			continue
+		}
+		hashes := map[string]bool{}
+		versions := map[int64]bool{}
+		for _, listing := range app.Listings {
+			p, err := apk.Parse(listing.APK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hashes[p.MD5] = true
+			versions[listing.VersionCode] = true
+		}
+		// Same app listed in multiple markets: archives differ (channel
+		// files) even when the version is the same.
+		if len(versions) == 1 && len(hashes) < 2 {
+			t.Errorf("%s: multi-market listings share identical archives", app.Package)
+		}
+		return // one multi-market app is enough
+	}
+}
+
+func TestMalwarePlacementRespectsVetting(t *testing.T) {
+	eco := ecosystem(t)
+	listed := map[string]int{}  // market -> total listings
+	malware := map[string]int{} // market -> malicious listings
+	for _, app := range eco.Apps {
+		for name := range app.Listings {
+			listed[name]++
+			if app.IsMalicious() {
+				malware[name]++
+			}
+		}
+	}
+	gpRate := rate(malware[market.GooglePlay], listed[market.GooglePlay])
+	cnMal, cnAll := 0, 0
+	for name, n := range listed {
+		if name == market.GooglePlay {
+			continue
+		}
+		cnAll += n
+		cnMal += malware[name]
+	}
+	cnRate := rate(cnMal, cnAll)
+	if gpRate >= cnRate {
+		t.Errorf("Google Play malware rate (%.3f) should be below Chinese markets (%.3f)", gpRate, cnRate)
+	}
+}
+
+func rate(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total)
+}
+
+func TestDeveloperStrategies(t *testing.T) {
+	eco := ecosystem(t)
+	counts := map[PublishStrategy]int{}
+	for _, d := range eco.Developers {
+		counts[d.Strategy]++
+		switch d.Strategy {
+		case StrategyGlobalOnly:
+			if len(d.TargetMarkets) != 1 || d.TargetMarkets[0] != market.GooglePlay {
+				t.Errorf("global-only developer targets %v", d.TargetMarkets)
+			}
+		case StrategyChineseOnly:
+			for _, m := range d.TargetMarkets {
+				if m == market.GooglePlay {
+					t.Errorf("chinese-only developer targets Google Play")
+				}
+			}
+		}
+	}
+	if counts[StrategyChineseOnly] == 0 || counts[StrategyGlobalOnly] == 0 || counts[StrategyBoth] == 0 {
+		t.Errorf("strategy mix missing a class: %v", counts)
+	}
+}
+
+func TestPopulateAndModeration(t *testing.T) {
+	eco := ecosystem(t)
+	stores, err := eco.Populate()
+	if err != nil {
+		t.Fatalf("Populate: %v", err)
+	}
+	if len(stores) != len(eco.Markets) {
+		t.Fatalf("stores = %d, want %d", len(stores), len(eco.Markets))
+	}
+	total := 0
+	for _, s := range stores {
+		total += s.Len()
+	}
+	if total != eco.NumListings() {
+		t.Errorf("store listings = %d, ecosystem listings = %d", total, eco.NumListings())
+	}
+	removed := eco.ApplyModeration(stores)
+	if removed == 0 {
+		t.Error("moderation removed nothing; Table 6 would be empty")
+	}
+	afterTotal := 0
+	for _, s := range stores {
+		afterTotal += s.Len()
+	}
+	if afterTotal != total-removed {
+		t.Errorf("after moderation %d listings, want %d", afterTotal, total-removed)
+	}
+}
+
+func TestListingMetadataConsistency(t *testing.T) {
+	eco := ecosystem(t)
+	xiaomiSeen := false
+	for _, app := range eco.Apps {
+		for name, l := range app.Listings {
+			if err := l.Meta.Validate(); err != nil {
+				t.Fatalf("invalid record for %s in %s: %v", app.Package, name, err)
+			}
+			if l.Meta.Market != name || l.Meta.Package != app.Package {
+				t.Fatalf("metadata identity mismatch for %s in %s", app.Package, name)
+			}
+			profile, _ := market.ProfileByName(name)
+			if !profile.ReportsDownloads {
+				xiaomiSeen = true
+				if l.Meta.Downloads != -1 {
+					t.Errorf("%s should not report downloads, got %d", name, l.Meta.Downloads)
+				}
+			}
+			if l.Meta.Rating < 0 || l.Meta.Rating > 5 {
+				t.Errorf("rating out of range: %g", l.Meta.Rating)
+			}
+		}
+	}
+	if !xiaomiSeen {
+		t.Log("no listings on non-reporting markets in this corpus (acceptable for small configs)")
+	}
+}
+
+func TestOutdatedListingsExist(t *testing.T) {
+	eco := ecosystem(t)
+	stale := 0
+	multi := 0
+	for _, app := range eco.Apps {
+		if len(app.Listings) < 2 {
+			continue
+		}
+		multi++
+		for _, l := range app.Listings {
+			if l.VersionCode < app.VersionCode {
+				stale++
+				break
+			}
+		}
+	}
+	if multi > 20 && stale == 0 {
+		t.Error("no outdated listings generated; Figure 9 would be degenerate")
+	}
+}
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	cfg := SmallConfig()
+	cfg.NumApps = 60
+	cfg.NumDevelopers = 25
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
