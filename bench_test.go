@@ -22,6 +22,7 @@ import (
 	"marketscope/internal/core"
 	"marketscope/internal/crawler"
 	"marketscope/internal/market"
+	"marketscope/internal/query"
 	"marketscope/internal/report"
 	"marketscope/internal/synth"
 )
@@ -293,6 +294,55 @@ func BenchmarkFigure13_Radar(b *testing.B) {
 	}
 	b.StopTimer()
 	printOnce("F13", report.Figure13(rows))
+}
+
+// BenchmarkScanQuery measures one full query-engine scan over the enriched
+// dataset: two filters, a two-key sort and a limit — the acceptance query of
+// the flexible scan layer (see DESIGN.md).
+func BenchmarkScanQuery(b *testing.B) {
+	r := benchFixture(b)
+	src := r.Dataset.QuerySource()
+	q := query.Query{
+		Fields: []string{"package", "market", "av_positives", "av_family", "downloads"},
+		Filters: []query.Filter{
+			{Field: "market_chinese", Op: query.OpEq, Value: true},
+			{Field: "av_positives", Op: query.OpGe, Value: 10},
+		},
+		Sort:  []query.SortKey{{Field: "av_positives", Desc: true}, {Field: "package"}},
+		Limit: 10,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *query.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = src.Scan(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printOnce("scan", report.ScanTable("Scan: flagged apps on Chinese markets", res))
+}
+
+// BenchmarkScanFilterOnly isolates the match stage through the count-only
+// path programmatic consumers use: Dataset.CountMatching, a selective
+// filter with no materialized rows.
+func BenchmarkScanFilterOnly(b *testing.B) {
+	r := benchFixture(b)
+	flagged := query.Filter{Field: "av_positives", Op: query.OpGe, Value: 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	matched := 0
+	for i := 0; i < b.N; i++ {
+		var err error
+		matched, err = r.Dataset.CountMatching(flagged)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printOnce("scan-count", fmt.Sprintf("count-only scan: %d listings with AV-rank >= 10", matched))
 }
 
 // BenchmarkAblation_CloneThreshold sweeps the WuKong vector-distance

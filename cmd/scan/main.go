@@ -1,0 +1,155 @@
+// Command scan executes ad-hoc queries against a crawl dataset through the
+// internal/query engine: the caller-defined fields/filters/sort/limit model
+// that also backs the markets' POST /api/scan endpoint.
+//
+// Usage:
+//
+//	scan -fields
+//	scan [-snapshot DIR | -apps N] [-query FILE] [-format table|json]
+//
+// The dataset is either a snapshot saved by the crawler command (-snapshot)
+// or a freshly generated synthetic corpus (-apps/-developers/-seed, the
+// self-contained demo path). The query is a JSON document read from -query
+// (or stdin when omitted or "-"):
+//
+//	{
+//	  "fields":  ["package", "market", "av_positives"],
+//	  "filters": [{"field": "market_chinese", "op": "==", "value": true},
+//	              {"field": "av_positives", "op": ">=", "value": 10}],
+//	  "sort":    [{"field": "av_positives", "desc": true}, {"field": "package"}],
+//	  "limit":   25
+//	}
+//
+// -fields lists every scannable field with its category, kind and null
+// behaviour; the registry is static, so no corpus is loaded or generated.
+// -format json emits the raw query.Result for piping; the default table
+// output matches the study's report style.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"marketscope/internal/analysis"
+	"marketscope/internal/crawler"
+	"marketscope/internal/query"
+	"marketscope/internal/report"
+	"marketscope/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("scan", flag.ContinueOnError)
+	snapshotDir := fs.String("snapshot", "", "crawl snapshot directory saved by the crawler command")
+	apps := fs.Int("apps", 220, "apps to generate when no snapshot is given")
+	developers := fs.Int("developers", 90, "developer identities to generate")
+	seed := fs.Uint64("seed", 20170815, "generation seed")
+	queryPath := fs.String("query", "", "JSON query file ('-' or empty = stdin)")
+	format := fs.String("format", "table", "output format: table or json")
+	listFields := fs.Bool("fields", false, "list the scannable fields and exit")
+	noEnrich := fs.Bool("no-enrich", false, "skip the detector pass (enrichment fields stay null)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "table" && *format != "json" {
+		return fmt.Errorf("unknown format %q (want table or json)", *format)
+	}
+
+	if *listFields {
+		// The field registry is static metadata — it never depends on the
+		// data, so listing it needs no corpus, parse or detector pass.
+		empty, err := analysis.BuildDataset(crawler.NewSnapshot(time.Time{}))
+		if err != nil {
+			return err
+		}
+		fields := empty.QuerySource().Fields()
+		if *format == "json" {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(struct {
+				Fields any `json:"fields"`
+			}{fields})
+		}
+		_, err = fmt.Fprint(out, report.ScanFields(fields))
+		return err
+	}
+
+	ds, err := buildDataset(*snapshotDir, *apps, *developers, *seed, !*noEnrich)
+	if err != nil {
+		return err
+	}
+	src := ds.QuerySource()
+
+	queryIn := in
+	if *queryPath != "" && *queryPath != "-" {
+		f, err := os.Open(*queryPath)
+		if err != nil {
+			return fmt.Errorf("open query: %w", err)
+		}
+		defer f.Close()
+		queryIn = f
+	}
+	q, err := query.ParseQuery(queryIn)
+	if err != nil {
+		return err
+	}
+	res, err := src.Scan(q)
+	if err != nil {
+		return err
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	_, err = fmt.Fprint(out, report.ScanTable("Scan results", res))
+	return err
+}
+
+// buildDataset loads a saved snapshot or generates a synthetic corpus, then
+// parses (and optionally enriches) it.
+func buildDataset(snapshotDir string, apps, developers int, seed uint64, enrich bool) (*analysis.Dataset, error) {
+	var snap *crawler.Snapshot
+	if snapshotDir != "" {
+		loaded, err := crawler.Load(snapshotDir)
+		if err != nil {
+			return nil, fmt.Errorf("load snapshot: %w", err)
+		}
+		snap = loaded
+	} else {
+		cfg := synth.SmallConfig()
+		cfg.NumApps = apps
+		cfg.NumDevelopers = developers
+		cfg.Seed = seed
+		eco, err := synth.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("generate corpus: %w", err)
+		}
+		stores, err := eco.Populate()
+		if err != nil {
+			return nil, fmt.Errorf("populate markets: %w", err)
+		}
+		snap, err = crawler.SnapshotFromStores(stores, true, cfg.CrawlDate)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot markets: %w", err)
+		}
+	}
+	ds, err := analysis.BuildDataset(snap)
+	if err != nil {
+		return nil, err
+	}
+	if enrich {
+		ds.Enrich(analysis.DefaultEnrichOptions())
+	}
+	return ds, nil
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"marketscope/internal/query"
+)
+
+// acceptanceQuery is the canonical acceptance query: two filters, a two-key
+// sort and a limit. The same document is exercised against the Go API and
+// the HTTP endpoint in internal/market's scan tests.
+const acceptanceQuery = `{
+	"fields":  ["package", "market", "downloads", "rating"],
+	"filters": [{"field": "rating", "op": ">=", "value": 3.0},
+	            {"field": "downloads", "op": "is_null", "value": false}],
+	"sort":    [{"field": "downloads", "desc": true}, {"field": "package"}],
+	"limit":   10
+}`
+
+func TestScanCLIFieldListing(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fields"}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("run -fields: %v", err)
+	}
+	listing := out.String()
+	for _, want := range []string{"market", "package", "av_positives", "metadata", "apk", "enrichment"} {
+		if !strings.Contains(listing, want) {
+			t.Errorf("field listing missing %q", want)
+		}
+	}
+}
+
+// TestScanCLIMatchesGoAPI runs the acceptance query through the CLI's JSON
+// output and through the Go API over an identically-configured dataset; the
+// generator is deterministic per seed, so the rows must be identical.
+func TestScanCLIMatchesGoAPI(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-apps", "120", "-developers", "40", "-seed", "7", "-format", "json"},
+		strings.NewReader(acceptanceQuery), &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var cli query.Result
+	if err := json.Unmarshal(out.Bytes(), &cli); err != nil {
+		t.Fatalf("decode CLI output: %v", err)
+	}
+
+	ds, err := buildDataset("", 120, 40, 7, true)
+	if err != nil {
+		t.Fatalf("build dataset: %v", err)
+	}
+	q, err := query.ParseQuery(strings.NewReader(acceptanceQuery))
+	if err != nil {
+		t.Fatalf("parse query: %v", err)
+	}
+	direct, err := ds.QuerySource().Scan(q)
+	if err != nil {
+		t.Fatalf("direct scan: %v", err)
+	}
+
+	if cli.Meta.TotalMatched != direct.Meta.TotalMatched || cli.Meta.Returned != direct.Meta.Returned {
+		t.Fatalf("meta diverges: cli %+v, direct %+v", cli.Meta, direct.Meta)
+	}
+	cliRows, _ := json.Marshal(cli.Rows)
+	directRows, _ := json.Marshal(direct.Rows)
+	if !bytes.Equal(cliRows, directRows) {
+		t.Fatalf("rows diverge:\ncli:    %s\ndirect: %s", cliRows, directRows)
+	}
+}
+
+func TestScanCLITableOutput(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-apps", "60", "-developers", "20"},
+		strings.NewReader(`{"fields": ["package", "market"], "limit": 3}`), &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "listings matched") {
+		t.Errorf("table output missing meta line:\n%s", out.String())
+	}
+}
+
+func TestScanCLIErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-format", "yaml"}, strings.NewReader("{}"), &out); err == nil {
+		t.Error("bad format accepted")
+	}
+	if err := run([]string{"-apps", "40", "-developers", "12", "-no-enrich"},
+		strings.NewReader(`{"fields": ["nope"]}`), &out); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if err := run([]string{"-apps", "40", "-developers", "12", "-no-enrich"},
+		strings.NewReader(`not json`), &out); err == nil {
+		t.Error("malformed query accepted")
+	}
+}
+
+// TestScanCLINoEnrichNulls checks enrichment fields stay null (and filter as
+// null) without the detector pass.
+func TestScanCLINoEnrichNulls(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-apps", "40", "-developers", "12", "-no-enrich", "-format", "json"},
+		strings.NewReader(`{"fields": ["package", "av_positives"],
+			"filters": [{"field": "av_positives", "op": "is_null"}], "limit": 5}`), &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var res query.Result
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if res.Meta.TotalMatched != res.Meta.Scanned {
+		t.Errorf("without enrichment every row should have null av_positives: %+v", res.Meta)
+	}
+	for _, row := range res.Rows {
+		if row[1] != nil {
+			t.Errorf("av_positives = %v, want null", row[1])
+		}
+	}
+}

@@ -22,11 +22,16 @@
 //     AVClass labeling (internal/avscan),
 //   - the study orchestration and experiment registry (internal/core,
 //     internal/analysis, internal/report) reproducing every table and
-//     figure of the paper.
+//     figure of the paper,
+//   - a GraphQL-style dataset query engine (internal/query): caller-defined
+//     fields, composable filters, multi-key sort and limit over the
+//     enriched dataset, served through the Go API, the markets'
+//     POST /api/scan endpoint and the scan command.
 //
-// See README.md for a guided tour, DESIGN.md for the architecture and
-// substitutions, and EXPERIMENTS.md for paper-vs-measured comparisons. The
-// bench harness in bench_test.go regenerates every table and figure:
+// See README.md for a guided tour and quickstart, DESIGN.md for the
+// architecture and tool substitutions, and EXPERIMENTS.md for the registry
+// mapping each paper artifact to the code reproducing it. The bench harness
+// in bench_test.go regenerates every table and figure:
 //
 //	go test -bench=. -benchmem
 package marketscope

@@ -1,0 +1,3 @@
+module marketscope
+
+go 1.22

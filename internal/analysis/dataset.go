@@ -14,6 +14,7 @@ package analysis
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"marketscope/internal/apk"
@@ -23,6 +24,7 @@ import (
 	"marketscope/internal/libdetect"
 	"marketscope/internal/market"
 	"marketscope/internal/permissions"
+	"marketscope/internal/query"
 )
 
 // App is one market listing with its parsed and enriched artifacts.
@@ -70,6 +72,10 @@ type Dataset struct {
 	// Detector state shared across analyses (populated by Enrich).
 	libDetector *libdetect.Detector
 	scanner     *avscan.Scanner
+
+	// Query engine over the listings (built lazily by QuerySource).
+	queryOnce sync.Once
+	querySrc  query.Source
 }
 
 // BuildDataset parses every APK in the snapshot and organizes the listings
@@ -141,7 +147,9 @@ func DefaultEnrichOptions() EnrichOptions {
 // Enrich runs the per-listing detectors: third-party library detection (with
 // a feature database learned from this very corpus, as the paper rebuilt
 // LibRadar's), the permission-gap analysis and the simulated VirusTotal scan.
-// Calling Enrich more than once is a no-op.
+// Calling Enrich more than once is a no-op. Enrich writes the per-listing
+// detection fields without locking: it must complete before concurrent
+// readers (analyses, QuerySource scans) start.
 func (d *Dataset) Enrich(opts EnrichOptions) {
 	if d.enriched {
 		return

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"sync"
+	"testing"
+
+	"marketscope/internal/query"
+)
+
+func TestQuerySourceFieldInventory(t *testing.T) {
+	f := testFixture(t)
+	src := f.dataset.QuerySource()
+	fields := src.Fields()
+	if len(fields) < 30 {
+		t.Fatalf("registered %d fields, want >= 30", len(fields))
+	}
+	byCategory := map[string]int{}
+	byName := map[string]query.FieldInfo{}
+	for _, fi := range fields {
+		byCategory[fi.Category]++
+		byName[fi.Name] = fi
+	}
+	for _, cat := range []string{FieldCategoryMetadata, FieldCategoryAPK, FieldCategoryEnrichment} {
+		if byCategory[cat] < 5 {
+			t.Errorf("category %s has %d fields, want >= 5", cat, byCategory[cat])
+		}
+	}
+	for _, name := range []string{"market", "package", "category", "downloads", "rating",
+		"min_sdk", "apk_size", "permission_count", "signing_developer",
+		"library_count", "av_positives", "av_family", "permissions_unused"} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("field %q missing from registry", name)
+		}
+	}
+}
+
+// TestQuerySourceMatchesDirectIteration cross-checks engine counts against a
+// hand-rolled pass over the same dataset.
+func TestQuerySourceMatchesDirectIteration(t *testing.T) {
+	f := testFixture(t)
+	d := f.dataset
+
+	wantParsed := 0
+	wantFlagged10 := 0
+	for _, app := range d.Apps {
+		if app.HasAPK() {
+			wantParsed++
+		}
+		if app.AVReport != nil && app.AVReport.Flagged(10) {
+			wantFlagged10++
+		}
+	}
+
+	gotParsed, err := d.CountMatching(query.Filter{Field: "apk_parsed", Op: query.OpEq, Value: true})
+	if err != nil {
+		t.Fatalf("count parsed: %v", err)
+	}
+	if gotParsed != wantParsed {
+		t.Errorf("parsed count via engine = %d, direct = %d", gotParsed, wantParsed)
+	}
+	gotFlagged, err := d.CountMatching(query.Filter{Field: "av_positives", Op: query.OpGe, Value: 10})
+	if err != nil {
+		t.Fatalf("count flagged: %v", err)
+	}
+	if gotFlagged != wantFlagged10 {
+		t.Errorf("flagged count via engine = %d, direct = %d", gotFlagged, wantFlagged10)
+	}
+}
+
+// TestMalwarePrevalenceThroughEngine verifies the engine-backed Table 4
+// equals the direct per-market iteration it replaced.
+func TestMalwarePrevalenceThroughEngine(t *testing.T) {
+	f := testFixture(t)
+	d := f.dataset
+	rows := MalwarePrevalence(d)
+	if len(rows) != len(d.Markets) {
+		t.Fatalf("got %d rows, want %d markets", len(rows), len(d.Markets))
+	}
+	for _, row := range rows {
+		var parsed, c1, c10, c20 int
+		for _, app := range d.AppsIn(row.Market) {
+			if app.AVReport == nil {
+				continue
+			}
+			parsed++
+			if app.AVReport.Flagged(1) {
+				c1++
+			}
+			if app.AVReport.Flagged(10) {
+				c10++
+			}
+			if app.AVReport.Flagged(20) {
+				c20++
+			}
+		}
+		if row.Parsed != parsed || row.FlaggedAtLeast10 != c10 {
+			t.Errorf("%s: engine row {parsed %d, c10 %d}, direct {parsed %d, c10 %d}",
+				row.Market, row.Parsed, row.FlaggedAtLeast10, parsed, c10)
+		}
+		if parsed > 0 {
+			if row.ShareAtLeast1 != float64(c1)/float64(parsed) ||
+				row.ShareAtLeast20 != float64(c20)/float64(parsed) {
+				t.Errorf("%s: shares diverge from direct computation", row.Market)
+			}
+		}
+	}
+}
+
+// TestQuerySourcePaperSlice runs a representative full query: the flagged
+// Chinese-market listings ordered by AV-rank, the slice behind Table 5.
+func TestQuerySourcePaperSlice(t *testing.T) {
+	f := testFixture(t)
+	src := f.dataset.QuerySource()
+	res, err := src.Scan(query.Query{
+		Fields: []string{"package", "market", "av_positives", "av_family"},
+		Filters: []query.Filter{
+			{Field: "market_chinese", Op: query.OpEq, Value: true},
+			{Field: "av_positives", Op: query.OpGe, Value: 1},
+		},
+		Sort:  []query.SortKey{{Field: "av_positives", Desc: true}, {Field: "package"}},
+		Limit: 10,
+	})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if res.Meta.Returned > 10 {
+		t.Fatalf("limit ignored: returned %d", res.Meta.Returned)
+	}
+	var prev int64 = 1 << 40
+	for _, row := range res.Rows {
+		rank := row[2].(int64)
+		if rank > prev {
+			t.Fatalf("rows not sorted by av_positives desc")
+		}
+		prev = rank
+	}
+}
+
+// TestQuerySourceConcurrent scans the shared dataset from many goroutines;
+// meaningful under -race.
+func TestQuerySourceConcurrent(t *testing.T) {
+	f := testFixture(t)
+	src := f.dataset.QuerySource()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_, err := src.Scan(query.Query{
+					Fields:  []string{"package", "rating"},
+					Filters: []query.Filter{{Field: "rating", Op: query.OpGe, Value: 4.0}},
+					Sort:    []query.SortKey{{Field: "rating", Desc: true}},
+					Limit:   5,
+				})
+				if err != nil {
+					t.Errorf("concurrent scan: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

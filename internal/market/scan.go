@@ -1,0 +1,80 @@
+package market
+
+import (
+	"errors"
+	"net/http"
+
+	"marketscope/internal/query"
+)
+
+// Scan endpoint routes.
+const (
+	ScanPath       = "/api/scan"
+	ScanFieldsPath = "/api/scan/fields"
+)
+
+// FieldsResponse is the body of GET /api/scan/fields: every registered field
+// grouped under a single key so the schema can grow without breaking
+// clients.
+type FieldsResponse struct {
+	Fields []query.FieldInfo `json:"fields"`
+}
+
+// scanError is the JSON error body of a rejected scan.
+type scanError struct {
+	Error string `json:"error"`
+}
+
+// AttachScan mounts the dataset query engine on the server:
+//
+//	POST /api/scan          execute one JSON query, returns query.Result
+//	GET  /api/scan/fields   list the registered fields with categories
+//
+// The source is typically analysis.(*Dataset).QuerySource() built from a
+// crawl of this very market set. Scans are read-only and safe under the
+// server's concurrency; the rate limiter applies to scan requests exactly as
+// it does to crawl requests.
+func (s *Server) AttachScan(src query.Source) {
+	s.scan = src
+	s.mux.HandleFunc(ScanPath, s.handleScan)
+	s.mux.HandleFunc(ScanFieldsPath, s.handleScanFields)
+}
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSONStatus(w, http.StatusMethodNotAllowed, scanError{Error: "scan queries are POSTed as JSON"})
+		return
+	}
+	q, err := query.ParseQuery(r.Body)
+	if err != nil {
+		writeJSONStatus(w, http.StatusBadRequest, scanError{Error: err.Error()})
+		return
+	}
+	res, err := s.scan.Scan(q)
+	if err != nil {
+		status := http.StatusBadRequest
+		if !errors.Is(err, query.ErrUnknownField) && !errors.Is(err, query.ErrBadOp) &&
+			!errors.Is(err, query.ErrBadValue) && !errors.Is(err, query.ErrBadLimit) {
+			status = http.StatusInternalServerError
+		}
+		writeJSONStatus(w, status, scanError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *Server) handleScanFields(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSONStatus(w, http.StatusMethodNotAllowed, scanError{Error: "field listing is a GET"})
+		return
+	}
+	writeJSON(w, FieldsResponse{Fields: s.scan.Fields()})
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeJSONBody(w, v)
+}

@@ -1,0 +1,239 @@
+package market_test
+
+// The scan-endpoint tests live in an external test package because they
+// exercise the full integration: a real enriched analysis.Dataset served
+// through a market Server (analysis imports market, so an internal test
+// could not use it).
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"marketscope/internal/analysis"
+	"marketscope/internal/crawler"
+	"marketscope/internal/market"
+	"marketscope/internal/query"
+	"marketscope/internal/synth"
+)
+
+var (
+	scanOnce sync.Once
+	scanDS   *analysis.Dataset
+	scanSrv  *market.Server
+	scanErr  error
+)
+
+// scanFixture builds a small enriched dataset and one market server with the
+// scan engine attached. The server is an unlimited-rate store so the tests
+// never trip the token bucket.
+func scanFixture(t *testing.T) (*analysis.Dataset, *market.Server) {
+	t.Helper()
+	scanOnce.Do(func() {
+		cfg := synth.SmallConfig()
+		eco, err := synth.Generate(cfg)
+		if err != nil {
+			scanErr = err
+			return
+		}
+		stores, err := eco.Populate()
+		if err != nil {
+			scanErr = err
+			return
+		}
+		snap, err := crawler.SnapshotFromStores(stores, true, cfg.CrawlDate)
+		if err != nil {
+			scanErr = err
+			return
+		}
+		ds, err := analysis.BuildDataset(snap)
+		if err != nil {
+			scanErr = err
+			return
+		}
+		ds.Enrich(analysis.DefaultEnrichOptions())
+
+		var store *market.Store
+		for _, s := range stores {
+			if s.Profile().RateLimitPerSecond == 0 {
+				store = s
+				break
+			}
+		}
+		srv := market.NewServer(store)
+		srv.AttachScan(ds.QuerySource())
+		scanDS, scanSrv = ds, srv
+	})
+	if scanErr != nil {
+		t.Fatalf("scan fixture: %v", scanErr)
+	}
+	return scanDS, scanSrv
+}
+
+func TestScanFieldsEndpoint(t *testing.T) {
+	_, srv := scanFixture(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + market.ScanFieldsPath)
+	if err != nil {
+		t.Fatalf("GET fields: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET fields status = %d", resp.StatusCode)
+	}
+	var fr market.FieldsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatalf("decode fields: %v", err)
+	}
+	if len(fr.Fields) < 30 {
+		t.Fatalf("fields endpoint lists %d fields, want >= 30", len(fr.Fields))
+	}
+	categories := map[string]bool{}
+	for _, f := range fr.Fields {
+		if f.Name == "" || f.Category == "" || f.Kind == "" {
+			t.Fatalf("incomplete field info: %+v", f)
+		}
+		categories[f.Category] = true
+	}
+	for _, want := range []string{"metadata", "apk", "enrichment"} {
+		if !categories[want] {
+			t.Errorf("category %q missing from fields listing", want)
+		}
+	}
+}
+
+// TestScanHTTPMatchesGoAPI executes the acceptance query — two filters, a
+// two-key sort and a limit — over HTTP and through the Go API and requires
+// identical rows.
+func TestScanHTTPMatchesGoAPI(t *testing.T) {
+	ds, srv := scanFixture(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	q := query.Query{
+		Fields: []string{"package", "market", "downloads", "rating"},
+		Filters: []query.Filter{
+			{Field: "rating", Op: query.OpGe, Value: 3.0},
+			{Field: "downloads", Op: query.OpIsNull, Value: false},
+		},
+		Sort:  []query.SortKey{{Field: "downloads", Desc: true}, {Field: "package"}},
+		Limit: 10,
+	}
+
+	direct, err := ds.QuerySource().Scan(q)
+	if err != nil {
+		t.Fatalf("direct scan: %v", err)
+	}
+
+	body, err := json.Marshal(q)
+	if err != nil {
+		t.Fatalf("marshal query: %v", err)
+	}
+	resp, err := http.Post(ts.URL+market.ScanPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST scan: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST scan status = %d", resp.StatusCode)
+	}
+	var remote query.Result
+	if err := json.NewDecoder(resp.Body).Decode(&remote); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+
+	if remote.Meta.TotalMatched != direct.Meta.TotalMatched ||
+		remote.Meta.Returned != direct.Meta.Returned ||
+		remote.Meta.Scanned != direct.Meta.Scanned {
+		t.Fatalf("meta diverges: http %+v, direct %+v", remote.Meta, direct.Meta)
+	}
+	if len(remote.Rows) != len(direct.Rows) {
+		t.Fatalf("row count diverges: http %d, direct %d", len(remote.Rows), len(direct.Rows))
+	}
+	directJSON, err := json.Marshal(direct.Rows)
+	if err != nil {
+		t.Fatalf("marshal direct rows: %v", err)
+	}
+	remoteJSON, err := json.Marshal(remote.Rows)
+	if err != nil {
+		t.Fatalf("marshal remote rows: %v", err)
+	}
+	if !bytes.Equal(directJSON, remoteJSON) {
+		t.Fatalf("rows diverge:\nhttp:   %s\ndirect: %s", remoteJSON, directJSON)
+	}
+}
+
+func TestScanEndpointErrors(t *testing.T) {
+	_, srv := scanFixture(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Unknown field -> 400 with a JSON error body.
+	resp, err := http.Post(ts.URL+market.ScanPath, "application/json",
+		strings.NewReader(`{"fields": ["no_such_field"]}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(e.Error, "no_such_field") {
+		t.Fatalf("unknown field: status %d, error %q", resp.StatusCode, e.Error)
+	}
+
+	// Malformed JSON -> 400.
+	resp, err = http.Post(ts.URL+market.ScanPath, "application/json", strings.NewReader(`{`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+
+	// GET on the scan route -> 405.
+	resp, err = http.Get(ts.URL + market.ScanPath)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET scan: status %d, want 405", resp.StatusCode)
+	}
+
+	// POST on a crawl route stays rejected.
+	resp, err = http.Post(ts.URL+"/api/info", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatalf("POST info: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /api/info: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestScanNotAttached checks a server without a scan source keeps 404ing the
+// scan routes.
+func TestScanNotAttached(t *testing.T) {
+	store := market.NewStore(market.Profile{Name: "bare"})
+	ts := httptest.NewServer(market.NewServer(store))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+market.ScanPath, "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unattached scan: status %d, want 404", resp.StatusCode)
+	}
+}

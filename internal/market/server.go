@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"marketscope/internal/appmeta"
+	"marketscope/internal/query"
 )
 
 // Info is the market description served at /api/info, which tells the
@@ -39,6 +40,9 @@ type Server struct {
 	store   *Store
 	limiter *tokenBucket
 	mux     *http.ServeMux
+	// scan is the dataset query engine mounted by AttachScan (nil until
+	// attached; the scan routes 404 like any unregistered path).
+	scan query.Source
 }
 
 // NewServer builds the HTTP front-end for a store.
@@ -59,9 +63,10 @@ func NewServer(store *Store) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every route is a GET except
+// /api/scan, whose queries arrive as a POSTed JSON body.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
+	if r.Method != http.MethodGet && !(r.Method == http.MethodPost && r.URL.Path == ScanPath) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
@@ -178,6 +183,10 @@ func intParam(r *http.Request, name string, fallback int) int {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	writeJSONBody(w, v)
+}
+
+func writeJSONBody(w http.ResponseWriter, v any) {
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(v); err != nil {
 		// The response is already partially written; nothing sensible can

@@ -1,0 +1,233 @@
+package query
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Engine executes queries over an immutable item slice using a registry's
+// fields. Scans never mutate the engine, so one engine serves any number of
+// concurrent callers.
+type Engine[T any] struct {
+	reg   *Registry[T]
+	items []T
+}
+
+// NewEngine binds a registry to a dataset slice. The engine keeps the slice;
+// callers must not mutate it afterwards.
+func NewEngine[T any](reg *Registry[T], items []T) *Engine[T] {
+	return &Engine[T]{reg: reg, items: items}
+}
+
+// Fields implements Source.
+func (e *Engine[T]) Fields() []FieldInfo { return e.reg.Fields() }
+
+// Len returns the number of scannable items.
+func (e *Engine[T]) Len() int { return len(e.items) }
+
+// parallelThreshold is the dataset size above which filter matching fans out
+// across CPUs. Below it the goroutine overhead outweighs the work.
+const parallelThreshold = 4096
+
+// Scan implements Source: filter, sort, limit, extract.
+func (e *Engine[T]) Scan(q Query) (*Result, error) {
+	start := time.Now()
+	if q.Limit < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadLimit, q.Limit)
+	}
+
+	// Resolve the requested columns (empty = all, registration order).
+	names := q.Fields
+	outFields := make([]Field[T], 0, len(names))
+	infos := make([]FieldInfo, 0, len(names))
+	if len(names) == 0 {
+		for _, info := range e.reg.Fields() {
+			f, _ := e.reg.Lookup(info.Name)
+			outFields = append(outFields, f)
+			infos = append(infos, info)
+		}
+	} else {
+		for _, name := range names {
+			f, ok := e.reg.Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("%w: %q", ErrUnknownField, name)
+			}
+			outFields = append(outFields, f)
+			infos = append(infos, f.info())
+		}
+	}
+
+	// Compile filters and sort keys up front so per-row evaluation is a
+	// plain function call and malformed queries fail before any scanning.
+	filters := make([]compiledFilter[T], 0, len(q.Filters))
+	for _, raw := range q.Filters {
+		cf, err := compileFilter(e.reg, raw)
+		if err != nil {
+			return nil, err
+		}
+		filters = append(filters, cf)
+	}
+	sortFields := make([]Field[T], 0, len(q.Sort))
+	for _, key := range q.Sort {
+		f, ok := e.reg.Lookup(key.Field)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q (in sort)", ErrUnknownField, key.Field)
+		}
+		sortFields = append(sortFields, f)
+	}
+
+	matched := e.match(filters)
+	total := len(matched)
+	if len(sortFields) > 0 {
+		e.sortMatches(matched, q.Sort, sortFields)
+	}
+	if q.Limit > 0 && len(matched) > q.Limit {
+		matched = matched[:q.Limit]
+	}
+
+	rows := make([][]any, 0, len(matched))
+	for _, idx := range matched {
+		row := make([]any, len(outFields))
+		for i, f := range outFields {
+			if v, null := extract(f, e.items[idx]); !null {
+				row[i] = emitValue(v)
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	return &Result{
+		Fields: infos,
+		Rows:   rows,
+		Meta: Meta{
+			Scanned:         len(e.items),
+			TotalMatched:    total,
+			Returned:        len(rows),
+			QueryTimeMicros: time.Since(start).Microseconds(),
+		},
+	}, nil
+}
+
+// match returns the indices of items passing every filter, in dataset order.
+// Large datasets are matched in parallel chunks; concatenating the per-chunk
+// index slices in chunk order preserves dataset order, which is what makes
+// the later stable sort (and unsorted queries) deterministic.
+func (e *Engine[T]) match(filters []compiledFilter[T]) []int {
+	n := len(e.items)
+	if n < parallelThreshold {
+		return e.matchRange(filters, 0, n)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	parts := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w] = e.matchRange(filters, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var out []int
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	if out == nil {
+		out = []int{}
+	}
+	return out
+}
+
+func (e *Engine[T]) matchRange(filters []compiledFilter[T], lo, hi int) []int {
+	out := []int{}
+	for i := lo; i < hi; i++ {
+		item := e.items[i]
+		ok := true
+		for f := range filters {
+			if !filters[f].match(item) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// sortMatches orders matched indices by the sort keys. Key values are
+// extracted once per row into columns rather than inside the comparator,
+// keeping the comparator allocation-free.
+func (e *Engine[T]) sortMatches(matched []int, keys []SortKey, fields []Field[T]) {
+	type column struct {
+		vals  []any
+		nulls []bool
+	}
+	cols := make([]column, len(fields))
+	for k, f := range fields {
+		col := column{vals: make([]any, len(matched)), nulls: make([]bool, len(matched))}
+		for i, idx := range matched {
+			v, null := extract(f, e.items[idx])
+			col.vals[i], col.nulls[i] = v, null
+		}
+		cols[k] = col
+	}
+	// Sort a permutation of positions so column lookups stay aligned; ties
+	// keep dataset order because the sort is stable over the identity
+	// permutation.
+	perm := make([]int, len(matched))
+	for i := range perm {
+		perm[i] = i
+	}
+	cmp := func(a, b int) int {
+		for k := range keys {
+			c := compareNullable(fields[k].Kind, cols[k].vals[a], cols[k].nulls[a],
+				cols[k].vals[b], cols[k].nulls[b], keys[k].Desc)
+			if c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	sort.SliceStable(perm, func(i, j int) bool { return cmp(perm[i], perm[j]) < 0 })
+	reordered := make([]int, len(matched))
+	for i, p := range perm {
+		reordered[i] = matched[p]
+	}
+	copy(matched, reordered)
+}
+
+// compareNullable orders two possibly-null values under one sort key: nulls
+// after every non-null value in both directions, non-nulls by kind order,
+// inverted when descending.
+func compareNullable(kind Kind, av any, aNull bool, bv any, bNull bool, desc bool) int {
+	switch {
+	case aNull && bNull:
+		return 0
+	case aNull:
+		return 1
+	case bNull:
+		return -1
+	}
+	c := compareValues(kind, av, bv)
+	if desc {
+		return -c
+	}
+	return c
+}

@@ -1,0 +1,292 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"time"
+)
+
+// extract runs a field's extractor and normalizes the result. The second
+// return is true when the value is null: the extractor said so, the value's
+// dynamic type does not match the declared kind, or a time value is the zero
+// time.
+func extract[T any](f Field[T], item T) (any, bool) {
+	raw, ok := f.Extract(item)
+	if !ok {
+		return nil, true
+	}
+	v, err := normalize(f.Kind, raw)
+	if err != nil {
+		return nil, true
+	}
+	if t, isTime := v.(time.Time); isTime && t.IsZero() {
+		return nil, true
+	}
+	return v, false
+}
+
+// normalize coerces a value to the canonical representation of a kind:
+// string, int64, float64, bool or time.Time. It accepts the natural Go
+// spellings on the extractor side (int, int32, float32, fmt.Stringer-free
+// named string types are the caller's job) and the JSON spellings on the
+// filter side (every number arrives as float64, times arrive as strings).
+func normalize(kind Kind, v any) (any, error) {
+	switch kind {
+	case KindString:
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+	case KindInt:
+		switch n := v.(type) {
+		case int:
+			return int64(n), nil
+		case int32:
+			return int64(n), nil
+		case int64:
+			return n, nil
+		case float64:
+			return floatToInt64(n)
+		case json.Number:
+			i, err := n.Int64()
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadValue, err)
+			}
+			return i, nil
+		}
+	case KindFloat:
+		switch n := v.(type) {
+		case float64:
+			return n, nil
+		case float32:
+			return float64(n), nil
+		case int:
+			return float64(n), nil
+		case int64:
+			return float64(n), nil
+		}
+	case KindBool:
+		if b, ok := v.(bool); ok {
+			return b, nil
+		}
+	case KindTime:
+		switch t := v.(type) {
+		case time.Time:
+			return t, nil
+		case string:
+			return parseTime(t)
+		case float64:
+			secs, err := floatToInt64(t)
+			if err != nil {
+				return nil, err
+			}
+			return time.Unix(secs.(int64), 0).UTC(), nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %T for kind %s", ErrBadValue, v, kind)
+}
+
+// maxInt64Float is 2^63 as a float64. float64(math.MaxInt64) rounds up to
+// exactly this value, so the valid int64 range in float space is
+// [-maxInt64Float, maxInt64Float).
+const maxInt64Float = float64(1 << 63)
+
+// floatToInt64 converts a JSON number to int64, rejecting fractions and
+// values outside the int64 range (whose float-to-int conversion would be
+// implementation-defined and could silently match everything).
+func floatToInt64(n float64) (any, error) {
+	if n != math.Trunc(n) {
+		return nil, fmt.Errorf("%w: %v is not an integer", ErrBadValue, n)
+	}
+	if n < -maxInt64Float || n >= maxInt64Float {
+		return nil, fmt.Errorf("%w: %v overflows int64", ErrBadValue, n)
+	}
+	return int64(n), nil
+}
+
+// parseTime accepts RFC 3339 or a bare date.
+func parseTime(s string) (time.Time, error) {
+	for _, layout := range []string{time.RFC3339, "2006-01-02"} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("%w: %q is not RFC 3339 or YYYY-MM-DD", ErrBadValue, s)
+}
+
+// compareValues orders two normalized non-null values of one kind. Bools
+// order false before true so the ordering operators stay total.
+func compareValues(kind Kind, a, b any) int {
+	switch kind {
+	case KindString:
+		return strings.Compare(a.(string), b.(string))
+	case KindInt:
+		x, y := a.(int64), b.(int64)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case KindFloat:
+		x, y := a.(float64), b.(float64)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case KindBool:
+		x, y := a.(bool), b.(bool)
+		switch {
+		case !x && y:
+			return -1
+		case x && !y:
+			return 1
+		}
+		return 0
+	case KindTime:
+		x, y := a.(time.Time), b.(time.Time)
+		switch {
+		case x.Before(y):
+			return -1
+		case x.After(y):
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// toAnySlice widens any slice value to []any: JSON lists arrive as []any
+// already, while Go-API callers naturally write []string, []int, etc.
+func toAnySlice(v any) []any {
+	if l, ok := v.([]any); ok {
+		return l
+	}
+	rv := reflect.ValueOf(v)
+	if !rv.IsValid() || rv.Kind() != reflect.Slice {
+		return nil
+	}
+	out := make([]any, rv.Len())
+	for i := range out {
+		out[i] = rv.Index(i).Interface()
+	}
+	return out
+}
+
+// compiledFilter is one pre-resolved predicate: the field, the operator and
+// the operand(s) already normalized to the field's kind.
+type compiledFilter[T any] struct {
+	field    Field[T]
+	op       Op
+	operand  any   // scalar operand (nil for is_null / in)
+	operands []any // in-list operands
+	wantNull bool  // is_null operand
+}
+
+// compileFilter validates a filter against the registry and normalizes its
+// operand so per-row matching does no type inspection.
+func compileFilter[T any](reg *Registry[T], raw Filter) (compiledFilter[T], error) {
+	var cf compiledFilter[T]
+	f, ok := reg.Lookup(raw.Field)
+	if !ok {
+		return cf, fmt.Errorf("%w: %q", ErrUnknownField, raw.Field)
+	}
+	cf.field = f
+	cf.op = raw.Op
+	switch raw.Op {
+	case OpIsNull:
+		cf.wantNull = true
+		if raw.Value != nil {
+			b, isBool := raw.Value.(bool)
+			if !isBool {
+				return cf, fmt.Errorf("%w: is_null takes a bool, got %T", ErrBadValue, raw.Value)
+			}
+			cf.wantNull = b
+		}
+	case OpIn:
+		list := toAnySlice(raw.Value)
+		if list == nil {
+			return cf, fmt.Errorf("%w: in takes a list, got %T", ErrBadValue, raw.Value)
+		}
+		if len(list) == 0 {
+			return cf, fmt.Errorf("%w: in takes a non-empty list", ErrBadValue)
+		}
+		cf.operands = make([]any, 0, len(list))
+		for _, item := range list {
+			v, err := normalize(f.Kind, item)
+			if err != nil {
+				return cf, fmt.Errorf("field %q: %w", f.Name, err)
+			}
+			cf.operands = append(cf.operands, v)
+		}
+	case OpContains:
+		if f.Kind != KindString {
+			return cf, fmt.Errorf("%w: contains on %s field %q", ErrBadOp, f.Kind, f.Name)
+		}
+		s, isString := raw.Value.(string)
+		if !isString {
+			return cf, fmt.Errorf("%w: contains takes a string, got %T", ErrBadValue, raw.Value)
+		}
+		cf.operand = s
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		if raw.Value == nil {
+			return cf, fmt.Errorf("%w: %s needs a value (use is_null to test nulls)", ErrBadValue, raw.Op)
+		}
+		if f.Kind == KindBool && raw.Op != OpEq && raw.Op != OpNe {
+			return cf, fmt.Errorf("%w: %s on bool field %q", ErrBadOp, raw.Op, f.Name)
+		}
+		v, err := normalize(f.Kind, raw.Value)
+		if err != nil {
+			return cf, fmt.Errorf("field %q: %w", f.Name, err)
+		}
+		cf.operand = v
+	default:
+		return cf, fmt.Errorf("%w: unknown operator %q", ErrBadOp, raw.Op)
+	}
+	return cf, nil
+}
+
+// match evaluates the predicate on one row. Null field values match only
+// is_null (true); every comparison against null is false, as in SQL.
+func (cf *compiledFilter[T]) match(item T) bool {
+	v, null := extract(cf.field, item)
+	if cf.op == OpIsNull {
+		return null == cf.wantNull
+	}
+	if null {
+		return false
+	}
+	switch cf.op {
+	case OpIn:
+		for _, operand := range cf.operands {
+			if compareValues(cf.field.Kind, v, operand) == 0 {
+				return true
+			}
+		}
+		return false
+	case OpContains:
+		return strings.Contains(v.(string), cf.operand.(string))
+	}
+	c := compareValues(cf.field.Kind, v, cf.operand)
+	switch cf.op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	}
+	return false
+}

@@ -1,0 +1,183 @@
+// Package query is a GraphQL-style scan engine over the enriched crawl
+// dataset: the caller specifies exactly which fields to return, which filters
+// to apply, how to sort and how many rows to keep, and the engine executes
+// the scan and returns structured rows plus execution metadata.
+//
+// The engine is deliberately a dumb pipe: it knows nothing about the paper's
+// tables, market semantics or strategy — consumers (the fixed analyses in
+// internal/analysis, the /api/scan HTTP endpoint in internal/market, the
+// scan command) bring that context. Fields are contributed by a caller-built
+// Registry of typed extractors, so the engine itself has no dependency on
+// the dataset representation; analysis.Dataset registers ~40 fields across
+// the metadata, apk and enrichment categories.
+//
+// A query is a single JSON object:
+//
+//	{
+//	  "fields":  ["package", "market", "av_positives"],
+//	  "filters": [{"field": "av_positives", "op": ">=", "value": 10},
+//	              {"field": "market_chinese", "op": "==", "value": true}],
+//	  "sort":    [{"field": "av_positives", "desc": true},
+//	              {"field": "package"}],
+//	  "limit":   25
+//	}
+//
+// Null semantics follow SQL: a comparison against a null (missing) value
+// never matches, null-ness is tested explicitly with the is_null operator,
+// and nulls order after every non-null value under both sort directions.
+package query
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Kind is the value type of a field. Every extracted value normalizes to the
+// Go representation listed next to its kind.
+type Kind string
+
+// Field kinds.
+const (
+	KindString Kind = "string" // string
+	KindInt    Kind = "int"    // int64
+	KindFloat  Kind = "float"  // float64
+	KindBool   Kind = "bool"   // bool
+	KindTime   Kind = "time"   // time.Time, emitted as RFC 3339
+)
+
+// FieldInfo describes one registered field for introspection (the
+// /api/scan/fields endpoint and the scan command's -fields listing).
+type FieldInfo struct {
+	Name     string `json:"name"`
+	Category string `json:"category"`
+	Kind     Kind   `json:"kind"`
+	Doc      string `json:"doc,omitempty"`
+	// Nullable marks fields that can be missing on some rows (for example
+	// every apk-category field is null on listings whose APK failed to
+	// parse).
+	Nullable bool `json:"nullable,omitempty"`
+}
+
+// Op is a filter operator.
+type Op string
+
+// Filter operators. Ordering operators apply to int, float, string and time
+// fields; contains applies to string fields only; in accepts a list of
+// values of the field's kind; is_null applies to every field.
+const (
+	OpEq       Op = "=="
+	OpNe       Op = "!="
+	OpLt       Op = "<"
+	OpLe       Op = "<="
+	OpGt       Op = ">"
+	OpGe       Op = ">="
+	OpIn       Op = "in"
+	OpContains Op = "contains"
+	OpIsNull   Op = "is_null"
+)
+
+// Filter is one predicate; a query's filters are conjunctive (AND).
+type Filter struct {
+	Field string `json:"field"`
+	Op    Op     `json:"op"`
+	// Value is the comparison operand: a scalar for the ordering operators,
+	// a list for in, a bool for is_null (omitted means true: "is null").
+	Value any `json:"value,omitempty"`
+}
+
+// SortKey orders results by one field; earlier keys dominate. Rows with a
+// null key value order after all non-null rows regardless of direction, and
+// ties preserve dataset order (the sort is stable).
+type SortKey struct {
+	Field string `json:"field"`
+	Desc  bool   `json:"desc,omitempty"`
+}
+
+// Query is one scan request.
+type Query struct {
+	// Fields lists the columns to return, in order. Empty means every
+	// registered field in registration order.
+	Fields  []string  `json:"fields"`
+	Filters []Filter  `json:"filters,omitempty"`
+	Sort    []SortKey `json:"sort,omitempty"`
+	// Limit caps the returned rows; 0 means no cap. TotalMatched in the
+	// result meta always counts every match regardless of the limit.
+	Limit int `json:"limit,omitempty"`
+}
+
+// Meta is the execution metadata attached to every result.
+type Meta struct {
+	// Scanned is the number of dataset rows examined.
+	Scanned int `json:"scanned"`
+	// TotalMatched counts every row passing the filters, before the limit.
+	TotalMatched int `json:"total_matched"`
+	// Returned is len(Rows) after sorting and limiting.
+	Returned int `json:"returned"`
+	// QueryTimeMicros is the wall-clock execution time in microseconds.
+	QueryTimeMicros int64 `json:"query_time_us"`
+}
+
+// Result is the outcome of one scan: the requested columns, the row values
+// (one slice per row, aligned with Fields; nil marks a null) and the meta.
+type Result struct {
+	Fields []FieldInfo `json:"fields"`
+	Rows   [][]any     `json:"rows"`
+	Meta   Meta        `json:"meta"`
+}
+
+// Errors returned by ParseQuery and Scan.
+var (
+	ErrUnknownField = errors.New("query: unknown field")
+	ErrBadOp        = errors.New("query: operator not valid for field kind")
+	ErrBadValue     = errors.New("query: filter value not valid for field kind")
+	ErrBadLimit     = errors.New("query: negative limit")
+	ErrEmptyQuery   = errors.New("query: empty query body")
+)
+
+// maxQueryBytes bounds the accepted query document; a scan query is a small
+// hand- or machine-written object, never megabytes.
+const maxQueryBytes = 1 << 20
+
+// ParseQuery decodes a JSON query document, rejecting unknown keys so typos
+// ("filter" for "filters") fail loudly instead of silently matching
+// everything.
+func ParseQuery(r io.Reader) (Query, error) {
+	var q Query
+	dec := json.NewDecoder(io.LimitReader(r, maxQueryBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&q); err != nil {
+		if errors.Is(err, io.EOF) {
+			return q, ErrEmptyQuery
+		}
+		return q, fmt.Errorf("query: parse: %w", err)
+	}
+	if dec.More() {
+		return q, errors.New("query: parse: trailing data after the query object")
+	}
+	if q.Limit < 0 {
+		return q, fmt.Errorf("%w: %d", ErrBadLimit, q.Limit)
+	}
+	return q, nil
+}
+
+// Source is the non-generic face of an engine: everything the HTTP endpoint
+// and the scan command need, independent of the row type. *Engine[T]
+// implements it.
+type Source interface {
+	// Fields lists the registered fields in registration order.
+	Fields() []FieldInfo
+	// Scan executes one query. It is safe for concurrent use.
+	Scan(q Query) (*Result, error)
+}
+
+// emitValue converts a normalized value into its JSON-facing representation:
+// time.Time becomes an RFC 3339 string, everything else passes through.
+func emitValue(v any) any {
+	if t, ok := v.(time.Time); ok {
+		return t.Format(time.RFC3339)
+	}
+	return v
+}

@@ -1,0 +1,367 @@
+package query
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// row is the test row type: a handful of typed fields with controllable
+// nulls.
+type row struct {
+	name    string
+	market  string
+	size    int64
+	rating  float64
+	flagged bool
+	date    time.Time
+	// hasSize / hasRating gate null behaviour.
+	hasSize   bool
+	hasRating bool
+}
+
+func testRegistry() *Registry[row] {
+	r := NewRegistry[row]()
+	r.MustRegister(Field[row]{Name: "name", Category: "meta", Kind: KindString,
+		Extract: func(x row) (any, bool) { return x.name, true }})
+	r.MustRegister(Field[row]{Name: "market", Category: "meta", Kind: KindString,
+		Extract: func(x row) (any, bool) { return x.market, true }})
+	r.MustRegister(Field[row]{Name: "size", Category: "apk", Kind: KindInt, Nullable: true,
+		Extract: func(x row) (any, bool) { return x.size, x.hasSize }})
+	r.MustRegister(Field[row]{Name: "rating", Category: "meta", Kind: KindFloat, Nullable: true,
+		Extract: func(x row) (any, bool) { return x.rating, x.hasRating }})
+	r.MustRegister(Field[row]{Name: "flagged", Category: "enrichment", Kind: KindBool,
+		Extract: func(x row) (any, bool) { return x.flagged, true }})
+	r.MustRegister(Field[row]{Name: "date", Category: "meta", Kind: KindTime,
+		Extract: func(x row) (any, bool) { return x.date, true }})
+	return r
+}
+
+func day(d int) time.Time { return time.Date(2018, 5, d, 0, 0, 0, 0, time.UTC) }
+
+func testRows() []row {
+	return []row{
+		{name: "alpha", market: "Google Play", size: 100, hasSize: true, rating: 4.5, hasRating: true, flagged: false, date: day(1)},
+		{name: "bravo", market: "Tencent Myapp", size: 300, hasSize: true, rating: 3.0, hasRating: true, flagged: true, date: day(2)},
+		{name: "charlie", market: "Tencent Myapp", hasSize: false, rating: 2.0, hasRating: true, flagged: false, date: day(3)},
+		{name: "delta", market: "Baidu Market", size: 300, hasSize: true, hasRating: false, flagged: true, date: day(4)},
+		{name: "echo", market: "Google Play", size: 50, hasSize: true, rating: 4.5, hasRating: true, flagged: false, date: day(5)},
+	}
+}
+
+func testEngine() *Engine[row] { return NewEngine(testRegistry(), testRows()) }
+
+// names extracts the first column of every row as strings.
+func names(t *testing.T, res *Result) []string {
+	t.Helper()
+	out := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		s, ok := r[0].(string)
+		if !ok {
+			t.Fatalf("first column is %T, want string", r[0])
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func wantNames(t *testing.T, res *Result, want ...string) {
+	t.Helper()
+	got := names(t, res)
+	if len(got) != len(want) {
+		t.Fatalf("got rows %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestFilterOperators(t *testing.T) {
+	e := testEngine()
+	cases := []struct {
+		name   string
+		filter Filter
+		want   []string
+	}{
+		{"eq-string", Filter{Field: "market", Op: OpEq, Value: "Google Play"}, []string{"alpha", "echo"}},
+		{"ne-string", Filter{Field: "market", Op: OpNe, Value: "Google Play"}, []string{"bravo", "charlie", "delta"}},
+		{"lt-int", Filter{Field: "size", Op: OpLt, Value: float64(300)}, []string{"alpha", "echo"}},
+		{"le-int", Filter{Field: "size", Op: OpLe, Value: float64(100)}, []string{"alpha", "echo"}},
+		{"gt-float", Filter{Field: "rating", Op: OpGt, Value: 3.0}, []string{"alpha", "echo"}},
+		{"ge-float", Filter{Field: "rating", Op: OpGe, Value: 3.0}, []string{"alpha", "bravo", "echo"}},
+		{"eq-bool", Filter{Field: "flagged", Op: OpEq, Value: true}, []string{"bravo", "delta"}},
+		{"in-string", Filter{Field: "market", Op: OpIn, Value: []any{"Baidu Market", "Google Play"}}, []string{"alpha", "delta", "echo"}},
+		{"in-int", Filter{Field: "size", Op: OpIn, Value: []any{float64(50), float64(100)}}, []string{"alpha", "echo"}},
+		// Go-API callers pass typed slices; the JSON path passes []any.
+		{"in-typed-string-slice", Filter{Field: "market", Op: OpIn, Value: []string{"Baidu Market", "Google Play"}}, []string{"alpha", "delta", "echo"}},
+		{"in-typed-int-slice", Filter{Field: "size", Op: OpIn, Value: []int{50, 100}}, []string{"alpha", "echo"}},
+		{"contains", Filter{Field: "name", Op: OpContains, Value: "ar"}, []string{"charlie"}},
+		{"time-lt", Filter{Field: "date", Op: OpLt, Value: "2018-05-03"}, []string{"alpha", "bravo"}},
+		{"time-ge-rfc3339", Filter{Field: "date", Op: OpGe, Value: "2018-05-04T00:00:00Z"}, []string{"delta", "echo"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := e.Scan(Query{Fields: []string{"name"}, Filters: []Filter{tc.filter}})
+			if err != nil {
+				t.Fatalf("scan: %v", err)
+			}
+			wantNames(t, res, tc.want...)
+			if res.Meta.TotalMatched != len(tc.want) || res.Meta.Scanned != 5 {
+				t.Fatalf("meta = %+v, want %d matched of 5", res.Meta, len(tc.want))
+			}
+		})
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	e := testEngine()
+
+	// Comparisons never match null values: charlie has no size, so every
+	// ordering operator over size excludes it, including !=.
+	res, err := e.Scan(Query{Fields: []string{"name"}, Filters: []Filter{{Field: "size", Op: OpNe, Value: float64(300)}}})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	wantNames(t, res, "alpha", "echo")
+
+	// is_null selects exactly the null rows...
+	res, err = e.Scan(Query{Fields: []string{"name"}, Filters: []Filter{{Field: "size", Op: OpIsNull}}})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	wantNames(t, res, "charlie")
+
+	// ...and is_null=false the complement.
+	res, err = e.Scan(Query{Fields: []string{"name"}, Filters: []Filter{{Field: "rating", Op: OpIsNull, Value: false}}})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	wantNames(t, res, "alpha", "bravo", "charlie", "echo")
+
+	// Null values surface as nil cells in the output.
+	res, err = e.Scan(Query{Fields: []string{"name", "size"}, Filters: []Filter{{Field: "name", Op: OpEq, Value: "charlie"}}})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if res.Rows[0][1] != nil {
+		t.Fatalf("null size cell = %v, want nil", res.Rows[0][1])
+	}
+}
+
+func TestSortMultiKeyStabilityAndNulls(t *testing.T) {
+	e := testEngine()
+
+	// Two-key sort: size desc then name asc. bravo and delta tie on size
+	// 300 and break on name; charlie (null size) goes last despite desc.
+	res, err := e.Scan(Query{
+		Fields: []string{"name"},
+		Sort:   []SortKey{{Field: "size", Desc: true}, {Field: "name"}},
+	})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	wantNames(t, res, "bravo", "delta", "alpha", "echo", "charlie")
+
+	// Stability: rating has a three-way tie at 4.5 between alpha and echo
+	// plus equal markets; sorting only on market must keep dataset order
+	// within each market group.
+	res, err = e.Scan(Query{Fields: []string{"name"}, Sort: []SortKey{{Field: "market"}}})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	wantNames(t, res, "delta", "alpha", "echo", "bravo", "charlie")
+
+	// Nulls order last under asc too: delta has no rating.
+	res, err = e.Scan(Query{Fields: []string{"name"}, Sort: []SortKey{{Field: "rating"}}})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	wantNames(t, res, "charlie", "bravo", "alpha", "echo", "delta")
+}
+
+func TestLimitEnforcement(t *testing.T) {
+	e := testEngine()
+	res, err := e.Scan(Query{Fields: []string{"name"}, Sort: []SortKey{{Field: "name"}}, Limit: 2})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	wantNames(t, res, "alpha", "bravo")
+	if res.Meta.TotalMatched != 5 {
+		t.Fatalf("TotalMatched = %d, want 5 (limit must not affect the match count)", res.Meta.TotalMatched)
+	}
+	if res.Meta.Returned != 2 {
+		t.Fatalf("Returned = %d, want 2", res.Meta.Returned)
+	}
+	if _, err := e.Scan(Query{Fields: []string{"name"}, Limit: -1}); err == nil {
+		t.Fatal("negative limit accepted")
+	}
+}
+
+func TestEmptyFieldsMeansAll(t *testing.T) {
+	e := testEngine()
+	res, err := e.Scan(Query{Limit: 1})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(res.Fields) != 6 || len(res.Rows[0]) != 6 {
+		t.Fatalf("all-fields scan returned %d columns, want 6", len(res.Fields))
+	}
+	if res.Fields[0].Name != "name" || res.Fields[5].Name != "date" {
+		t.Fatalf("fields not in registration order: %+v", res.Fields)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	e := testEngine()
+	bad := []Query{
+		{Fields: []string{"nope"}},
+		{Fields: []string{"name"}, Filters: []Filter{{Field: "nope", Op: OpEq, Value: "x"}}},
+		{Fields: []string{"name"}, Filters: []Filter{{Field: "size", Op: Op("~"), Value: "x"}}},
+		{Fields: []string{"name"}, Filters: []Filter{{Field: "size", Op: OpContains, Value: "x"}}},
+		{Fields: []string{"name"}, Filters: []Filter{{Field: "size", Op: OpEq, Value: "big"}}},
+		{Fields: []string{"name"}, Filters: []Filter{{Field: "size", Op: OpEq, Value: 1.5}}},
+		{Fields: []string{"name"}, Filters: []Filter{{Field: "flagged", Op: OpLt, Value: true}}},
+		{Fields: []string{"name"}, Filters: []Filter{{Field: "size", Op: OpIn, Value: []any{}}}},
+		{Fields: []string{"name"}, Filters: []Filter{{Field: "size", Op: OpEq}}},
+		{Fields: []string{"name"}, Sort: []SortKey{{Field: "nope"}}},
+		// Out-of-int64-range numbers must be rejected, not silently
+		// converted (a wrapped value would match everything or nothing).
+		{Fields: []string{"name"}, Filters: []Filter{{Field: "size", Op: OpGe, Value: 1e19}}},
+		{Fields: []string{"name"}, Filters: []Filter{{Field: "size", Op: OpEq, Value: math.Inf(1)}}},
+		{Fields: []string{"name"}, Filters: []Filter{{Field: "date", Op: OpLt, Value: 1e19}}},
+	}
+	for i, q := range bad {
+		if _, err := e.Scan(q); err == nil {
+			t.Errorf("query %d accepted, want error", i)
+		}
+	}
+}
+
+func TestTimeEmittedAsRFC3339(t *testing.T) {
+	e := testEngine()
+	res, err := e.Scan(Query{Fields: []string{"date"}, Limit: 1})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if got := res.Rows[0][0]; got != "2018-05-01T00:00:00Z" {
+		t.Fatalf("time cell = %v, want RFC 3339 string", got)
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	q, err := ParseQuery(strings.NewReader(`{
+		"fields": ["name"],
+		"filters": [{"field": "size", "op": ">=", "value": 100}],
+		"sort": [{"field": "size", "desc": true}],
+		"limit": 3
+	}`))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(q.Fields) != 1 || len(q.Filters) != 1 || len(q.Sort) != 1 || q.Limit != 3 {
+		t.Fatalf("parsed query = %+v", q)
+	}
+	if _, err := ParseQuery(strings.NewReader(`{"filter": []}`)); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if _, err := ParseQuery(strings.NewReader(``)); err == nil {
+		t.Fatal("empty body accepted")
+	}
+	if _, err := ParseQuery(strings.NewReader(`{"limit": -2}`)); err == nil {
+		t.Fatal("negative limit accepted")
+	}
+	if _, err := ParseQuery(strings.NewReader(`{"limit": 5}{"limit": 6}`)); err == nil {
+		t.Fatal("trailing data after the query object accepted")
+	}
+}
+
+// TestConcurrentScans hammers one engine from many goroutines; under -race
+// this proves Scan is read-only.
+func TestConcurrentScans(t *testing.T) {
+	e := testEngine()
+	queries := []Query{
+		{Fields: []string{"name"}, Filters: []Filter{{Field: "flagged", Op: OpEq, Value: true}}},
+		{Fields: []string{"name", "size"}, Sort: []SortKey{{Field: "size", Desc: true}, {Field: "name"}}, Limit: 3},
+		{Filters: []Filter{{Field: "rating", Op: OpIsNull}}},
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := queries[(w+i)%len(queries)]
+				if _, err := e.Scan(q); err != nil {
+					t.Errorf("concurrent scan: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestParallelMatchOrder pushes the dataset over the parallel threshold and
+// checks the matched order is still dataset order and identical to a small
+// serial scan of the same data.
+func TestParallelMatchOrder(t *testing.T) {
+	const n = parallelThreshold * 3
+	rows := make([]row, n)
+	for i := range rows {
+		rows[i] = row{name: string(rune('a'+i%26)) + "-" + time.Unix(int64(i), 0).UTC().Format("150405"),
+			market: "M", size: int64(i % 97), hasSize: true, hasRating: i%3 != 0, rating: float64(i % 7), date: day(1 + i%28)}
+	}
+	e := NewEngine(testRegistry(), rows)
+	res, err := e.Scan(Query{Fields: []string{"size"}, Filters: []Filter{{Field: "size", Op: OpLt, Value: float64(5)}}})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	var prev int64 = -1
+	seen := 0
+	for i := 0; i < n; i++ {
+		if int64(i%97) < 5 {
+			seen++
+		}
+	}
+	if res.Meta.TotalMatched != seen {
+		t.Fatalf("TotalMatched = %d, want %d", res.Meta.TotalMatched, seen)
+	}
+	// Dataset order means sizes cycle 0,1,2,3,4,0,1,... monotone within
+	// each period; verify the first period is ascending from 0.
+	for i := 0; i < 5 && i < len(res.Rows); i++ {
+		v := res.Rows[i][0].(int64)
+		if v != prev+1 {
+			t.Fatalf("row %d size = %d, want %d (dataset order violated)", i, v, prev+1)
+		}
+		prev = v
+	}
+}
+
+// TestResultJSONRoundTrip ensures a Result survives the HTTP layer's JSON
+// encoding with rows intact.
+func TestResultJSONRoundTrip(t *testing.T) {
+	e := testEngine()
+	res, err := e.Scan(Query{Fields: []string{"name", "size", "rating", "flagged", "date"}, Sort: []SortKey{{Field: "name"}}})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Result
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back.Rows) != len(res.Rows) || back.Meta.TotalMatched != res.Meta.TotalMatched {
+		t.Fatalf("round trip lost rows: %+v", back.Meta)
+	}
+	if back.Rows[0][0] != "alpha" {
+		t.Fatalf("round trip first cell = %v", back.Rows[0][0])
+	}
+}

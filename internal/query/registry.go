@@ -1,0 +1,85 @@
+package query
+
+import "fmt"
+
+// Field is one named, typed column over rows of type T. Extract returns the
+// value and true, or (anything, false) when the field is null for the row —
+// for example an APK-derived field on a listing whose APK failed to parse.
+//
+// Extracted values must match the declared kind: string for KindString,
+// int/int64 for KindInt, float64 for KindFloat, bool for KindBool and
+// time.Time for KindTime. A zero time also counts as null, so extractors
+// need not special-case unset dates.
+type Field[T any] struct {
+	Name     string
+	Category string
+	Kind     Kind
+	Doc      string
+	Nullable bool
+	Extract  func(T) (any, bool)
+}
+
+// Registry holds the field set of one row type, preserving registration
+// order for introspection and for "all fields" queries.
+type Registry[T any] struct {
+	byName map[string]Field[T]
+	order  []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry[T any]() *Registry[T] {
+	return &Registry[T]{byName: map[string]Field[T]{}}
+}
+
+// Register adds one field. Names must be unique and non-empty, the kind must
+// be one of the declared kinds and the extractor must be set.
+func (r *Registry[T]) Register(f Field[T]) error {
+	if f.Name == "" {
+		return fmt.Errorf("query: field with empty name")
+	}
+	if f.Extract == nil {
+		return fmt.Errorf("query: field %q has no extractor", f.Name)
+	}
+	switch f.Kind {
+	case KindString, KindInt, KindFloat, KindBool, KindTime:
+	default:
+		return fmt.Errorf("query: field %q has unknown kind %q", f.Name, f.Kind)
+	}
+	if _, dup := r.byName[f.Name]; dup {
+		return fmt.Errorf("query: duplicate field %q", f.Name)
+	}
+	r.byName[f.Name] = f
+	r.order = append(r.order, f.Name)
+	return nil
+}
+
+// MustRegister is Register for statically-known field tables, where a
+// registration failure is a programming error.
+func (r *Registry[T]) MustRegister(f Field[T]) {
+	if err := r.Register(f); err != nil {
+		panic(err)
+	}
+}
+
+// info is the introspection view of a field.
+func (f Field[T]) info() FieldInfo {
+	return FieldInfo{Name: f.Name, Category: f.Category, Kind: f.Kind, Doc: f.Doc, Nullable: f.Nullable}
+}
+
+// Len returns the number of registered fields.
+func (r *Registry[T]) Len() int { return len(r.order) }
+
+// Lookup returns a field by name.
+func (r *Registry[T]) Lookup(name string) (Field[T], bool) {
+	f, ok := r.byName[name]
+	return f, ok
+}
+
+// Fields returns every field's FieldInfo in registration order.
+func (r *Registry[T]) Fields() []FieldInfo {
+	out := make([]FieldInfo, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.byName[name].info())
+	}
+	return out
+}

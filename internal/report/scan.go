@@ -1,0 +1,66 @@
+package report
+
+import (
+	"fmt"
+	"strconv"
+
+	"marketscope/internal/query"
+)
+
+// ScanTable renders a scan result as an aligned text table: one column per
+// requested field, nulls as "-", followed by the execution meta. It accepts
+// results straight from the engine and results decoded from the /api/scan
+// JSON (where every number arrives as float64).
+func ScanTable(title string, res *query.Result) string {
+	t := newTable(title)
+	header := make([]string, 0, len(res.Fields))
+	for _, f := range res.Fields {
+		header = append(header, f.Name)
+	}
+	t.row(header...)
+	for _, r := range res.Rows {
+		cells := make([]string, 0, len(r))
+		for _, v := range r {
+			cells = append(cells, scanCell(v))
+		}
+		t.row(cells...)
+	}
+	t.row()
+	t.row(fmt.Sprintf("%d of %d listings matched (%d returned, %d µs)",
+		res.Meta.TotalMatched, res.Meta.Scanned, res.Meta.Returned, res.Meta.QueryTimeMicros))
+	return t.String()
+}
+
+// ScanFields renders a field listing (the /api/scan/fields payload) grouped
+// in registration order.
+func ScanFields(fields []query.FieldInfo) string {
+	t := newTable("Scannable dataset fields")
+	t.row("Field", "Category", "Kind", "Null?", "Doc")
+	for _, f := range fields {
+		nullable := "-"
+		if f.Nullable {
+			nullable = "yes"
+		}
+		t.row(f.Name, f.Category, string(f.Kind), nullable, f.Doc)
+	}
+	return t.String()
+}
+
+// scanCell formats one row value.
+func scanCell(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "-"
+	case string:
+		return x
+	case bool:
+		return yesNo(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		// JSON-decoded ints land here too; -1 precision keeps them clean.
+		return strconv.FormatFloat(x, 'f', -1, 64)
+	default:
+		return fmt.Sprint(x)
+	}
+}

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"marketscope/internal/query"
+)
+
+func TestScanTable(t *testing.T) {
+	res := &query.Result{
+		Fields: []query.FieldInfo{
+			{Name: "package", Category: "metadata", Kind: query.KindString},
+			{Name: "downloads", Category: "metadata", Kind: query.KindInt, Nullable: true},
+			{Name: "rating", Category: "metadata", Kind: query.KindFloat},
+			{Name: "flagged", Category: "enrichment", Kind: query.KindBool},
+		},
+		Rows: [][]any{
+			{"com.example.a", int64(120000), 4.5, true},
+			{"com.example.b", nil, float64(3), false},
+		},
+		Meta: query.Meta{Scanned: 500, TotalMatched: 2, Returned: 2, QueryTimeMicros: 42},
+	}
+	out := ScanTable("scan", res)
+	for _, want := range []string{"package", "com.example.a", "120000", "4.5", "yes",
+		"com.example.b", "2 of 500 listings matched"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// The null downloads cell renders as "-".
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "com.example.b") {
+			line = l
+		}
+	}
+	if !strings.Contains(line, "-") {
+		t.Errorf("null cell not rendered as '-': %q", line)
+	}
+	// A float64-typed integer (JSON-decoded) renders without a trailing .0.
+	if strings.Contains(out, "3.0") {
+		t.Errorf("JSON-decoded int rendered with fraction:\n%s", out)
+	}
+}
+
+func TestScanFields(t *testing.T) {
+	out := ScanFields([]query.FieldInfo{
+		{Name: "market", Category: "metadata", Kind: query.KindString, Doc: "hosting market"},
+		{Name: "av_positives", Category: "enrichment", Kind: query.KindInt, Nullable: true, Doc: "AV-rank"},
+	})
+	for _, want := range []string{"market", "metadata", "av_positives", "enrichment", "AV-rank", "yes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fields listing missing %q:\n%s", want, out)
+		}
+	}
+}
