@@ -14,6 +14,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -465,6 +466,91 @@ func BenchmarkAblation_ParallelSearch(b *testing.B) {
 			b.StopTimer()
 			printOnce("ablation-parallel-search-"+name,
 				fmt.Sprintf("parallel search %v -> %d (market, package) records harvested", parallel, records))
+		})
+	}
+}
+
+var (
+	pipelineSnapOnce sync.Once
+	pipelineSnap     *crawler.Snapshot
+	pipelineSnapErr  error
+)
+
+// pipelineSnapshot builds the synth corpus the pipeline benches share: large
+// enough that the enrichment pool has real work per listing, small enough to
+// run as a CI smoke bench with -benchtime 1x.
+func pipelineSnapshot(b *testing.B) *crawler.Snapshot {
+	b.Helper()
+	pipelineSnapOnce.Do(func() {
+		cfg := synth.SmallConfig()
+		cfg.NumApps = 400
+		cfg.NumDevelopers = 150
+		eco, err := synth.Generate(cfg)
+		if err != nil {
+			pipelineSnapErr = err
+			return
+		}
+		stores, err := eco.Populate()
+		if err != nil {
+			pipelineSnapErr = err
+			return
+		}
+		pipelineSnap, pipelineSnapErr = crawler.SnapshotFromStores(stores, true, cfg.CrawlDate)
+	})
+	if pipelineSnapErr != nil {
+		b.Fatalf("pipeline snapshot: %v", pipelineSnapErr)
+	}
+	return pipelineSnap
+}
+
+// benchWorkerCounts are the pool sizes the pipeline benches sweep: the serial
+// oracle, a fixed mid-size pool and one worker per CPU.
+func benchWorkerCounts() []int {
+	counts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkBuildDataset measures the parse stage (apk.Parse over every
+// harvested archive) at several worker-pool sizes; workers=1 is the serial
+// reference path.
+func BenchmarkBuildDataset(b *testing.B) {
+	snap := pipelineSnapshot(b)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := analysis.BuildDatasetWith(snap, analysis.BuildOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEnrich measures the full enrichment pipeline (feature-DB learning,
+// library detection, AV scan, permission analysis) at several worker-pool
+// sizes. Enrichment runs once per dataset, so each iteration rebuilds the
+// dataset outside the timer; workers=1 is the serial oracle the equivalence
+// tests compare against.
+func BenchmarkEnrich(b *testing.B) {
+	snap := pipelineSnapshot(b)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			opts := analysis.DefaultEnrichOptions()
+			opts.Workers = workers
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ds, err := analysis.BuildDatasetWith(snap, analysis.BuildOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				ds.Enrich(opts)
+			}
 		})
 	}
 }

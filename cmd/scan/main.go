@@ -5,7 +5,7 @@
 // Usage:
 //
 //	scan -fields
-//	scan [-snapshot DIR | -apps N] [-query FILE] [-format table|json]
+//	scan [-snapshot DIR | -apps N] [-workers N] [-query FILE] [-format table|json]
 //
 // The dataset is either a snapshot saved by the crawler command (-snapshot)
 // or a freshly generated synthetic corpus (-apps/-developers/-seed, the
@@ -58,6 +58,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	format := fs.String("format", "table", "output format: table or json")
 	listFields := fs.Bool("fields", false, "list the scannable fields and exit")
 	noEnrich := fs.Bool("no-enrich", false, "skip the detector pass (enrichment fields stay null)")
+	workers := fs.Int("workers", 0, "parse/enrichment worker count (0 = one per CPU, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,7 +85,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		return err
 	}
 
-	ds, err := buildDataset(*snapshotDir, *apps, *developers, *seed, !*noEnrich)
+	ds, err := buildDataset(*snapshotDir, *apps, *developers, *seed, !*noEnrich, *workers)
 	if err != nil {
 		return err
 	}
@@ -117,8 +118,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 }
 
 // buildDataset loads a saved snapshot or generates a synthetic corpus, then
-// parses (and optionally enriches) it.
-func buildDataset(snapshotDir string, apps, developers int, seed uint64, enrich bool) (*analysis.Dataset, error) {
+// parses (and optionally enriches) it on a worker pool of the given size.
+func buildDataset(snapshotDir string, apps, developers int, seed uint64, enrich bool, workers int) (*analysis.Dataset, error) {
 	var snap *crawler.Snapshot
 	if snapshotDir != "" {
 		loaded, err := crawler.Load(snapshotDir)
@@ -144,12 +145,14 @@ func buildDataset(snapshotDir string, apps, developers int, seed uint64, enrich 
 			return nil, fmt.Errorf("snapshot markets: %w", err)
 		}
 	}
-	ds, err := analysis.BuildDataset(snap)
+	ds, err := analysis.BuildDatasetWith(snap, analysis.BuildOptions{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
 	if enrich {
-		ds.Enrich(analysis.DefaultEnrichOptions())
+		opts := analysis.DefaultEnrichOptions()
+		opts.Workers = workers
+		ds.Enrich(opts)
 	}
 	return ds, nil
 }

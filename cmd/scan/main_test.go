@@ -34,8 +34,10 @@ func TestScanCLIFieldListing(t *testing.T) {
 }
 
 // TestScanCLIMatchesGoAPI runs the acceptance query through the CLI's JSON
-// output and through the Go API over an identically-configured dataset; the
-// generator is deterministic per seed, so the rows must be identical.
+// output (on the parallel pipeline) and through the Go API over an
+// identically-configured dataset enriched serially; the generator is
+// deterministic per seed and the pipeline is deterministic per worker count,
+// so the rows must be identical.
 func TestScanCLIMatchesGoAPI(t *testing.T) {
 	var out bytes.Buffer
 	err := run([]string{"-apps", "120", "-developers", "40", "-seed", "7", "-format", "json"},
@@ -48,7 +50,7 @@ func TestScanCLIMatchesGoAPI(t *testing.T) {
 		t.Fatalf("decode CLI output: %v", err)
 	}
 
-	ds, err := buildDataset("", 120, 40, 7, true)
+	ds, err := buildDataset("", 120, 40, 7, true, 1)
 	if err != nil {
 		t.Fatalf("build dataset: %v", err)
 	}

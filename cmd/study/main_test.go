@@ -66,3 +66,19 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Error("invalid synth config accepted")
 	}
 }
+
+// TestRunWorkersFlagDeterministic runs the same small study serially
+// (-workers 1, the oracle) and on the worker pool (-workers 4); the pipeline
+// is deterministic, so the rendered artifacts must be byte-identical.
+func TestRunWorkersFlagDeterministic(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	if err := run([]string{"-apps", "60", "-developers", "25", "-seed", "7", "-workers", "1", "-experiment", "t4"}, &serial); err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	if err := run([]string{"-apps", "60", "-developers", "25", "-seed", "7", "-workers", "4", "-experiment", "t4"}, &parallel); err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("worker count changed the artifact:\nserial:\n%s\nparallel:\n%s", serial.String(), parallel.String())
+	}
+}

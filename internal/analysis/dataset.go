@@ -8,13 +8,20 @@
 // The entry point is BuildDataset, which parses every harvested APK, followed
 // by Enrich, which runs the third-party library detector, the permission-gap
 // analyzer and the simulated VirusTotal scan once per listing so individual
-// analyses can share the results.
+// analyses can share the results. Both stages run on the internal/pipeline
+// worker pool: parsing and per-listing detection fan out across workers, the
+// feature-database learning pass is a sharded map/merge, and the AV scan is
+// deduplicated through a sharded exactly-once cache keyed by archive SHA-256.
+// The parallel output is identical to the serial one; Workers == 1 selects
+// the serial reference implementation that the equivalence tests use as the
+// oracle.
 package analysis
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"marketscope/internal/apk"
@@ -24,6 +31,7 @@ import (
 	"marketscope/internal/libdetect"
 	"marketscope/internal/market"
 	"marketscope/internal/permissions"
+	"marketscope/internal/pipeline"
 	"marketscope/internal/query"
 )
 
@@ -67,7 +75,9 @@ type Dataset struct {
 	Apps      []*App
 
 	byMarket map[string][]*App
-	enriched bool
+
+	enrichOnce sync.Once
+	enriched   atomic.Bool
 
 	// Detector state shared across analyses (populated by Enrich).
 	libDetector *libdetect.Detector
@@ -78,11 +88,29 @@ type Dataset struct {
 	querySrc  query.Source
 }
 
+// BuildOptions tunes the dataset build pass.
+type BuildOptions struct {
+	// Workers sizes the APK-parsing worker pool: 0 (or negative) means one
+	// worker per CPU, 1 runs the parse loop serially. The resulting dataset
+	// is identical either way — every listing parses independently and lands
+	// in its snapshot-order slot.
+	Workers int
+	// Progress, when non-nil, is called after each listing is parsed with
+	// stage "parse" and monotonically increasing done counts. Calls are
+	// serialized; the callback needs no locking of its own.
+	Progress func(stage string, done, total int)
+}
+
 // BuildDataset parses every APK in the snapshot and organizes the listings
-// for analysis. Listings whose APK is missing or fails to parse are kept with
-// ParseError set, mirroring how the paper's metadata catalog (6.2 M apps) is
-// larger than its APK collection (4.5 M).
+// for analysis, using one parse worker per CPU. Listings whose APK is missing
+// or fails to parse are kept with ParseError set, mirroring how the paper's
+// metadata catalog (6.2 M apps) is larger than its APK collection (4.5 M).
 func BuildDataset(snap *crawler.Snapshot) (*Dataset, error) {
+	return BuildDatasetWith(snap, BuildOptions{})
+}
+
+// BuildDatasetWith is BuildDataset with explicit worker and progress knobs.
+func BuildDatasetWith(snap *crawler.Snapshot, opts BuildOptions) (*Dataset, error) {
 	if snap == nil {
 		return nil, fmt.Errorf("analysis: nil snapshot")
 	}
@@ -90,8 +118,15 @@ func BuildDataset(snap *crawler.Snapshot) (*Dataset, error) {
 		CrawlTime: snap.CrawlTime,
 		byMarket:  map[string][]*App{},
 	}
-	seenMarkets := map[string]bool{}
-	for _, rec := range snap.Records() {
+	records := snap.Records()
+	tracker := progressTracker(len(records), "parse", opts.Progress)
+
+	// Parse in parallel: every listing owns its slot, so workers never touch
+	// shared state (Snapshot reads are concurrency-safe) and the slice is in
+	// snapshot order regardless of scheduling.
+	apps := make([]*App, len(records))
+	pipeline.ForEach(len(records), opts.Workers, func(i int) {
+		rec := records[i]
 		app := &App{Meta: rec}
 		if data, ok := snap.APK(rec.Key()); ok {
 			parsed, err := apk.Parse(data)
@@ -103,9 +138,15 @@ func BuildDataset(snap *crawler.Snapshot) (*Dataset, error) {
 		} else {
 			app.ParseError = fmt.Errorf("analysis: no APK harvested for %s/%s", rec.Market, rec.Package)
 		}
+		apps[i] = app
+		tracker.Tick()
+	})
+
+	seenMarkets := map[string]bool{}
+	for _, app := range apps {
 		d.Apps = append(d.Apps, app)
-		d.byMarket[rec.Market] = append(d.byMarket[rec.Market], app)
-		seenMarkets[rec.Market] = true
+		d.byMarket[app.Meta.Market] = append(d.byMarket[app.Meta.Market], app)
+		seenMarkets[app.Meta.Market] = true
 	}
 	// Attach profiles for the markets present, in canonical study order.
 	for _, p := range market.Profiles() {
@@ -137,9 +178,19 @@ type EnrichOptions struct {
 	// for learning the library feature database.
 	LibraryMinApps       int
 	LibraryMinDevelopers int
+	// Workers sizes the enrichment worker pool: 0 (or negative) means one
+	// worker per CPU; 1 selects the serial reference implementation, which
+	// the equivalence tests keep as the oracle for the parallel path. Both
+	// paths produce identical datasets.
+	Workers int
+	// Progress, when non-nil, receives serialized per-listing progress for
+	// the enrichment stages ("learn": feature-database observation, "detect":
+	// per-listing detections). The callback needs no locking of its own.
+	Progress func(stage string, done, total int)
 }
 
-// DefaultEnrichOptions returns the options used throughout the study.
+// DefaultEnrichOptions returns the options used throughout the study: one
+// enrichment worker per CPU.
 func DefaultEnrichOptions() EnrichOptions {
 	return EnrichOptions{ScannerSeed: 1, Engines: avscan.DefaultEngineCount, LibraryMinApps: 3, LibraryMinDevelopers: 2}
 }
@@ -147,23 +198,49 @@ func DefaultEnrichOptions() EnrichOptions {
 // Enrich runs the per-listing detectors: third-party library detection (with
 // a feature database learned from this very corpus, as the paper rebuilt
 // LibRadar's), the permission-gap analysis and the simulated VirusTotal scan.
-// Calling Enrich more than once is a no-op. Enrich writes the per-listing
-// detection fields without locking: it must complete before concurrent
-// readers (analyses, QuerySource scans) start.
+//
+// Concurrency contract: Enrich is safe to call from multiple goroutines; the
+// first caller runs the pipeline and every other caller blocks until it
+// completes, so all callers return with the dataset fully enriched. Inside
+// the pipeline each listing's detection fields are written by exactly one
+// worker (the serialization point is the pipeline's own completion barrier),
+// AV scans are deduplicated through a sharded exactly-once cache keyed by
+// archive SHA-256, and the feature database is learned as a sharded
+// map/merge — so the result is identical for every Workers setting. Later
+// calls with different options are no-ops: the first options win.
 func (d *Dataset) Enrich(opts EnrichOptions) {
-	if d.enriched {
-		return
-	}
+	d.enrichOnce.Do(func() {
+		d.enrich(opts)
+		d.enriched.Store(true)
+	})
+}
+
+// enrich dispatches to the serial oracle or the worker-pool implementation.
+func (d *Dataset) enrich(opts EnrichOptions) {
 	if opts.Engines == 0 {
 		opts.Engines = avscan.DefaultEngineCount
 	}
+	if pipeline.Workers(opts.Workers, len(d.Apps)) == 1 {
+		d.enrichSerial(opts)
+		return
+	}
+	d.enrichParallel(opts)
+}
+
+// enrichSerial is the reference implementation: two plain O(N) passes, kept
+// verbatim as the oracle the equivalence tests compare the worker pool
+// against.
+func (d *Dataset) enrichSerial(opts EnrichOptions) {
+	learnTracker := progressTracker(len(d.Apps), "learn", opts.Progress)
+	detectTracker := progressTracker(len(d.Apps), "detect", opts.Progress)
+
 	// Pass 1: learn the library feature database from the whole corpus.
 	db := libdetect.NewFeatureDB(opts.LibraryMinApps, opts.LibraryMinDevelopers)
 	for _, app := range d.Apps {
-		if !app.HasAPK() {
-			continue
+		if app.HasAPK() {
+			db.Observe(app.Parsed.Dex, app.Meta.Package, app.Parsed.Developer())
 		}
-		db.Observe(app.Parsed.Dex, app.Meta.Package, app.Parsed.Developer())
+		learnTracker.Tick()
 	}
 	d.libDetector = libdetect.NewDetector(nil, db)
 	d.scanner = avscan.NewScanner(opts.ScannerSeed, opts.Engines)
@@ -175,6 +252,7 @@ func (d *Dataset) Enrich(opts EnrichOptions) {
 	scanCache := map[string]*avscan.Report{}
 	for _, app := range d.Apps {
 		if !app.HasAPK() {
+			detectTracker.Tick()
 			continue
 		}
 		app.Libraries = d.libDetector.Detect(app.Parsed.Dex, app.Meta.Package)
@@ -186,12 +264,69 @@ func (d *Dataset) Enrich(opts EnrichOptions) {
 			app.AVReport = report
 		}
 		app.PermUsage = permAnalyzer.Analyze(app.Parsed.Manifest, app.Parsed.Dex)
+		detectTracker.Tick()
 	}
-	d.enriched = true
 }
 
-// Enriched reports whether Enrich has run.
-func (d *Dataset) Enriched() bool { return d.enriched }
+// enrichParallel is the worker-pool implementation. Pass 1 shards the corpus
+// across per-worker feature databases and merges them (FeatureDB.Merge is
+// commutative, so the merged database is independent of scheduling); pass 2
+// fans the per-listing detections out over the pool, with each worker writing
+// only its own listing's fields and AV scans deduplicated through the shared
+// exactly-once cache.
+func (d *Dataset) enrichParallel(opts EnrichOptions) {
+	learnTracker := progressTracker(len(d.Apps), "learn", opts.Progress)
+	detectTracker := progressTracker(len(d.Apps), "detect", opts.Progress)
+
+	// Pass 1: sharded map/merge over per-worker feature databases.
+	db := pipeline.MapMerge(len(d.Apps), opts.Workers,
+		func() *libdetect.FeatureDB {
+			return libdetect.NewFeatureDB(opts.LibraryMinApps, opts.LibraryMinDevelopers)
+		},
+		func(acc *libdetect.FeatureDB, i int) {
+			if app := d.Apps[i]; app.HasAPK() {
+				acc.Observe(app.Parsed.Dex, app.Meta.Package, app.Parsed.Developer())
+			}
+			learnTracker.Tick()
+		},
+		func(dst, src *libdetect.FeatureDB) { dst.Merge(src) },
+	)
+	d.libDetector = libdetect.NewDetector(nil, db)
+	d.scanner = avscan.NewScanner(opts.ScannerSeed, opts.Engines)
+	permAnalyzer := permissions.NewAnalyzer(nil)
+
+	// Pass 2: bounded worker pool over the listings. Detector, scanner and
+	// analyzer are read-only after construction, so workers share them
+	// without locks; the scan cache guarantees one Scan per distinct archive
+	// no matter how many goroutines race on the same SHA-256.
+	scanCache := pipeline.NewCache[*avscan.Report]()
+	pipeline.ForEach(len(d.Apps), opts.Workers, func(i int) {
+		app := d.Apps[i]
+		if !app.HasAPK() {
+			detectTracker.Tick()
+			return
+		}
+		app.Libraries = d.libDetector.Detect(app.Parsed.Dex, app.Meta.Package)
+		app.AVReport = scanCache.Do(app.Parsed.SHA256, func() *avscan.Report {
+			return d.scanner.Scan(app.Parsed.SHA256, app.Parsed.Dex)
+		})
+		app.PermUsage = permAnalyzer.Analyze(app.Parsed.Manifest, app.Parsed.Dex)
+		detectTracker.Tick()
+	})
+}
+
+// progressTracker adapts a stage-labeled progress callback to a pipeline
+// tracker; a nil callback yields a nil (no-op) tracker.
+func progressTracker(total int, stage string, progress func(stage string, done, total int)) *pipeline.Tracker {
+	if progress == nil {
+		return nil
+	}
+	return pipeline.NewTracker(total, func(done, total int) { progress(stage, done, total) })
+}
+
+// Enriched reports whether Enrich has completed. It is safe to call
+// concurrently with Enrich.
+func (d *Dataset) Enriched() bool { return d.enriched.Load() }
 
 // LibraryDetector returns the detector built during enrichment (nil before
 // Enrich).
@@ -241,11 +376,11 @@ func (d *Dataset) PackagesByMarket() map[string]map[string]bool {
 	return out
 }
 
-// mustEnrich panics if Enrich has not been called; analyses that depend on
+// mustEnrich panics if Enrich has not completed; analyses that depend on
 // detections call it so misuse fails loudly instead of silently returning
 // zeros.
 func (d *Dataset) mustEnrich() {
-	if !d.enriched {
+	if !d.enriched.Load() {
 		panic("analysis: Enrich must be called before detector-backed analyses")
 	}
 }

@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"marketscope/internal/crawler"
+	"marketscope/internal/synth"
+)
+
+// enrichSnapshot builds one small crawl snapshot shared by the pipeline
+// equivalence tests. It is separate from the package fixture because these
+// tests need un-enriched datasets they can enrich with varying worker counts.
+func enrichSnapshot(t *testing.T) *crawler.Snapshot {
+	t.Helper()
+	enrichSnapOnce.Do(func() {
+		cfg := synth.SmallConfig()
+		cfg.NumApps = 160
+		cfg.NumDevelopers = 60
+		eco, err := synth.Generate(cfg)
+		if err != nil {
+			enrichSnapErr = err
+			return
+		}
+		stores, err := eco.Populate()
+		if err != nil {
+			enrichSnapErr = err
+			return
+		}
+		enrichSnapVal, enrichSnapErr = crawler.SnapshotFromStores(stores, true, cfg.CrawlDate)
+	})
+	if enrichSnapErr != nil {
+		t.Fatalf("enrich snapshot: %v", enrichSnapErr)
+	}
+	return enrichSnapVal
+}
+
+var (
+	enrichSnapOnce sync.Once
+	enrichSnapVal  *crawler.Snapshot
+	enrichSnapErr  error
+)
+
+// enrichedDataset builds and enriches a dataset with the given worker count.
+func enrichedDataset(t *testing.T, snap *crawler.Snapshot, workers int) *Dataset {
+	t.Helper()
+	d, err := BuildDatasetWith(snap, BuildOptions{Workers: workers})
+	if err != nil {
+		t.Fatalf("build (workers=%d): %v", workers, err)
+	}
+	opts := DefaultEnrichOptions()
+	opts.Workers = workers
+	d.Enrich(opts)
+	return d
+}
+
+// TestParallelEnrichMatchesSerialOracle is the pipeline's acceptance test:
+// Workers == 1 runs the serial reference implementation, and every parallel
+// worker count must reproduce its output exactly — same libraries, same AV
+// reports, same permission gaps on every listing, and the same learned
+// feature database.
+func TestParallelEnrichMatchesSerialOracle(t *testing.T) {
+	snap := enrichSnapshot(t)
+	oracle := enrichedDataset(t, snap, 1)
+
+	for _, workers := range []int{2, 4, runtime.NumCPU()} {
+		t.Run(fmt.Sprintf("workers_%d", workers), func(t *testing.T) {
+			got := enrichedDataset(t, snap, workers)
+			if len(got.Apps) != len(oracle.Apps) {
+				t.Fatalf("listing count %d, want %d", len(got.Apps), len(oracle.Apps))
+			}
+			for i, app := range got.Apps {
+				want := oracle.Apps[i]
+				if app.Meta.Key() != want.Meta.Key() {
+					t.Fatalf("listing %d is %v, oracle has %v (order diverged)", i, app.Meta.Key(), want.Meta.Key())
+				}
+				if app.HasAPK() != want.HasAPK() {
+					t.Fatalf("%v: parsed=%v, oracle parsed=%v", app.Meta.Key(), app.HasAPK(), want.HasAPK())
+				}
+				if !reflect.DeepEqual(app.Libraries, want.Libraries) {
+					t.Errorf("%v: libraries diverge:\n got %+v\nwant %+v", app.Meta.Key(), app.Libraries, want.Libraries)
+				}
+				if !reflect.DeepEqual(app.AVReport, want.AVReport) {
+					t.Errorf("%v: AV report diverges:\n got %+v\nwant %+v", app.Meta.Key(), app.AVReport, want.AVReport)
+				}
+				if !reflect.DeepEqual(app.PermUsage, want.PermUsage) {
+					t.Errorf("%v: permission usage diverges:\n got %+v\nwant %+v", app.Meta.Key(), app.PermUsage, want.PermUsage)
+				}
+			}
+			gotDB := got.LibraryDetector()
+			wantDB := oracle.LibraryDetector()
+			if gotDB == nil || wantDB == nil {
+				t.Fatal("detector missing after enrichment")
+			}
+			// The learned databases must agree feature-for-feature; the
+			// summary counts catch shard-merge bugs cheaply.
+			if g, w := dbStats(got), dbStats(oracle); g != w {
+				t.Errorf("feature DB diverges: got %v, want %v", g, w)
+			}
+		})
+	}
+}
+
+// dbStats summarizes what the learned feature database produced — the
+// detector does not expose its FeatureDB, so compare the stats the analyses
+// observe: total and catalog-resolved detections across the corpus.
+func dbStats(d *Dataset) [2]int {
+	total := 0
+	known := 0
+	for _, app := range d.Apps {
+		total += len(app.Libraries)
+		for _, det := range app.Libraries {
+			if det.Known {
+				known++
+			}
+		}
+	}
+	return [2]int{total, known}
+}
+
+// TestBuildDatasetParallelMatchesSerial checks the parse stage alone: the
+// listing order, metadata and parse outcomes must be independent of the
+// parse worker count.
+func TestBuildDatasetParallelMatchesSerial(t *testing.T) {
+	snap := enrichSnapshot(t)
+	serial, err := BuildDatasetWith(snap, BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("serial build: %v", err)
+	}
+	parallel, err := BuildDatasetWith(snap, BuildOptions{Workers: runtime.NumCPU()})
+	if err != nil {
+		t.Fatalf("parallel build: %v", err)
+	}
+	if len(serial.Apps) != len(parallel.Apps) {
+		t.Fatalf("listing count %d vs %d", len(parallel.Apps), len(serial.Apps))
+	}
+	for i := range serial.Apps {
+		s, p := serial.Apps[i], parallel.Apps[i]
+		if s.Meta.Key() != p.Meta.Key() {
+			t.Fatalf("listing %d: %v vs %v", i, p.Meta.Key(), s.Meta.Key())
+		}
+		if s.HasAPK() != p.HasAPK() {
+			t.Fatalf("%v: parse outcome diverges", s.Meta.Key())
+		}
+		if s.HasAPK() && s.Parsed.SHA256 != p.Parsed.SHA256 {
+			t.Fatalf("%v: SHA-256 diverges", s.Meta.Key())
+		}
+		if (s.ParseError == nil) != (p.ParseError == nil) {
+			t.Fatalf("%v: parse error diverges", s.Meta.Key())
+		}
+	}
+	if !reflect.DeepEqual(serial.MarketNames(), parallel.MarketNames()) {
+		t.Errorf("market order diverges: %v vs %v", parallel.MarketNames(), serial.MarketNames())
+	}
+}
+
+// TestConcurrentEnrichIsSafe exercises the sync.Once contract under the race
+// detector: many goroutines call Enrich (with different options — the first
+// one in wins) while others poll Enriched; exactly one pipeline runs, every
+// caller returns with the dataset fully enriched, and detector-backed
+// analyses work from all goroutines afterwards.
+func TestConcurrentEnrichIsSafe(t *testing.T) {
+	snap := enrichSnapshot(t)
+	d, err := BuildDataset(snap)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+
+	const callers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(workers int) {
+			defer wg.Done()
+			opts := DefaultEnrichOptions()
+			opts.Workers = workers
+			d.Enrich(opts)
+			if !d.Enriched() {
+				t.Error("Enrich returned before enrichment completed")
+			}
+			// Detector-backed analyses must be usable the moment any
+			// Enrich call returns.
+			_ = MalwarePrevalence(d)
+		}(i%4 + 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = d.Enriched() // concurrent polling must be race-free
+		}()
+	}
+	wg.Wait()
+
+	for _, app := range d.Apps {
+		if app.HasAPK() && app.AVReport == nil {
+			t.Fatalf("%v: listing left unenriched", app.Meta.Key())
+		}
+	}
+}
+
+// TestEnrichProgress checks the Progress contract on both paths: per-stage
+// callbacks are serialized, strictly monotone and end at the listing total.
+func TestEnrichProgress(t *testing.T) {
+	snap := enrichSnapshot(t)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers_%d", workers), func(t *testing.T) {
+			last := map[string]int{}
+			progress := func(stage string, done, total int) {
+				if done != last[stage]+1 {
+					t.Errorf("stage %q: done jumped from %d to %d", stage, last[stage], done)
+				}
+				last[stage] = done
+				if total != snap.NumRecords() {
+					t.Errorf("stage %q: total = %d, want %d", stage, total, snap.NumRecords())
+				}
+			}
+			d, err := BuildDatasetWith(snap, BuildOptions{Workers: workers, Progress: progress})
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			opts := DefaultEnrichOptions()
+			opts.Workers = workers
+			opts.Progress = progress
+			d.Enrich(opts)
+			for _, stage := range []string{"parse", "learn", "detect"} {
+				if last[stage] != snap.NumRecords() {
+					t.Errorf("stage %q finished at %d of %d", stage, last[stage], snap.NumRecords())
+				}
+			}
+		})
+	}
+}
+
+// TestEnrichOnceFirstOptionsWin documents the sync.Once semantics: a second
+// Enrich call with different options is a no-op.
+func TestEnrichOnceFirstOptionsWin(t *testing.T) {
+	snap := enrichSnapshot(t)
+	d, err := BuildDataset(snap)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	d.Enrich(DefaultEnrichOptions())
+	before := d.scanner.NumEngines()
+	second := DefaultEnrichOptions()
+	second.Engines = 7
+	d.Enrich(second)
+	if d.scanner.NumEngines() != before {
+		t.Errorf("second Enrich rebuilt the scanner: %d engines, want %d", d.scanner.NumEngines(), before)
+	}
+}

@@ -22,8 +22,10 @@ const (
 //
 // Enrichment-category fields are null until Enrich has run; apk-category
 // fields are null on listings whose APK was missing or failed to parse.
-// Enrich mutates the listings without locking, so it must complete before
-// any concurrent scanning starts — enrich first, then attach/serve.
+// Enrich's worker pool mutates the listings while it runs, so it must return
+// before any concurrent scanning starts (any Enrich call returning is enough:
+// concurrent callers all block until the one pipeline run completes) —
+// enrich first, then attach/serve.
 func (d *Dataset) QuerySource() query.Source {
 	d.queryOnce.Do(func() {
 		d.querySrc = query.NewEngine(appFieldRegistry(d), d.Apps)
@@ -150,14 +152,14 @@ func appFieldRegistry(d *Dataset) *query.Registry[*App] {
 	// --- enrichment: detector outputs ----------------------------------
 	enrichField(r, "library_count", query.KindInt, "third-party libraries detected (Figure 5)",
 		func(a *App) (any, bool) {
-			if !d.enriched || !a.HasAPK() {
+			if !d.enriched.Load() || !a.HasAPK() {
 				return nil, false
 			}
 			return len(a.Libraries), true
 		})
 	enrichField(r, "known_library_count", query.KindInt, "detections resolved to a catalog entry",
 		func(a *App) (any, bool) {
-			if !d.enriched || !a.HasAPK() {
+			if !d.enriched.Load() || !a.HasAPK() {
 				return nil, false
 			}
 			n := 0
@@ -170,7 +172,7 @@ func appFieldRegistry(d *Dataset) *query.Registry[*App] {
 		})
 	enrichField(r, "ad_library_count", query.KindInt, "advertising libraries detected",
 		func(a *App) (any, bool) {
-			if !d.enriched || !a.HasAPK() {
+			if !d.enriched.Load() || !a.HasAPK() {
 				return nil, false
 			}
 			n := 0

@@ -218,6 +218,8 @@ func parseFileManifest(data []byte) (map[string]string, error) {
 
 // Parse reads a signed APK produced by Build, verifies the per-entry digests
 // and the developer signature, and extracts the artifacts the analyses need.
+// Parse is a pure function of its input and safe to call from concurrent
+// parse workers (the dataset build pass fans archives out over a pool).
 func Parse(data []byte) (*Parsed, error) {
 	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
 	if err != nil {

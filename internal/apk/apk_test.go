@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"marketscope/internal/dex"
@@ -317,4 +318,35 @@ func BenchmarkParse(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// TestConcurrentParse exercises Parse from many goroutines over the same
+// archive bytes — the dataset build pool's access pattern — under the race
+// detector.
+func TestConcurrentParse(t *testing.T) {
+	dev := signing.NewDeveloper("Example Inc", 101)
+	data, err := Build(sampleAPK(), dev)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	want, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := Parse(data)
+			if err != nil {
+				t.Errorf("Parse: %v", err)
+				return
+			}
+			if got.SHA256 != want.SHA256 || got.Manifest.Package != want.Manifest.Package {
+				t.Error("concurrent parse diverged from serial parse")
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -2,7 +2,9 @@ package avscan
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"marketscope/internal/dex"
@@ -278,4 +280,39 @@ func BenchmarkScanBenign(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.Scan("bench", code)
 	}
+}
+
+// TestConcurrentScanIsDeterministic exercises the scanner from many
+// goroutines at once — the enrichment worker pool's access pattern — under
+// the race detector, and checks every goroutine gets the serial verdicts.
+func TestConcurrentScanIsDeterministic(t *testing.T) {
+	s := NewScanner(5, 40)
+	samples := []struct {
+		sha  string
+		code *dex.File
+	}{
+		{"aa01", benignCode()},
+		{"bb02", infectedCode("kuguo")},
+		{"cc03", infectedCode("airpush")},
+		{"dd04", infectedCode("ramnit")},
+	}
+	want := make([]*Report, len(samples))
+	for i, smp := range samples {
+		want[i] = s.Scan(smp.sha, smp.code)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, smp := range samples {
+				got := s.Scan(smp.sha, smp.code)
+				if !reflect.DeepEqual(got, want[i]) {
+					t.Errorf("goroutine %d: sample %s verdict diverges", g, smp.sha)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

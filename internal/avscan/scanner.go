@@ -109,7 +109,10 @@ type Report struct {
 // The paper uses >=1, >=10 and >=20 (Table 4), with 10 as the robust choice.
 func (r *Report) Flagged(threshold int) bool { return r.Positives >= threshold }
 
-// Scanner is a deterministic multi-engine scanner.
+// Scanner is a deterministic multi-engine scanner. Once built it is
+// read-only: Scan may be called from any number of enrichment workers
+// concurrently (every verdict is a pure function of the seed, the engine
+// pool and the sample).
 type Scanner struct {
 	engines []Engine
 	seed    uint64

@@ -171,8 +171,12 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 		return nil, fmt.Errorf("core: unknown mode %q", cfg.Mode)
 	}
 
-	// Parse and enrich.
-	res.Dataset, err = analysis.BuildDataset(res.FirstCrawl)
+	// Parse and enrich, on the same worker pool the enrichment uses (the
+	// Workers and Progress knobs of cfg.Enrich govern both stages).
+	res.Dataset, err = analysis.BuildDatasetWith(res.FirstCrawl, analysis.BuildOptions{
+		Workers:  cfg.Enrich.Workers,
+		Progress: cfg.Enrich.Progress,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: build dataset: %w", err)
 	}

@@ -170,6 +170,31 @@ func (db *FeatureDB) Observe(code *dex.File, ownPackage string, developer signin
 	}
 }
 
+// Merge folds the observations of other into db, leaving other unchanged.
+// Merging is commutative and associative — app counts add, developer sets
+// union, prefix counts add — so a corpus sharded across per-worker databases
+// merges to exactly the database a serial Observe loop would have built, in
+// any merge order. The thresholds of db are kept; other's are ignored.
+func (db *FeatureDB) Merge(other *FeatureDB) {
+	if other == nil {
+		return
+	}
+	for feature, src := range other.features {
+		dst, ok := db.features[feature]
+		if !ok {
+			dst = &featureStats{developers: make(map[signing.Fingerprint]bool, len(src.developers)), prefixes: make(map[string]int, len(src.prefixes))}
+			db.features[feature] = dst
+		}
+		dst.apps += src.apps
+		for dev := range src.developers {
+			dst.developers[dev] = true
+		}
+		for prefix, n := range src.prefixes {
+			dst.prefixes[prefix] += n
+		}
+	}
+}
+
 func countAPIs(code *dex.File, prefix string) int {
 	n := 0
 	for _, c := range code.ClassesUnderPrefix(prefix) {
@@ -223,7 +248,9 @@ func (db *FeatureDB) NumLibraries() int {
 }
 
 // Detector combines the labeled catalog with an optional learned feature
-// database.
+// database. Once built it is read-only: Detect and LibraryPrefixesIn are safe
+// to call from concurrent enrichment workers (the feature database must not
+// receive further Observe/Merge calls while detections run).
 type Detector struct {
 	catalog *Catalog
 	db      *FeatureDB

@@ -280,3 +280,75 @@ func BenchmarkFeatureDBObserve(b *testing.B) {
 		db.Observe(code, "com.host.app", dev.Fingerprint())
 	}
 }
+
+// TestFeatureDBMergeMatchesSerialObserve shards a corpus of observations
+// across several databases, merges them in an arbitrary order, and checks
+// the result agrees with a single database that observed everything — the
+// property the parallel enrichment pipeline's learn pass relies on.
+func TestFeatureDBMergeMatchesSerialObserve(t *testing.T) {
+	// 9 apps across 3 developers embedding overlapping libraries; thresholds
+	// low enough that shared features qualify.
+	type obs struct {
+		code *dex.File
+		pkg  string
+		dev  signing.Fingerprint
+	}
+	var corpus []obs
+	devs := []signing.Fingerprint{{1}, {2}, {3}}
+	for i := 0; i < 9; i++ {
+		pkg := "com.host.app" + strings.Repeat("x", i%3)
+		libs := []string{"com.umeng"}
+		if i%2 == 0 {
+			libs = append(libs, "com.google.ads")
+		}
+		corpus = append(corpus, obs{appWithLibraries(pkg, libs...), pkg, devs[i%3]})
+	}
+
+	serial := NewFeatureDB(3, 2)
+	for _, o := range corpus {
+		serial.Observe(o.code, o.pkg, o.dev)
+	}
+
+	// Shard 9 observations over 3 databases, merge shards 2,1 into 0.
+	shards := []*FeatureDB{NewFeatureDB(3, 2), NewFeatureDB(3, 2), NewFeatureDB(3, 2)}
+	for i, o := range corpus {
+		shards[i%3].Observe(o.code, o.pkg, o.dev)
+	}
+	merged := shards[0]
+	merged.Merge(shards[2])
+	merged.Merge(shards[1])
+	merged.Merge(nil) // must be a no-op
+
+	if merged.NumFeatures() != serial.NumFeatures() {
+		t.Fatalf("NumFeatures: merged %d, serial %d", merged.NumFeatures(), serial.NumFeatures())
+	}
+	if merged.NumLibraries() != serial.NumLibraries() {
+		t.Fatalf("NumLibraries: merged %d, serial %d", merged.NumLibraries(), serial.NumLibraries())
+	}
+	for feature := range serial.features {
+		if merged.IsLibraryFeature(feature) != serial.IsLibraryFeature(feature) {
+			t.Errorf("feature %s: IsLibraryFeature diverges", feature[:12])
+		}
+		mc, mok := merged.CanonicalPrefix(feature)
+		sc, sok := serial.CanonicalPrefix(feature)
+		if mc != sc || mok != sok {
+			t.Errorf("feature %s: CanonicalPrefix %q/%v, serial %q/%v", feature[:12], mc, mok, sc, sok)
+		}
+		ms, ss := merged.features[feature], serial.features[feature]
+		if ms.apps != ss.apps || len(ms.developers) != len(ss.developers) {
+			t.Errorf("feature %s: stats diverge (apps %d/%d, devs %d/%d)",
+				feature[:12], ms.apps, ss.apps, len(ms.developers), len(ss.developers))
+		}
+	}
+	// Detections driven by the merged DB must match the serial DB's.
+	det := NewDetector(nil, merged).Detect(corpus[0].code, corpus[0].pkg)
+	want := NewDetector(nil, serial).Detect(corpus[0].code, corpus[0].pkg)
+	if len(det) != len(want) {
+		t.Fatalf("detections: merged %d, serial %d", len(det), len(want))
+	}
+	for i := range det {
+		if det[i] != want[i] {
+			t.Errorf("detection %d diverges: %+v vs %+v", i, det[i], want[i])
+		}
+	}
+}

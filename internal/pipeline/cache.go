@@ -1,0 +1,74 @@
+package pipeline
+
+import (
+	"sync"
+)
+
+// cacheShards is the number of independent locks in a Cache. Sharding keeps
+// goroutines scanning different archives from contending on one mutex; the
+// count is a power of two so the shard index is a cheap mask.
+const cacheShards = 64
+
+// Cache is a sharded, exactly-once memoization map keyed by string. Do
+// guarantees that the compute function for a given key runs exactly once no
+// matter how many goroutines ask for it concurrently — the analogue of how
+// VirusTotal deduplicates submissions by file hash — and every caller gets
+// the same value back.
+type Cache[V any] struct {
+	shards [cacheShards]cacheShard[V]
+}
+
+type cacheShard[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry[V]
+}
+
+type cacheEntry[V any] struct {
+	once sync.Once
+	val  V
+}
+
+// NewCache returns an empty cache.
+func NewCache[V any]() *Cache[V] {
+	c := &Cache[V]{}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*cacheEntry[V])
+	}
+	return c
+}
+
+// Do returns the cached value for key, running compute to produce it if this
+// is the first request. Concurrent callers for the same key block until the
+// single compute finishes and then share its result.
+func (c *Cache[V]) Do(key string, compute func() V) V {
+	// Inline FNV-1a: hash.Hash32 would heap-allocate on every call of the
+	// per-listing hot path.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	shard := &c.shards[h&(cacheShards-1)]
+
+	shard.mu.Lock()
+	e, ok := shard.entries[key]
+	if !ok {
+		e = &cacheEntry[V]{}
+		shard.entries[key] = e
+	}
+	shard.mu.Unlock()
+
+	e.once.Do(func() { e.val = compute() })
+	return e.val
+}
+
+// Len returns the number of distinct keys computed or in flight.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}

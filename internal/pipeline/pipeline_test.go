@@ -1,0 +1,127 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	cases := []struct {
+		knob, n, want int
+	}{
+		{0, 100, runtime.NumCPU()},
+		{-3, 100, runtime.NumCPU()},
+		{1, 100, 1},
+		{4, 100, 4},
+		{8, 3, 3}, // never more workers than items
+		{8, 0, 8}, // n == 0 means "unknown", keep the knob
+		{0, 1, 1}, // single item runs serially
+	}
+	for _, c := range cases {
+		want := c.want
+		if want > c.n && c.n > 0 {
+			want = c.n
+		}
+		if got := Workers(c.knob, c.n); got != want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.knob, c.n, got, want)
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, runtime.NumCPU() + 2} {
+		const n = 1000
+		hits := make([]atomic.Int32, n)
+		ForEach(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d processed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestMapMergeMatchesSerialFold(t *testing.T) {
+	// Accumulate a commutative histogram of i%7 and compare against the
+	// serial oracle for several worker counts.
+	const n = 5000
+	newAcc := func() map[int]int { return map[int]int{} }
+	fold := func(acc map[int]int, i int) { acc[i%7]++ }
+	merge := func(dst, src map[int]int) {
+		for k, v := range src {
+			dst[k] += v
+		}
+	}
+	want := MapMerge(n, 1, newAcc, fold, merge)
+	for _, workers := range []int{2, 3, 8} {
+		got := MapMerge(n, workers, newAcc, fold, merge)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d buckets, want %d", workers, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("workers=%d: bucket %d = %d, want %d", workers, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestCacheComputesOncePerKey(t *testing.T) {
+	c := NewCache[int]()
+	var computes atomic.Int32
+	const n = 2000
+	results := make([]int, n)
+	ForEach(n, 8, func(i int) {
+		key := string(rune('a' + i%5))
+		results[i] = c.Do(key, func() int {
+			computes.Add(1)
+			return i % 5 // first caller wins; all later callers see its value
+		})
+	})
+	if got := computes.Load(); got != 5 {
+		t.Fatalf("compute ran %d times, want 5", got)
+	}
+	if c.Len() != 5 {
+		t.Fatalf("cache holds %d keys, want 5", c.Len())
+	}
+	for i := 0; i < n; i++ {
+		if results[i] != results[i%5] {
+			t.Fatalf("key %d: callers disagree on cached value", i%5)
+		}
+	}
+}
+
+func TestTrackerSerializesTicks(t *testing.T) {
+	var last, calls int
+	tr := NewTracker(100, func(done, total int) {
+		if total != 100 {
+			t.Errorf("total = %d, want 100", total)
+		}
+		if done != last+1 {
+			t.Errorf("done jumped from %d to %d", last, done)
+		}
+		last = done
+		calls++
+	})
+	ForEach(100, 8, func(int) { tr.Tick() })
+	if calls != 100 || last != 100 {
+		t.Fatalf("callback saw %d calls ending at %d, want 100/100", calls, last)
+	}
+}
+
+func TestNilTrackerIsNoOp(t *testing.T) {
+	var tr *Tracker
+	tr.Tick() // must not panic
+	if NewTracker(10, nil) != nil {
+		t.Fatal("NewTracker(nil fn) should return nil")
+	}
+}
