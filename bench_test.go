@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	"marketscope/internal/analysis"
+	"marketscope/internal/clonedetect"
 	"marketscope/internal/core"
 	"marketscope/internal/crawler"
 	"marketscope/internal/market"
@@ -528,6 +529,76 @@ func BenchmarkBuildDataset(b *testing.B) {
 			}
 		})
 	}
+}
+
+var (
+	cloneCorpusOnce sync.Once
+	cloneCorpus     []*clonedetect.AppInstance
+	cloneCorpusErr  error
+)
+
+// cloneBenchCorpus parses and enriches the shared 400-app synth snapshot once
+// and converts it into the clone detector's input instances, so the clone
+// benches time detection alone.
+func cloneBenchCorpus(b *testing.B) []*clonedetect.AppInstance {
+	b.Helper()
+	cloneCorpusOnce.Do(func() {
+		snap := pipelineSnapshot(b)
+		ds, err := analysis.BuildDatasetWith(snap, analysis.BuildOptions{})
+		if err != nil {
+			cloneCorpusErr = err
+			return
+		}
+		ds.Enrich(analysis.DefaultEnrichOptions())
+		cloneCorpus = ds.CloneInstances(true)
+	})
+	if cloneCorpusErr != nil {
+		b.Fatalf("clone bench corpus: %v", cloneCorpusErr)
+	}
+	return cloneCorpus
+}
+
+// BenchmarkDetectCodeClones measures the two-phase code-clone detector over
+// the 400-app synth corpus at several worker counts. workers_1 is the serial
+// oracle (the pre-index sort-by-total sweep); every other sub-bench runs the
+// candidate-indexed detector, which must emit the identical clone set while
+// performing strictly fewer vector comparisons — both properties are asserted
+// here so the bench-smoke CI artifact records them on every PR.
+func BenchmarkDetectCodeClones(b *testing.B) {
+	instances := cloneBenchCorpus(b)
+	cfg := clonedetect.DefaultCodeConfig()
+
+	oracle := clonedetect.DetectCodeClonesWith(instances, cfg, clonedetect.CloneOptions{Workers: 1})
+	indexed := clonedetect.DetectCodeClonesWith(instances, cfg, clonedetect.CloneOptions{})
+	if indexed.ComparedPairs >= oracle.ComparedPairs {
+		b.Fatalf("candidate index did not prune: %d comparisons vs %d pre-index",
+			indexed.ComparedPairs, oracle.ComparedPairs)
+	}
+	if len(indexed.Pairs) != len(oracle.Pairs) || indexed.CandidatePairs != oracle.CandidatePairs {
+		b.Fatalf("indexed detector diverged from the oracle: %d/%d pairs, %d/%d candidates",
+			len(indexed.Pairs), len(oracle.Pairs), indexed.CandidatePairs, oracle.CandidatePairs)
+	}
+	printOnce("clone-index", fmt.Sprintf(
+		"code-clone candidate index over %d instances: %d vector comparisons vs %d pre-index blocking (%.1fx reduction), %d candidates, %d confirmed clones",
+		len(instances), indexed.ComparedPairs, oracle.ComparedPairs,
+		float64(oracle.ComparedPairs)/float64(maxInt(indexed.ComparedPairs, 1)),
+		indexed.CandidatePairs, len(indexed.Pairs)))
+
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				clonedetect.DetectCodeClonesWith(instances, cfg, clonedetect.CloneOptions{Workers: workers})
+			}
+		})
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // BenchmarkEnrich measures the full enrichment pipeline (feature-DB learning,

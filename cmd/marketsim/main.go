@@ -6,6 +6,9 @@
 //
 //	marketsim [-apps N] [-developers N] [-seed S] [-port 8100] [-endpoints FILE]
 //
+// With -port 0 every market binds an ephemeral port instead of a consecutive
+// range, which is what the smoke tests use to avoid port collisions.
+//
 // The endpoint list (market name and base URL, JSON) is printed to stdout and
 // optionally written to a file that the crawler command accepts directly.
 // The process serves until interrupted.
@@ -16,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -31,18 +35,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "marketsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run serves the generated ecosystem until stop delivers a value (or, when
+// stop is nil, until the process receives SIGINT/SIGTERM). Tests pass their
+// own stop channel and a buffer for stdout.
+func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	fs := flag.NewFlagSet("marketsim", flag.ContinueOnError)
 	apps := fs.Int("apps", 600, "number of distinct apps to generate")
 	developers := fs.Int("developers", 220, "number of developer identities")
 	seed := fs.Uint64("seed", 20170815, "generation seed")
-	port := fs.Int("port", 8100, "first listening port; each market uses the next port")
+	port := fs.Int("port", 8100, "first listening port; each market uses the next port (0 = ephemeral ports)")
 	endpointsPath := fs.String("endpoints", "", "write the endpoint list (JSON) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,10 +81,14 @@ func run(args []string) error {
 	)
 	for i, name := range names {
 		addr := fmt.Sprintf("127.0.0.1:%d", *port+i)
+		if *port == 0 {
+			addr = "127.0.0.1:0"
+		}
 		ln, err := net.Listen("tcp", addr)
 		if err != nil {
 			return fmt.Errorf("listen %s for %s: %w", addr, name, err)
 		}
+		addr = ln.Addr().String()
 		srv := &http.Server{Handler: market.NewServer(stores[name]), ReadHeaderTimeout: 5 * time.Second}
 		servers = append(servers, srv)
 		endpoints = append(endpoints, crawler.Endpoint{Name: name, BaseURL: "http://" + addr})
@@ -88,23 +99,26 @@ func run(args []string) error {
 				fmt.Fprintf(os.Stderr, "marketsim: %s: %v\n", marketName, err)
 			}
 		}(srv, ln, name)
-		fmt.Printf("%-16s %s  (%d apps)\n", name, "http://"+addr, stores[name].Len())
+		fmt.Fprintf(stdout, "%-16s %s  (%d apps)\n", name, "http://"+addr, stores[name].Len())
 	}
 
 	blob, err := json.MarshalIndent(endpoints, "", "  ")
 	if err != nil {
 		return err
 	}
-	fmt.Println(string(blob))
+	fmt.Fprintln(stdout, string(blob))
 	if *endpointsPath != "" {
 		if err := os.WriteFile(*endpointsPath, blob, 0o644); err != nil {
 			return fmt.Errorf("write endpoints: %w", err)
 		}
 	}
-	fmt.Printf("serving %d markets with %d listings; Ctrl-C to stop\n", len(stores), eco.NumListings())
+	fmt.Fprintf(stdout, "serving %d markets with %d listings; Ctrl-C to stop\n", len(stores), eco.NumListings())
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if stop == nil {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		stop = ch
+	}
 	<-stop
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

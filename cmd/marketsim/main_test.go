@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"marketscope/internal/crawler"
+)
+
+// TestMarketsimServesGeneratedEcosystem boots the command against a tiny
+// synth snapshot on ephemeral ports, waits for the endpoints file, probes one
+// market over HTTP and then shuts the command down cleanly.
+func TestMarketsimServesGeneratedEcosystem(t *testing.T) {
+	endpointsPath := filepath.Join(t.TempDir(), "endpoints.json")
+	stop := make(chan os.Signal, 1)
+	var buf bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-apps", "40", "-developers", "18", "-seed", "11",
+			"-port", "0", "-endpoints", endpointsPath,
+		}, &buf, stop)
+	}()
+
+	// The endpoints file is written after every listener is up.
+	var endpoints []crawler.Endpoint
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		blob, err := os.ReadFile(endpointsPath)
+		if err == nil {
+			if err := json.Unmarshal(blob, &endpoints); err != nil {
+				t.Fatalf("endpoints file malformed: %v", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("endpoints file never appeared")
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("marketsim exited early: %v", err)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if len(endpoints) == 0 {
+		t.Fatal("no endpoints published")
+	}
+
+	// Every market must answer its info route with its own name.
+	for _, ep := range endpoints {
+		resp, err := http.Get(ep.BaseURL + "/api/info")
+		if err != nil {
+			t.Fatalf("%s unreachable: %v", ep.Name, err)
+		}
+		body := struct {
+			Name string `json:"name"`
+		}{}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: bad info payload: %v", ep.Name, err)
+		}
+		if body.Name != ep.Name {
+			t.Errorf("%s reported name %q", ep.Name, body.Name)
+		}
+	}
+
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	out := buf.String()
+	if !strings.Contains(out, "serving") || !strings.Contains(out, "listings") {
+		t.Errorf("missing serving banner in output:\n%s", out)
+	}
+	for _, ep := range endpoints {
+		if !strings.Contains(out, ep.Name) {
+			t.Errorf("market %s missing from output", ep.Name)
+		}
+	}
+}
+
+func TestMarketsimRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &buf, nil); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-apps", "1", "-developers", "1"}, &buf, nil); err == nil {
+		t.Error("invalid synth config accepted")
+	}
+	// An unwritable endpoints path must surface as an error, not hang.
+	stop := make(chan os.Signal, 1)
+	stop <- os.Interrupt
+	badPath := filepath.Join(t.TempDir(), "missing-dir", "endpoints.json")
+	if err := run([]string{"-apps", "40", "-developers", "18", "-port", "0", "-endpoints", badPath}, &buf, stop); err == nil {
+		t.Error("unwritable endpoints path accepted")
+	}
+}

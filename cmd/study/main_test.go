@@ -68,17 +68,21 @@ func TestRunRejectsBadFlags(t *testing.T) {
 }
 
 // TestRunWorkersFlagDeterministic runs the same small study serially
-// (-workers 1, the oracle) and on the worker pool (-workers 4); the pipeline
-// is deterministic, so the rendered artifacts must be byte-identical.
+// (-workers 1, the oracle path for parsing, enrichment AND clone detection)
+// and on the worker pool (-workers 4); the pipeline is deterministic, so the
+// rendered artifacts must be byte-identical. T4 covers the enrichment path,
+// T3 and F10 cover the indexed clone detector the -workers flag also drives.
 func TestRunWorkersFlagDeterministic(t *testing.T) {
-	var serial, parallel bytes.Buffer
-	if err := run([]string{"-apps", "60", "-developers", "25", "-seed", "7", "-workers", "1", "-experiment", "t4"}, &serial); err != nil {
-		t.Fatalf("serial run: %v", err)
-	}
-	if err := run([]string{"-apps", "60", "-developers", "25", "-seed", "7", "-workers", "4", "-experiment", "t4"}, &parallel); err != nil {
-		t.Fatalf("parallel run: %v", err)
-	}
-	if serial.String() != parallel.String() {
-		t.Errorf("worker count changed the artifact:\nserial:\n%s\nparallel:\n%s", serial.String(), parallel.String())
+	for _, experiment := range []string{"t4", "t3", "f10"} {
+		var serial, parallel bytes.Buffer
+		if err := run([]string{"-apps", "60", "-developers", "25", "-seed", "7", "-workers", "1", "-experiment", experiment}, &serial); err != nil {
+			t.Fatalf("%s: serial run: %v", experiment, err)
+		}
+		if err := run([]string{"-apps", "60", "-developers", "25", "-seed", "7", "-workers", "4", "-experiment", experiment}, &parallel); err != nil {
+			t.Fatalf("%s: parallel run: %v", experiment, err)
+		}
+		if serial.String() != parallel.String() {
+			t.Errorf("%s: worker count changed the artifact:\nserial:\n%s\nparallel:\n%s", experiment, serial.String(), parallel.String())
+		}
 	}
 }

@@ -9,73 +9,106 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
+	"reflect"
 
 	"marketscope/internal/analysis"
+	"marketscope/internal/clonedetect"
 	"marketscope/internal/crawler"
 	"marketscope/internal/report"
 	"marketscope/internal/synth"
 )
 
-func main() {
-	// A corpus with aggressive misbehaviour injection so there is plenty to
-	// find.
+// huntConfig is a corpus with aggressive misbehaviour injection so there is
+// plenty to find.
+func huntConfig() synth.Config {
 	cfg := synth.SmallConfig()
 	cfg.NumApps = 350
 	cfg.NumDevelopers = 120
 	cfg.FakeRate = 1.5
 	cfg.CloneRate = 1.8
+	return cfg
+}
+
+func main() {
+	if err := run(huntConfig(), os.Stdout); err != nil {
+		log.Fatalf("clonehunt: %v", err)
+	}
+}
+
+func run(cfg synth.Config, out io.Writer) error {
 	eco, err := synth.Generate(cfg)
 	if err != nil {
-		log.Fatalf("generate: %v", err)
+		return fmt.Errorf("generate: %w", err)
 	}
 	gt := eco.GroundTruth()
-	fmt.Printf("ground truth: %d benign, %d malware-carrying, %d fakes, %d signature clones, %d code clones\n\n",
+	fmt.Fprintf(out, "ground truth: %d benign, %d malware-carrying, %d fakes, %d signature clones, %d code clones\n\n",
 		gt.Benign, gt.Malware, gt.Fakes, gt.SignatureClones, gt.CodeClones)
 
 	stores, err := eco.Populate()
 	if err != nil {
-		log.Fatalf("populate: %v", err)
+		return fmt.Errorf("populate: %w", err)
 	}
 	snap, err := crawler.SnapshotFromStores(stores, true, cfg.CrawlDate)
 	if err != nil {
-		log.Fatalf("snapshot: %v", err)
+		return fmt.Errorf("snapshot: %w", err)
 	}
 	dataset, err := analysis.BuildDataset(snap)
 	if err != nil {
-		log.Fatalf("dataset: %v", err)
+		return fmt.Errorf("dataset: %w", err)
 	}
 	dataset.Enrich(analysis.DefaultEnrichOptions())
 
 	res := analysis.Misbehavior(dataset, analysis.DefaultMisbehaviorOptions())
-	fmt.Println(report.Table3(res))
-	fmt.Println(report.Figure10(res.Heatmap, dataset.MarketNames()))
+	fmt.Fprintln(out, report.Table3(res))
+	fmt.Fprintln(out, report.Figure10(res.Heatmap, dataset.MarketNames()))
 
 	// Show a few concrete findings.
-	fmt.Println("example fake apps (imitated name -> fake package @ market):")
+	fmt.Fprintln(out, "example fake apps (imitated name -> fake package @ market):")
 	for i, f := range res.Fakes.Fakes {
 		if i >= 5 {
 			break
 		}
-		fmt.Printf("  %q: official %s imitated by %s in %s\n", f.Name, f.Official.Package, f.Fake.Package, f.Fake.Market)
+		fmt.Fprintf(out, "  %q: official %s imitated by %s in %s\n", f.Name, f.Official.Package, f.Fake.Package, f.Fake.Market)
 	}
-	fmt.Println("\nexample code-based clones (original -> clone, vector distance / shared segments):")
+	fmt.Fprintln(out, "\nexample code-based clones (original -> clone, vector distance / shared segments):")
 	for i, p := range res.CodeRes.Pairs {
 		if i >= 5 {
 			break
 		}
-		fmt.Printf("  %s (%s) -> %s (%s): distance %.3f, segments %.0f%%\n",
+		fmt.Fprintf(out, "  %s (%s) -> %s (%s): distance %.3f, segments %.0f%%\n",
 			p.Original.Package, p.Original.Market, p.Clone.Package, p.Clone.Market,
 			p.Distance, 100*p.SegmentShare)
 	}
-	fmt.Printf("\nphase statistics: %d vector comparisons, %d candidates passed phase 1, %d confirmed clones\n",
+	fmt.Fprintf(out, "\nphase statistics: %d vector comparisons after candidate indexing, %d candidates passed phase 1, %d confirmed clones\n",
 		res.CodeRes.ComparedPairs, res.CodeRes.CandidatePairs, len(res.CodeRes.Pairs))
+
+	// The serial oracle performs every comparison the blocking phase admits;
+	// the candidate index prunes most of them without changing the output.
+	oracleOpts := analysis.DefaultMisbehaviorOptions()
+	oracle := clonedetect.DetectCodeClonesWith(
+		dataset.CloneInstances(oracleOpts.FilterLibraries), oracleOpts.Code,
+		clonedetect.CloneOptions{Workers: 1})
+	fmt.Fprintf(out, "candidate index: %d comparisons vs %d pre-index (%.1fx reduction), identical clone set: %v\n",
+		res.CodeRes.ComparedPairs, oracle.ComparedPairs,
+		float64(oracle.ComparedPairs)/float64(max(res.CodeRes.ComparedPairs, 1)),
+		reflect.DeepEqual(res.CodeRes.Pairs, oracle.Pairs))
 
 	// Ablation: what happens to code-clone detection without third-party
 	// library filtering (the paper's motivation for using LibRadar first).
 	noFilter := analysis.DefaultMisbehaviorOptions()
 	noFilter.FilterLibraries = false
 	unfiltered := analysis.Misbehavior(dataset, noFilter)
-	fmt.Printf("\nablation — code clones with library filtering: %.2f%% of listings; without: %.2f%%\n",
+	fmt.Fprintf(out, "\nablation — code clones with library filtering: %.2f%% of listings; without: %.2f%%\n",
 		100*res.AvgCodeShare, 100*unfiltered.AvgCodeShare)
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"marketscope/internal/crawler"
+	"marketscope/internal/synth"
+)
+
+// cloneOracleDataset builds a seeded synthetic corpus with aggressive clone
+// injection, enriched and ready for the misbehavior analysis.
+func cloneOracleDataset(t *testing.T) *Dataset {
+	t.Helper()
+	cfg := synth.SmallConfig()
+	cfg.NumApps = 150
+	cfg.NumDevelopers = 60
+	cfg.CloneRate = 1.5
+	cfg.FakeRate = 1.0
+	eco, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores, err := eco.Populate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := crawler.SnapshotFromStores(stores, true, cfg.CrawlDate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := BuildDataset(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Enrich(DefaultEnrichOptions())
+	return d
+}
+
+// TestParallelCloneMatchesSerialOracle runs the full misbehavior analysis
+// with the indexed detector at several worker counts over a seeded synth
+// corpus and compares pairs, clusters, heatmap and per-market clone counts
+// element by element against the Clone.Workers == 1 serial oracle.
+func TestParallelCloneMatchesSerialOracle(t *testing.T) {
+	d := cloneOracleDataset(t)
+
+	oracleOpts := DefaultMisbehaviorOptions()
+	oracleOpts.Clone.Workers = 1
+	oracle := Misbehavior(d, oracleOpts)
+	if len(oracle.CodeRes.Pairs) == 0 {
+		t.Fatal("oracle found no code clones; the equivalence check is vacuous")
+	}
+
+	for _, workers := range []int{0, 2, runtime.NumCPU()} {
+		opts := DefaultMisbehaviorOptions()
+		opts.Clone.Workers = workers
+		got := Misbehavior(d, opts)
+		label := fmt.Sprintf("workers %d", workers)
+
+		if len(got.CodeRes.Pairs) != len(oracle.CodeRes.Pairs) {
+			t.Fatalf("%s: %d code pairs, oracle %d", label, len(got.CodeRes.Pairs), len(oracle.CodeRes.Pairs))
+		}
+		for i := range got.CodeRes.Pairs {
+			if got.CodeRes.Pairs[i] != oracle.CodeRes.Pairs[i] {
+				t.Fatalf("%s: code pair %d = %+v, oracle %+v", label, i, got.CodeRes.Pairs[i], oracle.CodeRes.Pairs[i])
+			}
+		}
+		if got.CodeRes.CandidatePairs != oracle.CodeRes.CandidatePairs {
+			t.Errorf("%s: CandidatePairs = %d, oracle %d", label, got.CodeRes.CandidatePairs, oracle.CodeRes.CandidatePairs)
+		}
+		if !reflect.DeepEqual(got.SigRes.Pairs, oracle.SigRes.Pairs) {
+			t.Errorf("%s: signature pairs diverged", label)
+		}
+		if !reflect.DeepEqual(got.SigRes.Clusters, oracle.SigRes.Clusters) {
+			t.Errorf("%s: signature clusters diverged", label)
+		}
+		if !reflect.DeepEqual(got.Heatmap, oracle.Heatmap) {
+			t.Errorf("%s: heatmap diverged:\n%v\nvs\n%v", label, got.Heatmap, oracle.Heatmap)
+		}
+		if !reflect.DeepEqual(got.CodeRes.CloneByMarket(), oracle.CodeRes.CloneByMarket()) {
+			t.Errorf("%s: CloneByMarket diverged: %v vs %v", label, got.CodeRes.CloneByMarket(), oracle.CodeRes.CloneByMarket())
+		}
+		if !reflect.DeepEqual(got.Rows, oracle.Rows) {
+			t.Errorf("%s: Table 3 rows diverged", label)
+		}
+	}
+}
+
+// TestConcurrentMisbehavior runs the misbehavior analysis from several
+// goroutines over one shared dataset — the detectors and the dataset reads
+// must be race-free (exercised under -race in CI).
+func TestConcurrentMisbehavior(t *testing.T) {
+	d := cloneOracleDataset(t)
+	oracleOpts := DefaultMisbehaviorOptions()
+	oracleOpts.Clone.Workers = 1
+	oracle := Misbehavior(d, oracleOpts)
+
+	var wg sync.WaitGroup
+	results := make([]*MisbehaviorResult, 3)
+	for k := range results {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			results[k] = Misbehavior(d, DefaultMisbehaviorOptions())
+		}(k)
+	}
+	wg.Wait()
+	for k, got := range results {
+		if !reflect.DeepEqual(got.CodeRes.Pairs, oracle.CodeRes.Pairs) {
+			t.Errorf("caller %d: code pairs diverged from the oracle", k)
+		}
+		if !reflect.DeepEqual(got.Rows, oracle.Rows) {
+			t.Errorf("caller %d: Table 3 rows diverged", k)
+		}
+	}
+}

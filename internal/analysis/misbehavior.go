@@ -27,6 +27,11 @@ type MisbehaviorRow struct {
 type MisbehaviorOptions struct {
 	Fake clonedetect.FakeConfig
 	Code clonedetect.CodeConfig
+	// Clone schedules the code-clone comparison stage: worker-pool size and
+	// candidate-index probe width. The zero value runs the indexed detector
+	// with one worker per CPU; Clone.Workers == 1 selects the serial oracle
+	// whose output every other configuration reproduces exactly.
+	Clone clonedetect.CloneOptions
 	// FilterLibraries strips detected third-party library code from the
 	// feature vectors before code-clone detection (the WuKong refinement);
 	// disabling it is the ablation case.
@@ -67,7 +72,7 @@ func Misbehavior(d *Dataset, opts MisbehaviorOptions) *MisbehaviorResult {
 	res := &MisbehaviorResult{
 		Fakes:   clonedetect.DetectFakes(instances, opts.Fake),
 		SigRes:  clonedetect.DetectSignatureClones(instances),
-		CodeRes: clonedetect.DetectCodeClones(instances, opts.Code),
+		CodeRes: clonedetect.DetectCodeClonesWith(instances, opts.Code, opts.Clone),
 	}
 	res.Heatmap = res.CodeRes.SourceHeatmap()
 
@@ -103,6 +108,16 @@ func Misbehavior(d *Dataset, opts MisbehaviorOptions) *MisbehaviorResult {
 		res.AvgCodeShare = sumCode / float64(counted)
 	}
 	return res
+}
+
+// CloneInstances converts the dataset's parsed listings into the clone
+// detectors' input representation, optionally stripping detected third-party
+// library code from the feature vectors. It is what Misbehavior feeds the
+// detectors; benchmarks use it to isolate the detection stage from the
+// conversion.
+func (d *Dataset) CloneInstances(filterLibraries bool) []*clonedetect.AppInstance {
+	d.mustEnrich()
+	return cloneInstances(d, filterLibraries)
 }
 
 // cloneInstances converts the dataset's parsed listings into the clone

@@ -163,35 +163,48 @@ func (r *CodeResult) SourceHeatmap() map[string]map[string]int {
 	return out
 }
 
-// DetectCodeClones runs the two-phase WuKong detection over the corpus.
-//
-// Phase 1 compares API-call count vectors with the normalized Manhattan
-// distance. To avoid the full O(n²) comparison the corpus is sorted by
-// vector total and only pairs whose totals could possibly be within the
-// distance threshold are compared (a pair whose totals differ by more than
-// threshold/(2-threshold) of their sum cannot be within the threshold).
-//
-// Phase 2 confirms candidates by requiring that at least SegmentThreshold of
-// the smaller app's code segments appear in the other app.
-//
-// Only pairs with different package names AND different developers are
-// reported: same-package different-developer pairs are signature clones, and
-// same-developer similar apps are legitimate app families.
-func DetectCodeClones(apps []*AppInstance, cfg CodeConfig) *CodeResult {
-	if cfg.DistanceThreshold <= 0 {
-		cfg = DefaultCodeConfig()
-	}
-	type entry struct {
-		app   *AppInstance
-		total int
-	}
-	entries := make([]entry, 0, len(apps))
+// CloneOptions schedules the code-clone detector: how many workers run the
+// candidate comparisons and how wide the candidate-index probe is. The zero
+// value runs the indexed detector with one worker per CPU.
+type CloneOptions struct {
+	// Workers sizes the comparison pool. 0 (or negative) means one worker
+	// per CPU; values >= 2 run the indexed detector on that many workers.
+	// Workers == 1 selects the serial oracle: the pre-index sort-by-total
+	// sweep kept verbatim, whose pairs every other configuration reproduces
+	// byte for byte (only ComparedPairs differs — the oracle performs the
+	// comparisons the index prunes away).
+	Workers int
+	// IndexTopK is the minimum number of dominant features each app probes
+	// in the candidate index. The probe set grows automatically until it
+	// covers more than DistanceThreshold of the app's vector mass — the
+	// condition that makes the index lossless (see DESIGN.md) — so raising
+	// IndexTopK widens the candidate set but never changes the result.
+	// 0 means DefaultIndexTopK.
+	IndexTopK int
+}
+
+// DefaultIndexTopK is the default probe width of the candidate index.
+const DefaultIndexTopK = 4
+
+// cloneEntry is one app admitted to the code-clone comparison, with its
+// vector total cached for blocking.
+type cloneEntry struct {
+	app   *AppInstance
+	total int
+}
+
+// buildCloneEntries filters out too-small apps and orders the corpus by
+// vector total (ties broken by market then package), the order both the
+// serial sweep and the candidate index share. Starting from sortInstances
+// makes the result input-order invariant.
+func buildCloneEntries(apps []*AppInstance, cfg CodeConfig) []cloneEntry {
+	entries := make([]cloneEntry, 0, len(apps))
 	for _, a := range sortInstances(apps) {
 		t := a.Vector.Total()
 		if t < cfg.MinVectorTotal {
 			continue
 		}
-		entries = append(entries, entry{app: a, total: t})
+		entries = append(entries, cloneEntry{app: a, total: t})
 	}
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].total != entries[j].total {
@@ -202,7 +215,95 @@ func DetectCodeClones(apps []*AppInstance, cfg CodeConfig) *CodeResult {
 		}
 		return entries[i].app.Package < entries[j].app.Package
 	})
+	return entries
+}
 
+// compareCandidate runs the phase-1 vector comparison and phase-2 segment
+// confirmation for one candidate pair, recording the counters and any
+// confirmed clone into res. a must precede b in entry order; both detector
+// paths call this with the same (a, b) sequence restricted to their candidate
+// sets, which is what keeps their outputs identical.
+func compareCandidate(a, b cloneEntry, cfg CodeConfig, res *CodeResult) {
+	if a.app.Package == b.app.Package {
+		return
+	}
+	if a.app.Developer == b.app.Developer {
+		return
+	}
+	res.ComparedPairs++
+	d := Distance(a.app.Vector, b.app.Vector)
+	if d > cfg.DistanceThreshold {
+		return
+	}
+	res.CandidatePairs++
+	// Phase 2: code segment comparison from the perspective of the
+	// smaller app.
+	share := SegmentSimilarity(a.app.Segments, b.app.Segments)
+	if s2 := SegmentSimilarity(b.app.Segments, a.app.Segments); s2 < share {
+		share = s2
+	}
+	if share < cfg.SegmentThreshold {
+		return
+	}
+	original, clone := a.app, b.app
+	if clone.Downloads > original.Downloads {
+		original, clone = clone, original
+	}
+	res.Pairs = append(res.Pairs, ClonePair{
+		Original:     original.Ref(),
+		Clone:        clone.Ref(),
+		Kind:         "code",
+		Distance:     d,
+		SegmentShare: share,
+	})
+}
+
+// DetectCodeClones runs the two-phase WuKong detection over the corpus with
+// the default scheduling: the candidate-indexed detector on one comparison
+// worker per CPU. DetectCodeClonesWith exposes the scheduling knobs,
+// including the serial oracle.
+func DetectCodeClones(apps []*AppInstance, cfg CodeConfig) *CodeResult {
+	return DetectCodeClonesWith(apps, cfg, CloneOptions{})
+}
+
+// DetectCodeClonesWith runs the two-phase WuKong detection over the corpus.
+//
+// Phase 1 compares API-call count vectors with the normalized Manhattan
+// distance. To avoid the full O(n²) comparison, candidates are pruned at two
+// levels: an inverted index over each app's dominant features (two apps
+// within the distance threshold must share at least one of the smaller app's
+// dominant features, see DESIGN.md) and the total-difference bound (a pair
+// whose totals differ by more than threshold/(2-threshold) of their sum
+// cannot be within the threshold). Surviving comparisons fan out across
+// opts.Workers; with Workers == 1 the pre-index sort-by-total sweep runs
+// serially instead, as the oracle the equivalence tests compare against.
+//
+// Phase 2 confirms candidates on the same pool by requiring that at least
+// SegmentThreshold of the smaller app's code segments appear in the other
+// app.
+//
+// Only pairs with different package names AND different developers are
+// reported: same-package different-developer pairs are signature clones, and
+// same-developer similar apps are legitimate app families.
+//
+// The output is deterministic: for a fixed corpus and config, every worker
+// count yields the same pairs in the same order (sorted by the smaller
+// entry's position, then the larger's), regardless of input order.
+func DetectCodeClonesWith(apps []*AppInstance, cfg CodeConfig, opts CloneOptions) *CodeResult {
+	if cfg.DistanceThreshold <= 0 {
+		cfg = DefaultCodeConfig()
+	}
+	entries := buildCloneEntries(apps, cfg)
+	if opts.Workers == 1 {
+		return detectCodeClonesSerial(entries, cfg)
+	}
+	return detectCodeClonesIndexed(entries, cfg, opts)
+}
+
+// detectCodeClonesSerial is the pre-index detector kept verbatim: a serial
+// sweep over the total-sorted corpus comparing every pair the blocking bound
+// admits. It is the oracle the indexed detector is tested against.
+func detectCodeClonesSerial(entries []cloneEntry, cfg CodeConfig) *CodeResult {
 	result := &CodeResult{}
 	for i := 0; i < len(entries); i++ {
 		a := entries[i]
@@ -213,38 +314,7 @@ func DetectCodeClones(apps []*AppInstance, cfg CodeConfig) *CodeResult {
 			if float64(b.total-a.total)/float64(a.total+b.total) > cfg.DistanceThreshold {
 				break
 			}
-			if a.app.Package == b.app.Package {
-				continue
-			}
-			if a.app.Developer == b.app.Developer {
-				continue
-			}
-			result.ComparedPairs++
-			d := Distance(a.app.Vector, b.app.Vector)
-			if d > cfg.DistanceThreshold {
-				continue
-			}
-			result.CandidatePairs++
-			// Phase 2: code segment comparison from the perspective of the
-			// smaller app.
-			share := SegmentSimilarity(a.app.Segments, b.app.Segments)
-			if s2 := SegmentSimilarity(b.app.Segments, a.app.Segments); s2 < share {
-				share = s2
-			}
-			if share < cfg.SegmentThreshold {
-				continue
-			}
-			original, clone := a.app, b.app
-			if clone.Downloads > original.Downloads {
-				original, clone = clone, original
-			}
-			result.Pairs = append(result.Pairs, ClonePair{
-				Original:     original.Ref(),
-				Clone:        clone.Ref(),
-				Kind:         "code",
-				Distance:     d,
-				SegmentShare: share,
-			})
+			compareCandidate(a, b, cfg, result)
 		}
 	}
 	return result

@@ -1,0 +1,116 @@
+package clonedetect
+
+import (
+	"testing"
+)
+
+// The fuzz targets below check the algebraic contracts the clone detector
+// builds on: the normalized Manhattan distance is a symmetric function into
+// [0, 1] with zero self-distance, vector totals are consistent sums, and the
+// segment-similarity share is a fraction in [0, 1]. The decoders map
+// arbitrary fuzz bytes onto sparse vectors and digest multisets, including
+// the degenerate shapes (empty vectors, explicit zero counts, duplicate
+// segments) that production code paths can produce.
+
+// vectorFromBytes decodes fuzz input into a sparse feature vector: each byte
+// pair is (feature id, count). Counts include explicit zeros so the fuzzers
+// exercise degenerate entries that Total and Distance must tolerate.
+func vectorFromBytes(data []byte) FeatureVector {
+	v := FeatureVector{}
+	for i := 0; i+1 < len(data); i += 2 {
+		feature := "f" + string(rune('a'+int(data[i])%24))
+		v[feature] += int(data[i+1]) % 32
+	}
+	return v
+}
+
+// segmentsFromBytes decodes fuzz input into a digest multiset drawn from a
+// small pool, so overlapping and duplicated segments are common.
+func segmentsFromBytes(data []byte) [][32]byte {
+	segs := make([][32]byte, 0, len(data))
+	for _, b := range data {
+		var s [32]byte
+		s[0] = b % 16
+		s[1] = b % 3
+		segs = append(segs, s)
+	}
+	return segs
+}
+
+func FuzzDistance(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0, 5, 1, 3}, []byte{0, 5, 1, 3})
+	f.Add([]byte{0, 1}, []byte{10, 31, 11, 2})
+	f.Add([]byte{0, 0, 1, 0}, []byte{2, 7})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		a, b := vectorFromBytes(rawA), vectorFromBytes(rawB)
+		d := Distance(a, b)
+		if d < 0 || d > 1 {
+			t.Fatalf("Distance out of range: %v (a=%v b=%v)", d, a, b)
+		}
+		if rev := Distance(b, a); rev != d {
+			t.Fatalf("Distance not symmetric: %v vs %v (a=%v b=%v)", d, rev, a, b)
+		}
+		if self := Distance(a, a); self != 0 {
+			t.Fatalf("self-distance not zero: %v (a=%v)", self, a)
+		}
+		if self := Distance(b, b); self != 0 {
+			t.Fatalf("self-distance not zero: %v (b=%v)", self, b)
+		}
+	})
+}
+
+func FuzzVectorTotal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 5, 1, 3, 0, 5})
+	f.Add([]byte{255, 31})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		v := vectorFromBytes(raw)
+		total := v.Total()
+		if total < 0 {
+			t.Fatalf("negative total %d for %v", total, v)
+		}
+		sum := 0
+		for _, n := range v {
+			sum += n
+		}
+		if total != sum {
+			t.Fatalf("Total = %d, independent sum = %d for %v", total, sum, v)
+		}
+		// Totals are what the blocking phase sorts on; merging two vectors
+		// must add their masses exactly.
+		merged := FeatureVector{}
+		for k, n := range v {
+			merged[k] = n
+		}
+		merged["fuzz:extra"] += 7
+		if merged.Total() != total+7 {
+			t.Fatalf("merged total %d != %d+7", merged.Total(), total)
+		}
+	})
+}
+
+func FuzzSegmentSimilarity(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{1, 2, 3}, []byte{1, 2, 3})
+	f.Add([]byte{1, 1, 1}, []byte{1})
+	f.Add([]byte{9}, []byte{})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		a, b := segmentsFromBytes(rawA), segmentsFromBytes(rawB)
+		s := SegmentSimilarity(a, b)
+		if s < 0 || s > 1 {
+			t.Fatalf("similarity out of range: %v", s)
+		}
+		if len(a) == 0 && s != 0 {
+			t.Fatalf("empty query similarity = %v, want 0", s)
+		}
+		if self := SegmentSimilarity(a, a); len(a) > 0 && self != 1 {
+			t.Fatalf("self-similarity = %v, want 1 (len %d)", self, len(a))
+		}
+		// Adding segments to the haystack can only help the query side.
+		grown := append(append([][32]byte{}, b...), a...)
+		if s2 := SegmentSimilarity(a, grown); len(a) > 0 && s2 != 1 {
+			t.Fatalf("superset haystack similarity = %v, want 1", s2)
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package clonedetect
+
+import (
+	"sort"
+	"sync"
+
+	"marketscope/internal/pipeline"
+)
+
+// This file implements the indexed, parallel path of the code-clone detector.
+//
+// Candidates are pruned at two levels before any vector comparison:
+//
+//  1. An inverted index maps every feature to the (entry-order sorted) list
+//     of entries whose vector contains it. Each entry probes the index with
+//     its dominant features only. The probe is lossless: for a pair (A, B)
+//     with Total(A) <= Total(B) and Distance(A, B) <= t, the shared mass
+//     sum_f min(A_f, B_f) = (TA+TB - sum_f|A_f-B_f|)/2 >= (TA+TB)(1-t)/2
+//     >= TA(1-t). If A's probed features cover mass S > t*TA, the shared
+//     mass outside them is at most TA-S < TA(1-t), so B must have a nonzero
+//     count on at least one probed feature and appears in its posting list.
+//
+//  2. The total-difference window inherited from the serial sweep:
+//     |TA-TB|/(TA+TB) lower-bounds the distance, so posting lists are only
+//     scanned inside the window of admissible totals.
+//
+// Every surviving comparison is handed to the pipeline worker pool, with the
+// results written into a per-entry slot and flattened in entry order, so the
+// output is identical at every worker count.
+
+// candidateIndex is the two-level pruning structure. It is built once per
+// detection run and only read afterwards, so concurrent probes need no
+// locking.
+type candidateIndex struct {
+	entries []cloneEntry
+	// postings maps a feature to the entries whose vector has a positive
+	// count for it, in ascending entry order.
+	postings map[string][]int32
+	cfg      CodeConfig
+	topK     int
+}
+
+func buildCandidateIndex(entries []cloneEntry, cfg CodeConfig, topK int) *candidateIndex {
+	postings := map[string][]int32{}
+	for i, e := range entries {
+		for f, n := range e.app.Vector {
+			if n > 0 {
+				postings[f] = append(postings[f], int32(i))
+			}
+		}
+	}
+	return &candidateIndex{entries: entries, postings: postings, cfg: cfg, topK: topK}
+}
+
+// windowEnd returns the largest index j such that entries[i..j] are all
+// within the total-difference bound of entries[i] — exactly the span the
+// serial sweep covers before its break. Totals are sorted ascending, so the
+// bound is monotone and binary-searchable. (For a zero-total entry the bound
+// is NaN against other zero-total entries, which the serial sweep does not
+// break on; the search preserves that by only stopping on a strict
+// exceedance.)
+func (ci *candidateIndex) windowEnd(i int) int {
+	ti := ci.entries[i].total
+	span := sort.Search(len(ci.entries)-i-1, func(k int) bool {
+		tj := ci.entries[i+1+k].total
+		return float64(tj-ti)/float64(ti+tj) > ci.cfg.DistanceThreshold
+	})
+	return i + span
+}
+
+// featureCount is one vector feature with its count, for dominance sorting.
+type featureCount struct {
+	feature string
+	count   int
+}
+
+// probeScratch holds the per-worker reusable buffers of a probe: a
+// generation-stamped dedup array, the candidate accumulator and the feature
+// sort buffer. Scratch values are pooled because ForEach hands out indices,
+// not worker identities.
+type probeScratch struct {
+	stamp []int
+	gen   int
+	cand  []int32
+	feats []featureCount
+}
+
+// probe returns entry i's dominant features: at least topK of them, extended
+// until they cover more than DistanceThreshold of the vector's total mass
+// (the losslessness condition above). ok is false when no probe set can be
+// lossless — an empty vector, or a threshold >= 1 — and the caller must scan
+// the whole window instead.
+func (ci *candidateIndex) probe(i int, s *probeScratch) (feats []featureCount, ok bool) {
+	e := ci.entries[i]
+	s.feats = s.feats[:0]
+	for f, n := range e.app.Vector {
+		if n > 0 {
+			s.feats = append(s.feats, featureCount{feature: f, count: n})
+		}
+	}
+	if len(s.feats) == 0 {
+		return nil, false
+	}
+	sort.Slice(s.feats, func(a, b int) bool {
+		if s.feats[a].count != s.feats[b].count {
+			return s.feats[a].count > s.feats[b].count
+		}
+		return s.feats[a].feature < s.feats[b].feature
+	})
+	need := ci.cfg.DistanceThreshold * float64(e.total)
+	covered := 0
+	k := 0
+	for k < len(s.feats) && (k < ci.topK || float64(covered) <= need) {
+		covered += s.feats[k].count
+		k++
+	}
+	if float64(covered) <= need {
+		return nil, false
+	}
+	return s.feats[:k], true
+}
+
+// candidatesInto fills s.cand with the candidate partners of entry i — every
+// j > i inside the total window that shares a dominant feature with i — in
+// ascending order.
+func (ci *candidateIndex) candidatesInto(i int, s *probeScratch) {
+	s.cand = s.cand[:0]
+	end := ci.windowEnd(i)
+	if end <= i {
+		return
+	}
+	feats, ok := ci.probe(i, s)
+	if !ok {
+		// Degenerate probe: fall back to the serial sweep's full window.
+		for j := i + 1; j <= end; j++ {
+			s.cand = append(s.cand, int32(j))
+		}
+		return
+	}
+	s.gen++
+	for _, fc := range feats {
+		posting := ci.postings[fc.feature]
+		lo := sort.Search(len(posting), func(k int) bool { return posting[k] > int32(i) })
+		for _, j := range posting[lo:] {
+			if int(j) > end {
+				break
+			}
+			if s.stamp[j] == s.gen {
+				continue
+			}
+			s.stamp[j] = s.gen
+			s.cand = append(s.cand, j)
+		}
+	}
+	sort.Slice(s.cand, func(a, b int) bool { return s.cand[a] < s.cand[b] })
+}
+
+// detectCodeClonesIndexed is the indexed, parallel detector: build the
+// candidate index, then fan the per-entry probe + comparison jobs (phase 1
+// and phase 2 both) out over the worker pool. Each job writes only its own
+// slot; flattening the slots in entry order afterwards makes the output
+// independent of the worker count and of goroutine scheduling.
+func detectCodeClonesIndexed(entries []cloneEntry, cfg CodeConfig, opts CloneOptions) *CodeResult {
+	topK := opts.IndexTopK
+	if topK <= 0 {
+		topK = DefaultIndexTopK
+	}
+	idx := buildCandidateIndex(entries, cfg, topK)
+	slots := make([]CodeResult, len(entries))
+	scratch := sync.Pool{New: func() any {
+		return &probeScratch{stamp: make([]int, len(entries))}
+	}}
+	pipeline.ForEach(len(entries), opts.Workers, func(i int) {
+		s := scratch.Get().(*probeScratch)
+		idx.candidatesInto(i, s)
+		slot := &slots[i]
+		for _, j := range s.cand {
+			compareCandidate(entries[i], entries[j], cfg, slot)
+		}
+		scratch.Put(s)
+	})
+	result := &CodeResult{}
+	for i := range slots {
+		result.Pairs = append(result.Pairs, slots[i].Pairs...)
+		result.ComparedPairs += slots[i].ComparedPairs
+		result.CandidatePairs += slots[i].CandidatePairs
+	}
+	return result
+}

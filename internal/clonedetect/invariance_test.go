@@ -2,18 +2,24 @@ package clonedetect
 
 import (
 	"math/rand"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"marketscope/internal/signing"
 )
 
-// buildCorpus creates a deterministic mixed corpus: original apps, one code
-// clone, one signature clone and one fake.
+// buildCorpus creates a deterministic mixed corpus: original apps, code
+// clones, signature clones and a fake — plus the tie cases the detectors
+// must order deterministically. Every instance() vector has the same total,
+// so all pairs collide in the blocking phase, and several entries share
+// their download counts so the original-attribution heuristic sees ties too.
 func buildCorpus() []*AppInstance {
 	official := signing.NewDeveloper("official", 100)
 	cloner := signing.NewDeveloper("cloner", 101)
 	impostor := signing.NewDeveloper("impostor", 102)
 	other := signing.NewDeveloper("other", 103)
+	rival := signing.NewDeveloper("rival", 104)
 	return []*AppInstance{
 		instance("Google Play", "com.big.game", "Big Game", 8_000_000, official, "game"),
 		instance("Tencent Myapp", "com.big.game", "Big Game", 2_000_000, official, "game"),
@@ -22,6 +28,15 @@ func buildCorpus() []*AppInstance {
 		instance("PC Online", "com.fake.game", "Big Game", 80, impostor, "fakegame"),
 		instance("Baidu Market", "com.other.news", "Other News", 40_000, other, "news"),
 		instance("Huawei Market", "com.other.weather", "Weather Now", 60_000, other, "weather"),
+		// Download tie: three same-code listings whose downloads are all
+		// equal, so original attribution must fall back to entry order.
+		instance("Google Play", "com.tied.one", "Tied One", 5_000, other, "tied"),
+		instance("Baidu Market", "com.tied.two", "Tied Two", 5_000, rival, "tied"),
+		instance("25PP", "com.tied.three", "Tied Three", 5_000, impostor, "tied"),
+		// Signature-cluster download tie: same package, two developers, equal
+		// downloads.
+		instance("Huawei Market", "com.tied.pkg", "Tied Pkg", 7_000, other, "tiedpkg"),
+		instance("PC Online", "com.tied.pkg", "Tied Pkg", 7_000, rival, "tiedpkg-mod"),
 	}
 }
 
@@ -35,13 +50,16 @@ func shuffle(apps []*AppInstance, seed int64) []*AppInstance {
 
 // TestDetectorsAreOrderInvariant checks that the output of every detector is
 // a pure function of the corpus contents, not of the order in which listings
-// were crawled — a property the real pipeline depends on because crawl order
-// is nondeterministic.
+// were crawled or of the worker count the comparisons ran on — properties the
+// real pipeline depends on because crawl order and goroutine scheduling are
+// both nondeterministic. The corpus includes download and vector-total ties,
+// so the detectors cannot rely on any input-order accident to break them.
 func TestDetectorsAreOrderInvariant(t *testing.T) {
 	base := buildCorpus()
+	workerCounts := []int{1, 2, 3, runtime.NumCPU()}
 	refFakes := DetectFakes(base, DefaultFakeConfig())
 	refSig := DetectSignatureClones(base)
-	refCode := DetectCodeClones(base, DefaultCodeConfig())
+	refCode := DetectCodeClonesWith(base, DefaultCodeConfig(), CloneOptions{Workers: 1})
 
 	for seed := int64(1); seed <= 8; seed++ {
 		perm := shuffle(base, seed)
@@ -66,14 +84,50 @@ func TestDetectorsAreOrderInvariant(t *testing.T) {
 				t.Fatalf("seed %d: signature pair %d differs", seed, i)
 			}
 		}
-
-		code := DetectCodeClones(perm, DefaultCodeConfig())
-		if len(code.Pairs) != len(refCode.Pairs) {
-			t.Fatalf("seed %d: code clone count changed: %d vs %d", seed, len(code.Pairs), len(refCode.Pairs))
+		if !reflect.DeepEqual(sig.Clusters, refSig.Clusters) {
+			t.Fatalf("seed %d: signature clusters changed with input order", seed)
 		}
-		for i := range code.Pairs {
-			if code.Pairs[i].Original != refCode.Pairs[i].Original || code.Pairs[i].Clone != refCode.Pairs[i].Clone {
-				t.Fatalf("seed %d: code pair %d differs: %+v vs %+v", seed, i, code.Pairs[i], refCode.Pairs[i])
+
+		for _, workers := range workerCounts {
+			code := DetectCodeClonesWith(perm, DefaultCodeConfig(), CloneOptions{Workers: workers})
+			if len(code.Pairs) != len(refCode.Pairs) {
+				t.Fatalf("seed %d workers %d: code clone count changed: %d vs %d",
+					seed, workers, len(code.Pairs), len(refCode.Pairs))
+			}
+			for i := range code.Pairs {
+				if code.Pairs[i] != refCode.Pairs[i] {
+					t.Fatalf("seed %d workers %d: code pair %d differs: %+v vs %+v",
+						seed, workers, i, code.Pairs[i], refCode.Pairs[i])
+				}
+			}
+			if code.CandidatePairs != refCode.CandidatePairs {
+				t.Fatalf("seed %d workers %d: CandidatePairs changed: %d vs %d",
+					seed, workers, code.CandidatePairs, refCode.CandidatePairs)
+			}
+		}
+	}
+}
+
+// TestTieOrderingIsDeterministic pins the tie-breaking contract directly: the
+// tied-download clone cluster must attribute the same original at every
+// worker count and in every input order.
+func TestTieOrderingIsDeterministic(t *testing.T) {
+	base := buildCorpus()
+	ref := DetectCodeClonesWith(base, DefaultCodeConfig(), CloneOptions{Workers: 1})
+	var tiedOriginals []Ref
+	for _, p := range ref.Pairs {
+		if p.Original.Package == "com.tied.one" || p.Original.Package == "com.tied.two" || p.Original.Package == "com.tied.three" {
+			tiedOriginals = append(tiedOriginals, p.Original)
+		}
+	}
+	if len(tiedOriginals) == 0 {
+		t.Fatal("tied cluster produced no code-clone pairs; tie case not exercised")
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, workers := range []int{1, 2, runtime.NumCPU()} {
+			got := DetectCodeClonesWith(shuffle(base, seed), DefaultCodeConfig(), CloneOptions{Workers: workers})
+			if !reflect.DeepEqual(got.Pairs, ref.Pairs) {
+				t.Fatalf("seed %d workers %d: tied pairs reordered", seed, workers)
 			}
 		}
 	}

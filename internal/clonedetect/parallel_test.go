@@ -1,0 +1,185 @@
+package clonedetect
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"marketscope/internal/signing"
+)
+
+// randomCorpus generates a seeded corpus of code families: apps within one
+// family share (almost) the same feature vector and code segments, so
+// different-developer members become code-clone pairs. The generator bakes in
+// the tie cases the detector must order deterministically — equal downloads,
+// equal vector totals across families — plus tiny and empty vectors.
+func randomCorpus(seed int64, n int) []*AppInstance {
+	r := rand.New(rand.NewSource(seed))
+	markets := []string{"Google Play", "Baidu Market", "25PP", "Huawei Market", "PC Online"}
+
+	// Family vectors: deterministic per family id, with totals drawn from a
+	// tiny set so totals collide across families (the blocking tie case).
+	familyVector := func(fam int) FeatureVector {
+		fr := rand.New(rand.NewSource(int64(fam) * 7919))
+		v := FeatureVector{}
+		// Common boilerplate everyone shares.
+		v["api:android.app.Activity.onCreate"] = 2
+		v["api:android.widget.TextView.setText"] = 3
+		features := 4 + fr.Intn(5)
+		for f := 0; f < features; f++ {
+			v[fmt.Sprintf("api:fam%d.call%d", fam, f)] = 3 + fr.Intn(12)
+		}
+		return v
+	}
+	familySegments := func(fam int) [][32]byte {
+		segs := make([][32]byte, 12)
+		for k := range segs {
+			segs[k][0] = byte(fam)
+			segs[k][1] = byte(fam >> 8)
+			segs[k][2] = byte(k)
+		}
+		return segs
+	}
+
+	apps := make([]*AppInstance, 0, n)
+	for i := 0; i < n; i++ {
+		fam := r.Intn(n / 4)
+		dev := signing.NewDeveloper(fmt.Sprintf("dev%d", r.Intn(n/3)), uint64(1000+r.Intn(n/3)))
+		v := FeatureVector{}
+		for k, c := range familyVector(fam) {
+			v[k] = c
+		}
+		segs := familySegments(fam)
+		switch r.Intn(10) {
+		case 0:
+			// Small perturbation: still within the distance threshold of the
+			// family, missing one segment (still above 0.85 of 12).
+			v[fmt.Sprintf("api:fam%d.call0", fam)]++
+			segs = segs[1:]
+		case 1:
+			// Tiny app below MinVectorTotal.
+			v = FeatureVector{"api:tiny": 1 + r.Intn(3)}
+			segs = segs[:1]
+		case 2:
+			// Degenerate: empty vector, no segments.
+			v = FeatureVector{}
+			segs = nil
+		}
+		// Downloads from a tiny set so the original-attribution heuristic
+		// regularly sees ties.
+		downloads := int64(r.Intn(5)) * 1000
+		apps = append(apps, &AppInstance{
+			Market:    markets[r.Intn(len(markets))],
+			Package:   fmt.Sprintf("com.fam%d.app%d", fam, i),
+			AppName:   fmt.Sprintf("App %d", fam),
+			Downloads: downloads,
+			Developer: dev.Fingerprint(),
+			Vector:    v,
+			Segments:  segs,
+		})
+	}
+	return apps
+}
+
+// assertSameCodeResult checks that got reproduces the oracle element by
+// element: pairs (all fields), candidate counts, the per-market clone counts
+// and the source heatmap. ComparedPairs is exempt — it measures how much work
+// each path performed, and pruning less work is the indexed path's purpose.
+func assertSameCodeResult(t *testing.T, label string, oracle, got *CodeResult) {
+	t.Helper()
+	if len(got.Pairs) != len(oracle.Pairs) {
+		t.Fatalf("%s: %d pairs, oracle found %d", label, len(got.Pairs), len(oracle.Pairs))
+	}
+	for i := range got.Pairs {
+		if got.Pairs[i] != oracle.Pairs[i] {
+			t.Fatalf("%s: pair %d = %+v, oracle %+v", label, i, got.Pairs[i], oracle.Pairs[i])
+		}
+	}
+	if got.CandidatePairs != oracle.CandidatePairs {
+		t.Errorf("%s: CandidatePairs = %d, oracle %d", label, got.CandidatePairs, oracle.CandidatePairs)
+	}
+	if got.ComparedPairs > oracle.ComparedPairs {
+		t.Errorf("%s: ComparedPairs = %d exceeds the oracle's %d", label, got.ComparedPairs, oracle.ComparedPairs)
+	}
+	if !reflect.DeepEqual(got.CloneByMarket(), oracle.CloneByMarket()) {
+		t.Errorf("%s: CloneByMarket diverged: %v vs %v", label, got.CloneByMarket(), oracle.CloneByMarket())
+	}
+	if !reflect.DeepEqual(got.SourceHeatmap(), oracle.SourceHeatmap()) {
+		t.Errorf("%s: SourceHeatmap diverged", label)
+	}
+}
+
+// TestIndexedDetectorMatchesSerialOracle runs the indexed detector across
+// worker counts and probe widths over seeded random corpora and demands the
+// exact output of the Workers: 1 serial sweep, including under configurations
+// that exercise the degenerate index paths (zero MinVectorTotal admitting
+// empty vectors, thresholds close to and above 1).
+func TestIndexedDetectorMatchesSerialOracle(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  CodeConfig
+	}{
+		{"default", DefaultCodeConfig()},
+		{"loose", CodeConfig{DistanceThreshold: 0.30, SegmentThreshold: 0.50, MinVectorTotal: 0}},
+		{"degenerate", CodeConfig{DistanceThreshold: 0.99, SegmentThreshold: 0.01, MinVectorTotal: 0}},
+		{"over-one", CodeConfig{DistanceThreshold: 1.5, SegmentThreshold: 0.5, MinVectorTotal: 0}},
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		apps := randomCorpus(seed, 160)
+		for _, tc := range configs {
+			oracle := DetectCodeClonesWith(apps, tc.cfg, CloneOptions{Workers: 1})
+			if tc.name == "default" && len(oracle.Pairs) == 0 {
+				t.Fatalf("seed %d: corpus produced no clone pairs; the equivalence check is vacuous", seed)
+			}
+			for _, workers := range []int{0, 2, 3, runtime.NumCPU()} {
+				for _, topK := range []int{0, 1, 64} {
+					got := DetectCodeClonesWith(apps, tc.cfg, CloneOptions{Workers: workers, IndexTopK: topK})
+					label := fmt.Sprintf("seed %d cfg %s workers %d topK %d", seed, tc.name, workers, topK)
+					assertSameCodeResult(t, label, oracle, got)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexedDetectorPrunesComparisons pins the point of the index: on a
+// corpus of distinct code families with colliding vector totals, the indexed
+// path performs strictly fewer vector comparisons than the pre-index
+// blocking while producing the same clones.
+func TestIndexedDetectorPrunesComparisons(t *testing.T) {
+	apps := randomCorpus(42, 200)
+	cfg := DefaultCodeConfig()
+	oracle := DetectCodeClonesWith(apps, cfg, CloneOptions{Workers: 1})
+	indexed := DetectCodeClonesWith(apps, cfg, CloneOptions{})
+	if indexed.ComparedPairs >= oracle.ComparedPairs {
+		t.Errorf("index did not prune: %d comparisons vs %d pre-index", indexed.ComparedPairs, oracle.ComparedPairs)
+	}
+	assertSameCodeResult(t, "pruning run", oracle, indexed)
+}
+
+// TestConcurrentDetectCodeClones exercises concurrent detector runs over a
+// shared corpus — the index, the scratch pool and the worker fan-out must be
+// self-contained per call. Run under -race in CI.
+func TestConcurrentDetectCodeClones(t *testing.T) {
+	apps := randomCorpus(7, 150)
+	cfg := DefaultCodeConfig()
+	oracle := DetectCodeClonesWith(apps, cfg, CloneOptions{Workers: 1})
+
+	const callers = 4
+	results := make([]*CodeResult, callers)
+	var wg sync.WaitGroup
+	for k := 0; k < callers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			results[k] = DetectCodeClonesWith(apps, cfg, CloneOptions{Workers: 2 + k%2})
+		}(k)
+	}
+	wg.Wait()
+	for k, res := range results {
+		assertSameCodeResult(t, fmt.Sprintf("concurrent caller %d", k), oracle, res)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"marketscope/internal/analysis"
+	"marketscope/internal/clonedetect"
 	"marketscope/internal/crawler"
 	"marketscope/internal/market"
 	"marketscope/internal/synth"
@@ -54,6 +55,11 @@ type Config struct {
 	Synth synth.Config
 	// Enrich controls the detector pass.
 	Enrich analysis.EnrichOptions
+	// Clone schedules the code-clone detection stage of the misbehavior
+	// analysis: worker-pool size and candidate-index probe width. The zero
+	// value runs the indexed detector with one worker per CPU; Workers == 1
+	// is the serial oracle (same convention as Enrich.Workers).
+	Clone clonedetect.CloneOptions
 	// Mode selects the crawl transport.
 	Mode Mode
 	// Concurrency is the number of crawl workers in ModeHTTP.
@@ -220,7 +226,9 @@ func (r *Results) runAnalyses() {
 	r.Clusters = analysis.Clusters(d)
 	r.Outdated = analysis.Outdated(d)
 	r.Identical = analysis.IdenticalApps(d)
-	r.Misbehavior = analysis.Misbehavior(d, analysis.DefaultMisbehaviorOptions())
+	mis := analysis.DefaultMisbehaviorOptions()
+	mis.Clone = r.Config.Clone
+	r.Misbehavior = analysis.Misbehavior(d, mis)
 	r.OverPrivGP, r.OverPrivCN = analysis.OverPrivilege(d)
 	r.Malware = analysis.MalwarePrevalence(d)
 	r.MalwareAvg = analysis.AverageChineseMalware(d, r.Malware)

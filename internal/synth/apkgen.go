@@ -149,6 +149,13 @@ func (g *generator) buildArtifacts(eco *Ecosystem) error {
 
 // buildOwnCode generates the app's first-party classes. The draw is
 // deterministic per package.
+//
+// Besides framework APIs, every method also calls a few of the app's own
+// internal helpers — in real corpora most invocations target the app's own
+// (or obfuscated) methods, which is what gives each app's WuKong vector its
+// distinctive dominant features and makes candidate indexing effective.
+// Clones copy the original's code wholesale and therefore inherit its helper
+// calls, exactly like real repackaged apps.
 func (g *generator) buildOwnCode(app *App) *dex.File {
 	rng := stats.NewRNG(g.cfg.Seed ^ hash64("code:"+app.Package))
 	file := &dex.File{}
@@ -167,6 +174,12 @@ func (g *generator) buildOwnCode(app *App) *dex.File {
 	}
 	sort.Strings(permissionAPIs)
 
+	helperCount := rng.Range(3, 7)
+	helpers := make([]string, helperCount)
+	for h := range helpers {
+		helpers[h] = fmt.Sprintf("%s.Helper.h%d", app.Package, h)
+	}
+
 	for c := 0; c < classCount; c++ {
 		className := fmt.Sprintf("%s.%s%d", app.Package, []string{"Main", "Detail", "Util", "Net", "Data", "View"}[c%6], c)
 		cls := dex.Class{Name: className}
@@ -176,6 +189,10 @@ func (g *generator) buildOwnCode(app *App) *dex.File {
 			callCount := rng.Range(2, 9)
 			for k := 0; k < callCount; k++ {
 				m.APICalls = append(m.APICalls, frameworkAPIPool[rng.Intn(len(frameworkAPIPool))])
+			}
+			helperCalls := rng.Range(1, 4)
+			for k := 0; k < helperCalls; k++ {
+				m.APICalls = append(m.APICalls, helpers[rng.Intn(len(helpers))])
 			}
 			if len(permissionAPIs) > 0 && mIdx == 0 {
 				m.APICalls = append(m.APICalls, permissionAPIs[c%len(permissionAPIs)])
