@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` output into a small JSON
+// document so CI can record the performance trajectory as a structured
+// artifact instead of a text log.
+//
+// Usage:
+//
+//	go test -run xxx -bench ... -benchmem . | tee bench.txt
+//	benchjson < bench.txt > BENCH_query.json
+//
+// Two line shapes are extracted, everything else passes through untouched:
+//
+//   - standard benchmark result lines ("BenchmarkX-8  120  9876 ns/op
+//     1024 B/op  17 allocs/op") become entries under "benchmarks";
+//   - "SCANSTAT key=value ..." lines (printed by BenchmarkScanQuery with
+//     the planner's candidate counts, prune ratio and asserted speedup)
+//     are folded into the "stats" object, numeric values parsed.
+//
+// An optional -match regexp keeps only benchmark names it matches, so the
+// scan-engine artifact does not drag every pipeline bench along.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line. Bytes/Allocs are pointers so runs
+// without -benchmem stay distinguishable from measured zeros.
+type Result struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Doc is the artifact schema.
+type Doc struct {
+	Benchmarks []Result       `json:"benchmarks"`
+	Stats      map[string]any `json:"stats,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark[^\s]+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	match := flag.String("match", "", "keep only benchmarks whose name matches this regexp")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *match); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer, match string) error {
+	var keep *regexp.Regexp
+	if match != "" {
+		re, err := regexp.Compile(match)
+		if err != nil {
+			return fmt.Errorf("bad -match: %w", err)
+		}
+		keep = re
+	}
+	doc := Doc{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			if keep != nil && !keep.MatchString(m[1]) {
+				continue
+			}
+			r := Result{Name: m[1]}
+			r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+			r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+			if m[4] != "" {
+				v, err := strconv.ParseFloat(m[4], 64)
+				if err == nil {
+					r.BytesPerOp = &v
+				}
+			}
+			if m[5] != "" {
+				v, err := strconv.ParseInt(m[5], 10, 64)
+				if err == nil {
+					r.AllocsPerOp = &v
+				}
+			}
+			doc.Benchmarks = append(doc.Benchmarks, r)
+			continue
+		}
+		if idx := strings.Index(line, "SCANSTAT "); idx >= 0 {
+			if doc.Stats == nil {
+				doc.Stats = map[string]any{}
+			}
+			for _, kv := range strings.Fields(line[idx+len("SCANSTAT "):]) {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					continue
+				}
+				if f, err := strconv.ParseFloat(v, 64); err == nil {
+					doc.Stats[k] = f
+				} else {
+					doc.Stats[k] = v
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

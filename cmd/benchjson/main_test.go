@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+----- reproduced scan-plan -----
+SCANSTAT rows=754 candidates=85 residual_scanned=85 prune_ratio=8.87 speedup=7.5 planner_allocs=67 oracle_allocs=273 index=sorted(av_positives)
+
+BenchmarkScanQuery/selective/planner-8         	     120	      9876 ns/op	    5432 B/op	      70 allocs/op
+BenchmarkScanQuery/selective/oracle-8          	      15	     71074 ns/op	   17112 B/op	     273 allocs/op
+BenchmarkEnrich/workers_1                      	       1	 123456789 ns/op
+PASS
+ok  	marketscope	1.4s
+`
+
+func parse(t *testing.T, match string) Doc {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sample), &out, match); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	return doc
+}
+
+func TestParseBenchLines(t *testing.T) {
+	doc := parse(t, "")
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkScanQuery/selective/planner" || b.Iterations != 120 || b.NsPerOp != 9876 {
+		t.Fatalf("first bench = %+v", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 5432 || b.AllocsPerOp == nil || *b.AllocsPerOp != 70 {
+		t.Fatalf("memory columns not parsed: %+v", b)
+	}
+	// The -benchmem-less line keeps its optional fields absent, not zero.
+	if e := doc.Benchmarks[2]; e.BytesPerOp != nil || e.AllocsPerOp != nil {
+		t.Fatalf("bench without -benchmem grew memory columns: %+v", e)
+	}
+}
+
+func TestParseScanStat(t *testing.T) {
+	doc := parse(t, "")
+	if doc.Stats["candidates"] != 85.0 || doc.Stats["prune_ratio"] != 8.87 || doc.Stats["speedup"] != 7.5 {
+		t.Fatalf("stats = %+v", doc.Stats)
+	}
+	if doc.Stats["index"] != "sorted(av_positives)" {
+		t.Fatalf("non-numeric stat mangled: %v", doc.Stats["index"])
+	}
+}
+
+func TestMatchFilter(t *testing.T) {
+	doc := parse(t, "ScanQuery")
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("match kept %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	for _, b := range doc.Benchmarks {
+		if !strings.Contains(b.Name, "ScanQuery") {
+			t.Fatalf("match leaked %q", b.Name)
+		}
+	}
+	if doc.Stats["rows"] != 754.0 {
+		t.Fatalf("stats lost under -match: %+v", doc.Stats)
+	}
+}
+
+func TestBadMatch(t *testing.T) {
+	if err := run(strings.NewReader(sample), &bytes.Buffer{}, "("); err == nil {
+		t.Fatal("invalid regexp accepted")
+	}
+}

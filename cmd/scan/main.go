@@ -5,7 +5,7 @@
 // Usage:
 //
 //	scan -fields
-//	scan [-snapshot DIR | -apps N] [-workers N] [-query FILE] [-format table|json]
+//	scan [-snapshot DIR | -apps N] [-workers N] [-query FILE] [-format table|json] [-explain]
 //
 // The dataset is either a snapshot saved by the crawler command (-snapshot)
 // or a freshly generated synthetic corpus (-apps/-developers/-seed, the
@@ -20,10 +20,13 @@
 //	  "limit":   25
 //	}
 //
-// -fields lists every scannable field with its category, kind and null
-// behaviour; the registry is static, so no corpus is loaded or generated.
-// -format json emits the raw query.Result for piping; the default table
-// output matches the study's report style.
+// -fields lists every scannable field with its category, kind, null and
+// index behaviour; the registry is static, so no corpus is loaded or
+// generated. -format json emits the raw query.Result for piping; the
+// default table output matches the study's report style. -explain appends
+// the planner's execution report (index used, candidate rows, residual rows
+// evaluated) to the table output; JSON output always carries it in
+// meta.explain.
 package main
 
 import (
@@ -57,6 +60,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	queryPath := fs.String("query", "", "JSON query file ('-' or empty = stdin)")
 	format := fs.String("format", "table", "output format: table or json")
 	listFields := fs.Bool("fields", false, "list the scannable fields and exit")
+	explain := fs.Bool("explain", false, "print the planner's execution report after the table")
 	noEnrich := fs.Bool("no-enrich", false, "skip the detector pass (enrichment fields stay null)")
 	workers := fs.Int("workers", 0, "parse/enrichment worker count (0 = one per CPU, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
@@ -113,7 +117,12 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(res)
 	}
-	_, err = fmt.Fprint(out, report.ScanTable("Scan results", res))
+	if _, err := fmt.Fprint(out, report.ScanTable("Scan results", res)); err != nil {
+		return err
+	}
+	if *explain {
+		_, err = fmt.Fprint(out, report.ScanExplain(res.Meta))
+	}
 	return err
 }
 

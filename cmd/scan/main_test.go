@@ -83,6 +83,27 @@ func TestScanCLITableOutput(t *testing.T) {
 	if !strings.Contains(out.String(), "listings matched") {
 		t.Errorf("table output missing meta line:\n%s", out.String())
 	}
+	if strings.Contains(out.String(), "plan:") {
+		t.Errorf("plan line printed without -explain:\n%s", out.String())
+	}
+}
+
+// TestScanCLIExplain checks -explain appends the planner report, with an
+// indexed filter actually naming its index.
+func TestScanCLIExplain(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-apps", "60", "-developers", "20", "-no-enrich", "-explain"},
+		strings.NewReader(`{"fields": ["package"], "filters": [{"field": "market", "op": "==", "value": "Google Play"}], "limit": 3}`), &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "plan: index=hash(market)") {
+		t.Errorf("-explain output missing indexed plan line:\n%s", got)
+	}
+	if !strings.Contains(got, "candidates=") || !strings.Contains(got, "residual_scanned=") {
+		t.Errorf("-explain output missing counters:\n%s", got)
+	}
 }
 
 func TestScanCLIErrors(t *testing.T) {

@@ -83,9 +83,12 @@ type Dataset struct {
 	libDetector *libdetect.Detector
 	scanner     *avscan.Scanner
 
-	// Query engine over the listings (built lazily by QuerySource).
-	queryOnce sync.Once
-	querySrc  query.Source
+	// Query engine over the listings (built lazily by QuerySource and
+	// rebuilt after Enrich, since the engine's column caches snapshot
+	// extracted values; queryEnriched records which state querySrc saw).
+	queryMu       sync.Mutex
+	querySrc      query.Source
+	queryEnriched bool
 }
 
 // BuildOptions tunes the dataset build pass.

@@ -26,10 +26,20 @@ const (
 // before any concurrent scanning starts (any Enrich call returning is enough:
 // concurrent callers all block until the one pipeline run completes) —
 // enrich first, then attach/serve.
+//
+// The engine caches extracted values in typed columns, so a source handed
+// out before Enrich would go stale when enrichment later mutates the
+// listings; QuerySource therefore rebuilds the engine on first use after
+// enrichment and callers should always re-fetch it rather than hold one
+// across an Enrich call.
 func (d *Dataset) QuerySource() query.Source {
-	d.queryOnce.Do(func() {
+	d.queryMu.Lock()
+	defer d.queryMu.Unlock()
+	enriched := d.enriched.Load()
+	if d.querySrc == nil || d.queryEnriched != enriched {
 		d.querySrc = query.NewEngine(appFieldRegistry(d), d.Apps)
-	})
+		d.queryEnriched = enriched
+	}
 	return d.querySrc
 }
 
@@ -238,6 +248,22 @@ func appFieldRegistry(d *Dataset) *query.Registry[*App] {
 			}
 			return n, true
 		})
+
+	// Index hints: the planner may answer == / in / range filters on these
+	// fields from secondary indexes instead of scanning every listing. The
+	// set is the hot filter columns: low-cardinality strings and flags
+	// (market, category, taxonomy, booleans) plus the numerics range
+	// queries target (AV-rank, downloads, rating, SDK levels).
+	if err := r.MarkIndexable(
+		"market", "market_category", "category", "market_type", "market_chinese",
+		"developer_id", "has_ads", "has_iap", "apk_parsed", "debuggable",
+		"min_sdk", "target_sdk", "downloads", "rating", "version_code",
+		"release_date", "update_date",
+		"av_positives", "av_family", "flagged_malware", "over_privileged",
+		"library_count", "permissions_unused",
+	); err != nil {
+		panic(err) // static field table: a bad name is a programming error
+	}
 
 	return r
 }

@@ -30,6 +30,10 @@ type scanError struct {
 //	POST /api/scan          execute one JSON query, returns query.Result
 //	GET  /api/scan/fields   list the registered fields with categories
 //
+// Scan responses carry the planner's execution report in meta.explain
+// (index used, candidate rows, residual rows evaluated), so HTTP clients
+// can see whether their filters hit the secondary indexes.
+//
 // The source is typically analysis.(*Dataset).QuerySource() built from a
 // crawl of this very market set. Scans are read-only and safe under the
 // server's concurrency; the rate limiter applies to scan requests exactly as

@@ -1,0 +1,163 @@
+package market_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"marketscope/internal/market"
+	"marketscope/internal/query"
+)
+
+// TestScanEndpointUnderLoad hammers POST /api/scan with concurrent mixed
+// queries — hash lookups, range scans, residual-only filters, sorts, limits
+// — and requires every response to be identical to a direct Engine.Scan of
+// the same query. Run under -race (the CI race job does) this also proves
+// the engine's lazy column and index builds survive concurrent first
+// touches behind the HTTP layer.
+func TestScanEndpointUnderLoad(t *testing.T) {
+	ds, srv := scanFixture(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	src := ds.QuerySource()
+
+	queries := []query.Query{
+		{Fields: []string{"package", "market"},
+			Filters: []query.Filter{{Field: "market_chinese", Op: query.OpEq, Value: true}},
+			Sort:    []query.SortKey{{Field: "package"}}, Limit: 10},
+		{Fields: []string{"package", "av_positives", "av_family"},
+			Filters: []query.Filter{{Field: "av_positives", Op: query.OpGe, Value: 10}},
+			Sort:    []query.SortKey{{Field: "av_positives", Desc: true}, {Field: "package"}}, Limit: 5},
+		{Fields: []string{"package", "downloads", "rating"},
+			Filters: []query.Filter{
+				{Field: "downloads", Op: query.OpIsNull, Value: false},
+				{Field: "rating", Op: query.OpGt, Value: 4.0}},
+			Sort: []query.SortKey{{Field: "downloads", Desc: true}}, Limit: 8},
+		{Fields: []string{"package", "market_category"},
+			Filters: []query.Filter{{Field: "package", Op: query.OpContains, Value: "com."}}, Limit: 15},
+		{Fields: []string{"package", "min_sdk"},
+			Filters: []query.Filter{
+				{Field: "min_sdk", Op: query.OpLe, Value: 15},
+				{Field: "apk_parsed", Op: query.OpEq, Value: true}},
+			Sort: []query.SortKey{{Field: "min_sdk"}, {Field: "package"}}},
+		{Fields: []string{"package", "market", "category"},
+			Filters: []query.Filter{{Field: "market", Op: query.OpIn,
+				Value: []any{"Google Play", "Tencent Myapp", "Baidu Market"}}},
+			Sort: []query.SortKey{{Field: "market"}, {Field: "package"}}, Limit: 20},
+	}
+
+	// Direct engine results, computed once; responses must match these
+	// byte for byte (modulo the wall-clock field).
+	type want struct {
+		rowsJSON []byte
+		meta     query.Meta
+	}
+	wants := make([]want, len(queries))
+	for i, q := range queries {
+		res, err := src.Scan(q)
+		if err != nil {
+			t.Fatalf("direct scan %d: %v", i, err)
+		}
+		rows, err := json.Marshal(res.Rows)
+		if err != nil {
+			t.Fatalf("marshal rows %d: %v", i, err)
+		}
+		meta := res.Meta
+		meta.QueryTimeMicros = 0
+		wants[i] = want{rowsJSON: rows, meta: meta}
+	}
+
+	const (
+		workers   = 8
+		perWorker = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; i < perWorker; i++ {
+				qi := (w + i) % len(queries)
+				body, err := json.Marshal(queries[qi])
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp, err := client.Post(ts.URL+market.ScanPath, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var got query.Result
+				err = json.NewDecoder(resp.Body).Decode(&got)
+				resp.Body.Close()
+				if err != nil {
+					errs <- fmt.Errorf("decode query %d: %w", qi, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("query %d: status %d", qi, resp.StatusCode)
+					return
+				}
+				gotRows, err := json.Marshal(got.Rows)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(gotRows, wants[qi].rowsJSON) {
+					errs <- fmt.Errorf("query %d: rows diverge from direct scan:\nhttp:   %s\ndirect: %s",
+						qi, gotRows, wants[qi].rowsJSON)
+					return
+				}
+				got.Meta.QueryTimeMicros = 0
+				if !reflect.DeepEqual(got.Meta, wants[qi].meta) {
+					errs <- fmt.Errorf("query %d: meta diverges: http %+v, direct %+v",
+						qi, got.Meta, wants[qi].meta)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestScanResponseCarriesExplain pins the HTTP surface of the planner
+// report: an indexed query's response must include meta.explain with the
+// index that answered it.
+func TestScanResponseCarriesExplain(t *testing.T) {
+	_, srv := scanFixture(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body := `{"fields":["package"],"filters":[{"field":"market_chinese","op":"==","value":true},{"field":"av_positives","op":">=","value":10}],"limit":3}`
+	resp, err := http.Post(ts.URL+market.ScanPath, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	var res query.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	ex := res.Meta.Explain
+	if ex == nil {
+		t.Fatal("response meta has no explain block")
+	}
+	if ex.IndexUsed == "" {
+		t.Fatalf("indexed filters answered without an index: %+v", ex)
+	}
+	if ex.Candidates < res.Meta.TotalMatched {
+		t.Fatalf("explain inconsistent: %+v vs meta %+v", ex, res.Meta)
+	}
+}

@@ -1,0 +1,187 @@
+package query
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// bitset is a fixed-size bitmap; columns use one to mark null rows.
+type bitset []uint64
+
+func newBitset(n int) bitset    { return make(bitset, (n+63)/64) }
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// column is one field materialized as a typed slice plus a null bitmap.
+// Exactly one of the value slices is populated, selected by kind, so filter
+// and sort evaluation becomes tight loops over machine types instead of
+// boxed extractor calls. A column is immutable once built.
+type column struct {
+	kind      Kind
+	nulls     bitset
+	nullCount int
+	// hasNaN marks float columns containing NaN. compareValues treats NaN
+	// as equal to everything, which breaks the transitivity a sorted index
+	// needs, so such columns refuse to back one (the planner falls back to
+	// a residual scan, matching the oracle bit for bit).
+	hasNaN bool
+
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	times  []time.Time
+}
+
+// colSlot is the lazy holder of one field's column: built at most once per
+// engine, concurrently safe.
+type colSlot struct {
+	once sync.Once
+	col  *column
+}
+
+// buildColumn materializes a field over every item through the same
+// extract() the oracle path uses, so cached values (nulls included) are
+// identical to what a row-at-a-time scan would see.
+func buildColumn[T any](f Field[T], items []T) *column {
+	n := len(items)
+	c := &column{kind: f.Kind, nulls: newBitset(n)}
+	switch f.Kind {
+	case KindInt:
+		c.ints = make([]int64, n)
+	case KindFloat:
+		c.floats = make([]float64, n)
+	case KindString:
+		c.strs = make([]string, n)
+	case KindBool:
+		c.bools = make([]bool, n)
+	case KindTime:
+		c.times = make([]time.Time, n)
+	}
+	for i, item := range items {
+		v, null := extract(f, item)
+		if null {
+			c.nulls.set(i)
+			c.nullCount++
+			continue
+		}
+		switch f.Kind {
+		case KindInt:
+			c.ints[i] = v.(int64)
+		case KindFloat:
+			x := v.(float64)
+			c.floats[i] = x
+			if math.IsNaN(x) {
+				c.hasNaN = true
+			}
+		case KindString:
+			c.strs[i] = v.(string)
+		case KindBool:
+			c.bools[i] = v.(bool)
+		case KindTime:
+			c.times[i] = v.(time.Time)
+		}
+	}
+	return c
+}
+
+// value boxes the row's value in its JSON-facing representation (time as
+// RFC 3339, mirroring emitValue), nil when null. Used by row
+// materialization so output cells match the oracle's extract+emitValue.
+func (c *column) value(i int) any {
+	if c.nulls.get(i) {
+		return nil
+	}
+	switch c.kind {
+	case KindInt:
+		return c.ints[i]
+	case KindFloat:
+		return c.floats[i]
+	case KindString:
+		return c.strs[i]
+	case KindBool:
+		return c.bools[i]
+	case KindTime:
+		return c.times[i].Format(time.RFC3339)
+	}
+	return nil
+}
+
+// compareRows orders the non-null values at rows a and b with exactly
+// compareValues' semantics (floats: NaN compares equal to everything; times:
+// instant comparison).
+func (c *column) compareRows(a, b int) int {
+	switch c.kind {
+	case KindInt:
+		return cmpOrdered(c.ints[a], c.ints[b])
+	case KindFloat:
+		return cmpOrdered(c.floats[a], c.floats[b])
+	case KindString:
+		return cmpOrdered(c.strs[a], c.strs[b])
+	case KindBool:
+		return cmpBool(c.bools[a], c.bools[b])
+	case KindTime:
+		return cmpTime(c.times[a], c.times[b])
+	}
+	return 0
+}
+
+// compareOperand orders the non-null value at row i against a normalized
+// filter operand, again with compareValues' semantics.
+func (c *column) compareOperand(i int, operand any) int {
+	switch c.kind {
+	case KindInt:
+		return cmpOrdered(c.ints[i], operand.(int64))
+	case KindFloat:
+		return cmpOrdered(c.floats[i], operand.(float64))
+	case KindString:
+		return cmpOrdered(c.strs[i], operand.(string))
+	case KindBool:
+		return cmpBool(c.bools[i], operand.(bool))
+	case KindTime:
+		return cmpTime(c.times[i], operand.(time.Time))
+	}
+	return 0
+}
+
+func cmpOrdered[V int64 | float64 | string](x, y V) int {
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	}
+	return 0
+}
+
+func cmpBool(x, y bool) int {
+	switch {
+	case !x && y:
+		return -1
+	case x && !y:
+		return 1
+	}
+	return 0
+}
+
+func cmpTime(x, y time.Time) int {
+	switch {
+	case x.Before(y):
+		return -1
+	case x.After(y):
+		return 1
+	}
+	return 0
+}
+
+// columnFor materializes (at most once, concurrently safe) the typed column
+// of the field at registration ordinal ord.
+func (e *Engine[T]) columnFor(ord int) *column {
+	slot := &e.cols[ord]
+	slot.once.Do(func() {
+		f := e.reg.byName[e.reg.order[ord]]
+		slot.col = buildColumn(f, e.items)
+	})
+	return slot.col
+}

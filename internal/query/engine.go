@@ -2,24 +2,56 @@ package query
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Engine executes queries over an immutable item slice using a registry's
-// fields. Scans never mutate the engine, so one engine serves any number of
-// concurrent callers.
+// fields. Scans never mutate the visible engine state, so one engine serves
+// any number of concurrent callers; the typed column caches and secondary
+// indexes build lazily under per-field sync.Once, which keeps concurrent
+// first touches race-free.
 type Engine[T any] struct {
 	reg   *Registry[T]
 	items []T
+
+	// ordinals maps field name -> slot in the per-field cache slices below
+	// (registration order, fixed at construction).
+	ordinals  map[string]int
+	cols      []colSlot
+	hashes    []hashSlot
+	sortedIdx []sortedSlot
+
+	// chunkPool / candPool recycle the per-chunk match buffers of parallel
+	// scans (oracle []int chunks, planned []int32 chunks).
+	chunkPool sync.Pool
+	candPool  sync.Pool
+
+	// lastSel is the previously observed match rate (matches per 1<<16
+	// scanned rows, stored +1 so zero means "no history"), the capacity
+	// heuristic for preallocating match buffers.
+	lastSel atomic.Uint32
 }
 
 // NewEngine binds a registry to a dataset slice. The engine keeps the slice;
-// callers must not mutate it afterwards.
+// callers must not mutate it (or the registry's field set) afterwards.
 func NewEngine[T any](reg *Registry[T], items []T) *Engine[T] {
-	return &Engine[T]{reg: reg, items: items}
+	e := &Engine[T]{
+		reg:       reg,
+		items:     items,
+		ordinals:  make(map[string]int, len(reg.order)),
+		cols:      make([]colSlot, len(reg.order)),
+		hashes:    make([]hashSlot, len(reg.order)),
+		sortedIdx: make([]sortedSlot, len(reg.order)),
+	}
+	for i, name := range reg.order {
+		e.ordinals[name] = i
+	}
+	return e
 }
 
 // Fields implements Source.
@@ -28,70 +60,120 @@ func (e *Engine[T]) Fields() []FieldInfo { return e.reg.Fields() }
 // Len returns the number of scannable items.
 func (e *Engine[T]) Len() int { return len(e.items) }
 
-// parallelThreshold is the dataset size above which filter matching fans out
+// parallelThreshold is the row count above which filter matching fans out
 // across CPUs. Below it the goroutine overhead outweighs the work.
 const parallelThreshold = 4096
 
-// Scan implements Source: filter, sort, limit, extract.
-func (e *Engine[T]) Scan(q Query) (*Result, error) {
-	start := time.Now()
+// prepared is one validated, compiled query: output fields resolved,
+// filters compiled, sort keys bound. Both execution paths run from the same
+// prepared form, so they accept and reject exactly the same queries with
+// identical errors.
+type prepared[T any] struct {
+	outFields  []Field[T]
+	outOrds    []int
+	infos      []FieldInfo
+	filters    []compiledFilter[T]
+	sortKeys   []SortKey
+	sortFields []Field[T]
+	sortOrds   []int
+	limit      int
+}
+
+func (e *Engine[T]) prepare(q Query) (*prepared[T], error) {
 	if q.Limit < 0 {
 		return nil, fmt.Errorf("%w: %d", ErrBadLimit, q.Limit)
 	}
+	pq := &prepared[T]{limit: q.Limit}
 
 	// Resolve the requested columns (empty = all, registration order).
 	names := q.Fields
-	outFields := make([]Field[T], 0, len(names))
-	infos := make([]FieldInfo, 0, len(names))
 	if len(names) == 0 {
-		for _, info := range e.reg.Fields() {
-			f, _ := e.reg.Lookup(info.Name)
-			outFields = append(outFields, f)
-			infos = append(infos, info)
+		names = e.reg.order
+	}
+	pq.outFields = make([]Field[T], 0, len(names))
+	pq.outOrds = make([]int, 0, len(names))
+	pq.infos = make([]FieldInfo, 0, len(names))
+	for _, name := range names {
+		f, ok := e.reg.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownField, name)
 		}
-	} else {
-		for _, name := range names {
-			f, ok := e.reg.Lookup(name)
-			if !ok {
-				return nil, fmt.Errorf("%w: %q", ErrUnknownField, name)
-			}
-			outFields = append(outFields, f)
-			infos = append(infos, f.info())
-		}
+		pq.outFields = append(pq.outFields, f)
+		pq.outOrds = append(pq.outOrds, e.ordinals[name])
+		pq.infos = append(pq.infos, f.info())
 	}
 
 	// Compile filters and sort keys up front so per-row evaluation is a
 	// plain function call and malformed queries fail before any scanning.
-	filters := make([]compiledFilter[T], 0, len(q.Filters))
+	pq.filters = make([]compiledFilter[T], 0, len(q.Filters))
 	for _, raw := range q.Filters {
 		cf, err := compileFilter(e.reg, raw)
 		if err != nil {
 			return nil, err
 		}
-		filters = append(filters, cf)
+		pq.filters = append(pq.filters, cf)
 	}
-	sortFields := make([]Field[T], 0, len(q.Sort))
+	pq.sortKeys = q.Sort
+	pq.sortFields = make([]Field[T], 0, len(q.Sort))
+	pq.sortOrds = make([]int, 0, len(q.Sort))
 	for _, key := range q.Sort {
 		f, ok := e.reg.Lookup(key.Field)
 		if !ok {
 			return nil, fmt.Errorf("%w: %q (in sort)", ErrUnknownField, key.Field)
 		}
-		sortFields = append(sortFields, f)
+		pq.sortFields = append(pq.sortFields, f)
+		pq.sortOrds = append(pq.sortOrds, e.ordinals[key.Field])
 	}
+	return pq, nil
+}
 
-	matched := e.match(filters)
-	total := len(matched)
-	if len(sortFields) > 0 {
-		e.sortMatches(matched, q.Sort, sortFields)
+// Scan implements Source on the planned path: secondary indexes answer the
+// filters they can, a typed column scan covers the rest, and a bounded
+// top-K selection replaces the full sort when a limit applies. Results are
+// byte-identical to ScanOracle (Fields, Rows, TotalMatched — order
+// included); Meta gains an Explain block and the rows-evaluated Scanned
+// semantics documented on Meta.
+func (e *Engine[T]) Scan(q Query) (*Result, error) {
+	start := time.Now()
+	pq, err := e.prepare(q)
+	if err != nil {
+		return nil, err
 	}
-	if q.Limit > 0 && len(matched) > q.Limit {
-		matched = matched[:q.Limit]
+	if len(e.items) > math.MaxInt32 {
+		// Row ids are int32 in the column path; datasets beyond 2^31 rows
+		// (never reached in practice) keep the reference semantics.
+		return e.scanOracle(pq, start), nil
+	}
+	return e.scanPlanned(pq, start)
+}
+
+// ScanOracle implements OracleSource: the pre-planner reference path kept
+// verbatim — boxed per-row extraction, every filter on every row, full
+// stable sort — for the equivalence suite and benchmarks to compare
+// against.
+func (e *Engine[T]) ScanOracle(q Query) (*Result, error) {
+	start := time.Now()
+	pq, err := e.prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.scanOracle(pq, start), nil
+}
+
+func (e *Engine[T]) scanOracle(pq *prepared[T], start time.Time) *Result {
+	matched := e.match(pq.filters)
+	total := len(matched)
+	if len(pq.sortFields) > 0 {
+		e.sortMatches(matched, pq.sortKeys, pq.sortFields)
+	}
+	if pq.limit > 0 && len(matched) > pq.limit {
+		matched = matched[:pq.limit]
 	}
 
 	rows := make([][]any, 0, len(matched))
 	for _, idx := range matched {
-		row := make([]any, len(outFields))
-		for i, f := range outFields {
+		row := make([]any, len(pq.outFields))
+		for i, f := range pq.outFields {
 			if v, null := extract(f, e.items[idx]); !null {
 				row[i] = emitValue(v)
 			}
@@ -100,7 +182,7 @@ func (e *Engine[T]) Scan(q Query) (*Result, error) {
 	}
 
 	return &Result{
-		Fields: infos,
+		Fields: pq.infos,
 		Rows:   rows,
 		Meta: Meta{
 			Scanned:         len(e.items),
@@ -108,7 +190,34 @@ func (e *Engine[T]) Scan(q Query) (*Result, error) {
 			Returned:        len(rows),
 			QueryTimeMicros: time.Since(start).Microseconds(),
 		},
-	}, nil
+	}
+}
+
+// capHint sizes a match buffer for a scan over n rows from the previously
+// observed selectivity, so matchRange stops growing its output from nil on
+// every chunk. New engines start small; a hint never exceeds n.
+func (e *Engine[T]) capHint(n int) int {
+	sel := e.lastSel.Load()
+	if sel == 0 {
+		if n < 64 {
+			return n
+		}
+		return 64
+	}
+	c := int(uint64(n)*uint64(sel-1)>>16) + 8
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// observeSelectivity records a finished scan's match rate for the next
+// capHint.
+func (e *Engine[T]) observeSelectivity(matched, scanned int) {
+	if scanned == 0 {
+		return
+	}
+	e.lastSel.Store(uint32(uint64(matched)<<16/uint64(scanned)) + 1)
 }
 
 // match returns the indices of items passing every filter, in dataset order.
@@ -118,7 +227,9 @@ func (e *Engine[T]) Scan(q Query) (*Result, error) {
 func (e *Engine[T]) match(filters []compiledFilter[T]) []int {
 	n := len(e.items)
 	if n < parallelThreshold {
-		return e.matchRange(filters, 0, n)
+		out := e.matchRange(filters, 0, n, make([]int, 0, e.capHint(n)))
+		e.observeSelectivity(len(out), n)
+		return out
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -139,22 +250,31 @@ func (e *Engine[T]) match(filters []compiledFilter[T]) []int {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			parts[w] = e.matchRange(filters, lo, hi)
+			// Chunk buffers come from the pool and go back after the
+			// chunk-order concatenation below, so steady-state scans stop
+			// re-growing []int from nil on every chunk.
+			buf, _ := e.chunkPool.Get().([]int)
+			if cap(buf) == 0 {
+				buf = make([]int, 0, e.capHint(hi-lo))
+			}
+			parts[w] = e.matchRange(filters, lo, hi, buf[:0])
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	var out []int
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]int, 0, total)
 	for _, p := range parts {
 		out = append(out, p...)
+		e.chunkPool.Put(p[:0]) //nolint:staticcheck // buffer reuse is the point
 	}
-	if out == nil {
-		out = []int{}
-	}
+	e.observeSelectivity(len(out), n)
 	return out
 }
 
-func (e *Engine[T]) matchRange(filters []compiledFilter[T], lo, hi int) []int {
-	out := []int{}
+func (e *Engine[T]) matchRange(filters []compiledFilter[T], lo, hi int, out []int) []int {
 	for i := lo; i < hi; i++ {
 		item := e.items[i]
 		ok := true

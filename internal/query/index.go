@@ -1,0 +1,225 @@
+package query
+
+import (
+	"slices"
+	"sort"
+	"sync"
+)
+
+// Secondary indexes over typed columns. Both are built lazily (at most once
+// per engine and field, under sync.Once) from the field's column cache and
+// are immutable afterwards:
+//
+//   - hashIndex: value -> posting list of row ids in dataset order, for ==
+//     and in on low-cardinality string/int/bool fields.
+//   - sortedIndex: a permutation of the non-null rows ordered by value, so
+//     range predicates (and == on kinds the hash index does not cover)
+//     binary-search to a contiguous span.
+//
+// Null rows appear in neither structure, which encodes the SQL null rule for
+// free: a comparison never matches a null row.
+
+// hashable reports whether a kind gets a hash index. Floats are excluded
+// because compareValues treats NaN as equal to everything, which map-key
+// equality cannot reproduce; times are excluded because their natural map
+// key (UnixNano) overflows for extreme years the comparison semantics still
+// support.
+func hashable(k Kind) bool { return k == KindString || k == KindInt || k == KindBool }
+
+// sortable reports whether a kind gets a sorted index (every ordered kind;
+// bools only ever see ==/!= which the hash index covers).
+func sortable(k Kind) bool {
+	return k == KindString || k == KindInt || k == KindFloat || k == KindTime
+}
+
+type hashIndex struct {
+	ok    bool
+	ints  map[int64][]int32
+	strs  map[string][]int32
+	boolT []int32
+	boolF []int32
+}
+
+type hashSlot struct {
+	once sync.Once
+	ix   *hashIndex
+}
+
+func buildHashIndex(c *column) *hashIndex {
+	ix := &hashIndex{ok: hashable(c.kind)}
+	if !ix.ok {
+		return ix
+	}
+	switch c.kind {
+	case KindInt:
+		ix.ints = make(map[int64][]int32)
+		for i := range c.ints {
+			if !c.nulls.get(i) {
+				ix.ints[c.ints[i]] = append(ix.ints[c.ints[i]], int32(i))
+			}
+		}
+	case KindString:
+		ix.strs = make(map[string][]int32)
+		for i := range c.strs {
+			if !c.nulls.get(i) {
+				ix.strs[c.strs[i]] = append(ix.strs[c.strs[i]], int32(i))
+			}
+		}
+	case KindBool:
+		for i := range c.bools {
+			if c.nulls.get(i) {
+				continue
+			}
+			if c.bools[i] {
+				ix.boolT = append(ix.boolT, int32(i))
+			} else {
+				ix.boolF = append(ix.boolF, int32(i))
+			}
+		}
+	}
+	return ix
+}
+
+// postings returns the rows equal to one normalized operand, ascending in
+// dataset order. The returned slice is shared index state: callers must not
+// mutate it.
+func (ix *hashIndex) postings(operand any) []int32 {
+	switch v := operand.(type) {
+	case int64:
+		return ix.ints[v]
+	case string:
+		return ix.strs[v]
+	case bool:
+		if v {
+			return ix.boolT
+		}
+		return ix.boolF
+	}
+	return nil
+}
+
+// mergePostings unions several posting lists (the in operator) into a fresh
+// ascending, duplicate-free row list; duplicate operands in the in-list must
+// not double-count rows.
+func mergePostings(lists [][]int32) []int32 {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]int32, 0, total)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	slices.Sort(out)
+	dedup := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}
+
+type sortedIndex struct {
+	ok   bool
+	col  *column
+	perm []int32 // non-null rows ordered by (value asc, row asc)
+}
+
+type sortedSlot struct {
+	once sync.Once
+	ix   *sortedIndex
+}
+
+func buildSortedIndex(c *column) *sortedIndex {
+	ix := &sortedIndex{col: c, ok: sortable(c.kind) && !c.hasNaN}
+	if !ix.ok {
+		return ix
+	}
+	n := columnLen(c)
+	ix.perm = make([]int32, 0, n-c.nullCount)
+	for i := 0; i < n; i++ {
+		if !c.nulls.get(i) {
+			ix.perm = append(ix.perm, int32(i))
+		}
+	}
+	sort.Slice(ix.perm, func(i, j int) bool {
+		a, b := ix.perm[i], ix.perm[j]
+		if cmp := c.compareRows(int(a), int(b)); cmp != 0 {
+			return cmp < 0
+		}
+		return a < b
+	})
+	return ix
+}
+
+func columnLen(c *column) int {
+	switch c.kind {
+	case KindInt:
+		return len(c.ints)
+	case KindFloat:
+		return len(c.floats)
+	case KindString:
+		return len(c.strs)
+	case KindBool:
+		return len(c.bools)
+	case KindTime:
+		return len(c.times)
+	}
+	return 0
+}
+
+// spanBounds locates the permutation window satisfying `value <op> operand`
+// by binary search, without materializing it — the planner checks the
+// window's size against its demotion threshold before paying for the copy.
+// Valid ops: ==, <, <=, >, >=.
+func (ix *sortedIndex) spanBounds(op Op, operand any) (lo, hi int) {
+	n := len(ix.perm)
+	// firstGE / firstGT locate the operand's window in value order.
+	firstGE := sort.Search(n, func(k int) bool {
+		return ix.col.compareOperand(int(ix.perm[k]), operand) >= 0
+	})
+	firstGT := sort.Search(n, func(k int) bool {
+		return ix.col.compareOperand(int(ix.perm[k]), operand) > 0
+	})
+	switch op {
+	case OpEq:
+		return firstGE, firstGT
+	case OpLt:
+		return 0, firstGE
+	case OpLe:
+		return 0, firstGT
+	case OpGt:
+		return firstGT, n
+	case OpGe:
+		return firstGE, n
+	}
+	return 0, 0
+}
+
+// spanRows materializes a spanBounds window as a fresh slice in ascending
+// dataset order.
+func (ix *sortedIndex) spanRows(op Op, lo, hi int) []int32 {
+	out := make([]int32, hi-lo)
+	copy(out, ix.perm[lo:hi])
+	if op != OpEq {
+		// An equality span is one value whose ties are already row-ordered;
+		// multi-value ranges are ordered by value first and need the sort.
+		slices.Sort(out)
+	}
+	return out
+}
+
+// hashFor / sortedFor build (at most once) the indexes of the field at
+// registration ordinal ord.
+func (e *Engine[T]) hashFor(ord int) *hashIndex {
+	slot := &e.hashes[ord]
+	slot.once.Do(func() { slot.ix = buildHashIndex(e.columnFor(ord)) })
+	return slot.ix
+}
+
+func (e *Engine[T]) sortedFor(ord int) *sortedIndex {
+	slot := &e.sortedIdx[ord]
+	slot.once.Do(func() { slot.ix = buildSortedIndex(e.columnFor(ord)) })
+	return slot.ix
+}

@@ -1,0 +1,408 @@
+package query
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The planner: decide, per compiled filter, whether a secondary index can
+// answer it; intersect the resulting posting lists in dataset order; run the
+// remaining (residual) predicates as a typed column scan over only the
+// candidates; then sort — a bounded top-K selection when a limit applies —
+// and materialize rows straight from the column caches.
+//
+// The contract, enforced by the randomized equivalence suite and the fuzz
+// target, is that Scan returns byte-identical Fields/Rows/TotalMatched to
+// ScanOracle for every query, order included.
+
+// indexedList is one filter the planner answered from an index.
+type indexedList struct {
+	rows []int32 // ascending dataset order; may alias shared index state
+	desc string  // explain fragment, e.g. "hash(market)"
+	// owned is true when rows is a fresh allocation (a sorted-index span or
+	// an in-merge) the scan may keep and mutate; false for hash posting
+	// lists, which alias immutable index state and must be copied first.
+	owned bool
+}
+
+// indexCandidate is a filter an index could answer, before the planner has
+// decided to: count is the (upper-bound) row count known without
+// materializing, so a non-selective candidate is demoted for free instead
+// of paying an O(n log n) span copy it would then throw away.
+type indexCandidate struct {
+	count       int
+	materialize func() indexedList
+}
+
+// planFilters splits the compiled filters into index-answered posting lists
+// and residual predicates. A candidate covering more than half the dataset
+// is demoted to a residual predicate: walking (and materializing) its rows
+// would cost more than evaluating the filter inside the candidate scan.
+func (e *Engine[T]) planFilters(filters []compiledFilter[T]) (lists []indexedList, residual []compiledFilter[T]) {
+	n := len(e.items)
+	for _, cf := range filters {
+		cand, ok := e.indexLookup(cf)
+		if !ok || cand.count > n/2 {
+			residual = append(residual, cf)
+			continue
+		}
+		lists = append(lists, cand.materialize())
+	}
+	return lists, residual
+}
+
+// indexLookup tries to answer one filter from a secondary index.
+func (e *Engine[T]) indexLookup(cf compiledFilter[T]) (indexCandidate, bool) {
+	f := cf.field
+	if !f.Indexable {
+		return indexCandidate{}, false
+	}
+	ord, ok := e.ordinals[f.Name]
+	if !ok {
+		return indexCandidate{}, false
+	}
+	desc := ""
+	sortedSpan := func(op Op, operand any) (indexCandidate, bool) {
+		six := e.sortedFor(ord)
+		if !six.ok {
+			return indexCandidate{}, false
+		}
+		lo, hi := six.spanBounds(op, operand)
+		return indexCandidate{count: hi - lo, materialize: func() indexedList {
+			return indexedList{rows: six.spanRows(op, lo, hi), desc: desc, owned: true}
+		}}, true
+	}
+	switch cf.op {
+	case OpEq:
+		if hashable(f.Kind) {
+			desc = "hash(" + f.Name + ")"
+			rows := e.hashFor(ord).postings(cf.operand)
+			return indexCandidate{count: len(rows), materialize: func() indexedList {
+				return indexedList{rows: rows, desc: desc}
+			}}, true
+		}
+		desc = "sorted(" + f.Name + ")"
+		return sortedSpan(OpEq, cf.operand)
+	case OpIn:
+		if hashable(f.Kind) {
+			desc = "hash(" + f.Name + ")"
+			ix := e.hashFor(ord)
+			sub := make([][]int32, 0, len(cf.operands))
+			total := 0
+			for _, operand := range cf.operands {
+				rows := ix.postings(operand)
+				sub = append(sub, rows)
+				total += len(rows)
+			}
+			// total counts duplicate operands' rows twice; it is only the
+			// demotion upper bound, the merge dedups before intersection.
+			return indexCandidate{count: total, materialize: func() indexedList {
+				return indexedList{rows: mergePostings(sub), desc: desc, owned: true}
+			}}, true
+		}
+	case OpLt, OpLe, OpGt, OpGe:
+		desc = "sorted(" + f.Name + ")"
+		return sortedSpan(cf.op, cf.operand)
+	}
+	return indexCandidate{}, false
+}
+
+// intersectLists intersects posting lists (each ascending) smallest-first,
+// returning a slice the caller owns, in dataset order. Shared (index-owned)
+// lists are copied before being written to.
+func intersectLists(lists []indexedList) []int32 {
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i].rows) < len(lists[j].rows) })
+	out := lists[0].rows
+	if !lists[0].owned {
+		out = make([]int32, len(lists[0].rows))
+		copy(out, lists[0].rows)
+	}
+	for _, l := range lists[1:] {
+		if len(out) == 0 {
+			break
+		}
+		out = intersect2(out, l.rows)
+	}
+	return out
+}
+
+// intersect2 merges two ascending row lists in place of a (writes into a's
+// prefix, which intersectLists owns).
+func intersect2(a, b []int32) []int32 {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// predicate compiles one filter into a closure over the field's typed
+// column: no boxing, no reflection, no normalize() in the row loop. Matches
+// compiledFilter.match row for row.
+func (e *Engine[T]) predicate(cf compiledFilter[T]) func(int) bool {
+	col := e.columnFor(e.ordinals[cf.field.Name])
+	nulls := col.nulls
+	switch cf.op {
+	case OpIsNull:
+		want := cf.wantNull
+		return func(i int) bool { return nulls.get(i) == want }
+	case OpContains:
+		sub := cf.operand.(string)
+		strs := col.strs
+		return func(i int) bool { return !nulls.get(i) && strings.Contains(strs[i], sub) }
+	case OpIn:
+		operands := cf.operands
+		return func(i int) bool {
+			if nulls.get(i) {
+				return false
+			}
+			for _, operand := range operands {
+				if col.compareOperand(i, operand) == 0 {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	// Ordering operators: specialize the hot kinds so the row loop compares
+	// machine types directly; the generic fallback still avoids boxing.
+	op := cf.op
+	switch col.kind {
+	case KindInt:
+		vals, want := col.ints, cf.operand.(int64)
+		return func(i int) bool { return !nulls.get(i) && opHolds(op, cmpOrdered(vals[i], want)) }
+	case KindFloat:
+		vals, want := col.floats, cf.operand.(float64)
+		return func(i int) bool { return !nulls.get(i) && opHolds(op, cmpOrdered(vals[i], want)) }
+	case KindString:
+		vals, want := col.strs, cf.operand.(string)
+		return func(i int) bool { return !nulls.get(i) && opHolds(op, cmpOrdered(vals[i], want)) }
+	}
+	operand := cf.operand
+	return func(i int) bool { return !nulls.get(i) && opHolds(op, col.compareOperand(i, operand)) }
+}
+
+// opHolds applies an ordering operator to a three-way comparison result.
+func opHolds(op Op, c int) bool {
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// matchColumns evaluates predicates over the typed columns. candidates nil
+// means the full dataset. Output is ascending dataset order; large inputs
+// fan out across CPUs in chunk order exactly like the oracle's match().
+func (e *Engine[T]) matchColumns(filters []compiledFilter[T], candidates []int32) []int32 {
+	preds := make([]func(int) bool, len(filters))
+	for i, cf := range filters {
+		preds[i] = e.predicate(cf)
+	}
+	n := len(e.items)
+	if candidates != nil {
+		n = len(candidates)
+	}
+	rowAt := func(i int) int {
+		if candidates != nil {
+			return int(candidates[i])
+		}
+		return i
+	}
+	scanChunk := func(lo, hi int, out []int32) []int32 {
+		for i := lo; i < hi; i++ {
+			row := rowAt(i)
+			ok := true
+			for _, p := range preds {
+				if !p(row) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, int32(row))
+			}
+		}
+		return out
+	}
+	if n < parallelThreshold {
+		return scanChunk(0, n, make([]int32, 0, e.capHint(n)))
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	parts := make([][]int32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			buf, _ := e.candPool.Get().([]int32)
+			if cap(buf) == 0 {
+				buf = make([]int32, 0, e.capHint(hi-lo))
+			}
+			parts[w] = scanChunk(lo, hi, buf[:0])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]int32, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+		e.candPool.Put(p[:0]) //nolint:staticcheck // slice reuse is the point
+	}
+	return out
+}
+
+// scanPlanned is the default Scan executor.
+func (e *Engine[T]) scanPlanned(pq *prepared[T], start time.Time) (*Result, error) {
+	n := len(e.items)
+	lists, residual := e.planFilters(pq.filters)
+
+	explain := &Explain{DatasetRows: n}
+	var matched []int32
+	if len(lists) == 0 {
+		// No usable index: full column scan, the pre-planner row count.
+		matched = e.matchColumns(pq.filters, nil)
+		explain.Candidates = n
+		if len(pq.filters) > 0 {
+			explain.ResidualScanned = n
+		}
+	} else {
+		frags := make([]string, len(lists))
+		for i, l := range lists {
+			frags[i] = l.desc
+		}
+		sort.Strings(frags)
+		explain.IndexUsed = strings.Join(frags, "+")
+		candidates := intersectLists(lists)
+		explain.Candidates = len(candidates)
+		if len(residual) > 0 {
+			matched = e.matchColumns(residual, candidates)
+			explain.ResidualScanned = len(candidates)
+		} else {
+			matched = candidates
+		}
+	}
+	e.observeSelectivity(len(matched), explain.Candidates)
+
+	total := len(matched)
+	if len(pq.sortFields) > 0 {
+		less := e.rowLess(pq.sortKeys, pq.sortOrds)
+		if pq.limit > 0 && pq.limit < len(matched) {
+			matched = topK(matched, pq.limit, less)
+		} else {
+			sort.Slice(matched, func(i, j int) bool { return less(matched[i], matched[j]) })
+		}
+	}
+	if pq.limit > 0 && len(matched) > pq.limit {
+		matched = matched[:pq.limit]
+	}
+
+	return &Result{
+		Fields: pq.infos,
+		Rows:   e.materializeColumns(matched, pq.outOrds),
+		Meta: Meta{
+			Scanned:         explain.ResidualScanned,
+			TotalMatched:    total,
+			Returned:        len(matched),
+			QueryTimeMicros: time.Since(start).Microseconds(),
+			Explain:         explain,
+		},
+	}, nil
+}
+
+// rowLess builds the strict total order the sort stage uses: the query's
+// sort keys over the cached columns (nulls after everything, direction
+// inverted per key), ties broken by dataset order. Sorting by it is
+// equivalent to the oracle's stable sort, and it is what makes bounded
+// top-K selection exact.
+func (e *Engine[T]) rowLess(keys []SortKey, ords []int) func(a, b int32) bool {
+	cols := make([]*column, len(ords))
+	for i, ord := range ords {
+		cols[i] = e.columnFor(ord)
+	}
+	return func(a, b int32) bool {
+		for k, col := range cols {
+			aNull, bNull := col.nulls.get(int(a)), col.nulls.get(int(b))
+			var c int
+			switch {
+			case aNull && bNull:
+				c = 0
+			case aNull:
+				c = 1
+			case bNull:
+				c = -1
+			default:
+				c = col.compareRows(int(a), int(b))
+				if keys[k].Desc {
+					c = -c
+				}
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return a < b
+	}
+}
+
+// materializeColumns builds the output rows from the column caches: one flat
+// backing array for all cells, sliced per row, so a K-column × R-row result
+// costs O(1) slice allocations instead of R.
+func (e *Engine[T]) materializeColumns(matched []int32, ords []int) [][]any {
+	cols := make([]*column, len(ords))
+	for i, ord := range ords {
+		cols[i] = e.columnFor(ord)
+	}
+	rows := make([][]any, 0, len(matched))
+	if len(matched) == 0 {
+		return rows
+	}
+	k := len(ords)
+	backing := make([]any, len(matched)*k)
+	for ri, m := range matched {
+		row := backing[ri*k : (ri+1)*k : (ri+1)*k]
+		for ci, col := range cols {
+			row[ci] = col.value(int(m))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,360 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testIndexedRegistry is testRegistry with the index hints the planner needs
+// to exercise every index shape: hash on strings and bools, sorted on ints,
+// floats and times.
+func testIndexedRegistry() *Registry[row] {
+	r := testRegistry()
+	if err := r.MarkIndexable("name", "market", "size", "rating", "flagged", "date"); err != nil {
+		panic(err)
+	}
+	return r
+}
+
+var testMarkets = []string{"Google Play", "Tencent Myapp", "Baidu Market", "Huawei Market", "Xiaomi Market"}
+
+// randomRows generates a null-heavy dataset: ~1/3 of sizes and ratings are
+// null, sizes and dates collide often (index posting lists and sort ties),
+// names are near-unique.
+func randomRows(rng *rand.Rand, n int) []row {
+	rows := make([]row, n)
+	for i := range rows {
+		rows[i] = row{
+			name:      fmt.Sprintf("app-%c%d", 'a'+rng.Intn(26), rng.Intn(n)),
+			market:    testMarkets[rng.Intn(len(testMarkets))],
+			size:      int64(rng.Intn(40)),
+			hasSize:   rng.Intn(3) != 0,
+			rating:    float64(rng.Intn(50)) / 10,
+			hasRating: rng.Intn(3) != 0,
+			flagged:   rng.Intn(2) == 0,
+			date:      day(1 + rng.Intn(28)),
+		}
+	}
+	return rows
+}
+
+// randomQuery builds a valid query over the test registry: random operators
+// × fields × sorts × limits, operands drawn to collide with the data.
+func randomQuery(rng *rand.Rand) Query {
+	fieldNames := []string{"name", "market", "size", "rating", "flagged", "date"}
+	q := Query{}
+	if rng.Intn(5) > 0 {
+		for _, f := range fieldNames {
+			if rng.Intn(2) == 0 {
+				q.Fields = append(q.Fields, f)
+			}
+		}
+	}
+	operand := func(field string) any {
+		switch field {
+		case "name":
+			return fmt.Sprintf("app-%c%d", 'a'+rng.Intn(26), rng.Intn(50))
+		case "market":
+			if rng.Intn(8) == 0 {
+				return "No Such Market"
+			}
+			return testMarkets[rng.Intn(len(testMarkets))]
+		case "size":
+			return float64(rng.Intn(45)) // JSON spelling of an int operand
+		case "rating":
+			return float64(rng.Intn(50)) / 10
+		case "flagged":
+			return rng.Intn(2) == 0
+		default: // date
+			return day(1 + rng.Intn(30)).Format(time.RFC3339)
+		}
+	}
+	for i := rng.Intn(4); i > 0; i-- {
+		field := fieldNames[rng.Intn(len(fieldNames))]
+		var ops []Op
+		switch field {
+		case "flagged":
+			ops = []Op{OpEq, OpNe, OpIsNull, OpIn}
+		case "name", "market":
+			ops = []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpIn, OpContains, OpIsNull}
+		default:
+			ops = []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpIn, OpIsNull}
+		}
+		op := ops[rng.Intn(len(ops))]
+		f := Filter{Field: field, Op: op}
+		switch op {
+		case OpIsNull:
+			if rng.Intn(2) == 0 {
+				f.Value = rng.Intn(2) == 0
+			}
+		case OpIn:
+			list := make([]any, 0, 3)
+			for j := 1 + rng.Intn(3); j > 0; j-- {
+				list = append(list, operand(field))
+			}
+			if rng.Intn(4) == 0 { // duplicate operands must not double-count
+				list = append(list, list[0])
+			}
+			f.Value = list
+		case OpContains:
+			f.Value = string([]byte{byte('a' + rng.Intn(26))})
+		default:
+			f.Value = operand(field)
+		}
+		q.Filters = append(q.Filters, f)
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		q.Sort = append(q.Sort, SortKey{
+			Field: fieldNames[rng.Intn(len(fieldNames))],
+			Desc:  rng.Intn(2) == 0,
+		})
+	}
+	switch rng.Intn(4) {
+	case 0:
+		q.Limit = 1 + rng.Intn(5)
+	case 1:
+		q.Limit = 1 + rng.Intn(200)
+	}
+	return q
+}
+
+// requireSameResult asserts planner output is byte-identical to the oracle:
+// fields, every row (order included), and the shared meta counts.
+func requireSameResult(t *testing.T, q Query, planned, oracle *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(planned.Fields, oracle.Fields) {
+		t.Fatalf("query %+v:\nfields diverge:\nplanned %+v\noracle  %+v", q, planned.Fields, oracle.Fields)
+	}
+	if planned.Meta.TotalMatched != oracle.Meta.TotalMatched || planned.Meta.Returned != oracle.Meta.Returned {
+		t.Fatalf("query %+v:\nmeta diverges: planned %+v, oracle %+v", q, planned.Meta, oracle.Meta)
+	}
+	if !reflect.DeepEqual(planned.Rows, oracle.Rows) {
+		pj, _ := json.Marshal(planned.Rows)
+		oj, _ := json.Marshal(oracle.Rows)
+		t.Fatalf("query %+v:\nrows diverge:\nplanned %s\noracle  %s", q, pj, oj)
+	}
+}
+
+// TestPlannerMatchesOracleRandom is the randomized equivalence suite: for
+// many random (dataset, query) pairs the planned scan must return exactly
+// what the row-at-a-time oracle returns.
+func TestPlannerMatchesOracleRandom(t *testing.T) {
+	const queriesPerSeed = 150
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed_%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			n := 50 + rng.Intn(400)
+			e := NewEngine(testIndexedRegistry(), randomRows(rng, n))
+			for i := 0; i < queriesPerSeed; i++ {
+				q := randomQuery(rng)
+				planned, err1 := e.Scan(q)
+				oracle, err2 := e.ScanOracle(q)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("query %d (%+v): planned err %v, oracle err %v", i, q, err1, err2)
+				}
+				requireSameResult(t, q, planned, oracle)
+				if planned.Meta.Explain == nil {
+					t.Fatalf("query %d: planned scan has no explain block", i)
+				}
+				if c := planned.Meta.Explain.Candidates; c < planned.Meta.TotalMatched || c > n {
+					t.Fatalf("query %d: candidates %d outside [matched=%d, n=%d]",
+						i, c, planned.Meta.TotalMatched, n)
+				}
+			}
+		})
+	}
+}
+
+// TestPlannerMatchesOracleParallel runs the same equivalence over a dataset
+// large enough that both match paths fan out across CPUs.
+func TestPlannerMatchesOracleParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	e := NewEngine(testIndexedRegistry(), randomRows(rng, parallelThreshold*2+17))
+	for i := 0; i < 40; i++ {
+		q := randomQuery(rng)
+		planned, err1 := e.Scan(q)
+		oracle, err2 := e.ScanOracle(q)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("query %d (%+v): planned err %v, oracle err %v", i, q, err1, err2)
+		}
+		requireSameResult(t, q, planned, oracle)
+	}
+}
+
+// TestPlannerExplain pins the Explain/Scanned contract on hand-built
+// queries: which index answers which filter, candidate counts, and the
+// residual-scanned semantics of Meta.Scanned.
+func TestPlannerExplain(t *testing.T) {
+	e := NewEngine(testIndexedRegistry(), testRows())
+
+	// Hash index answers ==, no residual left: nothing evaluated per row.
+	res, err := e.Scan(Query{Fields: []string{"name"}, Filters: []Filter{
+		{Field: "market", Op: OpEq, Value: "Tencent Myapp"}}})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	ex := res.Meta.Explain
+	if ex == nil || ex.IndexUsed != "hash(market)" || ex.DatasetRows != 5 || ex.Candidates != 2 || ex.ResidualScanned != 0 {
+		t.Fatalf("hash-eq explain = %+v", ex)
+	}
+	if res.Meta.Scanned != 0 {
+		t.Fatalf("Scanned = %d, want 0 (index answered everything)", res.Meta.Scanned)
+	}
+
+	// Sorted index answers the range (bravo and delta at size 300; a span
+	// larger than half the dataset would be demoted to a residual filter);
+	// the contains filter stays residual and is only evaluated over the
+	// candidates.
+	res, err = e.Scan(Query{Fields: []string{"name"}, Filters: []Filter{
+		{Field: "size", Op: OpGe, Value: float64(300)},
+		{Field: "name", Op: OpContains, Value: "l"}}})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	ex = res.Meta.Explain
+	if ex == nil || ex.IndexUsed != "sorted(size)" || ex.Candidates != 2 || ex.ResidualScanned != 2 {
+		t.Fatalf("range+residual explain = %+v", ex)
+	}
+	if res.Meta.Scanned != 2 || res.Meta.TotalMatched != 1 {
+		t.Fatalf("meta = %+v, want Scanned 2, TotalMatched 1 (delta)", res.Meta)
+	}
+
+	// Unindexable operator: full column scan preserves the old Scanned
+	// meaning (dataset size) in both Scanned and Candidates.
+	res, err = e.Scan(Query{Fields: []string{"name"}, Filters: []Filter{
+		{Field: "market", Op: OpNe, Value: "Google Play"}}})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	ex = res.Meta.Explain
+	if ex == nil || ex.IndexUsed != "" || ex.Candidates != 5 || ex.ResidualScanned != 5 || res.Meta.Scanned != 5 {
+		t.Fatalf("full-scan explain = %+v, meta = %+v", ex, res.Meta)
+	}
+
+	// Two indexed filters intersect posting lists; explain names both.
+	res, err = e.Scan(Query{Fields: []string{"name"}, Filters: []Filter{
+		{Field: "market", Op: OpIn, Value: []any{"Baidu Market"}},
+		{Field: "size", Op: OpGe, Value: float64(300)}}})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	ex = res.Meta.Explain
+	if ex == nil || ex.IndexUsed != "hash(market)+sorted(size)" || ex.Candidates != 1 {
+		t.Fatalf("intersection explain = %+v", ex)
+	}
+	if res.Meta.TotalMatched != 1 {
+		t.Fatalf("TotalMatched = %d, want 1 (delta)", res.Meta.TotalMatched)
+	}
+}
+
+// TestTopKMatchesFullSort drives the bounded-heap selection across every
+// limit over several sort shapes and checks it against the oracle's full
+// stable sort.
+func TestTopKMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := NewEngine(testIndexedRegistry(), randomRows(rng, 257))
+	sorts := [][]SortKey{
+		{{Field: "size"}},
+		{{Field: "size", Desc: true}, {Field: "name"}},
+		{{Field: "rating", Desc: true}, {Field: "market"}, {Field: "date", Desc: true}},
+		{{Field: "flagged"}, {Field: "rating"}},
+	}
+	for si, keys := range sorts {
+		for limit := 1; limit <= 40; limit += 3 {
+			q := Query{Fields: []string{"name", "size", "rating"}, Sort: keys, Limit: limit}
+			planned, err1 := e.Scan(q)
+			oracle, err2 := e.ScanOracle(q)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("sort %d limit %d: errs %v / %v", si, limit, err1, err2)
+			}
+			requireSameResult(t, q, planned, oracle)
+		}
+	}
+}
+
+// TestConcurrentColdEngine hammers a freshly built engine (no columns, no
+// indexes yet) with mixed queries from many goroutines: under -race this
+// proves the lazy column and index builds are safe against concurrent first
+// touches, and every result must still equal the oracle's.
+func TestConcurrentColdEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	rows := randomRows(rng, parallelThreshold+100)
+	oracleEngine := NewEngine(testIndexedRegistry(), rows)
+	queries := make([]Query, 24)
+	oracles := make([]*Result, len(queries))
+	for i := range queries {
+		queries[i] = randomQuery(rng)
+		var err error
+		if oracles[i], err = oracleEngine.ScanOracle(queries[i]); err != nil {
+			t.Fatalf("oracle %d: %v", i, err)
+		}
+	}
+
+	cold := NewEngine(testIndexedRegistry(), rows)
+	var wg sync.WaitGroup
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3*len(queries); i++ {
+				qi := (w + i) % len(queries)
+				res, err := cold.Scan(queries[qi])
+				if err != nil {
+					t.Errorf("cold scan %d: %v", qi, err)
+					return
+				}
+				if !reflect.DeepEqual(res.Rows, oracles[qi].Rows) ||
+					res.Meta.TotalMatched != oracles[qi].Meta.TotalMatched {
+					t.Errorf("cold scan %d diverged from oracle", qi)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// FuzzScanQuery feeds arbitrary JSON query documents to both execution
+// paths: they must agree on accept/reject, and on every accepted query the
+// planned rows must be byte-identical to the oracle's.
+func FuzzScanQuery(f *testing.F) {
+	f.Add([]byte(`{"fields":["name"],"filters":[{"field":"market","op":"==","value":"Tencent Myapp"}]}`))
+	f.Add([]byte(`{"filters":[{"field":"size","op":">=","value":100},{"field":"name","op":"contains","value":"a"}],"sort":[{"field":"size","desc":true},{"field":"name"}],"limit":2}`))
+	f.Add([]byte(`{"filters":[{"field":"market","op":"in","value":["Baidu Market","Google Play","Baidu Market"]}]}`))
+	f.Add([]byte(`{"filters":[{"field":"rating","op":"is_null"}],"sort":[{"field":"date","desc":true}]}`))
+	f.Add([]byte(`{"filters":[{"field":"date","op":"<","value":"2018-05-03"}],"limit":1}`))
+	f.Add([]byte(`{"filters":[{"field":"flagged","op":"==","value":true},{"field":"size","op":"!=","value":300}]}`))
+
+	rng := rand.New(rand.NewSource(3))
+	e := NewEngine(testIndexedRegistry(), randomRows(rng, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := ParseQuery(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		planned, err1 := e.Scan(q)
+		oracle, err2 := e.ScanOracle(q)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("paths disagree on validity: planned err %v, oracle err %v (query %+v)", err1, err2, q)
+		}
+		if err1 != nil {
+			return
+		}
+		if !reflect.DeepEqual(planned.Rows, oracle.Rows) ||
+			!reflect.DeepEqual(planned.Fields, oracle.Fields) ||
+			planned.Meta.TotalMatched != oracle.Meta.TotalMatched ||
+			planned.Meta.Returned != oracle.Meta.Returned {
+			pj, _ := json.Marshal(planned.Rows)
+			oj, _ := json.Marshal(oracle.Rows)
+			t.Fatalf("planned result diverges from oracle (query %+v):\nplanned %s\noracle  %s", q, pj, oj)
+		}
+	})
+}

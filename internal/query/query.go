@@ -59,6 +59,10 @@ type FieldInfo struct {
 	// every apk-category field is null on listings whose APK failed to
 	// parse).
 	Nullable bool `json:"nullable,omitempty"`
+	// Indexable marks fields the planner may answer through a secondary
+	// index (hash posting lists for == / in, a sorted index for ranges)
+	// instead of scanning every row.
+	Indexable bool `json:"indexable,omitempty"`
 }
 
 // Op is a filter operator.
@@ -108,9 +112,38 @@ type Query struct {
 	Limit int `json:"limit,omitempty"`
 }
 
+// Explain describes how the planner executed one scan; it is attached to
+// Meta on the planned (default) execution path and absent on the oracle
+// path.
+type Explain struct {
+	// IndexUsed names the secondary indexes the planner consulted, e.g.
+	// "hash(market)" or "hash(market_chinese)+sorted(av_positives)". Empty
+	// when the scan fell back to a full column scan.
+	IndexUsed string `json:"index_used,omitempty"`
+	// DatasetRows is the total dataset size — what Meta.Scanned always
+	// reported before the planner existed — so clients can still compute
+	// selectivity when indexes prune the scan.
+	DatasetRows int `json:"dataset_rows"`
+	// Candidates is the number of rows entering the scan stage: the size of
+	// the index posting-list intersection, or DatasetRows when no index
+	// applied.
+	Candidates int `json:"candidates"`
+	// ResidualScanned is the number of rows that had at least one residual
+	// (non-indexed) predicate evaluated against them: 0 when the indexes
+	// answered the filters outright, Candidates otherwise.
+	ResidualScanned int `json:"residual_scanned"`
+}
+
 // Meta is the execution metadata attached to every result.
 type Meta struct {
-	// Scanned is the number of dataset rows examined.
+	// Scanned is the number of rows the engine actually evaluated
+	// predicates against. On a full scan with filters this is the dataset
+	// size (the pre-planner behaviour); when the planner answers filters
+	// from secondary indexes it shrinks to the rows the residual predicates
+	// touched, and a query whose filters were answered entirely by indexes
+	// (or that has no filters) reports 0. The old meaning of this field —
+	// the full dataset size — is preserved in Explain.DatasetRows, and the
+	// row count that entered the scan stage in Explain.Candidates.
 	Scanned int `json:"scanned"`
 	// TotalMatched counts every row passing the filters, before the limit.
 	TotalMatched int `json:"total_matched"`
@@ -118,6 +151,9 @@ type Meta struct {
 	Returned int `json:"returned"`
 	// QueryTimeMicros is the wall-clock execution time in microseconds.
 	QueryTimeMicros int64 `json:"query_time_us"`
+	// Explain reports the planner's decisions (index choice, candidate and
+	// residual row counts); nil on the oracle execution path.
+	Explain *Explain `json:"explain,omitempty"`
 }
 
 // Result is the outcome of one scan: the requested columns, the row values
@@ -171,6 +207,18 @@ type Source interface {
 	Fields() []FieldInfo
 	// Scan executes one query. It is safe for concurrent use.
 	Scan(q Query) (*Result, error)
+}
+
+// OracleSource is implemented by sources that retain the pre-planner
+// row-at-a-time reference scan alongside the planned path. The equivalence
+// tests and benchmarks compare Scan against ScanOracle; production callers
+// should not use it. *Engine[T] implements it.
+type OracleSource interface {
+	Source
+	// ScanOracle executes one query on the reference path: boxed per-row
+	// extraction, full filter evaluation on every row and a full stable
+	// sort. Rows and TotalMatched are byte-identical to Scan's.
+	ScanOracle(q Query) (*Result, error)
 }
 
 // emitValue converts a normalized value into its JSON-facing representation:

@@ -16,7 +16,13 @@ type Field[T any] struct {
 	Kind     Kind
 	Doc      string
 	Nullable bool
-	Extract  func(T) (any, bool)
+	// Indexable lets the engine build secondary indexes (hash posting
+	// lists, a sorted permutation) over this field, so == / in / range
+	// filters can skip the full scan. Meant for fields that are filtered
+	// often and cheap to index: low-cardinality strings and bools, and the
+	// numeric fields range queries target.
+	Indexable bool
+	Extract   func(T) (any, bool)
 }
 
 // Registry holds the field set of one row type, preserving registration
@@ -61,9 +67,26 @@ func (r *Registry[T]) MustRegister(f Field[T]) {
 	}
 }
 
+// MarkIndexable flags the named (already registered) fields as eligible for
+// secondary indexes. Splitting the hint from registration keeps the field
+// tables readable: the registry is built field by field, then the consumer
+// names its hot filter columns in one place.
+func (r *Registry[T]) MarkIndexable(names ...string) error {
+	for _, name := range names {
+		f, ok := r.byName[name]
+		if !ok {
+			return fmt.Errorf("%w: %q (in MarkIndexable)", ErrUnknownField, name)
+		}
+		f.Indexable = true
+		r.byName[name] = f
+	}
+	return nil
+}
+
 // info is the introspection view of a field.
 func (f Field[T]) info() FieldInfo {
-	return FieldInfo{Name: f.Name, Category: f.Category, Kind: f.Kind, Doc: f.Doc, Nullable: f.Nullable}
+	return FieldInfo{Name: f.Name, Category: f.Category, Kind: f.Kind, Doc: f.Doc,
+		Nullable: f.Nullable, Indexable: f.Indexable}
 }
 
 // Len returns the number of registered fields.

@@ -1,0 +1,62 @@
+package query
+
+import "sort"
+
+// topK returns the first k rows of the total order `less` over matched, in
+// order, without sorting the full match set: a bounded max-heap keeps the k
+// best rows seen so far, and each further row either beats the heap's worst
+// (root) and replaces it or is discarded in O(1) comparisons.
+//
+// Because less is a strict total order (sort keys, then dataset order as the
+// final tiebreak), the selected k rows are exactly the prefix a full stable
+// sort plus limit would produce. matched itself is never mutated, so posting
+// lists and pooled buffers can flow in safely.
+func topK(matched []int32, k int, less func(a, b int32) bool) []int32 {
+	heap := make([]int32, 0, k)
+	for _, m := range matched {
+		if len(heap) < k {
+			heap = append(heap, m)
+			siftUp(heap, len(heap)-1, less)
+			continue
+		}
+		if less(m, heap[0]) {
+			heap[0] = m
+			siftDown(heap, 0, less)
+		}
+	}
+	sort.Slice(heap, func(i, j int) bool { return less(heap[i], heap[j]) })
+	return heap
+}
+
+// siftUp restores the max-heap property (every parent orders after its
+// children under less) from leaf i upward.
+func siftUp(h []int32, i int, less func(a, b int32) bool) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h[parent], h[i]) {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+// siftDown restores the max-heap property from node i downward.
+func siftDown(h []int32, i int, less func(a, b int32) bool) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		largest := left
+		if right := left + 1; right < n && less(h[left], h[right]) {
+			largest = right
+		}
+		if !less(h[i], h[largest]) {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
+}

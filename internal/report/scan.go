@@ -26,22 +26,49 @@ func ScanTable(title string, res *query.Result) string {
 		t.row(cells...)
 	}
 	t.row()
+	// The planner keeps the dataset size in Explain.DatasetRows
+	// (Meta.Scanned shrank to rows actually evaluated); results without an
+	// explain block keep the plain Scanned count.
+	total := res.Meta.Scanned
+	if res.Meta.Explain != nil {
+		total = res.Meta.Explain.DatasetRows
+	}
 	t.row(fmt.Sprintf("%d of %d listings matched (%d returned, %d µs)",
-		res.Meta.TotalMatched, res.Meta.Scanned, res.Meta.Returned, res.Meta.QueryTimeMicros))
+		res.Meta.TotalMatched, total, res.Meta.Returned, res.Meta.QueryTimeMicros))
 	return t.String()
+}
+
+// ScanExplain renders a result's planner explain block (cmd/scan -explain):
+// which secondary indexes answered filters, how many candidate rows survived
+// the posting-list intersection, and how many rows the residual predicates
+// actually touched.
+func ScanExplain(meta query.Meta) string {
+	ex := meta.Explain
+	if ex == nil {
+		return "plan: (oracle scan, no explain recorded)\n"
+	}
+	index := ex.IndexUsed
+	if index == "" {
+		index = "none (full column scan)"
+	}
+	return fmt.Sprintf("plan: index=%s rows=%d candidates=%d residual_scanned=%d evaluated=%d\n",
+		index, ex.DatasetRows, ex.Candidates, ex.ResidualScanned, meta.Scanned)
 }
 
 // ScanFields renders a field listing (the /api/scan/fields payload) grouped
 // in registration order.
 func ScanFields(fields []query.FieldInfo) string {
 	t := newTable("Scannable dataset fields")
-	t.row("Field", "Category", "Kind", "Null?", "Doc")
+	t.row("Field", "Category", "Kind", "Null?", "Idx?", "Doc")
 	for _, f := range fields {
-		nullable := "-"
+		nullable, indexable := "-", "-"
 		if f.Nullable {
 			nullable = "yes"
 		}
-		t.row(f.Name, f.Category, string(f.Kind), nullable, f.Doc)
+		if f.Indexable {
+			indexable = "yes"
+		}
+		t.row(f.Name, f.Category, string(f.Kind), nullable, indexable, f.Doc)
 	}
 	return t.String()
 }

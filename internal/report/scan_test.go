@@ -46,12 +46,38 @@ func TestScanTable(t *testing.T) {
 
 func TestScanFields(t *testing.T) {
 	out := ScanFields([]query.FieldInfo{
-		{Name: "market", Category: "metadata", Kind: query.KindString, Doc: "hosting market"},
+		{Name: "market", Category: "metadata", Kind: query.KindString, Indexable: true, Doc: "hosting market"},
 		{Name: "av_positives", Category: "enrichment", Kind: query.KindInt, Nullable: true, Doc: "AV-rank"},
 	})
-	for _, want := range []string{"market", "metadata", "av_positives", "enrichment", "AV-rank", "yes"} {
+	for _, want := range []string{"market", "metadata", "av_positives", "enrichment", "AV-rank", "Idx?", "yes"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("fields listing missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestScanTableWithExplain checks the planner path's meta line counts
+// candidate rows (the old Scanned meaning) and ScanExplain renders the plan.
+func TestScanTableWithExplain(t *testing.T) {
+	res := &query.Result{
+		Fields: []query.FieldInfo{{Name: "package", Category: "metadata", Kind: query.KindString}},
+		Rows:   [][]any{{"com.example.a"}},
+		Meta: query.Meta{Scanned: 12, TotalMatched: 1, Returned: 1, QueryTimeMicros: 3,
+			Explain: &query.Explain{IndexUsed: "hash(market)", DatasetRows: 500, Candidates: 12, ResidualScanned: 12}},
+	}
+	out := ScanTable("scan", res)
+	// The denominator stays the dataset size even though the index pruned
+	// the scan to 12 candidate rows.
+	if !strings.Contains(out, "1 of 500 listings matched") {
+		t.Errorf("explain-backed meta line wrong:\n%s", out)
+	}
+	ex := ScanExplain(res.Meta)
+	for _, want := range []string{"index=hash(market)", "rows=500", "candidates=12", "residual_scanned=12", "evaluated=12"} {
+		if !strings.Contains(ex, want) {
+			t.Errorf("explain rendering missing %q: %q", want, ex)
+		}
+	}
+	if got := ScanExplain(query.Meta{}); !strings.Contains(got, "oracle") {
+		t.Errorf("explain of oracle meta = %q", got)
 	}
 }
