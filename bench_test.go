@@ -777,3 +777,204 @@ func BenchmarkEnrich(b *testing.B) {
 		})
 	}
 }
+
+// aggBenchRequests are the aggregation shapes BenchmarkAggregate sweeps: the
+// Table 4 shape (market groups with conditional threshold counts), the
+// Figure 1 shape (market × category counts), the Table 1 developer shape
+// (distinct counts per market) and a global distinct.
+func aggBenchRequests() []struct {
+	name string
+	a    query.Aggregate
+} {
+	return []struct {
+		name string
+		a    query.Aggregate
+	}{
+		{"malware_thresholds", query.Aggregate{
+			GroupBy: []string{"market"},
+			Filters: []query.Filter{{Field: "av_positives", Op: query.OpIsNull, Value: false}},
+			Aggregates: []query.AggSpec{
+				{Op: query.AggCount, As: "parsed"},
+				{Op: query.AggCount, As: "c10",
+					Where: []query.Filter{{Field: "av_positives", Op: query.OpGe, Value: 10}}},
+				{Op: query.AggShare},
+			},
+		}},
+		{"market_category", query.Aggregate{
+			GroupBy:    []string{"market", "category"},
+			Aggregates: []query.AggSpec{{Op: query.AggCount}},
+		}},
+		{"developers", query.Aggregate{
+			GroupBy: []string{"market"},
+			Aggregates: []query.AggSpec{
+				{Op: query.AggDistinct, Field: "developer_id", As: "developers"},
+				{Op: query.AggSum, Field: "download_floor", As: "downloads"},
+				{Op: query.AggMean, Field: "library_count", As: "avg_libs"},
+			},
+		}},
+		{"global_topk", query.Aggregate{
+			Aggregates: []query.AggSpec{
+				{Op: query.AggDistinct, Field: "developer_id"},
+				{Op: query.AggTopK, Field: "av_family", K: 5},
+			},
+		}},
+	}
+}
+
+// BenchmarkAggregate measures the grouped-aggregation engine over the
+// enriched 400-app corpus, columnar vs oracle, asserting byte-identical
+// groups before any timing is recorded (the same equivalence-then-measure
+// pattern as BenchmarkScanQuery).
+func BenchmarkAggregate(b *testing.B) {
+	ds := benchScanDataset(b)
+	src, ok := ds.QuerySource().(query.AggregateOracleSource)
+	if !ok {
+		b.Fatalf("query source %T does not retain the aggregation oracle", ds.QuerySource())
+	}
+	cases := aggBenchRequests()
+	for _, tc := range cases {
+		planned, err := src.Aggregate(tc.a)
+		if err != nil {
+			b.Fatalf("%s: aggregate: %v", tc.name, err)
+		}
+		reference, err := src.AggregateOracle(tc.a)
+		if err != nil {
+			b.Fatalf("%s: oracle: %v", tc.name, err)
+		}
+		pj, _ := json.Marshal(planned.Rows)
+		oj, _ := json.Marshal(reference.Rows)
+		if !bytes.Equal(pj, oj) || planned.Meta.TotalMatched != reference.Meta.TotalMatched {
+			b.Fatalf("%s: columnar aggregation diverged from the oracle:\ncolumnar %s\noracle   %s", tc.name, pj, oj)
+		}
+	}
+	for _, tc := range cases {
+		b.Run(tc.name+"/columnar", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := src.Aggregate(tc.a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(tc.name+"/oracle", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := src.AggregateOracle(tc.a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+var (
+	analysesFixtureOnce sync.Once
+	analysesFixture     *core.Results
+	analysesFixtureErr  error
+)
+
+// benchAnalysesResults runs one full 400-app study (the scheduler benches
+// re-run only the analysis stage on its pipeline outputs).
+func benchAnalysesResults(b *testing.B) *core.Results {
+	b.Helper()
+	analysesFixtureOnce.Do(func() {
+		cfg := core.DefaultConfig()
+		cfg.Synth = synth.SmallConfig()
+		cfg.Synth.NumApps = 400
+		cfg.Synth.NumDevelopers = 150
+		analysesFixture, analysesFixtureErr = core.Run(context.Background(), cfg)
+	})
+	if analysesFixtureErr != nil {
+		b.Fatalf("analyses fixture: %v", analysesFixtureErr)
+	}
+	return analysesFixture
+}
+
+// analysesShell clones only the pipeline outputs of a Results so each
+// (re)computation starts from blank analysis fields.
+func analysesShell(r *core.Results) *core.Results {
+	return &core.Results{
+		Config:      r.Config,
+		Ecosystem:   r.Ecosystem,
+		FirstCrawl:  r.FirstCrawl,
+		SecondCrawl: r.SecondCrawl,
+		Dataset:     r.Dataset,
+	}
+}
+
+// benchAnalysesJSON snapshots the analysis fields for byte-identity checks.
+func benchAnalysesJSON(b *testing.B, r *core.Results) []byte {
+	b.Helper()
+	j, err := json.Marshal(struct {
+		Overview, Totals, Concentration, Categories, Downloads, APILevelsGP,
+		APILevelsCN, ReleaseGP, ReleaseCN, LibraryUsage, TopLibsGP, TopLibsCN,
+		AdEcoGP, AdEcoCN, Ratings, Publishing, StoreOverlap, Clusters,
+		Outdated, Identical, Misbehavior, OverPrivGP, OverPrivCN, Malware,
+		MalwareAvg, TopMalware, FamiliesGP, FamiliesCN, Repackaged, Removal,
+		StillHosted, Radar any
+	}{
+		r.Overview, r.Totals, r.Concentration, r.Categories, r.Downloads,
+		r.APILevelsGP, r.APILevelsCN, r.ReleaseGP, r.ReleaseCN,
+		r.LibraryUsage, r.TopLibsGP, r.TopLibsCN, r.AdEcoGP, r.AdEcoCN,
+		r.Ratings, r.Publishing, r.StoreOverlap, r.Clusters, r.Outdated,
+		r.Identical, r.Misbehavior, r.OverPrivGP, r.OverPrivCN, r.Malware,
+		r.MalwareAvg, r.TopMalware, r.FamiliesGP, r.FamiliesCN,
+		r.Repackaged, r.Removal, r.StillHosted, r.Radar,
+	})
+	if err != nil {
+		b.Fatalf("marshal analyses: %v", err)
+	}
+	return j
+}
+
+// BenchmarkRunAnalyses measures the full table/figure suite over the 400-app
+// corpus: the scheduled columnar suite (the analysis scheduler over the
+// aggregation-rewritten bodies) against the serial-oracle suite (the
+// pre-scheduler order over the row-at-a-time bodies and the serial clone
+// sweep). Before timing it asserts the scheduled suite is byte-identical to
+// Workers:1, and on multi-core hosts that the scheduled suite beats the
+// serial-oracle suite by >= 3x — the contract the bench-smoke artifact
+// records on every PR.
+func BenchmarkRunAnalyses(b *testing.B) {
+	base := benchAnalysesResults(b)
+
+	serial := analysesShell(base)
+	serial.ComputeAnalyses(1)
+	want := benchAnalysesJSON(b, serial)
+	scheduled := analysesShell(base)
+	scheduled.ComputeAnalyses(0)
+	if !bytes.Equal(benchAnalysesJSON(b, scheduled), want) {
+		b.Fatal("scheduled analyses diverge from Workers:1")
+	}
+
+	oracleRun := analysesShell(base)
+	scheduledRun := analysesShell(base)
+	scheduledTime, oracleTime := scanSpeedup(
+		func() { scheduledRun.ComputeAnalyses(0) },
+		func() { oracleRun.ComputeAnalysesOracle() },
+		2, 1, 1)
+	speedup := float64(oracleTime) / float64(scheduledTime)
+	workers := runtime.GOMAXPROCS(0)
+	if workers >= 4 && speedup < 3 {
+		b.Fatalf("scheduled+columnar suite speedup %.1fx < 3x on %d CPUs (scheduled %v, serial oracle %v)",
+			speedup, workers, scheduledTime, oracleTime)
+	}
+	printOnce("analyses-sched", fmt.Sprintf(
+		"ANALYSESSTAT tasks=%d workers=%d serial_oracle_ns=%d scheduled_ns=%d speedup=%.2f identical=1",
+		core.NumAnalysisTasks(), workers, oracleTime.Nanoseconds(), scheduledTime.Nanoseconds(), speedup))
+
+	b.Run("serial_oracle", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			analysesShell(base).ComputeAnalysesOracle()
+		}
+	})
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("scheduled_workers_%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				analysesShell(base).ComputeAnalyses(workers)
+			}
+		})
+	}
+}

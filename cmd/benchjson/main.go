@@ -11,9 +11,11 @@
 //
 //   - standard benchmark result lines ("BenchmarkX-8  120  9876 ns/op
 //     1024 B/op  17 allocs/op") become entries under "benchmarks";
-//   - "SCANSTAT key=value ..." lines (printed by BenchmarkScanQuery with
-//     the planner's candidate counts, prune ratio and asserted speedup)
-//     are folded into the "stats" object, numeric values parsed.
+//   - "<MARKER> key=value ..." lines are folded into the "stats" object,
+//     numeric values parsed. The marker defaults to "SCANSTAT" (printed by
+//     BenchmarkScanQuery with the planner's candidate counts, prune ratio
+//     and asserted speedup); -stat selects another, e.g. ANALYSESSTAT for
+//     BenchmarkRunAnalyses' scheduler numbers.
 //
 // An optional -match regexp keeps only benchmark names it matches, so the
 // scan-engine artifact does not drag every pipeline bench along.
@@ -52,14 +54,15 @@ var benchLine = regexp.MustCompile(
 
 func main() {
 	match := flag.String("match", "", "keep only benchmarks whose name matches this regexp")
+	stat := flag.String("stat", "SCANSTAT", "marker of the key=value stat lines to fold into \"stats\"")
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, *match); err != nil {
+	if err := run(os.Stdin, os.Stdout, *match, *stat); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in io.Reader, out io.Writer, match string) error {
+func run(in io.Reader, out io.Writer, match, stat string) error {
 	var keep *regexp.Regexp
 	if match != "" {
 		re, err := regexp.Compile(match)
@@ -95,11 +98,11 @@ func run(in io.Reader, out io.Writer, match string) error {
 			doc.Benchmarks = append(doc.Benchmarks, r)
 			continue
 		}
-		if idx := strings.Index(line, "SCANSTAT "); idx >= 0 {
+		if idx := strings.Index(line, stat+" "); idx >= 0 {
 			if doc.Stats == nil {
 				doc.Stats = map[string]any{}
 			}
-			for _, kv := range strings.Fields(line[idx+len("SCANSTAT "):]) {
+			for _, kv := range strings.Fields(line[idx+len(stat)+1:]) {
 				k, v, ok := strings.Cut(kv, "=")
 				if !ok {
 					continue

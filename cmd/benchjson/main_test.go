@@ -22,7 +22,7 @@ ok  	marketscope	1.4s
 func parse(t *testing.T, match string) Doc {
 	t.Helper()
 	var out bytes.Buffer
-	if err := run(strings.NewReader(sample), &out, match); err != nil {
+	if err := run(strings.NewReader(sample), &out, match, "SCANSTAT"); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	var doc Doc
@@ -76,7 +76,34 @@ func TestMatchFilter(t *testing.T) {
 }
 
 func TestBadMatch(t *testing.T) {
-	if err := run(strings.NewReader(sample), &bytes.Buffer{}, "("); err == nil {
+	if err := run(strings.NewReader(sample), &bytes.Buffer{}, "(", "SCANSTAT"); err == nil {
 		t.Fatal("invalid regexp accepted")
+	}
+}
+
+// TestStatMarker folds a different marker's key=value line when -stat names
+// it, ignoring the SCANSTAT one.
+func TestStatMarker(t *testing.T) {
+	const analyses = `
+ANALYSESSTAT tasks=26 workers=4 serial_oracle_ns=9000000 scheduled_ns=2500000 speedup=3.6 identical=1
+SCANSTAT rows=754
+BenchmarkRunAnalyses/scheduled-8   1  2500000 ns/op
+`
+	var out bytes.Buffer
+	if err := run(strings.NewReader(analyses), &out, "", "ANALYSESSTAT"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if doc.Stats["speedup"] != 3.6 || doc.Stats["tasks"] != 26.0 || doc.Stats["identical"] != 1.0 {
+		t.Fatalf("stats = %+v", doc.Stats)
+	}
+	if _, leaked := doc.Stats["rows"]; leaked {
+		t.Fatalf("SCANSTAT line folded under ANALYSESSTAT marker: %+v", doc.Stats)
+	}
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Name != "BenchmarkRunAnalyses/scheduled" {
+		t.Fatalf("benchmarks = %+v", doc.Benchmarks)
 	}
 }

@@ -6,6 +6,7 @@
 //
 //	scan -fields
 //	scan [-snapshot DIR | -apps N] [-workers N] [-query FILE] [-format table|json] [-explain]
+//	scan -group-by FIELDS [-agg SPECS] [-query FILE] ...
 //
 // The dataset is either a snapshot saved by the crawler command (-snapshot)
 // or a freshly generated synthetic corpus (-apps/-developers/-seed, the
@@ -19,6 +20,17 @@
 //	  "sort":    [{"field": "av_positives", "desc": true}, {"field": "package"}],
 //	  "limit":   25
 //	}
+//
+// -group-by (or -agg) switches to grouped aggregation through the same
+// engine the markets' POST /api/aggregate serves: -group-by names the
+// comma-separated grouping fields and -agg the aggregate cells as
+// op / op(field) / topk(field,k) specs, e.g.
+//
+//	scan -group-by market -agg 'count,mean(library_count),topk(av_family,3)'
+//
+// In aggregation mode -query (a JSON aggregate document: group_by,
+// aggregates with optional per-cell "where" filters, filters, sort, limit)
+// is read only when given explicitly and supplies whatever the flags do not.
 //
 // -fields lists every scannable field with its category, kind, null and
 // index behaviour; the registry is static, so no corpus is loaded or
@@ -35,6 +47,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"marketscope/internal/analysis"
@@ -60,6 +74,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	queryPath := fs.String("query", "", "JSON query file ('-' or empty = stdin)")
 	format := fs.String("format", "table", "output format: table or json")
 	listFields := fs.Bool("fields", false, "list the scannable fields and exit")
+	groupBy := fs.String("group-by", "", "comma-separated grouping fields; switches to aggregation mode")
+	aggSpecs := fs.String("agg", "", "comma-separated aggregates: op, op(field) or topk(field,k); default count")
 	explain := fs.Bool("explain", false, "print the planner's execution report after the table")
 	noEnrich := fs.Bool("no-enrich", false, "skip the detector pass (enrichment fields stay null)")
 	workers := fs.Int("workers", 0, "parse/enrichment worker count (0 = one per CPU, 1 = serial)")
@@ -95,35 +111,144 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 	src := ds.QuerySource()
 
-	queryIn := in
-	if *queryPath != "" && *queryPath != "-" {
+	openQuery := func() (io.Reader, func(), error) {
+		if *queryPath == "" || *queryPath == "-" {
+			return in, func() {}, nil
+		}
 		f, err := os.Open(*queryPath)
 		if err != nil {
-			return fmt.Errorf("open query: %w", err)
+			return nil, nil, fmt.Errorf("open query: %w", err)
 		}
-		defer f.Close()
-		queryIn = f
+		return f, func() { f.Close() }, nil
 	}
-	q, err := query.ParseQuery(queryIn)
-	if err != nil {
-		return err
+
+	var res *query.Result
+	aggMode := *groupBy != "" || *aggSpecs != ""
+	if aggMode {
+		agg, ok := src.(query.AggregateSource)
+		if !ok {
+			return fmt.Errorf("query source %T does not support aggregation", src)
+		}
+		var req query.Aggregate
+		if *queryPath != "" {
+			// The document supplies whatever the flags do not (filters,
+			// per-cell where clauses, sort, limit).
+			queryIn, closeQuery, err := openQuery()
+			if err != nil {
+				return err
+			}
+			req, err = query.ParseAggregate(queryIn)
+			closeQuery()
+			if err != nil {
+				return err
+			}
+		}
+		if *groupBy != "" {
+			req.GroupBy = splitFields(*groupBy)
+		}
+		if *aggSpecs != "" {
+			if req.Aggregates, err = parseAggSpecs(*aggSpecs); err != nil {
+				return err
+			}
+		}
+		if len(req.Aggregates) == 0 {
+			req.Aggregates = []query.AggSpec{{Op: query.AggCount}}
+		}
+		if res, err = agg.Aggregate(req); err != nil {
+			return err
+		}
+	} else {
+		queryIn, closeQuery, err := openQuery()
+		if err != nil {
+			return err
+		}
+		q, err := query.ParseQuery(queryIn)
+		closeQuery()
+		if err != nil {
+			return err
+		}
+		if res, err = src.Scan(q); err != nil {
+			return err
+		}
 	}
-	res, err := src.Scan(q)
-	if err != nil {
-		return err
-	}
+
 	if *format == "json" {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(res)
 	}
-	if _, err := fmt.Fprint(out, report.ScanTable("Scan results", res)); err != nil {
+	render, title := report.ScanTable, "Scan results"
+	if aggMode {
+		render, title = report.AggregateTable, "Aggregate results"
+	}
+	if _, err := fmt.Fprint(out, render(title, res)); err != nil {
 		return err
 	}
 	if *explain {
 		_, err = fmt.Fprint(out, report.ScanExplain(res.Meta))
 	}
 	return err
+}
+
+// splitFields splits a comma-separated field list, trimming blanks.
+func splitFields(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// parseAggSpecs parses the -agg flag: comma-separated op, op(field) or
+// topk(field,k) items (commas inside parentheses do not split).
+func parseAggSpecs(s string) ([]query.AggSpec, error) {
+	var items []string
+	depth, start := 0, 0
+	for i, c := range s {
+		switch c {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				items = append(items, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	items = append(items, s[start:])
+
+	var specs []query.AggSpec
+	for _, item := range items {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		op, arg := item, ""
+		if i := strings.IndexByte(item, '('); i >= 0 {
+			if !strings.HasSuffix(item, ")") {
+				return nil, fmt.Errorf("bad aggregate %q (want op, op(field) or topk(field,k))", item)
+			}
+			op, arg = item[:i], item[i+1:len(item)-1]
+		}
+		spec := query.AggSpec{Op: query.AggOp(strings.TrimSpace(op))}
+		if arg != "" {
+			field := arg
+			if j := strings.LastIndexByte(arg, ','); j >= 0 && spec.Op == query.AggTopK {
+				k, err := strconv.Atoi(strings.TrimSpace(arg[j+1:]))
+				if err != nil {
+					return nil, fmt.Errorf("bad topk count in %q", item)
+				}
+				spec.K, field = k, arg[:j]
+			}
+			spec.Field = strings.TrimSpace(field)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
 }
 
 // buildDataset loads a saved snapshot or generates a synthetic corpus, then

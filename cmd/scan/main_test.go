@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -141,6 +143,107 @@ func TestScanCLINoEnrichNulls(t *testing.T) {
 	for _, row := range res.Rows {
 		if row[1] != nil {
 			t.Errorf("av_positives = %v, want null", row[1])
+		}
+	}
+}
+
+// TestScanCLIAggregateMatchesGoAPI runs a grouped aggregation through the
+// CLI flags and through the Go API over an identically-configured dataset;
+// the rows must be identical (modulo JSON number widening).
+func TestScanCLIAggregateMatchesGoAPI(t *testing.T) {
+	var out bytes.Buffer
+	// Aggregates stick to fields that are deterministic across two
+	// independently generated corpora with the same seed (the market-native
+	// category strings, for example, are not).
+	err := run([]string{"-apps", "120", "-developers", "40", "-seed", "7", "-format", "json",
+		"-group-by", "market", "-agg", "count,mean(rating),min(package),share"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var cli query.Result
+	if err := json.Unmarshal(out.Bytes(), &cli); err != nil {
+		t.Fatalf("decode CLI output: %v", err)
+	}
+
+	ds, err := buildDataset("", 120, 40, 7, true, 1)
+	if err != nil {
+		t.Fatalf("build dataset: %v", err)
+	}
+	direct, err := ds.Aggregate(query.Aggregate{
+		GroupBy: []string{"market"},
+		Aggregates: []query.AggSpec{
+			{Op: query.AggCount},
+			{Op: query.AggMean, Field: "rating"},
+			{Op: query.AggMin, Field: "package"},
+			{Op: query.AggShare},
+		},
+	})
+	if err != nil {
+		t.Fatalf("direct aggregate: %v", err)
+	}
+	if cli.Meta.TotalMatched != direct.Meta.TotalMatched || cli.Meta.Returned != direct.Meta.Returned {
+		t.Fatalf("meta diverges: cli %+v, direct %+v", cli.Meta, direct.Meta)
+	}
+	var directWidened [][]any
+	dj, _ := json.Marshal(direct.Rows)
+	_ = json.Unmarshal(dj, &directWidened)
+	cliRows, _ := json.Marshal(cli.Rows)
+	directRows, _ := json.Marshal(directWidened)
+	if !bytes.Equal(cliRows, directRows) {
+		t.Fatalf("rows diverge:\ncli:    %s\ndirect: %s", cliRows, directRows)
+	}
+}
+
+// TestScanCLIAggregateTable checks the table renderer and that a -query
+// aggregate document composes with the flags.
+func TestScanCLIAggregateTable(t *testing.T) {
+	doc := t.TempDir() + "/agg.json"
+	if err := os.WriteFile(doc, []byte(`{
+		"aggregates": [{"op": "count"}],
+		"filters": [{"field": "apk_parsed", "op": "==", "value": true}],
+		"sort": [{"field": "count", "desc": true}],
+		"limit": 3
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-apps", "60", "-developers", "20", "-no-enrich",
+		"-group-by", "market", "-query", doc}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Aggregate results") || !strings.Contains(got, "groups from") {
+		t.Errorf("aggregate table output missing meta line:\n%s", got)
+	}
+	if n := strings.Count(got, "\n"); n > 10 {
+		t.Errorf("limit 3 not applied, %d lines:\n%s", n, got)
+	}
+}
+
+func TestParseAggSpecs(t *testing.T) {
+	specs, err := parseAggSpecs(" count , mean(library_count), topk(av_family,3) ,share")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := []query.AggSpec{
+		{Op: query.AggCount},
+		{Op: query.AggMean, Field: "library_count"},
+		{Op: query.AggTopK, Field: "av_family", K: 3},
+		{Op: query.AggShare},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("specs = %+v", specs)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(specs[i], want[i]) {
+			t.Errorf("spec %d = %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+	for _, bad := range []string{"mean(library_count", "topk(av_family,x)"} {
+		if _, err := parseAggSpecs(bad); err == nil {
+			t.Errorf("parseAggSpecs(%q) accepted", bad)
 		}
 	}
 }

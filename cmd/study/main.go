@@ -39,7 +39,7 @@ func run(args []string, stdout io.Writer) error {
 	experiment := fs.String("experiment", "", "render a single experiment (e.g. T4, F10); empty renders all")
 	outPath := fs.String("out", "", "write the report to this file instead of stdout")
 	malwareRate := fs.Float64("malware-rate", 0.14, "fraction of generated apps carrying a malware payload")
-	workers := fs.Int("workers", 0, "parse/enrichment/clone-detection worker count (0 = one per CPU, 1 = serial)")
+	workers := fs.Int("workers", 0, "parse/enrichment/clone-detection/analysis worker count (0 = one per CPU, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +52,7 @@ func run(args []string, stdout io.Writer) error {
 	cfg.Mode = core.Mode(*mode)
 	cfg.Enrich.Workers = *workers
 	cfg.Clone.Workers = *workers
+	cfg.Analyses.Workers = *workers
 
 	results, err := core.Run(context.Background(), cfg)
 	if err != nil {

@@ -1,8 +1,10 @@
 // Scanquery: the dataset query engine end to end — generate a corpus, crawl
 // it, enrich it, then run one GraphQL-style query three ways: through the Go
 // API, over the market server's POST /api/scan endpoint, and rendered as a
-// report table (what the scan command prints). The three paths return
-// identical rows; the example verifies that rather than just claiming it.
+// report table (what the scan command prints), followed by one grouped
+// aggregation through the Go API and POST /api/aggregate. Each pair of
+// paths must return identical rows; the example verifies that rather than
+// just claiming it.
 //
 //	go run ./examples/scanquery
 package main
@@ -112,5 +114,54 @@ func runExample() error {
 
 	// 4. Report table, as the scan command renders it.
 	fmt.Print(report.ScanTable("Flagged apps on Chinese markets (AV-rank >= 10)", direct))
+
+	// 5. Grouped aggregation: Table 4's shape — per-market scanned counts
+	// with a conditional flagged count — through the Go API and over POST
+	// /api/aggregate, again verified identical.
+	agg := query.Aggregate{
+		GroupBy: []string{"market"},
+		Filters: []query.Filter{{Field: "av_positives", Op: query.OpIsNull, Value: false}},
+		Aggregates: []query.AggSpec{
+			{Op: query.AggCount, As: "scanned"},
+			{Op: query.AggCount, As: "flagged",
+				Where: []query.Filter{{Field: "av_positives", Op: query.OpGe, Value: 10}}},
+			{Op: query.AggShare},
+		},
+		Sort: []query.SortKey{{Field: "flagged", Desc: true}, {Field: "market"}},
+	}
+	directAgg, err := ds.Aggregate(agg)
+	if err != nil {
+		return err
+	}
+	aggBody, err := json.Marshal(agg)
+	if err != nil {
+		return err
+	}
+	aggResp, err := http.Post(ts.URL+market.AggregatePath, "application/json", bytes.NewReader(aggBody))
+	if err != nil {
+		return err
+	}
+	defer aggResp.Body.Close()
+	var remoteAgg query.Result
+	if err := json.NewDecoder(aggResp.Body).Decode(&remoteAgg); err != nil {
+		return err
+	}
+	// Compare over re-decoded JSON: HTTP widens every number to float64.
+	var directWide [][]any
+	dj, _ := json.Marshal(directAgg.Rows)
+	if err := json.Unmarshal(dj, &directWide); err != nil {
+		return err
+	}
+	directGroups, _ := json.Marshal(directWide)
+	remoteGroups, err := json.Marshal(remoteAgg.Rows)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(directGroups, remoteGroups) {
+		return fmt.Errorf("HTTP and Go API groups diverge:\nhttp: %s\ngo:   %s", remoteGroups, directGroups)
+	}
+	fmt.Printf("\nGo API and POST %s agree: %d groups (of %d matched listings)\n\n",
+		market.AggregatePath, remoteAgg.Meta.Returned, remoteAgg.Meta.TotalMatched)
+	fmt.Print(report.AggregateTable("Scanned and flagged listings per market", directAgg))
 	return nil
 }

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"marketscope/internal/query"
+)
+
+// querySingleCount is the one-row global count request.
+func querySingleCount() query.Aggregate {
+	return query.Aggregate{Aggregates: []query.AggSpec{{Op: query.AggCount}}}
+}
+
+// TestColumnarAnalysesMatchOracles holds every aggregation-rewritten
+// analysis byte-identical to its kept serial body over the enriched synth
+// fixture — the analysis-level face of the accelerate-and-prove contract
+// (floats included: the columnar path visits each group's rows in the same
+// dataset order the oracle does, so the arithmetic is bit-equal, not merely
+// close).
+func TestColumnarAnalysesMatchOracles(t *testing.T) {
+	f := testFixture(t)
+	d := f.dataset
+
+	check := func(name string, got, want any) {
+		t.Helper()
+		if !reflect.DeepEqual(got, want) {
+			gj, _ := json.Marshal(got)
+			wj, _ := json.Marshal(want)
+			t.Errorf("%s diverged from its oracle:\ncolumnar %s\noracle   %s", name, gj, wj)
+		}
+	}
+
+	overview := MarketOverview(d)
+	overviewOracle := MarketOverviewOracle(d)
+	check("MarketOverview", overview, overviewOracle)
+	check("Totals", Totals(d, overview), TotalsOracle(d, overviewOracle))
+	check("Categories", Categories(d), CategoriesOracle(d))
+	check("Downloads", Downloads(d), DownloadsOracle(d))
+	gp, cn := APILevels(d)
+	gpO, cnO := APILevelsOracle(d)
+	check("APILevels/GP", gp, gpO)
+	check("APILevels/CN", cn, cnO)
+	check("LibraryUsage", LibraryUsage(d), LibraryUsageOracle(d))
+	for _, limit := range []int{1, 3, 10, 1 << 20} {
+		tlGP, tlCN := TopLibraries(d, limit)
+		tlGPo, tlCNo := TopLibrariesOracle(d, limit)
+		check("TopLibraries/GP", tlGP, tlGPo)
+		check("TopLibraries/CN", tlCN, tlCNo)
+	}
+	check("MalwarePrevalence", MalwarePrevalence(d), MalwarePrevalenceOracle(d))
+	check("Publishing", Publishing(d), PublishingOracle(d))
+}
+
+// TestChineseAppsMemoized pins the memoization contract: repeated calls
+// return the same backing slice with the same contents as a fresh sweep.
+func TestChineseAppsMemoized(t *testing.T) {
+	f := testFixture(t)
+	d := f.dataset
+
+	var want []*App
+	for _, m := range d.Markets {
+		if m.IsChinese() {
+			want = append(want, d.byMarket[m.Name]...)
+		}
+	}
+	first := d.ChineseApps()
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("ChineseApps returned %d listings, fresh sweep %d", len(first), len(want))
+	}
+	second := d.ChineseApps()
+	if len(first) > 0 && &first[0] != &second[0] {
+		t.Error("ChineseApps rebuilt the slice on the second call")
+	}
+}
+
+// TestLibraryRowSourceShape checks the detection-row engine: rows are
+// deduplicated per listing by library identity, in dataset order.
+func TestLibraryRowSourceShape(t *testing.T) {
+	f := testFixture(t)
+	d := f.dataset
+
+	want := 0
+	for _, app := range d.Apps {
+		if !app.HasAPK() {
+			continue
+		}
+		seen := map[string]bool{}
+		for _, det := range app.Libraries {
+			key := libraryKey(det)
+			if !seen[key] {
+				seen[key] = true
+				want++
+			}
+		}
+	}
+	src := d.libraryRowSource()
+	res, err := src.Aggregate(querySingleCount())
+	if err != nil {
+		t.Fatalf("aggregate: %v", err)
+	}
+	if got := int(res.Rows[0][0].(int64)); got != want {
+		t.Fatalf("detection rows = %d, direct sweep = %d", got, want)
+	}
+	if src != d.libraryRowSource() {
+		t.Error("libraryRowSource rebuilt the engine on the second call")
+	}
+}

@@ -89,6 +89,15 @@ type Dataset struct {
 	queryMu       sync.Mutex
 	querySrc      query.Source
 	queryEnriched bool
+	// libSrc is the lazily built aggregation engine over the per-listing
+	// library detections (one row per deduplicated (listing, library) pair);
+	// detections exist only after Enrich, so no staleness flag is needed.
+	libSrc query.AggregateSource
+
+	// chineseApps memoizes ChineseApps: the slice is rebuilt from byMarket
+	// on first use and hit by several per-group analyses afterwards.
+	chineseOnce sync.Once
+	chineseApps []*App
 }
 
 // BuildOptions tunes the dataset build pass.
@@ -351,15 +360,18 @@ func (d *Dataset) AppsIn(marketName string) []*App { return d.byMarket[marketNam
 // NumListings returns the total number of listings.
 func (d *Dataset) NumListings() int { return len(d.Apps) }
 
-// ChineseApps returns all listings hosted by Chinese markets.
+// ChineseApps returns all listings hosted by Chinese markets. The slice is
+// built once (the dataset's market partition is immutable after
+// BuildDataset) and shared by every caller; callers must not mutate it.
 func (d *Dataset) ChineseApps() []*App {
-	var out []*App
-	for _, m := range d.Markets {
-		if m.IsChinese() {
-			out = append(out, d.byMarket[m.Name]...)
+	d.chineseOnce.Do(func() {
+		for _, m := range d.Markets {
+			if m.IsChinese() {
+				d.chineseApps = append(d.chineseApps, d.byMarket[m.Name]...)
+			}
 		}
-	}
-	return out
+	})
+	return d.chineseApps
 }
 
 // GooglePlayApps returns the Google Play listings.

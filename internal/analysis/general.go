@@ -6,6 +6,7 @@ import (
 
 	"marketscope/internal/appmeta"
 	"marketscope/internal/market"
+	"marketscope/internal/query"
 	"marketscope/internal/stats"
 )
 
@@ -20,8 +21,46 @@ type CategoryDistribution struct {
 }
 
 // Categories computes Figure 1: the distribution of consolidated app
-// categories per market.
+// categories per market. One grouped (market, category) count through the
+// columnar aggregation engine replaces the per-market histogram sweeps;
+// CategoriesOracle keeps the row-at-a-time body and the equivalence suite
+// holds the two identical.
 func Categories(d *Dataset) []CategoryDistribution {
+	res := d.mustAggregate(query.Aggregate{
+		GroupBy:    []string{"market", "category"},
+		Aggregates: []query.AggSpec{{Op: query.AggCount}},
+	})
+	counts := map[string]map[string]int{}
+	totals := map[string]int{}
+	for _, r := range res.Rows {
+		m, c, n := r[0].(string), r[1].(string), int(r[2].(int64))
+		if counts[m] == nil {
+			counts[m] = map[string]int{}
+		}
+		counts[m][c] = n
+		totals[m] += n
+	}
+	var out []CategoryDistribution
+	for _, m := range d.Markets {
+		dist := CategoryDistribution{Market: m.Name, Shares: map[appmeta.Category]float64{}}
+		if totals[m.Name] == 0 {
+			out = append(out, dist)
+			continue
+		}
+		total := float64(totals[m.Name])
+		for _, c := range appmeta.Categories() {
+			dist.Shares[c] = float64(counts[m.Name][string(c)]) / total
+		}
+		dist.OtherShare = dist.Shares[appmeta.CategoryOther]
+		out = append(out, dist)
+	}
+	return out
+}
+
+// CategoriesOracle is the pre-aggregation serial body of Categories, kept
+// verbatim as the oracle for the equivalence tests and the serial-suite
+// benchmark baseline.
+func CategoriesOracle(d *Dataset) []CategoryDistribution {
 	var out []CategoryDistribution
 	for _, m := range d.Markets {
 		apps := d.AppsIn(m.Name)
@@ -55,9 +94,51 @@ type DownloadRow struct {
 }
 
 // Downloads computes Figure 2: the normalized install-range distribution per
-// market. Markets that do not report installs (Xiaomi, App China) yield an
-// all-zero row, matching the blank rows of the paper's figure.
+// market, as one grouped (market, download_bin) count over the typed columns.
+// Markets that do not report installs (Xiaomi, App China) yield an all-zero
+// row, matching the blank rows of the paper's figure.
 func Downloads(d *Dataset) []DownloadRow {
+	res := d.mustAggregate(query.Aggregate{
+		GroupBy:    []string{"market", "download_bin"},
+		Aggregates: []query.AggSpec{{Op: query.AggCount}},
+		Filters:    []query.Filter{{Field: "download_bin", Op: query.OpIsNull, Value: false}},
+	})
+	binIndex := make(map[string]int, stats.NumDownloadBins())
+	for _, b := range stats.DownloadBins() {
+		binIndex[b.String()] = int(b)
+	}
+	type marketBins struct {
+		counts   []int // indexed by DownloadBin
+		reported int
+	}
+	perMarket := map[string]*marketBins{}
+	for _, r := range res.Rows {
+		m, bin, n := r[0].(string), r[1].(string), int(r[2].(int64))
+		mb := perMarket[m]
+		if mb == nil {
+			mb = &marketBins{counts: make([]int, stats.NumDownloadBins())}
+			perMarket[m] = mb
+		}
+		mb.counts[binIndex[bin]] = n
+		mb.reported += n
+	}
+	var out []DownloadRow
+	for _, m := range d.Markets {
+		row := DownloadRow{Market: m.Name}
+		if mb := perMarket[m.Name]; mb != nil {
+			row.Reported = mb.reported
+			for i := range row.Distribution {
+				row.Distribution[i] = float64(mb.counts[i]) / float64(mb.reported)
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// DownloadsOracle is the pre-aggregation serial body of Downloads, kept
+// verbatim as the oracle.
+func DownloadsOracle(d *Dataset) []DownloadRow {
 	var out []DownloadRow
 	for _, m := range d.Markets {
 		row := DownloadRow{Market: m.Name}
@@ -98,11 +179,50 @@ func APILevelsByMarket(d *Dataset) map[string]APILevelDistribution {
 }
 
 // APILevels computes the Google Play vs Chinese-markets aggregate of
-// Figure 3.
+// Figure 3, each group as one min_sdk count aggregation over the columns
+// (min_sdk is null exactly on unparsed listings, so the is_null filter is
+// the HasAPK gate).
 func APILevels(d *Dataset) (googlePlay, chinese APILevelDistribution) {
+	googlePlay = apiLevelsAggregate(d, "Google Play",
+		query.Filter{Field: "market", Op: query.OpEq, Value: market.GooglePlay})
+	chinese = apiLevelsAggregate(d, "Chinese markets",
+		query.Filter{Field: "market_chinese", Op: query.OpEq, Value: true})
+	return googlePlay, chinese
+}
+
+// APILevelsOracle is the pre-aggregation serial body of APILevels, kept
+// verbatim as the oracle.
+func APILevelsOracle(d *Dataset) (googlePlay, chinese APILevelDistribution) {
 	googlePlay = apiLevels("Google Play", d.GooglePlayApps())
 	chinese = apiLevels("Chinese markets", d.ChineseApps())
 	return googlePlay, chinese
+}
+
+func apiLevelsAggregate(d *Dataset, group string, sel query.Filter) APILevelDistribution {
+	res := d.mustAggregate(query.Aggregate{
+		GroupBy:    []string{"min_sdk"},
+		Aggregates: []query.AggSpec{{Op: query.AggCount}},
+		Filters:    []query.Filter{sel, {Field: "min_sdk", Op: query.OpIsNull, Value: false}},
+	})
+	dist := APILevelDistribution{Group: group, Shares: map[int]float64{}}
+	counts := map[int]int{}
+	low := 0
+	for _, r := range res.Rows {
+		level, n := int(r[0].(int64)), int(r[1].(int64))
+		counts[level] = n
+		dist.Parsed += n
+		if level < 9 {
+			low += n
+		}
+	}
+	if dist.Parsed == 0 {
+		return dist
+	}
+	for level, n := range counts {
+		dist.Shares[level] = float64(n) / float64(dist.Parsed)
+	}
+	dist.LowAPIShare = float64(low) / float64(dist.Parsed)
+	return dist
 }
 
 func apiLevels(group string, apps []*App) APILevelDistribution {

@@ -5,6 +5,7 @@ import (
 
 	"marketscope/internal/libdetect"
 	"marketscope/internal/market"
+	"marketscope/internal/query"
 )
 
 // LibraryUsageRow is one market's third-party library statistics
@@ -24,8 +25,60 @@ type LibraryUsageRow struct {
 	Parsed         int
 }
 
-// LibraryUsage computes Figure 5 for every market.
+// LibraryUsage computes Figure 5 for every market as one grouped
+// aggregation over the parsed listings: plain sums of the detection-count
+// columns next to conditional (where-gated) counts of the listings embedding
+// at least one library. LibraryUsageOracle keeps the per-market sweep.
 func LibraryUsage(d *Dataset) []LibraryUsageRow {
+	d.mustEnrich()
+	res := d.mustAggregate(query.Aggregate{
+		GroupBy: []string{"market"},
+		Filters: []query.Filter{{Field: "apk_parsed", Op: query.OpEq, Value: true}},
+		Aggregates: []query.AggSpec{
+			{Op: query.AggCount, As: "parsed"},
+			{Op: query.AggCount, As: "with_libs",
+				Where: []query.Filter{{Field: "library_count", Op: query.OpGt, Value: 0}}},
+			{Op: query.AggCount, As: "with_ads",
+				Where: []query.Filter{{Field: "ad_library_count", Op: query.OpGt, Value: 0}}},
+			{Op: query.AggSum, Field: "library_count", As: "libs"},
+			{Op: query.AggSum, Field: "ad_library_count", As: "ads"},
+		},
+	})
+	type counts struct{ parsed, withLibs, withAds, libs, ads int }
+	byMarket := map[string]*counts{}
+	for _, r := range res.Rows {
+		byMarket[r[0].(string)] = &counts{
+			parsed: int(r[1].(int64)), withLibs: int(r[2].(int64)), withAds: int(r[3].(int64)),
+			libs: int(cellInt(r[4])), ads: int(cellInt(r[5])),
+		}
+	}
+	var out []LibraryUsageRow
+	for _, m := range d.Markets {
+		row := LibraryUsageRow{Market: m.Name}
+		if c := byMarket[m.Name]; c != nil && c.parsed > 0 {
+			row.Parsed = c.parsed
+			row.ShareWithLibraries = float64(c.withLibs) / float64(c.parsed)
+			row.ShareWithAds = float64(c.withAds) / float64(c.parsed)
+			row.AvgLibraries = float64(c.libs) / float64(c.parsed)
+			row.AvgAdLibraries = float64(c.ads) / float64(c.parsed)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// cellInt unboxes a nullable int aggregate cell (a sum over zero
+// contributing rows is null).
+func cellInt(v any) int64 {
+	if v == nil {
+		return 0
+	}
+	return v.(int64)
+}
+
+// LibraryUsageOracle is the pre-aggregation serial body of LibraryUsage,
+// kept verbatim as the oracle.
+func LibraryUsageOracle(d *Dataset) []LibraryUsageRow {
 	d.mustEnrich()
 	var out []LibraryUsageRow
 	for _, m := range d.Markets {
@@ -81,7 +134,59 @@ func TopLibraries(d *Dataset, limit int) (googlePlay, chinese []LibraryRank) {
 	return googlePlay, chinese
 }
 
+// TopLibrariesOracle is TopLibraries on the pre-aggregation ranking body.
+func TopLibrariesOracle(d *Dataset, limit int) (googlePlay, chinese []LibraryRank) {
+	d.mustEnrich()
+	if limit <= 0 {
+		limit = 10
+	}
+	gpNames, cnNames := GroupMarkets(d)
+	return rankLibrariesOracle(d, gpNames, limit), rankLibrariesOracle(d, cnNames, limit)
+}
+
+// rankLibraries ranks the market group's libraries through the
+// detection-row aggregation engine: group by library identity, count the
+// embedding listings (the rows are already deduplicated per listing), rank
+// by count with the library name as tiebreak, keep the top `limit`.
+// rankLibrariesOracle keeps the map-based sweep.
 func rankLibraries(d *Dataset, markets []string, limit int) []LibraryRank {
+	if len(markets) == 0 {
+		return nil
+	}
+	parsed, err := d.CountMatching(
+		query.Filter{Field: "market", Op: query.OpIn, Value: markets},
+		query.Filter{Field: "apk_parsed", Op: query.OpEq, Value: true})
+	if err != nil {
+		panic(err) // static request over registered fields
+	}
+	if parsed == 0 {
+		return nil
+	}
+	res, err := d.libraryRowSource().Aggregate(query.Aggregate{
+		GroupBy:    []string{"library", "prefix", "library_category"},
+		Filters:    []query.Filter{{Field: "market", Op: query.OpIn, Value: markets}},
+		Aggregates: []query.AggSpec{{Op: query.AggCount, As: "apps"}},
+		Sort:       []query.SortKey{{Field: "apps", Desc: true}, {Field: "library"}},
+		Limit:      limit,
+	})
+	if err != nil {
+		panic(err)
+	}
+	var out []LibraryRank // nil when nothing was detected, like the oracle
+	for _, r := range res.Rows {
+		apps := int(r[3].(int64))
+		out = append(out, LibraryRank{
+			Name:     r[0].(string),
+			Prefix:   r[1].(string),
+			Category: libdetect.Category(r[2].(string)),
+			Share:    float64(apps) / float64(parsed),
+			Apps:     apps,
+		})
+	}
+	return out
+}
+
+func rankLibrariesOracle(d *Dataset, markets []string, limit int) []LibraryRank {
 	type agg struct {
 		lib  libdetect.Library
 		apps int

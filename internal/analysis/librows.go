@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"fmt"
+
+	"marketscope/internal/libdetect"
+	"marketscope/internal/query"
+)
+
+// The library-detection row source: Table 2 and the ad-ecosystem statistics
+// aggregate over (listing, library) pairs, not listings, so the dataset
+// exposes a second aggregation engine whose rows are the per-listing
+// detections — deduplicated by library key within each listing exactly as
+// the serial Table 2 body dedups them — in dataset order. The fixed analyses
+// group and rank over it the same way /api/aggregate consumers group over
+// the listing engine.
+
+// libRow is one deduplicated (listing, detected library) pair.
+type libRow struct {
+	market  string
+	chinese bool
+	pkg     string
+	// key is the ranking identity Table 2 counts by: the catalog name, or
+	// the detected prefix when the detection resolved to no catalog entry.
+	key      string
+	prefix   string
+	category string
+	ad       bool
+	known    bool
+}
+
+// libraryKey is the Table 2 ranking identity of one detection.
+func libraryKey(det libdetect.Detection) string {
+	key := det.Library.Name
+	if key == "" || key == "unknown" {
+		key = det.Prefix
+	}
+	return key
+}
+
+// libRowRegistry builds the field registry over detection rows.
+func libRowRegistry() *query.Registry[libRow] {
+	r := query.NewRegistry[libRow]()
+	reg := func(name, doc string, kind query.Kind, extract func(libRow) (any, bool)) {
+		r.MustRegister(query.Field[libRow]{Name: name, Category: "detection", Kind: kind, Doc: doc, Extract: extract})
+	}
+	reg("market", "market hosting the embedding listing", query.KindString,
+		func(x libRow) (any, bool) { return x.market, true })
+	reg("market_chinese", "listing hosted by one of the Chinese markets", query.KindBool,
+		func(x libRow) (any, bool) { return x.chinese, true })
+	reg("package", "package of the embedding listing", query.KindString,
+		func(x libRow) (any, bool) { return x.pkg, true })
+	reg("library", "library identity (catalog name, or prefix when unknown)", query.KindString,
+		func(x libRow) (any, bool) { return x.key, true })
+	reg("prefix", "package prefix the detector matched", query.KindString,
+		func(x libRow) (any, bool) { return x.prefix, true })
+	reg("library_category", "catalog category of the library", query.KindString,
+		func(x libRow) (any, bool) { return x.category, true })
+	reg("is_ad", "advertising library", query.KindBool,
+		func(x libRow) (any, bool) { return x.ad, true })
+	reg("known", "detection resolved to a catalog entry", query.KindBool,
+		func(x libRow) (any, bool) { return x.known, true })
+	if err := r.MarkIndexable("market", "market_chinese", "is_ad", "library"); err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// libraryRowSource returns the aggregation engine over the detection rows,
+// built once after enrichment.
+func (d *Dataset) libraryRowSource() query.AggregateSource {
+	d.mustEnrich()
+	d.queryMu.Lock()
+	defer d.queryMu.Unlock()
+	if d.libSrc != nil {
+		return d.libSrc
+	}
+	// Library metadata (prefix, category, ad, known) is normalized per key
+	// to its first occurrence in dataset order: detections of one key could
+	// in principle resolve to differing Library values (cluster-learned
+	// canonical prefixes), and rows of one ranking key must not split into
+	// several (library, prefix, category) groups when Table 2 groups over
+	// them.
+	type libMeta struct {
+		prefix, category string
+		ad, known        bool
+	}
+	meta := map[string]libMeta{}
+	var rows []libRow
+	for _, app := range d.Apps {
+		if !app.HasAPK() {
+			continue
+		}
+		chinese := marketIsChinese(d, app.Meta.Market)
+		seen := map[string]bool{}
+		for _, det := range app.Libraries {
+			key := libraryKey(det)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			m, ok := meta[key]
+			if !ok {
+				m = libMeta{
+					prefix:   det.Library.Prefix,
+					category: string(det.Library.Category),
+					ad:       det.IsAd(),
+					known:    det.Known,
+				}
+				meta[key] = m
+			}
+			rows = append(rows, libRow{
+				market:   app.Meta.Market,
+				chinese:  chinese,
+				pkg:      app.Meta.Package,
+				key:      key,
+				prefix:   m.prefix,
+				category: m.category,
+				ad:       m.ad,
+				known:    m.known,
+			})
+		}
+	}
+	d.libSrc = query.NewEngine(libRowRegistry(), rows)
+	return d.libSrc
+}
+
+// Aggregate runs one grouped aggregation over the listings through the same
+// engine /api/aggregate serves. It is safe for concurrent use.
+func (d *Dataset) Aggregate(a query.Aggregate) (*query.Result, error) {
+	src, ok := d.QuerySource().(query.AggregateSource)
+	if !ok {
+		return nil, fmt.Errorf("analysis: query source %T does not aggregate", d.QuerySource())
+	}
+	return src.Aggregate(a)
+}
+
+// mustAggregate is Aggregate for the fixed analyses' static requests, where
+// a failure is a programming mistake, not a data condition.
+func (d *Dataset) mustAggregate(a query.Aggregate) *query.Result {
+	res, err := d.Aggregate(a)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"marketscope/internal/market"
+	"marketscope/internal/query"
 	"marketscope/internal/stats"
 )
 
@@ -26,8 +27,74 @@ type MarketOverviewRow struct {
 	UniqueDeveloperShare float64
 }
 
-// MarketOverview computes Table 1 for the dataset.
+// MarketOverview computes Table 1 for the dataset through the aggregation
+// engine: one market-grouped request for the listing/APK/download/developer
+// counts (downloads as a sum of the download_floor column, the paper's
+// lower-bound estimate), one developer-grouped request for each developer's
+// market spread, and one (market, developer) request to find the developers
+// unique to each market. MarketOverviewOracle keeps the map-of-sets sweep.
 func MarketOverview(d *Dataset) []MarketOverviewRow {
+	perMarket := d.mustAggregate(query.Aggregate{
+		GroupBy: []string{"market"},
+		Aggregates: []query.AggSpec{
+			{Op: query.AggCount, As: "apps"},
+			{Op: query.AggCount, As: "apks",
+				Where: []query.Filter{{Field: "apk_parsed", Op: query.OpEq, Value: true}}},
+			{Op: query.AggSum, Field: "download_floor", As: "downloads"},
+			{Op: query.AggDistinct, Field: "developer_id", As: "developers"},
+		},
+	})
+	devSpread := d.mustAggregate(query.Aggregate{
+		GroupBy:    []string{"developer_id"},
+		Aggregates: []query.AggSpec{{Op: query.AggDistinct, Field: "market", As: "markets"}},
+	})
+	marketDevs := d.mustAggregate(query.Aggregate{
+		GroupBy:    []string{"market", "developer_id"},
+		Aggregates: []query.AggSpec{{Op: query.AggCount}},
+	})
+
+	type marketAgg struct {
+		apps, apks, developers int
+		downloads              int64
+	}
+	byMarket := map[string]*marketAgg{}
+	for _, r := range perMarket.Rows {
+		byMarket[r[0].(string)] = &marketAgg{
+			apps: int(r[1].(int64)), apks: int(r[2].(int64)),
+			downloads: cellInt(r[3]), developers: int(r[4].(int64)),
+		}
+	}
+	spread := make(map[string]int, len(devSpread.Rows))
+	for _, r := range devSpread.Rows {
+		spread[r[0].(string)] = int(r[1].(int64))
+	}
+	uniqueByMarket := map[string]int{}
+	for _, r := range marketDevs.Rows {
+		if spread[r[1].(string)] == 1 {
+			uniqueByMarket[r[0].(string)]++
+		}
+	}
+
+	var rows []MarketOverviewRow
+	for _, m := range d.Markets {
+		row := MarketOverviewRow{Profile: m}
+		if a := byMarket[m.Name]; a != nil {
+			row.Apps = a.apps
+			row.APKs = a.apks
+			row.AggregatedDownloads = a.downloads
+			row.Developers = a.developers
+			if row.Developers > 0 {
+				row.UniqueDeveloperShare = float64(uniqueByMarket[m.Name]) / float64(row.Developers)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// MarketOverviewOracle is the pre-aggregation serial body of MarketOverview,
+// kept verbatim as the oracle.
+func MarketOverviewOracle(d *Dataset) []MarketOverviewRow {
 	devsByMarket := map[string]map[string]bool{}
 	devMarketCount := map[string]map[string]bool{} // developer -> set of markets
 	for _, m := range d.Markets {
@@ -87,8 +154,30 @@ type OverviewTotals struct {
 	ChineseDownloads    int64
 }
 
-// Totals computes the dataset-wide aggregate line of Table 1.
+// Totals computes the dataset-wide aggregate line of Table 1; the distinct
+// developer count runs as a global (group-by-nothing) aggregation.
 func Totals(d *Dataset, rows []MarketOverviewRow) OverviewTotals {
+	var t OverviewTotals
+	res := d.mustAggregate(query.Aggregate{
+		Aggregates: []query.AggSpec{{Op: query.AggDistinct, Field: "developer_id", As: "developers"}},
+	})
+	t.Developers = int(res.Rows[0][0].(int64))
+	for _, row := range rows {
+		t.Apps += row.Apps
+		t.APKs += row.APKs
+		t.AggregatedDownloads += row.AggregatedDownloads
+		if row.Profile.IsChinese() {
+			t.ChineseDownloads += row.AggregatedDownloads
+		} else {
+			t.GooglePlayDownloads += row.AggregatedDownloads
+		}
+	}
+	return t
+}
+
+// TotalsOracle is the pre-aggregation body of Totals, kept verbatim as the
+// oracle.
+func TotalsOracle(d *Dataset, rows []MarketOverviewRow) OverviewTotals {
 	var t OverviewTotals
 	devs := map[string]bool{}
 	for _, app := range d.Apps {

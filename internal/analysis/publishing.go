@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"marketscope/internal/market"
+	"marketscope/internal/query"
 	"marketscope/internal/stats"
 )
 
@@ -29,8 +30,73 @@ type PublishingStats struct {
 	ChineseDevsNotOnGPShare float64
 }
 
-// Publishing computes the developer market-coverage statistics.
+// Publishing computes the developer market-coverage statistics. One grouped
+// aggregation — developers as groups, a distinct-market count next to a
+// conditional Google-Play listing count — replaces the map-of-sets sweep;
+// PublishingOracle keeps that sweep verbatim.
 func Publishing(d *Dataset) PublishingStats {
+	res := d.mustAggregate(query.Aggregate{
+		GroupBy: []string{"developer_id"},
+		Aggregates: []query.AggSpec{
+			{Op: query.AggDistinct, Field: "market", As: "markets"},
+			{Op: query.AggCount, As: "gp",
+				Where: []query.Filter{{Field: "market", Op: query.OpEq, Value: market.GooglePlay}}},
+		},
+	})
+	out := PublishingStats{Developers: len(res.Rows)}
+	if len(res.Rows) == 0 {
+		return out
+	}
+	var counts []float64
+	single, all := 0, 0
+	gpDevs, gpOnly, cnDevs, cnOnly := 0, 0, 0, 0
+	numMarkets := len(d.Markets)
+	for _, r := range res.Rows {
+		n := int(r[1].(int64))
+		counts = append(counts, float64(n))
+		if n == 1 {
+			single++
+		}
+		if n == numMarkets && numMarkets > 1 {
+			all++
+		}
+		onGP := r[2].(int64) > 0
+		chineseCount := n
+		if onGP {
+			chineseCount--
+		}
+		if onGP {
+			gpDevs++
+			if chineseCount == 0 {
+				gpOnly++
+			}
+		}
+		if chineseCount > 0 {
+			cnDevs++
+			if !onGP {
+				cnOnly++
+			}
+		}
+	}
+	cdfPoints := make([]float64, 0, market.NumMarkets())
+	for i := 1; i <= market.NumMarkets(); i++ {
+		cdfPoints = append(cdfPoints, float64(i))
+	}
+	out.MarketsPerDeveloperCDF = stats.NewCDF(counts).Series(cdfPoints)
+	out.SingleMarketShare = float64(single) / float64(len(res.Rows))
+	out.AllMarketsCount = all
+	if gpDevs > 0 {
+		out.GPDevsNotInChineseShare = float64(gpOnly) / float64(gpDevs)
+	}
+	if cnDevs > 0 {
+		out.ChineseDevsNotOnGPShare = float64(cnOnly) / float64(cnDevs)
+	}
+	return out
+}
+
+// PublishingOracle is the pre-aggregation serial body of Publishing, kept
+// verbatim as the oracle.
+func PublishingOracle(d *Dataset) PublishingStats {
 	devMarkets := map[string]map[string]bool{}
 	for _, m := range d.Markets {
 		for _, app := range d.AppsIn(m.Name) {

@@ -5,6 +5,7 @@ import (
 	"marketscope/internal/market"
 	"marketscope/internal/permissions"
 	"marketscope/internal/query"
+	"marketscope/internal/stats"
 )
 
 // Field categories exposed by the dataset's query source.
@@ -99,6 +100,22 @@ func appFieldRegistry(d *Dataset) *query.Registry[*App] {
 	r.MustRegister(query.Field[*App]{Name: "downloads", Category: FieldCategoryMetadata, Kind: query.KindInt,
 		Doc: "market-reported install count; null where the market reports none", Nullable: true,
 		Extract: func(a *App) (any, bool) { return a.Meta.Downloads, a.Meta.ReportsDownloads() }})
+	r.MustRegister(query.Field[*App]{Name: "download_bin", Category: FieldCategoryMetadata, Kind: query.KindString,
+		Doc: "Google-Play install range of the reported count (Figure 2); null where unreported", Nullable: true,
+		Extract: func(a *App) (any, bool) {
+			if !a.Meta.ReportsDownloads() {
+				return nil, false
+			}
+			return stats.BinDownloads(a.Meta.Downloads).String(), true
+		}})
+	r.MustRegister(query.Field[*App]{Name: "download_floor", Category: FieldCategoryMetadata, Kind: query.KindInt,
+		Doc: "inclusive lower bound of the install range, the paper's conservative download estimate (Table 1); null where unreported", Nullable: true,
+		Extract: func(a *App) (any, bool) {
+			if !a.Meta.ReportsDownloads() {
+				return nil, false
+			}
+			return stats.BinDownloads(a.Meta.Downloads).LowerBound(), true
+		}})
 	metaField(r, "rating", query.KindFloat, "average user rating in [0,5]; 0 means unrated",
 		func(a *App) (any, bool) { return a.Meta.Rating, true })
 	r.MustRegister(query.Field[*App]{Name: "release_date", Category: FieldCategoryMetadata, Kind: query.KindTime,

@@ -27,9 +27,24 @@ type RadarRow struct {
 }
 
 // Radar computes Figure 13 for the selected markets (nil means the five
-// markets the paper plots: Google Play, Tencent, PC Online, Huawei, Lenovo).
+// markets the paper plots: Google Play, Tencent, PC Online, Huawei, Lenovo),
+// recomputing every input analysis from the dataset.
 func Radar(d *Dataset, selected []string) []RadarRow {
 	d.mustEnrich()
+	return RadarFrom(d, selected, MarketOverview(d), Ratings(d), MalwarePrevalence(d),
+		Misbehavior(d, DefaultMisbehaviorOptions()), Outdated(d))
+}
+
+// RadarFrom computes Figure 13 from already-computed input analyses, so a
+// caller that has just produced Table 1, Figure 6, Table 4, Table 3 and
+// Figure 9 (the core analysis scheduler) does not pay for recomputing them —
+// the clone detection inside Misbehavior being the expensive one. The output
+// is identical to Radar's: every input is a deterministic function of the
+// dataset, and the clone-detection stage produces the same result for every
+// worker/index configuration.
+func RadarFrom(d *Dataset, selected []string, overview []MarketOverviewRow,
+	ratings []RatingDistribution, malware []MalwareRow, mis *MisbehaviorResult,
+	outdated []OutdatedRow) []RadarRow {
 	if len(selected) == 0 {
 		selected = []string{"Google Play", "Tencent Myapp", "PC Online", "Huawei Market", "Lenovo MM"}
 	}
@@ -45,27 +60,22 @@ func Radar(d *Dataset, selected []string) []RadarRow {
 	}
 	sort.Strings(markets)
 
-	overview := MarketOverview(d)
 	overviewByMarket := map[string]MarketOverviewRow{}
 	for _, row := range overview {
 		overviewByMarket[row.Profile.Name] = row
 	}
-	ratings := Ratings(d)
 	ratingByMarket := map[string]RatingDistribution{}
 	for _, r := range ratings {
 		ratingByMarket[r.Market] = r
 	}
-	malware := MalwarePrevalence(d)
 	malwareByMarket := map[string]MalwareRow{}
 	for _, r := range malware {
 		malwareByMarket[r.Market] = r
 	}
-	mis := Misbehavior(d, DefaultMisbehaviorOptions())
 	misByMarket := map[string]MisbehaviorRow{}
 	for _, r := range mis.Rows {
 		misByMarket[r.Market] = r
 	}
-	outdated := Outdated(d)
 	outdatedByMarket := map[string]OutdatedRow{}
 	for _, r := range outdated {
 		outdatedByMarket[r.Market] = r

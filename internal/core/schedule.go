@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"marketscope/internal/analysis"
+	"marketscope/internal/pipeline"
+)
+
+// The analysis scheduler: every table and figure of the paper is one task
+// writing exactly one set of Results fields, almost all of them independent
+// of each other. The scheduler runs the ready tasks concurrently on the
+// pipeline worker pool, honoring an explicit dependency list (Totals needs
+// Table 1's rows, the malware average needs Table 4, the repackaging join
+// needs the clone results, and the radar reuses five earlier analyses
+// instead of recomputing them). Workers == 1 reproduces the pre-scheduler
+// serial order byte-identically; any other worker count produces identical
+// Results because each task owns its output fields and the shared dataset
+// engines are read-only and concurrency-safe.
+
+// AnalysisOptions configures the analysis scheduler.
+type AnalysisOptions struct {
+	// Workers sizes the scheduler pool: 0 (or negative) means one worker
+	// per CPU; 1 runs the analyses strictly in the pre-scheduler serial
+	// order, the reference the equivalence tests compare against. Results
+	// are identical for every setting.
+	Workers int
+}
+
+// analysisTask is one schedulable analysis.
+type analysisTask struct {
+	name string
+	// deps lists task names that must complete first.
+	deps []string
+	run  func(r *Results)
+}
+
+// analysisTasks returns the suite in the pre-scheduler serial order (which
+// is therefore also the Workers == 1 execution order) with each task's
+// dependencies made explicit.
+func analysisTasks() []analysisTask {
+	return []analysisTask{
+		{name: "overview", run: func(r *Results) { r.Overview = analysis.MarketOverview(r.Dataset) }},
+		{name: "totals", deps: []string{"overview"}, run: func(r *Results) {
+			r.Totals = analysis.Totals(r.Dataset, r.Overview)
+		}},
+		{name: "concentration", run: func(r *Results) { r.Concentration = analysis.DownloadConcentration(r.Dataset) }},
+		{name: "categories", run: func(r *Results) { r.Categories = analysis.Categories(r.Dataset) }},
+		{name: "downloads", run: func(r *Results) { r.Downloads = analysis.Downloads(r.Dataset) }},
+		{name: "api_levels", run: func(r *Results) { r.APILevelsGP, r.APILevelsCN = analysis.APILevels(r.Dataset) }},
+		{name: "release_dates", run: func(r *Results) { r.ReleaseGP, r.ReleaseCN = analysis.ReleaseDates(r.Dataset) }},
+		{name: "library_usage", run: func(r *Results) { r.LibraryUsage = analysis.LibraryUsage(r.Dataset) }},
+		{name: "top_libraries", run: func(r *Results) { r.TopLibsGP, r.TopLibsCN = analysis.TopLibraries(r.Dataset, 10) }},
+		{name: "ad_ecosystem", run: func(r *Results) { r.AdEcoGP, r.AdEcoCN = analysis.AdEcosystem(r.Dataset) }},
+		{name: "ratings", run: func(r *Results) { r.Ratings = analysis.Ratings(r.Dataset) }},
+		{name: "publishing", run: func(r *Results) { r.Publishing = analysis.Publishing(r.Dataset) }},
+		{name: "store_overlap", run: func(r *Results) { r.StoreOverlap = analysis.StoreOverlap(r.Dataset) }},
+		{name: "clusters", run: func(r *Results) { r.Clusters = analysis.Clusters(r.Dataset) }},
+		{name: "outdated", run: func(r *Results) { r.Outdated = analysis.Outdated(r.Dataset) }},
+		{name: "identical", run: func(r *Results) { r.Identical = analysis.IdenticalApps(r.Dataset) }},
+		{name: "misbehavior", run: func(r *Results) {
+			mis := analysis.DefaultMisbehaviorOptions()
+			mis.Clone = r.Config.Clone
+			r.Misbehavior = analysis.Misbehavior(r.Dataset, mis)
+		}},
+		{name: "over_privilege", run: func(r *Results) { r.OverPrivGP, r.OverPrivCN = analysis.OverPrivilege(r.Dataset) }},
+		{name: "malware", run: func(r *Results) { r.Malware = analysis.MalwarePrevalence(r.Dataset) }},
+		{name: "malware_avg", deps: []string{"malware"}, run: func(r *Results) {
+			r.MalwareAvg = analysis.AverageChineseMalware(r.Dataset, r.Malware)
+		}},
+		{name: "top_malware", run: func(r *Results) { r.TopMalware = analysis.TopMalware(r.Dataset, 10) }},
+		{name: "families", run: func(r *Results) {
+			r.FamiliesGP, r.FamiliesCN = analysis.MalwareFamilies(r.Dataset, r.Config.AVRankThreshold, 15)
+		}},
+		{name: "repackaged", deps: []string{"misbehavior"}, run: func(r *Results) {
+			r.Repackaged = analysis.RepackagedMalware(r.Dataset, r.Misbehavior, r.Config.AVRankThreshold)
+		}},
+		{name: "removal", run: func(r *Results) {
+			r.Removal = analysis.PostAnalysis(r.Dataset, r.SecondCrawl, r.Config.AVRankThreshold)
+		}},
+		{name: "still_hosted", run: func(r *Results) {
+			r.StillHosted = analysis.StillHosted(r.Dataset, r.SecondCrawl, r.Config.AVRankThreshold)
+		}},
+		// Last: the radar reuses Table 1, Figure 6, Table 4, Table 3 and
+		// Figure 9 instead of recomputing them (RadarFrom), so it depends on
+		// all five.
+		{name: "radar", deps: []string{"overview", "ratings", "malware", "misbehavior", "outdated"},
+			run: func(r *Results) {
+				r.Radar = analysis.RadarFrom(r.Dataset, nil,
+					r.Overview, r.Ratings, r.Malware, r.Misbehavior, r.Outdated)
+			}},
+	}
+}
+
+// NumAnalysisTasks returns the number of entries in the analysis
+// scheduler's task table (one per table/figure computation), for reporting
+// and benchmarks.
+func NumAnalysisTasks() int { return len(analysisTasks()) }
+
+// ComputeAnalyses (re)computes every table and figure of the Results on the
+// analysis scheduler. Run calls it with Config.Analyses.Workers; benchmarks
+// and tests call it directly to sweep worker counts over one dataset.
+func (r *Results) ComputeAnalyses(workers int) {
+	tasks := analysisTasks()
+	if pipeline.Workers(workers, len(tasks)) == 1 {
+		for _, t := range tasks {
+			t.run(r)
+		}
+		return
+	}
+	// Wave scheduling: repeatedly fan the ready tasks out on the worker
+	// pool. Each task writes only its own Results fields and the dataset
+	// engines are read-only under concurrent scans, so the outcome is
+	// independent of scheduling; the waves only bound how long a dependent
+	// task waits.
+	done := make(map[string]bool, len(tasks))
+	remaining := tasks
+	for len(remaining) > 0 {
+		ready := remaining[:0:0]
+		var blocked []analysisTask
+		for _, t := range remaining {
+			ok := true
+			for _, dep := range t.deps {
+				if !done[dep] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, t)
+			} else {
+				blocked = append(blocked, t)
+			}
+		}
+		if len(ready) == 0 {
+			// Static task table: an unsatisfiable dependency is a
+			// programming error, not a runtime condition.
+			panic(fmt.Sprintf("core: analysis dependency cycle among %d tasks", len(remaining)))
+		}
+		pipeline.ForEach(len(ready), workers, func(i int) { ready[i].run(r) })
+		for _, t := range ready {
+			done[t.name] = true
+		}
+		remaining = blocked
+	}
+}
+
+// ComputeAnalysesOracle recomputes the suite on the pre-scheduler,
+// pre-columnar path: strictly serial in the legacy order, the row-at-a-time
+// oracle bodies for every aggregation-rewritten analysis, the serial
+// clone-detection oracle, and a radar that recomputes its five inputs. It is
+// the baseline BenchmarkRunAnalyses holds the scheduled columnar suite
+// against.
+func (r *Results) ComputeAnalysesOracle() {
+	d := r.Dataset
+	r.Overview = analysis.MarketOverviewOracle(d)
+	r.Totals = analysis.TotalsOracle(d, r.Overview)
+	r.Concentration = analysis.DownloadConcentration(d)
+	r.Categories = analysis.CategoriesOracle(d)
+	r.Downloads = analysis.DownloadsOracle(d)
+	r.APILevelsGP, r.APILevelsCN = analysis.APILevelsOracle(d)
+	r.ReleaseGP, r.ReleaseCN = analysis.ReleaseDates(d)
+	r.LibraryUsage = analysis.LibraryUsageOracle(d)
+	r.TopLibsGP, r.TopLibsCN = analysis.TopLibrariesOracle(d, 10)
+	r.AdEcoGP, r.AdEcoCN = analysis.AdEcosystem(d)
+	r.Ratings = analysis.Ratings(d)
+	r.Publishing = analysis.PublishingOracle(d)
+	r.StoreOverlap = analysis.StoreOverlap(d)
+	r.Clusters = analysis.Clusters(d)
+	r.Outdated = analysis.Outdated(d)
+	r.Identical = analysis.IdenticalApps(d)
+	mis := analysis.DefaultMisbehaviorOptions()
+	mis.Clone = r.Config.Clone
+	mis.Clone.Workers = 1 // the serial pre-index clone sweep
+	r.Misbehavior = analysis.Misbehavior(d, mis)
+	r.OverPrivGP, r.OverPrivCN = analysis.OverPrivilege(d)
+	r.Malware = analysis.MalwarePrevalenceOracle(d)
+	r.MalwareAvg = analysis.AverageChineseMalware(d, r.Malware)
+	r.TopMalware = analysis.TopMalware(d, 10)
+	r.FamiliesGP, r.FamiliesCN = analysis.MalwareFamilies(d, r.Config.AVRankThreshold, 15)
+	r.Repackaged = analysis.RepackagedMalware(d, r.Misbehavior, r.Config.AVRankThreshold)
+	r.Removal = analysis.PostAnalysis(d, r.SecondCrawl, r.Config.AVRankThreshold)
+	r.StillHosted = analysis.StillHosted(d, r.SecondCrawl, r.Config.AVRankThreshold)
+	r.Radar = analysis.Radar(d, nil)
+}

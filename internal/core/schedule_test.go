@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"marketscope/internal/analysis"
+)
+
+// analysesJSON snapshots every analysis field of a Results as canonical JSON
+// so scheduler configurations can be compared byte for byte (JSON sorts map
+// keys, and a NaN anywhere fails loudly instead of comparing as unequal).
+func analysesJSON(t *testing.T, r *Results) []byte {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		Overview      []analysis.MarketOverviewRow
+		Totals        analysis.OverviewTotals
+		Concentration []analysis.TopShareStats
+		Categories    []analysis.CategoryDistribution
+		Downloads     []analysis.DownloadRow
+		APILevelsGP   analysis.APILevelDistribution
+		APILevelsCN   analysis.APILevelDistribution
+		ReleaseGP     analysis.ReleaseDateDistribution
+		ReleaseCN     analysis.ReleaseDateDistribution
+		LibraryUsage  []analysis.LibraryUsageRow
+		TopLibsGP     []analysis.LibraryRank
+		TopLibsCN     []analysis.LibraryRank
+		AdEcoGP       analysis.AdEcosystemStats
+		AdEcoCN       analysis.AdEcosystemStats
+		Ratings       []analysis.RatingDistribution
+		Publishing    analysis.PublishingStats
+		StoreOverlap  []analysis.StoreOverlapRow
+		Clusters      analysis.ClusterCDFs
+		Outdated      []analysis.OutdatedRow
+		Identical     analysis.IdenticalAppStats
+		Misbehavior   *analysis.MisbehaviorResult
+		OverPrivGP    analysis.OverPrivilegeStats
+		OverPrivCN    analysis.OverPrivilegeStats
+		Malware       []analysis.MalwareRow
+		MalwareAvg    analysis.MalwareAverages
+		TopMalware    []analysis.TopMalwareEntry
+		FamiliesGP    []analysis.FamilyShare
+		FamiliesCN    []analysis.FamilyShare
+		Repackaged    analysis.RepackagedMalwareStats
+		Removal       []analysis.RemovalRow
+		StillHosted   analysis.StillHostedStats
+		Radar         []analysis.RadarRow
+	}{
+		r.Overview, r.Totals, r.Concentration, r.Categories, r.Downloads,
+		r.APILevelsGP, r.APILevelsCN, r.ReleaseGP, r.ReleaseCN,
+		r.LibraryUsage, r.TopLibsGP, r.TopLibsCN, r.AdEcoGP, r.AdEcoCN,
+		r.Ratings, r.Publishing, r.StoreOverlap, r.Clusters, r.Outdated,
+		r.Identical, r.Misbehavior, r.OverPrivGP, r.OverPrivCN, r.Malware,
+		r.MalwareAvg, r.TopMalware, r.FamiliesGP, r.FamiliesCN,
+		r.Repackaged, r.Removal, r.StillHosted, r.Radar,
+	})
+	if err != nil {
+		t.Fatalf("marshal analyses: %v", err)
+	}
+	return b
+}
+
+// analysesOnly clones the pipeline outputs of a Results so ComputeAnalyses
+// can be re-run without touching the original's analysis fields.
+func analysesOnly(r *Results) *Results {
+	return &Results{
+		Config:      r.Config,
+		Ecosystem:   r.Ecosystem,
+		FirstCrawl:  r.FirstCrawl,
+		SecondCrawl: r.SecondCrawl,
+		Dataset:     r.Dataset,
+	}
+}
+
+// TestParallelAnalysesMatchSerial asserts the scheduler's Results at any
+// worker count are byte-identical to Workers == 1 (the pre-scheduler serial
+// order) — and that the Run call itself (default worker count) produced the
+// same bytes.
+func TestParallelAnalysesMatchSerial(t *testing.T) {
+	r := quickRun(t)
+
+	serial := analysesOnly(r)
+	serial.ComputeAnalyses(1)
+	want := analysesJSON(t, serial)
+
+	if got := analysesJSON(t, r); !bytes.Equal(got, want) {
+		t.Fatal("Run's scheduled analyses diverge from the serial order")
+	}
+	counts := []int{2, runtime.NumCPU()}
+	for _, workers := range counts {
+		par := analysesOnly(r)
+		par.ComputeAnalyses(workers)
+		if got := analysesJSON(t, par); !bytes.Equal(got, want) {
+			t.Fatalf("ComputeAnalyses(%d) diverges from the serial order", workers)
+		}
+	}
+}
+
+// TestRadarReuseMatchesRecompute pins the RadarFrom shortcut: the scheduler
+// builds Figure 13 from the already-computed inputs, which must equal the
+// recompute-everything Radar the pre-scheduler path ran.
+func TestRadarReuseMatchesRecompute(t *testing.T) {
+	r := quickRun(t)
+	recomputed := analysis.Radar(r.Dataset, nil)
+	rj, _ := json.Marshal(recomputed)
+	sj, _ := json.Marshal(r.Radar)
+	if !bytes.Equal(rj, sj) {
+		t.Fatalf("RadarFrom diverges from Radar:\nreuse     %s\nrecompute %s", sj, rj)
+	}
+}
+
+// TestAnalysisTaskTable sanity-checks the dependency list: unique names,
+// resolvable deps, and every dependency declared before its dependent so the
+// Workers == 1 declaration-order run satisfies it trivially.
+func TestAnalysisTaskTable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, task := range analysisTasks() {
+		if task.name == "" || task.run == nil {
+			t.Fatalf("task %+v incomplete", task.name)
+		}
+		if seen[task.name] {
+			t.Fatalf("duplicate task %q", task.name)
+		}
+		for _, dep := range task.deps {
+			if !seen[dep] {
+				t.Fatalf("task %q depends on %q, which is not declared before it", task.name, dep)
+			}
+		}
+		seen[task.name] = true
+	}
+}
+
+// TestComputeAnalysesOracleProducesFullSuite runs the serial-oracle baseline
+// once: it must fill the same fields (the bench trusts it as a complete
+// suite) even though its row-at-a-time internals differ.
+func TestComputeAnalysesOracleProducesFullSuite(t *testing.T) {
+	r := quickRun(t)
+	oracle := analysesOnly(r)
+	oracle.ComputeAnalysesOracle()
+	if len(oracle.Overview) == 0 || len(oracle.Malware) == 0 ||
+		oracle.Misbehavior == nil || len(oracle.Radar) == 0 {
+		t.Fatal("oracle suite left analyses unfilled")
+	}
+	// The oracle bodies must agree with the scheduled columnar suite on
+	// every analysis except the clone-detection comparison counter (the
+	// serial sweep compares more pairs; its output clone set is identical).
+	oracle.Misbehavior.CodeRes.ComparedPairs = r.Misbehavior.CodeRes.ComparedPairs
+	if !bytes.Equal(analysesJSON(t, oracle), analysesJSON(t, r)) {
+		t.Fatal("serial-oracle suite diverges from the scheduled columnar suite")
+	}
+}

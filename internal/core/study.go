@@ -60,6 +60,11 @@ type Config struct {
 	// value runs the indexed detector with one worker per CPU; Workers == 1
 	// is the serial oracle (same convention as Enrich.Workers).
 	Clone clonedetect.CloneOptions
+	// Analyses schedules the table/figure computations: the zero value runs
+	// the independent analyses concurrently with one worker per CPU,
+	// Workers == 1 reproduces the serial reference order (same convention
+	// as the other stages; Results are identical either way).
+	Analyses AnalysisOptions
 	// Mode selects the crawl transport.
 	Mode Mode
 	// Concurrency is the number of crawl workers in ModeHTTP.
@@ -202,42 +207,10 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 		return nil, fmt.Errorf("core: second crawl: %w", err)
 	}
 
-	res.runAnalyses()
+	// Every table and figure, on the analysis scheduler (schedule.go).
+	res.ComputeAnalyses(cfg.Analyses.Workers)
 	res.Elapsed = time.Since(start)
 	return res, nil
-}
-
-// runAnalyses computes every table and figure from the enriched dataset.
-func (r *Results) runAnalyses() {
-	d := r.Dataset
-	r.Overview = analysis.MarketOverview(d)
-	r.Totals = analysis.Totals(d, r.Overview)
-	r.Concentration = analysis.DownloadConcentration(d)
-	r.Categories = analysis.Categories(d)
-	r.Downloads = analysis.Downloads(d)
-	r.APILevelsGP, r.APILevelsCN = analysis.APILevels(d)
-	r.ReleaseGP, r.ReleaseCN = analysis.ReleaseDates(d)
-	r.LibraryUsage = analysis.LibraryUsage(d)
-	r.TopLibsGP, r.TopLibsCN = analysis.TopLibraries(d, 10)
-	r.AdEcoGP, r.AdEcoCN = analysis.AdEcosystem(d)
-	r.Ratings = analysis.Ratings(d)
-	r.Publishing = analysis.Publishing(d)
-	r.StoreOverlap = analysis.StoreOverlap(d)
-	r.Clusters = analysis.Clusters(d)
-	r.Outdated = analysis.Outdated(d)
-	r.Identical = analysis.IdenticalApps(d)
-	mis := analysis.DefaultMisbehaviorOptions()
-	mis.Clone = r.Config.Clone
-	r.Misbehavior = analysis.Misbehavior(d, mis)
-	r.OverPrivGP, r.OverPrivCN = analysis.OverPrivilege(d)
-	r.Malware = analysis.MalwarePrevalence(d)
-	r.MalwareAvg = analysis.AverageChineseMalware(d, r.Malware)
-	r.TopMalware = analysis.TopMalware(d, 10)
-	r.FamiliesGP, r.FamiliesCN = analysis.MalwareFamilies(d, r.Config.AVRankThreshold, 15)
-	r.Repackaged = analysis.RepackagedMalware(d, r.Misbehavior, r.Config.AVRankThreshold)
-	r.Removal = analysis.PostAnalysis(d, r.SecondCrawl, r.Config.AVRankThreshold)
-	r.StillHosted = analysis.StillHosted(d, r.SecondCrawl, r.Config.AVRankThreshold)
-	r.Radar = analysis.Radar(d, nil)
 }
 
 // crawlOverHTTP serves every store on a loopback listener and runs the

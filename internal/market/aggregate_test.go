@@ -1,0 +1,108 @@
+package market_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"marketscope/internal/market"
+	"marketscope/internal/query"
+)
+
+// acceptanceAggregate is the canonical aggregation document: per-market
+// listing counts, a conditional flagged count, a mean and a share, ranked
+// by size. The same request is exercised through the Go API here and
+// through the CLI flags in cmd/scan's tests.
+const acceptanceAggregate = `{
+	"group_by": ["market"],
+	"aggregates": [{"op": "count"},
+	               {"op": "count", "where": [{"field": "av_positives", "op": ">=", "value": 10}], "as": "flagged"},
+	               {"op": "mean", "field": "library_count", "as": "avg_libs"},
+	               {"op": "share"}],
+	"sort": [{"field": "count", "desc": true}, {"field": "market"}]
+}`
+
+func TestAggregateEndpointMatchesGoAPI(t *testing.T) {
+	ds, srv := scanFixture(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+market.AggregatePath, "application/json",
+		strings.NewReader(acceptanceAggregate))
+	if err != nil {
+		t.Fatalf("POST aggregate: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var over query.Result
+	if err := json.NewDecoder(resp.Body).Decode(&over); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	req, err := query.ParseAggregate(strings.NewReader(acceptanceAggregate))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	direct, err := ds.Aggregate(req)
+	if err != nil {
+		t.Fatalf("direct aggregate: %v", err)
+	}
+	// Compare over JSON: HTTP decoding widens every number to float64.
+	wire, _ := json.Marshal(over.Rows)
+	want, _ := json.Marshal(direct.Rows)
+	var wireRows, wantRows [][]any
+	_ = json.Unmarshal(wire, &wireRows)
+	_ = json.Unmarshal(want, &wantRows)
+	wj, _ := json.Marshal(wireRows)
+	dj, _ := json.Marshal(wantRows)
+	if !bytes.Equal(wj, dj) {
+		t.Fatalf("endpoint rows diverge from Go API:\nhttp %s\ngo   %s", wj, dj)
+	}
+	if over.Meta.TotalMatched != direct.Meta.TotalMatched || over.Meta.Returned != direct.Meta.Returned {
+		t.Fatalf("meta diverges: http %+v, go %+v", over.Meta, direct.Meta)
+	}
+	if over.Meta.Explain == nil {
+		t.Fatal("aggregate response carries no explain block")
+	}
+}
+
+func TestAggregateEndpointErrors(t *testing.T) {
+	_, srv := scanFixture(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + market.AggregatePath)
+	if err != nil {
+		t.Fatalf("GET aggregate: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d, want 405", resp.StatusCode)
+	}
+
+	for name, body := range map[string]string{
+		"bad-json":     `{"group_by": [`,
+		"unknown-key":  `{"groupby": ["market"], "aggregates": [{"op":"count"}]}`,
+		"no-aggregate": `{"group_by": ["market"]}`,
+		"bad-field":    `{"aggregates": [{"op":"sum","field":"no_such_field"}]}`,
+		"bad-op":       `{"aggregates": [{"op":"median","field":"rating"}]}`,
+	} {
+		resp, err := http.Post(ts.URL+market.AggregatePath, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: POST: %v", name, err)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || e.Error == "" {
+			t.Errorf("%s: status = %d, error = %q; want 400 with a message", name, resp.StatusCode, e.Error)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 const (
 	ScanPath       = "/api/scan"
 	ScanFieldsPath = "/api/scan/fields"
+	AggregatePath  = "/api/aggregate"
 )
 
 // FieldsResponse is the body of GET /api/scan/fields: every registered field
@@ -29,10 +30,15 @@ type scanError struct {
 //
 //	POST /api/scan          execute one JSON query, returns query.Result
 //	GET  /api/scan/fields   list the registered fields with categories
+//	POST /api/aggregate     execute one grouped aggregation (group_by /
+//	                        aggregates / filters / sort / limit), returns
+//	                        query.Result with one row per group
 //
-// Scan responses carry the planner's execution report in meta.explain
-// (index used, candidate rows, residual rows evaluated), so HTTP clients
-// can see whether their filters hit the secondary indexes.
+// Scan and aggregate responses carry the planner's execution report in
+// meta.explain (index used, candidate rows, residual rows evaluated), so
+// HTTP clients can see whether their filters hit the secondary indexes.
+// /api/aggregate is mounted when the source implements
+// query.AggregateSource (the dataset engine does).
 //
 // The source is typically analysis.(*Dataset).QuerySource() built from a
 // crawl of this very market set. Scans are read-only and safe under the
@@ -42,6 +48,9 @@ func (s *Server) AttachScan(src query.Source) {
 	s.scan = src
 	s.mux.HandleFunc(ScanPath, s.handleScan)
 	s.mux.HandleFunc(ScanFieldsPath, s.handleScanFields)
+	if _, ok := src.(query.AggregateSource); ok {
+		s.mux.HandleFunc(AggregatePath, s.handleAggregate)
+	}
 }
 
 func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
@@ -60,6 +69,31 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusBadRequest
 		if !errors.Is(err, query.ErrUnknownField) && !errors.Is(err, query.ErrBadOp) &&
 			!errors.Is(err, query.ErrBadValue) && !errors.Is(err, query.ErrBadLimit) {
+			status = http.StatusInternalServerError
+		}
+		writeJSONStatus(w, status, scanError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSONStatus(w, http.StatusMethodNotAllowed, scanError{Error: "aggregations are POSTed as JSON"})
+		return
+	}
+	a, err := query.ParseAggregate(r.Body)
+	if err != nil {
+		writeJSONStatus(w, http.StatusBadRequest, scanError{Error: err.Error()})
+		return
+	}
+	res, err := s.scan.(query.AggregateSource).Aggregate(a)
+	if err != nil {
+		status := http.StatusBadRequest
+		if !errors.Is(err, query.ErrUnknownField) && !errors.Is(err, query.ErrBadOp) &&
+			!errors.Is(err, query.ErrBadValue) && !errors.Is(err, query.ErrBadLimit) &&
+			!errors.Is(err, query.ErrBadAggregate) {
 			status = http.StatusInternalServerError
 		}
 		writeJSONStatus(w, status, scanError{Error: err.Error()})

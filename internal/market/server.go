@@ -63,10 +63,11 @@ func NewServer(store *Store) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler. Every route is a GET except
-// /api/scan, whose queries arrive as a POSTed JSON body.
+// ServeHTTP implements http.Handler. Every route is a GET except /api/scan
+// and /api/aggregate, whose requests arrive as POSTed JSON bodies.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet && !(r.Method == http.MethodPost && r.URL.Path == ScanPath) {
+	postRoute := r.URL.Path == ScanPath || r.URL.Path == AggregatePath
+	if r.Method != http.MethodGet && !(r.Method == http.MethodPost && postRoute) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}

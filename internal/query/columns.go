@@ -108,6 +108,29 @@ func (c *column) value(i int) any {
 	return nil
 }
 
+// typed boxes the row's value in its normalized (pre-emit) representation —
+// time.Time stays a time.Time — or nil when null. The aggregation path keeps
+// cells typed until after sorting, then emits them through emitValue exactly
+// like value().
+func (c *column) typed(i int) any {
+	if c.nulls.get(i) {
+		return nil
+	}
+	switch c.kind {
+	case KindInt:
+		return c.ints[i]
+	case KindFloat:
+		return c.floats[i]
+	case KindString:
+		return c.strs[i]
+	case KindBool:
+		return c.bools[i]
+	case KindTime:
+		return c.times[i]
+	}
+	return nil
+}
+
 // compareRows orders the non-null values at rows a and b with exactly
 // compareValues' semantics (floats: NaN compares equal to everything; times:
 // instant comparison).

@@ -1,0 +1,429 @@
+package query
+
+import (
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The planned grouped-aggregation executor: the request filters run through
+// the same planner stage as a scan (posting lists, intersection, residual
+// column scan), the matched rows are grouped in parallel per-chunk with the
+// chunk partials merged in chunk order — so every group's row list is in
+// ascending dataset order and groups appear in first-occurrence order,
+// exactly as the oracle's sequential pass produces them — and the per-group
+// cells compute over the typed columns, fanned out across CPUs group by
+// group. Because each group's rows are visited in the same order the oracle
+// visits them, even float sums are bit-identical, not merely close.
+
+// colGroup is one group on the planned path.
+type colGroup struct {
+	firstRow int32 // first matched row, for group-key materialization
+	rows     []int32
+}
+
+// aggregatePlanned is the default Aggregate executor.
+func (e *Engine[T]) aggregatePlanned(pa *preparedAgg[T], start time.Time) *Result {
+	matched, explain := e.planMatch(pa.filters)
+	groups := e.groupRows(pa, matched)
+
+	// Compile each spec's machinery once: the where-predicates and value
+	// column are shared (read-only) by every group worker.
+	cells := make([]*aggCellFn, len(pa.specs))
+	for s := range pa.specs {
+		cells[s] = e.compileAggCell(&pa.specs[s], len(matched))
+	}
+
+	rows := make([][]any, len(groups))
+	fill := func(gi int) {
+		g := groups[gi]
+		out := make([]any, 0, len(pa.infos))
+		for _, ord := range pa.groupOrds {
+			out = append(out, e.columnFor(ord).typed(int(g.firstRow)))
+		}
+		for _, c := range cells {
+			out = append(out, c.compute(g.rows))
+		}
+		rows[gi] = out
+	}
+	if len(matched) >= parallelThreshold && len(groups) > 1 {
+		// Groups are independent (each writes only its slot), so fan them
+		// out; group order is fixed before the fan-out, keeping the output
+		// deterministic.
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(groups) {
+			workers = len(groups)
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for gi := range next {
+					fill(gi)
+				}
+			}()
+		}
+		for gi := range groups {
+			next <- gi
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for gi := range groups {
+			fill(gi)
+		}
+	}
+
+	sortAggRows(rows, pa)
+	if pa.limit > 0 && len(rows) > pa.limit {
+		rows = rows[:pa.limit]
+	}
+	emitAggRows(rows)
+
+	return &Result{
+		Fields: pa.infos,
+		Rows:   rows,
+		Meta: Meta{
+			Scanned:         explain.ResidualScanned,
+			TotalMatched:    len(matched),
+			Returned:        len(rows),
+			QueryTimeMicros: time.Since(start).Microseconds(),
+			Explain:         explain,
+		},
+	}
+}
+
+// groupRows partitions the matched rows into groups keyed by the encoded
+// group-by values: parallel per-chunk partial grouping above the scan
+// threshold, merged in chunk order so group order (first occurrence) and
+// per-group row order (ascending) match the oracle's sequential pass.
+func (e *Engine[T]) groupRows(pa *preparedAgg[T], matched []int32) []*colGroup {
+	if len(pa.groupFields) == 0 {
+		return []*colGroup{{rows: matched}}
+	}
+	groupCols := make([]*column, len(pa.groupOrds))
+	for i, ord := range pa.groupOrds {
+		groupCols[i] = e.columnFor(ord)
+	}
+
+	// chunkGroups is one chunk's partial grouping: keys in first-occurrence
+	// order plus the rows collected under each.
+	type chunkGroups struct {
+		keys  []string
+		index map[string]int
+		rows  [][]int32
+	}
+	groupChunk := func(lo, hi int) *chunkGroups {
+		ch := &chunkGroups{index: map[string]int{}}
+		var buf []byte
+		for i := lo; i < hi; i++ {
+			row := int(matched[i])
+			buf = buf[:0]
+			for _, col := range groupCols {
+				buf = col.appendKey(buf, row)
+			}
+			gi, ok := ch.index[string(buf)]
+			if !ok {
+				gi = len(ch.keys)
+				key := string(buf)
+				ch.index[key] = gi
+				ch.keys = append(ch.keys, key)
+				ch.rows = append(ch.rows, nil)
+			}
+			ch.rows[gi] = append(ch.rows[gi], matched[i])
+		}
+		return ch
+	}
+
+	var chunks []*chunkGroups
+	if len(matched) < parallelThreshold {
+		chunks = []*chunkGroups{groupChunk(0, len(matched))}
+	} else {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(matched) {
+			workers = len(matched)
+		}
+		chunk := (len(matched) + workers - 1) / workers
+		chunks = make([]*chunkGroups, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(matched) {
+				hi = len(matched)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				chunks[w] = groupChunk(lo, hi)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+	}
+
+	// Deterministic merge: chunks in chunk order, keys in chunk-local
+	// first-occurrence order. Concatenating each group's per-chunk row lists
+	// in that order reassembles ascending dataset order.
+	index := map[string]int{}
+	var groups []*colGroup
+	for _, ch := range chunks {
+		if ch == nil {
+			continue
+		}
+		for ki, key := range ch.keys {
+			gi, ok := index[key]
+			if !ok {
+				gi = len(groups)
+				index[key] = gi
+				groups = append(groups, &colGroup{firstRow: ch.rows[ki][0]})
+			}
+			groups[gi].rows = append(groups[gi].rows, ch.rows[ki]...)
+		}
+	}
+	return groups
+}
+
+// aggCellFn computes one aggregate cell from a group's row list over the
+// typed columns. compute is safe for concurrent calls on distinct groups.
+type aggCellFn struct {
+	compute func(rows []int32) any
+}
+
+// compileAggCell builds the typed per-group evaluator of one spec — the
+// columnar mirror of oracleCell, computing the same arithmetic in the same
+// row order.
+func (e *Engine[T]) compileAggCell(ca *compiledAgg[T], totalMatched int) *aggCellFn {
+	preds := make([]func(int) bool, len(ca.where))
+	for i := range ca.where {
+		preds[i] = e.predicate(ca.where[i])
+	}
+	pass := func(row int) bool {
+		for _, p := range preds {
+			if !p(row) {
+				return false
+			}
+		}
+		return true
+	}
+	var col *column
+	if ca.ord >= 0 {
+		col = e.columnFor(ca.ord)
+	}
+
+	switch ca.op {
+	case AggCount:
+		return &aggCellFn{compute: func(rows []int32) any {
+			n := 0
+			for _, r := range rows {
+				row := int(r)
+				if !pass(row) {
+					continue
+				}
+				if col != nil && col.nulls.get(row) {
+					continue
+				}
+				n++
+			}
+			return int64(n)
+		}}
+	case AggShare:
+		return &aggCellFn{compute: func(rows []int32) any {
+			n := 0
+			for _, r := range rows {
+				if pass(int(r)) {
+					n++
+				}
+			}
+			if totalMatched == 0 {
+				return float64(0)
+			}
+			return float64(n) / float64(totalMatched)
+		}}
+	case AggSum, AggMean:
+		mean := ca.op == AggMean
+		kind := ca.field.Kind
+		return &aggCellFn{compute: func(rows []int32) any {
+			var sumInt int64
+			var sumFloat float64
+			n := 0
+			for _, r := range rows {
+				row := int(r)
+				if !pass(row) || col.nulls.get(row) {
+					continue
+				}
+				switch kind {
+				case KindInt:
+					sumInt += col.ints[row]
+				case KindFloat:
+					sumFloat += col.floats[row]
+				case KindBool:
+					if col.bools[row] {
+						sumInt++
+					}
+				}
+				n++
+			}
+			if n == 0 {
+				return nil
+			}
+			if !mean {
+				if kind == KindFloat {
+					return sumFloat
+				}
+				return sumInt
+			}
+			if kind == KindFloat {
+				return sumFloat / float64(n)
+			}
+			return float64(sumInt) / float64(n)
+		}}
+	case AggMin, AggMax:
+		min := ca.op == AggMin
+		return &aggCellFn{compute: func(rows []int32) any {
+			best := -1
+			for _, r := range rows {
+				row := int(r)
+				if !pass(row) || col.nulls.get(row) {
+					continue
+				}
+				if best < 0 {
+					best = row
+					continue
+				}
+				c := col.compareRows(row, best)
+				if (min && c < 0) || (!min && c > 0) {
+					best = row
+				}
+			}
+			if best < 0 {
+				return nil
+			}
+			return col.typed(best)
+		}}
+	case AggDistinct:
+		return &aggCellFn{compute: func(rows []int32) any {
+			seen := map[string]bool{}
+			var buf []byte
+			for _, r := range rows {
+				row := int(r)
+				if !pass(row) || col.nulls.get(row) {
+					continue
+				}
+				buf = col.appendKey(buf[:0], row)
+				if !seen[string(buf)] {
+					seen[string(buf)] = true
+				}
+			}
+			return int64(len(seen))
+		}}
+	case AggTopK:
+		kind := ca.field.Kind
+		k := ca.k
+		return &aggCellFn{compute: func(rows []int32) any {
+			type entry struct {
+				row   int // first row carrying the value
+				count int
+			}
+			index := map[string]int{}
+			var entries []entry
+			var buf []byte
+			for _, r := range rows {
+				row := int(r)
+				if !pass(row) || col.nulls.get(row) {
+					continue
+				}
+				buf = col.appendKey(buf[:0], row)
+				ei, ok := index[string(buf)]
+				if !ok {
+					ei = len(entries)
+					index[string(buf)] = ei
+					entries = append(entries, entry{row: row})
+				}
+				entries[ei].count++
+			}
+			if len(entries) == 0 {
+				return nil
+			}
+			return renderTopK(len(entries), k,
+				func(i, j int) int {
+					if entries[i].count != entries[j].count {
+						if entries[i].count > entries[j].count {
+							return -1
+						}
+						return 1
+					}
+					if c := col.compareRows(entries[i].row, entries[j].row); c != 0 {
+						return c
+					}
+					return entries[i].row - entries[j].row
+				},
+				func(i int) (string, int) {
+					return formatScalar(kind, col.typed(entries[i].row)), entries[i].count
+				})
+		}}
+	}
+	return &aggCellFn{compute: func([]int32) any { return nil }}
+}
+
+// renderTopK sorts n ranking entries by cmp, keeps k and renders them as
+// "value:count, ..." — the shared tail of both executors' topk cells.
+func renderTopK(n, k int, cmp func(i, j int) int, get func(i int) (string, int)) string {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return cmp(order[a], order[b]) < 0 })
+	if k < len(order) {
+		order = order[:k]
+	}
+	var sb strings.Builder
+	for i, e := range order {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		v, c := get(e)
+		sb.WriteString(v)
+		sb.WriteByte(':')
+		sb.WriteString(strconv.Itoa(c))
+	}
+	return sb.String()
+}
+
+// sortAggRows orders the typed output rows by the request's sort keys: the
+// scan comparator's null-last semantics per key, ties keeping the incoming
+// (first-occurrence) group order via the stable sort.
+func sortAggRows[T any](rows [][]any, pa *preparedAgg[T]) {
+	if len(pa.sortKeys) == 0 {
+		return
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for k, ci := range pa.sortCols {
+			av, bv := rows[a][ci], rows[b][ci]
+			c := compareNullable(pa.sortKinds[k], av, av == nil, bv, bv == nil, pa.sortKeys[k].Desc)
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// emitAggRows converts typed cells to their JSON-facing representation in
+// place (time.Time to RFC 3339, everything else passing through).
+func emitAggRows(rows [][]any) {
+	for _, row := range rows {
+		for i, v := range row {
+			if v != nil {
+				row[i] = emitValue(v)
+			}
+		}
+	}
+}

@@ -290,18 +290,22 @@ func (e *Engine[T]) matchColumns(filters []compiledFilter[T], candidates []int32
 	return out
 }
 
-// scanPlanned is the default Scan executor.
-func (e *Engine[T]) scanPlanned(pq *prepared[T], start time.Time) (*Result, error) {
+// planMatch is the planner's filter stage, shared by Scan and Aggregate:
+// index-answered filters become posting lists intersected smallest-first,
+// the residual predicates run as a typed column scan over only the
+// candidates, and the Explain block records every decision. The returned
+// rows are in ascending dataset order.
+func (e *Engine[T]) planMatch(filters []compiledFilter[T]) ([]int32, *Explain) {
 	n := len(e.items)
-	lists, residual := e.planFilters(pq.filters)
+	lists, residual := e.planFilters(filters)
 
 	explain := &Explain{DatasetRows: n}
 	var matched []int32
 	if len(lists) == 0 {
 		// No usable index: full column scan, the pre-planner row count.
-		matched = e.matchColumns(pq.filters, nil)
+		matched = e.matchColumns(filters, nil)
 		explain.Candidates = n
-		if len(pq.filters) > 0 {
+		if len(filters) > 0 {
 			explain.ResidualScanned = n
 		}
 	} else {
@@ -321,6 +325,12 @@ func (e *Engine[T]) scanPlanned(pq *prepared[T], start time.Time) (*Result, erro
 		}
 	}
 	e.observeSelectivity(len(matched), explain.Candidates)
+	return matched, explain
+}
+
+// scanPlanned is the default Scan executor.
+func (e *Engine[T]) scanPlanned(pq *prepared[T], start time.Time) (*Result, error) {
+	matched, explain := e.planMatch(pq.filters)
 
 	total := len(matched)
 	if len(pq.sortFields) > 0 {

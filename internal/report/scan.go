@@ -38,6 +38,34 @@ func ScanTable(title string, res *query.Result) string {
 	return t.String()
 }
 
+// AggregateTable renders a grouped-aggregation result (the /api/aggregate
+// payload, or cmd/scan -group-by output): one row per group, the group-by
+// fields leading, one column per aggregate, nulls as "-", followed by a
+// groups-over-matched meta line.
+func AggregateTable(title string, res *query.Result) string {
+	t := newTable(title)
+	header := make([]string, 0, len(res.Fields))
+	for _, f := range res.Fields {
+		header = append(header, f.Name)
+	}
+	t.row(header...)
+	for _, r := range res.Rows {
+		cells := make([]string, 0, len(r))
+		for _, v := range r {
+			cells = append(cells, scanCell(v))
+		}
+		t.row(cells...)
+	}
+	t.row()
+	total := res.Meta.Scanned
+	if res.Meta.Explain != nil {
+		total = res.Meta.Explain.DatasetRows
+	}
+	t.row(fmt.Sprintf("%d groups from %d of %d listings (%d µs)",
+		res.Meta.Returned, res.Meta.TotalMatched, total, res.Meta.QueryTimeMicros))
+	return t.String()
+}
+
 // ScanExplain renders a result's planner explain block (cmd/scan -explain):
 // which secondary indexes answered filters, how many candidate rows survived
 // the posting-list intersection, and how many rows the residual predicates

@@ -81,3 +81,33 @@ func TestScanTableWithExplain(t *testing.T) {
 		t.Errorf("explain of oracle meta = %q", got)
 	}
 }
+
+func TestAggregateTable(t *testing.T) {
+	res := &query.Result{
+		Fields: []query.FieldInfo{
+			{Name: "market", Category: "metadata", Kind: query.KindString},
+			{Name: "count", Category: query.FieldCategoryAggregate, Kind: query.KindInt},
+			{Name: "share", Category: query.FieldCategoryAggregate, Kind: query.KindFloat},
+			{Name: "min(rating)", Category: query.FieldCategoryAggregate, Kind: query.KindFloat},
+		},
+		Rows: [][]any{
+			{"Google Play", int64(120), 0.25, 1.5},
+			{"Tencent Myapp", int64(80), 0.75, nil},
+		},
+		Meta: query.Meta{Scanned: 0, TotalMatched: 200, Returned: 2, QueryTimeMicros: 9,
+			Explain: &query.Explain{IndexUsed: "", DatasetRows: 480, Candidates: 480}},
+	}
+	out := AggregateTable("aggregate", res)
+	for _, want := range []string{"market", "count", "share", "min(rating)",
+		"Google Play", "120", "0.25", "2 groups from 200 of 480 listings"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("aggregate table missing %q:\n%s", want, out)
+		}
+	}
+	// The null min cell renders as "-".
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "Tencent Myapp") && !strings.Contains(l, "-") {
+			t.Errorf("null aggregate cell not rendered as '-': %q", l)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Histogram counts observations in named buckets. Analyses use it to build
@@ -12,11 +13,28 @@ import (
 type Histogram struct {
 	counts map[string]int
 	total  int
+	// ranked memoizes the count-descending bucket ranking that Buckets,
+	// TopK and Shares all derive from, so repeated reads (the per-market
+	// report loops) sort the keys once instead of once per call. Any AddN
+	// invalidates it. rankedMu guards the memo so concurrent *reads* stay
+	// safe (writes via AddN were never concurrency-safe and still are not).
+	rankedMu sync.Mutex
+	ranked   []BucketShare
 }
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
 	return &Histogram{counts: make(map[string]int)}
+}
+
+// NewHistogramSize returns an empty histogram preallocated for n distinct
+// buckets, sparing the incremental map growth of the hot per-market loops
+// when the bucket universe (categories, API levels) is known up front.
+func NewHistogramSize(n int) *Histogram {
+	if n < 0 {
+		n = 0
+	}
+	return &Histogram{counts: make(map[string]int, n)}
 }
 
 // Add increments the named bucket by one.
@@ -29,6 +47,9 @@ func (h *Histogram) AddN(bucket string, n int) {
 	}
 	h.counts[bucket] += n
 	h.total += n
+	h.rankedMu.Lock()
+	h.ranked = nil
+	h.rankedMu.Unlock()
 }
 
 // Count returns the count in the named bucket.
@@ -46,41 +67,64 @@ func (h *Histogram) Share(bucket string) float64 {
 	return float64(h.counts[bucket]) / float64(h.total)
 }
 
-// Buckets returns the bucket names sorted by descending count, breaking ties
-// by name so the output is deterministic.
-func (h *Histogram) Buckets() []string {
-	names := make([]string, 0, len(h.counts))
-	for name := range h.counts {
-		names = append(names, name)
+// ranking returns the memoized count-descending (name-ascending on ties)
+// bucket ranking, building it at most once between mutations. The slice is
+// internal: callers receive copies.
+func (h *Histogram) ranking() []BucketShare {
+	h.rankedMu.Lock()
+	defer h.rankedMu.Unlock()
+	if h.ranked != nil || len(h.counts) == 0 {
+		return h.ranked
 	}
-	sort.Slice(names, func(i, j int) bool {
-		if h.counts[names[i]] != h.counts[names[j]] {
-			return h.counts[names[i]] > h.counts[names[j]]
+	ranked := make([]BucketShare, 0, len(h.counts))
+	for name, count := range h.counts {
+		ranked = append(ranked, BucketShare{Bucket: name, Count: count, Share: h.Share(name)})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Count != ranked[j].Count {
+			return ranked[i].Count > ranked[j].Count
 		}
-		return names[i] < names[j]
+		return ranked[i].Bucket < ranked[j].Bucket
 	})
+	h.ranked = ranked
+	return ranked
+}
+
+// Buckets returns the bucket names sorted by descending count, breaking ties
+// by name so the output is deterministic. Repeated calls between mutations
+// reuse one memoized ranking instead of re-sorting.
+func (h *Histogram) Buckets() []string {
+	ranked := h.ranking()
+	names := make([]string, len(ranked))
+	for i, b := range ranked {
+		names[i] = b.Bucket
+	}
 	return names
 }
 
-// Shares returns bucket->share for all buckets.
+// Shares returns bucket->share for all buckets, computed off the memoized
+// ranking.
 func (h *Histogram) Shares() map[string]float64 {
-	out := make(map[string]float64, len(h.counts))
-	for name := range h.counts {
-		out[name] = h.Share(name)
+	ranked := h.ranking()
+	out := make(map[string]float64, len(ranked))
+	for _, b := range ranked {
+		out[b.Bucket] = b.Share
 	}
 	return out
 }
 
-// TopK returns the k most populated buckets and their shares.
+// TopK returns the k most populated buckets and their shares. Repeated calls
+// slice the memoized ranking instead of re-sorting the keys.
 func (h *Histogram) TopK(k int) []BucketShare {
-	names := h.Buckets()
-	if k > len(names) {
-		k = len(names)
+	ranked := h.ranking()
+	if k > len(ranked) {
+		k = len(ranked)
 	}
-	out := make([]BucketShare, 0, k)
-	for _, name := range names[:k] {
-		out = append(out, BucketShare{Bucket: name, Count: h.counts[name], Share: h.Share(name)})
+	if k < 0 {
+		k = 0
 	}
+	out := make([]BucketShare, k)
+	copy(out, ranked[:k])
 	return out
 }
 

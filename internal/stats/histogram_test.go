@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -237,5 +238,44 @@ func TestGini(t *testing.T) {
 	}
 	if Gini([]float64{0, 0}) != 0 {
 		t.Error("all-zero Gini should be 0")
+	}
+}
+
+func TestHistogramSizeAndRankingCache(t *testing.T) {
+	h := NewHistogramSize(8)
+	h.AddN("a", 3)
+	h.AddN("b", 5)
+	h.Add("c")
+	first := h.Buckets()
+	if want := []string{"b", "a", "c"}; !reflect.DeepEqual(first, want) {
+		t.Fatalf("Buckets = %v, want %v", first, want)
+	}
+	// Repeated reads reuse the memoized ranking.
+	top := h.TopK(2)
+	if len(top) != 2 || top[0].Bucket != "b" || top[0].Count != 5 || top[1].Bucket != "a" {
+		t.Fatalf("TopK = %+v", top)
+	}
+	shares := h.Shares()
+	if shares["b"] != 5.0/9 || shares["c"] != 1.0/9 {
+		t.Fatalf("Shares = %v", shares)
+	}
+	// TopK hands out copies, not the internal ranking.
+	top[0].Bucket = "mutated"
+	if h.TopK(1)[0].Bucket != "b" {
+		t.Fatal("TopK exposed the internal ranking slice")
+	}
+	// A mutation invalidates the cache and changes the order.
+	h.AddN("c", 10)
+	if got := h.Buckets(); !reflect.DeepEqual(got, []string{"c", "b", "a"}) {
+		t.Fatalf("Buckets after mutation = %v", got)
+	}
+	if h.TopK(0) == nil || len(h.TopK(0)) != 0 {
+		t.Fatalf("TopK(0) = %+v", h.TopK(0))
+	}
+	if h.TopK(-1) != nil && len(h.TopK(-1)) != 0 {
+		t.Fatalf("TopK(-1) = %+v", h.TopK(-1))
+	}
+	if NewHistogramSize(-1).Total() != 0 {
+		t.Fatal("negative size histogram broken")
 	}
 }
