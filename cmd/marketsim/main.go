@@ -5,9 +5,17 @@
 // Usage:
 //
 //	marketsim [-apps N] [-developers N] [-seed S] [-port 8100] [-endpoints FILE]
+//	          [-cache-bytes N] [-timeout D] [-max-inflight N] [-queue N]
+//	          [-rate R] [-gzip=false]
 //
 // With -port 0 every market binds an ephemeral port instead of a consecutive
 // range, which is what the smoke tests use to avoid port collisions.
+//
+// Each market serves through the production serving layer: a query-result
+// cache, per-request timeouts, an inflight cap with bounded queueing (503 +
+// Retry-After when saturated), optional per-client rate limiting and gzip.
+// /healthz and /metrics (Prometheus text format) are mounted on every
+// market, and a per-market serving summary prints on shutdown.
 //
 // The endpoint list (market name and base URL, JSON) is printed to stdout and
 // optionally written to a file that the crawler command accepts directly.
@@ -31,6 +39,7 @@ import (
 
 	"marketscope/internal/crawler"
 	"marketscope/internal/market"
+	"marketscope/internal/report"
 	"marketscope/internal/synth"
 )
 
@@ -51,8 +60,23 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	seed := fs.Uint64("seed", 20170815, "generation seed")
 	port := fs.Int("port", 8100, "first listening port; each market uses the next port (0 = ephemeral ports)")
 	endpointsPath := fs.String("endpoints", "", "write the endpoint list (JSON) to this file")
+	defaults := market.DefaultServeConfig()
+	cacheBytes := fs.Int64("cache-bytes", defaults.CacheBytes, "per-market query-result cache budget in bytes (0 = cache off)")
+	timeout := fs.Duration("timeout", defaults.Timeout, "per-request execution deadline (0 = none)")
+	maxInflight := fs.Int("max-inflight", defaults.MaxInflight, "concurrent requests per market before queueing (0 = unlimited)")
+	queue := fs.Int("queue", defaults.MaxQueue, "requests queued beyond max-inflight before shedding with 503")
+	rate := fs.Float64("rate", defaults.RatePerSecond, "per-client request rate limit in req/s (0 = off)")
+	gzipOn := fs.Bool("gzip", defaults.Gzip, "gzip-compress responses for clients that accept it")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	serveCfg := market.ServeConfig{
+		CacheBytes:    *cacheBytes,
+		Timeout:       *timeout,
+		MaxInflight:   *maxInflight,
+		MaxQueue:      *queue,
+		RatePerSecond: *rate,
+		Gzip:          *gzipOn,
 	}
 
 	cfg := synth.DefaultConfig()
@@ -77,6 +101,7 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	var (
 		wg        sync.WaitGroup
 		servers   []*http.Server
+		markets   []*market.Server
 		endpoints []crawler.Endpoint
 	)
 	for i, name := range names {
@@ -89,7 +114,10 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 			return fmt.Errorf("listen %s for %s: %w", addr, name, err)
 		}
 		addr = ln.Addr().String()
-		srv := &http.Server{Handler: market.NewServer(stores[name]), ReadHeaderTimeout: 5 * time.Second}
+		ms := market.NewServer(stores[name])
+		ms.ConfigureServing(serveCfg)
+		markets = append(markets, ms)
+		srv := &http.Server{Handler: ms, ReadHeaderTimeout: 5 * time.Second}
 		servers = append(servers, srv)
 		endpoints = append(endpoints, crawler.Endpoint{Name: name, BaseURL: "http://" + addr})
 		wg.Add(1)
@@ -127,5 +155,11 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 		_ = srv.Shutdown(ctx)
 	}
 	wg.Wait()
+
+	for i, name := range names {
+		if st := markets[i].ServingStats(); st.Requests > 0 {
+			fmt.Fprint(stdout, report.ServeStats(name, st))
+		}
+	}
 	return nil
 }

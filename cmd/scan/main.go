@@ -42,6 +42,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -79,8 +80,15 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	explain := fs.Bool("explain", false, "print the planner's execution report after the table")
 	noEnrich := fs.Bool("no-enrich", false, "skip the detector pass (enrichment fields stay null)")
 	workers := fs.Int("workers", 0, "parse/enrichment worker count (0 = one per CPU, 1 = serial)")
+	timeout := fs.Duration("timeout", 0, "abort the query after this long (0 = no deadline)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	if *format != "table" && *format != "json" {
 		return fmt.Errorf("unknown format %q (want table or json)", *format)
@@ -154,7 +162,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		if len(req.Aggregates) == 0 {
 			req.Aggregates = []query.AggSpec{{Op: query.AggCount}}
 		}
-		if res, err = agg.Aggregate(req); err != nil {
+		if res, err = aggregateContext(ctx, agg, req); err != nil {
 			return err
 		}
 	} else {
@@ -167,7 +175,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if res, err = src.Scan(q); err != nil {
+		if res, err = scanContext(ctx, src, q); err != nil {
 			return err
 		}
 	}
@@ -188,6 +196,22 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		_, err = fmt.Fprint(out, report.ScanExplain(res.Meta))
 	}
 	return err
+}
+
+// scanContext runs the scan under ctx when the source supports cancellation
+// (the dataset engine does); otherwise the deadline is advisory only.
+func scanContext(ctx context.Context, src query.Source, q query.Query) (*query.Result, error) {
+	if cs, ok := src.(query.ContextSource); ok {
+		return cs.ScanContext(ctx, q)
+	}
+	return src.Scan(q)
+}
+
+func aggregateContext(ctx context.Context, src query.AggregateSource, a query.Aggregate) (*query.Result, error) {
+	if cs, ok := src.(query.ContextAggregateSource); ok {
+		return cs.AggregateContext(ctx, a)
+	}
+	return src.Aggregate(a)
 }
 
 // splitFields splits a comma-separated field list, trimming blanks.

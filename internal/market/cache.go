@@ -1,0 +1,172 @@
+package market
+
+import (
+	"container/list"
+	"sync"
+)
+
+// The query-result cache. Scan and aggregate requests are pure functions of
+// (request, dataset), so the server can remember the exact response bytes of
+// the first execution and replay them until the dataset changes. The key is
+// the canonical request — the parsed request struct re-marshalled, so
+// whitespace, key order and other JSON surface differences collapse onto one
+// entry — plus the server's dataset epoch; bumping the epoch makes every old
+// key unreachable at once, which is the whole invalidation story. Storage is
+// a byte-budgeted LRU, and concurrent identical misses collapse onto a single
+// compute (singleflight): the first request runs the engine, the rest wait on
+// its flight and share the bytes.
+
+// cacheKey identifies one cached response.
+type cacheKey struct {
+	// epoch is the dataset generation the response was computed against.
+	epoch uint64
+	// kind separates the request namespaces ("scan", "aggregate") so a scan
+	// and an aggregate that happen to marshal identically can never collide.
+	kind string
+	// req is the canonical (re-marshalled) request document.
+	req string
+}
+
+// cacheEntry is one LRU node: the key (needed to unlink on eviction) and the
+// exact response bytes as first written to the wire.
+type cacheEntry struct {
+	key  cacheKey
+	body []byte
+}
+
+// flight is one in-progress compute that concurrent identical requests wait
+// on. done is closed after body/err are set.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// cacheStats is a point-in-time snapshot of the cache counters.
+type cacheStats struct {
+	Hits      int64
+	Misses    int64
+	Collapsed int64
+	Evictions int64
+	Bytes     int64
+	Entries   int
+}
+
+// resultCache is the byte-budgeted LRU + singleflight store. All methods are
+// safe for concurrent use.
+type resultCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	ll       *list.List // front = most recently used
+	entries  map[cacheKey]*list.Element
+	flights  map[cacheKey]*flight
+	// gen counts purges; a flight started before a purge must not insert its
+	// stale result afterwards.
+	gen int64
+
+	hits, misses, collapsed, evictions int64
+}
+
+func newResultCache(maxBytes int64) *resultCache {
+	return &resultCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		entries:  map[cacheKey]*list.Element{},
+		flights:  map[cacheKey]*flight{},
+	}
+}
+
+// do returns the response bytes for key: from the cache on a hit, from an
+// in-progress identical compute when one exists, and by running compute
+// otherwise (caching the result on success). hit reports whether the caller
+// got bytes without running an engine pass of its own. Errors are never
+// cached; a waiter whose flight leader failed falls back to computing
+// independently, so one cancelled request cannot poison its followers.
+func (c *resultCache) do(key cacheKey, compute func() ([]byte, error)) (body []byte, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		body = el.Value.(*cacheEntry).body
+		c.mu.Unlock()
+		return body, true, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.collapsed++
+		c.mu.Unlock()
+		<-f.done
+		if f.err == nil {
+			return f.body, true, nil
+		}
+		body, err = compute()
+		return body, false, err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.misses++
+	gen := c.gen
+	c.mu.Unlock()
+
+	f.body, f.err = compute()
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil && gen == c.gen {
+		c.insert(key, f.body)
+	}
+	c.mu.Unlock()
+	return f.body, false, f.err
+}
+
+// insert stores body under key and evicts from the LRU tail until the byte
+// budget holds again. Bodies over the whole budget are not cached. Callers
+// hold c.mu.
+func (c *resultCache) insert(key cacheKey, body []byte) {
+	if int64(len(body)) > c.maxBytes {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		// A fallback compute can race the next miss; keep the first insert.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	c.curBytes += int64(len(body))
+	for c.curBytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.entries, e.key)
+		c.curBytes -= int64(len(e.body))
+		c.evictions++
+	}
+}
+
+// purge drops every entry (the epoch-bump path). In-progress flights keep
+// running but their results are discarded instead of inserted.
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	c.ll.Init()
+	c.entries = map[cacheKey]*list.Element{}
+	c.curBytes = 0
+	c.gen++
+	c.mu.Unlock()
+}
+
+func (c *resultCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Collapsed: c.collapsed,
+		Evictions: c.evictions,
+		Bytes:     c.curBytes,
+		Entries:   len(c.entries),
+	}
+}

@@ -1,0 +1,180 @@
+package market
+
+// White-box tests of the result cache: LRU byte budget, eviction order,
+// purge semantics and the singleflight error fallback. The server-level
+// behaviour (hit byte-identity, epoch invalidation, collapse under real
+// concurrent requests) is covered in the external serve tests.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func ck(epoch uint64, req string) cacheKey {
+	return cacheKey{epoch: epoch, kind: "scan", req: req}
+}
+
+func mustDo(t *testing.T, c *resultCache, key cacheKey, body string) (string, bool) {
+	t.Helper()
+	got, hit, err := c.do(key, func() ([]byte, error) { return []byte(body), nil })
+	if err != nil {
+		t.Fatalf("do(%v): %v", key, err)
+	}
+	return string(got), hit
+}
+
+func TestCacheLRUBudget(t *testing.T) {
+	// Budget fits exactly two 40-byte bodies.
+	c := newResultCache(80)
+	body := strings.Repeat("x", 40)
+
+	if _, hit := mustDo(t, c, ck(0, "a"), body); hit {
+		t.Fatal("first lookup of a was a hit")
+	}
+	if _, hit := mustDo(t, c, ck(0, "b"), body); hit {
+		t.Fatal("first lookup of b was a hit")
+	}
+	if _, hit := mustDo(t, c, ck(0, "a"), body); !hit {
+		t.Fatal("second lookup of a missed")
+	}
+	// Insert c: budget forces one eviction, and it must be b (a was touched
+	// more recently).
+	mustDo(t, c, ck(0, "c"), body)
+	if _, hit := mustDo(t, c, ck(0, "a"), body); !hit {
+		t.Fatal("a evicted despite being recently used")
+	}
+	st := c.stats()
+	if st.Entries != 2 || st.Bytes != 80 {
+		t.Fatalf("stats after eviction: %+v, want 2 entries / 80 bytes", st)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no eviction recorded")
+	}
+	// b must have been the victim: looking it up again is a miss.
+	if _, hit := mustDo(t, c, ck(0, "b"), body); hit {
+		t.Fatal("b survived eviction")
+	}
+}
+
+func TestCacheOversizedBodyNotCached(t *testing.T) {
+	c := newResultCache(10)
+	mustDo(t, c, ck(0, "big"), strings.Repeat("x", 11))
+	if st := c.stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after oversized insert: %+v, want empty cache", st)
+	}
+	if _, hit := mustDo(t, c, ck(0, "big"), "whatever"); hit {
+		t.Fatal("oversized body was cached")
+	}
+}
+
+func TestCachePurge(t *testing.T) {
+	c := newResultCache(1 << 10)
+	mustDo(t, c, ck(0, "a"), "one")
+	mustDo(t, c, ck(0, "b"), "two")
+	c.purge()
+	if st := c.stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after purge: %+v, want empty", st)
+	}
+	if _, hit := mustDo(t, c, ck(0, "a"), "one"); hit {
+		t.Fatal("hit after purge")
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newResultCache(1 << 10)
+	boom := errors.New("boom")
+	if _, _, err := c.do(ck(0, "a"), func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failure must not occupy the slot: the next lookup computes again.
+	got, hit := mustDo(t, c, ck(0, "a"), "fresh")
+	if hit || got != "fresh" {
+		t.Fatalf("after error: got %q hit=%v, want fresh miss", got, hit)
+	}
+}
+
+// TestCacheSingleflightCollapse launches many concurrent identical misses
+// against a compute that blocks until every goroutine is underway, and
+// counts exactly one compute.
+func TestCacheSingleflightCollapse(t *testing.T) {
+	c := newResultCache(1 << 10)
+	var computes atomic.Int64
+	release := make(chan struct{})
+	compute := func() ([]byte, error) {
+		computes.Add(1)
+		<-release
+		return []byte("answer"), nil
+	}
+
+	const callers = 16
+	var started, wg sync.WaitGroup
+	started.Add(callers)
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			defer wg.Done()
+			started.Done()
+			body, _, err := c.do(ck(0, "same"), compute)
+			if err != nil || string(body) != "answer" {
+				t.Errorf("do: body=%q err=%v", body, err)
+			}
+		}()
+	}
+	started.Wait()
+	release <- struct{}{} // the leader is inside compute; hand it the baton
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("%d computes for %d concurrent identical requests, want 1", n, callers)
+	}
+	st := c.stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if st.Collapsed+st.Hits != callers-1 {
+		t.Fatalf("collapsed=%d hits=%d, want %d followers accounted", st.Collapsed, st.Hits, callers-1)
+	}
+}
+
+// TestCacheStaleFlightSkipsInsert pins the purge/flight race: a compute that
+// finishes after a purge must not resurrect pre-purge state.
+func TestCacheStaleFlightSkipsInsert(t *testing.T) {
+	c := newResultCache(1 << 10)
+	inCompute := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = c.do(ck(0, "a"), func() ([]byte, error) {
+			close(inCompute)
+			<-release
+			return []byte("stale"), nil
+		})
+	}()
+	<-inCompute
+	c.purge() // dataset changed while the flight was computing
+	close(release)
+	<-done
+	if st := c.stats(); st.Entries != 0 {
+		t.Fatalf("stale flight inserted into purged cache: %+v", st)
+	}
+}
+
+func TestCacheDistinctKeysDoNotCollapse(t *testing.T) {
+	c := newResultCache(1 << 10)
+	for i := 0; i < 4; i++ {
+		body, hit := mustDo(t, c, ck(0, fmt.Sprintf("q%d", i)), fmt.Sprintf("body%d", i))
+		if hit || body != fmt.Sprintf("body%d", i) {
+			t.Fatalf("key q%d: body=%q hit=%v", i, body, hit)
+		}
+	}
+	// Same request under a new epoch is a different key.
+	if _, hit := mustDo(t, c, ck(1, "q0"), "other"); hit {
+		t.Fatal("epoch-bumped key hit the old entry")
+	}
+}

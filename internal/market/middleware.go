@@ -1,0 +1,266 @@
+package market
+
+import (
+	"compress/gzip"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The serving middleware. Each piece is an independent http.Handler wrapper;
+// ConfigureServing composes the ones the config enables, outermost first:
+//
+//	metrics -> inflight gate -> per-client rate limit -> timeout -> gzip -> routes
+//
+// The gate sits outside the rate limiter so an overloaded server sheds with
+// one atomic instead of taking the limiter lock, and the timeout sits inside
+// the gate so a request's budget starts when it begins running, not while it
+// queues (queue time is bounded anyway: slots free at the pace of running
+// requests, each of which the timeout bounds).
+
+// middleware wraps a handler with one serving concern.
+type middleware func(http.Handler) http.Handler
+
+// chainMiddleware applies mws to h so that mws[0] is the outermost layer.
+func chainMiddleware(h http.Handler, mws ...middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// --- metrics ---
+
+// statusRecorder captures the response status for the metrics layer.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(p)
+}
+
+// metricsMiddleware counts every request, classifies its status and records
+// its wall-clock latency.
+func metricsMiddleware(m *serverMetrics) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			m.inflight.Add(1)
+			sr := &statusRecorder{ResponseWriter: w}
+			next.ServeHTTP(sr, r)
+			m.inflight.Add(-1)
+			m.latency.Observe(time.Since(start).Seconds())
+			m.requests.Inc()
+			switch status := sr.status; {
+			case status >= 500:
+				m.status5xx.Inc()
+			case status >= 400:
+				m.status4xx.Inc()
+			default:
+				m.status2xx.Inc()
+			}
+		})
+	}
+}
+
+// --- inflight gate ---
+
+// inflightGate caps the number of concurrently running requests at the
+// semaphore's capacity and lets at most maxQueue further requests wait for a
+// slot; anything beyond that is shed immediately with 503.
+type inflightGate struct {
+	sem      chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+}
+
+func newInflightGate(maxInflight, maxQueue int) *inflightGate {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &inflightGate{sem: make(chan struct{}, maxInflight), maxQueue: int64(maxQueue)}
+}
+
+// inflightMiddleware admits, queues or sheds. Shedding answers 503 with
+// Retry-After so well-behaved clients back off, and counts into m.shed — the
+// overload signal the /metrics endpoint exposes.
+func inflightMiddleware(g *inflightGate, m *serverMetrics) middleware {
+	shed := func(w http.ResponseWriter) {
+		m.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server overloaded", http.StatusServiceUnavailable)
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			select {
+			case g.sem <- struct{}{}:
+			default:
+				// No free slot: take a queue place or shed on a full queue.
+				if g.queued.Add(1) > g.maxQueue {
+					g.queued.Add(-1)
+					shed(w)
+					return
+				}
+				select {
+				case g.sem <- struct{}{}:
+					g.queued.Add(-1)
+				case <-r.Context().Done():
+					g.queued.Add(-1)
+					shed(w)
+					return
+				}
+			}
+			defer func() { <-g.sem }()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// --- per-client rate limit ---
+
+// clientLimiter holds one token bucket per client key (the remote host).
+// When the table exceeds maxClients it is reset wholesale: key churn then
+// costs every client one refilled bucket rather than the server unbounded
+// memory.
+type clientLimiter struct {
+	mu         sync.Mutex
+	rate       float64
+	burst      int
+	maxClients int
+	buckets    map[string]*tokenBucket
+}
+
+func newClientLimiter(ratePerSecond float64, burst int) *clientLimiter {
+	if burst < 1 {
+		burst = int(ratePerSecond * 2)
+	}
+	return &clientLimiter{
+		rate:       ratePerSecond,
+		burst:      burst,
+		maxClients: 4096,
+		buckets:    map[string]*tokenBucket{},
+	}
+}
+
+func (cl *clientLimiter) allow(key string) bool {
+	cl.mu.Lock()
+	b, ok := cl.buckets[key]
+	if !ok {
+		if len(cl.buckets) >= cl.maxClients {
+			cl.buckets = map[string]*tokenBucket{}
+		}
+		b = newTokenBucket(cl.rate, cl.burst)
+		cl.buckets[key] = b
+	}
+	cl.mu.Unlock()
+	return b.allow()
+}
+
+// clientKey buckets requests by remote host; the port changes per connection
+// and must not split one client across buckets.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// rateLimitMiddleware generalizes the profile token bucket to one bucket per
+// client: an aggressive client gets 429s while the rest are untouched.
+func rateLimitMiddleware(cl *clientLimiter, m *serverMetrics) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !cl.allow(clientKey(r)) {
+				m.rateLimited.Inc()
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "client rate limit exceeded", http.StatusTooManyRequests)
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// --- timeout ---
+
+// timeoutMiddleware attaches a deadline to the request context. Enforcement
+// is cooperative: the context-aware engine paths stop at the next chunk
+// boundary past the deadline and the scan handlers map DeadlineExceeded to
+// 504, so a response is always written by the handler itself (unlike
+// http.TimeoutHandler, which races the handler for the ResponseWriter).
+func timeoutMiddleware(d time.Duration) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}
+
+// --- gzip ---
+
+var gzipPool = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+
+// gzipResponseWriter compresses the body through a pooled gzip.Writer.
+// Content-Length (if a handler set one) describes the identity encoding and
+// is dropped when the compressed stream starts.
+type gzipResponseWriter struct {
+	http.ResponseWriter
+	gz          *gzip.Writer
+	wroteHeader bool
+}
+
+func (g *gzipResponseWriter) WriteHeader(code int) {
+	if !g.wroteHeader {
+		g.wroteHeader = true
+		g.Header().Del("Content-Length")
+		g.ResponseWriter.WriteHeader(code)
+	}
+}
+
+func (g *gzipResponseWriter) Write(p []byte) (int, error) {
+	if !g.wroteHeader {
+		g.WriteHeader(http.StatusOK)
+	}
+	return g.gz.Write(p)
+}
+
+// gzipMiddleware compresses responses for clients that ask for it.
+func gzipMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		gz := gzipPool.Get().(*gzip.Writer)
+		gz.Reset(w)
+		w.Header().Set("Content-Encoding", "gzip")
+		w.Header().Add("Vary", "Accept-Encoding")
+		gw := &gzipResponseWriter{ResponseWriter: w, gz: gz}
+		next.ServeHTTP(gw, r)
+		_ = gz.Close()
+		gzipPool.Put(gz)
+	})
+}

@@ -1,6 +1,8 @@
 package market
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 
@@ -64,17 +66,13 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		writeJSONStatus(w, http.StatusBadRequest, scanError{Error: err.Error()})
 		return
 	}
-	res, err := s.scan.Scan(q)
-	if err != nil {
-		status := http.StatusBadRequest
-		if !errors.Is(err, query.ErrUnknownField) && !errors.Is(err, query.ErrBadOp) &&
-			!errors.Is(err, query.ErrBadValue) && !errors.Is(err, query.ErrBadLimit) {
-			status = http.StatusInternalServerError
+	s.serveCached(w, "scan", q, func() ([]byte, error) {
+		res, err := s.scanContext(r.Context(), q)
+		if err != nil {
+			return nil, err
 		}
-		writeJSONStatus(w, status, scanError{Error: err.Error()})
-		return
-	}
-	writeJSON(w, res)
+		return encodeJSONBody(res)
+	})
 }
 
 func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
@@ -88,18 +86,108 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		writeJSONStatus(w, http.StatusBadRequest, scanError{Error: err.Error()})
 		return
 	}
-	res, err := s.scan.(query.AggregateSource).Aggregate(a)
-	if err != nil {
-		status := http.StatusBadRequest
-		if !errors.Is(err, query.ErrUnknownField) && !errors.Is(err, query.ErrBadOp) &&
-			!errors.Is(err, query.ErrBadValue) && !errors.Is(err, query.ErrBadLimit) &&
-			!errors.Is(err, query.ErrBadAggregate) {
-			status = http.StatusInternalServerError
+	s.serveCached(w, "aggregate", a, func() ([]byte, error) {
+		res, err := s.aggregateContext(r.Context(), a)
+		if err != nil {
+			return nil, err
 		}
-		writeJSONStatus(w, status, scanError{Error: err.Error()})
+		return encodeJSONBody(res)
+	})
+}
+
+// scanContext runs the scan under the request context when the source
+// supports cancellation, falling back to the plain call otherwise.
+func (s *Server) scanContext(ctx context.Context, q query.Query) (*query.Result, error) {
+	if cs, ok := s.scan.(query.ContextSource); ok {
+		return cs.ScanContext(ctx, q)
+	}
+	return s.scan.Scan(q)
+}
+
+func (s *Server) aggregateContext(ctx context.Context, a query.Aggregate) (*query.Result, error) {
+	src := s.scan.(query.AggregateSource)
+	if cs, ok := src.(query.ContextAggregateSource); ok {
+		return cs.AggregateContext(ctx, a)
+	}
+	return src.Aggregate(a)
+}
+
+// serveCached answers a scan/aggregate request through the result cache when
+// one is configured. The cache key is the canonical request — the parsed
+// struct re-marshalled, so JSON surface differences (whitespace, key order)
+// land on the same entry — under the current dataset epoch; the cached value
+// is the exact byte body of the first execution, so a hit is byte-identical
+// to the miss that populated it. Without a cache the request computes and
+// writes directly, exactly the pre-cache behaviour.
+func (s *Server) serveCached(w http.ResponseWriter, kind string, req any, compute func() ([]byte, error)) {
+	if s.cache == nil {
+		body, err := compute()
+		if err != nil {
+			s.writeQueryError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
 		return
 	}
-	writeJSON(w, res)
+	canonical, err := json.Marshal(req)
+	if err != nil {
+		writeJSONStatus(w, http.StatusInternalServerError, scanError{Error: err.Error()})
+		return
+	}
+	key := cacheKey{epoch: s.epoch.Load(), kind: kind, req: string(canonical)}
+	body, hit, err := s.cache.do(key, compute)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	label := "MISS"
+	if hit {
+		label = "HIT"
+	}
+	if s.metrics != nil {
+		if hit {
+			s.metrics.cacheHits.Inc()
+		} else {
+			s.metrics.cacheMisses.Inc()
+		}
+	}
+	w.Header().Set("X-Cache", label)
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+// writeQueryError maps an engine error onto a status: malformed requests are
+// the client's fault (400), an exceeded deadline is the server giving up
+// (504), a cancelled context means the client is gone or the server is
+// closing (503), anything else is a 500.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+		if s.metrics != nil {
+			s.metrics.timeouts.Inc()
+		}
+	case errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, query.ErrUnknownField), errors.Is(err, query.ErrBadOp),
+		errors.Is(err, query.ErrBadValue), errors.Is(err, query.ErrBadLimit),
+		errors.Is(err, query.ErrBadAggregate):
+		status = http.StatusBadRequest
+	}
+	writeJSONStatus(w, status, scanError{Error: err.Error()})
+}
+
+// encodeJSONBody marshals v exactly as writeJSONBody's json.Encoder does
+// (same escaping, same trailing newline), so cached bytes replayed on a hit
+// are indistinguishable from a freshly encoded response.
+func encodeJSONBody(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }
 
 func (s *Server) handleScanFields(w http.ResponseWriter, r *http.Request) {

@@ -22,10 +22,11 @@ import (
 )
 
 var (
-	scanOnce sync.Once
-	scanDS   *analysis.Dataset
-	scanSrv  *market.Server
-	scanErr  error
+	scanOnce  sync.Once
+	scanDS    *analysis.Dataset
+	scanSrv   *market.Server
+	scanStore *market.Store
+	scanErr   error
 )
 
 // scanFixture builds a small enriched dataset and one market server with the
@@ -66,7 +67,7 @@ func scanFixture(t *testing.T) (*analysis.Dataset, *market.Server) {
 		}
 		srv := market.NewServer(store)
 		srv.AttachScan(ds.QuerySource())
-		scanDS, scanSrv = ds, srv
+		scanDS, scanSrv, scanStore = ds, srv, store
 	})
 	if scanErr != nil {
 		t.Fatalf("scan fixture: %v", scanErr)

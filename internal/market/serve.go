@@ -1,0 +1,248 @@
+package market
+
+import (
+	"net/http"
+	"time"
+
+	"marketscope/internal/metrics"
+)
+
+// The production serving layer: ConfigureServing wraps the bare route handler
+// in the middleware chain, attaches the query-result cache and mounts the
+// operational endpoints. An unconfigured server behaves exactly as before —
+// every knob here is opt-in.
+
+// Operational endpoint routes. They sit outside the middleware chain: a
+// health probe must answer while the server sheds load, and a metrics scrape
+// must not count itself into the request metrics it reports.
+const (
+	HealthPath  = "/healthz"
+	MetricsPath = "/metrics"
+)
+
+// ServeConfig are the serving knobs. Zero values disable the corresponding
+// layer, so ServeConfig{} configures a server that behaves like an
+// unconfigured one (plus the operational endpoints).
+type ServeConfig struct {
+	// CacheBytes is the query-result cache budget in bytes; 0 disables the
+	// cache.
+	CacheBytes int64
+	// Timeout bounds each request's execution; 0 means no deadline.
+	Timeout time.Duration
+	// MaxInflight caps concurrently running requests; 0 means unlimited.
+	MaxInflight int
+	// MaxQueue is how many requests may wait for an inflight slot before the
+	// server sheds with 503. Only meaningful with MaxInflight > 0.
+	MaxQueue int
+	// RatePerSecond is the per-client request budget; 0 disables the
+	// per-client limiter. (The market profile's global limiter, when the
+	// profile sets one, applies regardless — it models the market's own
+	// throttling, not the server's protection.)
+	RatePerSecond float64
+	// Burst is the per-client bucket depth; 0 derives 2x RatePerSecond.
+	Burst int
+	// Gzip enables response compression for clients that accept it.
+	Gzip bool
+}
+
+// DefaultServeConfig returns the knobs marketsim serves with.
+func DefaultServeConfig() ServeConfig {
+	return ServeConfig{
+		CacheBytes:  8 << 20,
+		Timeout:     5 * time.Second,
+		MaxInflight: 64,
+		MaxQueue:    128,
+		Gzip:        true,
+	}
+}
+
+// serverMetrics is the instrument set behind /metrics and ServingStats.
+type serverMetrics struct {
+	reg         *metrics.Registry
+	requests    *metrics.Counter
+	status2xx   *metrics.Counter
+	status4xx   *metrics.Counter
+	status5xx   *metrics.Counter
+	rateLimited *metrics.Counter
+	shed        *metrics.Counter
+	timeouts    *metrics.Counter
+	cacheHits   *metrics.Counter
+	cacheMisses *metrics.Counter
+	inflight    *metrics.Gauge
+	latency     *metrics.Histogram
+	started     time.Time
+}
+
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := metrics.NewRegistry()
+	m := &serverMetrics{
+		reg:         reg,
+		requests:    reg.Counter("market_http_requests_total", "Requests served, any status."),
+		status2xx:   reg.Counter("market_http_responses_2xx_total", "Successful responses."),
+		status4xx:   reg.Counter("market_http_responses_4xx_total", "Client-error responses (including 429)."),
+		status5xx:   reg.Counter("market_http_responses_5xx_total", "Server-error responses (including sheds and timeouts)."),
+		rateLimited: reg.Counter("market_http_rate_limited_total", "Requests rejected by the per-client rate limiter."),
+		shed:        reg.Counter("market_http_shed_total", "Requests shed by the inflight gate."),
+		timeouts:    reg.Counter("market_http_timeouts_total", "Requests that exceeded their execution deadline."),
+		cacheHits:   reg.Counter("market_cache_hits_total", "Scan/aggregate responses served from the result cache."),
+		cacheMisses: reg.Counter("market_cache_misses_total", "Scan/aggregate responses that ran the engine."),
+		inflight:    reg.Gauge("market_http_inflight", "Requests currently inside the serving chain."),
+		started:     time.Now(),
+	}
+	m.latency = reg.Histogram("market_http_request_seconds",
+		"Request wall-clock latency.", metrics.DefaultLatencyBounds())
+	reg.GaugeFunc("market_http_qps", "Requests per second over the server's uptime.", func() float64 {
+		up := time.Since(m.started).Seconds()
+		if up <= 0 {
+			return 0
+		}
+		return float64(m.requests.Value()) / up
+	})
+	reg.GaugeFunc("market_cache_hit_ratio", "Cache hits over cache lookups.", func() float64 {
+		h, miss := m.cacheHits.Value(), m.cacheMisses.Value()
+		if h+miss == 0 {
+			return 0
+		}
+		return float64(h) / float64(h+miss)
+	})
+	reg.GaugeFunc("market_cache_bytes", "Bytes held by the result cache.", func() float64 {
+		if s.cache == nil {
+			return 0
+		}
+		return float64(s.cache.stats().Bytes)
+	})
+	reg.GaugeFunc("market_cache_entries", "Entries held by the result cache.", func() float64 {
+		if s.cache == nil {
+			return 0
+		}
+		return float64(s.cache.stats().Entries)
+	})
+	reg.GaugeFunc("market_dataset_epoch", "Dataset epoch the cache keys against.", func() float64 {
+		return float64(s.epoch.Load())
+	})
+	return m
+}
+
+// ConfigureServing builds the middleware chain from cfg and mounts /healthz
+// and /metrics. It must be called before the server takes traffic (it is not
+// synchronized against in-flight requests); calling it twice replaces the
+// previous configuration.
+func (s *Server) ConfigureServing(cfg ServeConfig) {
+	s.cache = nil
+	if cfg.CacheBytes > 0 {
+		s.cache = newResultCache(cfg.CacheBytes)
+	}
+	s.metrics = newServerMetrics(s)
+
+	mws := []middleware{metricsMiddleware(s.metrics)}
+	if cfg.MaxInflight > 0 {
+		mws = append(mws, inflightMiddleware(newInflightGate(cfg.MaxInflight, cfg.MaxQueue), s.metrics))
+	}
+	if cfg.RatePerSecond > 0 {
+		mws = append(mws, rateLimitMiddleware(newClientLimiter(cfg.RatePerSecond, cfg.Burst), s.metrics))
+	}
+	if cfg.Timeout > 0 {
+		mws = append(mws, timeoutMiddleware(cfg.Timeout))
+	}
+	if cfg.Gzip {
+		mws = append(mws, gzipMiddleware)
+	}
+	chained := chainMiddleware(http.HandlerFunc(s.serveCore), mws...)
+	s.serving = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case HealthPath:
+			s.handleHealthz(w, r)
+		case MetricsPath:
+			s.handleMetrics(w, r)
+		default:
+			chained.ServeHTTP(w, r)
+		}
+	})
+}
+
+// BumpEpoch declares the dataset changed: the epoch counter advances (new
+// cache keys) and the cache purges (old bytes freed immediately rather than
+// lingering until eviction).
+func (s *Server) BumpEpoch() {
+	s.epoch.Add(1)
+	if s.cache != nil {
+		s.cache.purge()
+	}
+}
+
+// Epoch returns the current dataset epoch.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// healthResponse is the /healthz body.
+type healthResponse struct {
+	Status string `json:"status"`
+	Market string `json:"market"`
+	Apps   int    `json:"apps"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, healthResponse{
+		Status: "ok",
+		Market: s.store.Name(),
+		Apps:   s.store.Len(),
+		Epoch:  s.epoch.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.reg.WritePrometheus(w)
+}
+
+// ServingStats is a point-in-time snapshot of the serving counters, for the
+// report renderer and for tests that assert on served traffic.
+type ServingStats struct {
+	Requests    int64
+	RateLimited int64
+	Shed        int64
+	Timeouts    int64
+	CacheHits   int64
+	CacheMisses int64
+	CacheBytes  int64
+	CacheCount  int
+	HitRate     float64
+	P50         time.Duration
+	P99         time.Duration
+}
+
+// ServingStats snapshots the configured server's counters; the zero value is
+// returned before ConfigureServing.
+func (s *Server) ServingStats() ServingStats {
+	if s.metrics == nil {
+		return ServingStats{}
+	}
+	st := ServingStats{
+		Requests:    s.metrics.requests.Value(),
+		RateLimited: s.metrics.rateLimited.Value(),
+		Shed:        s.metrics.shed.Value(),
+		Timeouts:    s.metrics.timeouts.Value(),
+		CacheHits:   s.metrics.cacheHits.Value(),
+		CacheMisses: s.metrics.cacheMisses.Value(),
+		P50:         time.Duration(s.metrics.latency.Quantile(0.50) * float64(time.Second)),
+		P99:         time.Duration(s.metrics.latency.Quantile(0.99) * float64(time.Second)),
+	}
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		st.HitRate = float64(st.CacheHits) / float64(lookups)
+	}
+	if s.cache != nil {
+		cs := s.cache.stats()
+		st.CacheBytes, st.CacheCount = cs.Bytes, cs.Entries
+	}
+	return st
+}

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"marketscope/internal/appmeta"
@@ -43,6 +44,15 @@ type Server struct {
 	// scan is the dataset query engine mounted by AttachScan (nil until
 	// attached; the scan routes 404 like any unregistered path).
 	scan query.Source
+
+	// The production serving layer, all nil/zero until ConfigureServing:
+	// serving is the composed middleware chain (plus /healthz and /metrics),
+	// cache the query-result cache, metrics the instrument set, and epoch the
+	// dataset generation the cache keys against (BumpEpoch invalidates).
+	serving http.Handler
+	cache   *resultCache
+	metrics *serverMetrics
+	epoch   atomic.Uint64
 }
 
 // NewServer builds the HTTP front-end for a store.
@@ -63,9 +73,23 @@ func NewServer(store *Store) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler. Every route is a GET except /api/scan
-// and /api/aggregate, whose requests arrive as POSTed JSON bodies.
+// ServeHTTP implements http.Handler. A server configured with
+// ConfigureServing routes through the middleware chain; otherwise requests
+// hit the routes directly (the pre-serving-layer behaviour, which the crawl
+// tests rely on).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.serving != nil {
+		s.serving.ServeHTTP(w, r)
+		return
+	}
+	s.serveCore(w, r)
+}
+
+// serveCore is the innermost handler: method gate, the market profile's own
+// rate limiter (modelling e.g. Google Play's APK throttling), then the
+// routes. Every route is a GET except /api/scan and /api/aggregate, whose
+// requests arrive as POSTed JSON bodies.
+func (s *Server) serveCore(w http.ResponseWriter, r *http.Request) {
 	postRoute := r.URL.Path == ScanPath || r.URL.Path == AggregatePath
 	if r.Method != http.MethodGet && !(r.Method == http.MethodPost && postRoute) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)

@@ -1,0 +1,193 @@
+package market_test
+
+// The per-handler stress suite: every API route hammered by concurrent
+// workers through the full production serving chain (cache, inflight gate,
+// timeout, gzip), each response compared against the direct Go-API answer.
+// Run under -race (the CI race job does) this is the proof that the serving
+// layer neither corrupts nor reorders anything under concurrency.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"marketscope/internal/market"
+	"marketscope/internal/query"
+)
+
+var (
+	servingOnce sync.Once
+	servingSrv  *market.Server
+)
+
+// servingFixture is scanFixture's dataset behind a second server configured
+// with the full serving layer: result cache, inflight gate, per-request
+// timeout and gzip (no per-client rate limit — the stress workers would trip
+// it by design).
+func servingFixture(t *testing.T) *market.Server {
+	t.Helper()
+	_, _ = scanFixture(t) // populates scanDS/scanStore
+	servingOnce.Do(func() {
+		srv := market.NewServer(scanStore)
+		srv.AttachScan(scanDS.QuerySource())
+		cfg := market.DefaultServeConfig()
+		cfg.Timeout = 30 * time.Second
+		srv.ConfigureServing(cfg)
+		servingSrv = srv
+	})
+	return servingSrv
+}
+
+// normalizeScanBody decodes a scan/aggregate response and re-marshals it
+// with the wall-clock field zeroed, so executions of different speed compare
+// equal while everything else stays byte-compared.
+func normalizeScanBody(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var res query.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("decode scan result: %v (body %.200s)", err, body)
+	}
+	res.Meta.QueryTimeMicros = 0
+	out, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHandlersUnderLoad(t *testing.T) {
+	srv := servingFixture(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	src := scanDS.QuerySource()
+	pkg := scanStore.Catalog(0, 1)[0].Package
+
+	scanQ := query.Query{
+		Fields:  []string{"package", "market", "av_positives"},
+		Filters: []query.Filter{{Field: "av_positives", Op: query.OpGe, Value: 5}},
+		Sort:    []query.SortKey{{Field: "av_positives", Desc: true}, {Field: "package"}},
+		Limit:   10,
+	}
+	aggQ := query.Aggregate{
+		GroupBy:    []string{"market"},
+		Aggregates: []query.AggSpec{{Op: query.AggCount}, {Op: query.AggMean, Field: "rating"}},
+		Sort:       []query.SortKey{{Field: "count", Desc: true}},
+	}
+	scanBody, err := json.Marshal(scanQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggBody, err := json.Marshal(aggQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct Go-API answers, computed once up front.
+	scanRes, err := src.Scan(scanQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggRes, err := src.(query.AggregateSource).Aggregate(aggQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marshal := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	// GET handlers write through json.Encoder, which appends a newline.
+	marshalBody := func(v any) []byte { return append(marshal(v), '\n') }
+	scanRes.Meta.QueryTimeMicros = 0
+	aggRes.Meta.QueryTimeMicros = 0
+	appListing, ok := scanStore.Get(pkg)
+	if !ok {
+		t.Fatalf("fixture package %q missing", pkg)
+	}
+
+	cases := []struct {
+		name   string
+		method string
+		url    string
+		body   []byte
+		// want is the exact expected response body; normalize (when set)
+		// maps the received body into want's shape first.
+		want      []byte
+		normalize func(*testing.T, []byte) []byte
+	}{
+		{name: "scan", method: http.MethodPost, url: market.ScanPath, body: scanBody,
+			want: marshal(scanRes), normalize: normalizeScanBody},
+		{name: "aggregate", method: http.MethodPost, url: market.AggregatePath, body: aggBody,
+			want: marshal(aggRes), normalize: normalizeScanBody},
+		{name: "app", method: http.MethodGet, url: "/api/app?pkg=" + pkg,
+			want: marshalBody(appListing.Meta)},
+		{name: "search", method: http.MethodGet, url: "/api/search?q=a&limit=10",
+			want: marshalBody(scanStore.SearchByName("a", 10))},
+		{name: "catalog", method: http.MethodGet, url: "/api/catalog?page=0&size=25",
+			want: marshalBody(scanStore.Catalog(0, 25))},
+	}
+
+	const (
+		workers   = 8
+		perWorker = 25
+	)
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					client := ts.Client()
+					for i := 0; i < perWorker; i++ {
+						req, err := http.NewRequest(tc.method, ts.URL+tc.url, bytes.NewReader(tc.body))
+						if err != nil {
+							errs <- err
+							return
+						}
+						resp, err := client.Do(req)
+						if err != nil {
+							errs <- err
+							return
+						}
+						body, err := io.ReadAll(resp.Body)
+						resp.Body.Close()
+						if err != nil {
+							errs <- err
+							return
+						}
+						if resp.StatusCode != http.StatusOK {
+							errs <- fmt.Errorf("iteration %d: status %d (%.200s)", i, resp.StatusCode, body)
+							return
+						}
+						got := body
+						if tc.normalize != nil {
+							got = tc.normalize(t, body)
+						}
+						if !bytes.Equal(got, tc.want) {
+							errs <- fmt.Errorf("iteration %d: response diverges from direct call:\nhttp:   %.300s\ndirect: %.300s",
+								i, got, tc.want)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,264 @@
+// Package metrics is a small, dependency-free instrumentation library in the
+// Prometheus style: counters, gauges and latency histograms collected in a
+// registry that renders the text exposition format. The market server's
+// /metrics endpoint is its consumer; nothing here knows about HTTP semantics
+// beyond writing to an io.Writer.
+//
+// All types are safe for concurrent use. Observation is cheap — counters and
+// gauges are single atomics, a histogram observation is one atomic add into a
+// fixed bucket plus two for sum/count — so the serving hot path can record
+// every request without a measurable tax.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored; counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (inflight requests, queue depth).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add applies a delta.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets (cumulative, Prometheus
+// style) and tracks their sum, so quantiles can be estimated without keeping
+// samples. Buckets are chosen at construction and immutable afterwards.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Int64
+	sum    atomicFloat
+	count  atomic.Int64
+}
+
+// atomicFloat is a float64 accumulated via CAS on its bit pattern.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// DefaultLatencyBounds covers 100µs to ~26s in powers of two — the request
+// latency range a query server plausibly spans.
+func DefaultLatencyBounds() []float64 {
+	bounds := make([]float64, 0, 19)
+	for v := 0.0001; v < 30; v *= 2 {
+		bounds = append(bounds, v)
+	}
+	return bounds
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// inside the bucket holding it, the same estimate Prometheus'
+// histogram_quantile computes. It returns 0 with no observations; samples in
+// the +Inf bucket clamp to the highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: no upper bound to interpolate toward.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			within := rank - float64(cum)
+			return lo + (hi-lo)*(within/float64(n))
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metric is one named entry a registry renders.
+type metric struct {
+	name string
+	help string
+	typ  string
+	c    *Counter
+	g    *Gauge
+	fn   func() float64
+	h    *Histogram
+}
+
+// Registry holds named metrics and renders them in registration order.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*metric{}}
+}
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.name]; dup {
+		panic("metrics: duplicate metric " + m.name)
+	}
+	r.byName[m.name] = m
+	r.entries = append(r.entries, m)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, typ: "counter", c: c})
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, typ: "gauge", g: g})
+	return g
+}
+
+// GaugeFunc registers a gauge computed at scrape time (hit rates, QPS over
+// uptime — anything derived from other metrics).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, typ: "gauge", fn: fn})
+}
+
+// Histogram registers and returns a new histogram over the given bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(&metric{name: name, help: help, typ: "histogram", h: h})
+	return h
+}
+
+// WritePrometheus renders every metric in the text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	entries := append([]*metric(nil), r.entries...)
+	r.mu.Unlock()
+	for _, m := range entries {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ); err != nil {
+			return err
+		}
+		var err error
+		switch {
+		case m.c != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value())
+		case m.g != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.g.Value())
+		case m.fn != nil:
+			_, err = fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.fn()))
+		case m.h != nil:
+			err = writeHistogram(w, m.name, m.h)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	return err
+}
+
+func formatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	g := r.Gauge("inflight", "inflight requests")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters only go up
+	g.Set(3)
+	g.Add(-1)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %d, want 2", g.Value())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1, 1})
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	// 100 samples spread evenly inside (0.001, 0.01].
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 0.001 || p50 > 0.01 {
+		t.Fatalf("p50 = %g, want inside (0.001, 0.01]", p50)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-0.5) > 1e-9 {
+		t.Fatalf("sum = %g, want 0.5", h.Sum())
+	}
+	// A slow outlier in +Inf territory clamps to the top finite bound.
+	h2 := NewHistogram([]float64{0.001, 0.01})
+	h2.Observe(5)
+	if got := h2.Quantile(0.99); got != 0.01 {
+		t.Fatalf("+Inf bucket quantile = %g, want clamp to 0.01", got)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBounds())
+	for _, v := range []float64{0.0002, 0.0002, 0.0002, 0.0002, 0.0002, 0.0002, 0.0002, 0.0002, 0.0002, 0.2} {
+		h.Observe(v)
+	}
+	p50, p99 := h.Quantile(0.5), h.Quantile(0.99)
+	if p50 >= p99 {
+		t.Fatalf("p50 %g >= p99 %g", p50, p99)
+	}
+	if p99 < 0.1 {
+		t.Fatalf("p99 = %g, should land in the outlier's bucket", p99)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBounds())
+	c := &Counter{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || c.Value() != 8000 {
+		t.Fatalf("count = %d, counter = %d, want 8000", h.Count(), c.Value())
+	}
+	if math.Abs(h.Sum()-8.0) > 1e-6 {
+		t.Fatalf("sum = %g, want 8.0", h.Sum())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("marketscope_requests_total", "total requests")
+	c.Add(7)
+	g := r.Gauge("marketscope_inflight", "inflight")
+	g.Set(2)
+	r.GaugeFunc("marketscope_hit_rate", "cache hit rate", func() float64 { return 0.25 })
+	h := r.Histogram("marketscope_latency_seconds", "latency", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE marketscope_requests_total counter",
+		"marketscope_requests_total 7",
+		"marketscope_inflight 2",
+		"marketscope_hit_rate 0.25",
+		`marketscope_latency_seconds_bucket{le="0.001"} 1`,
+		`marketscope_latency_seconds_bucket{le="+Inf"} 2`,
+		"marketscope_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("x", "")
+}

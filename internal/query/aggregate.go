@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -133,6 +134,19 @@ type AggregateSource interface {
 	// Aggregate executes one grouped-aggregation request. It is safe for
 	// concurrent use.
 	Aggregate(a Aggregate) (*Result, error)
+}
+
+// ContextAggregateSource is implemented by aggregation sources honoring
+// context cancellation, mirroring ContextSource for scans: a cancelled
+// context stops the match, group and fold stages at the next chunk boundary
+// with ctx.Err(); a context that never cancels is bit-identical to
+// Aggregate. *Engine[T] implements it.
+type ContextAggregateSource interface {
+	AggregateSource
+	// AggregateContext executes one grouped-aggregation request, stopping
+	// early (with ctx.Err()) when the context is cancelled. It is safe for
+	// concurrent use.
+	AggregateContext(ctx context.Context, a Aggregate) (*Result, error)
 }
 
 // AggregateOracleSource adds the reference executor, for the equivalence
@@ -433,6 +447,12 @@ func formatScalar(kind Kind, v any) string {
 // (groupby.go); datasets beyond int32 row ids keep the reference semantics,
 // mirroring Scan.
 func (e *Engine[T]) Aggregate(a Aggregate) (*Result, error) {
+	return e.AggregateContext(context.Background(), a)
+}
+
+// AggregateContext implements ContextAggregateSource: Aggregate with
+// cooperative cancellation at the same chunk boundaries ScanContext uses.
+func (e *Engine[T]) AggregateContext(ctx context.Context, a Aggregate) (*Result, error) {
 	start := time.Now()
 	pa, err := e.prepareAggregate(a)
 	if err != nil {
@@ -441,7 +461,7 @@ func (e *Engine[T]) Aggregate(a Aggregate) (*Result, error) {
 	if len(e.items) > math.MaxInt32 {
 		return e.aggregateOracle(pa, start), nil
 	}
-	return e.aggregatePlanned(pa, start), nil
+	return e.aggregatePlanned(ctx, pa, start)
 }
 
 // AggregateOracle implements AggregateOracleSource: the row-at-a-time

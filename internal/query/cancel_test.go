@@ -1,0 +1,184 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The cancellation contract of ScanContext / AggregateContext: a dead context
+// surfaces its error promptly, every fanned-out worker is joined before the
+// error returns (no goroutine leaks), and a context that never cancels is
+// invisible — results stay bit-identical to the oracle paths.
+
+// parallelEngine builds an engine big enough that matching, grouping and the
+// per-group fan-out all cross the parallel threshold.
+func parallelEngine(seed int64) *Engine[row] {
+	rng := rand.New(rand.NewSource(seed))
+	return NewEngine(testIndexedRegistry(), randomRows(rng, parallelThreshold*3+41))
+}
+
+func TestScanContextPreCancelled(t *testing.T) {
+	e := parallelEngine(11)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	for _, q := range []Query{
+		{Fields: []string{"name"}}, // no filters: caught at the sort/materialize checkpoints
+		{Fields: []string{"name"}, Filters: []Filter{{Field: "rating", Op: OpGe, Value: 1.0}}},
+		{Fields: []string{"name"}, Filters: []Filter{{Field: "name", Op: OpContains, Value: "a"}}},
+	} {
+		res, err := e.ScanContext(ctx, q)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("ScanContext(%+v) with cancelled ctx: res=%v err=%v, want context.Canceled", q, res, err)
+		}
+	}
+}
+
+func TestScanContextDeadlineExceeded(t *testing.T) {
+	e := parallelEngine(12)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := e.ScanContext(ctx, Query{Filters: []Filter{{Field: "flagged", Op: OpEq, Value: true}}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err=%v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestAggregateContextPreCancelled(t *testing.T) {
+	e := parallelEngine(13)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	for _, a := range []Aggregate{
+		{Aggregates: []AggSpec{{Op: AggCount}}}, // global group
+		{GroupBy: []string{"market"}, Aggregates: []AggSpec{{Op: AggMean, Field: "rating"}}},
+		{GroupBy: []string{"market", "flagged"},
+			Aggregates: []AggSpec{{Op: AggTopK, Field: "name", K: 3}},
+			Filters:    []Filter{{Field: "size", Op: OpGe, Value: 1.0}}},
+	} {
+		res, err := e.AggregateContext(ctx, a)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("AggregateContext(%+v) with cancelled ctx: res=%v err=%v, want context.Canceled", a, res, err)
+		}
+	}
+}
+
+// TestScanContextCancelledMidFlight cancels deterministically while the call
+// is underway: a tripwire field's extractor pulls the plug partway through
+// its column build, so the match stage that follows starts on an
+// already-dead context — exactly the shape of a client disconnecting while
+// the engine grinds.
+func TestScanContextCancelledMidFlight(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	rows := randomRows(rng, parallelThreshold*3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	reg := testRegistry()
+	var extracted atomic.Int64
+	reg.MustRegister(Field[row]{Name: "trip", Category: "meta", Kind: KindBool,
+		Extract: func(x row) (any, bool) {
+			if extracted.Add(1) == int64(len(rows)/2) {
+				cancel()
+			}
+			return true, true
+		}})
+	e := NewEngine(reg, rows)
+
+	res, err := e.ScanContext(ctx, Query{Fields: []string{"name"},
+		Filters: []Filter{{Field: "trip", Op: OpEq, Value: true}}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight cancel: res=%v err=%v, want context.Canceled", res, err)
+	}
+	if n := extracted.Load(); n < int64(len(rows)/2) {
+		t.Fatalf("tripwire extracted %d rows, cancel never fired", n)
+	}
+}
+
+// TestCancelledScansLeakNoGoroutines runs many cancelled parallel scans and
+// aggregations and requires the goroutine count to settle back to where it
+// started: every worker a cancelled call fanned out must be joined before
+// the call returns.
+func TestCancelledScansLeakNoGoroutines(t *testing.T) {
+	e := parallelEngine(31)
+	// Warm the lazy columns/indexes so their one-time builds don't blur the
+	// goroutine accounting below.
+	if _, err := e.Scan(Query{Filters: []Filter{{Field: "name", Op: OpContains, Value: "a"}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 100; i++ {
+		if _, err := e.ScanContext(ctx, Query{Filters: []Filter{{Field: "name", Op: OpContains, Value: "a"}}}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: err=%v, want context.Canceled", i, err)
+		}
+		if _, err := e.AggregateContext(ctx, Aggregate{GroupBy: []string{"market"},
+			Aggregates: []AggSpec{{Op: AggCount}}}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: aggregate err=%v, want context.Canceled", i, err)
+		}
+	}
+	// Give any straggler (there must be none) a moment to show up.
+	var after int
+	for i := 0; i < 50; i++ {
+		after = runtime.NumGoroutine()
+		if after <= before {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after > before+2 {
+		t.Fatalf("goroutines grew from %d to %d across cancelled calls", before, after)
+	}
+}
+
+// TestScanContextUncancelledMatchesOracle re-runs the randomized equivalence
+// suite through ScanContext with a live context: the cancellation plumbing
+// must be invisible when nothing cancels.
+func TestScanContextUncancelledMatchesOracle(t *testing.T) {
+	for seed := int64(41); seed <= 43; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed_%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			e := NewEngine(testIndexedRegistry(), randomRows(rng, 50+rng.Intn(400)))
+			ctx := context.Background()
+			for i := 0; i < 120; i++ {
+				q := randomQuery(rng)
+				planned, err1 := e.ScanContext(ctx, q)
+				oracle, err2 := e.ScanOracle(q)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("query %d (%+v): planned err %v, oracle err %v", i, q, err1, err2)
+				}
+				requireSameResult(t, q, planned, oracle)
+			}
+		})
+	}
+}
+
+// TestAggregateContextUncancelledMatchesOracle is the aggregation face of the
+// same guarantee, over a dataset large enough to fan out.
+func TestAggregateContextUncancelledMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	e := NewEngine(testIndexedRegistry(), randomRows(rng, parallelThreshold*2+33))
+	ctx := context.Background()
+	for i := 0; i < 40; i++ {
+		a := randomAggregate(rng)
+		planned, err1 := e.AggregateContext(ctx, a)
+		oracle, err2 := e.AggregateOracle(a)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("request %d (%+v): planned err %v, oracle err %v", i, a, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		requireSameAggregate(t, a, planned, oracle)
+	}
+}

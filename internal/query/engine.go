@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -134,6 +135,15 @@ func (e *Engine[T]) prepare(q Query) (*prepared[T], error) {
 // included); Meta gains an Explain block and the rows-evaluated Scanned
 // semantics documented on Meta.
 func (e *Engine[T]) Scan(q Query) (*Result, error) {
+	return e.ScanContext(context.Background(), q)
+}
+
+// ScanContext implements ContextSource: Scan with cooperative cancellation.
+// The match, group and sort stages check the context at chunk boundaries (a
+// few thousand rows apart), so a cancelled scan returns ctx.Err() promptly
+// and every fanned-out worker has exited by the time it does. A context that
+// never cancels changes nothing: the result is bit-identical to Scan's.
+func (e *Engine[T]) ScanContext(ctx context.Context, q Query) (*Result, error) {
 	start := time.Now()
 	pq, err := e.prepare(q)
 	if err != nil {
@@ -144,7 +154,7 @@ func (e *Engine[T]) Scan(q Query) (*Result, error) {
 		// (never reached in practice) keep the reference semantics.
 		return e.scanOracle(pq, start), nil
 	}
-	return e.scanPlanned(pq, start)
+	return e.scanPlanned(ctx, pq, start)
 }
 
 // ScanOracle implements OracleSource: the pre-planner reference path kept

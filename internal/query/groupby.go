@@ -1,11 +1,13 @@
 package query
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -25,10 +27,18 @@ type colGroup struct {
 	rows     []int32
 }
 
-// aggregatePlanned is the default Aggregate executor.
-func (e *Engine[T]) aggregatePlanned(pa *preparedAgg[T], start time.Time) *Result {
-	matched, explain := e.planMatch(pa.filters)
-	groups := e.groupRows(pa, matched)
+// aggregatePlanned is the default Aggregate executor. The match, group and
+// per-group fold stages poll the context at chunk (respectively group)
+// boundaries; a cancelled request joins every worker and returns ctx.Err().
+func (e *Engine[T]) aggregatePlanned(ctx context.Context, pa *preparedAgg[T], start time.Time) (*Result, error) {
+	matched, explain, err := e.planMatch(ctx, pa.filters)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := e.groupRows(ctx, pa, matched)
+	if err != nil {
+		return nil, err
+	}
 
 	// Compile each spec's machinery once: the where-predicates and value
 	// column are shared (read-only) by every group worker.
@@ -37,6 +47,7 @@ func (e *Engine[T]) aggregatePlanned(pa *preparedAgg[T], start time.Time) *Resul
 		cells[s] = e.compileAggCell(&pa.specs[s], len(matched))
 	}
 
+	cancel := newCanceler(ctx)
 	rows := make([][]any, len(groups))
 	fill := func(gi int) {
 		g := groups[gi]
@@ -49,10 +60,11 @@ func (e *Engine[T]) aggregatePlanned(pa *preparedAgg[T], start time.Time) *Resul
 		}
 		rows[gi] = out
 	}
+	var cancelled atomic.Bool
 	if len(matched) >= parallelThreshold && len(groups) > 1 {
 		// Groups are independent (each writes only its slot), so fan them
 		// out; group order is fixed before the fan-out, keeping the output
-		// deterministic.
+		// deterministic. Workers re-check cancellation before every group.
 		workers := runtime.GOMAXPROCS(0)
 		if workers > len(groups) {
 			workers = len(groups)
@@ -64,6 +76,10 @@ func (e *Engine[T]) aggregatePlanned(pa *preparedAgg[T], start time.Time) *Resul
 			go func() {
 				defer wg.Done()
 				for gi := range next {
+					if cancel.hit() {
+						cancelled.Store(true)
+						continue // drain the channel so the feeder never blocks
+					}
 					fill(gi)
 				}
 			}()
@@ -75,8 +91,15 @@ func (e *Engine[T]) aggregatePlanned(pa *preparedAgg[T], start time.Time) *Resul
 		wg.Wait()
 	} else {
 		for gi := range groups {
+			if gi%16 == 0 && cancel.hit() {
+				cancelled.Store(true)
+				break
+			}
 			fill(gi)
 		}
+	}
+	if cancelled.Load() {
+		return nil, ctx.Err()
 	}
 
 	sortAggRows(rows, pa)
@@ -95,24 +118,26 @@ func (e *Engine[T]) aggregatePlanned(pa *preparedAgg[T], start time.Time) *Resul
 			QueryTimeMicros: time.Since(start).Microseconds(),
 			Explain:         explain,
 		},
-	}
+	}, nil
 }
 
 // groupRows partitions the matched rows into groups keyed by the encoded
 // group-by values: parallel per-chunk partial grouping above the scan
 // threshold, merged in chunk order so group order (first occurrence) and
 // per-group row order (ascending) match the oracle's sequential pass.
-func (e *Engine[T]) groupRows(pa *preparedAgg[T], matched []int32) []*colGroup {
+func (e *Engine[T]) groupRows(ctx context.Context, pa *preparedAgg[T], matched []int32) ([]*colGroup, error) {
 	if len(pa.groupFields) == 0 {
-		return []*colGroup{{rows: matched}}
+		return []*colGroup{{rows: matched}}, nil
 	}
+	cancel := newCanceler(ctx)
 	groupCols := make([]*column, len(pa.groupOrds))
 	for i, ord := range pa.groupOrds {
 		groupCols[i] = e.columnFor(ord)
 	}
 
 	// chunkGroups is one chunk's partial grouping: keys in first-occurrence
-	// order plus the rows collected under each.
+	// order plus the rows collected under each. nil marks a chunk abandoned
+	// to cancellation.
 	type chunkGroups struct {
 		keys  []string
 		index map[string]int
@@ -122,6 +147,9 @@ func (e *Engine[T]) groupRows(pa *preparedAgg[T], matched []int32) []*colGroup {
 		ch := &chunkGroups{index: map[string]int{}}
 		var buf []byte
 		for i := lo; i < hi; i++ {
+			if (i-lo)%cancelStride == 0 && cancel.hit() {
+				return nil
+			}
 			row := int(matched[i])
 			buf = buf[:0]
 			for _, col := range groupCols {
@@ -141,7 +169,9 @@ func (e *Engine[T]) groupRows(pa *preparedAgg[T], matched []int32) []*colGroup {
 	}
 
 	var chunks []*chunkGroups
+	var started int
 	if len(matched) < parallelThreshold {
+		started = 1
 		chunks = []*chunkGroups{groupChunk(0, len(matched))}
 	} else {
 		workers := runtime.GOMAXPROCS(0)
@@ -160,6 +190,7 @@ func (e *Engine[T]) groupRows(pa *preparedAgg[T], matched []int32) []*colGroup {
 			if lo >= hi {
 				break
 			}
+			started++
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
@@ -167,6 +198,11 @@ func (e *Engine[T]) groupRows(pa *preparedAgg[T], matched []int32) []*colGroup {
 			}(w, lo, hi)
 		}
 		wg.Wait()
+	}
+	for _, ch := range chunks[:started] {
+		if ch == nil {
+			return nil, ctx.Err()
+		}
 	}
 
 	// Deterministic merge: chunks in chunk order, keys in chunk-local
@@ -188,7 +224,7 @@ func (e *Engine[T]) groupRows(pa *preparedAgg[T], matched []int32) []*colGroup {
 			groups[gi].rows = append(groups[gi].rows, ch.rows[ki]...)
 		}
 	}
-	return groups
+	return groups, nil
 }
 
 // aggCellFn computes one aggregate cell from a group's row list over the

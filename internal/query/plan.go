@@ -1,10 +1,12 @@
 package query
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -216,8 +218,11 @@ func opHolds(op Op, c int) bool {
 
 // matchColumns evaluates predicates over the typed columns. candidates nil
 // means the full dataset. Output is ascending dataset order; large inputs
-// fan out across CPUs in chunk order exactly like the oracle's match().
-func (e *Engine[T]) matchColumns(filters []compiledFilter[T], candidates []int32) []int32 {
+// fan out across CPUs in chunk order exactly like the oracle's match(). The
+// canceler is polled every cancelStride rows; a cancelled scan joins every
+// worker, recycles the chunk buffers and returns ctx.Err().
+func (e *Engine[T]) matchColumns(ctx context.Context, filters []compiledFilter[T], candidates []int32) ([]int32, error) {
+	cancel := newCanceler(ctx)
 	preds := make([]func(int) bool, len(filters))
 	for i, cf := range filters {
 		preds[i] = e.predicate(cf)
@@ -232,8 +237,13 @@ func (e *Engine[T]) matchColumns(filters []compiledFilter[T], candidates []int32
 		}
 		return i
 	}
-	scanChunk := func(lo, hi int, out []int32) []int32 {
+	// scanChunk returns false when it observed cancellation; out is then
+	// partial and must be discarded.
+	scanChunk := func(lo, hi int, out []int32) ([]int32, bool) {
 		for i := lo; i < hi; i++ {
+			if (i-lo)%cancelStride == 0 && cancel.hit() {
+				return out, false
+			}
 			row := rowAt(i)
 			ok := true
 			for _, p := range preds {
@@ -246,10 +256,14 @@ func (e *Engine[T]) matchColumns(filters []compiledFilter[T], candidates []int32
 				out = append(out, int32(row))
 			}
 		}
-		return out
+		return out, true
 	}
 	if n < parallelThreshold {
-		return scanChunk(0, n, make([]int32, 0, e.capHint(n)))
+		out, ok := scanChunk(0, n, make([]int32, 0, e.capHint(n)))
+		if !ok {
+			return nil, ctx.Err()
+		}
+		return out, nil
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -257,6 +271,7 @@ func (e *Engine[T]) matchColumns(filters []compiledFilter[T], candidates []int32
 	}
 	chunk := (n + workers - 1) / workers
 	parts := make([][]int32, workers)
+	var cancelled atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -274,10 +289,22 @@ func (e *Engine[T]) matchColumns(filters []compiledFilter[T], candidates []int32
 			if cap(buf) == 0 {
 				buf = make([]int32, 0, e.capHint(hi-lo))
 			}
-			parts[w] = scanChunk(lo, hi, buf[:0])
+			part, ok := scanChunk(lo, hi, buf[:0])
+			if !ok {
+				cancelled.Store(true)
+			}
+			parts[w] = part
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if cancelled.Load() {
+		for _, p := range parts {
+			if p != nil {
+				e.candPool.Put(p[:0]) //nolint:staticcheck // slice reuse is the point
+			}
+		}
+		return nil, ctx.Err()
+	}
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -287,23 +314,25 @@ func (e *Engine[T]) matchColumns(filters []compiledFilter[T], candidates []int32
 		out = append(out, p...)
 		e.candPool.Put(p[:0]) //nolint:staticcheck // slice reuse is the point
 	}
-	return out
+	return out, nil
 }
 
 // planMatch is the planner's filter stage, shared by Scan and Aggregate:
 // index-answered filters become posting lists intersected smallest-first,
 // the residual predicates run as a typed column scan over only the
 // candidates, and the Explain block records every decision. The returned
-// rows are in ascending dataset order.
-func (e *Engine[T]) planMatch(filters []compiledFilter[T]) ([]int32, *Explain) {
+// rows are in ascending dataset order. A cancelled context surfaces as
+// ctx.Err() from the column scan.
+func (e *Engine[T]) planMatch(ctx context.Context, filters []compiledFilter[T]) ([]int32, *Explain, error) {
 	n := len(e.items)
 	lists, residual := e.planFilters(filters)
 
 	explain := &Explain{DatasetRows: n}
 	var matched []int32
+	var err error
 	if len(lists) == 0 {
 		// No usable index: full column scan, the pre-planner row count.
-		matched = e.matchColumns(filters, nil)
+		matched, err = e.matchColumns(ctx, filters, nil)
 		explain.Candidates = n
 		if len(filters) > 0 {
 			explain.ResidualScanned = n
@@ -318,22 +347,34 @@ func (e *Engine[T]) planMatch(filters []compiledFilter[T]) ([]int32, *Explain) {
 		candidates := intersectLists(lists)
 		explain.Candidates = len(candidates)
 		if len(residual) > 0 {
-			matched = e.matchColumns(residual, candidates)
+			matched, err = e.matchColumns(ctx, residual, candidates)
 			explain.ResidualScanned = len(candidates)
 		} else {
 			matched = candidates
 		}
 	}
+	if err != nil {
+		return nil, nil, err
+	}
 	e.observeSelectivity(len(matched), explain.Candidates)
-	return matched, explain
+	return matched, explain, nil
 }
 
 // scanPlanned is the default Scan executor.
-func (e *Engine[T]) scanPlanned(pq *prepared[T], start time.Time) (*Result, error) {
-	matched, explain := e.planMatch(pq.filters)
+func (e *Engine[T]) scanPlanned(ctx context.Context, pq *prepared[T], start time.Time) (*Result, error) {
+	matched, explain, err := e.planMatch(ctx, pq.filters)
+	if err != nil {
+		return nil, err
+	}
 
 	total := len(matched)
 	if len(pq.sortFields) > 0 {
+		// The sort and materialization stages run after a cancellation
+		// point: a request whose deadline died during the match never pays
+		// for ordering rows it will not return.
+		if cancel := newCanceler(ctx); cancel.hit() {
+			return nil, ctx.Err()
+		}
 		less := e.rowLess(pq.sortKeys, pq.sortOrds)
 		if pq.limit > 0 && pq.limit < len(matched) {
 			matched = topK(matched, pq.limit, less)
@@ -343,6 +384,9 @@ func (e *Engine[T]) scanPlanned(pq *prepared[T], start time.Time) (*Result, erro
 	}
 	if pq.limit > 0 && len(matched) > pq.limit {
 		matched = matched[:pq.limit]
+	}
+	if cancel := newCanceler(ctx); cancel.hit() {
+		return nil, ctx.Err()
 	}
 
 	return &Result{

@@ -28,6 +28,7 @@
 package query
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -207,6 +208,20 @@ type Source interface {
 	Fields() []FieldInfo
 	// Scan executes one query. It is safe for concurrent use.
 	Scan(q Query) (*Result, error)
+}
+
+// ContextSource is implemented by sources whose scans honor context
+// cancellation: a scan observing a cancelled or expired context stops at the
+// next chunk boundary and returns the context's error instead of burning CPU
+// to completion. With a context that never cancels, ScanContext is
+// bit-identical to Scan (which is ScanContext over context.Background()).
+// *Engine[T] implements it; the HTTP endpoints use it to abandon work for
+// timed-out or disconnected clients.
+type ContextSource interface {
+	Source
+	// ScanContext executes one query, stopping early (with ctx.Err()) when
+	// the context is cancelled. It is safe for concurrent use.
+	ScanContext(ctx context.Context, q Query) (*Result, error)
 }
 
 // OracleSource is implemented by sources that retain the pre-planner

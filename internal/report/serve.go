@@ -1,0 +1,35 @@
+package report
+
+import (
+	"fmt"
+	"time"
+
+	"marketscope/internal/market"
+)
+
+// ServeStats renders one market server's serving counters — the shutdown
+// summary marketsim prints per market, mirroring what the server's /metrics
+// endpoint exposes while it runs.
+func ServeStats(name string, st market.ServingStats) string {
+	t := newTable("Serving stats: " + name)
+	t.row("Metric", "Value")
+	t.row("requests", fmt.Sprint(st.Requests))
+	t.row("p50 latency", fmtLatency(st.P50))
+	t.row("p99 latency", fmtLatency(st.P99))
+	t.row("cache hits", fmt.Sprint(st.CacheHits))
+	t.row("cache misses", fmt.Sprint(st.CacheMisses))
+	t.row("cache hit rate", pct(st.HitRate))
+	t.row("cache bytes", fmt.Sprint(st.CacheBytes))
+	t.row("cache entries", fmt.Sprint(st.CacheCount))
+	t.row("shed (503)", fmt.Sprint(st.Shed))
+	t.row("rate limited (429)", fmt.Sprint(st.RateLimited))
+	t.row("timeouts (504)", fmt.Sprint(st.Timeouts))
+	return t.String()
+}
+
+func fmtLatency(d time.Duration) string {
+	if d <= 0 {
+		return "-"
+	}
+	return d.Round(time.Microsecond).String()
+}

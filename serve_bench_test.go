@@ -1,0 +1,260 @@
+// BenchmarkServeSustained measures the production serving layer end to end
+// over the enriched 400-app corpus: a sustained mixed hit/miss workload
+// through the full middleware chain, with the cache contract asserted before
+// any timing — a hit must be byte-identical to the miss that populated it,
+// and the hit path must be >= 10x faster at p50 than the cold compute it
+// replaces. The SERVESTAT line feeds the CI bench-smoke artifact
+// (BENCH_serve.json) the same way SCANSTAT and ANALYSESSTAT do.
+package marketscope_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"marketscope/internal/market"
+)
+
+var (
+	serveBenchOnce sync.Once
+	serveBenchSrv  *market.Server
+)
+
+// serveBenchServer wraps the shared enriched dataset in a fully configured
+// serving chain (cache, inflight gate, timeout, gzip). The timeout is wide —
+// this bench measures serving cost, not deadline behaviour.
+func serveBenchServer(b *testing.B) *market.Server {
+	ds := benchScanDataset(b)
+	serveBenchOnce.Do(func() {
+		srv := market.NewServer(market.NewStore(market.Profile{Name: "bench"}))
+		srv.AttachScan(ds.QuerySource())
+		cfg := market.DefaultServeConfig()
+		cfg.Timeout = 30 * time.Second
+		srv.ConfigureServing(cfg)
+		serveBenchSrv = srv
+	})
+	return serveBenchSrv
+}
+
+// serveBenchRequest is one entry of the sustained workload: a POST body and
+// the route it goes to.
+type serveBenchRequest struct {
+	path string
+	body []byte
+}
+
+// serveBenchWorkload marshals the scan and aggregation shapes the engine
+// benches sweep into HTTP bodies — the hot set every worker cycles through.
+func serveBenchWorkload(b *testing.B) []serveBenchRequest {
+	b.Helper()
+	var reqs []serveBenchRequest
+	for _, tc := range scanBenchQueries() {
+		body, err := json.Marshal(tc.q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs = append(reqs, serveBenchRequest{market.ScanPath, body})
+	}
+	for _, tc := range aggBenchRequests() {
+		body, err := json.Marshal(tc.a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs = append(reqs, serveBenchRequest{market.AggregatePath, body})
+	}
+	return reqs
+}
+
+// servePost drives one request through the in-process serving chain.
+func servePost(srv *market.Server, spec serveBenchRequest) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, spec.path, bytes.NewReader(spec.body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+// durQuantile reads the q-quantile from a sample of latencies (sorted in
+// place).
+func durQuantile(ds []time.Duration, q float64) time.Duration {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[int(q*float64(len(ds)-1))]
+}
+
+func BenchmarkServeSustained(b *testing.B) {
+	srv := serveBenchServer(b)
+	workload := serveBenchWorkload(b)
+
+	// Correctness gate: for every workload request the cold miss and the
+	// cache hit that follows must answer byte-identically.
+	srv.BumpEpoch() // start from a cold cache whatever ran before
+	for _, spec := range workload {
+		miss := servePost(srv, spec)
+		hit := servePost(srv, spec)
+		if miss.Code != http.StatusOK || hit.Code != http.StatusOK {
+			b.Fatalf("%s: status %d then %d", spec.path, miss.Code, hit.Code)
+		}
+		if miss.Header().Get("X-Cache") != "MISS" || hit.Header().Get("X-Cache") != "HIT" {
+			b.Fatalf("%s: X-Cache %q then %q, want MISS then HIT",
+				spec.path, miss.Header().Get("X-Cache"), hit.Header().Get("X-Cache"))
+		}
+		if !bytes.Equal(miss.Body.Bytes(), hit.Body.Bytes()) {
+			b.Fatalf("%s: cache hit diverges from the miss that populated it:\nmiss %.200s\nhit  %.200s",
+				spec.path, miss.Body.Bytes(), hit.Body.Bytes())
+		}
+	}
+
+	// Perf gate: serving from cache must beat cold compute by >= 10x at p50,
+	// measured apples-to-apples — the same request shape through the same
+	// serving chain, cold via never-before-seen cache keys (a limit far above
+	// the matched count varies the key without varying the work), hit via one
+	// cached key. The gate runs on whichever workload shape computes slowest.
+	const freshLimitBase = 100000
+	freshSpec := func(shape int, seq int) serveBenchRequest {
+		if shape < len(scanBenchQueries()) {
+			q := scanBenchQueries()[shape].q
+			q.Limit = freshLimitBase + seq
+			body, err := json.Marshal(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return serveBenchRequest{market.ScanPath, body}
+		}
+		a := aggBenchRequests()[shape-len(scanBenchQueries())].a
+		a.Limit = freshLimitBase + seq
+		body, err := json.Marshal(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return serveBenchRequest{market.AggregatePath, body}
+	}
+	timedPost := func(spec serveBenchRequest, wantCache string) time.Duration {
+		req := httptest.NewRequest(http.MethodPost, spec.path, bytes.NewReader(spec.body))
+		rec := httptest.NewRecorder()
+		start := time.Now()
+		srv.ServeHTTP(rec, req)
+		d := time.Since(start)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("%s: status %d (%.200s)", spec.path, rec.Code, rec.Body.String())
+		}
+		if got := rec.Header().Get("X-Cache"); got != wantCache {
+			b.Fatalf("%s: X-Cache %q, want %q", spec.path, got, wantCache)
+		}
+		return d
+	}
+	seq := 0
+	heaviest, heaviestCold := 0, time.Duration(0)
+	for shape := 0; shape < len(workload); shape++ {
+		probe := make([]time.Duration, 9)
+		for i := range probe {
+			seq++
+			probe[i] = timedPost(freshSpec(shape, seq), "MISS")
+		}
+		if p50 := durQuantile(probe, 0.50); p50 > heaviestCold {
+			heaviest, heaviestCold = shape, p50
+		}
+	}
+	coldSamples := make([]time.Duration, 31)
+	for i := range coldSamples {
+		seq++
+		coldSamples[i] = timedPost(freshSpec(heaviest, seq), "MISS")
+	}
+	hitSpec := freshSpec(heaviest, 0)
+	timedPost(hitSpec, "MISS") // populate
+	hitSamples := make([]time.Duration, 301)
+	for i := range hitSamples {
+		hitSamples[i] = timedPost(hitSpec, "HIT")
+	}
+	hitP50, coldP50 := durQuantile(hitSamples, 0.50), durQuantile(coldSamples, 0.50)
+	hitSpeedup := float64(coldP50) / float64(hitP50)
+	if hitSpeedup < 10 {
+		b.Fatalf("cache-hit p50 %v only %.1fx faster than cold compute p50 %v (shape %d), want >= 10x",
+			hitP50, hitSpeedup, coldP50, heaviest)
+	}
+
+	// Sustained phase: a fixed wall-clock window of concurrent mixed traffic —
+	// the hot set plus a steady trickle of never-before-seen queries so the
+	// miss path stays exercised — recording client-side latencies and the
+	// server's own counters.
+	const (
+		serveWorkers = 8
+		serveWindow  = 400 * time.Millisecond
+		missEvery    = 10 // one fresh-miss request per worker per missEvery
+	)
+	before := srv.ServingStats()
+	latencies := make([][]time.Duration, serveWorkers)
+	var missSeq atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < serveWorkers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; time.Since(start) < serveWindow; i++ {
+				spec := workload[(w+i)%len(workload)]
+				if i%missEvery == 0 {
+					q := scanBenchQueries()[0].q
+					q.Limit = 1000 + int(missSeq.Add(1)) // unseen key -> guaranteed miss
+					body, err := json.Marshal(q)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					spec = serveBenchRequest{market.ScanPath, body}
+				}
+				t0 := time.Now()
+				rec := servePost(srv, spec)
+				latencies[w] = append(latencies[w], time.Since(t0))
+				if rec.Code != http.StatusOK {
+					b.Errorf("worker %d: status %d (%.200s)", w, rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if b.Failed() {
+		b.FailNow()
+	}
+	after := srv.ServingStats()
+
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	hits := after.CacheHits - before.CacheHits
+	misses := after.CacheMisses - before.CacheMisses
+	hitRate := float64(hits) / float64(maxInt64(hits+misses, 1))
+	printOnce("serve-sustained", fmt.Sprintf(
+		"SERVESTAT requests=%d qps=%.0f p50_us=%d p99_us=%d hit_rate=%.2f hits=%d misses=%d hit_p50_us=%d cold_p50_us=%d hit_speedup=%.1f shed=%d timeouts=%d",
+		len(all), float64(len(all))/elapsed.Seconds(),
+		durQuantile(all, 0.50).Microseconds(), durQuantile(all, 0.99).Microseconds(),
+		hitRate, hits, misses,
+		hitP50.Microseconds(), coldP50.Microseconds(), hitSpeedup,
+		after.Shed-before.Shed, after.Timeouts-before.Timeouts))
+
+	// The timed loop: steady-state serving of the hot (cached) set through
+	// the full chain.
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec := servePost(srv, workload[i%len(workload)]); rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
