@@ -100,7 +100,7 @@ func TestScanCLIExplain(t *testing.T) {
 		t.Fatalf("run: %v", err)
 	}
 	got := out.String()
-	if !strings.Contains(got, "plan: index=hash(market)") {
+	if !strings.Contains(got, "plan: index=bitmap(market)") {
 		t.Errorf("-explain output missing indexed plan line:\n%s", got)
 	}
 	if !strings.Contains(got, "candidates=") || !strings.Contains(got, "residual_scanned=") {
@@ -147,14 +147,53 @@ func TestScanCLINoEnrichNulls(t *testing.T) {
 	}
 }
 
+// TestScanCLIListingMetaDeterministic runs a query over the listing-metadata
+// fields whose draws once rode on map-iteration order — market_category,
+// developer_name, has_iap — through the CLI and the Go API over two
+// independently generated corpora of the same seed. Every field must match:
+// the generator derives each listing's metadata stream purely from
+// (seed, package, market), not from generation order.
+func TestScanCLIListingMetaDeterministic(t *testing.T) {
+	const metaQuery = `{
+		"fields":  ["package", "market", "market_category", "developer_name", "has_iap"],
+		"sort":    [{"field": "package"}, {"field": "market"}],
+		"limit":   50
+	}`
+	var out bytes.Buffer
+	err := run([]string{"-apps", "120", "-developers", "40", "-seed", "7", "-no-enrich", "-format", "json"},
+		strings.NewReader(metaQuery), &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var cli query.Result
+	if err := json.Unmarshal(out.Bytes(), &cli); err != nil {
+		t.Fatalf("decode CLI output: %v", err)
+	}
+
+	ds, err := buildDataset("", 120, 40, 7, false, 1)
+	if err != nil {
+		t.Fatalf("build dataset: %v", err)
+	}
+	q, err := query.ParseQuery(strings.NewReader(metaQuery))
+	if err != nil {
+		t.Fatalf("parse query: %v", err)
+	}
+	direct, err := ds.QuerySource().Scan(q)
+	if err != nil {
+		t.Fatalf("direct scan: %v", err)
+	}
+	cliRows, _ := json.Marshal(cli.Rows)
+	directRows, _ := json.Marshal(direct.Rows)
+	if !bytes.Equal(cliRows, directRows) {
+		t.Fatalf("listing metadata diverges across generates:\ncli:    %s\ndirect: %s", cliRows, directRows)
+	}
+}
+
 // TestScanCLIAggregateMatchesGoAPI runs a grouped aggregation through the
 // CLI flags and through the Go API over an identically-configured dataset;
 // the rows must be identical (modulo JSON number widening).
 func TestScanCLIAggregateMatchesGoAPI(t *testing.T) {
 	var out bytes.Buffer
-	// Aggregates stick to fields that are deterministic across two
-	// independently generated corpora with the same seed (the market-native
-	// category strings, for example, are not).
 	err := run([]string{"-apps", "120", "-developers", "40", "-seed", "7", "-format", "json",
 		"-group-by", "market", "-agg", "count,mean(rating),min(package),share"},
 		strings.NewReader(""), &out)

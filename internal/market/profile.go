@@ -10,6 +10,15 @@
 // behaviour (vetting strictness, post-hoc malware removal) attributed to the
 // real store by the paper. The crawler exercises the same code paths it would
 // against the real web front-ends.
+//
+// The package is also the dataset's serving front door: AttachScan mounts
+// /api/scan and /api/aggregate over any query.Source, and ConfigureServing
+// wraps the server in the production middleware stack — panic recovery,
+// request IDs, concurrency limiting with queue shedding, per-request
+// timeouts with cooperative query cancellation, per-client rate limits, a
+// byte-identical result cache with epoch invalidation, and request metrics
+// exported on /metrics via internal/metrics. The knobs live on ServeConfig;
+// DefaultServeConfig is what cmd/marketsim serves with.
 package market
 
 import "sort"

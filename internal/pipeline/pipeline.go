@@ -10,6 +10,13 @@
 // (commutative, associative) accumulators. Under those rules the output of a
 // run with N workers is identical to the serial run, which the analysis
 // package keeps behind Workers == 1 as the oracle for its equivalence tests.
+//
+// Consumers beyond the enrichment pipeline: the analysis scheduler runs its
+// dependency-ordered task waves on ForEach, the clone-detection index sweeps
+// on it too, Cache memoizes the per-APK AV scans, and the query engine's
+// parallel scan and grouping stages follow the same chunk-and-merge-in-order
+// discipline — one discipline carrying the repo's determinism-under-
+// parallelism argument end to end.
 package pipeline
 
 import (

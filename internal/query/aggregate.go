@@ -416,7 +416,7 @@ func (c *column) appendKey(buf []byte, i int) []byte {
 	case KindFloat:
 		return appendKeyFloat(buf, c.floats[i])
 	case KindString:
-		return appendKeyString(buf, c.strs[i])
+		return appendKeyString(buf, c.str(i))
 	case KindBool:
 		return appendKeyBool(buf, c.bools[i])
 	case KindTime:

@@ -2,9 +2,47 @@ package query
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"time"
 )
+
+// Segment geometry for zone maps: every column is split into fixed-size row
+// segments, each carrying a zone (row/null counts plus min/max witnesses) so
+// a full scan can skip whole segments a filter provably cannot match. These
+// are variables, not constants, so the test suite can shrink segments and
+// exercise multi-segment pruning on small datasets; production code must not
+// change them after any engine has been built.
+var (
+	// segmentSize is the number of rows per zone-mapped segment.
+	segmentSize = 4096
+)
+
+// dictCardLimit is the largest dictionary worth keeping for an n-row string
+// column. Below 256 distinct values encoding always wins; beyond that the
+// dictionary must stay under half the row count or the column keeps its
+// plain layout (a near-unique column pays dictionary overhead for nothing).
+func dictCardLimit(n int) int {
+	if n/2 > 256 {
+		return n / 2
+	}
+	return 256
+}
+
+// zone summarizes one fixed-size row segment of a column for scan pruning:
+// how many rows and nulls it holds, plus witness rows carrying its minimum
+// and maximum non-null value (-1 when the segment has no non-null rows, or
+// when the kind is unordered / the column contains NaN, whose comparison
+// semantics break the min/max invariant). Storing witness rows instead of
+// typed values keeps the zone layout kind-independent: bounds checks reuse
+// compareOperand, so pruning decisions use exactly the scan's comparison
+// semantics.
+type zone struct {
+	rows   int32
+	nulls  int32
+	minRow int32
+	maxRow int32
+}
 
 // bitset is a fixed-size bitmap; columns use one to mark null rows.
 type bitset []uint64
@@ -32,6 +70,19 @@ type column struct {
 	strs   []string
 	bools  []bool
 	times  []time.Time
+
+	// Dictionary encoding (string columns marked Field.Dictionary, on
+	// compressed engines): dict is the sorted slice of distinct non-null
+	// values and codes holds one index into it per row (unspecified where
+	// null). A non-nil dict marks the column encoded — strs is then nil.
+	// Because dict is sorted, code order is value order, so comparisons and
+	// group keys work on the ints alone.
+	dict  []string
+	codes []uint32
+
+	// zones holds the per-segment zone maps (segmentSize rows each), built
+	// on compressed engines; nil otherwise.
+	zones []zone
 }
 
 // colSlot is the lazy holder of one field's column: built at most once per
@@ -43,8 +94,11 @@ type colSlot struct {
 
 // buildColumn materializes a field over every item through the same
 // extract() the oracle path uses, so cached values (nulls included) are
-// identical to what a row-at-a-time scan would see.
-func buildColumn[T any](f Field[T], items []T) *column {
+// identical to what a row-at-a-time scan would see. With compressed set it
+// additionally dictionary-encodes hinted string columns and attaches
+// per-segment zone maps; both change only the layout, never the values a
+// scan observes.
+func buildColumn[T any](f Field[T], items []T, compressed bool) *column {
 	n := len(items)
 	c := &column{kind: f.Kind, nulls: newBitset(n)}
 	switch f.Kind {
@@ -83,7 +137,107 @@ func buildColumn[T any](f Field[T], items []T) *column {
 			c.times[i] = v.(time.Time)
 		}
 	}
+	if compressed {
+		if f.Dictionary && f.Kind == KindString {
+			c.encodeDict()
+		}
+		c.buildZones()
+	}
 	return c
+}
+
+// encodeDict rewrites a plain string column into dictionary form: distinct
+// non-null values sorted into dict, per-row codes into it. Columns whose
+// cardinality exceeds dictCardLimit keep the plain layout (the method is a
+// no-op then) — the hint is best-effort, results never depend on it.
+func (c *column) encodeDict() {
+	n := len(c.strs)
+	limit := dictCardLimit(n)
+	codeOf := make(map[string]uint32, 64)
+	var dict []string
+	codes := make([]uint32, n)
+	for i, s := range c.strs {
+		if c.nulls.get(i) {
+			continue
+		}
+		code, ok := codeOf[s]
+		if !ok {
+			if len(dict) >= limit {
+				return
+			}
+			code = uint32(len(dict))
+			codeOf[s] = code
+			dict = append(dict, s)
+		}
+		codes[i] = code
+	}
+	// Sort the dictionary and remap codes so code order is value order:
+	// compareRows then needs only an int compare, and range predicates
+	// reduce to a code-interval test.
+	sorted := append([]string(nil), dict...)
+	sort.Strings(sorted)
+	remap := make([]uint32, len(dict))
+	for newCode, s := range sorted {
+		remap[codeOf[s]] = uint32(newCode)
+	}
+	for i := range codes {
+		if !c.nulls.get(i) {
+			codes[i] = remap[codes[i]]
+		}
+	}
+	c.dict, c.codes, c.strs = sorted, codes, nil
+}
+
+// buildZones computes the per-segment zone maps. Null and row counts are
+// exact for every kind; min/max witnesses are recorded only for ordered
+// kinds without NaN, mirroring the sorted index's refusal — compareValues
+// treats NaN as equal to everything, which would make the bounds unsound.
+func (c *column) buildZones() {
+	n := columnLen(c)
+	if n == 0 {
+		return
+	}
+	ordered := sortable(c.kind) && !c.hasNaN
+	zones := make([]zone, (n+segmentSize-1)/segmentSize)
+	for s := range zones {
+		lo := s * segmentSize
+		hi := lo + segmentSize
+		if hi > n {
+			hi = n
+		}
+		z := &zones[s]
+		z.rows = int32(hi - lo)
+		z.minRow, z.maxRow = -1, -1
+		for i := lo; i < hi; i++ {
+			if c.nulls.get(i) {
+				z.nulls++
+				continue
+			}
+			if !ordered {
+				continue
+			}
+			if z.minRow < 0 {
+				z.minRow, z.maxRow = int32(i), int32(i)
+				continue
+			}
+			if c.compareRows(i, int(z.minRow)) < 0 {
+				z.minRow = int32(i)
+			}
+			if c.compareRows(i, int(z.maxRow)) > 0 {
+				z.maxRow = int32(i)
+			}
+		}
+	}
+	c.zones = zones
+}
+
+// str returns the row's string value regardless of layout (dictionary code
+// or plain slice). Callers must have checked nulls first.
+func (c *column) str(i int) string {
+	if c.dict != nil {
+		return c.dict[c.codes[i]]
+	}
+	return c.strs[i]
 }
 
 // value boxes the row's value in its JSON-facing representation (time as
@@ -99,7 +253,7 @@ func (c *column) value(i int) any {
 	case KindFloat:
 		return c.floats[i]
 	case KindString:
-		return c.strs[i]
+		return c.str(i)
 	case KindBool:
 		return c.bools[i]
 	case KindTime:
@@ -122,7 +276,7 @@ func (c *column) typed(i int) any {
 	case KindFloat:
 		return c.floats[i]
 	case KindString:
-		return c.strs[i]
+		return c.str(i)
 	case KindBool:
 		return c.bools[i]
 	case KindTime:
@@ -141,6 +295,10 @@ func (c *column) compareRows(a, b int) int {
 	case KindFloat:
 		return cmpOrdered(c.floats[a], c.floats[b])
 	case KindString:
+		if c.dict != nil {
+			// The dictionary is sorted, so code order is value order.
+			return cmpOrdered(c.codes[a], c.codes[b])
+		}
 		return cmpOrdered(c.strs[a], c.strs[b])
 	case KindBool:
 		return cmpBool(c.bools[a], c.bools[b])
@@ -159,7 +317,7 @@ func (c *column) compareOperand(i int, operand any) int {
 	case KindFloat:
 		return cmpOrdered(c.floats[i], operand.(float64))
 	case KindString:
-		return cmpOrdered(c.strs[i], operand.(string))
+		return cmpOrdered(c.str(i), operand.(string))
 	case KindBool:
 		return cmpBool(c.bools[i], operand.(bool))
 	case KindTime:
@@ -168,7 +326,7 @@ func (c *column) compareOperand(i int, operand any) int {
 	return 0
 }
 
-func cmpOrdered[V int64 | float64 | string](x, y V) int {
+func cmpOrdered[V int64 | float64 | string | uint32](x, y V) int {
 	switch {
 	case x < y:
 		return -1
@@ -204,7 +362,7 @@ func (e *Engine[T]) columnFor(ord int) *column {
 	slot := &e.cols[ord]
 	slot.once.Do(func() {
 		f := e.reg.byName[e.reg.order[ord]]
-		slot.col = buildColumn(f, e.items)
+		slot.col = buildColumn(f, e.items, !e.uncompressed)
 	})
 	return slot.col
 }

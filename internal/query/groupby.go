@@ -2,6 +2,7 @@ package query
 
 import (
 	"context"
+	"math/bits"
 	"runtime"
 	"sort"
 	"strconv"
@@ -134,6 +135,9 @@ func (e *Engine[T]) groupRows(ctx context.Context, pa *preparedAgg[T], matched [
 	for i, ord := range pa.groupOrds {
 		groupCols[i] = e.columnFor(ord)
 	}
+	if keyAt, keyBits, ok := packedKeyer(groupCols); ok {
+		return groupRowsPacked(ctx, cancel, matched, keyAt, keyBits)
+	}
 
 	// chunkGroups is one chunk's partial grouping: keys in first-occurrence
 	// order plus the rows collected under each. nil marks a chunk abandoned
@@ -223,6 +227,286 @@ func (e *Engine[T]) groupRows(ctx context.Context, pa *preparedAgg[T], matched [
 			}
 			groups[gi].rows = append(groups[gi].rows, ch.rows[ki]...)
 		}
+	}
+	return groups, nil
+}
+
+// packedKeyer returns a per-row group-key packer when every group column is
+// dictionary-encoded and the code widths fit one uint64: each column
+// contributes bits.Len(len(dict)) bits holding 0 for null or code+1
+// otherwise, so distinct value tuples map to distinct keys. Grouping then
+// hashes machine words instead of encoded byte strings — the dictionary
+// payoff for group-by. keyBits is the total packed width (every key is
+// < 1<<keyBits), letting the caller pick a dense table over a hash map when
+// the key space is small. ok is false (caller falls back to byte keys) when
+// any column is plain or the widths overflow.
+func packedKeyer(groupCols []*column) (keyAt func(int) uint64, keyBits int, ok bool) {
+	shift := 0
+	shifts := make([]int, len(groupCols))
+	for i, col := range groupCols {
+		if col.dict == nil {
+			return nil, 0, false
+		}
+		shifts[i] = shift
+		shift += bits.Len(uint(len(col.dict)))
+	}
+	if shift > 64 {
+		return nil, 0, false
+	}
+	return func(row int) uint64 {
+		var key uint64
+		for i, col := range groupCols {
+			if !col.nulls.get(row) {
+				key |= (uint64(col.codes[row]) + 1) << shifts[i]
+			}
+		}
+		return key
+	}, shift, true
+}
+
+// denseKeyBits caps the packed key width for which grouping uses a direct
+// slot table (one int32 per possible key, zeroed per chunk) instead of a
+// hash map. 16 bits is a 256 KiB table per worker — cheap to clear relative
+// to any chunk large enough to want it, and covers every realistic
+// dictionary group-by (e.g. market × category packs into ~10 bits).
+const denseKeyBits = 16
+
+// groupChunkBounds splits matched into the contiguous chunks grouping
+// parallelizes over: one chunk below parallelThreshold, else one per
+// GOMAXPROCS worker. Both grouping passes must use identical bounds — the
+// chunk-order merge is what makes parallel group order deterministic.
+func groupChunkBounds(n int) [][2]int {
+	if n < parallelThreshold {
+		return [][2]int{{0, n}}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var bounds [][2]int
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		bounds = append(bounds, [2]int{lo, hi})
+	}
+	return bounds
+}
+
+// groupRowsPacked is groupRows' fast path over packed uint64 group keys:
+// identical chunking, identical chunk-order merge, so group order
+// (first occurrence) and per-group row order (ascending) are bit-identical
+// to the byte-key path and the oracle. Small key spaces take the dense
+// counting-sort path; wide keys group through a uint64 map per chunk. Both
+// produce the same output, so the choice never shows in results.
+func groupRowsPacked(ctx context.Context, cancel canceler, matched []int32, keyAt func(int) uint64, keyBits int) ([]*colGroup, error) {
+	if keyBits <= denseKeyBits && 1<<keyBits <= 8*len(matched) {
+		return groupRowsPackedDense(ctx, cancel, matched, keyAt, keyBits)
+	}
+	type chunkGroups struct {
+		keys []uint64
+		rows [][]int32
+	}
+	groupChunk := func(lo, hi int) *chunkGroups {
+		index := map[uint64]int32{}
+		ch := &chunkGroups{}
+		for i := lo; i < hi; i++ {
+			if (i-lo)%cancelStride == 0 && cancel.hit() {
+				return nil
+			}
+			key := keyAt(int(matched[i]))
+			gi, ok := index[key]
+			if !ok {
+				gi = int32(len(ch.keys))
+				index[key] = gi
+				ch.keys = append(ch.keys, key)
+				ch.rows = append(ch.rows, nil)
+			}
+			ch.rows[gi] = append(ch.rows[gi], matched[i])
+		}
+		return ch
+	}
+
+	var chunks []*chunkGroups
+	var started int
+	if len(matched) < parallelThreshold {
+		started = 1
+		chunks = []*chunkGroups{groupChunk(0, len(matched))}
+	} else {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(matched) {
+			workers = len(matched)
+		}
+		chunk := (len(matched) + workers - 1) / workers
+		chunks = make([]*chunkGroups, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(matched) {
+				hi = len(matched)
+			}
+			if lo >= hi {
+				break
+			}
+			started++
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				chunks[w] = groupChunk(lo, hi)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+	}
+	for _, ch := range chunks[:started] {
+		if ch == nil {
+			return nil, ctx.Err()
+		}
+	}
+
+	index := map[uint64]int{}
+	var groups []*colGroup
+	for _, ch := range chunks {
+		if ch == nil {
+			continue
+		}
+		for ki, key := range ch.keys {
+			gi, ok := index[key]
+			if !ok {
+				gi = len(groups)
+				index[key] = gi
+				groups = append(groups, &colGroup{firstRow: ch.rows[ki][0]})
+			}
+			groups[gi].rows = append(groups[gi].rows, ch.rows[ki]...)
+		}
+	}
+	return groups, nil
+}
+
+// groupRowsPackedDense groups through a two-pass counting sort: pass one
+// counts rows per packed key per chunk (a dense int32 table — no hashing),
+// the merge turns counts into exact offsets inside one shared backing array,
+// and pass two writes each row straight to its slot. No per-group append
+// growth, no merge copying — the layout every aggregate cell then walks is a
+// single contiguous allocation.
+//
+// Output is bit-identical to the map paths: the merge visits chunks in order
+// and each chunk's keys in first-occurrence order, which IS global
+// first-occurrence order (a key's first chunk sees its globally first row),
+// and the per-chunk write cursors stack chunk 0's rows before chunk 1's, so
+// per-group rows stay ascending.
+func groupRowsPackedDense(ctx context.Context, cancel canceler, matched []int32, keyAt func(int) uint64, keyBits int) ([]*colGroup, error) {
+	// Pass one records every row's key in scratch (keyBits <= 16, so uint16
+	// holds any key) — pass two replays it with a plain load instead of
+	// re-deriving codes from the dictionary columns.
+	scratch := make([]uint16, len(matched))
+	type chunkCounts struct {
+		keys   []uint64 // first-occurrence order within the chunk
+		counts []int32  // dense per-key row count
+	}
+	countChunk := func(lo, hi int) *chunkCounts {
+		ch := &chunkCounts{counts: make([]int32, 1<<keyBits)}
+		for i := lo; i < hi; i++ {
+			if (i-lo)%cancelStride == 0 && cancel.hit() {
+				return nil
+			}
+			key := keyAt(int(matched[i]))
+			scratch[i] = uint16(key)
+			if ch.counts[key] == 0 {
+				ch.keys = append(ch.keys, key)
+			}
+			ch.counts[key]++
+		}
+		return ch
+	}
+
+	bounds := groupChunkBounds(len(matched))
+	chunks := make([]*chunkCounts, len(bounds))
+	if len(bounds) == 1 {
+		chunks[0] = countChunk(bounds[0][0], bounds[0][1])
+	} else {
+		var wg sync.WaitGroup
+		for w, b := range bounds {
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				chunks[w] = countChunk(lo, hi)
+			}(w, b[0], b[1])
+		}
+		wg.Wait()
+	}
+	for _, ch := range chunks {
+		if ch == nil {
+			return nil, ctx.Err()
+		}
+	}
+
+	// Merge: assign group indexes in global first-occurrence order, then lay
+	// the groups out back to back in one backing array, with a write cursor
+	// per (chunk, group) so chunks fill disjoint ranges concurrently.
+	slot := make([]int32, 1<<keyBits) // 0 = empty, else group index + 1
+	var keys []uint64
+	for _, ch := range chunks {
+		for _, key := range ch.keys {
+			if slot[key] == 0 {
+				keys = append(keys, key)
+				slot[key] = int32(len(keys))
+			}
+		}
+	}
+	starts := make([]int32, len(keys)+1)
+	cursors := make([][]int32, len(chunks))
+	for w := range chunks {
+		cursors[w] = make([]int32, len(keys))
+	}
+	for g, key := range keys {
+		pos := starts[g]
+		for w, ch := range chunks {
+			cursors[w][g] = pos
+			pos += ch.counts[key]
+		}
+		starts[g+1] = pos
+	}
+
+	backing := make([]int32, len(matched))
+	fillChunk := func(w, lo, hi int) bool {
+		cur := cursors[w]
+		for i := lo; i < hi; i++ {
+			if (i-lo)%cancelStride == 0 && cancel.hit() {
+				return false
+			}
+			g := slot[scratch[i]] - 1
+			backing[cur[g]] = matched[i]
+			cur[g]++
+		}
+		return true
+	}
+	filled := make([]bool, len(bounds))
+	if len(bounds) == 1 {
+		filled[0] = fillChunk(0, bounds[0][0], bounds[0][1])
+	} else {
+		var wg sync.WaitGroup
+		for w, b := range bounds {
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				filled[w] = fillChunk(w, lo, hi)
+			}(w, b[0], b[1])
+		}
+		wg.Wait()
+	}
+	for _, ok := range filled {
+		if !ok {
+			return nil, ctx.Err()
+		}
+	}
+
+	groups := make([]*colGroup, len(keys))
+	for g := range groups {
+		rows := backing[starts[g]:starts[g+1]:starts[g+1]]
+		groups[g] = &colGroup{firstRow: rows[0], rows: rows}
 	}
 	return groups, nil
 }
@@ -345,6 +629,25 @@ func (e *Engine[T]) compileAggCell(ca *compiledAgg[T], totalMatched int) *aggCel
 			return col.typed(best)
 		}}
 	case AggDistinct:
+		if col.dict != nil {
+			// Distinct values are distinct codes: a flat bool table over the
+			// dictionary replaces the map of encoded keys.
+			return &aggCellFn{compute: func(rows []int32) any {
+				seen := make([]bool, len(col.dict))
+				n := 0
+				for _, r := range rows {
+					row := int(r)
+					if !pass(row) || col.nulls.get(row) {
+						continue
+					}
+					if !seen[col.codes[row]] {
+						seen[col.codes[row]] = true
+						n++
+					}
+				}
+				return int64(n)
+			}}
+		}
 		return &aggCellFn{compute: func(rows []int32) any {
 			seen := map[string]bool{}
 			var buf []byte
@@ -363,6 +666,42 @@ func (e *Engine[T]) compileAggCell(ca *compiledAgg[T], totalMatched int) *aggCel
 	case AggTopK:
 		kind := ca.field.Kind
 		k := ca.k
+		if col.dict != nil {
+			// Count per dictionary code; code order is value order, so the
+			// ranking comparator needs no string compares, and the first-row
+			// tiebreak is unreachable (one entry per distinct value).
+			return &aggCellFn{compute: func(rows []int32) any {
+				counts := make([]int, len(col.dict))
+				for _, r := range rows {
+					row := int(r)
+					if !pass(row) || col.nulls.get(row) {
+						continue
+					}
+					counts[col.codes[row]]++
+				}
+				var live []int
+				for code, c := range counts {
+					if c > 0 {
+						live = append(live, code)
+					}
+				}
+				if len(live) == 0 {
+					return nil
+				}
+				return renderTopK(len(live), k,
+					func(i, j int) int {
+						ci, cj := counts[live[i]], counts[live[j]]
+						if ci != cj {
+							if ci > cj {
+								return -1
+							}
+							return 1
+						}
+						return live[i] - live[j]
+					},
+					func(i int) (string, int) { return col.dict[live[i]], counts[live[i]] })
+			}}
+		}
 		return &aggCellFn{compute: func(rows []int32) any {
 			type entry struct {
 				row   int // first row carrying the value

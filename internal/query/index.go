@@ -38,6 +38,14 @@ type hashIndex struct {
 	strs  map[string][]int32
 	boolT []int32
 	boolF []int32
+
+	// Dictionary-encoded string columns replace the strs map with one
+	// compressed bitmap per dictionary code: dict aliases the column's
+	// sorted dictionary (operands binary-search into it) and dictBMs[k] is
+	// the row set of dict[k]. == then answers with a single bitmap, in with
+	// a bitmap union, and conjunctions intersect word-parallel.
+	dict    []string
+	dictBMs []*bitmap
 }
 
 type hashSlot struct {
@@ -59,6 +67,19 @@ func buildHashIndex(c *column) *hashIndex {
 			}
 		}
 	case KindString:
+		if c.dict != nil {
+			ix.dict = c.dict
+			ix.dictBMs = make([]*bitmap, len(c.dict))
+			for k := range ix.dictBMs {
+				ix.dictBMs[k] = &bitmap{}
+			}
+			for i := range c.codes {
+				if !c.nulls.get(i) {
+					ix.dictBMs[c.codes[i]].add(int32(i))
+				}
+			}
+			break
+		}
 		ix.strs = make(map[string][]int32)
 		for i := range c.strs {
 			if !c.nulls.get(i) {
@@ -94,6 +115,21 @@ func (ix *hashIndex) postings(operand any) []int32 {
 			return ix.boolT
 		}
 		return ix.boolF
+	}
+	return nil
+}
+
+// dictBM returns the posting bitmap of one string operand on a
+// dictionary-backed index, nil when the operand is not in the dictionary
+// (no row can match it).
+func (ix *hashIndex) dictBM(operand any) *bitmap {
+	s, ok := operand.(string)
+	if !ok {
+		return nil
+	}
+	k := sort.SearchStrings(ix.dict, s)
+	if k < len(ix.dict) && ix.dict[k] == s {
+		return ix.dictBMs[k]
 	}
 	return nil
 }
@@ -160,6 +196,9 @@ func columnLen(c *column) int {
 	case KindFloat:
 		return len(c.floats)
 	case KindString:
+		if c.dict != nil {
+			return len(c.codes)
+		}
 		return len(c.strs)
 	case KindBool:
 		return len(c.bools)

@@ -20,14 +20,25 @@ import (
 // target, is that Scan returns byte-identical Fields/Rows/TotalMatched to
 // ScanOracle for every query, order included.
 
-// indexedList is one filter the planner answered from an index.
+// indexedList is one filter the planner answered from an index: either a
+// row slice or a compressed bitmap (dictionary posting lists), never both.
 type indexedList struct {
 	rows []int32 // ascending dataset order; may alias shared index state
-	desc string  // explain fragment, e.g. "hash(market)"
+	bm   *bitmap // compressed row set; may alias shared index state
+	desc string  // explain fragment, e.g. "hash(market)" or "bitmap(market)"
 	// owned is true when rows is a fresh allocation (a sorted-index span or
 	// an in-merge) the scan may keep and mutate; false for hash posting
 	// lists, which alias immutable index state and must be copied first.
+	// Bitmaps are never mutated, so owned is irrelevant for them.
 	owned bool
+}
+
+// size is the list's row count, however it is represented.
+func (l *indexedList) size() int {
+	if l.bm != nil {
+		return l.bm.n
+	}
+	return len(l.rows)
 }
 
 // indexCandidate is a filter an index could answer, before the planner has
@@ -80,8 +91,26 @@ func (e *Engine[T]) indexLookup(cf compiledFilter[T]) (indexCandidate, bool) {
 	switch cf.op {
 	case OpEq:
 		if hashable(f.Kind) {
+			ix := e.hashFor(ord)
+			if ix.dictBMs != nil {
+				desc = "bitmap(" + f.Name + ")"
+				bm := ix.dictBM(cf.operand)
+				count := 0
+				if bm != nil {
+					count = bm.n
+				}
+				return indexCandidate{count: count, materialize: func() indexedList {
+					if bm == nil {
+						// Non-nil empty rows: an intersection producing zero
+						// candidates must stay distinguishable from "no index
+						// applied" (nil), which means a full scan downstream.
+						return indexedList{rows: []int32{}, desc: desc, owned: true}
+					}
+					return indexedList{bm: bm, desc: desc}
+				}}, true
+			}
 			desc = "hash(" + f.Name + ")"
-			rows := e.hashFor(ord).postings(cf.operand)
+			rows := ix.postings(cf.operand)
 			return indexCandidate{count: len(rows), materialize: func() indexedList {
 				return indexedList{rows: rows, desc: desc}
 			}}, true
@@ -90,8 +119,24 @@ func (e *Engine[T]) indexLookup(cf compiledFilter[T]) (indexCandidate, bool) {
 		return sortedSpan(OpEq, cf.operand)
 	case OpIn:
 		if hashable(f.Kind) {
-			desc = "hash(" + f.Name + ")"
 			ix := e.hashFor(ord)
+			if ix.dictBMs != nil {
+				// Union the per-code bitmaps eagerly: the OR costs O(result
+				// words), gives an exact (duplicate-free) count for the
+				// demotion check and is itself the materialized list.
+				desc = "bitmap(" + f.Name + ")"
+				bms := make([]*bitmap, 0, len(cf.operands))
+				for _, operand := range cf.operands {
+					if bm := ix.dictBM(operand); bm != nil {
+						bms = append(bms, bm)
+					}
+				}
+				merged := bmOrAll(bms)
+				return indexCandidate{count: merged.n, materialize: func() indexedList {
+					return indexedList{bm: merged, desc: desc}
+				}}, true
+			}
+			desc = "hash(" + f.Name + ")"
 			sub := make([][]int32, 0, len(cf.operands))
 			total := 0
 			for _, operand := range cf.operands {
@@ -114,19 +159,54 @@ func (e *Engine[T]) indexLookup(cf compiledFilter[T]) (indexCandidate, bool) {
 
 // intersectLists intersects posting lists (each ascending) smallest-first,
 // returning a slice the caller owns, in dataset order. Shared (index-owned)
-// lists are copied before being written to.
+// lists are copied before being written to. Bitmap lists intersect
+// word-parallel among themselves; a mixed intersection materializes the
+// bitmap product once and finishes with the in-place row-list merge.
+// The result is never nil — matchColumns reads nil candidates as "full
+// scan", and an empty intersection means the opposite: nothing can match.
 func intersectLists(lists []indexedList) []int32 {
-	sort.Slice(lists, func(i, j int) bool { return len(lists[i].rows) < len(lists[j].rows) })
-	out := lists[0].rows
-	if !lists[0].owned {
-		out = make([]int32, len(lists[0].rows))
-		copy(out, lists[0].rows)
+	sort.Slice(lists, func(i, j int) bool { return lists[i].size() < lists[j].size() })
+	var out []int32
+	var bm *bitmap
+	switch first := lists[0]; {
+	case first.bm != nil:
+		bm = first.bm
+	case first.owned:
+		out = first.rows
+	default:
+		out = make([]int32, len(first.rows))
+		copy(out, first.rows)
 	}
 	for _, l := range lists[1:] {
+		if bm != nil {
+			if l.bm != nil {
+				bm = bmAnd(bm, l.bm)
+				continue
+			}
+			out = bm.rows()
+			bm = nil
+		}
 		if len(out) == 0 {
 			break
 		}
+		if l.bm != nil {
+			// Row list already smaller than the bitmap: probe membership.
+			kept := out[:0]
+			for _, row := range out {
+				if l.bm.contains(row) {
+					kept = append(kept, row)
+				}
+			}
+			out = kept
+			continue
+		}
 		out = intersect2(out, l.rows)
+	}
+	if bm != nil {
+		return bm.rows()
+	}
+	if out == nil {
+		out = []int32{}
 	}
 	return out
 }
@@ -163,9 +243,34 @@ func (e *Engine[T]) predicate(cf compiledFilter[T]) func(int) bool {
 		return func(i int) bool { return nulls.get(i) == want }
 	case OpContains:
 		sub := cf.operand.(string)
+		if col.dict != nil {
+			// One Contains per dictionary entry instead of one per row.
+			match := make([]bool, len(col.dict))
+			for k, s := range col.dict {
+				match[k] = strings.Contains(s, sub)
+			}
+			codes := col.codes
+			return func(i int) bool { return !nulls.get(i) && match[codes[i]] }
+		}
 		strs := col.strs
 		return func(i int) bool { return !nulls.get(i) && strings.Contains(strs[i], sub) }
 	case OpIn:
+		if col.dict != nil {
+			// Resolve each operand to a code once; the row loop is one
+			// table lookup.
+			match := make([]bool, len(col.dict))
+			for _, operand := range cf.operands {
+				s, ok := operand.(string)
+				if !ok {
+					continue
+				}
+				if k := sort.SearchStrings(col.dict, s); k < len(col.dict) && col.dict[k] == s {
+					match[k] = true
+				}
+			}
+			codes := col.codes
+			return func(i int) bool { return !nulls.get(i) && match[codes[i]] }
+		}
 		operands := cf.operands
 		return func(i int) bool {
 			if nulls.get(i) {
@@ -190,11 +295,55 @@ func (e *Engine[T]) predicate(cf compiledFilter[T]) func(int) bool {
 		vals, want := col.floats, cf.operand.(float64)
 		return func(i int) bool { return !nulls.get(i) && opHolds(op, cmpOrdered(vals[i], want)) }
 	case KindString:
-		vals, want := col.strs, cf.operand.(string)
+		want := cf.operand.(string)
+		if col.dict != nil {
+			return dictOrderPredicate(col, op, want, nulls)
+		}
+		vals := col.strs
 		return func(i int) bool { return !nulls.get(i) && opHolds(op, cmpOrdered(vals[i], want)) }
 	}
 	operand := cf.operand
 	return func(i int) bool { return !nulls.get(i) && opHolds(op, col.compareOperand(i, operand)) }
+}
+
+// dictOrderPredicate compiles an ordering operator over a dictionary-encoded
+// column: the operand binary-searches into the sorted dictionary once, then
+// every row is a code-interval test — no string comparison in the loop.
+func dictOrderPredicate(col *column, op Op, want string, nulls bitset) func(int) bool {
+	firstGE := sort.SearchStrings(col.dict, want)
+	exact := firstGE < len(col.dict) && col.dict[firstGE] == want
+	codes := col.codes
+	switch op {
+	case OpEq:
+		if !exact {
+			return func(int) bool { return false }
+		}
+		w := uint32(firstGE)
+		return func(i int) bool { return !nulls.get(i) && codes[i] == w }
+	case OpNe:
+		if !exact {
+			return func(i int) bool { return !nulls.get(i) }
+		}
+		w := uint32(firstGE)
+		return func(i int) bool { return !nulls.get(i) && codes[i] != w }
+	}
+	firstGT := firstGE
+	if exact {
+		firstGT++
+	}
+	// The matching codes form the half-open interval [lo, hi).
+	var lo, hi uint32
+	switch op {
+	case OpLt:
+		lo, hi = 0, uint32(firstGE)
+	case OpLe:
+		lo, hi = 0, uint32(firstGT)
+	case OpGt:
+		lo, hi = uint32(firstGT), uint32(len(col.dict))
+	case OpGe:
+		lo, hi = uint32(firstGE), uint32(len(col.dict))
+	}
+	return func(i int) bool { return !nulls.get(i) && codes[i] >= lo && codes[i] < hi }
 }
 
 // opHolds applies an ordering operator to a three-way comparison result.
@@ -216,12 +365,119 @@ func opHolds(op Op, c int) bool {
 	return false
 }
 
+// zonePruners compiles the zone-map skip tests of a filter set: one
+// func(segment) per filter whose column has zones and whose operator admits
+// a sound rule. A pruner returning true means the segment provably contains
+// no row matching that filter, so (filters being conjunctive) the whole
+// segment is skipped.
+func (e *Engine[T]) zonePruners(filters []compiledFilter[T]) []func(int) bool {
+	var pruners []func(int) bool
+	for _, cf := range filters {
+		col := e.columnFor(e.ordinals[cf.field.Name])
+		if col.zones == nil {
+			continue
+		}
+		if p := zonePruner(col, cf.op, cf.operand, cf.operands, cf.wantNull); p != nil {
+			pruners = append(pruners, p)
+		}
+	}
+	return pruners
+}
+
+// zonePruner builds one filter's per-segment skip test over a zoned column.
+// Bounds checks go through compareOperand on the zone's witness rows, so
+// pruning uses exactly the scan's comparison semantics; columns without
+// min/max witnesses (unordered kinds, NaN floats, all-null segments) fall
+// back to null-count rules only. The test must never skip a segment holding
+// a matching row — it may conservatively keep non-matching ones.
+func zonePruner(col *column, op Op, operand any, operands []any, wantNull bool) func(int) bool {
+	zones := col.zones
+	if op == OpIsNull {
+		if wantNull {
+			return func(s int) bool { return zones[s].nulls == 0 }
+		}
+		return func(s int) bool { return zones[s].nulls == zones[s].rows }
+	}
+	// Every other operator matches only non-null rows, so an all-null
+	// segment always prunes; the ordered rules below refine that.
+	switch op {
+	case OpEq:
+		return func(s int) bool {
+			z := &zones[s]
+			if z.nulls == z.rows {
+				return true
+			}
+			return z.minRow >= 0 &&
+				(col.compareOperand(int(z.minRow), operand) > 0 ||
+					col.compareOperand(int(z.maxRow), operand) < 0)
+		}
+	case OpNe:
+		return func(s int) bool {
+			z := &zones[s]
+			if z.nulls == z.rows {
+				return true
+			}
+			// Prunable only when every non-null row equals the operand.
+			return z.minRow >= 0 &&
+				col.compareOperand(int(z.minRow), operand) == 0 &&
+				col.compareOperand(int(z.maxRow), operand) == 0
+		}
+	case OpLt:
+		return func(s int) bool {
+			z := &zones[s]
+			return z.nulls == z.rows ||
+				(z.minRow >= 0 && col.compareOperand(int(z.minRow), operand) >= 0)
+		}
+	case OpLe:
+		return func(s int) bool {
+			z := &zones[s]
+			return z.nulls == z.rows ||
+				(z.minRow >= 0 && col.compareOperand(int(z.minRow), operand) > 0)
+		}
+	case OpGt:
+		return func(s int) bool {
+			z := &zones[s]
+			return z.nulls == z.rows ||
+				(z.maxRow >= 0 && col.compareOperand(int(z.maxRow), operand) <= 0)
+		}
+	case OpGe:
+		return func(s int) bool {
+			z := &zones[s]
+			return z.nulls == z.rows ||
+				(z.maxRow >= 0 && col.compareOperand(int(z.maxRow), operand) < 0)
+		}
+	case OpIn:
+		return func(s int) bool {
+			z := &zones[s]
+			if z.nulls == z.rows {
+				return true
+			}
+			if z.minRow < 0 {
+				return false
+			}
+			for _, operand := range operands {
+				if col.compareOperand(int(z.minRow), operand) <= 0 &&
+					col.compareOperand(int(z.maxRow), operand) >= 0 {
+					return false
+				}
+			}
+			return true
+		}
+	case OpContains:
+		return func(s int) bool { return zones[s].nulls == zones[s].rows }
+	}
+	return nil
+}
+
 // matchColumns evaluates predicates over the typed columns. candidates nil
-// means the full dataset. Output is ascending dataset order; large inputs
-// fan out across CPUs in chunk order exactly like the oracle's match(). The
-// canceler is polled every cancelStride rows; a cancelled scan joins every
-// worker, recycles the chunk buffers and returns ctx.Err().
-func (e *Engine[T]) matchColumns(ctx context.Context, filters []compiledFilter[T], candidates []int32) ([]int32, error) {
+// means the full dataset; on that path, compiled zone pruners first decide
+// per segment whether any row can match, whole skipped segments never enter
+// the row loop, and the skip/scan tallies land in explain (which may be
+// nil). Output is ascending dataset order; large inputs fan out across CPUs
+// in chunk order exactly like the oracle's match(). The canceler is polled
+// every cancelStride rows; a cancelled scan joins every worker, recycles the
+// chunk buffers and returns ctx.Err().
+func (e *Engine[T]) matchColumns(ctx context.Context, filters []compiledFilter[T], candidates []int32, explain *Explain) ([]int32, error) {
 	cancel := newCanceler(ctx)
 	preds := make([]func(int) bool, len(filters))
 	for i, cf := range filters {
@@ -230,6 +486,35 @@ func (e *Engine[T]) matchColumns(ctx context.Context, filters []compiledFilter[T
 	n := len(e.items)
 	if candidates != nil {
 		n = len(candidates)
+	}
+	var skip []bool
+	if candidates == nil && !e.uncompressed && n > 0 {
+		if pruners := e.zonePruners(filters); len(pruners) > 0 {
+			skip = make([]bool, (n+segmentSize-1)/segmentSize)
+			for s := range skip {
+				for _, p := range pruners {
+					if p(s) {
+						skip[s] = true
+						break
+					}
+				}
+			}
+			if explain != nil {
+				for s, sk := range skip {
+					rows := segmentSize
+					if (s+1)*segmentSize > n {
+						rows = n - s*segmentSize
+					}
+					if sk {
+						explain.SegmentsSkipped++
+						explain.SegmentRowsSkipped += rows
+					} else {
+						explain.SegmentsScanned++
+						explain.SegmentRowsScanned += rows
+					}
+				}
+			}
+		}
 	}
 	rowAt := func(i int) int {
 		if candidates != nil {
@@ -243,6 +528,12 @@ func (e *Engine[T]) matchColumns(ctx context.Context, filters []compiledFilter[T
 		for i := lo; i < hi; i++ {
 			if (i-lo)%cancelStride == 0 && cancel.hit() {
 				return out, false
+			}
+			if skip != nil && skip[i/segmentSize] {
+				// Jump to the segment's last row; the loop increment moves
+				// past it.
+				i = (i/segmentSize+1)*segmentSize - 1
+				continue
 			}
 			row := rowAt(i)
 			ok := true
@@ -331,11 +622,15 @@ func (e *Engine[T]) planMatch(ctx context.Context, filters []compiledFilter[T]) 
 	var matched []int32
 	var err error
 	if len(lists) == 0 {
-		// No usable index: full column scan, the pre-planner row count.
-		matched, err = e.matchColumns(ctx, filters, nil)
+		// No usable index: full column scan, the pre-planner row count —
+		// minus whole segments the zone maps proved empty, when they ran.
+		matched, err = e.matchColumns(ctx, filters, nil, explain)
 		explain.Candidates = n
 		if len(filters) > 0 {
 			explain.ResidualScanned = n
+			if explain.SegmentsSkipped+explain.SegmentsScanned > 0 {
+				explain.ResidualScanned = explain.SegmentRowsScanned
+			}
 		}
 	} else {
 		frags := make([]string, len(lists))
@@ -347,7 +642,7 @@ func (e *Engine[T]) planMatch(ctx context.Context, filters []compiledFilter[T]) 
 		candidates := intersectLists(lists)
 		explain.Candidates = len(candidates)
 		if len(residual) > 0 {
-			matched, err = e.matchColumns(ctx, residual, candidates)
+			matched, err = e.matchColumns(ctx, residual, candidates, explain)
 			explain.ResidualScanned = len(candidates)
 		} else {
 			matched = candidates

@@ -25,6 +25,32 @@
 // Null semantics follow SQL: a comparison against a null (missing) value
 // never matches, null-ness is tested explicitly with the is_null operator,
 // and nulls order after every non-null value under both sort directions.
+//
+// # Execution and storage
+//
+// Execution is columnar: fields materialize lazily into typed column slices
+// with null bitmaps, hot filter columns (a Registry.MarkIndexable hint) get
+// secondary indexes, and a planner turns each filter into either an index
+// lookup or a residual predicate over the surviving candidates. Storage is
+// compressed where it pays, with a bail-out to the plain layout everywhere
+// it would not: low-cardinality string columns (a Registry.MarkDictionary
+// hint) re-encode as sorted dictionaries plus per-row codes, their posting
+// lists become roaring-style compressed bitmaps (array or dense containers
+// per 65536-row chunk), every column splits into fixed-size segments with
+// per-segment min/max zone maps that let full scans skip segments a filter
+// provably cannot match, and all-dictionary group-bys pack their keys into
+// single machine words. NewEngineUncompressed builds the same engine with
+// compression disabled, as a baseline for benchmarks and equivalence tests.
+//
+// # Determinism contract
+//
+// Every execution path — planned or oracle, compressed or uncompressed,
+// serial or parallel — returns byte-identical results for the same query
+// over the same engine: same rows, same order, same metadata counts, float
+// aggregates folded in the same dataset order so even their bit patterns
+// agree. Scan has ScanOracle and Aggregate has AggregateOracle, the kept
+// row-at-a-time reference implementations the test suite holds the planner
+// to. Engines are immutable once built and safe for concurrent use.
 package query
 
 import (
@@ -64,6 +90,11 @@ type FieldInfo struct {
 	// index (hash posting lists for == / in, a sorted index for ranges)
 	// instead of scanning every row.
 	Indexable bool `json:"indexable,omitempty"`
+	// Dictionary marks string fields hinted for dictionary encoding (int
+	// codes into a sorted dictionary, bitmap posting lists when also
+	// Indexable). A hint, not a guarantee: high-cardinality columns fall
+	// back to the plain layout with identical results.
+	Dictionary bool `json:"dictionary,omitempty"`
 }
 
 // Op is a filter operator.
@@ -118,8 +149,9 @@ type Query struct {
 // path.
 type Explain struct {
 	// IndexUsed names the secondary indexes the planner consulted, e.g.
-	// "hash(market)" or "hash(market_chinese)+sorted(av_positives)". Empty
-	// when the scan fell back to a full column scan.
+	// "bitmap(market)" (dictionary-encoded equality), "hash(market_chinese)"
+	// or "hash(flagged)+sorted(av_positives)". Empty when the scan fell back
+	// to a full column scan.
 	IndexUsed string `json:"index_used,omitempty"`
 	// DatasetRows is the total dataset size — what Meta.Scanned always
 	// reported before the planner existed — so clients can still compute
@@ -131,8 +163,23 @@ type Explain struct {
 	Candidates int `json:"candidates"`
 	// ResidualScanned is the number of rows that had at least one residual
 	// (non-indexed) predicate evaluated against them: 0 when the indexes
-	// answered the filters outright, Candidates otherwise.
+	// answered the filters outright, Candidates otherwise — shrunk further
+	// by whole segments the zone maps skipped on a full scan (see
+	// SegmentRowsScanned).
 	ResidualScanned int `json:"residual_scanned"`
+	// SegmentsSkipped / SegmentsScanned count the fixed-size column segments
+	// a full scan skipped via zone maps versus actually walked. Both are
+	// zero when zone pruning did not run: on uncompressed engines, when
+	// posting lists already narrowed the scan to candidates, or when no
+	// filter had a usable zone rule.
+	SegmentsSkipped int `json:"segments_skipped,omitempty"`
+	SegmentsScanned int `json:"segments_scanned,omitempty"`
+	// SegmentRowsSkipped / SegmentRowsScanned are the same tallies in rows.
+	// When zone pruning ran, skipped + scanned rows always sum to
+	// DatasetRows: every row is either provably excluded by its segment's
+	// zone map or evaluated.
+	SegmentRowsSkipped int `json:"segment_rows_skipped,omitempty"`
+	SegmentRowsScanned int `json:"segment_rows_scanned,omitempty"`
 }
 
 // Meta is the execution metadata attached to every result.

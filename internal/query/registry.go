@@ -22,7 +22,16 @@ type Field[T any] struct {
 	// often and cheap to index: low-cardinality strings and bools, and the
 	// numeric fields range queries target.
 	Indexable bool
-	Extract   func(T) (any, bool)
+	// Dictionary marks a low-cardinality string field for dictionary
+	// encoding: the engine stores the column as int codes into a sorted
+	// dictionary of distinct values, group-by keys compare as ints, and —
+	// combined with Indexable — == / in posting lists become compressed
+	// bitmaps. The hint is ignored for non-string kinds, on engines built
+	// with NewEngineUncompressed, and for columns whose observed cardinality
+	// turns out too high to benefit (the column silently stays plain).
+	// Results are bit-identical either way; only the layout changes.
+	Dictionary bool
+	Extract    func(T) (any, bool)
 }
 
 // Registry holds the field set of one row type, preserving registration
@@ -83,10 +92,29 @@ func (r *Registry[T]) MarkIndexable(names ...string) error {
 	return nil
 }
 
+// MarkDictionary flags the named (already registered) string fields for
+// dictionary encoding, following MarkIndexable's pattern of keeping layout
+// hints separate from the field tables. Non-string fields are rejected; the
+// encoding itself remains best-effort (see Field.Dictionary).
+func (r *Registry[T]) MarkDictionary(names ...string) error {
+	for _, name := range names {
+		f, ok := r.byName[name]
+		if !ok {
+			return fmt.Errorf("%w: %q (in MarkDictionary)", ErrUnknownField, name)
+		}
+		if f.Kind != KindString {
+			return fmt.Errorf("query: field %q is %s, not string (in MarkDictionary)", name, f.Kind)
+		}
+		f.Dictionary = true
+		r.byName[name] = f
+	}
+	return nil
+}
+
 // info is the introspection view of a field.
 func (f Field[T]) info() FieldInfo {
 	return FieldInfo{Name: f.Name, Category: f.Category, Kind: f.Kind, Doc: f.Doc,
-		Nullable: f.Nullable, Indexable: f.Indexable}
+		Nullable: f.Nullable, Indexable: f.Indexable, Dictionary: f.Dictionary}
 }
 
 // Len returns the number of registered fields.

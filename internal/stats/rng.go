@@ -37,13 +37,15 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// Derive returns a new RNG whose stream is a deterministic function of this
-// RNG's seed and the supplied label. It is used to hand independent
-// sub-streams to different parts of the generator (e.g. one per market)
-// without consuming values from the parent stream.
+// Derive returns a new RNG whose stream is a deterministic function of the
+// parent's current position and the supplied label. It CONSUMES one value
+// from the parent stream: two Derive calls at the same label yield different
+// children, and the child depends on how much of the parent was consumed
+// before the call. Only call it in a fixed program order — never from map
+// iteration or goroutines. For order-independent sub-streams, build a fresh
+// RNG from the configuration seed and a label hash instead (see
+// synth.buildArtifacts).
 func (g *RNG) Derive(label uint64) *RNG {
-	// Mixing via splitmix64 keeps the child streams independent of the
-	// parent's consumption pattern.
 	return NewRNG(splitmix64(uint64(g.r.Int63())) ^ splitmix64(label))
 }
 

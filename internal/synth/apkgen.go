@@ -140,7 +140,11 @@ func (g *generator) buildArtifacts(eco *Ecosystem) error {
 				return fmt.Errorf("synth: build apk for %s in %s: %w", app.Package, marketName, err)
 			}
 			listing.APK = data
-			rng := g.rng.Derive(hash64(app.Package + "|" + marketName))
+			// Pure per-listing derivation, like buildOwnCode's: Derive would
+			// consume the parent stream, and this loop's map-iteration order
+			// differs between processes, so listing metadata would not be
+			// reproducible across runs of the same seed.
+			rng := stats.NewRNG(g.cfg.Seed ^ hash64("meta:"+app.Package+"|"+marketName))
 			listing.Meta = g.recordFor(rng, app, listing, profile, len(data))
 		}
 	}

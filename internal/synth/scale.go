@@ -1,0 +1,150 @@
+package synth
+
+import (
+	"fmt"
+	"time"
+
+	"marketscope/internal/appmeta"
+	"marketscope/internal/market"
+	"marketscope/internal/stats"
+)
+
+// ScaleConfig sizes a streamed, metadata-only corpus for the scaling
+// benchmarks. Unlike Generate, which builds full APK bytes for a few hundred
+// listings, the scale generator emits only the market-facing metadata record
+// of each listing — the shape the compressed column store ingests — so
+// corpora of 100k–1M rows generate in seconds and only ever exist one record
+// at a time during generation.
+type ScaleConfig struct {
+	// Seed makes the corpus reproducible: the i-th record is a pure function
+	// of (Seed, i), independent of generation order or process.
+	Seed uint64
+	// Rows is the number of listing records to stream.
+	Rows int
+	// NumApps is the distinct package population; listings cross-list these
+	// packages across markets. 0 means Rows/3 (so the average package is
+	// listed in three markets, roughly the paper's cross-listing rate).
+	NumApps int
+	// NumDevelopers is the distinct developer population. 0 means
+	// NumApps/8 + 1.
+	NumDevelopers int
+	// StartDate anchors the release-date ramp; zero means 2016-01-01 UTC.
+	// Release dates grow (noisily) with the row index, mirroring how real
+	// crawl snapshots arrive roughly in publication order — the clustering
+	// that makes zone maps effective on date-range filters.
+	StartDate time.Time
+}
+
+// releaseStep is the fixed per-row advance of the release-date ramp. It must
+// not depend on Rows — the i-th record is a pure function of (Seed, i), and a
+// Rows-derived step would give the same row different dates in a 400-row and
+// a 100k-row corpus, breaking the prefix contract. Ten minutes puts the
+// headline 100k corpus at ~two years of releases, the paper's crawl window.
+const releaseStep = 10 * time.Minute
+
+func (c ScaleConfig) withDefaults() (ScaleConfig, error) {
+	if c.Rows <= 0 {
+		return c, fmt.Errorf("synth: ScaleConfig.Rows must be positive, got %d", c.Rows)
+	}
+	if c.NumApps <= 0 {
+		c.NumApps = c.Rows / 3
+		if c.NumApps == 0 {
+			c.NumApps = 1
+		}
+	}
+	if c.NumDevelopers <= 0 {
+		c.NumDevelopers = c.NumApps/8 + 1
+	}
+	if c.StartDate.IsZero() {
+		c.StartDate = time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return c, nil
+}
+
+// scaledCategories is the market-native category vocabulary of the scaled
+// corpus: one native spelling per consolidated category plus the sloppy
+// variants real Chinese stores serve. Low cardinality by construction — the
+// dictionary-encoding showcase.
+func scaledCategories() []string {
+	cats := appmeta.Categories()
+	out := make([]string, 0, len(cats)+3)
+	for _, c := range cats {
+		out = append(out, string(c))
+	}
+	return append(out, "Unclassified", "102229", "Online Game")
+}
+
+// StreamListings streams cfg.Rows listing records, invoking yield once per
+// record in row order. The record passed to yield is yielded by value and
+// never retained, so the corpus is never fully resident in the generator —
+// the consumer decides what to keep. A non-nil error from yield aborts the
+// stream and is returned unchanged.
+//
+// Determinism contract: record i is derived from a stats.RNG seeded purely by
+// (Seed, i). Two streams of the same config yield identical records in
+// identical order, across processes; changing Rows does not change the
+// records shared by both sizes (the 400-row prefix of a 100k corpus IS the
+// 400-row corpus of the same seed), provided NumApps and NumDevelopers are
+// pinned explicitly — their defaults derive from Rows.
+//
+// Listings draw (market, package) independently, so a package can appear
+// twice in one market with different version rows — harmless for the scan
+// and aggregation benchmarks this corpus feeds, which treat every row as one
+// listing.
+func StreamListings(cfg ScaleConfig, yield func(i int, rec appmeta.Record) error) error {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return err
+	}
+	profiles := market.Profiles()
+	weights := make([]float64, len(profiles))
+	for i, p := range profiles {
+		weights[i] = p.CatalogWeight
+	}
+	cats := scaledCategories()
+
+	for i := 0; i < cfg.Rows; i++ {
+		rng := stats.NewRNG(cfg.Seed ^ hash64(fmt.Sprintf("scale:%d", i)))
+		profile := profiles[rng.PickWeighted(weights)]
+		appIdx := rng.Intn(cfg.NumApps)
+		devIdx := appIdx % cfg.NumDevelopers
+
+		rating := 0.0
+		if !rng.Bool(profile.UnratedShare) {
+			rating = 1 + 4*rng.Float64()
+		} else if profile.DefaultRating > 0 {
+			rating = profile.DefaultRating
+		}
+		downloads := int64(-1)
+		if profile.ReportsDownloads {
+			downloads = int64(rng.LogNormal(8, 2.2))
+		}
+
+		// The ramp: monotone in i up to one day of jitter, so consecutive
+		// rows (and therefore column segments) hold adjacent dates.
+		release := cfg.StartDate.Add(time.Duration(i)*releaseStep + time.Duration(rng.Float64()*float64(24*time.Hour)))
+		update := release.Add(time.Duration(rng.Exponential(45*24) * float64(time.Hour)))
+
+		versionCode := int64(rng.Range(1, 60))
+		rec := appmeta.Record{
+			Market:        profile.Name,
+			Package:       fmt.Sprintf("com.scale.app%07d", appIdx),
+			AppName:       fmt.Sprintf("Scale App %d", appIdx),
+			Category:      cats[rng.Intn(len(cats))],
+			DeveloperName: fmt.Sprintf("scale-dev-%05d", devIdx),
+			VersionCode:   versionCode,
+			VersionName:   versionName(versionCode),
+			Downloads:     downloads,
+			Rating:        rating,
+			ReleaseDate:   release.UTC(),
+			UpdateDate:    update.UTC(),
+			APKSize:       int64(rng.LogNormal(16.3, 0.9)),
+			HasAds:        profile.ReportsAds && rng.Bool(0.55),
+			HasIAP:        profile.ReportsIAP && rng.Bool(0.25),
+		}
+		if err := yield(i, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,6 +1,8 @@
 package synth
 
 import (
+	"bytes"
+	"reflect"
 	"testing"
 
 	"marketscope/internal/apk"
@@ -100,6 +102,26 @@ func TestGenerateDeterministic(t *testing.T) {
 		if a.Apps[i].Package != b.Apps[i].Package || a.Apps[i].Kind != b.Apps[i].Kind {
 			t.Fatalf("app %d differs: %s/%s vs %s/%s", i,
 				a.Apps[i].Package, a.Apps[i].Kind, b.Apps[i].Package, b.Apps[i].Kind)
+		}
+		// Every listing must match byte for byte, metadata included. The
+		// metadata draw once rode on map-iteration order over Listings, so
+		// Category/DeveloperName/HasIAP differed between two generates of the
+		// same seed; this guards the pure per-listing derivation.
+		if len(a.Apps[i].Listings) != len(b.Apps[i].Listings) {
+			t.Fatalf("app %d listing count differs", i)
+		}
+		for mkt, la := range a.Apps[i].Listings {
+			lb, ok := b.Apps[i].Listings[mkt]
+			if !ok {
+				t.Fatalf("app %d missing %s listing on regenerate", i, mkt)
+			}
+			if !reflect.DeepEqual(la.Meta, lb.Meta) {
+				t.Fatalf("app %d %s metadata differs across generates:\n%+v\nvs\n%+v",
+					i, mkt, la.Meta, lb.Meta)
+			}
+			if !bytes.Equal(la.APK, lb.APK) {
+				t.Fatalf("app %d %s APK bytes differ across generates", i, mkt)
+			}
 		}
 	}
 	// A different seed must produce a different corpus.
