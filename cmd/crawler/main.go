@@ -6,21 +6,35 @@
 //
 //	crawler -endpoints endpoints.json -out ./snapshot [-seeds pkg1,pkg2,...]
 //	        [-apks] [-concurrency 8] [-max-per-market 0]
+//	        [-ingest URL] [-watch D] [-rounds N]
 //
 // The endpoints file is the JSON list printed by marketsim. Seeds are only
 // needed for markets that expose related-apps navigation (Google Play);
 // catalog- and index-style markets are enumerated automatically.
+//
+// -ingest streams the crawl into an analysis server (marketsim -analysis, or
+// anything mounting internal/ingest's handler): the command probes the
+// server's cursor with a GET, POSTs the crawl as one append-only delta at
+// that cursor, and resynchronizes on a 409 cursor conflict. The feed is
+// append-only, so re-pushing a crawl is safe — already-ingested listings are
+// skipped server-side. -watch re-crawls at the given interval and pushes each
+// round's delta, following a growing catalog (marketsim -hold-back) without
+// restarts; -rounds bounds the loop (0 = run until killed).
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"marketscope/internal/crawler"
+	"marketscope/internal/ingest"
 )
 
 func main() {
@@ -33,17 +47,26 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("crawler", flag.ContinueOnError)
 	endpointsPath := fs.String("endpoints", "", "JSON file listing market endpoints (required)")
-	outDir := fs.String("out", "snapshot", "directory to write the snapshot to")
+	outDir := fs.String("out", "snapshot", "directory to write the snapshot to (empty = don't persist)")
 	seedList := fs.String("seeds", "", "comma-separated package names seeding BFS markets")
 	fetchAPKs := fs.Bool("apks", true, "download APKs alongside metadata")
 	concurrency := fs.Int("concurrency", 8, "number of parallel fetch workers")
 	maxPerMarket := fs.Int("max-per-market", 0, "cap on listings per market (0 = unlimited)")
 	noParallelSearch := fs.Bool("no-parallel-search", false, "disable the cross-market parallel search")
+	ingestURL := fs.String("ingest", "", "analysis server base URL; each crawl is POSTed there as an append-only delta")
+	watch := fs.Duration("watch", 0, "re-crawl at this interval, pushing each round's delta (requires -ingest)")
+	rounds := fs.Int("rounds", 0, "with -watch, stop after this many crawl rounds (0 = run until killed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *endpointsPath == "" {
 		return fmt.Errorf("-endpoints is required")
+	}
+	if *watch > 0 && *ingestURL == "" {
+		return fmt.Errorf("-watch requires -ingest")
+	}
+	if *rounds != 0 && *watch <= 0 {
+		return fmt.Errorf("-rounds requires -watch")
 	}
 
 	blob, err := os.ReadFile(*endpointsPath)
@@ -61,28 +84,139 @@ func run(args []string) error {
 			seeds = append(seeds, s)
 		}
 	}
-
-	c, err := crawler.New(crawler.Config{
+	cfg := crawler.Config{
 		Endpoints:        endpoints,
 		Seeds:            seeds,
 		Concurrency:      *concurrency,
 		MaxAppsPerMarket: *maxPerMarket,
 		FetchAPKs:        *fetchAPKs,
 		ParallelSearch:   !*noParallelSearch,
-	})
+	}
+
+	for round := 1; ; round++ {
+		c, err := crawler.New(cfg)
+		if err != nil {
+			return err
+		}
+		snap, err := c.Run(context.Background())
+		if err != nil {
+			return err
+		}
+		stats := c.Stats()
+		fmt.Printf("crawled %d records and %d APKs from %d markets (%d requests, %d not found, %d errors)\n",
+			snap.NumRecords(), snap.NumAPKs(), len(snap.Markets()), stats.Requests, stats.NotFound, stats.Errors)
+		if *ingestURL != "" {
+			res, err := pushDelta(*ingestURL, snap)
+			if err != nil {
+				return fmt.Errorf("push delta: %w", err)
+			}
+			fmt.Printf("pushed delta at cursor %d: %d added, %d already known, %d listings live (sealed=%v)\n",
+				res.Seq, res.Added, res.Skipped, res.Listings, res.Sealed)
+		}
+		if *outDir != "" {
+			if err := snap.Save(*outDir); err != nil {
+				return err
+			}
+			fmt.Printf("snapshot written to %s\n", *outDir)
+		}
+		if *watch <= 0 || (*rounds > 0 && round >= *rounds) {
+			return nil
+		}
+		time.Sleep(*watch)
+	}
+}
+
+// ingestEndpoint normalizes the -ingest flag: a bare server base URL gets the
+// conventional ingest path appended.
+func ingestEndpoint(base string) string {
+	base = strings.TrimRight(base, "/")
+	if strings.HasSuffix(base, ingest.IngestPath) {
+		return base
+	}
+	return base + ingest.IngestPath
+}
+
+// pushDelta POSTs the snapshot as one append-only delta at the server's
+// current cursor, resynchronizing on a cursor conflict (another producer, or
+// a previous push whose acknowledgement was lost).
+func pushDelta(baseURL string, snap *crawler.Snapshot) (ingest.Result, error) {
+	url := ingestEndpoint(baseURL)
+	listings := make([]ingest.Listing, 0, snap.NumRecords())
+	for _, rec := range snap.Records() {
+		l := ingest.Listing{Record: rec}
+		if data, ok := snap.APK(rec.Key()); ok {
+			l.APK = data
+		}
+		listings = append(listings, l)
+	}
+
+	cursor, err := fetchCursor(url)
 	if err != nil {
-		return err
+		return ingest.Result{}, err
 	}
-	snap, err := c.Run(context.Background())
+	for attempt := 0; ; attempt++ {
+		res, conflict, err := postDelta(url, ingest.Delta{Seq: cursor, Listings: listings})
+		if err == nil {
+			return res, nil
+		}
+		if conflict == nil || attempt >= 3 {
+			return ingest.Result{}, err
+		}
+		// 409: another producer advanced the cursor; resync and retry.
+		cursor = conflict.cursor
+	}
+}
+
+// cursorConflict carries the server's expected cursor out of a 409 response.
+type cursorConflict struct{ cursor uint64 }
+
+func fetchCursor(url string) (uint64, error) {
+	resp, err := http.Get(url)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	stats := c.Stats()
-	fmt.Printf("crawled %d records and %d APKs from %d markets (%d requests, %d not found, %d errors)\n",
-		snap.NumRecords(), snap.NumAPKs(), len(snap.Markets()), stats.Requests, stats.NotFound, stats.Errors)
-	if err := snap.Save(*outDir); err != nil {
-		return err
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("cursor probe: %s", resp.Status)
 	}
-	fmt.Printf("snapshot written to %s\n", *outDir)
-	return nil
+	var cs ingest.CursorState
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		return 0, fmt.Errorf("cursor probe: %w", err)
+	}
+	return cs.Cursor, nil
+}
+
+func postDelta(url string, d ingest.Delta) (ingest.Result, *cursorConflict, error) {
+	body, err := json.Marshal(d)
+	if err != nil {
+		return ingest.Result{}, nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return ingest.Result{}, nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var res ingest.Result
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return ingest.Result{}, nil, fmt.Errorf("delta response: %w", err)
+		}
+		return res, nil, nil
+	case http.StatusConflict:
+		var e struct {
+			Error  string `json:"error"`
+			Cursor uint64 `json:"cursor"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			return ingest.Result{}, nil, fmt.Errorf("cursor conflict (undecodable body): %w", err)
+		}
+		return ingest.Result{}, &cursorConflict{cursor: e.Cursor}, fmt.Errorf("cursor conflict: %s", e.Error)
+	default:
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return ingest.Result{}, nil, fmt.Errorf("delta rejected: %s (%s)", resp.Status, e.Error)
+	}
 }

@@ -8,8 +8,11 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
+	"marketscope/internal/analysis"
 	"marketscope/internal/crawler"
+	"marketscope/internal/ingest"
 	"marketscope/internal/market"
 	"marketscope/internal/synth"
 )
@@ -76,6 +79,88 @@ func TestCrawlerCommandEndToEnd(t *testing.T) {
 	}
 }
 
+// startAnalysisServer serves a delta-fed analysis endpoint like marketsim
+// -analysis does: empty engine attached, ingestor publishing each epoch via
+// SwapSource.
+func startAnalysisServer(t *testing.T) (baseURL string, ing *ingest.Ingestor) {
+	t.Helper()
+	srv := market.NewServer(market.NewStore(market.Profile{Name: "analysis"}))
+	empty, err := analysis.BuildDatasetFromRecords(time.Now(), nil, nil, analysis.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty.Enrich(analysis.DefaultEnrichOptions())
+	srv.AttachScan(empty.QuerySource())
+	ing = ingest.New(ingest.Options{
+		Enrich:    analysis.DefaultEnrichOptions(),
+		CrawlTime: time.Now(),
+		Publish:   func(d *analysis.Dataset) { srv.SwapSource(d.QuerySource()) },
+	})
+	srv.AttachPost(ingest.IngestPath, ingest.Handler(ing))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts.URL, ing
+}
+
+// TestCrawlerPushesCrawlAsDelta crawls the markets and streams the result
+// into an analysis server; a second identical crawl must be a pure no-op
+// append (everything already known) that still advances the cursor.
+func TestCrawlerPushesCrawlAsDelta(t *testing.T) {
+	endpointsPath, seeds := startMarkets(t)
+	base, ing := startAnalysisServer(t)
+
+	args := []string{
+		"-endpoints", endpointsPath,
+		"-out", "",
+		"-seeds", strings.Join(seeds, ","),
+		"-concurrency", "4",
+		"-ingest", base,
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("run with -ingest: %v", err)
+	}
+	if ing.Cursor() != 1 {
+		t.Fatalf("cursor after first push = %d, want 1", ing.Cursor())
+	}
+	ds := ing.Dataset()
+	if ds == nil || ds.NumListings() == 0 {
+		t.Fatal("no dataset published after first push")
+	}
+	size := ds.NumListings()
+
+	// Second crawl of the unchanged markets: every listing is already known.
+	if err := run(args); err != nil {
+		t.Fatalf("second run with -ingest: %v", err)
+	}
+	if ing.Cursor() != 2 {
+		t.Fatalf("cursor after second push = %d, want 2", ing.Cursor())
+	}
+	if got := ing.Dataset(); got != ds || got.NumListings() != size {
+		t.Fatalf("duplicate crawl changed the dataset: %d listings (was %d)", got.NumListings(), size)
+	}
+}
+
+// TestCrawlerWatchRounds runs the watch loop a fixed number of rounds; each
+// round lands one delta.
+func TestCrawlerWatchRounds(t *testing.T) {
+	endpointsPath, seeds := startMarkets(t)
+	base, ing := startAnalysisServer(t)
+	err := run([]string{
+		"-endpoints", endpointsPath,
+		"-out", "",
+		"-seeds", strings.Join(seeds, ","),
+		"-concurrency", "4",
+		"-ingest", base + ingest.IngestPath, // full URL accepted too
+		"-watch", "10ms", "-rounds", "2",
+	})
+	if err != nil {
+		t.Fatalf("run with -watch: %v", err)
+	}
+	if ing.Cursor() != 2 {
+		t.Fatalf("cursor after 2 watch rounds = %d, want 2", ing.Cursor())
+	}
+}
+
 func TestCrawlerCommandValidation(t *testing.T) {
 	if err := run([]string{}); err == nil {
 		t.Error("missing -endpoints accepted")
@@ -89,5 +174,11 @@ func TestCrawlerCommandValidation(t *testing.T) {
 	}
 	if err := run([]string{"-endpoints", bad}); err == nil {
 		t.Error("malformed endpoints file accepted")
+	}
+	if err := run([]string{"-endpoints", bad, "-watch", "1s"}); err == nil {
+		t.Error("-watch without -ingest accepted")
+	}
+	if err := run([]string{"-endpoints", bad, "-rounds", "2"}); err == nil {
+		t.Error("-rounds without -watch accepted")
 	}
 }

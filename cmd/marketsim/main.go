@@ -7,6 +7,7 @@
 //	marketsim [-apps N] [-developers N] [-seed S] [-port 8100] [-endpoints FILE]
 //	          [-cache-bytes N] [-timeout D] [-max-inflight N] [-queue N]
 //	          [-rate R] [-gzip=false]
+//	          [-analysis] [-hold-back F] [-release-every D] [-release-batch N]
 //
 // With -port 0 every market binds an ephemeral port instead of a consecutive
 // range, which is what the smoke tests use to avoid port collisions.
@@ -16,6 +17,18 @@
 // Retry-After when saturated), optional per-client rate limiting and gzip.
 // /healthz and /metrics (Prometheus text format) are mounted on every
 // market, and a per-market serving summary prints on shutdown.
+//
+// -analysis additionally serves an "analysis" endpoint: a scan/aggregate
+// server fed exclusively through POSTed listing deltas on /api/ingest (see
+// internal/ingest). Each accepted delta builds the next dataset epoch
+// incrementally and publishes its engine with an atomic source swap, so the
+// crawler command's -ingest/-watch flags can stream crawls into a live query
+// service with no restarts.
+//
+// -hold-back withholds a fraction of every market's catalog at startup and
+// releases it in batches while the process serves (-release-every,
+// -release-batch), turning the static snapshot into a growing feed — the
+// scenario the incremental ingest path exists for.
 //
 // The endpoint list (market name and base URL, JSON) is printed to stdout and
 // optionally written to a file that the crawler command accepts directly.
@@ -37,7 +50,10 @@ import (
 	"syscall"
 	"time"
 
+	"marketscope/internal/analysis"
+	"marketscope/internal/appmeta"
 	"marketscope/internal/crawler"
+	"marketscope/internal/ingest"
 	"marketscope/internal/market"
 	"marketscope/internal/report"
 	"marketscope/internal/synth"
@@ -48,6 +64,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "marketsim:", err)
 		os.Exit(1)
 	}
+}
+
+// heldListing is one listing withheld from its store at startup, waiting for
+// the release ticker.
+type heldListing struct {
+	store *market.Store
+	meta  appmeta.Record
+	apk   []byte
 }
 
 // run serves the generated ecosystem until stop delivers a value (or, when
@@ -67,8 +91,18 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	queue := fs.Int("queue", defaults.MaxQueue, "requests queued beyond max-inflight before shedding with 503")
 	rate := fs.Float64("rate", defaults.RatePerSecond, "per-client request rate limit in req/s (0 = off)")
 	gzipOn := fs.Bool("gzip", defaults.Gzip, "gzip-compress responses for clients that accept it")
+	analysisOn := fs.Bool("analysis", false, "serve an analysis endpoint fed by listing deltas POSTed to /api/ingest")
+	holdBack := fs.Float64("hold-back", 0, "fraction of each market's catalog withheld at startup and released while serving (0..0.9)")
+	releaseEvery := fs.Duration("release-every", 5*time.Second, "interval between releases of held-back listings")
+	releaseBatch := fs.Int("release-batch", 25, "held-back listings released per interval")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *holdBack < 0 || *holdBack > 0.9 {
+		return fmt.Errorf("-hold-back %g out of range [0, 0.9]", *holdBack)
+	}
+	if *holdBack > 0 && (*releaseEvery <= 0 || *releaseBatch <= 0) {
+		return fmt.Errorf("-hold-back needs positive -release-every and -release-batch")
 	}
 	serveCfg := market.ServeConfig{
 		CacheBytes:    *cacheBytes,
@@ -98,36 +132,70 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	}
 	sort.Strings(names)
 
+	// Withhold the tail of each catalog (in insertion order, so the released
+	// listings arrive in the same popularity order Populate used).
+	var held []heldListing
+	if *holdBack > 0 {
+		for _, name := range names {
+			rebuilt, withheld, err := withholdSuffix(stores[name], *holdBack)
+			if err != nil {
+				return fmt.Errorf("hold back %s: %w", name, err)
+			}
+			stores[name] = rebuilt
+			held = append(held, withheld...)
+		}
+	}
+
 	var (
 		wg        sync.WaitGroup
 		servers   []*http.Server
 		markets   []*market.Server
 		endpoints []crawler.Endpoint
 	)
-	for i, name := range names {
+	listen := func(i int) (net.Listener, error) {
 		addr := fmt.Sprintf("127.0.0.1:%d", *port+i)
 		if *port == 0 {
 			addr = "127.0.0.1:0"
 		}
-		ln, err := net.Listen("tcp", addr)
-		if err != nil {
-			return fmt.Errorf("listen %s for %s: %w", addr, name, err)
-		}
-		addr = ln.Addr().String()
-		ms := market.NewServer(stores[name])
-		ms.ConfigureServing(serveCfg)
+		return net.Listen("tcp", addr)
+	}
+	serve := func(name string, ms *market.Server, ln net.Listener) string {
 		markets = append(markets, ms)
 		srv := &http.Server{Handler: ms, ReadHeaderTimeout: 5 * time.Second}
 		servers = append(servers, srv)
-		endpoints = append(endpoints, crawler.Endpoint{Name: name, BaseURL: "http://" + addr})
+		base := "http://" + ln.Addr().String()
+		endpoints = append(endpoints, crawler.Endpoint{Name: name, BaseURL: base})
 		wg.Add(1)
-		go func(s *http.Server, l net.Listener, marketName string) {
+		go func() {
 			defer wg.Done()
-			if err := s.Serve(l); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintf(os.Stderr, "marketsim: %s: %v\n", marketName, err)
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "marketsim: %s: %v\n", name, err)
 			}
-		}(srv, ln, name)
-		fmt.Fprintf(stdout, "%-16s %s  (%d apps)\n", name, "http://"+addr, stores[name].Len())
+		}()
+		return base
+	}
+	for i, name := range names {
+		ln, err := listen(i)
+		if err != nil {
+			return fmt.Errorf("listen for %s: %w", name, err)
+		}
+		ms := market.NewServer(stores[name])
+		ms.ConfigureServing(serveCfg)
+		base := serve(name, ms, ln)
+		fmt.Fprintf(stdout, "%-16s %s  (%d apps)\n", name, base, stores[name].Len())
+	}
+
+	if *analysisOn {
+		ln, err := listen(len(names))
+		if err != nil {
+			return fmt.Errorf("listen for analysis: %w", err)
+		}
+		as, err := newAnalysisServer(serveCfg)
+		if err != nil {
+			return err
+		}
+		base := serve("analysis", as, ln)
+		fmt.Fprintf(stdout, "%-16s %s  (ingest at %s)\n", "analysis", base, ingest.IngestPath)
 	}
 
 	blob, err := json.MarshalIndent(endpoints, "", "  ")
@@ -141,6 +209,39 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 		}
 	}
 	fmt.Fprintf(stdout, "serving %d markets with %d listings; Ctrl-C to stop\n", len(stores), eco.NumListings())
+	if len(held) > 0 {
+		fmt.Fprintf(stdout, "holding back %d listings, releasing %d every %s\n", len(held), *releaseBatch, *releaseEvery)
+	}
+
+	// The release ticker drip-feeds the held-back listings back into their
+	// stores, so crawls observe a growing catalog.
+	done := make(chan struct{})
+	var releaseWG sync.WaitGroup
+	if len(held) > 0 {
+		releaseWG.Add(1)
+		go func() {
+			defer releaseWG.Done()
+			ticker := time.NewTicker(*releaseEvery)
+			defer ticker.Stop()
+			for len(held) > 0 {
+				select {
+				case <-done:
+					return
+				case <-ticker.C:
+				}
+				n := *releaseBatch
+				if n > len(held) {
+					n = len(held)
+				}
+				for _, h := range held[:n] {
+					if err := h.store.Add(h.meta, h.apk); err != nil {
+						fmt.Fprintf(os.Stderr, "marketsim: release %s: %v\n", h.meta.Package, err)
+					}
+				}
+				held = held[n:]
+			}
+		}()
+	}
 
 	if stop == nil {
 		ch := make(chan os.Signal, 1)
@@ -148,6 +249,8 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 		stop = ch
 	}
 	<-stop
+	close(done)
+	releaseWG.Wait()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -156,10 +259,61 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	}
 	wg.Wait()
 
-	for i, name := range names {
+	for i, ep := range endpoints {
 		if st := markets[i].ServingStats(); st.Requests > 0 {
-			fmt.Fprint(stdout, report.ServeStats(name, st))
+			fmt.Fprint(stdout, report.ServeStats(ep.Name, st))
 		}
 	}
 	return nil
+}
+
+// withholdSuffix rebuilds a store without the trailing fraction of its
+// catalog and returns the withheld listings in release order.
+func withholdSuffix(store *market.Store, fraction float64) (*market.Store, []heldListing, error) {
+	pkgs := store.Packages()
+	n := int(float64(len(pkgs)) * fraction)
+	if n >= len(pkgs) && n > 0 {
+		n = len(pkgs) - 1
+	}
+	if n <= 0 {
+		return store, nil, nil
+	}
+	fresh := market.NewStore(store.Profile())
+	var withheld []heldListing
+	for i, pkg := range pkgs {
+		l, ok := store.Get(pkg)
+		if !ok {
+			return nil, nil, fmt.Errorf("listing %s vanished", pkg)
+		}
+		if i < len(pkgs)-n {
+			if err := fresh.Add(l.Meta, l.APK); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		withheld = append(withheld, heldListing{store: fresh, meta: l.Meta, apk: l.APK})
+	}
+	return fresh, withheld, nil
+}
+
+// newAnalysisServer builds the delta-fed analysis endpoint: a market.Server
+// with no catalog of its own, serving scan/aggregate over whatever the
+// ingestor has published (an empty engine before the first delta) and
+// accepting deltas on /api/ingest.
+func newAnalysisServer(serveCfg market.ServeConfig) (*market.Server, error) {
+	srv := market.NewServer(market.NewStore(market.Profile{Name: "analysis"}))
+	empty, err := analysis.BuildDatasetFromRecords(time.Now(), nil, nil, analysis.BuildOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("analysis server: %w", err)
+	}
+	empty.Enrich(analysis.DefaultEnrichOptions())
+	srv.AttachScan(empty.QuerySource())
+	ing := ingest.New(ingest.Options{
+		Enrich:    analysis.DefaultEnrichOptions(),
+		CrawlTime: time.Now(),
+		Publish:   func(d *analysis.Dataset) { srv.SwapSource(d.QuerySource()) },
+	})
+	srv.AttachPost(ingest.IngestPath, ingest.Handler(ing))
+	srv.ConfigureServing(serveCfg)
+	return srv, nil
 }

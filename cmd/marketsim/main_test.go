@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"marketscope/internal/crawler"
+	"marketscope/internal/synth"
 )
 
 // TestMarketsimServesGeneratedEcosystem boots the command against a tiny
@@ -87,6 +88,181 @@ func TestMarketsimServesGeneratedEcosystem(t *testing.T) {
 	}
 }
 
+// waitEndpoints polls for the endpoints file the command writes once every
+// listener is up.
+func waitEndpoints(t *testing.T, path string, done <-chan error) []crawler.Endpoint {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		blob, err := os.ReadFile(path)
+		if err == nil {
+			var endpoints []crawler.Endpoint
+			if err := json.Unmarshal(blob, &endpoints); err != nil {
+				t.Fatalf("endpoints file malformed: %v", err)
+			}
+			return endpoints
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("endpoints file never appeared")
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("marketsim exited early: %v", err)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// TestMarketsimAnalysisIngestEndpoint boots the command with -analysis and
+// drives the delta-fed analysis endpoint end to end over HTTP: cursor probe,
+// delta push, and a scan observing the published epoch.
+func TestMarketsimAnalysisIngestEndpoint(t *testing.T) {
+	endpointsPath := filepath.Join(t.TempDir(), "endpoints.json")
+	stop := make(chan os.Signal, 1)
+	var buf bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-apps", "40", "-developers", "18", "-seed", "11",
+			"-port", "0", "-endpoints", endpointsPath, "-analysis",
+		}, &buf, stop)
+	}()
+	endpoints := waitEndpoints(t, endpointsPath, done)
+
+	var base string
+	for _, ep := range endpoints {
+		if ep.Name == "analysis" {
+			base = ep.BaseURL
+		}
+	}
+	if base == "" {
+		t.Fatalf("no analysis endpoint published: %+v", endpoints)
+	}
+
+	getCursor := func() (cursor uint64, listings int) {
+		resp, err := http.Get(base + "/api/ingest")
+		if err != nil {
+			t.Fatalf("cursor probe: %v", err)
+		}
+		defer resp.Body.Close()
+		var cs struct {
+			Cursor   uint64 `json:"cursor"`
+			Listings int    `json:"listings"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+			t.Fatalf("cursor body: %v", err)
+		}
+		return cs.Cursor, cs.Listings
+	}
+	if cursor, listings := getCursor(); cursor != 0 || listings != 0 {
+		t.Fatalf("fresh analysis server at cursor %d with %d listings", cursor, listings)
+	}
+
+	delta := `{"seq": 0, "listings": [
+		{"record": {"market": "Google Play", "package": "com.example.pushed",
+		            "app_name": "Pushed", "category": "tools", "developer_name": "dev",
+		            "downloads": 100, "rating": 4.5}}]}`
+	resp, err := http.Post(base+"/api/ingest", "application/json", strings.NewReader(delta))
+	if err != nil {
+		t.Fatalf("push delta: %v", err)
+	}
+	var res struct {
+		Applied bool `json:"applied"`
+		Added   int  `json:"added"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if err != nil || !res.Applied || res.Added != 1 {
+		t.Fatalf("delta result %+v (err %v)", res, err)
+	}
+	if cursor, listings := getCursor(); cursor != 1 || listings != 1 {
+		t.Fatalf("after delta: cursor %d, %d listings", cursor, listings)
+	}
+
+	resp, err = http.Post(base+"/api/scan", "application/json",
+		strings.NewReader(`{"fields":["package"],"filters":[{"field":"market","op":"==","value":"Google Play"}]}`))
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	var scan struct {
+		Rows [][]any `json:"rows"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&scan)
+	resp.Body.Close()
+	if err != nil || len(scan.Rows) != 1 || scan.Rows[0][0] != "com.example.pushed" {
+		t.Fatalf("scan after publish: rows %+v (err %v)", scan.Rows, err)
+	}
+
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestMarketsimHoldBackRelease boots the command with half of every catalog
+// withheld and a fast release ticker, and waits for the markets to grow back
+// to the full ecosystem size.
+func TestMarketsimHoldBackRelease(t *testing.T) {
+	// The expected full size comes from regenerating the same seed.
+	cfg := synth.DefaultConfig()
+	cfg.NumApps = 40
+	cfg.NumDevelopers = 18
+	cfg.Seed = 11
+	eco, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := eco.NumListings()
+
+	endpointsPath := filepath.Join(t.TempDir(), "endpoints.json")
+	stop := make(chan os.Signal, 1)
+	var buf bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-apps", "40", "-developers", "18", "-seed", "11",
+			"-port", "0", "-endpoints", endpointsPath,
+			"-hold-back", "0.5", "-release-every", "25ms", "-release-batch", "40",
+		}, &buf, stop)
+	}()
+	endpoints := waitEndpoints(t, endpointsPath, done)
+
+	countListings := func() int {
+		sum := 0
+		for _, ep := range endpoints {
+			resp, err := http.Get(ep.BaseURL + "/api/info")
+			if err != nil {
+				t.Fatalf("%s: %v", ep.Name, err)
+			}
+			var info struct {
+				NumApps int `json:"num_apps"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&info)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatalf("%s info: %v", ep.Name, err)
+			}
+			sum += info.NumApps
+		}
+		return sum
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for countListings() != total {
+		if time.Now().After(deadline) {
+			t.Fatalf("catalogs stuck at %d listings, want %d", countListings(), total)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "holding back") {
+		t.Errorf("missing hold-back banner in output:\n%s", buf.String())
+	}
+}
+
 func TestMarketsimRejectsBadFlags(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-definitely-not-a-flag"}, &buf, nil); err == nil {
@@ -101,5 +277,11 @@ func TestMarketsimRejectsBadFlags(t *testing.T) {
 	badPath := filepath.Join(t.TempDir(), "missing-dir", "endpoints.json")
 	if err := run([]string{"-apps", "40", "-developers", "18", "-port", "0", "-endpoints", badPath}, &buf, stop); err == nil {
 		t.Error("unwritable endpoints path accepted")
+	}
+	if err := run([]string{"-hold-back", "1.5"}, &buf, nil); err == nil {
+		t.Error("out-of-range -hold-back accepted")
+	}
+	if err := run([]string{"-hold-back", "0.5", "-release-batch", "0"}, &buf, nil); err == nil {
+		t.Error("-hold-back with zero release batch accepted")
 	}
 }

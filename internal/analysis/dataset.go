@@ -126,49 +126,73 @@ func BuildDatasetWith(snap *crawler.Snapshot, opts BuildOptions) (*Dataset, erro
 	if snap == nil {
 		return nil, fmt.Errorf("analysis: nil snapshot")
 	}
+	return BuildDatasetFromRecords(snap.CrawlTime, snap.Records(), snap.APK, opts)
+}
+
+// BuildDatasetFromRecords builds a dataset over an explicit record slice,
+// preserving the given order as the dataset order (BuildDataset passes the
+// snapshot's canonical (market, package) order; incremental ingest passes
+// batches in arrival order so each batch extends the previous dataset as a
+// pure suffix). apkOf resolves a listing's APK bytes and may be nil when no
+// archives were harvested.
+func BuildDatasetFromRecords(crawlTime time.Time, records []appmeta.Record, apkOf func(appmeta.Key) ([]byte, bool), opts BuildOptions) (*Dataset, error) {
 	d := &Dataset{
-		CrawlTime: snap.CrawlTime,
+		CrawlTime: crawlTime,
 		byMarket:  map[string][]*App{},
 	}
-	records := snap.Records()
 	tracker := progressTracker(len(records), "parse", opts.Progress)
 
 	// Parse in parallel: every listing owns its slot, so workers never touch
-	// shared state (Snapshot reads are concurrency-safe) and the slice is in
-	// snapshot order regardless of scheduling.
+	// shared state (apkOf must be concurrency-safe, as Snapshot reads are)
+	// and the slice is in record order regardless of scheduling.
 	apps := make([]*App, len(records))
 	pipeline.ForEach(len(records), opts.Workers, func(i int) {
-		rec := records[i]
-		app := &App{Meta: rec}
-		if data, ok := snap.APK(rec.Key()); ok {
-			parsed, err := apk.Parse(data)
-			if err != nil {
-				app.ParseError = err
-			} else {
-				app.Parsed = parsed
-			}
-		} else {
-			app.ParseError = fmt.Errorf("analysis: no APK harvested for %s/%s", rec.Market, rec.Package)
-		}
-		apps[i] = app
+		apps[i] = parseListing(records[i], apkOf)
 		tracker.Tick()
 	})
+	d.Apps = apps
+	d.attachMarkets()
+	return d, nil
+}
 
+// parseListing builds one App: metadata always, parsed APK when apkOf has
+// the archive and it parses.
+func parseListing(rec appmeta.Record, apkOf func(appmeta.Key) ([]byte, bool)) *App {
+	app := &App{Meta: rec}
+	var data []byte
+	var ok bool
+	if apkOf != nil {
+		data, ok = apkOf(rec.Key())
+	}
+	if !ok {
+		app.ParseError = fmt.Errorf("analysis: no APK harvested for %s/%s", rec.Market, rec.Package)
+		return app
+	}
+	parsed, err := apk.Parse(data)
+	if err != nil {
+		app.ParseError = err
+	} else {
+		app.Parsed = parsed
+	}
+	return app
+}
+
+// attachMarkets derives byMarket and the Markets profile list from d.Apps:
+// profiles for the markets present in canonical study order first, then
+// unknown markets (not part of the 17-market study, still analyzed) sorted,
+// with zero-value profiles.
+func (d *Dataset) attachMarkets() {
 	seenMarkets := map[string]bool{}
-	for _, app := range apps {
-		d.Apps = append(d.Apps, app)
+	for _, app := range d.Apps {
 		d.byMarket[app.Meta.Market] = append(d.byMarket[app.Meta.Market], app)
 		seenMarkets[app.Meta.Market] = true
 	}
-	// Attach profiles for the markets present, in canonical study order.
 	for _, p := range market.Profiles() {
 		if seenMarkets[p.Name] {
 			d.Markets = append(d.Markets, p)
 			delete(seenMarkets, p.Name)
 		}
 	}
-	// Unknown markets (not part of the 17-market study) are still analyzed,
-	// with a zero-value profile.
 	var extra []string
 	for name := range seenMarkets {
 		extra = append(extra, name)
@@ -177,7 +201,6 @@ func BuildDatasetWith(snap *crawler.Snapshot, opts BuildOptions) (*Dataset, erro
 	for _, name := range extra {
 		d.Markets = append(d.Markets, market.Profile{Name: name})
 	}
-	return d, nil
 }
 
 // EnrichOptions tunes the enrichment pass.

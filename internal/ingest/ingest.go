@@ -1,0 +1,190 @@
+// Package ingest turns append-only listing deltas into fully enriched,
+// epoch-swapped datasets. A crawler (or any producer) POSTs batches of
+// listings with a strictly sequential cursor; each accepted batch runs
+// through the incremental build pipeline (analysis.IngestState) into a fresh
+// dataset whose query engine is published atomically — typically via
+// market.(*Server).SwapSource — so readers never block and every query stays
+// consistent at one epoch.
+//
+// Cursor discipline (the retry contract):
+//
+//   - Seq == cursor: the batch applies atomically; the cursor advances.
+//   - Seq <  cursor: an idempotent no-op — the producer is replaying a batch
+//     whose acknowledgement it lost; it gets the current cursor back.
+//   - Seq >  cursor: ErrCursorGap (HTTP 409) — the producer skipped ahead;
+//     nothing changes, it must resync from the cursor endpoint.
+//
+// The feed is append-only at (market, package) granularity: a key already
+// ingested is skipped (and counted), never updated — matching the paper's
+// one-shot crawl semantics where a listing is observed once. Deltas may
+// therefore safely overlap; a full re-crawl POSTed as one delta degrades to
+// the new listings only.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"marketscope/internal/analysis"
+	"marketscope/internal/appmeta"
+)
+
+// Listing is one crawled listing in a delta: the metadata record plus the
+// optional APK archive (base64 in JSON).
+type Listing struct {
+	Record appmeta.Record `json:"record"`
+	APK    []byte         `json:"apk,omitempty"`
+}
+
+// Delta is one append-only batch at one cursor position.
+type Delta struct {
+	Seq      uint64    `json:"seq"`
+	Listings []Listing `json:"listings"`
+}
+
+// Result reports what applying a delta did.
+type Result struct {
+	// Seq echoes the delta's position; Cursor is the next expected Seq.
+	Seq    uint64 `json:"seq"`
+	Cursor uint64 `json:"cursor"`
+	// Applied is false for an idempotent replay of an already-landed batch.
+	Applied bool `json:"applied"`
+	// Added / Skipped split the batch into new listings and already-known
+	// (market, package) keys; Listings is the dataset size afterwards.
+	Added    int `json:"added"`
+	Skipped  int `json:"skipped"`
+	Listings int `json:"listings"`
+	// Redetected and Sealed surface the incremental build's work: how many
+	// old listings' detections changed, and whether the new engine was
+	// sealed from the previous epoch's columns.
+	Redetected int  `json:"redetected"`
+	Sealed     bool `json:"sealed"`
+}
+
+// ErrCursorGap is returned when a delta's Seq skips ahead of the cursor.
+var ErrCursorGap = errors.New("ingest: delta seq is ahead of the cursor")
+
+// Options configures an Ingestor.
+type Options struct {
+	// Enrich tunes the incremental enrichment exactly as it tunes
+	// analysis.Dataset.Enrich; fixed for the ingestor's lifetime.
+	Enrich analysis.EnrichOptions
+	// CrawlTime stamps every published dataset.
+	CrawlTime time.Time
+	// Publish, when non-nil, receives each new epoch's dataset after its
+	// batch lands (not called for empty, duplicate-only or replayed
+	// batches). Called while the batch lock is held, so publishes are
+	// ordered; keep it cheap — an atomic swap, not a rebuild.
+	Publish func(*analysis.Dataset)
+}
+
+// Ingestor accepts deltas and maintains the current dataset epoch. All
+// methods are safe for concurrent use; Apply serializes batch application
+// while published datasets keep serving lock-free.
+type Ingestor struct {
+	mu    sync.Mutex
+	opts  Options
+	state *analysis.IngestState
+	next  uint64
+	seen  map[appmeta.Key]bool
+	ds    *analysis.Dataset
+}
+
+// New builds an ingestor at cursor 0 with no dataset.
+func New(opts Options) *Ingestor {
+	return &Ingestor{
+		opts:  opts,
+		state: analysis.NewIngestState(opts.Enrich),
+		seen:  map[appmeta.Key]bool{},
+	}
+}
+
+// Cursor returns the next expected delta Seq.
+func (ing *Ingestor) Cursor() uint64 {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.next
+}
+
+// Dataset returns the current epoch's dataset (nil before the first
+// non-empty batch).
+func (ing *Ingestor) Dataset() *analysis.Dataset {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.ds
+}
+
+// Apply lands one delta under the cursor discipline documented on the
+// package. A batch is atomic: it either fully applies (cursor advances,
+// dataset swaps) or leaves both exactly as they were.
+func (ing *Ingestor) Apply(d Delta) (Result, error) {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	res := Result{Seq: d.Seq, Cursor: ing.next}
+	if ing.ds != nil {
+		res.Listings = ing.ds.NumListings()
+	}
+	if d.Seq < ing.next {
+		return res, nil
+	}
+	if d.Seq > ing.next {
+		return res, fmt.Errorf("%w: got seq %d, want %d", ErrCursorGap, d.Seq, ing.next)
+	}
+	// Validate before touching any state: a rejected batch must leave the
+	// cursor and the dataset exactly where they were.
+	for i := range d.Listings {
+		if err := d.Listings[i].Record.Validate(); err != nil {
+			return res, fmt.Errorf("ingest: listing %d: %w", i, err)
+		}
+	}
+
+	// Keep first-seen keys only, in canonical (market, package) order so the
+	// dataset order is deterministic regardless of how the producer
+	// assembled the batch.
+	batch := append([]Listing(nil), d.Listings...)
+	sort.Slice(batch, func(i, j int) bool {
+		a, b := batch[i].Record, batch[j].Record
+		if a.Market != b.Market {
+			return a.Market < b.Market
+		}
+		return a.Package < b.Package
+	})
+	kept := make([]appmeta.Record, 0, len(batch))
+	apks := make(map[appmeta.Key][]byte, len(batch))
+	inBatch := map[appmeta.Key]bool{}
+	for _, l := range batch {
+		key := l.Record.Key()
+		if ing.seen[key] || inBatch[key] {
+			res.Skipped++
+			continue
+		}
+		inBatch[key] = true
+		kept = append(kept, l.Record)
+		if l.APK != nil {
+			apks[key] = l.APK
+		}
+	}
+	res.Added = len(kept)
+
+	if len(kept) > 0 {
+		ds, stats := ing.state.Append(ing.ds, ing.opts.CrawlTime, kept, func(k appmeta.Key) ([]byte, bool) {
+			b, ok := apks[k]
+			return b, ok
+		})
+		ing.ds = ds
+		for key := range inBatch {
+			ing.seen[key] = true
+		}
+		res.Redetected, res.Sealed, res.Listings = stats.Redetected, stats.EngineSealed, ds.NumListings()
+	}
+	ing.next = d.Seq + 1
+	res.Cursor = ing.next
+	res.Applied = true
+	if res.Added > 0 && ing.opts.Publish != nil {
+		ing.opts.Publish(ing.ds)
+	}
+	return res, nil
+}

@@ -39,19 +39,44 @@ type scanError struct {
 // Scan and aggregate responses carry the planner's execution report in
 // meta.explain (index used, candidate rows, residual rows evaluated), so
 // HTTP clients can see whether their filters hit the secondary indexes.
-// /api/aggregate is mounted when the source implements
-// query.AggregateSource (the dataset engine does).
+// /api/aggregate is always mounted; a source that does not implement
+// query.AggregateSource (the dataset engine does) answers it with a clean
+// 501 instead of the route not existing — whether aggregation works is a
+// property of the currently published source, not of mount time.
 //
 // The source is typically analysis.(*Dataset).QuerySource() built from a
 // crawl of this very market set. Scans are read-only and safe under the
 // server's concurrency; the rate limiter applies to scan requests exactly as
-// it does to crawl requests.
-func (s *Server) AttachScan(src query.Source) {
-	s.scan = src
-	s.mux.HandleFunc(ScanPath, s.handleScan)
-	s.mux.HandleFunc(ScanFieldsPath, s.handleScanFields)
-	if _, ok := src.(query.AggregateSource); ok {
+// it does to crawl requests. AttachScan is SwapSource: calling it again
+// (directly, or through an ingest publish) atomically swaps the live source.
+func (s *Server) AttachScan(src query.Source) { s.SwapSource(src) }
+
+// SwapSource atomically publishes a new dataset engine. The (engine, epoch)
+// pair is replaced behind one pointer — a swap after the first attach
+// advances the epoch and purges the result cache — so every in-flight
+// request keeps computing, and caching, against the exact snapshot it loaded:
+// readers never block, and no request can observe the new engine under the
+// old epoch or vice versa. The first attach keeps epoch 0, matching the
+// behaviour of a server whose dataset never moves.
+func (s *Server) SwapSource(src query.Source) {
+	if src == nil {
+		panic("market: SwapSource with a nil source")
+	}
+	s.scanRoutes.Do(func() {
+		s.mux.HandleFunc(ScanPath, s.handleScan)
+		s.mux.HandleFunc(ScanFieldsPath, s.handleScanFields)
 		s.mux.HandleFunc(AggregatePath, s.handleAggregate)
+	})
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	cur := s.source.Load()
+	next := &sourceSnapshot{src: src, epoch: cur.epoch}
+	if cur.src != nil {
+		next.epoch++
+	}
+	s.source.Store(next)
+	if cur.src != nil && s.cache != nil {
+		s.cache.purge()
 	}
 }
 
@@ -66,8 +91,9 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		writeJSONStatus(w, http.StatusBadRequest, scanError{Error: err.Error()})
 		return
 	}
-	s.serveCached(w, "scan", q, func() ([]byte, error) {
-		res, err := s.scanContext(r.Context(), q)
+	snap := s.source.Load()
+	s.serveCached(w, snap, "scan", q, func() ([]byte, error) {
+		res, err := scanContext(snap.src, r.Context(), q)
 		if err != nil {
 			return nil, err
 		}
@@ -86,8 +112,18 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		writeJSONStatus(w, http.StatusBadRequest, scanError{Error: err.Error()})
 		return
 	}
-	s.serveCached(w, "aggregate", a, func() ([]byte, error) {
-		res, err := s.aggregateContext(r.Context(), a)
+	snap := s.source.Load()
+	agg, ok := snap.src.(query.AggregateSource)
+	if !ok {
+		// A checked refusal, not an unchecked assertion: a published source
+		// without aggregation support answers 501 instead of panicking the
+		// handler goroutine.
+		writeJSONStatus(w, http.StatusNotImplemented,
+			scanError{Error: "the attached source does not support aggregation"})
+		return
+	}
+	s.serveCached(w, snap, "aggregate", a, func() ([]byte, error) {
+		res, err := aggregateContext(agg, r.Context(), a)
 		if err != nil {
 			return nil, err
 		}
@@ -96,16 +132,17 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 }
 
 // scanContext runs the scan under the request context when the source
-// supports cancellation, falling back to the plain call otherwise.
-func (s *Server) scanContext(ctx context.Context, q query.Query) (*query.Result, error) {
-	if cs, ok := s.scan.(query.ContextSource); ok {
+// supports cancellation, falling back to the plain call otherwise. It takes
+// the source explicitly — always the one from the caller's snapshot — so a
+// swap mid-request cannot change which engine answers.
+func scanContext(src query.Source, ctx context.Context, q query.Query) (*query.Result, error) {
+	if cs, ok := src.(query.ContextSource); ok {
 		return cs.ScanContext(ctx, q)
 	}
-	return s.scan.Scan(q)
+	return src.Scan(q)
 }
 
-func (s *Server) aggregateContext(ctx context.Context, a query.Aggregate) (*query.Result, error) {
-	src := s.scan.(query.AggregateSource)
+func aggregateContext(src query.AggregateSource, ctx context.Context, a query.Aggregate) (*query.Result, error) {
 	if cs, ok := src.(query.ContextAggregateSource); ok {
 		return cs.AggregateContext(ctx, a)
 	}
@@ -115,11 +152,15 @@ func (s *Server) aggregateContext(ctx context.Context, a query.Aggregate) (*quer
 // serveCached answers a scan/aggregate request through the result cache when
 // one is configured. The cache key is the canonical request — the parsed
 // struct re-marshalled, so JSON surface differences (whitespace, key order)
-// land on the same entry — under the current dataset epoch; the cached value
-// is the exact byte body of the first execution, so a hit is byte-identical
-// to the miss that populated it. Without a cache the request computes and
-// writes directly, exactly the pre-cache behaviour.
-func (s *Server) serveCached(w http.ResponseWriter, kind string, req any, compute func() ([]byte, error)) {
+// land on the same entry — under the epoch of the snapshot the handler
+// loaded. The epoch and the engine the compute closure runs against come
+// from that one atomic load, so a swap mid-request can never cache one
+// epoch's bytes under another epoch's key (the purge generation guard
+// additionally drops inserts from flights that started before a swap). The
+// cached value is the exact byte body of the first execution, so a hit is
+// byte-identical to the miss that populated it. Without a cache the request
+// computes and writes directly, exactly the pre-cache behaviour.
+func (s *Server) serveCached(w http.ResponseWriter, snap *sourceSnapshot, kind string, req any, compute func() ([]byte, error)) {
 	if s.cache == nil {
 		body, err := compute()
 		if err != nil {
@@ -135,7 +176,7 @@ func (s *Server) serveCached(w http.ResponseWriter, kind string, req any, comput
 		writeJSONStatus(w, http.StatusInternalServerError, scanError{Error: err.Error()})
 		return
 	}
-	key := cacheKey{epoch: s.epoch.Load(), kind: kind, req: string(canonical)}
+	key := cacheKey{epoch: snap.epoch, kind: kind, req: string(canonical)}
 	body, hit, err := s.cache.do(key, compute)
 	if err != nil {
 		s.writeQueryError(w, err)
@@ -196,7 +237,7 @@ func (s *Server) handleScanFields(w http.ResponseWriter, r *http.Request) {
 		writeJSONStatus(w, http.StatusMethodNotAllowed, scanError{Error: "field listing is a GET"})
 		return
 	}
-	writeJSON(w, FieldsResponse{Fields: s.scan.Fields()})
+	writeJSON(w, FieldsResponse{Fields: s.source.Load().src.Fields()})
 }
 
 func writeJSONStatus(w http.ResponseWriter, status int, v any) {

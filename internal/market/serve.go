@@ -118,7 +118,7 @@ func newServerMetrics(s *Server) *serverMetrics {
 		return float64(s.cache.stats().Entries)
 	})
 	reg.GaugeFunc("market_dataset_epoch", "Dataset epoch the cache keys against.", func() float64 {
-		return float64(s.epoch.Load())
+		return float64(s.Epoch())
 	})
 	return m
 }
@@ -160,18 +160,24 @@ func (s *Server) ConfigureServing(cfg ServeConfig) {
 	})
 }
 
-// BumpEpoch declares the dataset changed: the epoch counter advances (new
-// cache keys) and the cache purges (old bytes freed immediately rather than
-// lingering until eviction).
+// BumpEpoch declares the current source's dataset changed in place: the
+// epoch advances (new cache keys) and the cache purges. Since ingest swaps
+// whole engines, the epoch normally advances inside SwapSource — one atomic
+// publish of (engine, epoch) together — and BumpEpoch remains only for
+// callers that mutate the data behind an already-attached source (the
+// benchmark harness does; production ingest never does).
 func (s *Server) BumpEpoch() {
-	s.epoch.Add(1)
+	s.swapMu.Lock()
+	cur := s.source.Load()
+	s.source.Store(&sourceSnapshot{src: cur.src, epoch: cur.epoch + 1})
+	s.swapMu.Unlock()
 	if s.cache != nil {
 		s.cache.purge()
 	}
 }
 
 // Epoch returns the current dataset epoch.
-func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+func (s *Server) Epoch() uint64 { return s.source.Load().epoch }
 
 // healthResponse is the /healthz body.
 type healthResponse struct {
@@ -191,7 +197,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status: "ok",
 		Market: s.store.Name(),
 		Apps:   s.store.Len(),
-		Epoch:  s.epoch.Load(),
+		Epoch:  s.Epoch(),
 	})
 }
 

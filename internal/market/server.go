@@ -41,23 +41,49 @@ type Server struct {
 	store   *Store
 	limiter *tokenBucket
 	mux     *http.ServeMux
-	// scan is the dataset query engine mounted by AttachScan (nil until
-	// attached; the scan routes 404 like any unregistered path).
-	scan query.Source
 
-	// The production serving layer, all nil/zero until ConfigureServing:
-	// serving is the composed middleware chain (plus /healthz and /metrics),
-	// cache the query-result cache, metrics the instrument set, and epoch the
-	// dataset generation the cache keys against (BumpEpoch invalidates).
+	// source is the atomically published (engine, epoch) pair behind every
+	// scan, aggregate and cache read. Handlers load it exactly once per
+	// request, so a concurrent SwapSource can never pair one epoch's engine
+	// with another epoch's cache key. The pointer is never nil after
+	// NewServer; the snapshot's src is nil until the first attach (the scan
+	// routes 404 until then, like any unregistered path).
+	source atomic.Pointer[sourceSnapshot]
+	// swapMu serializes SwapSource/BumpEpoch so concurrent swaps cannot
+	// reuse an epoch; reader loads stay lock-free.
+	swapMu sync.Mutex
+	// scanRoutes mounts the scan/aggregate routes at most once, on the
+	// first attach.
+	scanRoutes sync.Once
+	// postPaths is the set of routes whose requests arrive as POSTed JSON
+	// bodies (scan, aggregate, and anything mounted via AttachPost). Written
+	// only during setup, before the server takes traffic.
+	postPaths map[string]bool
+
+	// The production serving layer, all nil until ConfigureServing: serving
+	// is the composed middleware chain (plus /healthz and /metrics), cache
+	// the query-result cache, metrics the instrument set. The cache keys
+	// against the snapshot's epoch; SwapSource and BumpEpoch purge it.
 	serving http.Handler
 	cache   *resultCache
 	metrics *serverMetrics
-	epoch   atomic.Uint64
+}
+
+// sourceSnapshot is one published (engine, epoch) pair. Swapping the dataset
+// replaces the whole snapshot behind Server.source, so an engine and the
+// epoch it was published under are only ever observed together.
+type sourceSnapshot struct {
+	src   query.Source
+	epoch uint64
 }
 
 // NewServer builds the HTTP front-end for a store.
 func NewServer(store *Store) *Server {
-	s := &Server{store: store}
+	s := &Server{
+		store:     store,
+		postPaths: map[string]bool{ScanPath: true, AggregatePath: true},
+	}
+	s.source.Store(&sourceSnapshot{})
 	if rate := store.Profile().RateLimitPerSecond; rate > 0 {
 		s.limiter = newTokenBucket(rate, int(rate*2))
 	}
@@ -87,10 +113,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // serveCore is the innermost handler: method gate, the market profile's own
 // rate limiter (modelling e.g. Google Play's APK throttling), then the
-// routes. Every route is a GET except /api/scan and /api/aggregate, whose
-// requests arrive as POSTed JSON bodies.
+// routes. Every route is a GET except the postPaths set — /api/scan,
+// /api/aggregate and any route mounted with AttachPost — whose requests
+// arrive as POSTed JSON bodies (those routes also answer GETs themselves,
+// e.g. the ingest cursor probe).
 func (s *Server) serveCore(w http.ResponseWriter, r *http.Request) {
-	postRoute := r.URL.Path == ScanPath || r.URL.Path == AggregatePath
+	postRoute := s.postPaths[r.URL.Path]
 	if r.Method != http.MethodGet && !(r.Method == http.MethodPost && postRoute) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
@@ -101,6 +129,15 @@ func (s *Server) serveCore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// AttachPost mounts an auxiliary handler (e.g. the ingest API) and lets
+// POSTs through the method gate for that path; the handler does its own
+// per-method dispatch. Like the rest of route setup it must happen before
+// the server takes traffic.
+func (s *Server) AttachPost(path string, h http.HandlerFunc) {
+	s.postPaths[path] = true
+	s.mux.HandleFunc(path, h)
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,287 @@
+package market
+
+// Regression tests for the three serving-source bugs that became real the
+// moment the dataset could move (incremental ingest):
+//
+//  1. aggregateContext's unchecked s.scan.(query.AggregateSource) assertion
+//     panicked the handler on a non-aggregating source — now a clean 501.
+//  2. AttachScan's plain `s.scan = src` write raced in-flight handlers — now
+//     an atomic (engine, epoch) snapshot swap (see also the -race test).
+//  3. serveCached read s.epoch.Load() independently of the engine the
+//     compute closure captured, so a swap between the two could cache one
+//     dataset's bytes under another's epoch — now both come from one load.
+//
+// They are white-box (package market) so they can pin the snapshot/cache
+// interaction itself, not just the HTTP surface.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"marketscope/internal/query"
+)
+
+// swapTestSource builds an engine over plain ints: enough surface to scan,
+// aggregate, and tell two datasets apart by their rows.
+func swapTestSource(vals ...int) query.Source {
+	r := query.NewRegistry[int]()
+	r.MustRegister(query.Field[int]{Name: "n", Kind: query.KindInt, Doc: "the value",
+		Extract: func(x int) (any, bool) { return int64(x), true }})
+	return query.NewEngine(r, vals)
+}
+
+// scanOnlySource hides every method beyond query.Source (interface embedding
+// promotes only the interface's own methods), modelling a published source
+// without aggregation support.
+type scanOnlySource struct{ query.Source }
+
+func newSwapServer(t *testing.T, src query.Source) *Server {
+	t.Helper()
+	srv := NewServer(NewStore(Profile{Name: "swap-test"}))
+	srv.AttachScan(src)
+	srv.ConfigureServing(ServeConfig{CacheBytes: 1 << 20})
+	return srv
+}
+
+func postJSON(srv *Server, path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+// decodeRows pulls the rows array out of a scan/aggregate response body.
+func decodeRows(t *testing.T, body []byte) string {
+	t.Helper()
+	var res struct {
+		Rows  json.RawMessage `json:"rows"`
+		Error string          `json:"error"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("undecodable response %q: %v", body, err)
+	}
+	if res.Error != "" {
+		t.Fatalf("error response: %s", res.Error)
+	}
+	return string(res.Rows)
+}
+
+// TestAggregateOnScanOnlySource501 — bug 1. A source without aggregation
+// support must answer /api/aggregate with a clean 501 JSON error (the route
+// exists; the capability is a property of the published source), and a later
+// swap to an aggregating source must make the same request work.
+func TestAggregateOnScanOnlySource501(t *testing.T) {
+	srv := newSwapServer(t, scanOnlySource{swapTestSource(1, 2, 3)})
+
+	body := `{"aggregates":[{"op":"count"}]}`
+	rec := postJSON(srv, AggregatePath, body)
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("aggregate on scan-only source: code %d, want %d (body %q)",
+			rec.Code, http.StatusNotImplemented, rec.Body.String())
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Fatalf("want a JSON error body, got %q (err %v)", rec.Body.String(), err)
+	}
+	// Scanning the same source still works.
+	if rec := postJSON(srv, ScanPath, `{"fields":["n"]}`); rec.Code != http.StatusOK {
+		t.Fatalf("scan on scan-only source: code %d, body %q", rec.Code, rec.Body.String())
+	}
+	// Swapping in a full engine turns the very same aggregate into a 200.
+	srv.SwapSource(swapTestSource(1, 2, 3))
+	if rec := postJSON(srv, AggregatePath, body); rec.Code != http.StatusOK {
+		t.Fatalf("aggregate after swap to full engine: code %d, body %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestSwapInvalidatesCache — bug 3, steady-state form. Before the snapshot
+// swap, replacing the source via AttachScan left the epoch (and therefore
+// the cache) untouched, so the old dataset's bytes kept serving under the
+// new dataset. A swap must advance the epoch, purge, and recompute.
+func TestSwapInvalidatesCache(t *testing.T) {
+	srcA := swapTestSource(1, 2, 3)
+	srcB := swapTestSource(10, 20, 30, 40, 50)
+	srv := newSwapServer(t, srcA)
+
+	const q = `{"fields":["n"]}`
+	first := postJSON(srv, ScanPath, q)
+	if first.Code != http.StatusOK || first.Header().Get("X-Cache") != "MISS" {
+		t.Fatalf("first scan: code=%d X-Cache=%q", first.Code, first.Header().Get("X-Cache"))
+	}
+	rowsA := decodeRows(t, first.Body.Bytes())
+	if hit := postJSON(srv, ScanPath, q); hit.Header().Get("X-Cache") != "HIT" {
+		t.Fatalf("second scan: X-Cache=%q, want HIT", hit.Header().Get("X-Cache"))
+	}
+
+	srv.SwapSource(srcB)
+	if got := srv.Epoch(); got != 1 {
+		t.Fatalf("epoch after swap = %d, want 1", got)
+	}
+	after := postJSON(srv, ScanPath, q)
+	if after.Header().Get("X-Cache") != "MISS" {
+		t.Fatalf("scan after swap: X-Cache=%q, want MISS (old epoch's entry must be unreachable)",
+			after.Header().Get("X-Cache"))
+	}
+	if rowsB := decodeRows(t, after.Body.Bytes()); rowsB == rowsA {
+		t.Fatalf("scan after swap still returns the old dataset's rows: %s", rowsB)
+	}
+}
+
+// gatedSource blocks its first Scan until released, so a test can hold a
+// request mid-compute while the source is swapped out from under it.
+type gatedSource struct {
+	inner   query.Source
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (g *gatedSource) Fields() []query.FieldInfo { return g.inner.Fields() }
+func (g *gatedSource) Scan(q query.Query) (*query.Result, error) {
+	g.once.Do(func() {
+		close(g.started)
+		<-g.release
+	})
+	return g.inner.Scan(q)
+}
+
+// TestSwapMidFlightKeepsSnapshotConsistent — bug 3, forced interleaving. A
+// request that loaded its (engine, epoch) snapshot before a swap must finish
+// against exactly that engine, and its result must not land in (or poison)
+// the new epoch's cache.
+func TestSwapMidFlightKeepsSnapshotConsistent(t *testing.T) {
+	gated := &gatedSource{
+		inner:   swapTestSource(1, 2, 3),
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	srv := newSwapServer(t, gated)
+	srcB := swapTestSource(10, 20, 30, 40, 50)
+
+	const q = `{"fields":["n"]}`
+	type reply struct {
+		code int
+		rows string
+	}
+	done := make(chan reply, 1)
+	go func() {
+		rec := postJSON(srv, ScanPath, q)
+		done <- reply{rec.Code, decodeRows(t, rec.Body.Bytes())}
+	}()
+
+	<-gated.started // the request holds its epoch-0 snapshot and is computing
+	srv.SwapSource(srcB)
+	close(gated.release)
+
+	inflight := <-done
+	if inflight.code != http.StatusOK {
+		t.Fatalf("in-flight request: code %d", inflight.code)
+	}
+	wantA := decodeRows(t, mustScanBody(t, gated.inner, q))
+	if inflight.rows != wantA {
+		t.Fatalf("in-flight request crossed the swap: got rows %s, want the pre-swap engine's %s",
+			inflight.rows, wantA)
+	}
+
+	// The stale flight must not have populated the post-swap cache: the same
+	// query now misses and computes against the new engine.
+	after := postJSON(srv, ScanPath, q)
+	if after.Header().Get("X-Cache") != "MISS" {
+		t.Fatalf("post-swap scan: X-Cache=%q, want MISS", after.Header().Get("X-Cache"))
+	}
+	wantB := decodeRows(t, mustScanBody(t, srcB, q))
+	if got := decodeRows(t, after.Body.Bytes()); got != wantB {
+		t.Fatalf("post-swap scan rows %s, want the new engine's %s", got, wantB)
+	}
+	if st := srv.cache.stats(); st.Entries != 1 {
+		t.Fatalf("cache holds %d entries, want exactly the new epoch's 1", st.Entries)
+	}
+}
+
+// mustScanBody runs q directly against src and returns the response bytes
+// the server would serve for it.
+func mustScanBody(t *testing.T, src query.Source, body string) []byte {
+	t.Helper()
+	q, err := query.ParseQuery(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := src.Scan(q)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	b, err := encodeJSONBody(res)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return b
+}
+
+// TestSwapUnderConcurrentLoad — bug 2. Swap the source continuously while
+// handlers hammer scan, aggregate and fields; run under -race. Every
+// response must be well-formed and belong entirely to one of the two
+// datasets — a torn read of (engine, epoch) would trip the race detector,
+// and a mixed response would fail the row check.
+func TestSwapUnderConcurrentLoad(t *testing.T) {
+	srcA := swapTestSource(1, 2, 3)
+	srcB := swapTestSource(10, 20, 30, 40, 50)
+	srv := newSwapServer(t, srcA)
+
+	const q = `{"fields":["n"]}`
+	rowsA := decodeRows(t, mustScanBody(t, srcA, q))
+	rowsB := decodeRows(t, mustScanBody(t, srcB, q))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i % 3 {
+				case 0, 1:
+					rec := postJSON(srv, ScanPath, q)
+					if rec.Code != http.StatusOK {
+						t.Errorf("scan under swap: code %d body %q", rec.Code, rec.Body.String())
+						return
+					}
+					if rows := decodeRows(t, rec.Body.Bytes()); rows != rowsA && rows != rowsB {
+						t.Errorf("scan under swap returned rows of neither dataset: %s", rows)
+						return
+					}
+				case 2:
+					req := httptest.NewRequest(http.MethodGet, ScanFieldsPath, nil)
+					rec := httptest.NewRecorder()
+					srv.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						t.Errorf("fields under swap: code %d", rec.Code)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			srv.SwapSource(srcB)
+		} else {
+			srv.SwapSource(srcA)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := srv.Epoch(); got != 200 {
+		t.Fatalf("epoch after 200 swaps = %d, want 200", got)
+	}
+}

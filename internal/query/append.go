@@ -1,0 +1,146 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// NewEngineAppend builds an engine over base's rows followed by added,
+// sealing the column work base already did: every typed column base has
+// materialized is extended — the old rows' values are copied from the built
+// column, only the added rows go through the boxed extractor — then the
+// dictionary and zone maps are rebuilt over the full length. Columns base
+// never touched stay lazy on the new engine, exactly as on a cold build.
+//
+// Contract: reg must be shape-compatible with base's registry (same field
+// names and kinds, in order; validated here) and every base row must extract
+// the same value under reg's extractors as it did under base's — the caller
+// asserts that nothing about the old rows changed. Incremental ingest
+// guarantees it by re-checking every old listing's enrichment and falling
+// back to a cold build the moment anything differs.
+//
+// base may be serving concurrent scans throughout: the build only loads the
+// atomic column pointers and reads immutable columns/items, never base's
+// lazy-build state.
+//
+// The result is semantically indistinguishable from NewEngine(reg, all):
+// dictionaries and zone maps are rebuilt through the same code paths over
+// the same values, so every scan and aggregate is byte-identical to the cold
+// engine's — the appended engine only skips re-extracting old rows.
+func NewEngineAppend[T any](reg *Registry[T], base *Engine[T], added []T) (*Engine[T], error) {
+	if base == nil {
+		return nil, fmt.Errorf("query: NewEngineAppend with nil base engine")
+	}
+	if err := compatibleRegistries(reg, base.reg); err != nil {
+		return nil, err
+	}
+	items := make([]T, 0, len(base.items)+len(added))
+	items = append(items, base.items...)
+	items = append(items, added...)
+	e := NewEngine(reg, items)
+	e.uncompressed = base.uncompressed
+	// Carry the observed selectivity so the first scans size their match
+	// buffers like the warmed-up base did (a capacity hint only — results
+	// never depend on it).
+	e.lastSel.Store(base.lastSel.Load())
+	oldN := len(base.items)
+	for ord := range base.cols {
+		old := base.cols[ord].col.Load()
+		if old == nil {
+			continue
+		}
+		f := reg.byName[reg.order[ord]]
+		col := extendColumn(f, old, items, oldN, !e.uncompressed)
+		slot := &e.cols[ord]
+		slot.once.Do(func() { slot.col.Store(col) })
+	}
+	return e, nil
+}
+
+// compatibleRegistries checks that next exposes the same column shape as
+// base: identical field names and kinds in identical order. Extractor
+// equivalence over old rows cannot be checked structurally and remains the
+// caller's contract.
+func compatibleRegistries[T any](next, base *Registry[T]) error {
+	if len(next.order) != len(base.order) {
+		return fmt.Errorf("query: append registry has %d fields, base has %d", len(next.order), len(base.order))
+	}
+	for i, name := range next.order {
+		if base.order[i] != name {
+			return fmt.Errorf("query: append field %d is %q, base has %q", i, name, base.order[i])
+		}
+		if nk, bk := next.byName[name].Kind, base.byName[name].Kind; nk != bk {
+			return fmt.Errorf("query: append field %q is %s, base has %s", name, nk, bk)
+		}
+	}
+	return nil
+}
+
+// extendColumn builds the full-length column from a built prefix: old values
+// copied (dictionary codes decoded back to strings first — the dictionary is
+// re-derived over the full column below), added rows extracted fresh, then
+// the compressed layout rebuilt through exactly the buildColumn code paths.
+func extendColumn[T any](f Field[T], old *column, items []T, oldN int, compressed bool) *column {
+	n := len(items)
+	c := &column{kind: f.Kind, nulls: newBitset(n), nullCount: old.nullCount, hasNaN: old.hasNaN}
+	// The old bitset's stray bits past oldN in its last word were never set,
+	// so a plain word copy reproduces the prefix exactly.
+	copy(c.nulls, old.nulls)
+	switch f.Kind {
+	case KindInt:
+		c.ints = make([]int64, n)
+		copy(c.ints, old.ints)
+	case KindFloat:
+		c.floats = make([]float64, n)
+		copy(c.floats, old.floats)
+	case KindString:
+		c.strs = make([]string, n)
+		if old.dict != nil {
+			for i := 0; i < oldN; i++ {
+				if !old.nulls.get(i) {
+					c.strs[i] = old.dict[old.codes[i]]
+				}
+			}
+		} else {
+			copy(c.strs, old.strs)
+		}
+	case KindBool:
+		c.bools = make([]bool, n)
+		copy(c.bools, old.bools)
+	case KindTime:
+		c.times = make([]time.Time, n)
+		copy(c.times, old.times)
+	}
+	for i := oldN; i < n; i++ {
+		v, null := extract(f, items[i])
+		if null {
+			c.nulls.set(i)
+			c.nullCount++
+			continue
+		}
+		switch f.Kind {
+		case KindInt:
+			c.ints[i] = v.(int64)
+		case KindFloat:
+			x := v.(float64)
+			c.floats[i] = x
+			if math.IsNaN(x) {
+				c.hasNaN = true
+			}
+		case KindString:
+			c.strs[i] = v.(string)
+		case KindBool:
+			c.bools[i] = v.(bool)
+		case KindTime:
+			c.times[i] = v.(time.Time)
+		}
+	}
+	if compressed {
+		if f.Dictionary && f.Kind == KindString {
+			c.encodeDict()
+		}
+		c.buildZones()
+	}
+	return c
+}

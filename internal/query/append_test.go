@@ -1,0 +1,207 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// appendPair builds the same logical dataset twice: once cold over the full
+// slice, once by appending the tail to a base engine that has already built
+// (a random subset of) its columns. Every test then asserts the two are
+// indistinguishable query-for-query.
+func appendPair(rng *rand.Rand, base, added []row, uncompressed bool) (appended, cold *Engine[row], err error) {
+	all := append(append([]row{}, base...), added...)
+	build := NewEngine[row]
+	if uncompressed {
+		build = NewEngineUncompressed[row]
+	}
+	baseEng := build(testDictRegistry(), base)
+	// Warm a random subset of the base columns (and its selectivity history)
+	// with a few real scans, so the append seals a mix of built and
+	// never-touched columns.
+	for i := rng.Intn(4); i > 0; i-- {
+		if _, err := baseEng.Scan(randomQuery(rng)); err != nil {
+			return nil, nil, err
+		}
+	}
+	appended, err = NewEngineAppend(testDictRegistry(), baseEng, added)
+	if err != nil {
+		return nil, nil, err
+	}
+	return appended, build(testDictRegistry(), all), nil
+}
+
+// TestAppendMatchesColdBuild is the randomized seal equivalence suite: for
+// many (base, delta) splits — compressed and uncompressed, empty deltas and
+// empty bases included — every random scan and aggregate over the appended
+// engine is identical to the cold engine over the union.
+func TestAppendMatchesColdBuild(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed_%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			nBase := rng.Intn(400)
+			nAdded := rng.Intn(250)
+			switch seed % 4 {
+			case 1:
+				nAdded = 0 // seal with an empty delta
+			case 2:
+				nBase = 0 // append to an empty engine
+			}
+			base := randomRows(rng, nBase)
+			added := randomRows(rng, nAdded)
+			appended, cold, err := appendPair(rng, base, added, seed%3 == 0)
+			if err != nil {
+				t.Fatalf("append: %v", err)
+			}
+			if appended.Len() != nBase+nAdded {
+				t.Fatalf("appended engine has %d rows, want %d", appended.Len(), nBase+nAdded)
+			}
+			for i := 0; i < 25; i++ {
+				q := randomQuery(rng)
+				got, err1 := appended.Scan(q)
+				want, err2 := cold.Scan(q)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("query %d (%+v): appended err %v, cold err %v", i, q, err1, err2)
+				}
+				requireSameResult(t, q, got, want)
+			}
+			for i := 0; i < 15; i++ {
+				a := randomAggregate(rng)
+				got, err1 := appended.Aggregate(a)
+				want, err2 := cold.Aggregate(a)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("aggregate %d (%+v): appended err %v, cold err %v", i, a, err1, err2)
+				}
+				requireSameAggregate(t, a, got, want)
+			}
+		})
+	}
+}
+
+// TestAppendReusesBuiltColumns pins the seal itself: a column the base
+// engine materialized must not be rebuilt through the extractor for old
+// rows. The extractor counts its calls; after the append only the added
+// rows may pay it.
+func TestAppendReusesBuiltColumns(t *testing.T) {
+	var calls int
+	counting := func() *Registry[row] {
+		r := NewRegistry[row]()
+		r.MustRegister(Field[row]{Name: "name", Kind: KindString,
+			Extract: func(x row) (any, bool) { calls++; return x.name, true }})
+		return r
+	}
+	base := testRows()
+	added := []row{{name: "foxtrot"}, {name: "golf"}}
+	baseEng := NewEngine(counting(), base)
+	if _, err := baseEng.Scan(Query{Fields: []string{"name"}}); err != nil {
+		t.Fatalf("warm scan: %v", err)
+	}
+	calls = 0
+	appended, err := NewEngineAppend(counting(), baseEng, added)
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	res, err := appended.Scan(Query{Fields: []string{"name"}})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(res.Rows) != len(base)+len(added) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), len(base)+len(added))
+	}
+	if calls != len(added) {
+		t.Fatalf("extractor ran %d times after the append, want %d (added rows only)", calls, len(added))
+	}
+}
+
+// TestAppendRegistryMismatch: a registry whose shape diverges from the
+// base's must be rejected, not silently mis-sealed.
+func TestAppendRegistryMismatch(t *testing.T) {
+	base := NewEngine(testRegistry(), testRows())
+
+	renamed := NewRegistry[row]()
+	renamed.MustRegister(Field[row]{Name: "nom", Kind: KindString,
+		Extract: func(x row) (any, bool) { return x.name, true }})
+	if _, err := NewEngineAppend(renamed, base, nil); err == nil {
+		t.Fatal("append accepted a registry with a different field count")
+	}
+
+	shadow := NewRegistry[row]()
+	for _, info := range testRegistry().Fields() {
+		g, _ := testRegistry().Lookup(info.Name)
+		if info.Name == "name" {
+			g.Kind = KindInt
+			g.Extract = func(x row) (any, bool) { return int64(len(x.name)), true }
+		}
+		shadow.MustRegister(g)
+	}
+	if _, err := NewEngineAppend(shadow, base, nil); err == nil {
+		t.Fatal("append accepted a registry with a re-kinded field")
+	}
+}
+
+// TestAppendWhileBaseServes runs the append concurrently with scans on the
+// base engine (the live-swap situation: the old epoch keeps serving while
+// the new epoch seals its columns). Run under -race; results on both engines
+// must stay correct throughout.
+func TestAppendWhileBaseServes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := randomRows(rng, 300)
+	added := randomRows(rng, 60)
+	baseEng := NewEngine(testDictRegistry(), base)
+	cold := NewEngine(testDictRegistry(), append(append([]row{}, base...), added...))
+
+	queries := make([]Query, 8)
+	for i := range queries {
+		queries[i] = randomQuery(rng)
+	}
+	want := make([]*Result, len(queries))
+	for i, q := range queries {
+		r, err := baseEng.Scan(q)
+		if err != nil {
+			t.Fatalf("base scan: %v", err)
+		}
+		want[i] = r
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries[(w+i)%len(queries)]
+				res, err := baseEng.Scan(q)
+				if err != nil {
+					t.Errorf("base scan under append: %v", err)
+					return
+				}
+				requireSameResult(t, q, res, want[(w+i)%len(queries)])
+			}
+		}(w)
+	}
+	for round := 0; round < 5; round++ {
+		appended, err := NewEngineAppend(testDictRegistry(), baseEng, added)
+		if err != nil {
+			t.Fatalf("append round %d: %v", round, err)
+		}
+		q := queries[round%len(queries)]
+		got, err1 := appended.Scan(q)
+		ref, err2 := cold.Scan(q)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("round %d: appended err %v, cold err %v", round, err1, err2)
+		}
+		requireSameResult(t, q, got, ref)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -86,10 +87,12 @@ type column struct {
 }
 
 // colSlot is the lazy holder of one field's column: built at most once per
-// engine, concurrently safe.
+// engine, concurrently safe. The pointer is atomic so NewEngineAppend can
+// peek at which columns a live engine has already built without racing the
+// sync.Once that builds them.
 type colSlot struct {
 	once sync.Once
-	col  *column
+	col  atomic.Pointer[column]
 }
 
 // buildColumn materializes a field over every item through the same
@@ -362,7 +365,7 @@ func (e *Engine[T]) columnFor(ord int) *column {
 	slot := &e.cols[ord]
 	slot.once.Do(func() {
 		f := e.reg.byName[e.reg.order[ord]]
-		slot.col = buildColumn(f, e.items, !e.uncompressed)
+		slot.col.Store(buildColumn(f, e.items, !e.uncompressed))
 	})
-	return slot.col
+	return slot.col.Load()
 }
