@@ -15,11 +15,16 @@
 // -ingest streams the crawl into an analysis server (marketsim -analysis, or
 // anything mounting internal/ingest's handler): the command probes the
 // server's cursor with a GET, POSTs the crawl as one append-only delta at
-// that cursor, and resynchronizes on a 409 cursor conflict. The feed is
-// append-only, so re-pushing a crawl is safe — already-ingested listings are
-// skipped server-side. -watch re-crawls at the given interval and pushes each
-// round's delta, following a growing catalog (marketsim -hold-back) without
-// restarts; -rounds bounds the loop (0 = run until killed).
+// that cursor, and resynchronizes on a 409 cursor conflict. Transient
+// failures — connection errors, 5xx, 429 — are retried with bounded
+// exponential backoff and jitter, re-probing the server's cursor before each
+// retry: if a push landed but its acknowledgement was lost (or the server
+// restarted and recovered from its WAL), the producer resumes exactly where
+// the server's durable cursor says, and the append-only feed makes the
+// re-push a server-side no-op rather than a double apply. -watch re-crawls
+// at the given interval and pushes each round's delta, following a growing
+// catalog (marketsim -hold-back) without restarts; -rounds bounds the loop
+// (0 = run until killed).
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"os"
 	"strings"
@@ -136,9 +142,40 @@ func ingestEndpoint(base string) string {
 	return base + ingest.IngestPath
 }
 
+// Push retry policy: transient failures (connection errors, 5xx, 429) back
+// off exponentially from retryBase, capped at retryMax, with full jitter in
+// the upper half of each window, for at most retryAttempts tries overall.
+const (
+	retryAttempts = 6
+	retryBase     = 200 * time.Millisecond
+	retryMax      = 5 * time.Second
+)
+
+// retrySleep is swapped out by tests so backoff does not slow them down.
+var retrySleep = time.Sleep
+
+// backoffDelay returns the randomized delay before retry number attempt
+// (0-based): uniformly within [d/2, d) for d = retryBase << attempt, capped.
+func backoffDelay(attempt int, rng *rand.Rand) time.Duration {
+	d := retryBase << attempt
+	if d > retryMax || d <= 0 {
+		d = retryMax
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)))
+}
+
+// transientStatus reports whether an HTTP status is worth retrying: server
+// trouble and throttling, never client errors.
+func transientStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
 // pushDelta POSTs the snapshot as one append-only delta at the server's
-// current cursor, resynchronizing on a cursor conflict (another producer, or
-// a previous push whose acknowledgement was lost).
+// current cursor. Cursor conflicts (another producer, or a push whose ack was
+// lost) resync from the 409's cursor; transient failures back off and
+// re-probe the server's cursor before retrying, so a reconnect always resumes
+// from the server's durable position — where re-pushing already-landed
+// listings is a server-side no-op.
 func pushDelta(baseURL string, snap *crawler.Snapshot) (ingest.Result, error) {
 	url := ingestEndpoint(baseURL)
 	listings := make([]ingest.Listing, 0, snap.NumRecords())
@@ -150,73 +187,92 @@ func pushDelta(baseURL string, snap *crawler.Snapshot) (ingest.Result, error) {
 		listings = append(listings, l)
 	}
 
-	cursor, err := fetchCursor(url)
-	if err != nil {
-		return ingest.Result{}, err
-	}
-	for attempt := 0; ; attempt++ {
-		res, conflict, err := postDelta(url, ingest.Delta{Seq: cursor, Listings: listings})
-		if err == nil {
-			return res, nil
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	var lastErr error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			retrySleep(backoffDelay(attempt-1, rng))
 		}
-		if conflict == nil || attempt >= 3 {
+		cursor, transient, err := fetchCursor(url)
+		if err != nil {
+			lastErr = err
+			if transient {
+				continue
+			}
 			return ingest.Result{}, err
 		}
-		// 409: another producer advanced the cursor; resync and retry.
-		cursor = conflict.cursor
+		resyncs := 0
+		for {
+			res, conflict, transient, err := postDelta(url, ingest.Delta{Seq: cursor, Listings: listings})
+			if err == nil {
+				return res, nil
+			}
+			lastErr = err
+			if conflict != nil && resyncs < 3 {
+				// 409: another producer advanced the cursor; resync and retry
+				// immediately — the server told us exactly where to go.
+				cursor, resyncs = conflict.cursor, resyncs+1
+				continue
+			}
+			if transient {
+				break // back off, then re-probe the cursor
+			}
+			return ingest.Result{}, err
+		}
 	}
+	return ingest.Result{}, fmt.Errorf("giving up after %d attempts: %w", retryAttempts, lastErr)
 }
 
 // cursorConflict carries the server's expected cursor out of a 409 response.
 type cursorConflict struct{ cursor uint64 }
 
-func fetchCursor(url string) (uint64, error) {
+func fetchCursor(url string) (cursor uint64, transient bool, err error) {
 	resp, err := http.Get(url)
 	if err != nil {
-		return 0, err
+		return 0, true, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("cursor probe: %s", resp.Status)
+		return 0, transientStatus(resp.StatusCode), fmt.Errorf("cursor probe: %s", resp.Status)
 	}
 	var cs ingest.CursorState
 	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
-		return 0, fmt.Errorf("cursor probe: %w", err)
+		return 0, true, fmt.Errorf("cursor probe: %w", err)
 	}
-	return cs.Cursor, nil
+	return cs.Cursor, false, nil
 }
 
-func postDelta(url string, d ingest.Delta) (ingest.Result, *cursorConflict, error) {
+func postDelta(url string, d ingest.Delta) (ingest.Result, *cursorConflict, bool, error) {
 	body, err := json.Marshal(d)
 	if err != nil {
-		return ingest.Result{}, nil, err
+		return ingest.Result{}, nil, false, err
 	}
 	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return ingest.Result{}, nil, err
+		return ingest.Result{}, nil, true, err
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
 		var res ingest.Result
 		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
-			return ingest.Result{}, nil, fmt.Errorf("delta response: %w", err)
+			return ingest.Result{}, nil, true, fmt.Errorf("delta response: %w", err)
 		}
-		return res, nil, nil
+		return res, nil, false, nil
 	case http.StatusConflict:
 		var e struct {
 			Error  string `json:"error"`
 			Cursor uint64 `json:"cursor"`
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
-			return ingest.Result{}, nil, fmt.Errorf("cursor conflict (undecodable body): %w", err)
+			return ingest.Result{}, nil, true, fmt.Errorf("cursor conflict (undecodable body): %w", err)
 		}
-		return ingest.Result{}, &cursorConflict{cursor: e.Cursor}, fmt.Errorf("cursor conflict: %s", e.Error)
+		return ingest.Result{}, &cursorConflict{cursor: e.Cursor}, false, fmt.Errorf("cursor conflict: %s", e.Error)
 	default:
 		var e struct {
 			Error string `json:"error"`
 		}
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return ingest.Result{}, nil, fmt.Errorf("delta rejected: %s (%s)", resp.Status, e.Error)
+		return ingest.Result{}, nil, transientStatus(resp.StatusCode), fmt.Errorf("delta rejected: %s (%s)", resp.Status, e.Error)
 	}
 }

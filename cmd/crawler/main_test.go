@@ -2,11 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -79,10 +81,10 @@ func TestCrawlerCommandEndToEnd(t *testing.T) {
 	}
 }
 
-// startAnalysisServer serves a delta-fed analysis endpoint like marketsim
+// analysisHandler builds a delta-fed analysis endpoint like marketsim
 // -analysis does: empty engine attached, ingestor publishing each epoch via
 // SwapSource.
-func startAnalysisServer(t *testing.T) (baseURL string, ing *ingest.Ingestor) {
+func analysisHandler(t *testing.T) (http.Handler, *ingest.Ingestor) {
 	t.Helper()
 	srv := market.NewServer(market.NewStore(market.Profile{Name: "analysis"}))
 	empty, err := analysis.BuildDatasetFromRecords(time.Now(), nil, nil, analysis.BuildOptions{})
@@ -91,13 +93,19 @@ func startAnalysisServer(t *testing.T) (baseURL string, ing *ingest.Ingestor) {
 	}
 	empty.Enrich(analysis.DefaultEnrichOptions())
 	srv.AttachScan(empty.QuerySource())
-	ing = ingest.New(ingest.Options{
+	ing := ingest.New(ingest.Options{
 		Enrich:    analysis.DefaultEnrichOptions(),
 		CrawlTime: time.Now(),
 		Publish:   func(d *analysis.Dataset) { srv.SwapSource(d.QuerySource()) },
 	})
 	srv.AttachPost(ingest.IngestPath, ingest.Handler(ing))
-	ts := httptest.NewServer(srv)
+	return srv, ing
+}
+
+func startAnalysisServer(t *testing.T) (baseURL string, ing *ingest.Ingestor) {
+	t.Helper()
+	h, ing := analysisHandler(t)
+	ts := httptest.NewServer(h)
 	t.Cleanup(ts.Close)
 	return ts.URL, ing
 }
@@ -180,5 +188,115 @@ func TestCrawlerCommandValidation(t *testing.T) {
 	}
 	if err := run([]string{"-endpoints", bad, "-rounds", "2"}); err == nil {
 		t.Error("-rounds without -watch accepted")
+	}
+}
+
+// flakyProxy fronts the analysis server with injected transient trouble: a
+// run of failed cursor probes, then a push whose delta lands on the server
+// but whose acknowledgement is lost (the classic at-least-once hazard the
+// retry loop must turn into exactly-once via cursor re-probing).
+type flakyProxy struct {
+	mu       sync.Mutex
+	inner    http.Handler
+	gets503  int // this many GETs answer 503 before passing through
+	dropAcks int // this many POSTs land on inner but answer 502
+}
+
+func (f *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	if r.Method == http.MethodGet && f.gets503 > 0 {
+		f.gets503--
+		f.mu.Unlock()
+		http.Error(w, "warming up", http.StatusServiceUnavailable)
+		return
+	}
+	if r.Method == http.MethodPost && f.dropAcks > 0 {
+		f.dropAcks--
+		f.mu.Unlock()
+		rec := httptest.NewRecorder()
+		f.inner.ServeHTTP(rec, r)                              // the delta lands...
+		http.Error(w, "gateway hiccup", http.StatusBadGateway) // ...but the ack is lost
+		return
+	}
+	f.mu.Unlock()
+	f.inner.ServeHTTP(w, r)
+}
+
+// TestCrawlerIngestRetriesTransientFailures drives -ingest through a flaky
+// proxy: two failed cursor probes, then a push that lands server-side but
+// loses its ack. The crawler must back off with growing jittered delays,
+// re-probe the server's durable cursor, and finish with the stream applied
+// exactly once.
+func TestCrawlerIngestRetriesTransientFailures(t *testing.T) {
+	endpointsPath, seeds := startMarkets(t)
+	inner, ing := analysisHandler(t)
+	flaky := &flakyProxy{inner: inner, gets503: 2, dropAcks: 1}
+	ts := httptest.NewServer(flaky)
+	t.Cleanup(ts.Close)
+
+	var slept []time.Duration
+	defer func(orig func(time.Duration)) { retrySleep = orig }(retrySleep)
+	retrySleep = func(d time.Duration) { slept = append(slept, d) }
+
+	err := run([]string{
+		"-endpoints", endpointsPath,
+		"-out", "",
+		"-seeds", strings.Join(seeds, ","),
+		"-concurrency", "4",
+		"-ingest", ts.URL,
+	})
+	if err != nil {
+		t.Fatalf("run through flaky proxy: %v", err)
+	}
+	// The lost-ack push landed at seq 0; the retry re-probed cursor 1 and
+	// re-pushed as a pure no-op append, so the cursor ends at 2.
+	if ing.Cursor() != 2 {
+		t.Fatalf("cursor = %d, want 2 (landed push + acked no-op retry)", ing.Cursor())
+	}
+	ds := ing.Dataset()
+	if ds == nil || ds.NumListings() == 0 {
+		t.Fatal("no dataset after retried push")
+	}
+	// Two probe failures plus one lost ack: exactly three backoffs, each
+	// within its jitter window and strictly growing (the windows are disjoint).
+	if len(slept) != 3 {
+		t.Fatalf("slept %d times (%v), want 3", len(slept), slept)
+	}
+	for i, d := range slept {
+		if d < retryBase/2 || d > retryMax {
+			t.Errorf("backoff %d = %v outside [%v, %v]", i, d, retryBase/2, retryMax)
+		}
+		if i > 0 && d <= slept[i-1] {
+			t.Errorf("backoff %d = %v did not grow past %v", i, d, slept[i-1])
+		}
+	}
+}
+
+// TestCrawlerIngestGivesUpEventually points -ingest at a server that never
+// recovers: the crawler must stop after retryAttempts tries with a clear
+// error instead of spinning forever.
+func TestCrawlerIngestGivesUpEventually(t *testing.T) {
+	endpointsPath, seeds := startMarkets(t)
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down for maintenance", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(down.Close)
+
+	var sleeps int
+	defer func(orig func(time.Duration)) { retrySleep = orig }(retrySleep)
+	retrySleep = func(time.Duration) { sleeps++ }
+
+	err := run([]string{
+		"-endpoints", endpointsPath,
+		"-out", "",
+		"-seeds", strings.Join(seeds, ","),
+		"-concurrency", "4",
+		"-ingest", down.URL,
+	})
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("err = %v, want giving-up error", err)
+	}
+	if sleeps != retryAttempts-1 {
+		t.Fatalf("slept %d times, want %d", sleeps, retryAttempts-1)
 	}
 }

@@ -8,6 +8,8 @@
 //	          [-cache-bytes N] [-timeout D] [-max-inflight N] [-queue N]
 //	          [-rate R] [-gzip=false]
 //	          [-analysis] [-hold-back F] [-release-every D] [-release-batch N]
+//	          [-data-dir DIR] [-fsync always|interval|off] [-fsync-interval D]
+//	          [-snapshot-every N]
 //
 // With -port 0 every market binds an ephemeral port instead of a consecutive
 // range, which is what the smoke tests use to avoid port collisions.
@@ -24,6 +26,15 @@
 // incrementally and publishes its engine with an atomic source swap, so the
 // crawler command's -ingest/-watch flags can stream crawls into a live query
 // service with no restarts.
+//
+// -data-dir makes the analysis endpoint durable: every accepted delta is
+// appended to a write-ahead log under DIR before it is acknowledged, periodic
+// checksummed snapshots of the sealed column store bound replay time, and a
+// restart with the same -data-dir recovers the exact ingested state (cold
+// start = newest valid snapshot + WAL tail) before serving. -fsync picks the
+// WAL durability/throughput trade-off and -snapshot-every the snapshot
+// cadence; see internal/durable. The endpoint's /metrics additionally exposes
+// the durable_* recovery and snapshot gauges.
 //
 // -hold-back withholds a fraction of every market's catalog at startup and
 // releases it in batches while the process serves (-release-every,
@@ -53,6 +64,7 @@ import (
 	"marketscope/internal/analysis"
 	"marketscope/internal/appmeta"
 	"marketscope/internal/crawler"
+	"marketscope/internal/durable"
 	"marketscope/internal/ingest"
 	"marketscope/internal/market"
 	"marketscope/internal/report"
@@ -92,6 +104,10 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	rate := fs.Float64("rate", defaults.RatePerSecond, "per-client request rate limit in req/s (0 = off)")
 	gzipOn := fs.Bool("gzip", defaults.Gzip, "gzip-compress responses for clients that accept it")
 	analysisOn := fs.Bool("analysis", false, "serve an analysis endpoint fed by listing deltas POSTed to /api/ingest")
+	dataDir := fs.String("data-dir", "", "durable state directory for the analysis endpoint: WAL + snapshots, recovered on restart (requires -analysis)")
+	fsyncMode := fs.String("fsync", "always", "WAL sync policy with -data-dir: always (ack = durable), interval (periodic), off (page cache only)")
+	fsyncEvery := fs.Duration("fsync-interval", 100*time.Millisecond, "WAL sync period with -fsync=interval")
+	snapshotEvery := fs.Int("snapshot-every", 64, "write a column-store snapshot every N applied deltas with -data-dir (0 = only at shutdown)")
 	holdBack := fs.Float64("hold-back", 0, "fraction of each market's catalog withheld at startup and released while serving (0..0.9)")
 	releaseEvery := fs.Duration("release-every", 5*time.Second, "interval between releases of held-back listings")
 	releaseBatch := fs.Int("release-batch", 25, "held-back listings released per interval")
@@ -103,6 +119,16 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	}
 	if *holdBack > 0 && (*releaseEvery <= 0 || *releaseBatch <= 0) {
 		return fmt.Errorf("-hold-back needs positive -release-every and -release-batch")
+	}
+	if *dataDir != "" && !*analysisOn {
+		return fmt.Errorf("-data-dir requires -analysis")
+	}
+	fsyncPolicy, err := durable.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		return err
+	}
+	if *snapshotEvery < 0 {
+		return fmt.Errorf("-snapshot-every %d must be >= 0", *snapshotEvery)
 	}
 	serveCfg := market.ServeConfig{
 		CacheBytes:    *cacheBytes,
@@ -185,17 +211,28 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 		fmt.Fprintf(stdout, "%-16s %s  (%d apps)\n", name, base, stores[name].Len())
 	}
 
+	var closeAnalysis func() error
 	if *analysisOn {
 		ln, err := listen(len(names))
 		if err != nil {
 			return fmt.Errorf("listen for analysis: %w", err)
 		}
-		as, err := newAnalysisServer(serveCfg)
+		as, closer, err := newAnalysisServer(serveCfg, analysisConfig{
+			dataDir:       *dataDir,
+			fsync:         fsyncPolicy,
+			fsyncInterval: *fsyncEvery,
+			snapshotEvery: *snapshotEvery,
+		})
 		if err != nil {
 			return err
 		}
+		closeAnalysis = closer
 		base := serve("analysis", as, ln)
-		fmt.Fprintf(stdout, "%-16s %s  (ingest at %s)\n", "analysis", base, ingest.IngestPath)
+		if *dataDir != "" {
+			fmt.Fprintf(stdout, "%-16s %s  (ingest at %s, durable in %s)\n", "analysis", base, ingest.IngestPath, *dataDir)
+		} else {
+			fmt.Fprintf(stdout, "%-16s %s  (ingest at %s)\n", "analysis", base, ingest.IngestPath)
+		}
 	}
 
 	blob, err := json.MarshalIndent(endpoints, "", "  ")
@@ -258,6 +295,11 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 		_ = srv.Shutdown(ctx)
 	}
 	wg.Wait()
+	if closeAnalysis != nil {
+		if err := closeAnalysis(); err != nil {
+			fmt.Fprintf(os.Stderr, "marketsim: close analysis state: %v\n", err)
+		}
+	}
 
 	for i, ep := range endpoints {
 		if st := markets[i].ServingStats(); st.Requests > 0 {
@@ -296,24 +338,82 @@ func withholdSuffix(store *market.Store, fraction float64) (*market.Store, []hel
 	return fresh, withheld, nil
 }
 
+// analysisConfig carries the durability knobs for the analysis endpoint; an
+// empty dataDir keeps the endpoint in-memory only.
+type analysisConfig struct {
+	dataDir       string
+	fsync         durable.FsyncPolicy
+	fsyncInterval time.Duration
+	snapshotEvery int
+}
+
 // newAnalysisServer builds the delta-fed analysis endpoint: a market.Server
 // with no catalog of its own, serving scan/aggregate over whatever the
 // ingestor has published (an empty engine before the first delta) and
-// accepting deltas on /api/ingest.
-func newAnalysisServer(serveCfg market.ServeConfig) (*market.Server, error) {
+// accepting deltas on /api/ingest. With a data directory the ingestor is
+// wrapped in a durable store — previously ingested state is recovered before
+// the first request, every ack is backed by the WAL, and the returned closer
+// persists a final snapshot on shutdown.
+func newAnalysisServer(serveCfg market.ServeConfig, cfg analysisConfig) (*market.Server, func() error, error) {
 	srv := market.NewServer(market.NewStore(market.Profile{Name: "analysis"}))
-	empty, err := analysis.BuildDatasetFromRecords(time.Now(), nil, nil, analysis.BuildOptions{})
-	if err != nil {
-		return nil, fmt.Errorf("analysis server: %w", err)
+	attachEmpty := func() error {
+		empty, err := analysis.BuildDatasetFromRecords(time.Now(), nil, nil, analysis.BuildOptions{})
+		if err != nil {
+			return fmt.Errorf("analysis server: %w", err)
+		}
+		empty.Enrich(analysis.DefaultEnrichOptions())
+		srv.AttachScan(empty.QuerySource())
+		return nil
 	}
-	empty.Enrich(analysis.DefaultEnrichOptions())
-	srv.AttachScan(empty.QuerySource())
-	ing := ingest.New(ingest.Options{
+	ingOpts := ingest.Options{
 		Enrich:    analysis.DefaultEnrichOptions(),
 		CrawlTime: time.Now(),
 		Publish:   func(d *analysis.Dataset) { srv.SwapSource(d.QuerySource()) },
+	}
+
+	if cfg.dataDir == "" {
+		if err := attachEmpty(); err != nil {
+			return nil, nil, err
+		}
+		ing := ingest.New(ingOpts)
+		srv.AttachPost(ingest.IngestPath, ingest.Handler(ing))
+		srv.ConfigureServing(serveCfg)
+		return srv, nil, nil
+	}
+
+	store, err := durable.Open(durable.Options{
+		Dir:           cfg.dataDir,
+		Fsync:         cfg.fsync,
+		FsyncInterval: cfg.fsyncInterval,
+		SnapshotEvery: cfg.snapshotEvery,
+		Ingest:        ingOpts,
 	})
-	srv.AttachPost(ingest.IngestPath, ingest.Handler(ing))
+	if err != nil {
+		return nil, nil, fmt.Errorf("open durable analysis state: %w", err)
+	}
+	// Recovery does not publish; attach whatever state survived (or the empty
+	// engine on a fresh directory) before the first request can race it.
+	if ds := store.Dataset(); ds != nil {
+		srv.AttachScan(ds.QuerySource())
+	} else if err := attachEmpty(); err != nil {
+		store.Close()
+		return nil, nil, err
+	}
+	srv.AttachPost(ingest.IngestPath, ingest.Handler(store))
 	srv.ConfigureServing(serveCfg)
-	return srv, nil
+	store.Metrics().Register(srv.MetricsRegistry())
+	closer := func() error {
+		var serr error
+		if store.Dataset() != nil {
+			// A parting snapshot makes the next cold start O(snapshot load)
+			// instead of O(full WAL replay). Best effort: the WAL already
+			// holds everything acknowledged.
+			serr = store.WriteSnapshot()
+		}
+		if cerr := store.Close(); cerr != nil {
+			return cerr
+		}
+		return serr
+	}
+	return srv, closer, nil
 }

@@ -1,0 +1,277 @@
+// BenchmarkColdStart measures what the durable layer's snapshots buy at
+// startup on the 100k scaled corpus: time-to-first-query of a durable store
+// recovering from a checksummed snapshot (binary decode + InstallQueryColumns
+// + empty WAL tail) against the cold pipeline it replaces (crawler JSON
+// snapshot load + BuildDatasetFromRecords + Enrich + column export), with a
+// WAL-only rebuild timed alongside to show snapshots are pure optimization —
+// recovery works without them, just slower. Before any timing the recovered
+// engine is asserted identical to the cold build on the scale bench query
+// shapes (the equivalence-then-measure pattern of the other benches), and
+// the COLDSTAT line feeds the CI bench artifact BENCH_coldstart.json.
+package marketscope_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"marketscope/internal/analysis"
+	"marketscope/internal/appmeta"
+	"marketscope/internal/crawler"
+	"marketscope/internal/durable"
+	"marketscope/internal/ingest"
+	"marketscope/internal/query"
+	"marketscope/internal/synth"
+)
+
+// coldstartRecords streams the scaled corpus and deduplicates keep-first by
+// (market, package) — the ingestor keeps the first listing of a key and the
+// crawler snapshot keeps the last, so feeding both the deduplicated stream
+// makes the two pipelines land byte-identical state.
+func coldstartRecords(b *testing.B, rows int) []appmeta.Record {
+	b.Helper()
+	seen := map[appmeta.Key]bool{}
+	var out []appmeta.Record
+	err := synth.StreamListings(synth.ScaleConfig{Seed: scaledSeed, Rows: rows}, func(i int, rec appmeta.Record) error {
+		if k := rec.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, rec)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatalf("stream corpus: %v", err)
+	}
+	return out
+}
+
+func BenchmarkColdStart(b *testing.B) {
+	rows := scaledRowsTarget()
+	records := coldstartRecords(b, rows)
+	crawlTime := records[len(records)-1].UpdateDate
+
+	// Seed the two on-disk representations once: a crawler JSON snapshot dir
+	// (the cold pipeline's input) and a durable data dir holding the same
+	// records as one WAL'd delta plus one column-store snapshot.
+	jsonDir := filepath.Join(b.TempDir(), "snapshot")
+	snap := crawler.NewSnapshot(crawlTime)
+	listings := make([]ingest.Listing, 0, len(records))
+	for _, rec := range records {
+		if err := snap.AddRecord(rec); err != nil {
+			b.Fatalf("seed record: %v", err)
+		}
+		listings = append(listings, ingest.Listing{Record: rec})
+	}
+	if err := snap.Save(jsonDir); err != nil {
+		b.Fatalf("save crawler snapshot: %v", err)
+	}
+
+	dataDir := filepath.Join(b.TempDir(), "data")
+	openOpts := func(dir string) durable.Options {
+		return durable.Options{
+			Dir:   dir,
+			Fsync: durable.FsyncOff, // startup cost is what's measured, not append latency
+			Ingest: ingest.Options{
+				Enrich:    analysis.DefaultEnrichOptions(),
+				CrawlTime: crawlTime,
+			},
+		}
+	}
+	seedStore, err := durable.Open(openOpts(dataDir))
+	if err != nil {
+		b.Fatalf("open durable store: %v", err)
+	}
+	if res, err := seedStore.Apply(ingest.Delta{Seq: 0, Listings: listings}); err != nil || !res.Applied {
+		b.Fatalf("seed apply: %+v (err %v)", res, err)
+	}
+	if err := seedStore.WriteSnapshot(); err != nil {
+		b.Fatalf("seed snapshot: %v", err)
+	}
+	if err := seedStore.Close(); err != nil {
+		b.Fatalf("close seed store: %v", err)
+	}
+
+	// A second data dir holding only the WAL: the same recovery with the
+	// snapshot ladder exhausted, isolating what snapshots save over a full
+	// replay through the ingest pipeline.
+	walDir := filepath.Join(b.TempDir(), "walonly")
+	copyWALOnly(b, dataDir, walDir)
+
+	probes := scaleBenchQueries(rows)
+	numRecords := len(records)
+	listings, records = nil, nil // seeding residue must not inflate the timed regions' GC work
+
+	// Both restart paths are timed as the best of a few one-shot samples, each
+	// starting from a lean heap: the previous sample's dataset is released and
+	// a GC forced before the clock starts, so the collector marks only the
+	// sample's own allocations — what a real restart process's heap looks
+	// like. Without that, a single wall sample in a process pinning a freshly
+	// built 80k-row dataset is dominated by collector noise (observed ±30% run
+	// to run); the minimum over samples is the standard estimator for
+	// repeatable CPU-bound work. The files were just written, so every sample
+	// sees a warm page cache — exactly what a real restart sees. A sampling
+	// round covers both paths; when a background-load burst spans a whole
+	// round and drags the ratio under the gate, one more round runs and the
+	// minima accumulate — both sides get the same extra chances, so the retry
+	// absorbs machine noise without biasing the comparison.
+	const coldSamples, snapSamples, maxRounds = 3, 4, 2
+
+	var coldLoad, coldDur, snapDur time.Duration
+	coldListings := -1
+	for round := 0; round < maxRounds; round++ {
+		// The cold pipeline, timed end to end: JSON decode, dataset build,
+		// enrichment, column export (QuerySource), first scan.
+		var cold *analysis.Dataset
+		var coldSrc query.Source
+		for i := 0; i < coldSamples; i++ {
+			cold, coldSrc = nil, nil
+			runtime.GC()
+			coldStart := time.Now()
+			loaded, err := crawler.Load(jsonDir)
+			if err != nil {
+				b.Fatalf("load crawler snapshot: %v", err)
+			}
+			load := time.Since(coldStart)
+			ds, err := analysis.BuildDatasetFromRecords(loaded.CrawlTime, loaded.Records(), loaded.APK, analysis.BuildOptions{})
+			if err != nil {
+				b.Fatalf("cold build: %v", err)
+			}
+			ds.Enrich(analysis.DefaultEnrichOptions())
+			src := ds.QuerySource()
+			if _, err := src.Scan(probes[0].q); err != nil {
+				b.Fatalf("cold probe: %v", err)
+			}
+			if total := time.Since(coldStart); coldDur == 0 || total < coldDur {
+				coldDur, coldLoad = total, load
+			}
+			cold, coldSrc = ds, src
+		}
+
+		// Equivalence gate before believing any number: the recovered engine
+		// must answer the scale bench shapes — plus a row-order-sensitive dump
+		// — byte-identically to the cold build. Checked once, on an untimed
+		// recovery, so the cold dataset can be released before the snapshot
+		// timing below.
+		if coldListings < 0 {
+			eq, err := durable.Open(openOpts(dataDir))
+			if err != nil {
+				b.Fatalf("equivalence open: %v", err)
+			}
+			eqSrc := eq.Dataset().QuerySource()
+			dump := query.Query{Fields: []string{"market", "package", "downloads"}, Limit: 2000}
+			for _, probe := range append(probes, struct {
+				name string
+				q    query.Query
+			}{"dump", dump}) {
+				sres, serr := eqSrc.Scan(probe.q)
+				cres, cerr := coldSrc.Scan(probe.q)
+				sj := ingestCanonical(b, sres, serr)
+				cj := ingestCanonical(b, cres, cerr)
+				if !bytes.Equal(sj, cj) {
+					b.Fatalf("%s: recovered engine diverged from the cold build:\nsnap %.300s\ncold %.300s", probe.name, sj, cj)
+				}
+			}
+			coldListings = cold.NumListings()
+			if err := eq.Close(); err != nil {
+				b.Fatalf("close equivalence store: %v", err)
+			}
+		}
+		cold, coldSrc = nil, nil
+
+		// Snapshot recovery, timed the same way: Open (snapshot decode,
+		// restore, column install, empty WAL tail) plus the first scan.
+		for i := 0; i < snapSamples; i++ {
+			runtime.GC()
+			snapStart := time.Now()
+			si, err := durable.Open(openOpts(dataDir))
+			if err != nil {
+				b.Fatalf("snapshot open: %v", err)
+			}
+			if _, err := si.Dataset().QuerySource().Scan(probes[0].q); err != nil {
+				b.Fatalf("snapshot probe: %v", err)
+			}
+			if d := time.Since(snapStart); snapDur == 0 || d < snapDur {
+				snapDur = d
+			}
+			if got := si.Metrics().WALRecordsReplayed.Load(); got != 0 {
+				b.Fatalf("snapshot open replayed %d WAL records, want 0", got)
+			}
+			if err := si.Close(); err != nil {
+				b.Fatalf("close: %v", err)
+			}
+		}
+		if float64(coldDur) >= 5*float64(snapDur) {
+			break
+		}
+	}
+
+	// WAL-only rebuild: same contract, no snapshot to lean on.
+	runtime.GC()
+	walStart := time.Now()
+	w, err := durable.Open(openOpts(walDir))
+	if err != nil {
+		b.Fatalf("wal-only open: %v", err)
+	}
+	if _, err := w.Dataset().QuerySource().Scan(probes[0].q); err != nil {
+		b.Fatalf("wal-only probe: %v", err)
+	}
+	walDur := time.Since(walStart)
+	if got := w.Metrics().WALRecordsReplayed.Load(); got != 1 {
+		b.Fatalf("wal-only open replayed %d records, want 1", got)
+	}
+	if w.Cursor() != 1 || w.Dataset().NumListings() != coldListings {
+		b.Fatalf("wal-only state: cursor %d, %d listings (cold has %d)", w.Cursor(), w.Dataset().NumListings(), coldListings)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatalf("close wal-only: %v", err)
+	}
+
+	speedup := float64(coldDur) / float64(snapDur)
+	printOnce("coldstart", fmt.Sprintf(
+		"COLDSTAT rows=%d records=%d cold_load_ms=%.1f cold_total_ms=%.1f snap_open_ms=%.1f wal_replay_ms=%.1f speedup=%.1f wal_records_replayed=0 identical=1",
+		rows, numRecords,
+		float64(coldLoad.Microseconds())/1000, float64(coldDur.Microseconds())/1000,
+		float64(snapDur.Microseconds())/1000, float64(walDur.Microseconds())/1000,
+		speedup))
+	if speedup < 5 {
+		b.Fatalf("snapshot recovery only %.1fx faster than the cold pipeline (%v vs %v), want >= 5x",
+			speedup, snapDur, coldDur)
+	}
+
+	// The timed loop: one snapshot recovery to first query per iteration.
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := durable.Open(openOpts(dataDir))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Dataset().QuerySource().Scan(probes[0].q); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// copyWALOnly seeds dst with src's WAL and nothing else.
+func copyWALOnly(b *testing.B, src, dst string) {
+	b.Helper()
+	blob, err := os.ReadFile(filepath.Join(src, "wal.log"))
+	if err != nil {
+		b.Fatalf("read wal: %v", err)
+	}
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dst, "wal.log"), blob, 0o644); err != nil {
+		b.Fatalf("copy wal: %v", err)
+	}
+}

@@ -91,9 +91,13 @@ func (st *IngestState) Append(prev *Dataset, crawlTime time.Time, records []appm
 	workers := st.opts.Workers
 
 	// Parse only the delta; previously ingested listings are never re-parsed.
+	// One backing array serves the whole batch — later epochs copy an App out
+	// of it if and only if its detections change, exactly as with individual
+	// allocations.
+	backing := make([]App, len(records))
 	fresh := make([]*App, len(records))
 	pipeline.ForEach(len(records), workers, func(i int) {
-		fresh[i] = parseListing(records[i], apkOf)
+		fresh[i] = parseListingInto(&backing[i], records[i], apkOf)
 	})
 
 	// Learn copy-on-write: a fresh DB absorbs the previous observations

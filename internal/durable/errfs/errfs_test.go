@@ -1,0 +1,264 @@
+package errfs
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+
+	"marketscope/internal/durable"
+)
+
+func writeAll(t *testing.T, fsys durable.FS, path string, data []byte, sync bool) durable.File {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %s: %v", path, err)
+		}
+	}
+	return f
+}
+
+func TestMemFSEntryDurability(t *testing.T) {
+	m := New()
+	if err := m.MkdirAll("data", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+
+	// Content synced but entry never committed: the file vanishes at crash.
+	writeAll(t, m, "data/ghost", []byte("synced content"), true).Close()
+	if _, err := m.Crash(rng).OpenFile("data/ghost", os.O_RDONLY, 0); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("uncommitted entry survived the crash: %v", err)
+	}
+
+	// Entry committed, content synced: survives byte for byte.
+	writeAll(t, m, "data/kept", []byte("durable"), true).Close()
+	if err := m.SyncDir("data"); err != nil {
+		t.Fatal(err)
+	}
+	img := m.Crash(rng)
+	got, err := img.ReadFile("data/kept")
+	if err != nil || string(got) != "durable" {
+		t.Fatalf("committed file after crash: %q, %v", got, err)
+	}
+
+	// Unsynced appended bytes survive as a random-length prefix: run many
+	// crashes and require every observed length to be in [synced, len] with
+	// at least two distinct outcomes (the tear is actually random).
+	f := writeAll(t, m, "data/kept", []byte("durable"), true)
+	if _, err := f.Write([]byte("+tail")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	lengths := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		got, err := m.Crash(rng).ReadFile("data/kept")
+		if err != nil {
+			t.Fatalf("crash %d: %v", i, err)
+		}
+		if n := len(got); n < len("durable") || n > len("durable+tail") || string(got[:7]) != "durable" {
+			t.Fatalf("crash %d: torn content %q", i, got)
+		}
+		lengths[len(got)] = true
+	}
+	if len(lengths) < 2 {
+		t.Fatalf("torn tail never varied: %v", lengths)
+	}
+
+	// Rename is entry-level: before SyncDir the crash image sees the old
+	// name, after it the new one.
+	writeAll(t, m, "data/a.tmp", []byte("x"), true).Close()
+	if err := m.SyncDir("data"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rename("data/a.tmp", "data/a"); err != nil {
+		t.Fatal(err)
+	}
+	img = m.Crash(rng)
+	if _, err := img.ReadFile("data/a.tmp"); err != nil {
+		t.Fatalf("uncommitted rename lost the old entry: %v", err)
+	}
+	if _, err := img.ReadFile("data/a"); err == nil {
+		t.Fatal("uncommitted rename already visible after crash")
+	}
+	if err := m.SyncDir("data"); err != nil {
+		t.Fatal(err)
+	}
+	img = m.Crash(rng)
+	if _, err := img.ReadFile("data/a"); err != nil {
+		t.Fatalf("committed rename missing after crash: %v", err)
+	}
+	if _, err := img.ReadFile("data/a.tmp"); err == nil {
+		t.Fatal("committed rename kept the old entry")
+	}
+
+	// Remove is entry-level too.
+	if err := m.Remove("data/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Crash(rng).ReadFile("data/a"); err != nil {
+		t.Fatalf("uncommitted remove already durable: %v", err)
+	}
+	if err := m.SyncDir("data"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Crash(rng).ReadFile("data/a"); err == nil {
+		t.Fatal("committed remove left the entry")
+	}
+}
+
+func TestMemFSFileSemantics(t *testing.T) {
+	m := New()
+	if err := m.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, m, "d/f", []byte("hello world"), true).Close()
+
+	// Read it back through a handle.
+	f, err := m.OpenFile("d/f", os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if _, err := f.Write([]byte("nope")); err == nil {
+		t.Fatal("write on a read-only handle succeeded")
+	}
+	f.Close()
+
+	// Append.
+	f, err = m.OpenFile("d/f", os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("!")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if got, _ := m.ReadFile("d/f"); string(got) != "hello world!" {
+		t.Fatalf("after append: %q", got)
+	}
+
+	// Truncate caps content and the durable watermark.
+	if err := m.Truncate("d/f", 5); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.ReadFile("d/f"); string(got) != "hello" {
+		t.Fatalf("after truncate: %q", got)
+	}
+	if err := m.Truncate("d/f", 99); err == nil {
+		t.Fatal("truncate past the end succeeded")
+	}
+
+	// ReadDir lists sorted names; missing dirs and files report ErrNotExist.
+	writeAll(t, m, "d/b", nil, false).Close()
+	names, err := m.ReadDir("d")
+	if err != nil || !reflect.DeepEqual(names, []string{"b", "f"}) {
+		t.Fatalf("ReadDir: %v, %v", names, err)
+	}
+	if _, err := m.ReadDir("nope"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing dir: %v", err)
+	}
+	if _, err := m.OpenFile("d/nope", os.O_RDONLY, 0); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: %v", err)
+	}
+	if _, err := m.OpenFile("nodir/x", os.O_WRONLY|os.O_CREATE, 0o644); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("create under missing dir: %v", err)
+	}
+}
+
+func TestInjectorModes(t *testing.T) {
+	newFS := func() (*Injector, durable.File) {
+		inj := NewInjector(New())
+		if err := inj.MkdirAll("d", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		f, err := inj.OpenFile("d/f", os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj, f
+	}
+
+	// ModeErr: exactly one op fails.
+	inj, f := newFS()
+	inj.Arm(2, ModeErr, nil) // ops so far: mkdir=0, open=1; next write is 2
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed write: %v", err)
+	}
+	if _, err := f.Write([]byte("y")); err != nil {
+		t.Fatalf("op after ModeErr: %v", err)
+	}
+	if got, _ := inj.Base.ReadFile("d/f"); string(got) != "y" {
+		t.Fatalf("content after ModeErr: %q", got)
+	}
+	if inj.Hits() != 1 {
+		t.Fatalf("hits: %d", inj.Hits())
+	}
+
+	// ModeCrash: the armed op and everything after fail; the dying write
+	// lands half its bytes.
+	inj, f = newFS()
+	inj.Arm(2, ModeCrash, nil)
+	if _, err := f.Write([]byte("abcdef")); !errors.Is(err, ErrInjected) {
+		t.Fatal("crash write succeeded")
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatal("op after crash succeeded")
+	}
+	if _, err := inj.OpenFile("d/f", os.O_RDONLY, 0); !errors.Is(err, ErrInjected) {
+		t.Fatal("open after crash succeeded")
+	}
+	if got, _ := inj.Base.ReadFile("d/f"); string(got) != "abc" {
+		t.Fatalf("half-landed write: %q", got)
+	}
+
+	// ModeShortWrite: half lands, error returned, later ops fine.
+	inj, f = newFS()
+	inj.Arm(2, ModeShortWrite, nil)
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after short write: %v", err)
+	}
+
+	// ModeBitFlip: the write "succeeds" with exactly one bit changed.
+	inj, f = newFS()
+	inj.Arm(2, ModeBitFlip, rand.New(rand.NewSource(7)))
+	payload := []byte("abcdef")
+	if _, err := f.Write(payload); err != nil {
+		t.Fatalf("bit-flip write: %v", err)
+	}
+	got, _ := inj.Base.ReadFile("d/f")
+	diff := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^payload[i])&(1<<b) != 0 {
+				diff++
+			}
+		}
+	}
+	if len(got) != len(payload) || diff != 1 {
+		t.Fatalf("bit flip changed %d bits (content %q)", diff, got)
+	}
+
+	// The op log records kinds and paths in order.
+	log := inj.Log()
+	if len(log) != 3 || log[0].Kind != "mkdir" || log[1].Kind != "open" || log[2].Kind != "write" || log[2].Path != "d/f" {
+		t.Fatalf("op log: %+v", log)
+	}
+}

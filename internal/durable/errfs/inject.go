@@ -1,0 +1,257 @@
+package errfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"sync"
+
+	"marketscope/internal/durable"
+)
+
+// ErrInjected marks every fault the injector raises.
+var ErrInjected = errors.New("errfs: injected fault")
+
+// Mode is what happens when the armed operation index is reached.
+type Mode int
+
+const (
+	// ModeErr fails exactly one operation; everything after succeeds. Models
+	// a transient I/O error (ENOSPC, EIO) the process survives.
+	ModeErr Mode = iota
+	// ModeCrash fails the armed operation and every one after it — the
+	// process is dying. A failing write first lands half its bytes
+	// (unsynced), so the subsequent Crash image can expose a torn record.
+	ModeCrash
+	// ModeShortWrite lands half the armed write's bytes, returns an error,
+	// and lets later operations succeed. Models a short write the process
+	// survives (and must wedge on).
+	ModeShortWrite
+	// ModeBitFlip lands the armed write in full with one random bit flipped
+	// and reports success. Models silent media corruption; only checksums
+	// can catch it.
+	ModeBitFlip
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeErr:
+		return "err"
+	case ModeCrash:
+		return "crash"
+	case ModeShortWrite:
+		return "shortwrite"
+	case ModeBitFlip:
+		return "bitflip"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Op records one filesystem operation the injector saw.
+type Op struct {
+	Kind string // open, read, write, sync, close, rename, remove, mkdir, readdir, truncate, syncdir
+	Path string
+}
+
+// Injector wraps a MemFS, counts every I/O operation, and raises the armed
+// fault when the count reaches the armed index. A recording pass (never
+// armed) yields the op log; the torture suite then re-runs the same workload
+// once per interesting index.
+type Injector struct {
+	Base *MemFS
+
+	mu     sync.Mutex
+	n      int
+	log    []Op
+	armed  bool
+	failAt int
+	mode   Mode
+	rng    *rand.Rand
+	hits   int
+}
+
+// NewInjector wraps base with no fault armed.
+func NewInjector(base *MemFS) *Injector {
+	return &Injector{Base: base}
+}
+
+// Arm schedules the fault: mode fires at the failAt-th operation (0-based).
+// rng drives bit-flip positions; it may be nil for other modes.
+func (i *Injector) Arm(failAt int, mode Mode, rng *rand.Rand) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.armed = true
+	i.failAt = failAt
+	i.mode = mode
+	i.rng = rng
+}
+
+// Log returns the operations seen so far, in order.
+func (i *Injector) Log() []Op {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return append([]Op(nil), i.log...)
+}
+
+// Hits reports how many operations the armed fault affected.
+func (i *Injector) Hits() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.hits
+}
+
+type verdict int
+
+const (
+	passOp verdict = iota
+	failOp
+	shortOp
+	flipOp
+)
+
+// step counts one operation and decides its fate.
+func (i *Injector) step(kind, path string) verdict {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	idx := i.n
+	i.n++
+	i.log = append(i.log, Op{Kind: kind, Path: path})
+	if !i.armed {
+		return passOp
+	}
+	switch i.mode {
+	case ModeCrash:
+		if idx >= i.failAt {
+			i.hits++
+			return failOp
+		}
+	case ModeErr:
+		if idx == i.failAt {
+			i.hits++
+			return failOp
+		}
+	case ModeShortWrite:
+		if idx == i.failAt && kind == "write" {
+			i.hits++
+			return shortOp
+		}
+	case ModeBitFlip:
+		if idx == i.failAt && kind == "write" {
+			i.hits++
+			return flipOp
+		}
+	}
+	return passOp
+}
+
+func injected(kind, path string) error {
+	return fmt.Errorf("%w: %s %s", ErrInjected, kind, path)
+}
+
+func (i *Injector) OpenFile(name string, flag int, perm fs.FileMode) (durable.File, error) {
+	switch i.step("open", name) {
+	case failOp:
+		return nil, injected("open", name)
+	}
+	f, err := i.Base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectHandle{inj: i, f: f, path: name}, nil
+}
+
+func (i *Injector) Rename(oldpath, newpath string) error {
+	if i.step("rename", oldpath) == failOp {
+		return injected("rename", oldpath)
+	}
+	return i.Base.Rename(oldpath, newpath)
+}
+
+func (i *Injector) Remove(name string) error {
+	if i.step("remove", name) == failOp {
+		return injected("remove", name)
+	}
+	return i.Base.Remove(name)
+}
+
+func (i *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	if i.step("mkdir", path) == failOp {
+		return injected("mkdir", path)
+	}
+	return i.Base.MkdirAll(path, perm)
+}
+
+func (i *Injector) ReadDir(dir string) ([]string, error) {
+	if i.step("readdir", dir) == failOp {
+		return nil, injected("readdir", dir)
+	}
+	return i.Base.ReadDir(dir)
+}
+
+func (i *Injector) Truncate(name string, size int64) error {
+	if i.step("truncate", name) == failOp {
+		return injected("truncate", name)
+	}
+	return i.Base.Truncate(name, size)
+}
+
+func (i *Injector) SyncDir(dir string) error {
+	if i.step("syncdir", dir) == failOp {
+		return injected("syncdir", dir)
+	}
+	return i.Base.SyncDir(dir)
+}
+
+type injectHandle struct {
+	inj  *Injector
+	f    durable.File
+	path string
+}
+
+func (h *injectHandle) Read(p []byte) (int, error) {
+	if h.inj.step("read", h.path) == failOp {
+		return 0, injected("read", h.path)
+	}
+	return h.f.Read(p)
+}
+
+func (h *injectHandle) Write(p []byte) (int, error) {
+	switch h.inj.step("write", h.path) {
+	case failOp:
+		// A dying process's write may still have landed a prefix in the page
+		// cache; give the crash image something to tear.
+		if n := len(p) / 2; n > 0 {
+			_, _ = h.f.Write(p[:n])
+		}
+		return 0, injected("write", h.path)
+	case shortOp:
+		n := len(p) / 2
+		if n > 0 {
+			_, _ = h.f.Write(p[:n])
+		}
+		return n, injected("short write", h.path)
+	case flipOp:
+		buf := append([]byte(nil), p...)
+		if len(buf) > 0 && h.inj.rng != nil {
+			bit := h.inj.rng.Intn(len(buf) * 8)
+			buf[bit/8] ^= 1 << (bit % 8)
+		}
+		return h.f.Write(buf)
+	}
+	return h.f.Write(p)
+}
+
+func (h *injectHandle) Sync() error {
+	if h.inj.step("sync", h.path) == failOp {
+		return injected("sync", h.path)
+	}
+	return h.f.Sync()
+}
+
+func (h *injectHandle) Close() error {
+	if h.inj.step("close", h.path) == failOp {
+		return injected("close", h.path)
+	}
+	return h.f.Close()
+}

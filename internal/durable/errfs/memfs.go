@@ -1,0 +1,297 @@
+// Package errfs is the durable layer's adversary: an in-memory filesystem
+// that models exactly which bytes and directory entries survive a crash, plus
+// an injector that can fail, short-write or bit-flip any single I/O
+// operation. The torture suite drives recovery through every failpoint with
+// it and asserts the durability contract holds.
+//
+// The durability model is deliberately pessimistic, matching POSIX's
+// guarantees rather than any filesystem's kindness:
+//
+//   - File content is durable only up to the byte watermark of the last
+//     Sync. Unsynced bytes survive a crash as a random-length prefix (torn
+//     write), decided by the rng handed to Crash.
+//   - A directory entry (create, rename, remove) is durable only once the
+//     parent directory has been SyncDir'd. An unsynced entry vanishes at
+//     crash — content syncs alone do not save a file whose entry was never
+//     committed.
+//   - Directories themselves (MkdirAll) are durable immediately; the layer
+//     under test creates its data directory once at startup.
+package errfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"marketscope/internal/durable"
+)
+
+type memFile struct {
+	data   []byte
+	synced int // durable content watermark
+}
+
+// MemFS is the in-memory filesystem. The zero value is not usable; call New.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile // live namespace
+	dirs    map[string]bool     // live directories
+	durable map[string]*memFile // entry-committed namespace (same pointers)
+}
+
+// New returns an empty filesystem.
+func New() *MemFS {
+	return &MemFS{
+		files:   map[string]*memFile{},
+		dirs:    map[string]bool{},
+		durable: map[string]*memFile{},
+	}
+}
+
+func parentOf(path string) string {
+	i := strings.LastIndexByte(path, '/')
+	if i < 0 {
+		return ""
+	}
+	return path[:i]
+}
+
+func notExist(op, path string) error {
+	return &fs.PathError{Op: op, Path: path, Err: fs.ErrNotExist}
+}
+
+func (m *MemFS) OpenFile(name string, flag int, perm fs.FileMode) (durable.File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, notExist("open", name)
+		}
+		if p := parentOf(name); p != "" && !m.dirs[p] {
+			return nil, notExist("open", name)
+		}
+		f = &memFile{}
+		m.files[name] = f
+	}
+	if flag&os.O_TRUNC != 0 {
+		f.data = nil
+		f.synced = 0
+	}
+	return &memHandle{
+		fs:       m,
+		f:        f,
+		path:     name,
+		appendTo: flag&os.O_APPEND != 0,
+		writable: flag&(os.O_WRONLY|os.O_RDWR) != 0,
+		readable: flag&os.O_WRONLY == 0,
+	}, nil
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldpath]
+	if !ok {
+		return notExist("rename", oldpath)
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = f
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return notExist("remove", name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) MkdirAll(path string, perm fs.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for p := path; p != ""; p = parentOf(p) {
+		m.dirs[p] = true
+	}
+	return nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[dir] {
+		return nil, notExist("readdir", dir)
+	}
+	var names []string
+	for path := range m.files {
+		if parentOf(path) == dir {
+			names = append(names, path[len(dir)+1:])
+		}
+	}
+	for path := range m.dirs {
+		if path != "" && parentOf(path) == dir {
+			names = append(names, path[len(dir)+1:])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return notExist("truncate", name)
+	}
+	if size < 0 || size > int64(len(f.data)) {
+		return fmt.Errorf("errfs: truncate %s to %d bytes (have %d)", name, size, len(f.data))
+	}
+	f.data = f.data[:size]
+	if f.synced > int(size) {
+		f.synced = int(size)
+	}
+	return nil
+}
+
+// SyncDir commits the directory's entry operations: after it returns, the
+// crash image's view of dir matches the live view (content watermarks still
+// apply per file).
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[dir] {
+		return notExist("syncdir", dir)
+	}
+	for path, f := range m.files {
+		if parentOf(path) == dir {
+			m.durable[path] = f
+		}
+	}
+	for path := range m.durable {
+		if parentOf(path) == dir {
+			if _, live := m.files[path]; !live {
+				delete(m.durable, path)
+			}
+		}
+	}
+	return nil
+}
+
+// Crash returns the filesystem a process would find after dying right now
+// and the machine losing power: committed entries only, each file's synced
+// prefix plus an rng-chosen prefix of its unsynced tail (the torn write).
+func (m *MemFS) Crash(rng *rand.Rand) *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	img := New()
+	for d := range m.dirs {
+		img.dirs[d] = true
+	}
+	for path, f := range m.durable {
+		keep := f.synced
+		if torn := len(f.data) - f.synced; torn > 0 {
+			keep += rng.Intn(torn + 1)
+		}
+		data := append([]byte(nil), f.data[:keep]...)
+		nf := &memFile{data: data, synced: len(data)}
+		img.files[path] = nf
+		img.durable[path] = nf
+	}
+	return img
+}
+
+// ReadFile returns a file's current live content (test helper).
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, notExist("read", name)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// WriteFile replaces a file's content as fully synced (test helper for
+// planting corrupted bytes).
+func (m *MemFS) WriteFile(name string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p := parentOf(name); p != "" && !m.dirs[p] {
+		return notExist("write", name)
+	}
+	f := &memFile{data: append([]byte(nil), data...)}
+	f.synced = len(f.data)
+	m.files[name] = f
+	m.durable[name] = f
+	return nil
+}
+
+type memHandle struct {
+	fs       *MemFS
+	f        *memFile
+	path     string
+	pos      int
+	appendTo bool
+	writable bool
+	readable bool
+	closed   bool
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed || !h.readable {
+		return 0, fmt.Errorf("errfs: read on %s: bad handle", h.path)
+	}
+	if h.pos >= len(h.f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.pos:])
+	h.pos += n
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed || !h.writable {
+		return 0, fmt.Errorf("errfs: write on %s: bad handle", h.path)
+	}
+	if h.appendTo {
+		h.pos = len(h.f.data)
+	}
+	if h.pos < len(h.f.data) {
+		n := copy(h.f.data[h.pos:], p)
+		h.f.data = append(h.f.data, p[n:]...)
+	} else {
+		h.f.data = append(h.f.data, p...)
+	}
+	h.pos += len(p)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fmt.Errorf("errfs: sync on %s: closed handle", h.path)
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

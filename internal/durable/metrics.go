@@ -1,0 +1,58 @@
+package durable
+
+import (
+	"math"
+	"sync/atomic"
+
+	"marketscope/internal/metrics"
+)
+
+// Metrics collects the durability layer's recovery and snapshot counters.
+// They are plain atomics — recovery runs before any registry exists — and
+// Register mirrors them onto a metrics.Registry at scrape time so they show
+// up on /metrics next to the serving instruments.
+type Metrics struct {
+	// WALRecordsReplayed counts records replayed from the WAL at the last
+	// recovery (snapshot tail + cold-rebuild replays combined).
+	WALRecordsReplayed atomic.Int64
+	// WALTailTruncations counts torn tails truncated during recovery.
+	WALTailTruncations atomic.Int64
+	// SnapshotCorruptQuarantined counts snapshot files that failed to load
+	// and were renamed aside.
+	SnapshotCorruptQuarantined atomic.Int64
+	// LastSnapshotGeneration is the cursor of the newest snapshot written or
+	// loaded, 0 when none exists.
+	LastSnapshotGeneration atomic.Uint64
+	// snapshotLoadBits is the float64 bit pattern of the seconds the last
+	// successful snapshot load took.
+	snapshotLoadBits atomic.Uint64
+}
+
+func (m *Metrics) setSnapshotLoadSeconds(s float64) {
+	m.snapshotLoadBits.Store(math.Float64bits(s))
+}
+
+// SnapshotLoadSeconds reports the duration of the last successful snapshot
+// load, 0 when recovery never loaded one.
+func (m *Metrics) SnapshotLoadSeconds() float64 {
+	return math.Float64frombits(m.snapshotLoadBits.Load())
+}
+
+// Register publishes the counters on reg as scrape-time gauges.
+func (m *Metrics) Register(reg *metrics.Registry) {
+	reg.GaugeFunc("durable_wal_records_replayed",
+		"WAL records replayed during the last recovery.",
+		func() float64 { return float64(m.WALRecordsReplayed.Load()) })
+	reg.GaugeFunc("durable_wal_tail_truncations",
+		"Torn WAL tails truncated during recovery.",
+		func() float64 { return float64(m.WALTailTruncations.Load()) })
+	reg.GaugeFunc("durable_snapshot_load_seconds",
+		"Seconds the last successful snapshot load took.",
+		m.SnapshotLoadSeconds)
+	reg.GaugeFunc("durable_snapshot_corrupt_quarantined",
+		"Snapshot files quarantined after failing validation.",
+		func() float64 { return float64(m.SnapshotCorruptQuarantined.Load()) })
+	reg.GaugeFunc("durable_last_snapshot_generation",
+		"Cursor of the newest snapshot generation, 0 when none.",
+		func() float64 { return float64(m.LastSnapshotGeneration.Load()) })
+}

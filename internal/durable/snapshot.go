@@ -1,0 +1,642 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"marketscope/internal/appmeta"
+	"marketscope/internal/query"
+)
+
+// Snapshot file layout (version in the magic):
+//
+//	"MSNAP001"
+//	sections: repeated [ id u32 | len u64 | payload | crc u32 ]
+//	  1 header:  version u32, cursor u64, crawlTime, record/blob/column counts
+//	  2 records: the dataset's metadata records, in dataset order, laid out
+//	             struct-of-arrays (one plane per field; see below)
+//	  3 blobs:   the APK bytes of every ingested key that supplied one
+//	  4 columns: the sealed column store (typed slices, null bitmaps,
+//	             dictionaries, bitmap posting lists, zone maps)
+//	  5 footer:  "MSNAPEND"
+//
+// Every section payload carries its own CRC32-C; the footer proves the file
+// was written to completion. Snapshots are written to a temp name, fsynced,
+// atomically renamed to snap-<cursor>.snap and the directory fsynced, so a
+// crash mid-write leaves at worst a stale temp file — never a half-visible
+// snapshot. Any decode failure anywhere makes the whole file invalid; the
+// store then quarantines it and falls back.
+
+const (
+	snapMagic     = "MSNAP001"
+	snapFooter    = "MSNAPEND"
+	snapVersion   = 1
+	snapSuffix    = ".snap"
+	corruptSuffix = ".corrupt"
+)
+
+const (
+	secHeader  = 1
+	secRecords = 2
+	secBlobs   = 3
+	secColumns = 4
+	secFooter  = 5
+)
+
+// The records section is laid out struct-of-arrays: one plane per Record
+// field, fixed-width planes first, then each string field as a length plane
+// followed by its concatenated bytes. A row-major walk of 80k variable-length
+// records costs a bounds-checked read per field per record and dominated
+// recovery time; the planar layout decodes each field with one bounds check
+// and materializes every string as a substring of a single section copy.
+
+func encodeRecordsSection(records []appmeta.Record) []byte {
+	var e encoder
+	n := len(records)
+	e.u32(uint32(n))
+	for i := range records {
+		e.i64(records[i].VersionCode)
+	}
+	for i := range records {
+		e.i64(records[i].Downloads)
+	}
+	for i := range records {
+		e.f64(records[i].Rating)
+	}
+	for _, get := range []func(*appmeta.Record) time.Time{
+		func(r *appmeta.Record) time.Time { return r.ReleaseDate },
+		func(r *appmeta.Record) time.Time { return r.UpdateDate },
+	} {
+		for i := range records {
+			e.i64(get(&records[i]).Unix())
+		}
+		for i := range records {
+			e.i32(int32(get(&records[i]).Nanosecond()))
+		}
+		for i := range records {
+			_, off := get(&records[i]).Zone()
+			e.i32(int32(off))
+		}
+	}
+	for i := range records {
+		e.i64(records[i].APKSize)
+	}
+	for i := range records {
+		e.bool(records[i].HasAds)
+	}
+	for i := range records {
+		e.bool(records[i].HasIAP)
+	}
+	for _, get := range recordStringFields {
+		for i := range records {
+			e.u32(uint32(len(*get(&records[i]))))
+		}
+		for i := range records {
+			e.buf = append(e.buf, *get(&records[i])...)
+		}
+	}
+	return e.buf
+}
+
+// recordStringFields lists the Record string fields in plane order.
+var recordStringFields = []func(*appmeta.Record) *string{
+	func(r *appmeta.Record) *string { return &r.Market },
+	func(r *appmeta.Record) *string { return &r.Package },
+	func(r *appmeta.Record) *string { return &r.AppName },
+	func(r *appmeta.Record) *string { return &r.Category },
+	func(r *appmeta.Record) *string { return &r.DeveloperName },
+	func(r *appmeta.Record) *string { return &r.VersionName },
+	func(r *appmeta.Record) *string { return &r.Description },
+}
+
+func decodeRecordsSection(payload []byte, numRecords int) ([]appmeta.Record, error) {
+	d := &decoder{buf: payload}
+	// Every record occupies at least its fixed-width plane bytes (66) plus a
+	// length per string plane.
+	if n := d.count(64); d.err == nil && n != numRecords {
+		d.fail("record count %d disagrees with header %d", n, numRecords)
+	}
+	n := numRecords
+	if d.err != nil {
+		return nil, d.err
+	}
+	versionCode := d.i64s(n)
+	downloads := d.i64s(n)
+	rating := d.f64s(n)
+	relSec, relNsec, relOff := d.i64s(n), d.i32s(n), d.i32s(n)
+	updSec, updNsec, updOff := d.i64s(n), d.i32s(n), d.i32s(n)
+	apkSize := d.i64s(n)
+	hasAds := d.bools(n)
+	hasIAP := d.bools(n)
+	strs := make([][]string, len(recordStringFields))
+	for f := range strs {
+		strs[f] = d.strsPlane(n)
+	}
+	if d.err == nil && d.remaining() != 0 {
+		d.fail("trailing bytes")
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	records := make([]appmeta.Record, n)
+	for i := range records {
+		rel, err := planeTime(relSec[i], relNsec[i], relOff[i])
+		if err != nil {
+			return nil, err
+		}
+		upd, err := planeTime(updSec[i], updNsec[i], updOff[i])
+		if err != nil {
+			return nil, err
+		}
+		records[i] = appmeta.Record{
+			Market:        strs[0][i],
+			Package:       strs[1][i],
+			AppName:       strs[2][i],
+			Category:      strs[3][i],
+			DeveloperName: strs[4][i],
+			VersionCode:   versionCode[i],
+			VersionName:   strs[5][i],
+			Description:   strs[6][i],
+			Downloads:     downloads[i],
+			Rating:        rating[i],
+			ReleaseDate:   rel,
+			UpdateDate:    upd,
+			APKSize:       apkSize[i],
+			HasAds:        hasAds[i],
+			HasIAP:        hasIAP[i],
+		}
+	}
+	return records, nil
+}
+
+// planeTime rebuilds one instant from its planes, mirroring decoder.timeVal.
+func planeTime(sec int64, nsec, off int32) (time.Time, error) {
+	if nsec < 0 || nsec >= 1e9 {
+		return time.Time{}, fmt.Errorf("durable: time nanoseconds %d out of range", nsec)
+	}
+	t := time.Unix(sec, int64(nsec)).UTC()
+	if off != 0 {
+		t = t.In(time.FixedZone("", int(off)))
+	}
+	return t, nil
+}
+
+// ErrSnapshotCorrupt wraps every structural failure loading a snapshot.
+var ErrSnapshotCorrupt = errors.New("durable: snapshot corrupt")
+
+// snapshotData is one decoded snapshot: everything recovery needs to rebuild
+// the ingestor (records + blobs + cursor + crawl time) plus the column store
+// that spares the engine its re-extraction.
+type snapshotData struct {
+	cursor    uint64
+	crawlTime time.Time
+	records   []appmeta.Record
+	blobs     map[appmeta.Key][]byte
+	columns   []query.ColumnData
+}
+
+func snapshotName(cursor uint64) string { return fmt.Sprintf("snap-%016x%s", cursor, snapSuffix) }
+
+// parseSnapshotName extracts the cursor from a snap-<cursor>.snap name.
+func parseSnapshotName(name string) (uint64, bool) {
+	var cursor uint64
+	var suffix string
+	n, err := fmt.Sscanf(name, "snap-%016x%s", &cursor, &suffix)
+	if err != nil || n != 2 || suffix != snapSuffix || name != snapshotName(cursor) {
+		return 0, false
+	}
+	return cursor, true
+}
+
+func appendSection(buf []byte, id uint32, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, id)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+}
+
+func encodeSnapshot(data *snapshotData) []byte {
+	var hdr encoder
+	hdr.u32(snapVersion)
+	hdr.u64(data.cursor)
+	hdr.timeVal(data.crawlTime)
+	hdr.u32(uint32(len(data.records)))
+	hdr.u32(uint32(len(data.blobs)))
+	hdr.u32(uint32(len(data.columns)))
+
+	recs := encoder{buf: encodeRecordsSection(data.records)}
+
+	keys := make([]appmeta.Key, 0, len(data.blobs))
+	for k := range data.blobs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Market != keys[j].Market {
+			return keys[i].Market < keys[j].Market
+		}
+		return keys[i].Package < keys[j].Package
+	})
+	var blobs encoder
+	blobs.u32(uint32(len(keys)))
+	for _, k := range keys {
+		blobs.str(k.Market)
+		blobs.str(k.Package)
+		blobs.bytes(data.blobs[k])
+	}
+
+	var cols encoder
+	cols.u32(uint32(len(data.columns)))
+	for i := range data.columns {
+		encodeColumn(&cols, &data.columns[i])
+	}
+
+	buf := []byte(snapMagic)
+	buf = appendSection(buf, secHeader, hdr.buf)
+	buf = appendSection(buf, secRecords, recs.buf)
+	buf = appendSection(buf, secBlobs, blobs.buf)
+	buf = appendSection(buf, secColumns, cols.buf)
+	return appendSection(buf, secFooter, []byte(snapFooter))
+}
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrSnapshotCorrupt, fmt.Sprintf(format, args...))
+}
+
+// nextSection parses one section frame without verifying its checksum; the
+// caller runs checkSection, possibly on another goroutine — the payload
+// sections are megabytes each and their checksums can verify concurrently.
+func nextSection(buf []byte, off int) (id uint32, payload []byte, crc uint32, next int, err error) {
+	if len(buf)-off < 12 {
+		return 0, nil, 0, 0, corrupt("truncated section frame at offset %d", off)
+	}
+	id = binary.LittleEndian.Uint32(buf[off:])
+	n := binary.LittleEndian.Uint64(buf[off+4:])
+	body := off + 12
+	if rem := len(buf) - body; rem < 4 || n > uint64(rem-4) {
+		return 0, nil, 0, 0, corrupt("section %d length %d exceeds file", id, n)
+	}
+	payload = buf[body : body+int(n)]
+	crc = binary.LittleEndian.Uint32(buf[body+int(n):])
+	return id, payload, crc, body + int(n) + 4, nil
+}
+
+func checkSection(id uint32, payload []byte, crc uint32) error {
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return corrupt("section %d checksum mismatch", id)
+	}
+	return nil
+}
+
+func decodeSnapshot(buf []byte) (*snapshotData, error) {
+	data, wait, err := decodeSnapshotOverlap(buf)
+	if err != nil {
+		return nil, err
+	}
+	if err := wait(); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// decodeSnapshotOverlap verifies every section frame and decodes the header,
+// records and blobs sections before returning; the columns section — the
+// largest — keeps decoding on a background goroutine, and wait blocks until
+// it finishes and reports its error. Recovery exploits the split: rebuilding
+// the ingestor needs only records and blobs, so it runs concurrently with the
+// column decode instead of after it. data.columns must not be touched before
+// wait returns nil.
+func decodeSnapshotOverlap(buf []byte) (*snapshotData, func() error, error) {
+	if len(buf) < len(snapMagic) || string(buf[:len(snapMagic)]) != snapMagic {
+		return nil, nil, corrupt("bad magic")
+	}
+	want := []uint32{secHeader, secRecords, secBlobs, secColumns, secFooter}
+	payloads := make(map[uint32][]byte, len(want))
+	crcs := make(map[uint32]uint32, len(want))
+	off := len(snapMagic)
+	for _, id := range want {
+		gotID, payload, crc, next, err := nextSection(buf, off)
+		if err != nil {
+			return nil, nil, err
+		}
+		if gotID != id {
+			return nil, nil, corrupt("section %d where %d expected", gotID, id)
+		}
+		payloads[id] = payload
+		crcs[id] = crc
+		off = next
+	}
+	if off != len(buf) {
+		return nil, nil, corrupt("%d trailing bytes after footer", len(buf)-off)
+	}
+	// The small sections verify inline; the payload sections verify inside
+	// their decode goroutines below, ahead of any decoding.
+	for _, id := range []uint32{secHeader, secFooter} {
+		if err := checkSection(id, payloads[id], crcs[id]); err != nil {
+			return nil, nil, err
+		}
+	}
+	if string(payloads[secFooter]) != snapFooter {
+		return nil, nil, corrupt("bad footer")
+	}
+
+	hd := &decoder{buf: payloads[secHeader]}
+	version := hd.u32()
+	data := &snapshotData{cursor: hd.u64(), crawlTime: hd.timeVal()}
+	numRecords := int(hd.u32())
+	numBlobs := int(hd.u32())
+	numColumns := int(hd.u32())
+	if hd.err != nil {
+		return nil, nil, corrupt("header: %v", hd.err)
+	}
+	if version != snapVersion {
+		return nil, nil, corrupt("version %d, want %d", version, snapVersion)
+	}
+
+	// The three payload sections are independent byte ranges; decode them
+	// concurrently — recovery latency is the point of snapshots, and the
+	// records and columns sections are each megabytes at bench scale. The
+	// columns goroutine is not joined here; wait exposes it.
+	var recErr, blobErr, colErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	colDone := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		if recErr = checkSection(secRecords, payloads[secRecords], crcs[secRecords]); recErr != nil {
+			return
+		}
+		records, err := decodeRecordsSection(payloads[secRecords], numRecords)
+		if err != nil {
+			recErr = corrupt("records: %v", err)
+			return
+		}
+		data.records = records
+	}()
+	go func() {
+		defer wg.Done()
+		if blobErr = checkSection(secBlobs, payloads[secBlobs], crcs[secBlobs]); blobErr != nil {
+			return
+		}
+		bd := &decoder{buf: payloads[secBlobs]}
+		if n := bd.count(12); bd.err == nil && n != numBlobs {
+			bd.fail("blob count %d disagrees with header %d", n, numBlobs)
+		}
+		data.blobs = make(map[appmeta.Key][]byte, numBlobs)
+		for i := 0; i < numBlobs && bd.err == nil; i++ {
+			k := appmeta.Key{Market: bd.str(), Package: bd.str()}
+			b := bd.bytes()
+			if b == nil {
+				b = []byte{}
+			}
+			if bd.err != nil {
+				break
+			}
+			if _, dup := data.blobs[k]; dup {
+				bd.fail("duplicate blob key %s/%s", k.Market, k.Package)
+				break
+			}
+			data.blobs[k] = b
+		}
+		if bd.err == nil && bd.remaining() != 0 {
+			bd.fail("trailing bytes")
+		}
+		if bd.err != nil {
+			blobErr = corrupt("blobs: %v", bd.err)
+		}
+	}()
+	go func() {
+		defer close(colDone)
+		if colErr = checkSection(secColumns, payloads[secColumns], crcs[secColumns]); colErr != nil {
+			return
+		}
+		cd := &decoder{buf: payloads[secColumns]}
+		if n := cd.count(16); cd.err == nil && n != numColumns {
+			cd.fail("column count %d disagrees with header %d", n, numColumns)
+		}
+		data.columns = make([]query.ColumnData, 0, numColumns)
+		for i := 0; i < numColumns && cd.err == nil; i++ {
+			data.columns = append(data.columns, decodeColumn(cd))
+		}
+		if cd.err == nil && cd.remaining() != 0 {
+			cd.fail("trailing bytes")
+		}
+		if cd.err != nil {
+			colErr = corrupt("columns: %v", cd.err)
+		}
+	}()
+	wait := func() error {
+		<-colDone
+		return colErr
+	}
+	wg.Wait()
+	for _, err := range []error{recErr, blobErr} {
+		if err != nil {
+			// Join the columns goroutine before the caller discards data —
+			// nothing may still be writing into a snapshot we reject.
+			_ = wait()
+			return nil, nil, err
+		}
+	}
+	return data, wait, nil
+}
+
+// String-layout tags inside a column record.
+const (
+	strLayoutPlain = 0
+	strLayoutDict  = 1
+)
+
+func encodeColumn(e *encoder, c *query.ColumnData) {
+	e.str(c.Name)
+	e.str(string(c.Kind))
+	e.u32(uint32(len(c.NullWords)))
+	for _, w := range c.NullWords {
+		e.u64(w)
+	}
+	e.u64(uint64(c.NullCount))
+	e.bool(c.HasNaN)
+	switch c.Kind {
+	case query.KindInt:
+		e.u32(uint32(len(c.Ints)))
+		for _, v := range c.Ints {
+			e.i64(v)
+		}
+	case query.KindFloat:
+		e.u32(uint32(len(c.Floats)))
+		for _, v := range c.Floats {
+			e.f64(v)
+		}
+	case query.KindBool:
+		e.u32(uint32(len(c.Bools)))
+		for _, v := range c.Bools {
+			e.bool(v)
+		}
+	case query.KindTime:
+		// Planar: all seconds, then all nanoseconds, then all offsets, so the
+		// decoder reads three bulk slices instead of framing per row.
+		e.u32(uint32(len(c.TimeSec)))
+		for _, v := range c.TimeSec {
+			e.i64(v)
+		}
+		for _, v := range c.TimeNsec {
+			e.i32(v)
+		}
+		for _, v := range c.TimeOff {
+			e.i32(v)
+		}
+	case query.KindString:
+		if c.Dict != nil {
+			e.u8(strLayoutDict)
+			e.strsPlane(c.Dict)
+			e.u32(uint32(len(c.Codes)))
+			for _, v := range c.Codes {
+				e.u32(v)
+			}
+		} else {
+			e.u8(strLayoutPlain)
+			e.strsPlane(c.Strs)
+		}
+	}
+	e.u32(uint32(c.SegmentRows))
+	e.u32(uint32(len(c.Zones)))
+	for _, z := range c.Zones {
+		e.i32(z.Rows)
+		e.i32(z.Nulls)
+		e.i32(z.MinRow)
+		e.i32(z.MaxRow)
+	}
+	e.bool(c.Postings != nil)
+	if c.Postings != nil {
+		e.u32(uint32(len(c.Postings)))
+		for _, rows := range c.Postings {
+			e.u32(uint32(len(rows)))
+			for _, r := range rows {
+				e.i32(r)
+			}
+		}
+	}
+}
+
+func decodeColumn(d *decoder) query.ColumnData {
+	c := query.ColumnData{Name: d.str(), Kind: query.Kind(d.str())}
+	c.NullWords = d.u64s(d.count(8))
+	c.NullCount = int(d.u64())
+	c.HasNaN = d.bool()
+	switch c.Kind {
+	case query.KindInt:
+		c.Ints = d.i64s(d.count(8))
+	case query.KindFloat:
+		c.Floats = d.f64s(d.count(8))
+	case query.KindBool:
+		c.Bools = d.bools(d.count(1))
+	case query.KindTime:
+		n := d.count(16)
+		c.TimeSec = d.i64s(n)
+		c.TimeNsec = d.i32s(n)
+		c.TimeOff = d.i32s(n)
+	case query.KindString:
+		switch d.u8() {
+		case strLayoutDict:
+			c.Dict = d.strsPlane(d.count(4))
+			if c.Dict == nil && d.err == nil {
+				c.Dict = []string{}
+			}
+			c.Codes = d.u32s(d.count(4))
+		case strLayoutPlain:
+			c.Strs = d.strsPlane(d.count(4))
+		default:
+			d.fail("durable: unknown string layout")
+		}
+	default:
+		d.fail("durable: unknown column kind %q", c.Kind)
+	}
+	c.SegmentRows = int(d.u32())
+	nz := d.count(16)
+	c.Zones = make([]query.ZoneData, 0, nz)
+	for i := 0; i < nz && d.err == nil; i++ {
+		c.Zones = append(c.Zones, query.ZoneData{
+			Rows: d.i32(), Nulls: d.i32(), MinRow: d.i32(), MaxRow: d.i32(),
+		})
+	}
+	if len(c.Zones) == 0 {
+		c.Zones = nil
+	}
+	if d.bool() {
+		n := d.count(4)
+		c.Postings = make([][]int32, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			c.Postings = append(c.Postings, d.i32s(d.count(4)))
+		}
+	}
+	return c
+}
+
+// writeSnapshot persists one snapshot with the temp-file + fsync + rename +
+// dir-fsync protocol and returns the final path.
+func writeSnapshot(fsys FS, dir string, data *snapshotData) (string, error) {
+	name := snapshotName(data.cursor)
+	tmp := joinPath(dir, name+".tmp")
+	final := joinPath(dir, name)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("durable: create snapshot temp: %w", err)
+	}
+	cleanup := func() { _ = fsys.Remove(tmp) }
+	if _, err := f.Write(encodeSnapshot(data)); err != nil {
+		f.Close()
+		cleanup()
+		return "", fmt.Errorf("durable: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		cleanup()
+		return "", fmt.Errorf("durable: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		cleanup()
+		return "", fmt.Errorf("durable: close snapshot: %w", err)
+	}
+	if err := fsys.Rename(tmp, final); err != nil {
+		cleanup()
+		return "", fmt.Errorf("durable: rename snapshot into place: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return "", fmt.Errorf("durable: sync snapshot dir: %w", err)
+	}
+	return final, nil
+}
+
+// loadSnapshotFile reads and fully decodes one snapshot file.
+func loadSnapshotFile(fsys FS, path string) (*snapshotData, error) {
+	buf, err := readWhole(fsys, path)
+	if err != nil {
+		return nil, fmt.Errorf("durable: read snapshot: %w", err)
+	}
+	return decodeSnapshot(buf)
+}
+
+// loadSnapshotFileOverlap is loadSnapshotFile with the columns section left
+// decoding in the background; see decodeSnapshotOverlap.
+func loadSnapshotFileOverlap(fsys FS, path string) (*snapshotData, func() error, error) {
+	buf, err := readWhole(fsys, path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: read snapshot: %w", err)
+	}
+	return decodeSnapshotOverlap(buf)
+}
+
+// joinPath joins with forward slashes — both the OS filesystem (on the
+// platforms this runs on) and the in-memory test filesystem accept them, and
+// a fixed separator keeps paths deterministic across both.
+func joinPath(dir, name string) string {
+	if dir == "" {
+		return name
+	}
+	return dir + "/" + name
+}

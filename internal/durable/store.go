@@ -1,0 +1,482 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"marketscope/internal/analysis"
+	"marketscope/internal/appmeta"
+	"marketscope/internal/ingest"
+)
+
+// walFileName is the write-ahead log inside the data directory.
+const walFileName = "wal.log"
+
+// Options configures a durable Store.
+type Options struct {
+	// FS is the filesystem; nil means the real one (OSFS).
+	FS FS
+	// Dir is the data directory (created if absent).
+	Dir string
+	// Fsync is the WAL sync policy; the zero value is FsyncAlways.
+	Fsync FsyncPolicy
+	// FsyncInterval is the sync period under FsyncInterval; 0 means 100ms.
+	FsyncInterval time.Duration
+	// SnapshotEvery writes a snapshot after that many applied batches;
+	// 0 disables automatic snapshots (WriteSnapshot remains available).
+	SnapshotEvery int
+	// KeepSnapshots bounds retained snapshot generations; 0 means 2.
+	KeepSnapshots int
+	// Ingest configures the wrapped ingestor. Commit must be nil — the store
+	// owns the commit hook; Publish is suppressed during recovery replay and
+	// forwarded afterwards.
+	Ingest ingest.Options
+	// Metrics receives recovery and snapshot counters; nil allocates one.
+	Metrics *Metrics
+}
+
+// Store is a crash-safe ingest.Applier: every acknowledged delta is in the
+// WAL first (per the fsync policy), snapshots bound replay work, and Open
+// recovers an engine byte-identical to a cold build over the acknowledged
+// prefix. See the package comment for the exact contract.
+type Store struct {
+	fsys    FS
+	dir     string
+	walPath string
+	opts    Options
+	m       *Metrics
+
+	ing  *ingest.Ingestor
+	w    *wal
+	live atomic.Bool // false while recovery replays the log
+
+	snapMu    sync.Mutex // serializes snapshot writes and the cadence counter
+	sinceSnap int
+	snapErr   error  // last automatic snapshot failure, for Err()
+	basePath  string // newest good snapshot file, "" after a cold rebuild
+
+	closeOnce sync.Once
+	stopSync  chan struct{}
+	syncDone  chan struct{}
+}
+
+// Open recovers (or initializes) the data directory and returns a live
+// store. The recovery ladder, newest snapshot first:
+//
+//  1. Load a snapshot, restore the ingestor from its records+blobs, install
+//     its column store, replay the WAL tail (seq ≥ snapshot cursor).
+//  2. Any failure quarantines that snapshot (renamed *.corrupt, counted) and
+//     tries the previous generation.
+//  3. With no usable snapshot, rebuild cold: a fresh ingestor replaying the
+//     whole WAL.
+//
+// A torn WAL tail is truncated before any of that; a corrupt WAL header is
+// unrecoverable (the acknowledged batches cannot be reproduced) and fails
+// Open rather than serving partial state. Nothing is published during
+// recovery — attach the recovered dataset to a server after Open returns.
+func Open(opts Options) (*Store, error) {
+	if opts.Ingest.Commit != nil {
+		return nil, errors.New("durable: Options.Ingest.Commit is owned by the store")
+	}
+	if opts.Dir == "" {
+		return nil, errors.New("durable: Options.Dir is required")
+	}
+	s := &Store{
+		fsys:    opts.FS,
+		dir:     opts.Dir,
+		walPath: joinPath(opts.Dir, walFileName),
+		opts:    opts,
+		m:       opts.Metrics,
+	}
+	if s.fsys == nil {
+		s.fsys = OSFS
+	}
+	if s.m == nil {
+		s.m = &Metrics{}
+	}
+	if s.opts.KeepSnapshots <= 0 {
+		s.opts.KeepSnapshots = 2
+	}
+	if s.opts.FsyncInterval <= 0 {
+		s.opts.FsyncInterval = 100 * time.Millisecond
+	}
+	if err := s.fsys.MkdirAll(s.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: create data dir: %w", err)
+	}
+
+	scan, err := scanWAL(s.fsys, s.walPath, nil)
+	if err != nil {
+		return nil, err
+	}
+	ingOpts := s.opts.Ingest
+	if scan.exists && !scan.badHeader {
+		// The header's crawl time, not the caller's: a restored dataset must
+		// be stamped exactly as the original batches were.
+		ingOpts.CrawlTime = scan.crawlTime
+	}
+	ingOpts.Commit = s.commit
+	userPublish := ingOpts.Publish
+	ingOpts.Publish = func(ds *analysis.Dataset) {
+		if s.live.Load() && userPublish != nil {
+			userPublish(ds)
+		}
+	}
+	if !scan.exists || scan.badHeader {
+		if err := createWAL(s.fsys, s.dir, s.walPath, ingOpts.CrawlTime); err != nil {
+			return nil, err
+		}
+	} else if repaired, err := repairWAL(s.fsys, s.walPath, scan); err != nil {
+		return nil, err
+	} else if repaired {
+		s.m.WALTailTruncations.Add(1)
+	}
+
+	if err := s.recover(ingOpts, scan); err != nil {
+		return nil, err
+	}
+
+	w, err := openWALAppender(s.fsys, s.walPath, s.opts.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	s.w = w
+	s.live.Store(true)
+	if s.opts.Fsync == FsyncInterval {
+		s.stopSync = make(chan struct{})
+		s.syncDone = make(chan struct{})
+		go s.syncLoop()
+	}
+	return s, nil
+}
+
+// errStopReplay ends a WAL replay early without reporting failure: a seq gap
+// means the log was damaged and truncated in a previous incarnation while a
+// snapshot carried the cursor past the tear. Everything before the gap is
+// clean acknowledged state; everything after it belongs to a newer epoch the
+// snapshot already covers (or is lost with the tear, under the documented
+// weaker contract for in-place corruption).
+var errStopReplay = errors.New("durable: replay stopped at seq gap")
+
+// recover builds s.ing from the best available state. scan is Open's initial
+// integrity pass over the WAL (already repaired): when it proves the log
+// holds nothing at or past a snapshot's cursor, the tail replay is skipped
+// entirely instead of re-reading the whole log to apply zero records.
+func (s *Store) recover(ingOpts ingest.Options, scan walScanInfo) error {
+	var replayed int64
+	replay := func(ing *ingest.Ingestor, from uint64) error {
+		_, err := scanWAL(s.fsys, s.walPath, func(seq uint64, payload []byte) error {
+			if seq < from {
+				return nil
+			}
+			listings, err := decodeListings(payload)
+			if err != nil {
+				return fmt.Errorf("%w: record seq %d: %v", ErrWALCorrupt, seq, err)
+			}
+			if _, err := ing.Apply(ingest.Delta{Seq: seq, Listings: listings}); err != nil {
+				if errors.Is(err, ingest.ErrCursorGap) {
+					return errStopReplay
+				}
+				return fmt.Errorf("durable: replay seq %d: %w", seq, err)
+			}
+			replayed++
+			return nil
+		})
+		if errors.Is(err, errStopReplay) {
+			return nil
+		}
+		return err
+	}
+
+	for _, name := range s.snapshotNames() {
+		path := joinPath(s.dir, name)
+		start := time.Now()
+		// The columns section keeps decoding in the background while the
+		// ingestor is rebuilt from records+blobs — the two longest phases of
+		// recovery overlap instead of running back to back.
+		data, waitCols, err := loadSnapshotFileOverlap(s.fsys, path)
+		if err == nil {
+			var ing *ingest.Ingestor
+			ing, err = ingest.Restore(ingOpts, data.cursor, data.records, analysis.APKBytesOf(data.blobs))
+			if cerr := waitCols(); err == nil {
+				err = cerr
+			}
+			if err == nil && ing.Dataset() != nil {
+				err = ing.Dataset().InstallQueryColumns(data.columns)
+			}
+			if err == nil && ing.Dataset() == nil && len(data.columns) > 0 {
+				err = fmt.Errorf("%w: columns without records", ErrSnapshotCorrupt)
+			}
+			if err == nil {
+				replayed = 0
+				tailEmpty := scan.records == 0 || scan.lastSeq < data.cursor
+				if !tailEmpty {
+					err = replay(ing, data.cursor)
+				}
+				if err != nil {
+					if !errors.Is(err, ErrWALCorrupt) {
+						return err
+					}
+				} else {
+					s.ing = ing
+					s.basePath = path
+					s.m.setSnapshotLoadSeconds(time.Since(start).Seconds())
+					s.m.LastSnapshotGeneration.Store(data.cursor)
+					s.m.WALRecordsReplayed.Store(replayed)
+					return nil
+				}
+			}
+		}
+		if qerr := s.quarantine(name); qerr != nil {
+			return fmt.Errorf("durable: snapshot %s failed (%v) and could not be quarantined: %w", name, err, qerr)
+		}
+	}
+
+	ing := ingest.New(ingOpts)
+	replayed = 0
+	if err := replay(ing, 0); err != nil {
+		return err
+	}
+	s.ing = ing
+	s.m.WALRecordsReplayed.Store(replayed)
+	return nil
+}
+
+// snapshotNames lists snapshot files newest-generation first.
+func (s *Store) snapshotNames() []string {
+	names, err := s.fsys.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	type gen struct {
+		name   string
+		cursor uint64
+	}
+	var gens []gen
+	for _, name := range names {
+		if cursor, ok := parseSnapshotName(name); ok {
+			gens = append(gens, gen{name, cursor})
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].cursor > gens[j].cursor })
+	out := make([]string, len(gens))
+	for i, g := range gens {
+		out[i] = g.name
+	}
+	return out
+}
+
+// quarantine renames a failed snapshot aside so the next Open does not trip
+// over it again, and counts it.
+func (s *Store) quarantine(name string) error {
+	path := joinPath(s.dir, name)
+	if err := s.fsys.Rename(path, path+corruptSuffix); err != nil {
+		return err
+	}
+	_ = s.fsys.SyncDir(s.dir)
+	s.m.SnapshotCorruptQuarantined.Add(1)
+	return nil
+}
+
+// commit is the ingestor's durability barrier: append the validated batch to
+// the WAL (and, under FsyncAlways, reach stable storage) before any in-memory
+// state changes. During recovery replay the batch is already in the log, so
+// the hook is a gated no-op.
+func (s *Store) commit(d ingest.Delta) error {
+	if !s.live.Load() {
+		return nil
+	}
+	return s.w.Append(d.Seq, encodeListings(d.Listings))
+}
+
+// Apply lands one delta through the wrapped ingestor (WAL append first via
+// the commit hook) and drives the snapshot cadence.
+func (s *Store) Apply(d ingest.Delta) (ingest.Result, error) {
+	res, err := s.ing.Apply(d)
+	if err == nil && res.Applied && s.opts.SnapshotEvery > 0 {
+		s.snapMu.Lock()
+		s.sinceSnap++
+		due := s.sinceSnap >= s.opts.SnapshotEvery
+		if due {
+			s.sinceSnap = 0
+		}
+		s.snapMu.Unlock()
+		if due {
+			if serr := s.WriteSnapshot(); serr != nil {
+				// The WAL stays authoritative; a failed snapshot costs replay
+				// time, not correctness. Surface it on Err().
+				s.snapMu.Lock()
+				s.snapErr = serr
+				s.snapMu.Unlock()
+			}
+		}
+	}
+	return res, err
+}
+
+// Cursor returns the next expected delta Seq.
+func (s *Store) Cursor() uint64 { return s.ing.Cursor() }
+
+// Dataset returns the current epoch's dataset (nil before the first
+// non-empty batch).
+func (s *Store) Dataset() *analysis.Dataset { return s.ing.Dataset() }
+
+// Metrics returns the store's counters (for registering on a registry).
+func (s *Store) Metrics() *Metrics { return s.m }
+
+// Err reports the most recent automatic-snapshot failure, nil when the last
+// cadence snapshot (if any) succeeded.
+func (s *Store) Err() error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.snapErr
+}
+
+// WriteSnapshot persists the current (cursor, dataset) pair as a new
+// snapshot generation and prunes old ones. Safe to call concurrently with
+// Apply — the pair is read atomically and WAL records at or past the cursor
+// are excluded from the blob harvest.
+func (s *Store) WriteSnapshot() error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	cursor, ds := s.ing.Snapshot()
+	data := &snapshotData{cursor: cursor, crawlTime: time.Time{}}
+	if ds != nil {
+		data.crawlTime = ds.CrawlTime
+		data.records = ds.Records()
+		cols, err := ds.ExportQueryColumns()
+		if err != nil {
+			return err
+		}
+		data.columns = cols
+		blobs, err := s.harvestBlobs(cursor)
+		if err != nil {
+			return err
+		}
+		data.blobs = blobs
+	}
+	path, err := writeSnapshot(s.fsys, s.dir, data)
+	if err != nil {
+		return err
+	}
+	s.basePath = path
+	s.m.LastSnapshotGeneration.Store(cursor)
+	s.pruneSnapshots()
+	s.snapErr = nil
+	return nil
+}
+
+// harvestBlobs collects the APK bytes each ingested key was first observed
+// with, for every key in the dataset at the given cursor. The previous good
+// snapshot (when one exists and still loads) seeds the harvest: its blobs are
+// complete for everything before its cursor, so only the WAL records between
+// the two cursors are folded on top — keeping a snapshot's cost proportional
+// to the tail, and keeping harvests correct even when an in-place WAL
+// corruption truncated records the old snapshot already covered. With no
+// usable base, the whole WAL prefix is folded from seq 0.
+//
+// The fold shares ingest.Kept with the live apply path, so which listing
+// supplies a key's bytes cannot drift between the two. Records at or past the
+// cursor (including a torn in-flight tail from a concurrent append) are
+// ignored, not repaired — this is a read-only scan.
+func (s *Store) harvestBlobs(cursor uint64) (map[appmeta.Key][]byte, error) {
+	blobs := map[appmeta.Key][]byte{}
+	seen := map[appmeta.Key]bool{}
+	from := uint64(0)
+	if s.basePath != "" {
+		if base, err := loadSnapshotFile(s.fsys, s.basePath); err == nil && base.cursor <= cursor {
+			for k, b := range base.blobs {
+				blobs[k] = b
+			}
+			// Seed seen with every key the base dataset held, not just blob
+			// owners: a key first ingested without APK bytes must not pick
+			// bytes up from a later listing during the harvest either.
+			for _, r := range base.records {
+				seen[r.Key()] = true
+			}
+			from = base.cursor
+		}
+	}
+	next := from
+	_, err := scanWAL(s.fsys, s.walPath, func(seq uint64, payload []byte) error {
+		if seq < from || seq >= cursor {
+			return nil
+		}
+		if seq != next {
+			return fmt.Errorf("%w: harvest gap: record seq %d, expected %d", ErrWALCorrupt, seq, next)
+		}
+		next++
+		listings, err := decodeListings(payload)
+		if err != nil {
+			return fmt.Errorf("%w: record seq %d: %v", ErrWALCorrupt, seq, err)
+		}
+		for _, l := range ingest.Kept(seen, listings) {
+			if l.APK != nil {
+				blobs[l.Record.Key()] = l.APK
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The fold must have covered every batch between the base and the target
+	// cursor: a scan that stopped early (a silently corrupted record reads as
+	// a torn tail mid-log) would yield a snapshot whose blobs lie about the
+	// dataset. Refuse to write it — the WAL stays authoritative and the
+	// failure surfaces on Err().
+	if next != cursor {
+		return nil, fmt.Errorf("%w: blob harvest covered seq [%d,%d), need [%d,%d)", ErrWALCorrupt, from, next, from, cursor)
+	}
+	return blobs, nil
+}
+
+// pruneSnapshots removes generations beyond KeepSnapshots (best effort;
+// quarantined *.corrupt files are kept for inspection).
+func (s *Store) pruneSnapshots() {
+	names := s.snapshotNames()
+	if len(names) <= s.opts.KeepSnapshots {
+		return
+	}
+	for _, name := range names[s.opts.KeepSnapshots:] {
+		if strings.HasSuffix(name, corruptSuffix) {
+			continue
+		}
+		_ = s.fsys.Remove(joinPath(s.dir, name))
+	}
+	_ = s.fsys.SyncDir(s.dir)
+}
+
+func (s *Store) syncLoop() {
+	defer close(s.syncDone)
+	t := time.NewTicker(s.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = s.w.Sync()
+		case <-s.stopSync:
+			return
+		}
+	}
+}
+
+// Close flushes and closes the WAL. The store must not be used afterwards.
+func (s *Store) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		if s.stopSync != nil {
+			close(s.stopSync)
+			<-s.syncDone
+		}
+		if s.opts.Fsync != FsyncAlways {
+			_ = s.w.Sync()
+		}
+		err = s.w.Close()
+	})
+	return err
+}

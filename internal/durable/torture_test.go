@@ -1,0 +1,342 @@
+package durable_test
+
+// Fault-injection torture suite. A recording pass runs a fixed ingest
+// workload (batches, automatic snapshots, pruning) over an unarmed injector
+// to enumerate every filesystem operation the store performs; the suite then
+// re-runs the workload with a fault armed at sampled failpoints — process
+// death, transient errors, short writes, silent bit flips — and requires the
+// recovered store to be byte-identical to a cold build over the acknowledged
+// prefix. Un-acked batches may be lost; acked batches never (under
+// FsyncAlways), and recovery must always produce a clean prefix state, never
+// a partial or corrupt one.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"marketscope/internal/durable"
+	"marketscope/internal/durable/errfs"
+	"marketscope/internal/ingest"
+)
+
+// tortureOpts is the workload configuration: automatic snapshots every 3
+// batches (so snapshot writes, renames, prunes and dir syncs all appear among
+// the failpoints) and the strict fsync policy (so "acked" implies "durable"
+// and the recovery bound is exact).
+func tortureOpts(t testing.TB, fsys durable.FS) durable.Options {
+	_, crawlTime := deltas(t)
+	opts := storeOpts(fsys, crawlTime)
+	opts.SnapshotEvery = 3
+	return opts
+}
+
+// runWorkload opens a store and applies every corpus delta, returning the
+// cursor acknowledged to the producer before the first failure (the store is
+// closed best-effort either way). err is nil only if everything — including
+// Close — succeeded.
+func runWorkload(t testing.TB, fsys durable.FS, ds []ingest.Delta) (acked uint64, err error) {
+	s, err := durable.Open(tortureOpts(t, fsys))
+	if err != nil {
+		return 0, err
+	}
+	acked = s.Cursor()
+	for _, d := range ds {
+		res, aerr := s.Apply(d)
+		if aerr != nil {
+			s.Close()
+			return acked, aerr
+		}
+		acked = res.Cursor
+	}
+	if cerr := s.Close(); cerr != nil {
+		return acked, cerr
+	}
+	return acked, nil
+}
+
+// recordOps runs the workload once with no faults armed and returns the op
+// log — the universe of failpoints.
+func recordOps(t *testing.T) []errfs.Op {
+	t.Helper()
+	ds, _ := deltas(t)
+	inj := errfs.NewInjector(errfs.New())
+	acked, err := runWorkload(t, inj, ds)
+	if err != nil {
+		t.Fatalf("recording pass failed: %v", err)
+	}
+	if acked != uint64(len(ds)) {
+		t.Fatalf("recording pass acked %d of %d", acked, len(ds))
+	}
+	return inj.Log()
+}
+
+// sampleFailpoints picks which op indices to torture: every structurally
+// interesting op (renames, dir syncs, truncations, creates) plus an even
+// stride over the rest, capped so the suite stays minutes-bounded. The
+// sampling is deterministic — a failure report names a reproducible index.
+func sampleFailpoints(log []errfs.Op, cap int) []int {
+	rare := map[string]bool{"rename": true, "syncdir": true, "truncate": true, "mkdir": true}
+	var picks []int
+	chosen := make(map[int]bool)
+	for i, op := range log {
+		if rare[op.Kind] {
+			picks = append(picks, i)
+			chosen[i] = true
+		}
+	}
+	rest := cap - len(picks)
+	if rest < 8 {
+		rest = 8
+	}
+	stride := len(log) / rest
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < len(log); i += stride {
+		if !chosen[i] {
+			picks = append(picks, i)
+			chosen[i] = true
+		}
+	}
+	if !chosen[len(log)-1] {
+		picks = append(picks, len(log)-1)
+	}
+	return picks
+}
+
+// verifyRecovery opens a store over fsys (the post-fault filesystem), checks
+// the acked-prefix contract against the oracle, optionally finishes the
+// ingest, and returns the recovered cursor.
+func verifyRecovery(t *testing.T, label string, fsys durable.FS, acked uint64, finish bool) uint64 {
+	t.Helper()
+	ds, _ := deltas(t)
+	s, err := durable.Open(tortureOpts(t, fsys))
+	if err != nil {
+		t.Fatalf("%s: recovery open failed: %v", label, err)
+	}
+	defer s.Close()
+	c := s.Cursor()
+	if c < acked || c > uint64(len(ds)) {
+		t.Fatalf("%s: recovered cursor %d outside [acked=%d, %d]", label, c, acked, len(ds))
+	}
+	requireSameState(t, sourceOf(s), oracleSource(t, c))
+	if finish {
+		applyAll(t, s, ds[c:])
+		requireSameState(t, sourceOf(s), oracleSource(t, uint64(len(ds))))
+	}
+	return c
+}
+
+// TestTortureCrash kills the writer at every sampled filesystem operation:
+// the op and everything after it fail (a dying write lands a random prefix of
+// its bytes unsynced), the surviving durable image gets a random torn tail,
+// and the store reopened on that image must serve exactly a clean acked
+// prefix — then accept the rest of the stream and converge to the full state.
+func TestTortureCrash(t *testing.T) {
+	ds, _ := deltas(t)
+	log := recordOps(t)
+	max := 40
+	if testing.Short() {
+		max = 12
+	}
+	points := sampleFailpoints(log, max)
+	t.Logf("torture: %d ops recorded, crashing at %d failpoints", len(log), len(points))
+	rng := rand.New(rand.NewSource(20180601))
+	for _, f := range points {
+		label := fmt.Sprintf("crash@%d(%s %s)", f, log[f].Kind, log[f].Path)
+		inj := errfs.NewInjector(errfs.New())
+		inj.Arm(f, errfs.ModeCrash, rng)
+		acked, err := runWorkload(t, inj, ds)
+		if err == nil {
+			t.Fatalf("%s: workload survived a crashed filesystem", label)
+		}
+		img := inj.Base.Crash(rng)
+		verifyRecovery(t, label, img, acked, f%3 == 0)
+	}
+}
+
+// TestTortureTransientErr injects a single failing op (the filesystem is
+// healthy before and after): the store must either keep working or wedge its
+// writer — and a subsequent crash+reopen must still recover the acked prefix
+// and finish the stream.
+func TestTortureTransientErr(t *testing.T) {
+	ds, _ := deltas(t)
+	log := recordOps(t)
+	points := sampleFailpoints(log, 12)
+	rng := rand.New(rand.NewSource(7))
+	for i, f := range points {
+		label := fmt.Sprintf("err@%d(%s %s)", f, log[f].Kind, log[f].Path)
+		inj := errfs.NewInjector(errfs.New())
+		inj.Arm(f, errfs.ModeErr, rng)
+		acked, err := runWorkload(t, inj, ds)
+		if err != nil && strings.Contains(log[f].Path, "snap-") {
+			// Snapshot-path faults must never fail ingest: the WAL stays
+			// authoritative and the failure surfaces on Err() only.
+			t.Fatalf("%s: snapshot fault failed the workload: %v", label, err)
+		}
+		verifyRecovery(t, label, inj.Base.Crash(rng), acked, i%2 == 0)
+	}
+}
+
+// TestTortureShortWrite lands half of one WAL append before erroring: the
+// writer must wedge (no further batches acked over a log of unknown state)
+// and recovery must truncate the torn record, serve the acked prefix, and
+// accept the stream again.
+func TestTortureShortWrite(t *testing.T) {
+	ds, _ := deltas(t)
+	log := recordOps(t)
+	var walWrites []int
+	for i, op := range log {
+		if op.Kind == "write" && strings.Contains(op.Path, walFileName()) {
+			walWrites = append(walWrites, i)
+		}
+	}
+	if len(walWrites) < 3 {
+		t.Fatalf("only %d WAL writes recorded", len(walWrites))
+	}
+	stride := len(walWrites)/6 + 1
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < len(walWrites); i += stride {
+		f := walWrites[i]
+		label := fmt.Sprintf("short@%d(%s)", f, log[f].Path)
+		inj := errfs.NewInjector(errfs.New())
+		inj.Arm(f, errfs.ModeShortWrite, rng)
+		acked, err := runWorkload(t, inj, ds)
+		if err == nil {
+			t.Fatalf("%s: short write acked", label)
+		}
+		if acked >= uint64(len(ds)) {
+			t.Fatalf("%s: all batches acked despite failure", label)
+		}
+		verifyRecovery(t, label, inj.Base.Crash(rng), acked, true)
+	}
+}
+
+// TestTortureSnapshotBitFlip silently corrupts one bit of a snapshot write
+// (the write reports success). The workload completes; reopening from the
+// live filesystem must quarantine the bad generation (or find it already
+// pruned), fall back, and still serve the complete state.
+func TestTortureSnapshotBitFlip(t *testing.T) {
+	ds, _ := deltas(t)
+	log := recordOps(t)
+	var snapWrites []int
+	for i, op := range log {
+		if op.Kind == "write" && strings.Contains(op.Path, "snap-") {
+			snapWrites = append(snapWrites, i)
+		}
+	}
+	if len(snapWrites) == 0 {
+		t.Fatal("no snapshot writes recorded")
+	}
+	rng := rand.New(rand.NewSource(13))
+	for _, f := range snapWrites {
+		label := fmt.Sprintf("flip@%d(%s)", f, log[f].Path)
+		inj := errfs.NewInjector(errfs.New())
+		inj.Arm(f, errfs.ModeBitFlip, rng)
+		acked, err := runWorkload(t, inj, ds)
+		if err != nil || acked != uint64(len(ds)) {
+			t.Fatalf("%s: silent corruption was not silent: acked=%d err=%v", label, acked, err)
+		}
+		s, err := durable.Open(tortureOpts(t, inj.Base))
+		if err != nil {
+			t.Fatalf("%s: reopen failed: %v", label, err)
+		}
+		if s.Cursor() != uint64(len(ds)) {
+			t.Fatalf("%s: recovered cursor %d", label, s.Cursor())
+		}
+		requireSameState(t, sourceOf(s), oracleSource(t, uint64(len(ds))))
+		quarantined := s.Metrics().SnapshotCorruptQuarantined.Load()
+		s.Close()
+		// The corrupted generation must not have been trusted: it is either
+		// quarantined on disk, pruned before recovery read it, or shadowed by
+		// a newer good generation recovery stopped at first. (snap names sort
+		// lexically in cursor order.)
+		final := strings.TrimPrefix(strings.TrimSuffix(log[f].Path, ".tmp"), "data/")
+		names, err := inj.Base.ReadDir("data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		alive, shadowed, hasCorrupt := false, false, false
+		for _, n := range names {
+			switch {
+			case n == final:
+				alive = true
+			case strings.HasSuffix(n, ".corrupt"):
+				hasCorrupt = true
+			case strings.HasSuffix(n, ".snap") && n > final:
+				shadowed = true
+			}
+		}
+		if quarantined > 0 && !hasCorrupt {
+			t.Fatalf("%s: quarantine counted but no .corrupt file in %v", label, names)
+		}
+		if quarantined == 0 && alive && !shadowed {
+			t.Fatalf("%s: corrupted snapshot %s survived recovery unquarantined (%v)", label, final, names)
+		}
+	}
+}
+
+// TestTortureWALBitFlip silently corrupts one bit of a WAL append. The
+// checksums must detect it on the next recovery: the log is truncated at the
+// damaged record and the store serves a clean prefix — acked batches past the
+// flip are lost, the documented weaker contract for silent in-place
+// corruption — unless a snapshot already carried the state past the tear, in
+// which case nothing at all may be lost. Either way the store must accept the
+// stream again afterwards, including writing correct snapshots over the now
+// seq-gapped log.
+func TestTortureWALBitFlip(t *testing.T) {
+	ds, _ := deltas(t)
+	log := recordOps(t)
+	var walWrites []int
+	for i, op := range log {
+		if op.Kind == "write" && strings.Contains(op.Path, walFileName()) {
+			walWrites = append(walWrites, i)
+		}
+	}
+	// walWrites[0] is the header write at WAL creation: a flipped magic or
+	// crawl-time stamp is unrecoverable (or re-stamps the dataset) by design
+	// and is pinned in the WAL unit tests, not here.
+	walWrites = walWrites[1:]
+	stride := len(walWrites)/6 + 1
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < len(walWrites); i += stride {
+		f := walWrites[i]
+		label := fmt.Sprintf("walflip@%d(%s)", f, log[f].Path)
+		inj := errfs.NewInjector(errfs.New())
+		inj.Arm(f, errfs.ModeBitFlip, rng)
+		acked, err := runWorkload(t, inj, ds)
+		if err != nil || acked != uint64(len(ds)) {
+			t.Fatalf("%s: silent corruption was not silent: acked=%d err=%v", label, acked, err)
+		}
+		s, err := durable.Open(tortureOpts(t, inj.Base))
+		if err != nil {
+			t.Fatalf("%s: reopen failed: %v", label, err)
+		}
+		c := s.Cursor()
+		if c > uint64(len(ds)) {
+			t.Fatalf("%s: cursor %d past the stream", label, c)
+		}
+		requireSameState(t, sourceOf(s), oracleSource(t, c))
+		applyAll(t, s, ds[c:])
+		requireSameState(t, sourceOf(s), oracleSource(t, uint64(len(ds))))
+		// A snapshot written over the seq-gapped WAL must still restore the
+		// complete state (blob harvest rides the previous snapshot, not the
+		// damaged log region).
+		if err := s.WriteSnapshot(); err != nil {
+			t.Fatalf("%s: snapshot over gapped WAL: %v", label, err)
+		}
+		s.Close()
+		s2, err := durable.Open(tortureOpts(t, inj.Base))
+		if err != nil {
+			t.Fatalf("%s: reopen after gapped snapshot: %v", label, err)
+		}
+		requireSameState(t, sourceOf(s2), oracleSource(t, uint64(len(ds))))
+		s2.Close()
+	}
+}
+
+// walFileName mirrors the store's WAL file name for op-log matching without
+// exporting the constant.
+func walFileName() string { return "wal.log" }

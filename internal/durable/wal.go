@@ -1,0 +1,277 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"time"
+)
+
+// WAL file layout:
+//
+//	header:  "MSWAL001" | crawlTime (sec i64, nsec i32, offset i32)
+//	records: repeated [ totalLen u32 | crc u32 | seq u64 | payload ]
+//
+// totalLen covers seq+payload; crc is CRC32-C over the same bytes. The
+// crawl time lives in the header because a replayed dataset must be stamped
+// with the same CrawlTime the original batches were applied under —
+// otherwise the time column (and every scan touching it) would drift across
+// a restart.
+//
+// Replay walks records until the bytes stop parsing — a short header, an
+// implausible length, a truncated body or a checksum mismatch all mean the
+// tail was torn mid-write — and truncates the file there. Everything before
+// a torn tail is intact by construction (records are appended and fsynced in
+// order), so truncation never discards an acknowledged batch under
+// FsyncAlways.
+
+const (
+	walMagic     = "MSWAL001"
+	walHeaderLen = len(walMagic) + 16
+	// maxWALRecord bounds one record's body; a length prefix beyond it is
+	// treated as corruption rather than an allocation request.
+	maxWALRecord = 256 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrWALCorrupt reports damage replay cannot repair by truncation (a
+// corrupted header). The log's records cannot be trusted past it; recovery
+// refuses to guess.
+var ErrWALCorrupt = errors.New("durable: wal corrupt")
+
+// FsyncPolicy says when the WAL reaches stable storage relative to batch
+// acknowledgements.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every appended batch, before the producer is
+	// acknowledged. The strongest (and default) policy.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on a timer; a crash may lose acknowledged batches
+	// from the last interval.
+	FsyncInterval
+	// FsyncOff never syncs explicitly.
+	FsyncOff
+)
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// ParseFsyncPolicy maps the -fsync flag values to a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, interval or off)", s)
+}
+
+// walScanInfo reports what a scan found.
+type walScanInfo struct {
+	exists    bool
+	badHeader bool  // file shorter than a header (torn creation)
+	tornAt    int64 // offset of the first unparseable record, -1 when clean
+	crawlTime time.Time
+	records   int
+	lastSeq   uint64
+}
+
+// scanWAL reads the log start to end, calling fn (when non-nil) with each
+// intact record in order. It never modifies the file; the caller decides
+// whether to truncate a torn tail. fn's payload aliases the scan buffer and
+// is only valid during the call.
+func scanWAL(fsys FS, path string, fn func(seq uint64, payload []byte) error) (walScanInfo, error) {
+	info := walScanInfo{tornAt: -1}
+	buf, err := readWhole(fsys, path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return info, nil
+		}
+		return info, fmt.Errorf("durable: read wal: %w", err)
+	}
+	info.exists = true
+	if len(buf) < walHeaderLen {
+		info.badHeader = true
+		return info, nil
+	}
+	if string(buf[:len(walMagic)]) != walMagic {
+		return info, fmt.Errorf("%w: bad magic %q", ErrWALCorrupt, buf[:len(walMagic)])
+	}
+	hd := &decoder{buf: buf[len(walMagic):walHeaderLen]}
+	info.crawlTime = hd.timeVal()
+	if hd.err != nil {
+		return info, fmt.Errorf("%w: header: %v", ErrWALCorrupt, hd.err)
+	}
+
+	off := walHeaderLen
+	for off < len(buf) {
+		if len(buf)-off < 8 {
+			info.tornAt = int64(off)
+			break
+		}
+		totalLen := int(binary.LittleEndian.Uint32(buf[off:]))
+		crc := binary.LittleEndian.Uint32(buf[off+4:])
+		if totalLen < 8 || totalLen > maxWALRecord || totalLen > len(buf)-off-8 {
+			info.tornAt = int64(off)
+			break
+		}
+		body := buf[off+8 : off+8+totalLen]
+		if crc32.Checksum(body, castagnoli) != crc {
+			info.tornAt = int64(off)
+			break
+		}
+		seq := binary.LittleEndian.Uint64(body)
+		if fn != nil {
+			if err := fn(seq, body[8:]); err != nil {
+				return info, err
+			}
+		}
+		info.records++
+		info.lastSeq = seq
+		off += 8 + totalLen
+	}
+	return info, nil
+}
+
+// repairWAL truncates a torn tail in place (fsyncing the shortened file) so
+// subsequent scans see only intact records. Returns whether a truncation
+// happened.
+func repairWAL(fsys FS, path string, info walScanInfo) (bool, error) {
+	if !info.exists || info.tornAt < 0 {
+		return false, nil
+	}
+	if err := fsys.Truncate(path, info.tornAt); err != nil {
+		return false, fmt.Errorf("durable: truncate torn wal tail: %w", err)
+	}
+	f, err := fsys.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return false, fmt.Errorf("durable: reopen wal after truncate: %w", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return false, fmt.Errorf("durable: sync truncated wal: %w", err)
+	}
+	return true, nil
+}
+
+// createWAL writes a fresh log containing only the header and makes it (and
+// its directory entry) durable before returning — a WAL that vanishes after
+// its first acknowledged batch would break the contract at the root.
+func createWAL(fsys FS, dir, path string, crawlTime time.Time) error {
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: create wal: %w", err)
+	}
+	var e encoder
+	e.buf = append(e.buf, walMagic...)
+	e.timeVal(crawlTime)
+	if _, err := f.Write(e.buf); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: write wal header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: sync wal header: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: close wal: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("durable: sync wal dir: %w", err)
+	}
+	return nil
+}
+
+// wal is the append handle. Any write or sync error wedges it permanently:
+// after a failed append the file's tail state is unknowable, so continuing
+// to acknowledge batches would acknowledge data that may not be replayable.
+// The process keeps serving reads; ingest fails fast until a restart
+// re-runs recovery.
+type wal struct {
+	mu     sync.Mutex
+	f      File
+	policy FsyncPolicy
+	broken error
+}
+
+func openWALAppender(fsys FS, path string, policy FsyncPolicy) (*wal, error) {
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open wal for append: %w", err)
+	}
+	return &wal{f: f, policy: policy}, nil
+}
+
+// Append writes one record and, under FsyncAlways, syncs before returning.
+func (w *wal) Append(seq uint64, payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return w.broken
+	}
+	if len(payload)+8 > maxWALRecord {
+		return fmt.Errorf("durable: wal record of %d bytes exceeds the %d limit", len(payload), maxWALRecord)
+	}
+	rec := make([]byte, 0, 16+len(payload))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(8+len(payload)))
+	rec = append(rec, 0, 0, 0, 0) // crc placeholder
+	rec = binary.LittleEndian.AppendUint64(rec, seq)
+	rec = append(rec, payload...)
+	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(rec[8:], castagnoli))
+	if _, err := w.f.Write(rec); err != nil {
+		w.broken = fmt.Errorf("durable: wal append failed, log wedged: %w", err)
+		return w.broken
+	}
+	if w.policy == FsyncAlways {
+		if err := w.f.Sync(); err != nil {
+			w.broken = fmt.Errorf("durable: wal sync failed, log wedged: %w", err)
+			return w.broken
+		}
+	}
+	return nil
+}
+
+// Sync flushes outstanding appends (the FsyncInterval ticker's tick).
+func (w *wal) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return w.broken
+	}
+	if err := w.f.Sync(); err != nil {
+		w.broken = fmt.Errorf("durable: wal sync failed, log wedged: %w", err)
+		return w.broken
+	}
+	return nil
+}
+
+func (w *wal) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	if w.broken == nil {
+		w.broken = errors.New("durable: wal closed")
+	}
+	return err
+}

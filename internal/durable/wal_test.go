@@ -1,0 +1,226 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"marketscope/internal/appmeta"
+	"marketscope/internal/ingest"
+)
+
+func testRecord(market, pkg string) appmeta.Record {
+	return appmeta.Record{
+		Market: market, Package: pkg,
+		AppName: "App " + pkg, Category: "Tools", DeveloperName: "dev",
+		VersionCode: 7, VersionName: "1.0.7",
+		Description: "描述 description", Downloads: 12345, Rating: 4.5,
+		ReleaseDate: time.Date(2017, 3, 14, 15, 9, 2, 0, time.UTC),
+		UpdateDate:  time.Date(2018, 1, 2, 3, 4, 5, 123456789, time.FixedZone("", 8*3600)),
+		APKSize:     1 << 20, HasAds: true, HasIAP: false,
+	}
+}
+
+func testListings() []ingest.Listing {
+	return []ingest.Listing{
+		{Record: testRecord("m1", "com.a"), APK: []byte{0xde, 0xad, 0xbe, 0xef}},
+		{Record: testRecord("m1", "com.b"), APK: []byte{}}, // empty but present
+		{Record: testRecord("m2", "com.a")},                // absent
+	}
+}
+
+func TestListingsCodecRoundTrip(t *testing.T) {
+	want := testListings()
+	got, err := decodeListings(encodeListings(want))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d listings, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Record != want[i].Record {
+			t.Fatalf("listing %d record mismatch:\n got %+v\nwant %+v", i, got[i].Record, want[i].Record)
+		}
+		if (got[i].APK == nil) != (want[i].APK == nil) || !bytes.Equal(got[i].APK, want[i].APK) {
+			t.Fatalf("listing %d APK mismatch: got %v want %v", i, got[i].APK, want[i].APK)
+		}
+	}
+	// Times must round-trip to the exact instant and UTC offset.
+	if !got[0].Record.UpdateDate.Equal(want[0].Record.UpdateDate) {
+		t.Fatal("update date instant drifted")
+	}
+	_, gotOff := got[0].Record.UpdateDate.Zone()
+	if gotOff != 8*3600 {
+		t.Fatalf("update date offset %d, want %d", gotOff, 8*3600)
+	}
+	// Truncating anywhere must yield an error, never a panic.
+	full := encodeListings(want)
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := decodeListings(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+}
+
+func TestWALAppendScanRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, walFileName)
+	crawl := time.Date(2018, 6, 1, 0, 0, 0, 0, time.UTC)
+	if err := createWAL(OSFS, dir, path, crawl); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	w, err := openWALAppender(OSFS, path, FsyncAlways)
+	if err != nil {
+		t.Fatalf("open appender: %v", err)
+	}
+	payloads := [][]byte{encodeListings(testListings()), {}, []byte("x")}
+	for seq, p := range payloads {
+		if err := w.Append(uint64(seq), p); err != nil {
+			t.Fatalf("append %d: %v", seq, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := w.Append(9, nil); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+
+	var seqs []uint64
+	info, err := scanWAL(OSFS, path, func(seq uint64, payload []byte) error {
+		seqs = append(seqs, seq)
+		if !bytes.Equal(payload, payloads[seq]) {
+			t.Fatalf("seq %d payload mismatch", seq)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if !info.exists || info.badHeader || info.tornAt != -1 {
+		t.Fatalf("scan info %+v", info)
+	}
+	if info.records != 3 || info.lastSeq != 2 || len(seqs) != 3 {
+		t.Fatalf("scan saw %d records (last %d)", info.records, info.lastSeq)
+	}
+	if !info.crawlTime.Equal(crawl) {
+		t.Fatalf("crawl time %v, want %v", info.crawlTime, crawl)
+	}
+}
+
+func TestWALTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, walFileName)
+	if err := createWAL(OSFS, dir, path, time.Now()); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	w, err := openWALAppender(OSFS, path, FsyncAlways)
+	if err != nil {
+		t.Fatalf("open appender: %v", err)
+	}
+	for seq := 0; seq < 3; seq++ {
+		if err := w.Append(uint64(seq), encodeListings(testListings())); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	w.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := scanWAL(OSFS, path, nil)
+	if info.records != 3 {
+		t.Fatalf("setup: %d records", info.records)
+	}
+
+	// Every possible tear inside the third record must scan as 2 intact
+	// records plus a torn tail, and repair must truncate to a clean log.
+	recLen := (len(full) - walHeaderLen) / 3
+	thirdStart := walHeaderLen + 2*recLen
+	for cut := thirdStart + 1; cut < len(full); cut += 7 {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		info, err := scanWAL(OSFS, path, nil)
+		if err != nil {
+			t.Fatalf("scan torn at %d: %v", cut, err)
+		}
+		if info.records != 2 || info.tornAt != int64(thirdStart) {
+			t.Fatalf("torn at %d: records=%d tornAt=%d, want 2 at %d", cut, info.records, info.tornAt, thirdStart)
+		}
+		repaired, err := repairWAL(OSFS, path, info)
+		if err != nil || !repaired {
+			t.Fatalf("repair at %d: repaired=%v err=%v", cut, repaired, err)
+		}
+		info, err = scanWAL(OSFS, path, nil)
+		if err != nil || info.tornAt != -1 || info.records != 2 {
+			t.Fatalf("after repair at %d: %+v err=%v", cut, info, err)
+		}
+	}
+
+	// A flipped bit inside an intact record reads as a torn tail there: the
+	// record and everything after it is dropped (the documented weaker
+	// contract for in-place WAL corruption).
+	corrupted := append([]byte(nil), full...)
+	corrupted[walHeaderLen+recLen+12] ^= 0x01
+	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err = scanWAL(OSFS, path, nil)
+	if err != nil {
+		t.Fatalf("scan flipped: %v", err)
+	}
+	if info.records != 1 || info.tornAt != int64(walHeaderLen+recLen) {
+		t.Fatalf("flipped record: %+v", info)
+	}
+
+	// A short or missing header is a torn creation: reported, not fatal.
+	if err := os.WriteFile(path, full[:walHeaderLen-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err = scanWAL(OSFS, path, nil)
+	if err != nil || !info.badHeader {
+		t.Fatalf("short header: %+v err=%v", info, err)
+	}
+	// A wrong magic is unrecoverable corruption.
+	bad := append([]byte("NOTMYWAL"), full[8:]...)
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scanWAL(OSFS, path, nil); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("bad magic: err=%v", err)
+	}
+	// A missing file simply does not exist.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err = scanWAL(OSFS, path, nil)
+	if err != nil || info.exists {
+		t.Fatalf("missing file: %+v err=%v", info, err)
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FsyncPolicy
+		ok   bool
+	}{
+		{"always", FsyncAlways, true},
+		{"interval", FsyncInterval, true},
+		{"off", FsyncOff, true},
+		{"sometimes", 0, false},
+	} {
+		got, err := ParseFsyncPolicy(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if tc.ok && got.String() != tc.in {
+			t.Fatalf("round trip %q -> %q", tc.in, got)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+
+	"marketscope/internal/analysis"
 )
 
 // IngestPath is the route the handler is conventionally mounted at (via
@@ -28,10 +30,19 @@ type ingestError struct {
 	Cursor uint64 `json:"cursor"`
 }
 
+// Applier is what the HTTP handler needs from an ingest backend. *Ingestor
+// implements it directly; the durable store wraps one, adding write-ahead
+// logging and snapshot cadence around the same contract.
+type Applier interface {
+	Apply(Delta) (Result, error)
+	Cursor() uint64
+	Dataset() *analysis.Dataset
+}
+
 // Handler serves the delta feed over HTTP: GET returns the CursorState, POST
 // applies one Delta and returns its Result. A cursor gap answers 409 with the
 // expected cursor so the producer can resync without a second round trip.
-func Handler(ing *Ingestor) http.HandlerFunc {
+func Handler(ing Applier) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
 		case http.MethodGet:

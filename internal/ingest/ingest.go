@@ -79,6 +79,15 @@ type Options struct {
 	// batches). Called while the batch lock is held, so publishes are
 	// ordered; keep it cheap — an atomic swap, not a rebuild.
 	Publish func(*analysis.Dataset)
+	// Commit, when non-nil, is called with every batch that is about to
+	// apply — already validated and exactly at the cursor — before any state
+	// changes. An error aborts the batch with the cursor and dataset
+	// untouched, and is returned to the producer. The durable layer appends
+	// the batch to its write-ahead log here, which is what makes an
+	// acknowledgement mean "persisted": once Commit returns nil, nothing in
+	// the apply path can fail. Replayed (Seq < cursor) and gapped batches
+	// never reach Commit. Called under the batch lock.
+	Commit func(Delta) error
 }
 
 // Ingestor accepts deltas and maintains the current dataset epoch. All
@@ -117,6 +126,44 @@ func (ing *Ingestor) Dataset() *analysis.Dataset {
 	return ing.ds
 }
 
+// Snapshot returns the cursor and the dataset as one consistent pair — the
+// state a durable snapshot must capture atomically (a cursor read and a
+// dataset read made separately could straddle a batch).
+func (ing *Ingestor) Snapshot() (uint64, *analysis.Dataset) {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.next, ing.ds
+}
+
+// Restore rebuilds an ingestor from durable state: the records of every
+// listing landed so far (in dataset order) and the cursor they were landed
+// under. The dataset is built in ONE incremental append — which the
+// equivalence contract on analysis.IngestState guarantees is identical to a
+// cold BuildDatasetFromRecords+Enrich over the same records — so a restored
+// ingestor is indistinguishable from one that applied the original batches.
+// Publish and Commit hooks are not invoked. apkOf resolves APK bytes exactly
+// as at first ingest; records must already be deduplicated.
+func Restore(opts Options, cursor uint64, records []appmeta.Record, apkOf func(appmeta.Key) ([]byte, bool)) (*Ingestor, error) {
+	ing := New(opts)
+	ing.seen = make(map[appmeta.Key]bool, len(records))
+	for i := range records {
+		if err := records[i].Validate(); err != nil {
+			return nil, fmt.Errorf("ingest: restore record %d: %w", i, err)
+		}
+		key := records[i].Key()
+		if ing.seen[key] {
+			return nil, fmt.Errorf("ingest: restore: duplicate key %s/%s", key.Market, key.Package)
+		}
+		ing.seen[key] = true
+	}
+	if len(records) > 0 {
+		ds, _ := ing.state.Append(nil, opts.CrawlTime, records, apkOf)
+		ing.ds = ds
+	}
+	ing.next = cursor
+	return ing, nil
+}
+
 // Apply lands one delta under the cursor discipline documented on the
 // package. A batch is atomic: it either fully applies (cursor advances,
 // dataset swaps) or leaves both exactly as they were.
@@ -140,31 +187,23 @@ func (ing *Ingestor) Apply(d Delta) (Result, error) {
 			return res, fmt.Errorf("ingest: listing %d: %w", i, err)
 		}
 	}
+	// Commit is the durability barrier: the batch is valid and at the
+	// cursor, so once the hook persists it nothing below can fail — an
+	// acknowledgement therefore always means "replayable from the log".
+	if ing.opts.Commit != nil {
+		if err := ing.opts.Commit(d); err != nil {
+			return res, fmt.Errorf("ingest: commit seq %d: %w", d.Seq, err)
+		}
+	}
 
-	// Keep first-seen keys only, in canonical (market, package) order so the
-	// dataset order is deterministic regardless of how the producer
-	// assembled the batch.
-	batch := append([]Listing(nil), d.Listings...)
-	sort.Slice(batch, func(i, j int) bool {
-		a, b := batch[i].Record, batch[j].Record
-		if a.Market != b.Market {
-			return a.Market < b.Market
-		}
-		return a.Package < b.Package
-	})
-	kept := make([]appmeta.Record, 0, len(batch))
-	apks := make(map[appmeta.Key][]byte, len(batch))
-	inBatch := map[appmeta.Key]bool{}
-	for _, l := range batch {
-		key := l.Record.Key()
-		if ing.seen[key] || inBatch[key] {
-			res.Skipped++
-			continue
-		}
-		inBatch[key] = true
+	keptListings := Kept(ing.seen, d.Listings)
+	res.Skipped = len(d.Listings) - len(keptListings)
+	kept := make([]appmeta.Record, 0, len(keptListings))
+	apks := make(map[appmeta.Key][]byte, len(keptListings))
+	for _, l := range keptListings {
 		kept = append(kept, l.Record)
 		if l.APK != nil {
-			apks[key] = l.APK
+			apks[l.Record.Key()] = l.APK
 		}
 	}
 	res.Added = len(kept)
@@ -175,9 +214,6 @@ func (ing *Ingestor) Apply(d Delta) (Result, error) {
 			return b, ok
 		})
 		ing.ds = ds
-		for key := range inBatch {
-			ing.seen[key] = true
-		}
 		res.Redetected, res.Sealed, res.Listings = stats.Redetected, stats.EngineSealed, ds.NumListings()
 	}
 	ing.next = d.Seq + 1
@@ -187,4 +223,31 @@ func (ing *Ingestor) Apply(d Delta) (Result, error) {
 		ing.opts.Publish(ing.ds)
 	}
 	return res, nil
+}
+
+// Kept canonicalizes one batch exactly as Apply does: listings sorted into
+// (market, package) order, first occurrence of each not-yet-seen key kept and
+// marked in seen, everything else dropped. Exported because the durable
+// layer's snapshot writer folds the WAL prefix through the same function to
+// recover which listing supplied each ingested key's APK bytes — the fold
+// and the live apply path must agree byte for byte, so they share the code.
+func Kept(seen map[appmeta.Key]bool, listings []Listing) []Listing {
+	batch := append([]Listing(nil), listings...)
+	sort.Slice(batch, func(i, j int) bool {
+		a, b := batch[i].Record, batch[j].Record
+		if a.Market != b.Market {
+			return a.Market < b.Market
+		}
+		return a.Package < b.Package
+	})
+	kept := batch[:0]
+	for _, l := range batch {
+		key := l.Record.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		kept = append(kept, l)
+	}
+	return kept
 }

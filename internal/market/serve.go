@@ -179,6 +179,16 @@ func (s *Server) BumpEpoch() {
 // Epoch returns the current dataset epoch.
 func (s *Server) Epoch() uint64 { return s.source.Load().epoch }
 
+// MetricsRegistry exposes the registry behind /metrics so other subsystems
+// (the durable store, for one) can publish gauges alongside the serving
+// metrics. Nil before ConfigureServing.
+func (s *Server) MetricsRegistry() *metrics.Registry {
+	if s.metrics == nil {
+		return nil
+	}
+	return s.metrics.reg
+}
+
 // healthResponse is the /healthz body.
 type healthResponse struct {
 	Status string `json:"status"`

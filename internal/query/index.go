@@ -196,7 +196,9 @@ func columnLen(c *column) int {
 	case KindFloat:
 		return len(c.floats)
 	case KindString:
-		if c.dict != nil {
+		// A fully-null dictionary column has dict == nil with row-counted
+		// codes; len(codes) is the row count whenever codes exist.
+		if c.dict != nil || c.codes != nil {
 			return len(c.codes)
 		}
 		return len(c.strs)
