@@ -9,7 +9,7 @@
 //	          [-rate R] [-gzip=false]
 //	          [-analysis] [-hold-back F] [-release-every D] [-release-batch N]
 //	          [-data-dir DIR] [-fsync always|interval|off] [-fsync-interval D]
-//	          [-snapshot-every N]
+//	          [-snapshot-every N] [-page-budget BYTES] [-page-retry N]
 //
 // With -port 0 every market binds an ephemeral port instead of a consecutive
 // range, which is what the smoke tests use to avoid port collisions.
@@ -35,6 +35,21 @@
 // WAL durability/throughput trade-off and -snapshot-every the snapshot
 // cadence; see internal/durable. The endpoint's /metrics additionally exposes
 // the durable_* recovery and snapshot gauges.
+//
+// -page-budget serves a recovered corpus bigger than RAM: snapshot columns
+// stay on disk and page in on first touch, with at most BYTES of decoded
+// column data resident (scans in flight always complete — their pinned
+// working set is exempt). A request whose working set cannot be pinned, or
+// whose column fetch keeps failing past -page-retry attempts, degrades to a
+// clean 503 with Retry-After rather than a wrong answer. 0 (the default)
+// materializes everything eagerly; negative pages lazily without a bound.
+// Requires -data-dir. The endpoint's /metrics exposes the paged_* residency
+// and fault gauges.
+//
+// On SIGINT/SIGTERM the process stops accepting connections, drains in-flight
+// requests under a deadline, then flushes the WAL and writes a parting
+// snapshot before exiting — a restart with the same -data-dir recovers every
+// acknowledged delta.
 //
 // -hold-back withholds a fraction of every market's catalog at startup and
 // releases it in batches while the process serves (-release-every,
@@ -70,6 +85,10 @@ import (
 	"marketscope/internal/report"
 	"marketscope/internal/synth"
 )
+
+// drainTimeout bounds the graceful-shutdown drain: in-flight requests get
+// this long to finish after the listener stops accepting.
+const drainTimeout = 5 * time.Second
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
@@ -108,6 +127,8 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	fsyncMode := fs.String("fsync", "always", "WAL sync policy with -data-dir: always (ack = durable), interval (periodic), off (page cache only)")
 	fsyncEvery := fs.Duration("fsync-interval", 100*time.Millisecond, "WAL sync period with -fsync=interval")
 	snapshotEvery := fs.Int("snapshot-every", 64, "write a column-store snapshot every N applied deltas with -data-dir (0 = only at shutdown)")
+	pageBudget := fs.Int64("page-budget", 0, "resident byte budget for lazily paged snapshot columns with -data-dir (0 = materialize eagerly, negative = page without a bound)")
+	pageRetry := fs.Int("page-retry", 2, "transient column-fetch retries before a paged request degrades to 503")
 	holdBack := fs.Float64("hold-back", 0, "fraction of each market's catalog withheld at startup and released while serving (0..0.9)")
 	releaseEvery := fs.Duration("release-every", 5*time.Second, "interval between releases of held-back listings")
 	releaseBatch := fs.Int("release-batch", 25, "held-back listings released per interval")
@@ -129,6 +150,9 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	}
 	if *snapshotEvery < 0 {
 		return fmt.Errorf("-snapshot-every %d must be >= 0", *snapshotEvery)
+	}
+	if *pageBudget != 0 && *dataDir == "" {
+		return fmt.Errorf("-page-budget requires -data-dir")
 	}
 	serveCfg := market.ServeConfig{
 		CacheBytes:    *cacheBytes,
@@ -222,6 +246,8 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 			fsync:         fsyncPolicy,
 			fsyncInterval: *fsyncEvery,
 			snapshotEvery: *snapshotEvery,
+			pageBudget:    *pageBudget,
+			pageRetry:     *pageRetry,
 		})
 		if err != nil {
 			return err
@@ -289,7 +315,13 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	close(done)
 	releaseWG.Wait()
 
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// Graceful shutdown, in order: stop accepting and drain in-flight
+	// requests under a deadline (http.Server.Shutdown), and only after every
+	// handler has returned — no acks can still be in flight — flush the WAL
+	// and write the parting snapshot (closeAnalysis). A drain that overruns
+	// the deadline abandons the stragglers' connections but still loses no
+	// acknowledged delta: an ack implies the WAL append already happened.
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	for _, srv := range servers {
 		_ = srv.Shutdown(ctx)
@@ -345,6 +377,8 @@ type analysisConfig struct {
 	fsync         durable.FsyncPolicy
 	fsyncInterval time.Duration
 	snapshotEvery int
+	pageBudget    int64
+	pageRetry     int
 }
 
 // newAnalysisServer builds the delta-fed analysis endpoint: a market.Server
@@ -386,6 +420,8 @@ func newAnalysisServer(serveCfg market.ServeConfig, cfg analysisConfig) (*market
 		Fsync:         cfg.fsync,
 		FsyncInterval: cfg.fsyncInterval,
 		SnapshotEvery: cfg.snapshotEvery,
+		PageBudget:    cfg.pageBudget,
+		PageRetries:   cfg.pageRetry,
 		Ingest:        ingOpts,
 	})
 	if err != nil {

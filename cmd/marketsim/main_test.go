@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -294,6 +295,9 @@ func TestMarketsimRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-analysis", "-data-dir", t.TempDir(), "-snapshot-every", "-1"}, &buf, nil); err == nil {
 		t.Error("negative -snapshot-every accepted")
 	}
+	if err := run([]string{"-analysis", "-page-budget", "1024"}, &buf, nil); err == nil {
+		t.Error("-page-budget without -data-dir accepted")
+	}
 }
 
 // TestMarketsimDurableAnalysisRestart boots the command with a durable
@@ -422,4 +426,103 @@ func TestMarketsimDurableAnalysisRestart(t *testing.T) {
 	if !strings.Contains(buf2.String(), "durable in "+dataDir) {
 		t.Errorf("missing durable banner in output:\n%s", buf2.String())
 	}
+}
+
+// TestMarketsimPagedAnalysisRestart is the durable restart flow with lazy
+// paging on: the first boot ingests and leaves a parting snapshot, the second
+// boots with -page-budget and must recover from that snapshot without
+// materializing it — serving the ingested row, advancing the paged_* gauges
+// on /metrics, and shutting down cleanly.
+func TestMarketsimPagedAnalysisRestart(t *testing.T) {
+	dataDir := filepath.Join(t.TempDir(), "state")
+	boot := func(buf *bytes.Buffer, extra ...string) (base string, stop chan os.Signal, done chan error) {
+		endpointsPath := filepath.Join(t.TempDir(), "endpoints.json")
+		stop = make(chan os.Signal, 1)
+		done = make(chan error, 1)
+		args := append([]string{
+			"-apps", "40", "-developers", "18", "-seed", "11",
+			"-port", "0", "-endpoints", endpointsPath,
+			"-analysis", "-data-dir", dataDir, "-fsync", "always",
+		}, extra...)
+		go func() { done <- run(args, buf, stop) }()
+		for _, ep := range waitEndpoints(t, endpointsPath, done) {
+			if ep.Name == "analysis" {
+				base = ep.BaseURL
+			}
+		}
+		if base == "" {
+			t.Fatal("no analysis endpoint published")
+		}
+		return base, stop, done
+	}
+	shutdown := func(stop chan os.Signal, done chan error) {
+		stop <- os.Interrupt
+		if err := <-done; err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	}
+
+	var buf1 bytes.Buffer
+	base, stop, done := boot(&buf1)
+	delta := `{"seq": 0, "listings": [
+		{"record": {"market": "Google Play", "package": "com.example.paged",
+		            "app_name": "Paged", "category": "tools", "developer_name": "dev",
+		            "downloads": 100, "rating": 4.5}}]}`
+	resp, err := http.Post(base+"/api/ingest", "application/json", strings.NewReader(delta))
+	if err != nil {
+		t.Fatalf("push delta: %v", err)
+	}
+	var res struct {
+		Applied bool `json:"applied"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if err != nil || !res.Applied {
+		t.Fatalf("push: %+v (err %v)", res, err)
+	}
+	shutdown(stop, done)
+
+	// Second boot pages lazily out of the parting snapshot.
+	var buf2 bytes.Buffer
+	base, stop, done = boot(&buf2, "-page-budget", "-1")
+	resp, err = http.Post(base+"/api/scan", "application/json",
+		strings.NewReader(`{"fields":["package"]}`))
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	var scan struct {
+		Rows [][]any `json:"rows"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&scan)
+	resp.Body.Close()
+	if err != nil || len(scan.Rows) != 1 || scan.Rows[0][0] != "com.example.paged" {
+		t.Fatalf("paged scan after recovery: rows %+v (err %v)", scan.Rows, err)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(blob)
+	for _, want := range []string{"paged_resident_bytes", "paged_fetches", "paged_evictions"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	// The scan forced at least one column in.
+	var fetches float64
+	for _, line := range strings.Split(metrics, "\n") {
+		if n, err := fmt.Sscanf(line, "paged_fetches %f", &fetches); n == 1 && err == nil {
+			break
+		}
+	}
+	if fetches == 0 {
+		t.Errorf("paged engine served without fetching:\n%s", metrics)
+	}
+	shutdown(stop, done)
 }

@@ -61,6 +61,41 @@ func (d *Dataset) InstallQueryColumns(cols []query.ColumnData) error {
 	return nil
 }
 
+// InstallPagedQueryColumns is InstallQueryColumns' bigger-than-RAM variant:
+// the engine's columns stay on disk behind fetcher and page in on demand
+// through pool's byte budget. Query results are byte-identical to the
+// materialized engine's; only residency differs.
+func (d *Dataset) InstallPagedQueryColumns(fetcher query.ColumnFetcher, pool *query.PagePool) error {
+	if !d.enriched.Load() {
+		return fmt.Errorf("analysis: install columns before enrichment")
+	}
+	eng, err := query.NewEnginePaged(appFieldRegistry(d), d.Apps, fetcher, pool)
+	if err != nil {
+		return err
+	}
+	d.queryMu.Lock()
+	d.querySrc = eng
+	d.queryEnriched = true
+	d.queryMu.Unlock()
+	return nil
+}
+
+// DropPagedColumns retires the dataset's engine from its page pool, if it has
+// one: resident columns evict (pinned ones when their scans finish) and the
+// budget belongs to the successor epoch. A no-op on nil datasets and on
+// datasets serving a materialized engine.
+func (d *Dataset) DropPagedColumns() {
+	if d == nil {
+		return
+	}
+	d.queryMu.Lock()
+	eng, _ := d.querySrc.(*query.Engine[*App])
+	d.queryMu.Unlock()
+	if eng != nil {
+		eng.RetirePages()
+	}
+}
+
 // APKBytesOf adapts a blob map to the apkOf callback shape the build and
 // restore paths take.
 func APKBytesOf(blobs map[appmeta.Key][]byte) func(appmeta.Key) ([]byte, bool) {

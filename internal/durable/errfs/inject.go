@@ -30,8 +30,14 @@ const (
 	ModeShortWrite
 	// ModeBitFlip lands the armed write in full with one random bit flipped
 	// and reports success. Models silent media corruption; only checksums
-	// can catch it.
+	// can catch it. Armed on a read or readat it flips one bit of the
+	// returned buffer instead, leaving the file intact — a transient
+	// corruption only the reader's checksum can catch.
 	ModeBitFlip
+	// ModeShortRead delivers half the armed read's bytes with an error and
+	// lets later operations succeed. Models a transient short read the
+	// paging layer must retry.
+	ModeShortRead
 )
 
 func (m Mode) String() string {
@@ -44,13 +50,15 @@ func (m Mode) String() string {
 		return "shortwrite"
 	case ModeBitFlip:
 		return "bitflip"
+	case ModeShortRead:
+		return "shortread"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
 // Op records one filesystem operation the injector saw.
 type Op struct {
-	Kind string // open, read, write, sync, close, rename, remove, mkdir, readdir, truncate, syncdir
+	Kind string // open, read, readat, write, sync, close, rename, remove, mkdir, readdir, truncate, syncdir
 	Path string
 }
 
@@ -137,9 +145,14 @@ func (i *Injector) step(kind, path string) verdict {
 			return shortOp
 		}
 	case ModeBitFlip:
-		if idx == i.failAt && kind == "write" {
+		if idx == i.failAt && (kind == "write" || kind == "read" || kind == "readat") {
 			i.hits++
 			return flipOp
+		}
+	case ModeShortRead:
+		if idx == i.failAt && (kind == "read" || kind == "readat") {
+			i.hits++
+			return shortOp
 		}
 	}
 	return passOp
@@ -210,10 +223,51 @@ type injectHandle struct {
 }
 
 func (h *injectHandle) Read(p []byte) (int, error) {
-	if h.inj.step("read", h.path) == failOp {
+	switch h.inj.step("read", h.path) {
+	case failOp:
 		return 0, injected("read", h.path)
+	case shortOp:
+		n, err := h.f.Read(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, injected("short read", h.path)
+	case flipOp:
+		n, err := h.f.Read(p)
+		h.inj.flipBuf(p[:n])
+		return n, err
 	}
 	return h.f.Read(p)
+}
+
+func (h *injectHandle) ReadAt(p []byte, off int64) (int, error) {
+	switch h.inj.step("readat", h.path) {
+	case failOp:
+		return 0, injected("readat", h.path)
+	case shortOp:
+		n, err := h.f.ReadAt(p[:len(p)/2], off)
+		if err != nil {
+			return n, err
+		}
+		return n, injected("short read", h.path)
+	case flipOp:
+		n, err := h.f.ReadAt(p, off)
+		h.inj.flipBuf(p[:n])
+		return n, err
+	}
+	return h.f.ReadAt(p, off)
+}
+
+// flipBuf flips one random bit of buf in place (no-op on an empty buffer or a
+// nil rng).
+func (i *Injector) flipBuf(buf []byte) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if len(buf) == 0 || i.rng == nil {
+		return
+	}
+	bit := i.rng.Intn(len(buf) * 8)
+	buf[bit/8] ^= 1 << (bit % 8)
 }
 
 func (h *injectHandle) Write(p []byte) (int, error) {

@@ -260,6 +260,25 @@ func (h *memHandle) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed || !h.readable {
+		return 0, fmt.Errorf("errfs: readat on %s: bad handle", h.path)
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("errfs: readat on %s: negative offset", h.path)
+	}
+	if off >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
 func (h *memHandle) Write(p []byte) (int, error) {
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()

@@ -28,8 +28,12 @@ import (
 )
 
 // File is the I/O surface the durable layer needs from one open file.
+// ReaderAt is what the lazy snapshot reader pages column segments in with:
+// positioned reads that never disturb the sequential cursor, so concurrent
+// fetches can share one handle.
 type File interface {
 	io.Reader
+	io.ReaderAt
 	io.Writer
 	io.Closer
 	Sync() error

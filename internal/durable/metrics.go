@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"marketscope/internal/metrics"
+	"marketscope/internal/query"
 )
 
 // Metrics collects the durability layer's recovery and snapshot counters.
@@ -26,6 +27,18 @@ type Metrics struct {
 	// snapshotLoadBits is the float64 bit pattern of the seconds the last
 	// successful snapshot load took.
 	snapshotLoadBits atomic.Uint64
+	// pagePool is the store's column page pool, attached by Open when paging
+	// is enabled; the paged_* gauges read through it (zero when absent).
+	pagePool atomic.Pointer[query.PagePool]
+}
+
+func (m *Metrics) attachPagePool(p *query.PagePool) { m.pagePool.Store(p) }
+
+func (m *Metrics) pageStats() query.PageStats {
+	if p := m.pagePool.Load(); p != nil {
+		return p.Stats()
+	}
+	return query.PageStats{}
 }
 
 func (m *Metrics) setSnapshotLoadSeconds(s float64) {
@@ -55,4 +68,19 @@ func (m *Metrics) Register(reg *metrics.Registry) {
 	reg.GaugeFunc("durable_last_snapshot_generation",
 		"Cursor of the newest snapshot generation, 0 when none.",
 		func() float64 { return float64(m.LastSnapshotGeneration.Load()) })
+	reg.GaugeFunc("paged_resident_bytes",
+		"Decoded bytes of snapshot columns currently resident in the page pool.",
+		func() float64 { return float64(m.pageStats().ResidentBytes) })
+	reg.GaugeFunc("paged_fetches",
+		"Column page-in fetches started (including retries' first attempts).",
+		func() float64 { return float64(m.pageStats().Fetches) })
+	reg.GaugeFunc("paged_evictions",
+		"Resident columns evicted to stay under the page budget.",
+		func() float64 { return float64(m.pageStats().Evictions) })
+	reg.GaugeFunc("paged_fetch_retries",
+		"Transient fetch failures retried with backoff.",
+		func() float64 { return float64(m.pageStats().Retries) })
+	reg.GaugeFunc("paged_quarantines",
+		"Columns quarantined after checksum failure and rebuilt from rows.",
+		func() float64 { return float64(m.pageStats().Quarantines) })
 }

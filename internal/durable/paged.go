@@ -1,0 +1,671 @@
+package durable
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+
+	"marketscope/internal/appmeta"
+	"marketscope/internal/query"
+)
+
+// Version-2 snapshots split every column into resident metadata (section 6)
+// and on-disk value pages (section 7) so a reader can serve a corpus bigger
+// than RAM: openSnapshotLazy validates the file's structure — header,
+// records, blobs, column metadata, footer, exact EOF — without reading a
+// single value page, and the returned snapshotFetcher pages columns in on
+// first touch through query's budgeted pool.
+//
+// A page frame is [ payloadLen u32 | crc u32 | payload ], CRC32-C over the
+// payload alone, so each fetch verifies exactly the bytes it read. The page
+// table (offset, payload length, row count per page) lives in the
+// checksummed metadata section, which means a fetch can also detect frames
+// that moved or changed length — a mismatch is corruption, not confusion.
+
+// pageRows is the number of rows per column page. A variable, not a
+// constant, so the torture suite can shrink pages and drive multi-page
+// fetches on small corpora; production code must not change it after a
+// snapshot has been written (readers are geometry-agnostic — the page table
+// is authoritative — so mixed-geometry files still load).
+var pageRows = 32768
+
+// maxLazySection bounds a section length read from a file header before the
+// payload is allocated — a corrupted length must not drive the allocation.
+const maxLazySection = 1 << 31
+
+// pageEntry locates one page frame inside the pages-section payload.
+type pageEntry struct {
+	off    uint64 // frame start, relative to the section payload
+	length uint32 // frame payload length (excludes the 8-byte frame header)
+	rows   uint32
+}
+
+// pagedColumn is one column's resident half: every structural field of the
+// exported column except the value planes, plus the page table that locates
+// them and the decoded-size estimate the page budget charges.
+type pagedColumn struct {
+	meta       query.ColumnData // value planes nil
+	rows       int
+	layout     uint8 // strLayoutPlain/strLayoutDict for strings, 0 otherwise
+	valueBytes int64
+	pages      []pageEntry
+}
+
+// columnRows is the row count of an exported column, by kind.
+func columnRows(cd *query.ColumnData) int {
+	switch cd.Kind {
+	case query.KindInt:
+		return len(cd.Ints)
+	case query.KindFloat:
+		return len(cd.Floats)
+	case query.KindBool:
+		return len(cd.Bools)
+	case query.KindTime:
+		return len(cd.TimeSec)
+	case query.KindString:
+		if cd.Dict != nil {
+			return len(cd.Codes)
+		}
+		return len(cd.Strs)
+	}
+	return 0
+}
+
+// columnValueBytes estimates the decoded in-memory size of a column's value
+// planes — the budget charge while the column is resident. Never zero: a
+// zero charge would make a column invisible to the budget.
+func columnValueBytes(cd *query.ColumnData, n int) int64 {
+	var b int64
+	switch cd.Kind {
+	case query.KindInt, query.KindFloat:
+		b = 8 * int64(n)
+	case query.KindBool:
+		b = int64(n)
+	case query.KindTime:
+		b = 24 * int64(n) // time.Time is three words
+	case query.KindString:
+		if cd.Dict != nil {
+			b = 4 * int64(n) // codes; the dictionary stays resident
+		} else {
+			b = 16 * int64(n) // string headers
+			for _, s := range cd.Strs {
+				b += int64(len(s))
+			}
+		}
+	}
+	if b <= 0 {
+		b = 1
+	}
+	return b
+}
+
+// buildPagedColumns splits exported columns into resident metadata and the
+// pages-section payload (page frames, in column then row order).
+func buildPagedColumns(cols []query.ColumnData) ([]pagedColumn, []byte) {
+	metas := make([]pagedColumn, len(cols))
+	var pages []byte
+	for i := range cols {
+		cd := &cols[i]
+		n := columnRows(cd)
+		m := pagedColumn{rows: n, valueBytes: columnValueBytes(cd, n)}
+		m.meta = query.ColumnData{
+			Name: cd.Name, Kind: cd.Kind,
+			NullWords: cd.NullWords, NullCount: cd.NullCount, HasNaN: cd.HasNaN,
+			Dict: cd.Dict, SegmentRows: cd.SegmentRows, Zones: cd.Zones,
+			Postings: cd.Postings,
+		}
+		if cd.Kind == query.KindString && cd.Dict != nil {
+			m.layout = strLayoutDict
+		}
+		for lo := 0; lo < n; lo += pageRows {
+			hi := lo + pageRows
+			if hi > n {
+				hi = n
+			}
+			payload := encodePagePayload(cd, lo, hi)
+			entry := pageEntry{off: uint64(len(pages)), length: uint32(len(payload)), rows: uint32(hi - lo)}
+			pages = binary.LittleEndian.AppendUint32(pages, entry.length)
+			pages = binary.LittleEndian.AppendUint32(pages, crc32.Checksum(payload, castagnoli))
+			pages = append(pages, payload...)
+			m.pages = append(m.pages, entry)
+		}
+		metas[i] = m
+	}
+	return metas, pages
+}
+
+// encodePagePayload serializes one page's slice of the value planes,
+// rows [lo,hi). Time pages are planar within the page, mirroring the v1
+// column layout.
+func encodePagePayload(cd *query.ColumnData, lo, hi int) []byte {
+	var e encoder
+	switch cd.Kind {
+	case query.KindInt:
+		for _, v := range cd.Ints[lo:hi] {
+			e.i64(v)
+		}
+	case query.KindFloat:
+		for _, v := range cd.Floats[lo:hi] {
+			e.f64(v)
+		}
+	case query.KindBool:
+		for _, v := range cd.Bools[lo:hi] {
+			e.bool(v)
+		}
+	case query.KindTime:
+		for _, v := range cd.TimeSec[lo:hi] {
+			e.i64(v)
+		}
+		for _, v := range cd.TimeNsec[lo:hi] {
+			e.i32(v)
+		}
+		for _, v := range cd.TimeOff[lo:hi] {
+			e.i32(v)
+		}
+	case query.KindString:
+		if cd.Dict != nil {
+			for _, v := range cd.Codes[lo:hi] {
+				e.u32(v)
+			}
+		} else {
+			e.strsPlane(cd.Strs[lo:hi])
+		}
+	}
+	return e.buf
+}
+
+// decodePageInto decodes one page payload into rows [lo,hi) of the column's
+// preallocated value planes. The payload must be an independent allocation —
+// decoded strings alias it.
+func decodePageInto(cd *query.ColumnData, layout uint8, lo, hi int, payload []byte) error {
+	d := &decoder{buf: payload}
+	n := hi - lo
+	switch cd.Kind {
+	case query.KindInt:
+		copy(cd.Ints[lo:hi], d.i64s(n))
+	case query.KindFloat:
+		copy(cd.Floats[lo:hi], d.f64s(n))
+	case query.KindBool:
+		copy(cd.Bools[lo:hi], d.bools(n))
+	case query.KindTime:
+		copy(cd.TimeSec[lo:hi], d.i64s(n))
+		copy(cd.TimeNsec[lo:hi], d.i32s(n))
+		copy(cd.TimeOff[lo:hi], d.i32s(n))
+	case query.KindString:
+		if layout == strLayoutDict {
+			copy(cd.Codes[lo:hi], d.u32s(n))
+		} else {
+			if cnt := d.count(4); d.err == nil && cnt != n {
+				d.fail("page holds %d strings, want %d", cnt, n)
+			}
+			copy(cd.Strs[lo:hi], d.strsPlane(n))
+		}
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if d.remaining() != 0 {
+		return fmt.Errorf("page has %d trailing bytes", d.remaining())
+	}
+	return nil
+}
+
+// newColumnData clones the resident metadata and allocates empty value
+// planes for the page decoder to fill. The metadata slices (null bitmap,
+// dictionary, zones, postings) are shared, not copied — they are immutable.
+func (m *pagedColumn) newColumnData() query.ColumnData {
+	cd := m.meta
+	n := m.rows
+	switch cd.Kind {
+	case query.KindInt:
+		cd.Ints = make([]int64, n)
+	case query.KindFloat:
+		cd.Floats = make([]float64, n)
+	case query.KindBool:
+		cd.Bools = make([]bool, n)
+	case query.KindTime:
+		cd.TimeSec = make([]int64, n)
+		cd.TimeNsec = make([]int32, n)
+		cd.TimeOff = make([]int32, n)
+	case query.KindString:
+		if m.layout == strLayoutDict {
+			cd.Codes = make([]uint32, n)
+		} else {
+			cd.Strs = make([]string, n)
+		}
+	}
+	return cd
+}
+
+func encodeColMetaSection(metas []pagedColumn) []byte {
+	var e encoder
+	e.u32(uint32(len(metas)))
+	for i := range metas {
+		m := &metas[i]
+		cd := &m.meta
+		e.str(cd.Name)
+		e.str(string(cd.Kind))
+		e.u32(uint32(m.rows))
+		e.u8(m.layout)
+		e.u32(uint32(len(cd.NullWords)))
+		for _, w := range cd.NullWords {
+			e.u64(w)
+		}
+		e.u64(uint64(cd.NullCount))
+		e.bool(cd.HasNaN)
+		if m.layout == strLayoutDict {
+			e.strsPlane(cd.Dict)
+		}
+		e.u32(uint32(cd.SegmentRows))
+		e.u32(uint32(len(cd.Zones)))
+		for _, z := range cd.Zones {
+			e.i32(z.Rows)
+			e.i32(z.Nulls)
+			e.i32(z.MinRow)
+			e.i32(z.MaxRow)
+		}
+		e.bool(cd.Postings != nil)
+		if cd.Postings != nil {
+			e.u32(uint32(len(cd.Postings)))
+			for _, rows := range cd.Postings {
+				e.u32(uint32(len(rows)))
+				for _, r := range rows {
+					e.i32(r)
+				}
+			}
+		}
+		e.u64(uint64(m.valueBytes))
+		e.u32(uint32(len(m.pages)))
+		for _, p := range m.pages {
+			e.u64(p.off)
+			e.u32(p.length)
+			e.u32(p.rows)
+		}
+	}
+	return e.buf
+}
+
+// decodeColMetaSection decodes and structurally validates the column
+// metadata, including every page-table entry against the pages-section
+// length — a fetch must never be pointed outside the section. Value-level
+// validation (bitmap population, dictionary order, zone invariants) stays
+// where it always was: query's import, run on every fetched column.
+func decodeColMetaSection(payload []byte, numColumns int, pagesLen uint64) ([]pagedColumn, error) {
+	d := &decoder{buf: payload}
+	if n := d.count(32); d.err == nil && n != numColumns {
+		d.fail("column count %d disagrees with header %d", n, numColumns)
+	}
+	metas := make([]pagedColumn, 0, numColumns)
+	for i := 0; i < numColumns && d.err == nil; i++ {
+		var m pagedColumn
+		cd := &m.meta
+		cd.Name = d.str()
+		cd.Kind = query.Kind(d.str())
+		m.rows = int(d.u32())
+		m.layout = d.u8()
+		cd.NullWords = d.u64s(d.count(8))
+		cd.NullCount = int(d.u64())
+		cd.HasNaN = d.bool()
+		switch cd.Kind {
+		case query.KindInt, query.KindFloat, query.KindBool, query.KindTime:
+			if m.layout != 0 {
+				d.fail("column %q: layout %d on kind %q", cd.Name, m.layout, cd.Kind)
+			}
+		case query.KindString:
+			switch m.layout {
+			case strLayoutDict:
+				cd.Dict = d.strsPlane(d.count(4))
+				if cd.Dict == nil && d.err == nil {
+					cd.Dict = []string{}
+				}
+			case strLayoutPlain:
+			default:
+				d.fail("column %q: unknown string layout %d", cd.Name, m.layout)
+			}
+		default:
+			d.fail("unknown column kind %q", cd.Kind)
+		}
+		cd.SegmentRows = int(d.u32())
+		nz := d.count(16)
+		cd.Zones = make([]query.ZoneData, 0, nz)
+		for z := 0; z < nz && d.err == nil; z++ {
+			cd.Zones = append(cd.Zones, query.ZoneData{
+				Rows: d.i32(), Nulls: d.i32(), MinRow: d.i32(), MaxRow: d.i32(),
+			})
+		}
+		if len(cd.Zones) == 0 {
+			cd.Zones = nil
+		}
+		if d.bool() {
+			np := d.count(4)
+			cd.Postings = make([][]int32, 0, np)
+			for p := 0; p < np && d.err == nil; p++ {
+				cd.Postings = append(cd.Postings, d.i32s(d.count(4)))
+			}
+		}
+		m.valueBytes = int64(d.u64())
+		if d.err == nil && m.valueBytes <= 0 {
+			d.fail("column %q: value-byte estimate %d", cd.Name, m.valueBytes)
+		}
+		npages := d.count(16)
+		m.pages = make([]pageEntry, 0, npages)
+		rowSum := uint64(0)
+		prevEnd := uint64(0)
+		for p := 0; p < npages && d.err == nil; p++ {
+			entry := pageEntry{off: d.u64(), length: d.u32(), rows: d.u32()}
+			if d.err != nil {
+				break
+			}
+			end := entry.off + 8 + uint64(entry.length)
+			if entry.off < prevEnd || end < entry.off || end > pagesLen {
+				d.fail("column %q: page %d frame [%d,%d) outside pages section of %d bytes",
+					cd.Name, p, entry.off, end, pagesLen)
+				break
+			}
+			if entry.rows == 0 {
+				d.fail("column %q: page %d holds no rows", cd.Name, p)
+				break
+			}
+			prevEnd = end
+			rowSum += uint64(entry.rows)
+			m.pages = append(m.pages, entry)
+		}
+		if d.err == nil && rowSum != uint64(m.rows) {
+			d.fail("column %q: page table covers %d rows, column has %d", cd.Name, rowSum, m.rows)
+		}
+		metas = append(metas, m)
+	}
+	if d.err == nil && d.remaining() != 0 {
+		d.fail("trailing bytes")
+	}
+	if d.err != nil {
+		return nil, corrupt("column meta: %v", d.err)
+	}
+	return metas, nil
+}
+
+// assembleColumnsEager materializes every column from its pages — the
+// version-2 path of a full (non-lazy) snapshot load. Each page frame is
+// checksum-verified exactly as a lazy fetch would.
+func assembleColumnsEager(metas []pagedColumn, pages []byte) ([]query.ColumnData, error) {
+	cols := make([]query.ColumnData, 0, len(metas))
+	for i := range metas {
+		m := &metas[i]
+		cd := m.newColumnData()
+		lo := 0
+		for _, pg := range m.pages {
+			payload, err := verifyPageFrame(pages[pg.off:pg.off+8+uint64(pg.length)], pg.length)
+			if err != nil {
+				return nil, corrupt("column %q page at %d: %v", m.meta.Name, pg.off, err)
+			}
+			hi := lo + int(pg.rows)
+			if err := decodePageInto(&cd, m.layout, lo, hi, payload); err != nil {
+				return nil, corrupt("column %q page at %d: %v", m.meta.Name, pg.off, err)
+			}
+			lo = hi
+		}
+		cols = append(cols, cd)
+	}
+	return cols, nil
+}
+
+// verifyPageFrame checks one page frame's length echo and payload checksum
+// and returns the payload.
+func verifyPageFrame(frame []byte, wantLen uint32) ([]byte, error) {
+	if binary.LittleEndian.Uint32(frame) != wantLen {
+		return nil, fmt.Errorf("frame length %d disagrees with page table %d",
+			binary.LittleEndian.Uint32(frame), wantLen)
+	}
+	payload := frame[8:]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(frame[4:]) {
+		return nil, errors.New("page checksum mismatch")
+	}
+	return payload, nil
+}
+
+// errSnapshotNotPaged marks a version-1 snapshot handed to the lazy opener:
+// the file is valid but carries no page table, so the caller must fall back
+// to the eager loader (and a fully materialized engine).
+var errSnapshotNotPaged = errors.New("durable: snapshot has no paged column layout")
+
+// lazySnapshot is the eagerly-validated half of a version-2 snapshot:
+// everything recovery needs to rebuild the ingestor, plus a fetcher that
+// pages the column value planes in on demand. fetcher is nil when the
+// snapshot holds no columns.
+type lazySnapshot struct {
+	cursor    uint64
+	crawlTime time.Time
+	records   []appmeta.Record
+	blobs     map[appmeta.Key][]byte
+	fetcher   *snapshotFetcher
+}
+
+// readSectionAt reads and checksum-verifies one expected section frame at
+// off, returning its payload and the offset just past the frame.
+func readSectionAt(f File, off int64, wantID uint32) ([]byte, int64, error) {
+	var hdr [12]byte
+	if _, err := f.ReadAt(hdr[:], off); err != nil {
+		return nil, 0, fmt.Errorf("durable: read section frame: %w", err)
+	}
+	id := binary.LittleEndian.Uint32(hdr[:])
+	if id != wantID {
+		return nil, 0, corrupt("section %d where %d expected", id, wantID)
+	}
+	n := binary.LittleEndian.Uint64(hdr[4:])
+	if n > maxLazySection {
+		return nil, 0, corrupt("section %d length %d implausible", id, n)
+	}
+	body := make([]byte, n+4)
+	if _, err := f.ReadAt(body, off+12); err != nil {
+		return nil, 0, fmt.Errorf("durable: read section %d: %w", id, err)
+	}
+	payload := body[:n]
+	crc := binary.LittleEndian.Uint32(body[n:])
+	if err := checkSection(id, payload, crc); err != nil {
+		return nil, 0, err
+	}
+	return payload, off + 12 + int64(n) + 4, nil
+}
+
+// openSnapshotLazy validates a version-2 snapshot's structure — magic,
+// header, records, blobs, column metadata, footer frame, exact EOF — while
+// leaving the pages section untouched on disk, and returns the decoded
+// eager half plus a fetcher over the pages. A version-1 file returns
+// errSnapshotNotPaged; a future version returns ErrSnapshotVersion.
+func openSnapshotLazy(fsys FS, path string) (*lazySnapshot, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open snapshot: %w", err)
+	}
+	defer f.Close()
+
+	magic := make([]byte, len(snapMagic))
+	if _, err := f.ReadAt(magic, 0); err != nil {
+		return nil, corrupt("bad magic: %v", err)
+	}
+	if string(magic) != snapMagic {
+		if string(magic[:len(snapMagicPrefix)]) == snapMagicPrefix {
+			return nil, fmt.Errorf("%w: magic %q, this build reads %q", ErrSnapshotVersion, magic, snapMagic)
+		}
+		return nil, corrupt("bad magic")
+	}
+	off := int64(len(snapMagic))
+
+	hdrPayload, off, err := readSectionAt(f, off, secHeader)
+	if err != nil {
+		return nil, err
+	}
+	hd := &decoder{buf: hdrPayload}
+	version := hd.u32()
+	lz := &lazySnapshot{cursor: hd.u64(), crawlTime: hd.timeVal()}
+	numRecords := int(hd.u32())
+	numBlobs := int(hd.u32())
+	numColumns := int(hd.u32())
+	if hd.err != nil {
+		return nil, corrupt("header: %v", hd.err)
+	}
+	switch version {
+	case snapVersion:
+		return nil, errSnapshotNotPaged
+	case snapVersionPaged:
+	default:
+		return nil, fmt.Errorf("%w: version %d, this build reads up to %d",
+			ErrSnapshotVersion, version, snapVersionPaged)
+	}
+
+	recPayload, off, err := readSectionAt(f, off, secRecords)
+	if err != nil {
+		return nil, err
+	}
+	if lz.records, err = decodeRecordsSection(recPayload, numRecords); err != nil {
+		return nil, corrupt("records: %v", err)
+	}
+	blobPayload, off, err := readSectionAt(f, off, secBlobs)
+	if err != nil {
+		return nil, err
+	}
+	if lz.blobs, err = decodeBlobsSection(blobPayload, numBlobs); err != nil {
+		return nil, err
+	}
+	metaPayload, off, err := readSectionAt(f, off, secColMeta)
+	if err != nil {
+		return nil, err
+	}
+
+	// The pages section: read only its 12-byte frame header, record where the
+	// payload starts, and skip past it. Its bytes are covered page by page.
+	var hdr [12]byte
+	if _, err := f.ReadAt(hdr[:], off); err != nil {
+		return nil, fmt.Errorf("durable: read pages frame: %w", err)
+	}
+	if id := binary.LittleEndian.Uint32(hdr[:]); id != secColPages {
+		return nil, corrupt("section %d where %d expected", id, secColPages)
+	}
+	pagesLen := binary.LittleEndian.Uint64(hdr[4:])
+	if pagesLen > maxLazySection {
+		return nil, corrupt("section %d length %d implausible", secColPages, pagesLen)
+	}
+	pagesOff := off + 12
+	off = pagesOff + int64(pagesLen) + 4 // payload + section crc (unread)
+
+	metas, err := decodeColMetaSection(metaPayload, numColumns, pagesLen)
+	if err != nil {
+		return nil, err
+	}
+
+	footer, off, err := readSectionAt(f, off, secFooter)
+	if err != nil {
+		return nil, err
+	}
+	if string(footer) != snapFooter {
+		return nil, corrupt("bad footer")
+	}
+	// The footer must be the last byte of the file — trailing data means the
+	// write protocol was violated and nothing about the file is trusted.
+	var probe [1]byte
+	if n, err := f.ReadAt(probe[:], off); err != io.EOF || n != 0 {
+		return nil, corrupt("trailing bytes after footer")
+	}
+
+	if numColumns > 0 {
+		sf := &snapshotFetcher{
+			fsys:     fsys,
+			path:     path,
+			pagesOff: pagesOff,
+			order:    make([]string, 0, len(metas)),
+			byName:   make(map[string]*pagedColumn, len(metas)),
+		}
+		for i := range metas {
+			m := &metas[i]
+			if _, dup := sf.byName[m.meta.Name]; dup {
+				return nil, corrupt("duplicate column %q", m.meta.Name)
+			}
+			sf.order = append(sf.order, m.meta.Name)
+			sf.byName[m.meta.Name] = m
+		}
+		lz.fetcher = sf
+	}
+	return lz, nil
+}
+
+// snapshotFetcher implements query.ColumnFetcher over a version-2 snapshot:
+// each fetch opens the file read-only, positioned-reads the column's page
+// frames, verifies every frame checksum and decodes the planes into a
+// ColumnData sharing the resident metadata. Safe for concurrent use — every
+// fetch owns its handle and its buffers.
+type snapshotFetcher struct {
+	fsys     FS
+	path     string
+	pagesOff int64
+	order    []string
+	byName   map[string]*pagedColumn
+}
+
+func (sf *snapshotFetcher) Columns() []string {
+	return append([]string(nil), sf.order...)
+}
+
+func (sf *snapshotFetcher) ColumnBytes(name string) int64 {
+	if m := sf.byName[name]; m != nil {
+		return m.valueBytes
+	}
+	return 0
+}
+
+// FetchColumn reads one column's pages. Checksum or structural failures wrap
+// query.ErrPageCorrupt (the pool quarantines the column); every other error
+// — open failures, short or failed reads — is transient and retried by the
+// pool.
+func (sf *snapshotFetcher) FetchColumn(ctx context.Context, name string) (*query.ColumnData, error) {
+	m := sf.byName[name]
+	if m == nil {
+		return nil, fmt.Errorf("durable: snapshot has no column %q", name)
+	}
+	f, err := sf.fsys.OpenFile(sf.path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open snapshot for paging: %w", err)
+	}
+	defer f.Close()
+
+	cd := m.newColumnData()
+	lo := 0
+	for _, pg := range m.pages {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		frame := make([]byte, 8+int(pg.length))
+		if _, err := f.ReadAt(frame, sf.pagesOff+int64(pg.off)); err != nil {
+			return nil, fmt.Errorf("durable: read column %q page at %d: %w", name, pg.off, err)
+		}
+		payload, err := verifyPageFrame(frame, pg.length)
+		if err != nil {
+			return nil, fmt.Errorf("%w: column %q page at %d: %v", query.ErrPageCorrupt, name, pg.off, err)
+		}
+		hi := lo + int(pg.rows)
+		if err := decodePageInto(&cd, m.layout, lo, hi, payload); err != nil {
+			return nil, fmt.Errorf("%w: column %q page at %d: %v", query.ErrPageCorrupt, name, pg.off, err)
+		}
+		lo = hi
+	}
+	return &cd, nil
+}
+
+// loadSnapshotShallow decodes only a snapshot's records and blobs — what the
+// blob harvest needs to seed from a base generation. Version 2 gets this for
+// free from the lazy opener (the pages stay on disk); version 1 falls back
+// to the full load.
+func loadSnapshotShallow(fsys FS, path string) (*snapshotData, error) {
+	lz, err := openSnapshotLazy(fsys, path)
+	if err == nil {
+		return &snapshotData{cursor: lz.cursor, crawlTime: lz.crawlTime, records: lz.records, blobs: lz.blobs}, nil
+	}
+	if !errors.Is(err, errSnapshotNotPaged) {
+		return nil, err
+	}
+	return loadSnapshotFile(fsys, path)
+}

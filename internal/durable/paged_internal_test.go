@@ -1,0 +1,278 @@
+package durable
+
+// Unit tests for the version-2 paged snapshot format: both formats load, the
+// lazy opener validates structure without touching pages, per-page checksums
+// catch corruption at fetch time, multi-page columns round-trip, and files
+// from a newer format version are refused with ErrSnapshotVersion (never
+// quarantined, never partially adopted).
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"marketscope/internal/query"
+)
+
+// TestSnapshotV1StillLoads pins backward compatibility: a version-1 file (the
+// pre-paging layout) must decode byte-identically even though this build
+// writes version 2.
+func TestSnapshotV1StillLoads(t *testing.T) {
+	want := testSnapshotData()
+	got, err := decodeSnapshot(encodeSnapshotV1(want))
+	if err != nil {
+		t.Fatalf("decode v1: %v", err)
+	}
+	if got.cursor != want.cursor || !got.crawlTime.Equal(want.crawlTime) {
+		t.Fatalf("header mismatch: %d/%v", got.cursor, got.crawlTime)
+	}
+	if !reflect.DeepEqual(got.records, want.records) {
+		t.Fatal("records mismatch")
+	}
+	if !reflect.DeepEqual(got.blobs, want.blobs) {
+		t.Fatalf("blobs mismatch: %v", got.blobs)
+	}
+	if !reflect.DeepEqual(got.columns, want.columns) {
+		t.Fatalf("columns mismatch:\n got %+v\nwant %+v", got.columns, want.columns)
+	}
+}
+
+// TestSnapshotMultiPageRoundTrip shrinks pageRows so every column spans
+// several pages, and requires both the eager decode and the every-flip
+// detection property to hold on the multi-page layout.
+func TestSnapshotMultiPageRoundTrip(t *testing.T) {
+	old := pageRows
+	pageRows = 2
+	defer func() { pageRows = old }()
+
+	want := testSnapshotData()
+	full := encodeSnapshot(want)
+	got, err := decodeSnapshot(full)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got.columns, want.columns) {
+		t.Fatalf("columns mismatch:\n got %+v\nwant %+v", got.columns, want.columns)
+	}
+	for i := range full {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x5a
+		if _, err := decodeSnapshot(mut); err == nil {
+			t.Fatalf("flip at byte %d decoded cleanly", i)
+		}
+	}
+}
+
+// TestOpenSnapshotLazyRoundTrip writes a snapshot, opens it lazily, and
+// fetches every column through the fetcher: each must equal the exported
+// original exactly.
+func TestOpenSnapshotLazyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := testSnapshotData()
+	path, err := writeSnapshot(OSFS, dir, want)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	lz, err := openSnapshotLazy(OSFS, path)
+	if err != nil {
+		t.Fatalf("lazy open: %v", err)
+	}
+	if lz.cursor != want.cursor || !lz.crawlTime.Equal(want.crawlTime) {
+		t.Fatalf("header mismatch: %d/%v", lz.cursor, lz.crawlTime)
+	}
+	if !reflect.DeepEqual(lz.records, want.records) {
+		t.Fatal("records mismatch")
+	}
+	if !reflect.DeepEqual(lz.blobs, want.blobs) {
+		t.Fatalf("blobs mismatch: %v", lz.blobs)
+	}
+	if lz.fetcher == nil {
+		t.Fatal("no fetcher on a snapshot with columns")
+	}
+	names := lz.fetcher.Columns()
+	if len(names) != len(want.columns) {
+		t.Fatalf("fetcher lists %d columns, want %d", len(names), len(want.columns))
+	}
+	for i, wc := range want.columns {
+		if names[i] != wc.Name {
+			t.Fatalf("column %d is %q, want %q", i, names[i], wc.Name)
+		}
+		if b := lz.fetcher.ColumnBytes(wc.Name); b <= 0 {
+			t.Fatalf("column %q budget charge %d", wc.Name, b)
+		}
+		got, err := lz.fetcher.FetchColumn(context.Background(), wc.Name)
+		if err != nil {
+			t.Fatalf("fetch %q: %v", wc.Name, err)
+		}
+		if !reflect.DeepEqual(*got, wc) {
+			t.Fatalf("column %q mismatch:\n got %+v\nwant %+v", wc.Name, *got, wc)
+		}
+	}
+	if _, err := lz.fetcher.FetchColumn(context.Background(), "no-such-column"); err == nil {
+		t.Fatal("unknown column fetched")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := lz.fetcher.FetchColumn(ctx, names[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled fetch err = %v", err)
+	}
+}
+
+// TestLazyFetchDetectsPageCorruption flips one byte inside the pages section
+// after the lazy open validated the file: the open itself must not notice
+// (pages are read lazily) but the fetch of the damaged column must fail with
+// query.ErrPageCorrupt, while undamaged columns still fetch cleanly.
+func TestLazyFetchDetectsPageCorruption(t *testing.T) {
+	dir := t.TempDir()
+	want := testSnapshotData()
+	path, err := writeSnapshot(OSFS, dir, want)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	lz, err := openSnapshotLazy(OSFS, path)
+	if err != nil {
+		t.Fatalf("lazy open: %v", err)
+	}
+	first := lz.fetcher.byName[lz.fetcher.order[0]]
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the first column's first page frame.
+	blob[lz.fetcher.pagesOff+int64(first.pages[0].off)+8] ^= 0x5a
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lz2, err := openSnapshotLazy(OSFS, path)
+	if err != nil {
+		t.Fatalf("lazy reopen of page-corrupt file: %v", err)
+	}
+	if _, err := lz2.fetcher.FetchColumn(context.Background(), lz2.fetcher.order[0]); !errors.Is(err, query.ErrPageCorrupt) {
+		t.Fatalf("corrupt fetch err = %v, want ErrPageCorrupt", err)
+	}
+	if _, err := lz2.fetcher.FetchColumn(context.Background(), lz2.fetcher.order[1]); err != nil {
+		t.Fatalf("undamaged column fetch: %v", err)
+	}
+	// The eager loader must refuse the whole file.
+	if _, err := loadSnapshotFile(OSFS, path); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("eager load of page-corrupt file err = %v", err)
+	}
+}
+
+// patchHeaderVersion rewrites the version field of an encoded snapshot's
+// header section and fixes the section checksum, producing a structurally
+// valid file claiming a newer format.
+func patchHeaderVersion(t *testing.T, buf []byte, version uint32) []byte {
+	t.Helper()
+	out := append([]byte(nil), buf...)
+	n := binary.LittleEndian.Uint64(out[len(snapMagic)+4:])
+	payload := out[len(snapMagic)+12 : len(snapMagic)+12+int(n)]
+	binary.LittleEndian.PutUint32(payload, version)
+	binary.LittleEndian.PutUint32(out[len(snapMagic)+12+int(n):], crc32.Checksum(payload, castagnoli))
+	return out
+}
+
+// TestSnapshotFutureVersionRefused covers both refusal triggers — an unknown
+// magic with the MSNAP prefix, and a known magic carrying a header version
+// this build does not read — on both the eager and the lazy path. The error
+// must be ErrSnapshotVersion, distinguishable from corruption.
+func TestSnapshotFutureVersionRefused(t *testing.T) {
+	full := encodeSnapshot(testSnapshotData())
+
+	newerMagic := append([]byte(nil), full...)
+	copy(newerMagic, "MSNAP009")
+	if _, err := decodeSnapshot(newerMagic); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("newer magic eager err = %v", err)
+	}
+	newerHeader := patchHeaderVersion(t, full, snapVersionPaged+1)
+	if _, err := decodeSnapshot(newerHeader); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("newer header eager err = %v", err)
+	}
+	// A non-MSNAP magic stays plain corruption.
+	junkMagic := append([]byte(nil), full...)
+	copy(junkMagic, "NOTSNAPS")
+	if _, err := decodeSnapshot(junkMagic); !errors.Is(err, ErrSnapshotCorrupt) || errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("junk magic eager err = %v", err)
+	}
+
+	dir := t.TempDir()
+	for name, blob := range map[string][]byte{
+		"magic.snap":  newerMagic,
+		"header.snap": newerHeader,
+	} {
+		path := dir + "/" + name
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := openSnapshotLazy(OSFS, path); !errors.Is(err, ErrSnapshotVersion) {
+			t.Fatalf("%s lazy err = %v", name, err)
+		}
+		if _, err := loadSnapshotFile(OSFS, path); !errors.Is(err, ErrSnapshotVersion) {
+			t.Fatalf("%s eager err = %v", name, err)
+		}
+	}
+}
+
+// TestSnapshotUnknownSectionRefused overwrites the records section's id with
+// one no version defines: both readers must reject the file as corrupt — a
+// clear error, nothing partially adopted — rather than skipping the section.
+func TestSnapshotUnknownSectionRefused(t *testing.T) {
+	full := encodeSnapshot(testSnapshotData())
+	mut := append([]byte(nil), full...)
+	n := binary.LittleEndian.Uint64(mut[len(snapMagic)+4:])
+	recOff := len(snapMagic) + 12 + int(n) + 4
+	binary.LittleEndian.PutUint32(mut[recOff:], 99)
+	if _, err := decodeSnapshot(mut); !errors.Is(err, ErrSnapshotCorrupt) || errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("unknown section eager err = %v", err)
+	}
+	path := t.TempDir() + "/unknown.snap"
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openSnapshotLazy(OSFS, path); err == nil || errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("unknown section lazy err = %v", err)
+	}
+}
+
+// TestWALFutureVersionRefused patches a valid WAL's magic to a newer version:
+// the scan must fail with ErrWALVersion (not corruption, which would invite a
+// repair truncation) and leave the file untouched.
+func TestWALFutureVersionRefused(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/wal.log"
+	if err := createWAL(OSFS, dir, path, time.Date(2018, 6, 1, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	w, err := openWALAppender(OSFS, path, FsyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(0, encodeListings(testListings())); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(blob, "MSWAL002")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scanWAL(OSFS, path, nil); !errors.Is(err, ErrWALVersion) {
+		t.Fatalf("scan err = %v, want ErrWALVersion", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(blob) {
+		t.Fatalf("refused WAL changed size: %d -> %d", len(blob), len(after))
+	}
+}

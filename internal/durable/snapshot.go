@@ -14,7 +14,7 @@ import (
 	"marketscope/internal/query"
 )
 
-// Snapshot file layout (version in the magic):
+// Snapshot file layout (format version in the header section):
 //
 //	"MSNAP001"
 //	sections: repeated [ id u32 | len u64 | payload | crc u32 ]
@@ -22,8 +22,17 @@ import (
 //	  2 records: the dataset's metadata records, in dataset order, laid out
 //	             struct-of-arrays (one plane per field; see below)
 //	  3 blobs:   the APK bytes of every ingested key that supplied one
+//	  version 1 continues:
 //	  4 columns: the sealed column store (typed slices, null bitmaps,
 //	             dictionaries, bitmap posting lists, zone maps)
+//	  version 2 continues:
+//	  6 colmeta: per column, everything but the value planes (null bitmap,
+//	             dictionary, zone maps, posting lists) plus the page table
+//	             locating the planes inside section 7
+//	  7 pages:   per-page frames [ len u32 | crc u32 | payload ] of column
+//	             value planes — individually checksummed so a lazy reader can
+//	             fetch and verify one page without touching the rest
+//	  both end with:
 //	  5 footer:  "MSNAPEND"
 //
 // Every section payload carries its own CRC32-C; the footer proves the file
@@ -31,14 +40,26 @@ import (
 // atomically renamed to snap-<cursor>.snap and the directory fsynced, so a
 // crash mid-write leaves at worst a stale temp file — never a half-visible
 // snapshot. Any decode failure anywhere makes the whole file invalid; the
-// store then quarantines it and falls back.
+// store then quarantines it and falls back. The single exception is a header
+// announcing a version newer than this build understands: the file is
+// refused wholesale (ErrSnapshotVersion) but left in place for the newer
+// binary that wrote it.
+//
+// This build writes version 2 and reads both. Version 2's lazy reader and
+// the page codec live in paged.go.
 
 const (
-	snapMagic     = "MSNAP001"
-	snapFooter    = "MSNAPEND"
-	snapVersion   = 1
-	snapSuffix    = ".snap"
-	corruptSuffix = ".corrupt"
+	snapMagic       = "MSNAP001"
+	snapMagicPrefix = "MSNAP"
+	snapFooter      = "MSNAPEND"
+	snapVersion     = 1
+	// snapVersionPaged is the current write format: column value planes live
+	// in a per-page-checksummed pages section behind a page table, so a
+	// reader can validate the file and serve queries without materializing
+	// the columns (see paged.go).
+	snapVersionPaged = 2
+	snapSuffix       = ".snap"
+	corruptSuffix    = ".corrupt"
 )
 
 const (
@@ -47,6 +68,10 @@ const (
 	secBlobs   = 3
 	secColumns = 4
 	secFooter  = 5
+	// Version-2 sections: column metadata (everything but the value planes,
+	// plus the page table) and the page frames themselves.
+	secColMeta  = 6
+	secColPages = 7
 )
 
 // The records section is laid out struct-of-arrays: one plane per Record
@@ -190,6 +215,12 @@ func planeTime(sec int64, nsec, off int32) (time.Time, error) {
 // ErrSnapshotCorrupt wraps every structural failure loading a snapshot.
 var ErrSnapshotCorrupt = errors.New("durable: snapshot corrupt")
 
+// ErrSnapshotVersion marks a snapshot written by a newer format version than
+// this build reads. The file is not corrupt — a newer binary can load it — so
+// recovery skips it without quarantining and falls back to an older
+// generation or the WAL. Nothing of the file is adopted.
+var ErrSnapshotVersion = errors.New("durable: snapshot from a newer format version")
+
 // snapshotData is one decoded snapshot: everything recovery needs to rebuild
 // the ingestor (records + blobs + cursor + crawl time) plus the column store
 // that spares the engine its re-extraction.
@@ -221,17 +252,18 @@ func appendSection(buf []byte, id uint32, payload []byte) []byte {
 	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
 }
 
-func encodeSnapshot(data *snapshotData) []byte {
+func encodeHeaderSection(data *snapshotData, version uint32) []byte {
 	var hdr encoder
-	hdr.u32(snapVersion)
+	hdr.u32(version)
 	hdr.u64(data.cursor)
 	hdr.timeVal(data.crawlTime)
 	hdr.u32(uint32(len(data.records)))
 	hdr.u32(uint32(len(data.blobs)))
 	hdr.u32(uint32(len(data.columns)))
+	return hdr.buf
+}
 
-	recs := encoder{buf: encodeRecordsSection(data.records)}
-
+func encodeBlobsSection(data *snapshotData) []byte {
 	keys := make([]appmeta.Key, 0, len(data.blobs))
 	for k := range data.blobs {
 		keys = append(keys, k)
@@ -249,7 +281,24 @@ func encodeSnapshot(data *snapshotData) []byte {
 		blobs.str(k.Package)
 		blobs.bytes(data.blobs[k])
 	}
+	return blobs.buf
+}
 
+// encodeSnapshot serializes the current write format (version 2, paged
+// columns). encodeSnapshotV1 keeps the legacy layout alive for the dual-read
+// tests.
+func encodeSnapshot(data *snapshotData) []byte {
+	metas, pages := buildPagedColumns(data.columns)
+	buf := []byte(snapMagic)
+	buf = appendSection(buf, secHeader, encodeHeaderSection(data, snapVersionPaged))
+	buf = appendSection(buf, secRecords, encodeRecordsSection(data.records))
+	buf = appendSection(buf, secBlobs, encodeBlobsSection(data))
+	buf = appendSection(buf, secColMeta, encodeColMetaSection(metas))
+	buf = appendSection(buf, secColPages, pages)
+	return appendSection(buf, secFooter, []byte(snapFooter))
+}
+
+func encodeSnapshotV1(data *snapshotData) []byte {
 	var cols encoder
 	cols.u32(uint32(len(data.columns)))
 	for i := range data.columns {
@@ -257,9 +306,9 @@ func encodeSnapshot(data *snapshotData) []byte {
 	}
 
 	buf := []byte(snapMagic)
-	buf = appendSection(buf, secHeader, hdr.buf)
-	buf = appendSection(buf, secRecords, recs.buf)
-	buf = appendSection(buf, secBlobs, blobs.buf)
+	buf = appendSection(buf, secHeader, encodeHeaderSection(data, snapVersion))
+	buf = appendSection(buf, secRecords, encodeRecordsSection(data.records))
+	buf = appendSection(buf, secBlobs, encodeBlobsSection(data))
 	buf = appendSection(buf, secColumns, cols.buf)
 	return appendSection(buf, secFooter, []byte(snapFooter))
 }
@@ -312,13 +361,51 @@ func decodeSnapshot(buf []byte) (*snapshotData, error) {
 // column decode instead of after it. data.columns must not be touched before
 // wait returns nil.
 func decodeSnapshotOverlap(buf []byte) (*snapshotData, func() error, error) {
-	if len(buf) < len(snapMagic) || string(buf[:len(snapMagic)]) != snapMagic {
+	if len(buf) < len(snapMagic) {
 		return nil, nil, corrupt("bad magic")
 	}
-	want := []uint32{secHeader, secRecords, secBlobs, secColumns, secFooter}
+	if string(buf[:len(snapMagic)]) != snapMagic {
+		if string(buf[:len(snapMagicPrefix)]) == snapMagicPrefix {
+			return nil, nil, fmt.Errorf("%w: magic %q, this build reads %q",
+				ErrSnapshotVersion, buf[:len(snapMagic)], snapMagic)
+		}
+		return nil, nil, corrupt("bad magic")
+	}
+	// The header section comes first and names the version, which decides
+	// what sections must follow it.
+	gotID, hdrPayload, hdrCRC, off, err := nextSection(buf, len(snapMagic))
+	if err != nil {
+		return nil, nil, err
+	}
+	if gotID != secHeader {
+		return nil, nil, corrupt("section %d where %d expected", gotID, secHeader)
+	}
+	if err := checkSection(secHeader, hdrPayload, hdrCRC); err != nil {
+		return nil, nil, err
+	}
+	hd := &decoder{buf: hdrPayload}
+	version := hd.u32()
+	data := &snapshotData{cursor: hd.u64(), crawlTime: hd.timeVal()}
+	numRecords := int(hd.u32())
+	numBlobs := int(hd.u32())
+	numColumns := int(hd.u32())
+	if hd.err != nil {
+		return nil, nil, corrupt("header: %v", hd.err)
+	}
+	var colSections []uint32
+	switch version {
+	case snapVersion:
+		colSections = []uint32{secColumns}
+	case snapVersionPaged:
+		colSections = []uint32{secColMeta, secColPages}
+	default:
+		return nil, nil, fmt.Errorf("%w: version %d, this build reads up to %d",
+			ErrSnapshotVersion, version, snapVersionPaged)
+	}
+	want := append([]uint32{secRecords, secBlobs}, colSections...)
+	want = append(want, secFooter)
 	payloads := make(map[uint32][]byte, len(want))
 	crcs := make(map[uint32]uint32, len(want))
-	off := len(snapMagic)
 	for _, id := range want {
 		gotID, payload, crc, next, err := nextSection(buf, off)
 		if err != nil {
@@ -334,28 +421,13 @@ func decodeSnapshotOverlap(buf []byte) (*snapshotData, func() error, error) {
 	if off != len(buf) {
 		return nil, nil, corrupt("%d trailing bytes after footer", len(buf)-off)
 	}
-	// The small sections verify inline; the payload sections verify inside
-	// their decode goroutines below, ahead of any decoding.
-	for _, id := range []uint32{secHeader, secFooter} {
-		if err := checkSection(id, payloads[id], crcs[id]); err != nil {
-			return nil, nil, err
-		}
+	// The footer verifies inline; the payload sections verify inside their
+	// decode goroutines below, ahead of any decoding.
+	if err := checkSection(secFooter, payloads[secFooter], crcs[secFooter]); err != nil {
+		return nil, nil, err
 	}
 	if string(payloads[secFooter]) != snapFooter {
 		return nil, nil, corrupt("bad footer")
-	}
-
-	hd := &decoder{buf: payloads[secHeader]}
-	version := hd.u32()
-	data := &snapshotData{cursor: hd.u64(), crawlTime: hd.timeVal()}
-	numRecords := int(hd.u32())
-	numBlobs := int(hd.u32())
-	numColumns := int(hd.u32())
-	if hd.err != nil {
-		return nil, nil, corrupt("header: %v", hd.err)
-	}
-	if version != snapVersion {
-		return nil, nil, corrupt("version %d, want %d", version, snapVersion)
 	}
 
 	// The three payload sections are independent byte ranges; decode them
@@ -383,36 +455,21 @@ func decodeSnapshotOverlap(buf []byte) (*snapshotData, func() error, error) {
 		if blobErr = checkSection(secBlobs, payloads[secBlobs], crcs[secBlobs]); blobErr != nil {
 			return
 		}
-		bd := &decoder{buf: payloads[secBlobs]}
-		if n := bd.count(12); bd.err == nil && n != numBlobs {
-			bd.fail("blob count %d disagrees with header %d", n, numBlobs)
-		}
-		data.blobs = make(map[appmeta.Key][]byte, numBlobs)
-		for i := 0; i < numBlobs && bd.err == nil; i++ {
-			k := appmeta.Key{Market: bd.str(), Package: bd.str()}
-			b := bd.bytes()
-			if b == nil {
-				b = []byte{}
-			}
-			if bd.err != nil {
-				break
-			}
-			if _, dup := data.blobs[k]; dup {
-				bd.fail("duplicate blob key %s/%s", k.Market, k.Package)
-				break
-			}
-			data.blobs[k] = b
-		}
-		if bd.err == nil && bd.remaining() != 0 {
-			bd.fail("trailing bytes")
-		}
-		if bd.err != nil {
-			blobErr = corrupt("blobs: %v", bd.err)
-		}
+		data.blobs, blobErr = decodeBlobsSection(payloads[secBlobs], numBlobs)
 	}()
 	go func() {
 		defer close(colDone)
-		if colErr = checkSection(secColumns, payloads[secColumns], crcs[secColumns]); colErr != nil {
+		for _, id := range colSections {
+			if colErr = checkSection(id, payloads[id], crcs[id]); colErr != nil {
+				return
+			}
+		}
+		if version == snapVersionPaged {
+			metas, err := decodeColMetaSection(payloads[secColMeta], numColumns, uint64(len(payloads[secColPages])))
+			if err == nil {
+				data.columns, err = assembleColumnsEager(metas, payloads[secColPages])
+			}
+			colErr = err
 			return
 		}
 		cd := &decoder{buf: payloads[secColumns]}
@@ -444,6 +501,38 @@ func decodeSnapshotOverlap(buf []byte) (*snapshotData, func() error, error) {
 		}
 	}
 	return data, wait, nil
+}
+
+// decodeBlobsSection decodes the blob map (shared by the eager and lazy
+// loaders; the caller has already verified the section checksum).
+func decodeBlobsSection(payload []byte, numBlobs int) (map[appmeta.Key][]byte, error) {
+	bd := &decoder{buf: payload}
+	if n := bd.count(12); bd.err == nil && n != numBlobs {
+		bd.fail("blob count %d disagrees with header %d", n, numBlobs)
+	}
+	blobs := make(map[appmeta.Key][]byte, numBlobs)
+	for i := 0; i < numBlobs && bd.err == nil; i++ {
+		k := appmeta.Key{Market: bd.str(), Package: bd.str()}
+		b := bd.bytes()
+		if b == nil {
+			b = []byte{}
+		}
+		if bd.err != nil {
+			break
+		}
+		if _, dup := blobs[k]; dup {
+			bd.fail("duplicate blob key %s/%s", k.Market, k.Package)
+			break
+		}
+		blobs[k] = b
+	}
+	if bd.err == nil && bd.remaining() != 0 {
+		bd.fail("trailing bytes")
+	}
+	if bd.err != nil {
+		return nil, corrupt("blobs: %v", bd.err)
+	}
+	return blobs, nil
 }
 
 // String-layout tags inside a column record.

@@ -12,6 +12,7 @@ import (
 	"marketscope/internal/analysis"
 	"marketscope/internal/appmeta"
 	"marketscope/internal/ingest"
+	"marketscope/internal/query"
 )
 
 // walFileName is the write-ahead log inside the data directory.
@@ -38,6 +39,20 @@ type Options struct {
 	Ingest ingest.Options
 	// Metrics receives recovery and snapshot counters; nil allocates one.
 	Metrics *Metrics
+
+	// PageBudget enables lazy column paging for snapshot recovery: instead of
+	// materializing every column eagerly, the recovered engine leaves them on
+	// disk and pages them in on first touch, holding at most PageBudget
+	// decoded bytes resident (pinned columns excepted — a single request's
+	// working set always completes). 0 disables paging (fully materialized,
+	// the default); negative means page lazily with no residency bound.
+	PageBudget int64
+	// PageRetries bounds transient fetch-failure retries per page-in; 0 means
+	// 2, negative means none.
+	PageRetries int
+	// PageRetryDelay is the initial retry backoff (doubled per attempt);
+	// 0 means 2ms.
+	PageRetryDelay time.Duration
 }
 
 // Store is a crash-safe ingest.Applier: every acknowledged delta is in the
@@ -54,6 +69,13 @@ type Store struct {
 	ing  *ingest.Ingestor
 	w    *wal
 	live atomic.Bool // false while recovery replays the log
+
+	// pool is the column page pool when Options.PageBudget enabled paging,
+	// nil otherwise. servedDS tracks the dataset epoch most recently published
+	// so an epoch swap can retire the outgoing engine's pages.
+	pool     *query.PagePool
+	servedMu sync.Mutex
+	servedDS *analysis.Dataset
 
 	snapMu    sync.Mutex // serializes snapshot writes and the cadence counter
 	sinceSnap int
@@ -105,6 +127,24 @@ func Open(opts Options) (*Store, error) {
 	if s.opts.FsyncInterval <= 0 {
 		s.opts.FsyncInterval = 100 * time.Millisecond
 	}
+	if opts.PageBudget != 0 {
+		budget := opts.PageBudget
+		if budget < 0 {
+			budget = 0 // NewPagePool treats a non-positive budget as unbounded
+		}
+		retries := opts.PageRetries
+		if retries == 0 {
+			retries = 2
+		} else if retries < 0 {
+			retries = 0
+		}
+		delay := opts.PageRetryDelay
+		if delay <= 0 {
+			delay = 2 * time.Millisecond
+		}
+		s.pool = query.NewPagePool(budget, retries, delay)
+		s.m.attachPagePool(s.pool)
+	}
 	if err := s.fsys.MkdirAll(s.dir, 0o755); err != nil {
 		return nil, fmt.Errorf("durable: create data dir: %w", err)
 	}
@@ -122,6 +162,10 @@ func Open(opts Options) (*Store, error) {
 	ingOpts.Commit = s.commit
 	userPublish := ingOpts.Publish
 	ingOpts.Publish = func(ds *analysis.Dataset) {
+		// Track the served epoch even while recovery replays (live still
+		// false): a tail-replay swap must retire the paged snapshot engine
+		// exactly like a live swap would.
+		s.noteServed(ds)
 		if s.live.Load() && userPublish != nil {
 			userPublish(ds)
 		}
@@ -195,41 +239,36 @@ func (s *Store) recover(ingOpts ingest.Options, scan walScanInfo) error {
 	for _, name := range s.snapshotNames() {
 		path := joinPath(s.dir, name)
 		start := time.Now()
-		// The columns section keeps decoding in the background while the
-		// ingestor is rebuilt from records+blobs — the two longest phases of
-		// recovery overlap instead of running back to back.
-		data, waitCols, err := loadSnapshotFileOverlap(s.fsys, path)
+		ing, cursor, err := s.loadSnapshot(ingOpts, path)
 		if err == nil {
-			var ing *ingest.Ingestor
-			ing, err = ingest.Restore(ingOpts, data.cursor, data.records, analysis.APKBytesOf(data.blobs))
-			if cerr := waitCols(); err == nil {
-				err = cerr
+			s.noteServed(ing.Dataset())
+			replayed = 0
+			tailEmpty := scan.records == 0 || scan.lastSeq < cursor
+			if !tailEmpty {
+				err = replay(ing, cursor)
 			}
-			if err == nil && ing.Dataset() != nil {
-				err = ing.Dataset().InstallQueryColumns(data.columns)
-			}
-			if err == nil && ing.Dataset() == nil && len(data.columns) > 0 {
-				err = fmt.Errorf("%w: columns without records", ErrSnapshotCorrupt)
-			}
-			if err == nil {
-				replayed = 0
-				tailEmpty := scan.records == 0 || scan.lastSeq < data.cursor
-				if !tailEmpty {
-					err = replay(ing, data.cursor)
+			if err != nil {
+				if !errors.Is(err, ErrWALCorrupt) {
+					return err
 				}
-				if err != nil {
-					if !errors.Is(err, ErrWALCorrupt) {
-						return err
-					}
-				} else {
-					s.ing = ing
-					s.basePath = path
-					s.m.setSnapshotLoadSeconds(time.Since(start).Seconds())
-					s.m.LastSnapshotGeneration.Store(data.cursor)
-					s.m.WALRecordsReplayed.Store(replayed)
-					return nil
-				}
+			} else {
+				s.ing = ing
+				s.basePath = path
+				s.m.setSnapshotLoadSeconds(time.Since(start).Seconds())
+				s.m.LastSnapshotGeneration.Store(cursor)
+				s.m.WALRecordsReplayed.Store(replayed)
+				return nil
 			}
+			// Replay off this snapshot failed; drop whatever epoch it
+			// installed before falling back to an older generation.
+			s.noteServed(nil)
+		}
+		if errors.Is(err, ErrSnapshotVersion) {
+			// Written by a newer binary — not corrupt, just unreadable here.
+			// Leave the file exactly as found (a quarantine rename would
+			// destroy the newer binary's data) and fall back to an older
+			// generation or the WAL. Nothing of the file was adopted.
+			continue
 		}
 		if qerr := s.quarantine(name); qerr != nil {
 			return fmt.Errorf("durable: snapshot %s failed (%v) and could not be quarantined: %w", name, err, qerr)
@@ -244,6 +283,88 @@ func (s *Store) recover(ingOpts ingest.Options, scan walScanInfo) error {
 	s.ing = ing
 	s.m.WALRecordsReplayed.Store(replayed)
 	return nil
+}
+
+// loadSnapshot restores an ingestor (and its dataset's column store) from one
+// snapshot file. With paging enabled and a version-2 file, the columns stay
+// on disk: only records, blobs and column metadata are read eagerly, and the
+// installed engine pages value planes in through the store's pool. Version-1
+// files — and all files when paging is off — load eagerly and fully
+// materialized. Returns the snapshot's cursor alongside the ingestor.
+func (s *Store) loadSnapshot(ingOpts ingest.Options, path string) (*ingest.Ingestor, uint64, error) {
+	if s.pool != nil {
+		lz, err := openSnapshotLazy(s.fsys, path)
+		switch {
+		case err == nil:
+			ing, err := ingest.Restore(ingOpts, lz.cursor, lz.records, analysis.APKBytesOf(lz.blobs))
+			if err != nil {
+				return nil, 0, err
+			}
+			ds := ing.Dataset()
+			if ds == nil && lz.fetcher != nil {
+				return nil, 0, fmt.Errorf("%w: columns without records", ErrSnapshotCorrupt)
+			}
+			if ds != nil && lz.fetcher != nil {
+				if err := ds.InstallPagedQueryColumns(lz.fetcher, s.pool); err != nil {
+					return nil, 0, err
+				}
+			}
+			return ing, lz.cursor, nil
+		case errors.Is(err, errSnapshotNotPaged):
+			// A version-1 file has no page table; fall through to the eager
+			// loader below.
+		default:
+			return nil, 0, err
+		}
+	}
+	// The columns section keeps decoding in the background while the ingestor
+	// is rebuilt from records+blobs — the two longest phases of recovery
+	// overlap instead of running back to back.
+	data, waitCols, err := loadSnapshotFileOverlap(s.fsys, path)
+	if err != nil {
+		return nil, 0, err
+	}
+	ing, err := ingest.Restore(ingOpts, data.cursor, data.records, analysis.APKBytesOf(data.blobs))
+	if cerr := waitCols(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if ing.Dataset() != nil {
+		if err := ing.Dataset().InstallQueryColumns(data.columns); err != nil {
+			return nil, 0, err
+		}
+	} else if len(data.columns) > 0 {
+		return nil, 0, fmt.Errorf("%w: columns without records", ErrSnapshotCorrupt)
+	}
+	return ing, data.cursor, nil
+}
+
+// noteServed records ds as the epoch currently served and retires the
+// previous epoch's engine from the page pool — resident columns evict,
+// pinned ones when their in-flight scans finish. A no-op when paging is
+// disabled.
+func (s *Store) noteServed(ds *analysis.Dataset) {
+	if s.pool == nil {
+		return
+	}
+	s.servedMu.Lock()
+	prev := s.servedDS
+	s.servedDS = ds
+	s.servedMu.Unlock()
+	if prev != nil && prev != ds {
+		prev.DropPagedColumns()
+	}
+}
+
+// PageStats reports the page pool's residency and fault counters, zero when
+// paging is disabled.
+func (s *Store) PageStats() query.PageStats {
+	if s.pool == nil {
+		return query.PageStats{}
+	}
+	return s.pool.Stats()
 }
 
 // snapshotNames lists snapshot files newest-generation first.
@@ -388,7 +509,7 @@ func (s *Store) harvestBlobs(cursor uint64) (map[appmeta.Key][]byte, error) {
 	seen := map[appmeta.Key]bool{}
 	from := uint64(0)
 	if s.basePath != "" {
-		if base, err := loadSnapshotFile(s.fsys, s.basePath); err == nil && base.cursor <= cursor {
+		if base, err := loadSnapshotShallow(s.fsys, s.basePath); err == nil && base.cursor <= cursor {
 			for k, b := range base.blobs {
 				blobs[k] = b
 			}

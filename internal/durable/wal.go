@@ -29,8 +29,9 @@ import (
 // FsyncAlways.
 
 const (
-	walMagic     = "MSWAL001"
-	walHeaderLen = len(walMagic) + 16
+	walMagic       = "MSWAL001"
+	walMagicPrefix = "MSWAL"
+	walHeaderLen   = len(walMagic) + 16
 	// maxWALRecord bounds one record's body; a length prefix beyond it is
 	// treated as corruption rather than an allocation request.
 	maxWALRecord = 256 << 20
@@ -42,6 +43,12 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // corrupted header). The log's records cannot be trusted past it; recovery
 // refuses to guess.
 var ErrWALCorrupt = errors.New("durable: wal corrupt")
+
+// ErrWALVersion marks a log written by a newer format version than this
+// build reads. Unlike corruption there is nothing to repair — truncating or
+// quarantining would destroy a newer binary's data — so Open fails and the
+// file is left exactly as found.
+var ErrWALVersion = errors.New("durable: wal from a newer format version")
 
 // FsyncPolicy says when the WAL reaches stable storage relative to batch
 // acknowledgements.
@@ -112,6 +119,10 @@ func scanWAL(fsys FS, path string, fn func(seq uint64, payload []byte) error) (w
 		return info, nil
 	}
 	if string(buf[:len(walMagic)]) != walMagic {
+		if string(buf[:len(walMagicPrefix)]) == walMagicPrefix {
+			return info, fmt.Errorf("%w: magic %q, this build reads %q",
+				ErrWALVersion, buf[:len(walMagic)], walMagic)
+		}
 		return info, fmt.Errorf("%w: bad magic %q", ErrWALCorrupt, buf[:len(walMagic)])
 	}
 	hd := &decoder{buf: buf[len(walMagic):walHeaderLen]}

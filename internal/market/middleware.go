@@ -4,8 +4,10 @@ import (
 	"compress/gzip"
 	"context"
 	"io"
+	"log"
 	"net"
 	"net/http"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,7 +17,7 @@ import (
 // The serving middleware. Each piece is an independent http.Handler wrapper;
 // ConfigureServing composes the ones the config enables, outermost first:
 //
-//	metrics -> inflight gate -> per-client rate limit -> timeout -> gzip -> routes
+//	metrics -> panic recovery -> inflight gate -> per-client rate limit -> timeout -> gzip -> routes
 //
 // The gate sits outside the rate limiter so an overloaded server sheds with
 // one atomic instead of taking the limiter lock, and the timeout sits inside
@@ -76,6 +78,39 @@ func metricsMiddleware(m *serverMetrics) middleware {
 			default:
 				m.status2xx.Inc()
 			}
+		})
+	}
+}
+
+// --- panic recovery ---
+
+// recoverMiddleware converts a handler panic into a clean 500 JSON error
+// instead of letting net/http kill the connection mid-response: the stack is
+// logged, serve_panics_total counts it, and the client gets a parseable body.
+// It sits just inside the metrics layer so the 500 lands in the status
+// counters, and writes the error only when the handler had not started a
+// response (a half-written body cannot be unsent — the abort then surfaces as
+// a truncated stream, which is all net/http could have offered anyway).
+// http.ErrAbortHandler passes through untouched; it is the sanctioned way to
+// abort deliberately.
+func recoverMiddleware(m *serverMetrics) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					return
+				}
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				m.panics.Inc()
+				log.Printf("market: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				if sr, ok := w.(*statusRecorder); !ok || sr.status == 0 {
+					writeJSONStatus(w, http.StatusInternalServerError, scanError{Error: "internal server error"})
+				}
+			}()
+			next.ServeHTTP(w, r)
 		})
 	}
 }

@@ -201,7 +201,10 @@ func (s *Server) serveCached(w http.ResponseWriter, snap *sourceSnapshot, kind s
 // writeQueryError maps an engine error onto a status: malformed requests are
 // the client's fault (400), an exceeded deadline is the server giving up
 // (504), a cancelled context means the client is gone or the server is
-// closing (503), anything else is a 500.
+// closing (503), a degraded paged engine — page budget exhausted by
+// concurrent working sets, or a column fetch that failed past its retries —
+// is a 503 with Retry-After (the corpus is intact on disk; the request is
+// worth repeating), anything else is a 500.
 func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
@@ -212,6 +215,12 @@ func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 		}
 	case errors.Is(err, context.Canceled):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, query.ErrPageBudget), errors.Is(err, query.ErrPageUnavailable):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+		if s.metrics != nil {
+			s.metrics.pagedDegraded.Inc()
+		}
 	case errors.Is(err, query.ErrUnknownField), errors.Is(err, query.ErrBadOp),
 		errors.Is(err, query.ErrBadValue), errors.Is(err, query.ErrBadLimit),
 		errors.Is(err, query.ErrBadAggregate):

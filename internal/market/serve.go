@@ -58,36 +58,40 @@ func DefaultServeConfig() ServeConfig {
 
 // serverMetrics is the instrument set behind /metrics and ServingStats.
 type serverMetrics struct {
-	reg         *metrics.Registry
-	requests    *metrics.Counter
-	status2xx   *metrics.Counter
-	status4xx   *metrics.Counter
-	status5xx   *metrics.Counter
-	rateLimited *metrics.Counter
-	shed        *metrics.Counter
-	timeouts    *metrics.Counter
-	cacheHits   *metrics.Counter
-	cacheMisses *metrics.Counter
-	inflight    *metrics.Gauge
-	latency     *metrics.Histogram
-	started     time.Time
+	reg           *metrics.Registry
+	requests      *metrics.Counter
+	status2xx     *metrics.Counter
+	status4xx     *metrics.Counter
+	status5xx     *metrics.Counter
+	rateLimited   *metrics.Counter
+	shed          *metrics.Counter
+	timeouts      *metrics.Counter
+	panics        *metrics.Counter
+	pagedDegraded *metrics.Counter
+	cacheHits     *metrics.Counter
+	cacheMisses   *metrics.Counter
+	inflight      *metrics.Gauge
+	latency       *metrics.Histogram
+	started       time.Time
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
 	reg := metrics.NewRegistry()
 	m := &serverMetrics{
-		reg:         reg,
-		requests:    reg.Counter("market_http_requests_total", "Requests served, any status."),
-		status2xx:   reg.Counter("market_http_responses_2xx_total", "Successful responses."),
-		status4xx:   reg.Counter("market_http_responses_4xx_total", "Client-error responses (including 429)."),
-		status5xx:   reg.Counter("market_http_responses_5xx_total", "Server-error responses (including sheds and timeouts)."),
-		rateLimited: reg.Counter("market_http_rate_limited_total", "Requests rejected by the per-client rate limiter."),
-		shed:        reg.Counter("market_http_shed_total", "Requests shed by the inflight gate."),
-		timeouts:    reg.Counter("market_http_timeouts_total", "Requests that exceeded their execution deadline."),
-		cacheHits:   reg.Counter("market_cache_hits_total", "Scan/aggregate responses served from the result cache."),
-		cacheMisses: reg.Counter("market_cache_misses_total", "Scan/aggregate responses that ran the engine."),
-		inflight:    reg.Gauge("market_http_inflight", "Requests currently inside the serving chain."),
-		started:     time.Now(),
+		reg:           reg,
+		requests:      reg.Counter("market_http_requests_total", "Requests served, any status."),
+		status2xx:     reg.Counter("market_http_responses_2xx_total", "Successful responses."),
+		status4xx:     reg.Counter("market_http_responses_4xx_total", "Client-error responses (including 429)."),
+		status5xx:     reg.Counter("market_http_responses_5xx_total", "Server-error responses (including sheds and timeouts)."),
+		rateLimited:   reg.Counter("market_http_rate_limited_total", "Requests rejected by the per-client rate limiter."),
+		shed:          reg.Counter("market_http_shed_total", "Requests shed by the inflight gate."),
+		timeouts:      reg.Counter("market_http_timeouts_total", "Requests that exceeded their execution deadline."),
+		panics:        reg.Counter("serve_panics_total", "Handler panics recovered into clean 500 responses."),
+		pagedDegraded: reg.Counter("market_paged_degraded_total", "Requests answered 503 because the paged engine could not pin its working set."),
+		cacheHits:     reg.Counter("market_cache_hits_total", "Scan/aggregate responses served from the result cache."),
+		cacheMisses:   reg.Counter("market_cache_misses_total", "Scan/aggregate responses that ran the engine."),
+		inflight:      reg.Gauge("market_http_inflight", "Requests currently inside the serving chain."),
+		started:       time.Now(),
 	}
 	m.latency = reg.Histogram("market_http_request_seconds",
 		"Request wall-clock latency.", metrics.DefaultLatencyBounds())
@@ -134,7 +138,7 @@ func (s *Server) ConfigureServing(cfg ServeConfig) {
 	}
 	s.metrics = newServerMetrics(s)
 
-	mws := []middleware{metricsMiddleware(s.metrics)}
+	mws := []middleware{metricsMiddleware(s.metrics), recoverMiddleware(s.metrics)}
 	if cfg.MaxInflight > 0 {
 		mws = append(mws, inflightMiddleware(newInflightGate(cfg.MaxInflight, cfg.MaxQueue), s.metrics))
 	}
@@ -228,6 +232,7 @@ type ServingStats struct {
 	RateLimited int64
 	Shed        int64
 	Timeouts    int64
+	Panics      int64
 	CacheHits   int64
 	CacheMisses int64
 	CacheBytes  int64
@@ -248,6 +253,7 @@ func (s *Server) ServingStats() ServingStats {
 		RateLimited: s.metrics.rateLimited.Value(),
 		Shed:        s.metrics.shed.Value(),
 		Timeouts:    s.metrics.timeouts.Value(),
+		Panics:      s.metrics.panics.Value(),
 		CacheHits:   s.metrics.cacheHits.Value(),
 		CacheMisses: s.metrics.cacheMisses.Value(),
 		P50:         time.Duration(s.metrics.latency.Quantile(0.50) * float64(time.Second)),

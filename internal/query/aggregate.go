@@ -461,6 +461,16 @@ func (e *Engine[T]) AggregateContext(ctx context.Context, a Aggregate) (*Result,
 	if len(e.items) > math.MaxInt32 {
 		return e.aggregateOracle(pa, start), nil
 	}
+	if e.pager != nil {
+		// Mirror ScanContext: pin the full column set (filters, group-bys,
+		// every spec's value and where columns) up front, degrade cleanly if
+		// the pages cannot be had.
+		release, err := e.pinOrds(ctx, e.aggOrds(pa))
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+	}
 	return e.aggregatePlanned(ctx, pa, start)
 }
 

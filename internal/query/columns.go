@@ -360,8 +360,17 @@ func cmpTime(x, y time.Time) int {
 }
 
 // columnFor materializes (at most once, concurrently safe) the typed column
-// of the field at registration ordinal ord.
+// of the field at registration ordinal ord. On a paged engine a paged ordinal
+// returns the resident column the request pinned; unpinned access (admin
+// paths) gets a transient build from items that is never installed, so the
+// budget accounting stays exact.
 func (e *Engine[T]) columnFor(ord int) *column {
+	if p := e.pager; p != nil && p.slots[ord] != nil {
+		if c := e.cols[ord].col.Load(); c != nil {
+			return c
+		}
+		return p.transientColumn(e, ord)
+	}
 	slot := &e.cols[ord]
 	slot.once.Do(func() {
 		f := e.reg.byName[e.reg.order[ord]]

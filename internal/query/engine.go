@@ -41,6 +41,12 @@ type Engine[T any] struct {
 	// encoding, bitmap posting lists, zone maps), reproducing the
 	// pre-compression planner. See NewEngineUncompressed.
 	uncompressed bool
+
+	// pager, when non-nil, marks a paged engine (NewEnginePaged): columns
+	// page in from a snapshot on first touch instead of building from items,
+	// scans pin the columns they use, and the planner skips secondary
+	// indexes. Results stay byte-identical to a materialized engine's.
+	pager *enginePager[T]
 }
 
 // NewEngine binds a registry to a dataset slice. The engine keeps the slice;
@@ -171,6 +177,16 @@ func (e *Engine[T]) ScanContext(ctx context.Context, q Query) (*Result, error) {
 		// Row ids are int32 in the column path; datasets beyond 2^31 rows
 		// (never reached in practice) keep the reference semantics.
 		return e.scanOracle(pq, start), nil
+	}
+	if e.pager != nil {
+		// Page in and pin every column the scan touches before any planning
+		// work: a request that cannot get its columns degrades cleanly here
+		// (ErrPageBudget / ErrPageUnavailable) instead of failing mid-scan.
+		release, err := e.pinOrds(ctx, e.scanOrds(pq))
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 	}
 	return e.scanPlanned(ctx, pq, start)
 }

@@ -1,0 +1,488 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Paged engines: columns live on disk and page in on first touch. A paged
+// engine holds its items (the row slice recovered from the WAL-backed record
+// section, which is what correctness falls back on) but leaves the typed
+// column planes in the snapshot file, loading each through a ColumnFetcher the
+// first time a scan needs it. Residency is governed by a byte-budget LRU
+// (PagePool): a column is pinned while any scan uses it and evictable after,
+// so the served corpus can exceed the budget as long as no single query's
+// column set does.
+//
+// Every fetch is fallible, and the failure ladder is explicit:
+//
+//  1. Transient read errors retry with bounded backoff (ErrPageUnavailable
+//     after the attempts are spent — the caller degrades the request, it does
+//     not get a wrong answer).
+//  2. A checksum or structural-validation failure quarantines the column
+//     (the on-disk bytes are never trusted again this process) and falls back
+//     to rebuilding it from the resident items — the WAL-sourced truth.
+//  3. Budget exhaustion — the needed bytes cannot be freed because everything
+//     resident is pinned — fails fast with ErrPageBudget; serving maps it to
+//     a clean 503 + Retry-After.
+//
+// Paged engines answer every query byte-identically (Fields, Rows,
+// TotalMatched) to a fully-materialized engine over the same rows: the
+// planner skips secondary indexes (indexLookup returns "no index" so every
+// filter runs as a residual scan — layout never changes results, only
+// Explain), and the column values themselves are either the snapshot's
+// validated planes or a rebuild through the same buildColumn the materialized
+// engine uses.
+
+// Fetch-failure sentinels. Fetchers wrap ErrPageCorrupt around checksum
+// mismatches; the pool wraps ErrPageUnavailable around exhausted retries and
+// ErrPageBudget around reservation failures. Serving layers classify with
+// errors.Is.
+var (
+	// ErrPageBudget means the page budget cannot admit the columns a request
+	// needs: everything resident is pinned by other requests. Transient by
+	// nature — retry after in-flight scans release their pins.
+	ErrPageBudget = errors.New("query: page budget exhausted")
+	// ErrPageUnavailable means a column fetch kept failing after bounded
+	// retries. The on-disk bytes may be fine (transient I/O), so the column is
+	// not quarantined; the request degrades.
+	ErrPageUnavailable = errors.New("query: column page unavailable")
+	// ErrPageCorrupt marks a fetch whose bytes failed checksum or structural
+	// validation. The pool quarantines the column and rebuilds it from items.
+	ErrPageCorrupt = errors.New("query: column page corrupt")
+)
+
+// ColumnFetcher is the segment-fetch interface a paged engine loads columns
+// through. Implementations must be safe for concurrent use; the durable
+// layer's snapshot reader is the production one.
+type ColumnFetcher interface {
+	// Columns lists the fetchable column names (each registered on the
+	// engine), fixed for the fetcher's lifetime.
+	Columns() []string
+	// ColumnBytes returns the decoded in-memory size estimate of one column,
+	// the budget charge while it is resident. Must be positive for every name
+	// in Columns.
+	ColumnBytes(name string) int64
+	// FetchColumn reads, checksum-verifies and decodes one column. A checksum
+	// mismatch must return an error wrapping ErrPageCorrupt; any other error
+	// is treated as transient and retried. A cancelled ctx aborts the fetch.
+	FetchColumn(ctx context.Context, name string) (*ColumnData, error)
+}
+
+// PageStats is a point-in-time snapshot of a pool's counters, feeding the
+// paged_* metrics.
+type PageStats struct {
+	Budget        int64
+	ResidentBytes int64
+	Fetches       int64
+	Evictions     int64
+	Retries       int64
+	Quarantines   int64
+}
+
+// PagePool is the residency authority shared by the paged engines of one
+// process (epochs hand their slots over via Retire, so one budget governs
+// the old and new engine during a swap). All slot state below is guarded by
+// mu; the column pointers themselves are the engines' atomic slots, so scans
+// read them without the pool lock.
+type PagePool struct {
+	budget     int64
+	retries    int
+	retryDelay time.Duration
+
+	mu       sync.Mutex
+	resident int64
+	// LRU of resident, unpinned slots: head is the eviction victim, tail the
+	// most recently released.
+	lruHead, lruTail *pagedSlot
+
+	fetches     atomic.Int64
+	evictions   atomic.Int64
+	retryCount  atomic.Int64
+	quarantines atomic.Int64
+}
+
+// NewPagePool creates a pool with a byte budget (<= 0 means unbounded — page
+// lazily but never evict), a transient-fetch retry count and the base backoff
+// delay between attempts (doubling per retry, capped at 8x).
+func NewPagePool(budget int64, retries int, retryDelay time.Duration) *PagePool {
+	if retries < 0 {
+		retries = 0
+	}
+	if retryDelay <= 0 {
+		retryDelay = time.Millisecond
+	}
+	return &PagePool{budget: budget, retries: retries, retryDelay: retryDelay}
+}
+
+// Stats returns the pool's current counters.
+func (p *PagePool) Stats() PageStats {
+	p.mu.Lock()
+	resident := p.resident
+	p.mu.Unlock()
+	return PageStats{
+		Budget:        p.budget,
+		ResidentBytes: resident,
+		Fetches:       p.fetches.Load(),
+		Evictions:     p.evictions.Load(),
+		Retries:       p.retryCount.Load(),
+		Quarantines:   p.quarantines.Load(),
+	}
+}
+
+// pagedSlot is one column's residency state. colp aliases the engine's atomic
+// column slot: non-nil exactly while the slot is resident (charged against
+// the budget). Everything else is guarded by the pool's mu, except
+// quarantined, which only the slot's unique loader (serialized by loading)
+// touches.
+type pagedSlot struct {
+	name    string
+	bytes   int64
+	colp    *atomic.Pointer[column]
+	fetch   func(ctx context.Context) (*column, error)
+	rebuild func() *column
+
+	pins        int
+	loading     chan struct{} // non-nil while one loader fetches; closed when done
+	quarantined bool
+	dead        bool // epoch retired: free on last release instead of entering the LRU
+	inLRU       bool
+	prev, next  *pagedSlot
+}
+
+func (p *PagePool) lruRemove(s *pagedSlot) {
+	if !s.inLRU {
+		return
+	}
+	if s.prev != nil {
+		s.prev.next = s.next
+	} else {
+		p.lruHead = s.next
+	}
+	if s.next != nil {
+		s.next.prev = s.prev
+	} else {
+		p.lruTail = s.prev
+	}
+	s.prev, s.next, s.inLRU = nil, nil, false
+}
+
+func (p *PagePool) lruPush(s *pagedSlot) {
+	s.prev, s.next, s.inLRU = p.lruTail, nil, true
+	if p.lruTail != nil {
+		p.lruTail.next = s
+	} else {
+		p.lruHead = s
+	}
+	p.lruTail = s
+}
+
+// evictLocked drops one resident, unpinned slot. Scans that loaded the column
+// pointer before the store keep the immutable column alive through the GC —
+// eviction is safe without waiting on them.
+func (p *PagePool) evictLocked(s *pagedSlot) {
+	p.lruRemove(s)
+	s.colp.Store(nil)
+	p.resident -= s.bytes
+	p.evictions.Add(1)
+}
+
+// reserveLocked frees LRU victims until need bytes fit under the budget.
+// False means everything resident is pinned and the request must degrade.
+func (p *PagePool) reserveLocked(need int64) bool {
+	if p.budget > 0 {
+		for p.resident+need > p.budget {
+			if p.lruHead == nil {
+				return false
+			}
+			p.evictLocked(p.lruHead)
+		}
+	}
+	p.resident += need
+	return true
+}
+
+// acquire pins one column, loading it if absent. Exactly one goroutine
+// performs a given slot's load; concurrent acquirers wait on the loading
+// channel (or their context) and re-examine the slot when it closes.
+func (p *PagePool) acquire(ctx context.Context, s *pagedSlot) error {
+	p.mu.Lock()
+	for {
+		if s.colp.Load() != nil {
+			s.pins++
+			p.lruRemove(s)
+			p.mu.Unlock()
+			return nil
+		}
+		if s.loading == nil {
+			break
+		}
+		ch := s.loading
+		p.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		p.mu.Lock()
+	}
+	// Become the loader: reserve the budget before fetching so a doomed
+	// request fails before any I/O, then load outside the lock.
+	if !p.reserveLocked(s.bytes) {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %d bytes for column %q (budget %d, all resident pinned)",
+			ErrPageBudget, s.bytes, s.name, p.budget)
+	}
+	ch := make(chan struct{})
+	s.loading = ch
+	p.mu.Unlock()
+
+	col, err := p.load(ctx, s)
+
+	p.mu.Lock()
+	s.loading = nil
+	close(ch)
+	if err != nil {
+		p.resident -= s.bytes
+		p.mu.Unlock()
+		return err
+	}
+	s.colp.Store(col)
+	s.pins++
+	p.mu.Unlock()
+	return nil
+}
+
+// load runs the fetch-failure ladder for one slot (sole loader, no lock
+// held): bounded retries with doubling backoff for transient errors, then
+// quarantine + rebuild-from-items for corruption, ErrPageUnavailable when the
+// retries are spent.
+func (p *PagePool) load(ctx context.Context, s *pagedSlot) (*column, error) {
+	if !s.quarantined {
+		p.fetches.Add(1)
+		var lastErr error
+		delay := p.retryDelay
+		for attempt := 0; attempt <= p.retries; attempt++ {
+			if attempt > 0 {
+				p.retryCount.Add(1)
+				select {
+				case <-time.After(delay):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				if delay < 8*p.retryDelay {
+					delay *= 2
+				}
+			}
+			col, err := s.fetch(ctx)
+			if err == nil {
+				return col, nil
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if errors.Is(err, ErrPageCorrupt) {
+				p.quarantines.Add(1)
+				s.quarantined = true
+				lastErr = err
+				break
+			}
+			lastErr = err
+		}
+		if !s.quarantined {
+			return nil, fmt.Errorf("%w: column %q: %v", ErrPageUnavailable, s.name, lastErr)
+		}
+	}
+	// Quarantined: the snapshot bytes are not trusted; rebuild the column from
+	// the resident items, which the WAL/record section vouches for.
+	return s.rebuild(), nil
+}
+
+// release unpins one column; the last pin moves it to the LRU tail (or frees
+// it outright when its epoch was retired).
+func (p *PagePool) release(s *pagedSlot) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s.pins--
+	if s.pins > 0 {
+		return
+	}
+	if s.dead {
+		if s.colp.Load() != nil {
+			s.colp.Store(nil)
+			p.resident -= s.bytes
+			p.evictions.Add(1)
+		}
+		return
+	}
+	p.lruPush(s)
+}
+
+// retire marks an engine's slots dead and evicts the unpinned ones — the
+// epoch-swap hook: the old engine's residency is dropped (pinned columns
+// linger only until their in-flight scans release).
+func (p *PagePool) retire(slots []*pagedSlot) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range slots {
+		if s == nil || s.dead {
+			continue
+		}
+		s.dead = true
+		if s.pins == 0 && s.colp.Load() != nil {
+			p.evictLocked(s)
+		}
+	}
+}
+
+// enginePager is one paged engine's view of the pool: a slot per paged
+// ordinal (nil for fields that stay lazy).
+type enginePager[T any] struct {
+	fetcher ColumnFetcher
+	pool    *PagePool
+	slots   []*pagedSlot
+}
+
+// NewEnginePaged builds a compressed engine over items whose columns named by
+// fetcher.Columns() page in on demand through pool. Fields the fetcher does
+// not cover stay lazy, exactly as on a cold engine. The engine answers every
+// query byte-identically (Fields/Rows/TotalMatched) to NewEngine(reg, items).
+func NewEnginePaged[T any](reg *Registry[T], items []T, fetcher ColumnFetcher, pool *PagePool) (*Engine[T], error) {
+	if fetcher == nil || pool == nil {
+		return nil, fmt.Errorf("query: paged engine needs a fetcher and a pool")
+	}
+	e := NewEngine(reg, items)
+	p := &enginePager[T]{fetcher: fetcher, pool: pool, slots: make([]*pagedSlot, len(reg.order))}
+	for _, name := range fetcher.Columns() {
+		ord, ok := e.ordinals[name]
+		if !ok {
+			return nil, fmt.Errorf("query: paged column %q is not registered", name)
+		}
+		if p.slots[ord] != nil {
+			return nil, fmt.Errorf("query: duplicate paged column %q", name)
+		}
+		bytes := fetcher.ColumnBytes(name)
+		if bytes <= 0 {
+			return nil, fmt.Errorf("query: paged column %q has size %d, want > 0", name, bytes)
+		}
+		f := reg.byName[name]
+		name := name
+		s := &pagedSlot{name: name, bytes: bytes, colp: &e.cols[ord].col}
+		s.fetch = func(ctx context.Context) (*column, error) {
+			cd, err := fetcher.FetchColumn(ctx, name)
+			if err != nil {
+				return nil, err
+			}
+			c, err := importColumn(f.Dictionary, cd, len(items))
+			if err != nil {
+				// The frame checksum passed but the structure is inconsistent:
+				// same trust verdict as a checksum failure.
+				return nil, fmt.Errorf("%w: column %q: %v", ErrPageCorrupt, name, err)
+			}
+			return c, nil
+		}
+		s.rebuild = func() *column { return buildColumn(f, items, !e.uncompressed) }
+		p.slots[ord] = s
+	}
+	e.pager = p
+	return e, nil
+}
+
+// PageStats exposes the pool counters of a paged engine (zero stats on a
+// fully-materialized engine).
+func (e *Engine[T]) PageStats() PageStats {
+	if e.pager == nil {
+		return PageStats{}
+	}
+	return e.pager.pool.Stats()
+}
+
+// RetirePages drops the engine from its page pool: resident unpinned columns
+// evict now, pinned ones when their scans finish. Epoch swaps call this on
+// the outgoing engine so the budget belongs to the incoming one.
+func (e *Engine[T]) RetirePages() {
+	if e.pager != nil {
+		e.pager.pool.retire(e.pager.slots)
+	}
+}
+
+// filterOrds collects the registration ordinals of a compiled filter set.
+func (e *Engine[T]) filterOrds(filters []compiledFilter[T], out []int) []int {
+	for i := range filters {
+		out = append(out, e.ordinals[filters[i].field.Name])
+	}
+	return out
+}
+
+// pinOrds pins every paged column in ords (deduplicated) for the duration of
+// a request, paging absent ones in. On any failure it releases what it pinned
+// and returns the error — a request never holds partial pins. The returned
+// release must be called exactly once.
+func (e *Engine[T]) pinOrds(ctx context.Context, ords []int) (release func(), err error) {
+	p := e.pager
+	if p == nil {
+		return func() {}, nil
+	}
+	seen := make(map[int]bool, len(ords))
+	pinned := make([]*pagedSlot, 0, len(ords))
+	for _, ord := range ords {
+		if seen[ord] {
+			continue
+		}
+		seen[ord] = true
+		s := p.slots[ord]
+		if s == nil {
+			continue // not paged: lazy build through columnFor
+		}
+		if err := p.pool.acquire(ctx, s); err != nil {
+			for _, ps := range pinned {
+				p.pool.release(ps)
+			}
+			return nil, err
+		}
+		pinned = append(pinned, s)
+	}
+	return func() {
+		for _, ps := range pinned {
+			p.pool.release(ps)
+		}
+	}, nil
+}
+
+// scanOrds is the full ordinal set a planned scan touches: filter columns
+// (predicates, zone pruners), sort columns and output columns.
+func (e *Engine[T]) scanOrds(pq *prepared[T]) []int {
+	ords := make([]int, 0, len(pq.filters)+len(pq.sortOrds)+len(pq.outOrds))
+	ords = e.filterOrds(pq.filters, ords)
+	ords = append(ords, pq.sortOrds...)
+	ords = append(ords, pq.outOrds...)
+	return ords
+}
+
+// aggOrds is the full ordinal set a planned aggregation touches: request
+// filters, group-by columns, each spec's value column and its where-filter
+// columns.
+func (e *Engine[T]) aggOrds(pa *preparedAgg[T]) []int {
+	ords := make([]int, 0, len(pa.filters)+len(pa.groupOrds)+2*len(pa.specs))
+	ords = e.filterOrds(pa.filters, ords)
+	ords = append(ords, pa.groupOrds...)
+	for i := range pa.specs {
+		if pa.specs[i].ord >= 0 {
+			ords = append(ords, pa.specs[i].ord)
+		}
+		ords = e.filterOrds(pa.specs[i].where, ords)
+	}
+	return ords
+}
+
+// transientColumn serves columnFor on a paged engine when the column is not
+// resident (admin paths like ExportColumns that run unpinned): a one-off
+// build from items, never installed or charged against the budget.
+func (p *enginePager[T]) transientColumn(e *Engine[T], ord int) *column {
+	f := e.reg.byName[e.reg.order[ord]]
+	return buildColumn(f, e.items, !e.uncompressed)
+}

@@ -69,6 +69,14 @@ func (e *Engine[T]) planFilters(filters []compiledFilter[T]) (lists []indexedLis
 
 // indexLookup tries to answer one filter from a secondary index.
 func (e *Engine[T]) indexLookup(cf compiledFilter[T]) (indexCandidate, bool) {
+	if e.pager != nil {
+		// Paged engines plan without secondary indexes: building one would
+		// materialize a column outside the page budget, and a bitmap lookup
+		// on an absent index must read as "no index", never as "no rows".
+		// Every filter runs as a residual scan over the pinned columns —
+		// results are identical, only Explain differs.
+		return indexCandidate{}, false
+	}
 	f := cf.field
 	if !f.Indexable {
 		return indexCandidate{}, false

@@ -1,0 +1,169 @@
+// BenchmarkPagedServe measures serving a snapshot-backed corpus without
+// materializing it: a durable store recovers lazily over the scaled corpus
+// under a resident-byte budget a quarter of the materialized column bytes,
+// and the bench records page-in (first touch, disk + decode) vs warm-hit
+// latency and the steady-state residency of a query mix cycling through the
+// budget. Before any timing the paged engine is asserted byte-identical to
+// the eagerly materialized store on the scale bench shapes plus a
+// row-order-sensitive dump (the equivalence-then-measure pattern of the other
+// benches), and the PAGEDSTAT line feeds the CI bench artifact
+// BENCH_paging.json.
+package marketscope_test
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"marketscope/internal/analysis"
+	"marketscope/internal/durable"
+	"marketscope/internal/ingest"
+	"marketscope/internal/query"
+)
+
+func BenchmarkPagedServe(b *testing.B) {
+	rows := scaledRowsTarget()
+	records := coldstartRecords(b, rows)
+	crawlTime := records[len(records)-1].UpdateDate
+
+	// Seed one durable data dir: the corpus as a single WAL'd delta plus a
+	// paged column-store snapshot for the lazy opens to serve from.
+	dataDir := filepath.Join(b.TempDir(), "data")
+	openOpts := func(budget int64) durable.Options {
+		return durable.Options{
+			Dir:        dataDir,
+			Fsync:      durable.FsyncOff,
+			PageBudget: budget,
+			Ingest: ingest.Options{
+				Enrich:    analysis.DefaultEnrichOptions(),
+				CrawlTime: crawlTime,
+			},
+		}
+	}
+	listings := make([]ingest.Listing, 0, len(records))
+	for _, rec := range records {
+		listings = append(listings, ingest.Listing{Record: rec})
+	}
+	seed, err := durable.Open(openOpts(0))
+	if err != nil {
+		b.Fatalf("open seed store: %v", err)
+	}
+	if res, err := seed.Apply(ingest.Delta{Seq: 0, Listings: listings}); err != nil || !res.Applied {
+		b.Fatalf("seed apply: %+v (err %v)", res, err)
+	}
+	if err := seed.WriteSnapshot(); err != nil {
+		b.Fatalf("seed snapshot: %v", err)
+	}
+	eagerSrc := seed.Dataset().QuerySource()
+	listings, records = nil, nil
+
+	probes := scaleBenchQueries(rows)
+	dump := query.Query{Fields: []string{"market", "package", "downloads"}, Limit: 2000}
+
+	// Equivalence gate before believing any number: the lazily paged engine
+	// must answer every probe — and the order-sensitive dump — byte-identically
+	// to the materialized store it replaces. The full dump also forces every
+	// column in, so the unbounded pool's residency afterwards is the
+	// materialized column footprint the budget is derived from.
+	lazy, err := durable.Open(openOpts(-1))
+	if err != nil {
+		b.Fatalf("lazy open: %v", err)
+	}
+	lazySrc := lazy.Dataset().QuerySource()
+	for _, probe := range append(probes, struct {
+		name string
+		q    query.Query
+	}{"dump", dump}) {
+		pres, perr := lazySrc.Scan(probe.q)
+		eres, eerr := eagerSrc.Scan(probe.q)
+		pj := ingestCanonical(b, pres, perr)
+		ej := ingestCanonical(b, eres, eerr)
+		if !bytes.Equal(pj, ej) {
+			b.Fatalf("%s: paged engine diverged from the materialized store:\npaged %.300s\neager %.300s", probe.name, pj, ej)
+		}
+	}
+	if _, err := lazySrc.Scan(query.Query{Limit: 1}); err != nil {
+		b.Fatalf("column sweep: %v", err)
+	}
+	totalBytes := lazy.PageStats().ResidentBytes
+	if totalBytes == 0 {
+		b.Fatal("unbounded paged store reports no resident bytes")
+	}
+	if err := lazy.Close(); err != nil {
+		b.Fatalf("close lazy store: %v", err)
+	}
+	if err := seed.Close(); err != nil {
+		b.Fatalf("close seed store: %v", err)
+	}
+
+	// The headline configuration: a budget a quarter of the materialized
+	// column bytes. Every probe must still be served — the pool cannot evict a
+	// query's own pinned columns, so a probe failing here means the budget
+	// claim does not hold.
+	budget := totalBytes / 4
+	paged, err := durable.Open(openOpts(budget))
+	if err != nil {
+		b.Fatalf("budgeted open: %v", err)
+	}
+	defer paged.Close()
+	src := paged.Dataset().QuerySource()
+
+	// Page-in vs warm-hit latency on the first probe: the first scan after a
+	// cold open pays the disk read + page decode, repeats hit the resident
+	// column.
+	pageInStart := time.Now()
+	if _, err := src.Scan(probes[0].q); err != nil {
+		b.Fatalf("page-in scan: %v", err)
+	}
+	pageIn := time.Since(pageInStart)
+	var warm time.Duration
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		if _, err := src.Scan(probes[0].q); err != nil {
+			b.Fatalf("warm scan: %v", err)
+		}
+		if d := time.Since(start); warm == 0 || d < warm {
+			warm = d
+		}
+	}
+
+	// Steady state: cycle the whole probe mix through the budget and require
+	// residency under the budget after every request.
+	var residentPeak int64
+	for round := 0; round < 3; round++ {
+		for _, probe := range probes {
+			if _, err := src.Scan(probe.q); err != nil {
+				b.Fatalf("steady-state %s: %v", probe.name, err)
+			}
+			st := paged.PageStats()
+			if st.ResidentBytes > st.Budget {
+				b.Fatalf("resident %d over budget %d after %s", st.ResidentBytes, st.Budget, probe.name)
+			}
+			if st.ResidentBytes > residentPeak {
+				residentPeak = st.ResidentBytes
+			}
+		}
+	}
+	st := paged.PageStats()
+	printOnce("paged", fmt.Sprintf(
+		"PAGEDSTAT rows=%d total_col_bytes=%d budget=%d budget_ratio=%.2f page_in_us=%.1f warm_us=%.1f warm_speedup=%.1f resident_peak=%d fetches=%d evictions=%d quarantines=%d identical=1",
+		rows, totalBytes, budget, float64(budget)/float64(totalBytes),
+		float64(pageIn.Nanoseconds())/1000, float64(warm.Nanoseconds())/1000,
+		float64(pageIn)/float64(warm),
+		residentPeak, st.Fetches, st.Evictions, st.Quarantines))
+	if st.Quarantines != 0 {
+		b.Fatalf("healthy snapshot quarantined during bench: %+v", st)
+	}
+
+	// The timed loop: one warm-path scan per iteration — the steady-state
+	// serving cost under the budget.
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := src.Scan(probes[i%len(probes)].q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
